@@ -1,0 +1,410 @@
+//! Arbitrary-precision signed integers.
+//!
+//! [`Int`] wraps a [`Nat`] magnitude with a sign, maintaining the invariant
+//! that zero is never negative. It is the output type of the discrete noise
+//! samplers (a Laplace or Gaussian sample lives in ℤ) and the coefficient
+//! type of the exact rationals in [`crate::Rat`].
+
+use crate::nat::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub};
+use std::str::FromStr;
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_arith::Int;
+///
+/// let a = Int::from(-7i64);
+/// let b = Int::from(3i64);
+/// assert_eq!(&a * &b, Int::from(-21i64));
+/// assert_eq!(a.abs().to_string(), "7");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Int {
+    /// Sign; `true` means strictly negative. Zero is always non-negative.
+    negative: bool,
+    /// Magnitude.
+    mag: Nat,
+}
+
+impl Int {
+    /// The integer zero.
+    pub fn zero() -> Self {
+        Int { negative: false, mag: Nat::zero() }
+    }
+
+    /// The integer one.
+    pub fn one() -> Self {
+        Int { negative: false, mag: Nat::one() }
+    }
+
+    /// Builds an integer from a sign and magnitude, normalizing zero.
+    ///
+    /// ```
+    /// use sampcert_arith::{Int, Nat};
+    /// assert_eq!(Int::from_sign_mag(true, Nat::zero()), Int::zero());
+    /// assert_eq!(Int::from_sign_mag(true, Nat::from(3u64)), Int::from(-3i64));
+    /// ```
+    pub fn from_sign_mag(negative: bool, mag: Nat) -> Self {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            Int { negative, mag }
+        }
+    }
+
+    /// Builds a non-negative integer from a natural number.
+    pub fn from_nat(mag: Nat) -> Self {
+        Int { negative: false, mag }
+    }
+
+    /// Returns `true` when this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Returns `true` when this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// The magnitude `|self|` as a natural number.
+    pub fn magnitude(&self) -> &Nat {
+        &self.mag
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Int {
+        Int { negative: false, mag: self.mag.clone() }
+    }
+
+    /// Sign as `-1`, `0` or `1`.
+    ///
+    /// ```
+    /// use sampcert_arith::Int;
+    /// assert_eq!(Int::from(-9i64).signum(), -1);
+    /// assert_eq!(Int::zero().signum(), 0);
+    /// ```
+    pub fn signum(&self) -> i32 {
+        if self.mag.is_zero() {
+            0
+        } else if self.negative {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Converts to `i64` when the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u128()?;
+        if self.negative {
+            if m <= i64::MAX as u128 + 1 {
+                Some((m as i128).wrapping_neg() as i64)
+            } else {
+                None
+            }
+        } else if m <= i64::MAX as u128 {
+            Some(m as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `f64` (rounding; huge values saturate to infinities).
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Euclidean division: quotient rounds toward negative infinity and the
+    /// remainder is always in `[0, |divisor|)`. This matches Lean/Mathlib's
+    /// `Int.ediv`/`Int.emod`, which the SampCert sources rely on (for example
+    /// `X / den` in the Laplace sampling loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// use sampcert_arith::Int;
+    /// let (q, r) = Int::from(-7i64).div_rem_euclid(&Int::from(3i64));
+    /// assert_eq!((q, r), (Int::from(-3i64), Int::from(2i64)));
+    /// ```
+    pub fn div_rem_euclid(&self, divisor: &Int) -> (Int, Int) {
+        assert!(!divisor.is_zero(), "division by zero");
+        let (q, r) = self.mag.div_rem(&divisor.mag);
+        match (self.negative, divisor.negative) {
+            (false, false) => (Int::from_nat(q), Int::from_nat(r)),
+            (false, true) => (Int::from_sign_mag(true, q), Int::from_nat(r)),
+            (true, neg_d) => {
+                if r.is_zero() {
+                    (Int::from_sign_mag(!neg_d, q), Int::zero())
+                } else {
+                    let q1 = &q + &Nat::one();
+                    (
+                        Int::from_sign_mag(!neg_d, q1),
+                        Int::from_nat(&divisor.mag - &r),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Multiplies by ten to the `k` (decimal shift), used by formatting.
+    pub fn pow_mag(&self, exp: u32) -> Int {
+        Int::from_sign_mag(self.negative && exp % 2 == 1, self.mag.pow(exp))
+    }
+}
+
+impl From<&Nat> for Int {
+    fn from(n: &Nat) -> Self {
+        Int::from_nat(n.clone())
+    }
+}
+
+impl From<Nat> for Int {
+    fn from(n: Nat) -> Self {
+        Int::from_nat(n)
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Self {
+                let neg = v < 0;
+                let mag = (v as i128).unsigned_abs();
+                Int::from_sign_mag(neg, Nat::from(mag))
+            }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_from_unsigned_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Self {
+                Int::from_nat(Nat::from(v))
+            }
+        }
+    )*};
+}
+impl_from_unsigned_int!(u8, u16, u32, u64, u128, usize);
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int::from_sign_mag(!self.negative, self.mag.clone())
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int::from_sign_mag(!self.negative, self.mag)
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        if self.negative == rhs.negative {
+            Int::from_sign_mag(self.negative, &self.mag + &rhs.mag)
+        } else {
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => {
+                    Int::from_sign_mag(self.negative, &self.mag - &rhs.mag)
+                }
+                Ordering::Less => Int::from_sign_mag(rhs.negative, &rhs.mag - &self.mag),
+            }
+        }
+    }
+}
+
+impl Add for Int {
+    type Output = Int;
+    fn add(self, rhs: Int) -> Int {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Int {
+    type Output = Int;
+    fn sub(self, rhs: Int) -> Int {
+        &self - &rhs
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        Int::from_sign_mag(self.negative != rhs.negative, &self.mag * &rhs.mag)
+    }
+}
+
+impl Mul for Int {
+    type Output = Int;
+    fn mul(self, rhs: Int) -> Int {
+        &self * &rhs
+    }
+}
+
+impl Div for &Int {
+    type Output = Int;
+    /// Euclidean quotient; see [`Int::div_rem_euclid`].
+    fn div(self, rhs: &Int) -> Int {
+        self.div_rem_euclid(rhs).0
+    }
+}
+
+impl Rem for &Int {
+    type Output = Int;
+    /// Euclidean remainder in `[0, |rhs|)`; see [`Int::div_rem_euclid`].
+    fn rem(self, rhs: &Int) -> Int {
+        self.div_rem_euclid(rhs).1
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.mag.cmp(&other.mag),
+            (true, true) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(!self.negative, "", &self.mag.to_string())
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Int({self})")
+    }
+}
+
+impl FromStr for Int {
+    type Err = crate::nat::ParseNatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            Ok(Int::from_sign_mag(true, rest.parse()?))
+        } else {
+            let rest = s.strip_prefix('+').unwrap_or(s);
+            Ok(Int::from_nat(rest.parse()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i128) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn signs_and_zero() {
+        assert_eq!(Int::from_sign_mag(true, Nat::zero()), Int::zero());
+        assert!(!Int::zero().is_negative());
+        assert_eq!(i(-5).signum(), -1);
+        assert_eq!(i(5).signum(), 1);
+        assert_eq!((-&i(-5)), i(5));
+        assert_eq!((-&Int::zero()), Int::zero());
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(&i(5) + &i(-3), i(2));
+        assert_eq!(&i(3) + &i(-5), i(-2));
+        assert_eq!(&i(-3) + &i(-4), i(-7));
+        assert_eq!(&i(4) + &i(-4), Int::zero());
+    }
+
+    #[test]
+    fn sub_and_mul() {
+        assert_eq!(&i(5) - &i(9), i(-4));
+        assert_eq!(&i(-5) - &i(-9), i(4));
+        assert_eq!(&i(-5) * &i(3), i(-15));
+        assert_eq!(&i(-5) * &i(-3), i(15));
+        assert_eq!(&i(0) * &i(-3), Int::zero());
+    }
+
+    #[test]
+    fn euclidean_division_all_sign_combos() {
+        // (a, b) -> q rounds to -inf of a/b in euclidean sense, 0 <= r < |b|.
+        for (a, b) in [(7, 3), (-7, 3), (7, -3), (-7, -3), (6, 3), (-6, 3), (6, -2)] {
+            let (q, r) = i(a).div_rem_euclid(&i(b));
+            assert_eq!(&(&q * &i(b)) + &r, i(a), "a={a} b={b}");
+            assert!(r >= Int::zero() && r < i(b).abs(), "a={a} b={b} r={r}");
+        }
+        let (q, r) = i(-7).div_rem_euclid(&i(3));
+        assert_eq!((q, r), (i(-3), i(2)));
+        let (q, r) = i(-7).div_rem_euclid(&i(-3));
+        assert_eq!((q, r), (i(3), i(2)));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(i(-2) < i(1));
+        assert!(i(-5) < i(-2));
+        assert!(i(3) > i(2));
+        assert!(Int::zero() > i(-1));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(i(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(i(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(i(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(i(i64::MIN as i128 - 1).to_i64(), None);
+        assert_eq!(i(-42).to_f64(), -42.0);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for s in ["0", "-1", "42", "-123456789012345678901234567890"] {
+            let v: Int = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("+7".parse::<Int>().unwrap(), i(7));
+        assert!("--3".parse::<Int>().is_err());
+        assert_eq!("-0".parse::<Int>().unwrap(), Int::zero());
+    }
+}

@@ -1,0 +1,49 @@
+//! # sampcert-arith
+//!
+//! Arbitrary-precision exact arithmetic: [`Nat`] (naturals), [`Int`]
+//! (integers) and [`Rat`] (rationals in lowest terms).
+//!
+//! This crate is the numeric substrate of the SampCert reproduction. The
+//! paper's discrete Laplace and Gaussian samplers (Canonne, Kamath & Steinke,
+//! NeurIPS 2020) are *exact*: every Bernoulli trial compares uniform draws
+//! against rationals whose numerators and denominators grow with the noise
+//! scale, so fixed-width machine integers cannot implement them faithfully
+//! for all parameters. Lean obtains this arithmetic from `Nat`/`Int`/`Rat`
+//! in its prelude and Mathlib; here it is built from scratch on `u64` limbs
+//! with Knuth's Algorithm D for division.
+//!
+//! Floating point appears nowhere in this crate — a deliberate echo of the
+//! paper's central design constraint (Mironov's attack, Section 3 of the
+//! paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use sampcert_arith::{Int, Nat, Rat};
+//!
+//! // (|Y|·t·den − num)² / (2·num·t²·den): the Bernoulli parameter from the
+//! // discrete Gaussian sampling loop, exact at any scale.
+//! let (y, t, num, den) = (
+//!     Int::from(12_345i64),
+//!     Nat::from(1_000_001u64),
+//!     Nat::from(10u64).pow(12),
+//!     Nat::from(1u64),
+//! );
+//! let lhs = &(&y.abs() * &Int::from_nat(&t * &den)) - &Int::from_nat(num.clone());
+//! let p = Rat::new(
+//!     &lhs * &lhs,
+//!     &(&Nat::from(2u64) * &num) * &(&t.pow(2) * &den),
+//! );
+//! assert!(p > Rat::zero());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+mod nat;
+mod rat;
+
+pub use int::Int;
+pub use nat::{Nat, ParseNatError};
+pub use rat::{ParseRatError, Rat};

@@ -1,0 +1,863 @@
+//! Arbitrary-precision natural numbers.
+//!
+//! [`Nat`] is an unsigned integer of unbounded size, stored as little-endian
+//! `u64` limbs. It provides the exact arithmetic required by the discrete
+//! Laplace and Gaussian samplers: the Canonne–Kamath–Steinke algorithms
+//! manipulate rationals whose numerators and denominators (for example
+//! `(|Y|·t·den − num)²`) grow without bound in the scale parameter.
+//!
+//! The representation invariant is that `limbs` never has trailing zero
+//! limbs; zero is the empty limb vector. All public constructors and
+//! operations preserve this invariant.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Number of bits per limb.
+const LIMB_BITS: u32 = 64;
+
+/// An arbitrary-precision natural number (unsigned integer).
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_arith::Nat;
+///
+/// let a = Nat::from(10u64).pow(30);
+/// let b = Nat::from(7u64);
+/// let (q, r) = a.div_rem(&b);
+/// assert_eq!(&(&q * &b) + &r, a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs with no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The natural number zero.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert!(Nat::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The natural number one.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::one(), Nat::from(1u64));
+    /// ```
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Returns `true` when this number is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` when this number is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` when the low bit is zero (zero is even).
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert!(Nat::from(4u64).is_even());
+    /// assert!(!Nat::from(9u64).is_even());
+    /// ```
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Constructs a `Nat` from raw little-endian limbs, normalizing.
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Nat { limbs }
+    }
+
+    /// A view of the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Number of significant bits; zero has zero bits.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(255u64).bit_length(), 8);
+    /// assert_eq!(Nat::from(256u64).bit_length(), 9);
+    /// assert_eq!(Nat::zero().bit_length(), 0);
+    /// ```
+    pub fn bit_length(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => {
+                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64
+                    + (LIMB_BITS - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Keeps only the low `bits` bits (i.e. reduces modulo `2^bits`).
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(0b110101u64).low_bits(3), Nat::from(0b101u64));
+    /// assert_eq!(Nat::from(7u64).low_bits(0), Nat::zero());
+    /// ```
+    pub fn low_bits(&self, bits: u64) -> Nat {
+        if bits >= self.bit_length() {
+            return self.clone();
+        }
+        let whole = (bits / LIMB_BITS as u64) as usize;
+        let rem = (bits % LIMB_BITS as u64) as u32;
+        let mut limbs = self.limbs[..whole.min(self.limbs.len())].to_vec();
+        if rem > 0 {
+            if let Some(&l) = self.limbs.get(whole) {
+                limbs.push(l & ((1u64 << rem) - 1));
+            }
+        }
+        Nat::from_limbs(limbs)
+    }
+
+    /// Converts to `u64` when the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` when the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64`, rounding; very large values map to `f64::INFINITY`.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(12u64).to_f64(), 12.0);
+    /// ```
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => (self.limbs[1] as f64) * 2f64.powi(64) + self.limbs[0] as f64,
+            n => {
+                // Use the top two limbs for the mantissa and scale by the rest.
+                let hi = self.limbs[n - 1] as f64 * 2f64.powi(64) + self.limbs[n - 2] as f64;
+                hi * 2f64.powi(((n - 2) as i32) * 64)
+            }
+        }
+    }
+
+    /// Builds a `Nat` from big-endian bytes.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from_be_bytes(&[1, 0]), Nat::from(256u64));
+    /// ```
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut n = Nat::zero();
+        for &b in bytes {
+            n = &(&n << 8u32) + &Nat::from(b as u64);
+        }
+        n
+    }
+
+    /// Compares two naturals.
+    fn cmp_nat(&self, other: &Nat) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Adds two naturals.
+    fn add_nat(&self, other: &Nat) -> Nat {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// Subtracts `other` from `self`, returning `None` on underflow.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(5u64).checked_sub(&Nat::from(7u64)), None);
+    /// assert_eq!(Nat::from(7u64).checked_sub(&Nat::from(5u64)), Some(Nat::from(2u64)));
+    /// ```
+    pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if self.cmp_nat(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, u1) = self.limbs[i].overflowing_sub(b);
+            let (d2, u2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (u1 as u64) + (u2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Nat::from_limbs(out))
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    ///
+    /// This mirrors Lean's truncated natural subtraction, which the SampCert
+    /// sources use pervasively (for example `v - 1` in the Laplace loop).
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(3u64).saturating_sub(&Nat::from(8u64)), Nat::zero());
+    /// ```
+    pub fn saturating_sub(&self, other: &Nat) -> Nat {
+        self.checked_sub(other).unwrap_or_else(Nat::zero)
+    }
+
+    /// Multiplies two naturals (schoolbook).
+    fn mul_nat(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// Divides by a single limb, returning `(quotient, remainder)`.
+    fn div_rem_limb(&self, d: u64) -> (Nat, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Nat::from_limbs(out), rem as u64)
+    }
+
+    /// Euclidean division, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// let (q, r) = Nat::from(100u64).div_rem(&Nat::from(7u64));
+    /// assert_eq!((q, r), (Nat::from(14u64), Nat::from(2u64)));
+    /// ```
+    pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp_nat(divisor) {
+            Ordering::Less => return (Nat::zero(), self.clone()),
+            Ordering::Equal => return (Nat::one(), Nat::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, Nat::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Knuth Algorithm D for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &Nat) -> (Nat, Nat) {
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+        let shift = divisor.limbs[n - 1].leading_zeros();
+
+        // Normalized copies: u has one extra high limb.
+        let v = (divisor << shift).limbs;
+        let mut u = (self << shift).limbs;
+        u.resize(self.limbs.len() + 1, 0);
+
+        let mut q = vec![0u64; m + 1];
+        let b = 1u128 << 64;
+        for j in (0..=m).rev() {
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = top / v[n - 1] as u128;
+            let mut rhat = top % v[n - 1] as u128;
+            while qhat >= b
+                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u128;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply and subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - ((p as u64) as i128) - borrow;
+                u[j + i] = sub as u64;
+                borrow = if sub < 0 { 1 } else { 0 };
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) - borrow;
+            u[j + n] = sub as u64;
+
+            if sub < 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry2 = 0u128;
+                for i in 0..n {
+                    let s = u[j + i] as u128 + v[i] as u128 + carry2;
+                    u[j + i] = s as u64;
+                    carry2 = s >> 64;
+                }
+                u[j + n] = (u[j + n] as u128).wrapping_add(carry2) as u64;
+            }
+            q[j] = qhat as u64;
+        }
+        let rem = Nat::from_limbs(u[..n].to_vec()) >> shift;
+        (Nat::from_limbs(q), rem)
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(48u64).gcd(&Nat::from(36u64)), Nat::from(12u64));
+    /// assert_eq!(Nat::from(5u64).gcd(&Nat::zero()), Nat::from(5u64));
+    /// ```
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises to the power `exp` by repeated squaring.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(3u64).pow(5), Nat::from(243u64));
+    /// assert_eq!(Nat::from(0u64).pow(0), Nat::one());
+    /// ```
+    pub fn pow(&self, mut exp: u32) -> Nat {
+        let mut base = self.clone();
+        let mut acc = Nat::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_nat(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_nat(&base);
+            }
+        }
+        acc
+    }
+
+    /// Integer square root: the largest `r` with `r² ≤ self`.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(99u64).isqrt(), Nat::from(9u64));
+    /// assert_eq!(Nat::from(100u64).isqrt(), Nat::from(10u64));
+    /// ```
+    pub fn isqrt(&self) -> Nat {
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        // Newton's method with an initial guess from the bit length.
+        let mut x = Nat::one() << ((self.bit_length() / 2 + 1) as u32);
+        loop {
+            // y = (x + self / x) / 2
+            let (d, _) = self.div_rem(&x);
+            let y = (&x + &d).div_rem(&Nat::from(2u64)).0;
+            if y.cmp_nat(&x) != Ordering::Less {
+                return x;
+            }
+            x = y;
+        }
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_nat(other)
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Nat {
+            fn from(v: $t) -> Self {
+                let v = v as u128;
+                Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+            }
+        }
+    )*};
+}
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+impl Add for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: &Nat) -> Nat {
+        self.add_nat(rhs)
+    }
+}
+
+impl Add for Nat {
+    type Output = Nat;
+    fn add(self, rhs: Nat) -> Nat {
+        self.add_nat(&rhs)
+    }
+}
+
+impl AddAssign<&Nat> for Nat {
+    fn add_assign(&mut self, rhs: &Nat) {
+        *self = self.add_nat(rhs);
+    }
+}
+
+impl Sub for &Nat {
+    type Output = Nat;
+    /// # Panics
+    /// Panics on underflow; use [`Nat::checked_sub`] or
+    /// [`Nat::saturating_sub`] for non-panicking variants.
+    fn sub(self, rhs: &Nat) -> Nat {
+        self.checked_sub(rhs).expect("Nat subtraction underflow")
+    }
+}
+
+impl Sub for Nat {
+    type Output = Nat;
+    fn sub(self, rhs: Nat) -> Nat {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Nat> for Nat {
+    fn sub_assign(&mut self, rhs: &Nat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Nat {
+    type Output = Nat;
+    fn mul(self, rhs: &Nat) -> Nat {
+        self.mul_nat(rhs)
+    }
+}
+
+impl Mul for Nat {
+    type Output = Nat;
+    fn mul(self, rhs: Nat) -> Nat {
+        self.mul_nat(&rhs)
+    }
+}
+
+impl MulAssign<&Nat> for Nat {
+    fn mul_assign(&mut self, rhs: &Nat) {
+        *self = self.mul_nat(rhs);
+    }
+}
+
+impl Div for &Nat {
+    type Output = Nat;
+    fn div(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div for Nat {
+    type Output = Nat;
+    fn div(self, rhs: Nat) -> Nat {
+        self.div_rem(&rhs).0
+    }
+}
+
+impl Rem for &Nat {
+    type Output = Nat;
+    fn rem(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for Nat {
+    type Output = Nat;
+    fn rem(self, rhs: Nat) -> Nat {
+        self.div_rem(&rhs).1
+    }
+}
+
+impl Shl<u32> for &Nat {
+    type Output = Nat;
+    fn shl(self, bits: u32) -> Nat {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        let bit_shift = bits % LIMB_BITS;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Nat::from_limbs(out)
+    }
+}
+
+impl Shl<u32> for Nat {
+    type Output = Nat;
+    fn shl(self, bits: u32) -> Nat {
+        &self << bits
+    }
+}
+
+impl Shr<u32> for &Nat {
+    type Output = Nat;
+    fn shr(self, bits: u32) -> Nat {
+        let limb_shift = (bits / LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Nat::zero();
+        }
+        let bit_shift = bits % LIMB_BITS;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+            }
+        }
+        Nat::from_limbs(out)
+    }
+}
+
+impl Shr<u32> for Nat {
+    type Output = Nat;
+    fn shr(self, bits: u32) -> Nat {
+        &self >> bits
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 fits in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut n = self.clone();
+        let mut chunks = Vec::new();
+        while !n.is_zero() {
+            let (q, r) = n.div_rem_limb(CHUNK);
+            chunks.push(r);
+            n = q;
+        }
+        let mut s = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat({self})")
+    }
+}
+
+/// Error returned when parsing a [`Nat`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNatError;
+
+impl fmt::Display for ParseNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid natural number literal")
+    }
+}
+
+impl std::error::Error for ParseNatError {}
+
+impl FromStr for Nat {
+    type Err = ParseNatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNatError);
+        }
+        let mut n = Nat::zero();
+        let ten19 = Nat::from(10_000_000_000_000_000_000u64);
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(19);
+            let chunk: u64 = s[i..i + take].parse().map_err(|_| ParseNatError)?;
+            let scale = if take == 19 {
+                ten19.clone()
+            } else {
+                Nat::from(10u64.pow(take as u32))
+            };
+            n = &(&n * &scale) + &Nat::from(chunk);
+            i += take;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Nat::zero().is_zero());
+        assert!(Nat::one().is_one());
+        assert_eq!(Nat::default(), Nat::zero());
+        assert_eq!(Nat::zero().bit_length(), 0);
+    }
+
+    #[test]
+    fn add_basic_and_carry() {
+        assert_eq!(&n(2) + &n(3), n(5));
+        assert_eq!(&n(u64::MAX as u128) + &n(1), n(1u128 << 64));
+        let big = n(u128::MAX);
+        let sum = &big + &big;
+        assert_eq!(sum, &n(u128::MAX) * &n(2));
+    }
+
+    #[test]
+    fn sub_and_underflow() {
+        assert_eq!(&n(10) - &n(4), n(6));
+        assert_eq!(n(4).checked_sub(&n(10)), None);
+        assert_eq!(n(4).saturating_sub(&n(10)), Nat::zero());
+        assert_eq!(&n(1u128 << 64) - &n(1), n(u64::MAX as u128));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = &n(1) - &n(2);
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        assert_eq!(&n(0) * &n(123), Nat::zero());
+        let a = n(u64::MAX as u128);
+        assert_eq!(&a * &a, n((u64::MAX as u128) * (u64::MAX as u128)));
+        let big = Nat::from(10u64).pow(40);
+        let sq = &big * &big;
+        assert_eq!(sq, Nat::from(10u64).pow(80));
+    }
+
+    #[test]
+    fn div_rem_small_divisor() {
+        let (q, r) = n(1000).div_rem(&n(7));
+        assert_eq!((q, r), (n(142), n(6)));
+        let (q, r) = n(5).div_rem(&n(9));
+        assert_eq!((q, r), (Nat::zero(), n(5)));
+        let (q, r) = n(9).div_rem(&n(9));
+        assert_eq!((q, r), (Nat::one(), Nat::zero()));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = Nat::from(10u64).pow(50);
+        let b = Nat::from(10u64).pow(21); // multi-limb divisor
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Nat::from(10u64).pow(29));
+        assert!(r.is_zero());
+
+        let a2 = &a + &n(12345);
+        let (q2, r2) = a2.div_rem(&b);
+        assert_eq!(q2, Nat::from(10u64).pow(29));
+        assert_eq!(r2, n(12345));
+    }
+
+    #[test]
+    fn div_rem_knuth_addback_path() {
+        // Exercise the rare add-back branch: divisor with top limb just above
+        // B/2 and dividend engineered so qhat overestimates.
+        let v = Nat::from_limbs(vec![0, 0x8000_0000_0000_0001]);
+        let u = Nat::from_limbs(vec![u64::MAX, u64::MAX, 0x8000_0000_0000_0000]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = n(1).div_rem(&Nat::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(&n(1) << 70u32, Nat::from(1u128 << 70));
+        assert_eq!(&Nat::from(1u128 << 70) >> 70u32, Nat::one());
+        assert_eq!(&n(0) << 10u32, Nat::zero());
+        assert_eq!(&n(12345) >> 200u32, Nat::zero());
+        let a = Nat::from(10u64).pow(30);
+        assert_eq!(&(&a << 64u32) >> 64u32, a);
+        assert_eq!(&(&a << 13u32) >> 13u32, a);
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(n(48).gcd(&n(36)), n(12));
+        assert_eq!(n(0).gcd(&n(7)), n(7));
+        assert_eq!(n(7).gcd(&n(0)), n(7));
+        assert_eq!(n(17).gcd(&n(13)), Nat::one());
+        let a = Nat::from(2u64).pow(100);
+        let b = Nat::from(2u64).pow(60) * Nat::from(3u64);
+        assert_eq!(a.gcd(&b), Nat::from(2u64).pow(60));
+    }
+
+    #[test]
+    fn pow_and_isqrt() {
+        assert_eq!(n(2).pow(10), n(1024));
+        assert_eq!(n(7).pow(0), Nat::one());
+        for v in [0u128, 1, 2, 3, 4, 8, 9, 15, 16, 17, 1 << 40, (1 << 40) + 1] {
+            let r = n(v).isqrt();
+            let r2 = &r * &r;
+            assert!(r2 <= n(v));
+            let r1 = &r + &Nat::one();
+            assert!(&r1 * &r1 > n(v));
+        }
+        let big = Nat::from(10u64).pow(60);
+        assert_eq!(big.isqrt(), Nat::from(10u64).pow(30));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "42", "18446744073709551616", "123456789012345678901234567890"] {
+            let v: Nat = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<Nat>().is_err());
+        assert!("12a".parse::<Nat>().is_err());
+        assert!("-3".parse::<Nat>().is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(3) < n(4));
+        assert!(Nat::from(1u128 << 64) > n(u64::MAX as u128));
+        assert_eq!(n(5).cmp(&n(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(n(12).to_u64(), Some(12));
+        assert_eq!(Nat::from(1u128 << 64).to_u64(), None);
+        assert_eq!(Nat::from(1u128 << 64).to_u128(), Some(1u128 << 64));
+        assert_eq!(Nat::from(10u64).pow(40).to_u128(), None);
+        assert!((Nat::from(10u64).pow(25).to_f64() - 1e25).abs() / 1e25 < 1e-9);
+    }
+
+    #[test]
+    fn from_be_bytes() {
+        assert_eq!(Nat::from_be_bytes(&[]), Nat::zero());
+        assert_eq!(Nat::from_be_bytes(&[0x12, 0x34]), n(0x1234));
+        let bytes = [0xffu8; 16];
+        assert_eq!(Nat::from_be_bytes(&bytes), n(u128::MAX));
+    }
+
+    #[test]
+    fn bits() {
+        let v = n(0b1011);
+        assert!(v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3) && !v.bit(4));
+        assert!(!v.bit(1000));
+        assert!(v.is_even() == false);
+    }
+}

@@ -1,0 +1,458 @@
+//! Arbitrary-precision rational numbers.
+//!
+//! [`Rat`] is a fraction of an [`Int`] numerator over a strictly positive
+//! [`Nat`] denominator, always in lowest terms. Exact rationals are the value
+//! space of the paper's probability mass functions in the `Mass` semantics'
+//! exact mode, and the parameter space of every sampler (privacy parameters
+//! are `γ₁/γ₂` pairs of positive naturals — never floating point).
+
+use crate::{Int, Nat};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number in lowest terms with positive denominator.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_arith::Rat;
+///
+/// let half = Rat::new(1.into(), 2u64.into());
+/// let third = Rat::new(1.into(), 3u64.into());
+/// assert_eq!((&half + &third).to_string(), "5/6");
+/// assert!(half > third);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    /// Numerator, carrying the sign.
+    num: Int,
+    /// Denominator, always strictly positive and coprime with `|num|`.
+    den: Nat,
+}
+
+impl Rat {
+    /// The rational zero.
+    pub fn zero() -> Self {
+        Rat { num: Int::zero(), den: Nat::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> Self {
+        Rat { num: Int::one(), den: Nat::one() }
+    }
+
+    /// Creates a rational from a numerator and denominator, reducing to
+    /// lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    ///
+    /// ```
+    /// use sampcert_arith::{Int, Nat, Rat};
+    /// let r = Rat::new(Int::from(-4i64), Nat::from(6u64));
+    /// assert_eq!(r.to_string(), "-2/3");
+    /// ```
+    pub fn new(num: Int, den: Nat) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            Rat { num, den }
+        } else {
+            Rat {
+                num: Int::from_sign_mag(num.is_negative(), num.magnitude() / &g),
+                den: &den / &g,
+            }
+        }
+    }
+
+    /// Creates a rational from two unsigned machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_ratio(num: u64, den: u64) -> Self {
+        Rat::new(Int::from(num), Nat::from(den))
+    }
+
+    /// Creates an integer-valued rational.
+    pub fn from_int(v: impl Into<Int>) -> Self {
+        Rat { num: v.into(), den: Nat::one() }
+    }
+
+    /// The numerator (sign-carrying, lowest terms).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// The denominator (positive, lowest terms).
+    pub fn denom(&self) -> &Nat {
+        &self.den
+    }
+
+    /// Returns `true` when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` when the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat {
+            num: Int::from_sign_mag(self.num.is_negative(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// Floor: the greatest integer `≤ self`.
+    ///
+    /// ```
+    /// use sampcert_arith::{Int, Nat, Rat};
+    /// assert_eq!(Rat::new(Int::from(-7i64), Nat::from(2u64)).floor(), Int::from(-4i64));
+    /// assert_eq!(Rat::new(Int::from(7i64), Nat::from(2u64)).floor(), Int::from(3i64));
+    /// ```
+    pub fn floor(&self) -> Int {
+        self.num.div_rem_euclid(&Int::from_nat(self.den.clone())).0
+    }
+
+    /// Ceiling: the least integer `≥ self`.
+    pub fn ceil(&self) -> Int {
+        -&((-&self.num).div_rem_euclid(&Int::from_nat(self.den.clone())).0)
+    }
+
+    /// Raises to an integer power (negative powers invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics when raising zero to a negative power.
+    pub fn powi(&self, exp: i32) -> Rat {
+        if exp >= 0 {
+            Rat {
+                num: Int::from_sign_mag(
+                    self.num.is_negative() && exp % 2 == 1,
+                    self.num.magnitude().pow(exp as u32),
+                ),
+                den: self.den.pow(exp as u32),
+            }
+        } else {
+            self.recip().powi(-exp)
+        }
+    }
+
+    /// Approximates as `f64` with one correctly-scaled division.
+    ///
+    /// The conversion is exact when numerator and denominator fit in the
+    /// `f64` mantissa; otherwise accurate to a few ulps, which is sufficient
+    /// for the statistical checks (exact comparisons use `Rat` directly).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        // Scale so both parts carry ~100 significant bits into the division.
+        let nb = self.num.magnitude().bit_length() as i64;
+        let db = self.den.bit_length() as i64;
+        let shift_n = (nb - 100).max(0) as u32;
+        let shift_d = (db - 100).max(0) as u32;
+        let n = (self.num.magnitude() >> shift_n).to_f64();
+        let d = (&self.den >> shift_d).to_f64();
+        let v = n / d * 2f64.powi(shift_n as i32 - shift_d as i32);
+        if self.num.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Compares with another rational by cross-multiplication (exact).
+    fn cmp_rat(&self, other: &Rat) -> Ordering {
+        let lhs = &self.num * &Int::from_nat(other.den.clone());
+        let rhs = &other.num * &Int::from_nat(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<u64> for Rat {
+    fn from(v: u64) -> Self {
+        Rat::from_int(v)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::from_int(v)
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(v: Int) -> Self {
+        Rat::from_int(v)
+    }
+}
+
+impl From<Nat> for Rat {
+    fn from(v: Nat) -> Self {
+        Rat { num: Int::from_nat(v), den: Nat::one() }
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        let num = &(&self.num * &Int::from_nat(rhs.den.clone()))
+            + &(&rhs.num * &Int::from_nat(self.den.clone()));
+        Rat::new(num, &self.den * &rhs.den)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    /// # Panics
+    /// Panics when dividing by zero.
+    fn div(self, rhs: &Rat) -> Rat {
+        self * &rhs.recip()
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        &self / &rhs
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_rat(other)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+/// Error returned when parsing a [`Rat`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError;
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid rational literal (expected `a` or `a/b`)")
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => Ok(Rat::from_int(s.parse::<Int>().map_err(|_| ParseRatError)?)),
+            Some((n, d)) => {
+                let num: Int = n.parse().map_err(|_| ParseRatError)?;
+                let den: Nat = d.parse().map_err(|_| ParseRatError)?;
+                if den.is_zero() {
+                    return Err(ParseRatError);
+                }
+                Ok(Rat::new(num, den))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> Rat {
+        Rat::new(Int::from(n), Nat::from(d))
+    }
+
+    #[test]
+    fn reduction_and_sign() {
+        assert_eq!(r(4, 6), r(2, 3));
+        assert_eq!(r(-4, 6).to_string(), "-2/3");
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(6, 3).to_string(), "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(Int::one(), Nat::zero());
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(1, 2) / &r(1, 4), r(2, 1));
+        assert_eq!(-&r(1, 2), r(-1, 2));
+        assert_eq!(r(-2, 5).recip(), r(-5, 2));
+    }
+
+    #[test]
+    fn ordering_cross_mul() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rat::one());
+        assert!(r(-1, 2) < Rat::zero());
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), Int::from(3i64));
+        assert_eq!(r(7, 2).ceil(), Int::from(4i64));
+        assert_eq!(r(-7, 2).floor(), Int::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), Int::from(-3i64));
+        assert_eq!(r(6, 2).floor(), Int::from(3i64));
+        assert_eq!(r(6, 2).ceil(), Int::from(3i64));
+    }
+
+    #[test]
+    fn powers() {
+        assert_eq!(r(2, 3).powi(3), r(8, 27));
+        assert_eq!(r(2, 3).powi(-2), r(9, 4));
+        assert_eq!(r(-2, 3).powi(2), r(4, 9));
+        assert_eq!(r(-2, 3).powi(3), r(-8, 27));
+        assert_eq!(r(5, 7).powi(0), Rat::one());
+    }
+
+    #[test]
+    fn f64_conversion() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-3, 4).to_f64(), -0.75);
+        let big = Rat::new(
+            Int::from_nat(Nat::from(10u64).pow(40)),
+            Nat::from(10u64).pow(39),
+        );
+        assert!((big.to_f64() - 10.0).abs() < 1e-9);
+        // Ratio of two huge coprime numbers.
+        let a = Nat::from(2u64).pow(200);
+        let b = &Nat::from(3u64).pow(120) + &Nat::one();
+        let q = Rat::new(Int::from_nat(a.clone()), b.clone());
+        let approx = q.to_f64();
+        let expect = 2f64.powi(200) / 3f64.powi(120);
+        assert!((approx - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("3/4".parse::<Rat>().unwrap(), r(3, 4));
+        assert_eq!("-6/8".parse::<Rat>().unwrap(), r(-3, 4));
+        assert_eq!("5".parse::<Rat>().unwrap(), r(5, 1));
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("a/b".parse::<Rat>().is_err());
+    }
+}

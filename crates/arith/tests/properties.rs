@@ -1,0 +1,196 @@
+//! Property-based tests for the bignum substrate.
+//!
+//! Every algebraic law the samplers rely on is checked against `u128`
+//! reference semantics on random inputs, plus laws stated directly on
+//! multi-limb values (ring axioms, Euclidean division, ordered-field laws
+//! for rationals).
+
+use proptest::prelude::*;
+use sampcert_arith::{Int, Nat, Rat};
+
+fn nat_of(v: u128) -> Nat {
+    Nat::from(v)
+}
+
+/// Strategy for naturals spanning one to four limbs.
+fn arb_nat() -> impl Strategy<Value = Nat> {
+    prop::collection::vec(any::<u64>(), 0..4).prop_map(|ls| {
+        ls.iter()
+            .fold(Nat::zero(), |acc, &l| &(&acc << 64u32) + &Nat::from(l))
+    })
+}
+
+fn arb_int() -> impl Strategy<Value = Int> {
+    (arb_nat(), any::<bool>()).prop_map(|(m, neg)| Int::from_sign_mag(neg, m))
+}
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (arb_int(), arb_nat()).prop_map(|(n, d)| {
+        let d = if d.is_zero() { Nat::one() } else { d };
+        Rat::new(n, d)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(&nat_of(a as u128) + &nat_of(b as u128), nat_of(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(&nat_of(a as u128) * &nat_of(b as u128), nat_of(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u64..) {
+        let (q, r) = nat_of(a).div_rem(&nat_of(b as u128));
+        prop_assert_eq!(q, nat_of(a / b as u128));
+        prop_assert_eq!(r, nat_of(a % b as u128));
+    }
+
+    #[test]
+    fn add_commutes(a in arb_nat(), b in arb_nat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_nat(), b in arb_nat()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_nat(), b in arb_nat()) {
+        let b = if b.is_zero() { Nat::one() } else { b };
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn shifts_roundtrip(a in arb_nat(), s in 0u32..200) {
+        prop_assert_eq!(&(&a << s) >> s, a);
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in arb_nat(), s in 0u32..100) {
+        prop_assert_eq!(&a << s, &a * &Nat::from(2u64).pow(s));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_nat(), b in arb_nat()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn isqrt_bounds(a in arb_nat()) {
+        let r = a.isqrt();
+        prop_assert!(&r * &r <= a);
+        let r1 = &r + &Nat::one();
+        prop_assert!(&r1 * &r1 > a);
+    }
+
+    #[test]
+    fn nat_display_parse_roundtrip(a in arb_nat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Nat>().unwrap(), a);
+    }
+
+    #[test]
+    fn int_ring_laws(a in arb_int(), b in arb_int(), c in arb_int()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a + &(-&a), Int::zero());
+    }
+
+    #[test]
+    fn int_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ia, ib) = (Int::from(a), Int::from(b));
+        prop_assert_eq!(&ia + &ib, Int::from(a as i128 + b as i128));
+        prop_assert_eq!(&ia * &ib, Int::from(a as i128 * b as i128));
+        prop_assert_eq!(&ia - &ib, Int::from(a as i128 - b as i128));
+        prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
+    }
+
+    #[test]
+    fn int_euclid_division(a in arb_int(), b in arb_int()) {
+        let b = if b.is_zero() { Int::one() } else { b };
+        let (q, r) = a.div_rem_euclid(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r >= Int::zero());
+        prop_assert!(r < b.abs());
+    }
+
+    #[test]
+    fn int_euclid_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let (q, r) = Int::from(a).div_rem_euclid(&Int::from(b));
+        prop_assert_eq!(q, Int::from((a as i128).div_euclid(b as i128)));
+        prop_assert_eq!(r, Int::from((a as i128).rem_euclid(b as i128)));
+    }
+
+    #[test]
+    fn rat_field_laws(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rat::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rat::one());
+        }
+    }
+
+    #[test]
+    fn rat_is_reduced(a in arb_rat()) {
+        prop_assert!(a.numer().magnitude().gcd(a.denom()).is_one()
+            || a.is_zero() && a.denom().is_one());
+    }
+
+    #[test]
+    fn rat_order_translation_invariant(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        if a < b {
+            prop_assert!(&a + &c < &b + &c);
+        }
+    }
+
+    #[test]
+    fn rat_floor_ceil(a in arb_rat()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rat::from_int(f.clone()) <= a);
+        prop_assert!(Rat::from_int(c.clone()) >= a);
+        let diff = &c - &f;
+        prop_assert!(diff == Int::zero() || diff == Int::one());
+    }
+
+    #[test]
+    fn rat_to_f64_close(n in any::<i32>(), d in 1u32..) {
+        let r = Rat::new(Int::from(n as i64), Nat::from(d as u64));
+        let expect = n as f64 / d as f64;
+        prop_assert!((r.to_f64() - expect).abs() <= expect.abs() * 1e-12 + 1e-300);
+    }
+
+    #[test]
+    fn rat_display_parse_roundtrip(a in arb_rat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rat>().unwrap(), a);
+    }
+}

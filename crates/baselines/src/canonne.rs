@@ -1,0 +1,275 @@
+//! A faithful port of the Canonne–Kamath–Steinke **reference
+//! implementation** (`sample_dgauss`), the paper's first baseline in
+//! Fig. 4.
+//!
+//! The reference code is written in Python over `fractions.Fraction`;
+//! this port preserves its structure function-for-function over
+//! [`Rat`]/[`Nat`] — including the design choices that make it slower
+//! than SampCert's extracted sampler: general-purpose fraction arithmetic
+//! with gcd reduction on every operation, fractions constructed in inner
+//! loops, and no algorithm switching. The *algorithms* are the same family
+//! as `sampcert-samplers`; the constant-factor gap between this port and
+//! the fused/extracted samplers reproduces the `sample_dgauss` vs
+//! SampCert comparison (shape, not absolute numbers — see EXPERIMENTS.md).
+
+use sampcert_arith::{Int, Nat, Rat};
+use sampcert_slang::ByteSource;
+
+/// `sample_uniform(m)`: uniform in `[0, m)` by bit rejection.
+fn sample_uniform(m: &Nat, src: &mut dyn ByteSource) -> Nat {
+    assert!(!m.is_zero(), "sample_uniform: empty range");
+    let bits = m.bit_length();
+    let n_bytes = bits.div_ceil(8);
+    loop {
+        let mut bytes = Vec::with_capacity(n_bytes as usize);
+        for _ in 0..n_bytes {
+            bytes.push(src.next_byte());
+        }
+        let v = Nat::from_be_bytes(&bytes).low_bits(bits);
+        if v < *m {
+            return v;
+        }
+    }
+}
+
+/// `sample_bernoulli(p)` for a fraction `p ∈ [0, 1]`.
+fn sample_bernoulli(p: &Rat, src: &mut dyn ByteSource) -> bool {
+    debug_assert!(!p.is_negative() && *p <= Rat::one());
+    let m = sample_uniform(p.denom(), src);
+    Int::from_nat(m) < *p.numer()
+}
+
+/// `sample_bernoulli_exp1(x)`: Bernoulli(e^{−x}) for `x ∈ [0, 1]`.
+fn sample_bernoulli_exp1(x: &Rat, src: &mut dyn ByteSource) -> bool {
+    let mut k = 1u64;
+    loop {
+        // The reference constructs the fraction x/k afresh each trial.
+        let trial = x / &Rat::from_int(k as i64);
+        if sample_bernoulli(&trial, src) {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    // First failure at trial k: the alternating series makes the success
+    // probability e^{−x} exactly when k is odd (the reference's
+    // `return k % 2`).
+    k % 2 == 1
+}
+
+/// `sample_bernoulli_exp(x)`: Bernoulli(e^{−x}) for any `x ≥ 0`.
+fn sample_bernoulli_exp(x: &Rat, src: &mut dyn ByteSource) -> bool {
+    let mut x = x.clone();
+    let one = Rat::one();
+    while x > one {
+        if sample_bernoulli_exp1(&one, src) {
+            x = &x - &one;
+        } else {
+            return false;
+        }
+    }
+    sample_bernoulli_exp1(&x, src)
+}
+
+/// `sample_geometric_exp_slow(x)`: Geometric(1 − e^{−x}) supported on
+/// `{0, 1, …}` by repeated `e^{−x}` trials.
+fn sample_geometric_exp_slow(x: &Rat, src: &mut dyn ByteSource) -> u64 {
+    let mut k = 0u64;
+    while sample_bernoulli_exp(x, src) {
+        k += 1;
+    }
+    k
+}
+
+/// `sample_geometric_exp_fast(x)`: same distribution via the
+/// uniform-fractional-part decomposition (`x = s/t`).
+fn sample_geometric_exp_fast(x: &Rat, src: &mut dyn ByteSource) -> u64 {
+    if x.is_zero() {
+        return 0;
+    }
+    let t = x.denom().clone();
+    let s = x.numer().magnitude().clone();
+    let u = loop {
+        let u = sample_uniform(&t, src);
+        let frac = Rat::new(Int::from_nat(u.clone()), t.clone());
+        if sample_bernoulli_exp1(&frac, src) {
+            break u;
+        }
+    };
+    let v = sample_geometric_exp_slow(&Rat::one(), src);
+    let value = &(&Nat::from(v) * &t) + &u;
+    (&value / &s)
+        .to_u64()
+        .expect("geometric sample exceeds u64")
+}
+
+/// `sample_dlaplace(scale)`: discrete Laplace on ℤ with the given scale.
+pub fn sample_dlaplace(scale: &Rat, src: &mut dyn ByteSource) -> i64 {
+    assert!(*scale > Rat::zero(), "sample_dlaplace: nonpositive scale");
+    let inv = scale.recip();
+    loop {
+        let sign = sample_bernoulli(&Rat::from_ratio(1, 2), src);
+        let magnitude = sample_geometric_exp_fast(&inv, src) as i64;
+        if sign && magnitude == 0 {
+            continue;
+        }
+        return if sign { -magnitude } else { magnitude };
+    }
+}
+
+/// `floorsqrt(x)`: largest integer `n` with `n² ≤ x`, for a fraction `x`.
+fn floorsqrt(x: &Rat) -> Nat {
+    debug_assert!(!x.is_negative());
+    // Start from the integer part's isqrt and adjust (the reference uses
+    // a doubling-then-bisection search; the result is identical).
+    let mut n = x.floor().magnitude().isqrt();
+    let le = |n: &Nat| Rat::from(n.clone()).powi(2) <= *x;
+    while !le(&n) {
+        n = &n - &Nat::one();
+    }
+    loop {
+        let next = &n + &Nat::one();
+        if le(&next) {
+            n = next;
+        } else {
+            return n;
+        }
+    }
+}
+
+/// `sample_dgauss(σ²)`: the reference discrete Gaussian sampler.
+///
+/// # Panics
+///
+/// Panics if `sigma2` is not strictly positive.
+pub fn sample_dgauss(sigma2: &Rat, src: &mut dyn ByteSource) -> i64 {
+    assert!(*sigma2 > Rat::zero(), "sample_dgauss: nonpositive variance");
+    let t = Rat::from(&floorsqrt(sigma2) + &Nat::one());
+    loop {
+        let candidate = sample_dlaplace(&t, src);
+        // bias = (|Y| − σ²/t)² / (2σ²), exactly as the reference writes it.
+        let abs_y = Rat::from_int(candidate.abs());
+        let centered = &abs_y - &(sigma2 / &t);
+        let bias = &(&centered * &centered) / &(&Rat::from_ratio(2, 1) * sigma2);
+        if sample_bernoulli_exp(&bias, src) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_slang::SeededByteSource;
+
+    fn rat(n: i64, d: u64) -> Rat {
+        Rat::new(Int::from(n), Nat::from(d))
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut src = SeededByteSource::new(1);
+        let p = rat(3, 10);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| sample_bernoulli(&p, &mut src)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn bernoulli_exp_frequency() {
+        let mut src = SeededByteSource::new(2);
+        for (x, d) in [(1i64, 2u64), (1, 1), (5, 2)] {
+            let p = rat(x, d);
+            let expect = (-(x as f64) / d as f64).exp();
+            let n = 20_000;
+            let hits = (0..n).filter(|_| sample_bernoulli_exp(&p, &mut src)).count();
+            let freq = hits as f64 / n as f64;
+            assert!((freq - expect).abs() < 0.02, "x={x}/{d}: freq={freq} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn geometric_fast_and_slow_agree_in_mean() {
+        let mut src = SeededByteSource::new(3);
+        let x = rat(1, 3);
+        let n = 10_000;
+        let mean = |f: &mut dyn FnMut(&mut SeededByteSource) -> u64, src: &mut SeededByteSource| {
+            (0..n).map(|_| f(src)).sum::<u64>() as f64 / n as f64
+        };
+        let slow = mean(&mut |s| sample_geometric_exp_slow(&x, s), &mut src);
+        let fast = mean(&mut |s| sample_geometric_exp_fast(&x, s), &mut src);
+        // E = e^{-x}/(1-e^{-x}) ≈ 2.5277
+        let expect = (-1.0f64 / 3.0).exp() / (1.0 - (-1.0f64 / 3.0).exp());
+        assert!((slow - expect).abs() < 0.1, "slow={slow}");
+        assert!((fast - expect).abs() < 0.1, "fast={fast}");
+    }
+
+    #[test]
+    fn dlaplace_moments() {
+        let mut src = SeededByteSource::new(4);
+        let scale = rat(3, 1);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0f64, 0f64);
+        for _ in 0..n {
+            let z = sample_dlaplace(&scale, &mut src) as f64;
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        let e = (1.0f64 / 3.0).exp();
+        let expect = 2.0 * e / (e - 1.0) / (e - 1.0);
+        assert!(mean.abs() < 0.15, "mean={mean}");
+        assert!((var - expect).abs() / expect < 0.06, "var={var} expect={expect}");
+    }
+
+    #[test]
+    fn floorsqrt_cases() {
+        assert_eq!(floorsqrt(&rat(0, 1)), Nat::zero());
+        assert_eq!(floorsqrt(&rat(1, 1)), Nat::from(1u64));
+        assert_eq!(floorsqrt(&rat(99, 1)), Nat::from(9u64));
+        assert_eq!(floorsqrt(&rat(100, 1)), Nat::from(10u64));
+        // 6.25: sqrt = 2.5, floor 2.
+        assert_eq!(floorsqrt(&rat(25, 4)), Nat::from(2u64));
+    }
+
+    #[test]
+    fn dgauss_moments() {
+        let mut src = SeededByteSource::new(5);
+        let sigma2 = rat(16, 1);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0f64, 0f64);
+        for _ in 0..n {
+            let z = sample_dgauss(&sigma2, &mut src) as f64;
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.15, "mean={mean}");
+        assert!((var - 16.0).abs() / 16.0 < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn dgauss_fractional_variance() {
+        let mut src = SeededByteSource::new(6);
+        let sigma2 = rat(9, 4); // σ = 1.5
+        let n = 20_000;
+        let sumsq: f64 = (0..n)
+            .map(|_| {
+                let z = sample_dgauss(&sigma2, &mut src) as f64;
+                z * z
+            })
+            .sum();
+        let var = sumsq / n as f64;
+        assert!((var - 2.25).abs() / 2.25 < 0.07, "var={var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonpositive variance")]
+    fn dgauss_rejects_zero_variance() {
+        let mut src = SeededByteSource::new(7);
+        let _ = sample_dgauss(&Rat::zero(), &mut src);
+    }
+}

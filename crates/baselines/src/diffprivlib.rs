@@ -1,0 +1,182 @@
+//! A port of IBM diffprivlib's samplers — the paper's second baseline.
+//!
+//! Two properties of diffprivlib matter for the evaluation (Section 4.2):
+//!
+//! 1. its discrete Gaussian draws the Laplace candidate by the
+//!    **geometric method** whose expected trial count grows linearly with
+//!    the scale — the source of the linear-in-σ runtime curve in Fig. 4
+//!    (fast at small σ, overtaken as σ grows);
+//! 2. it computes sampling parameters and Bernoulli biases with
+//!    **floating-point** arithmetic (`exp`, division), trading exactness
+//!    for speed — precisely the class of shortcut SampCert exists to
+//!    avoid. The bias error is tiny but unquantified; the paper's point is
+//!    assurance, not that diffprivlib's outputs are visibly wrong.
+
+use sampcert_slang::ByteSource;
+
+/// A uniform `f64` in `[0, 1)` from 53 random bits (the standard
+/// float-based uniform used throughout diffprivlib).
+pub fn uniform_f64(src: &mut dyn ByteSource) -> f64 {
+    let mut v: u64 = 0;
+    for _ in 0..7 {
+        v = (v << 8) | src.next_byte() as u64;
+    }
+    (v >> 3) as f64 * (1.0 / 9_007_199_254_740_992.0) // 2^-53
+}
+
+/// Bernoulli trial with a floating-point bias.
+fn bernoulli_f64(p: f64, src: &mut dyn ByteSource) -> bool {
+    uniform_f64(src) < p
+}
+
+/// diffprivlib-style discrete Laplace via the geometric method: magnitude
+/// `m ~ Geom(1 − e^{−1/scale})` with a float success probability, fair
+/// sign, `(+, 0)` resampled. Expected iterations `≈ scale + 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffprivlibLaplace {
+    /// `e^{−1/scale}`, precomputed in floating point.
+    p_continue: f64,
+}
+
+impl DiffprivlibLaplace {
+    /// Creates a sampler with the given (float) scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "DiffprivlibLaplace: nonpositive scale");
+        DiffprivlibLaplace { p_continue: (-1.0 / scale).exp() }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, src: &mut dyn ByteSource) -> i64 {
+        loop {
+            let mut magnitude = 0i64;
+            while bernoulli_f64(self.p_continue, src) {
+                magnitude += 1;
+            }
+            let negative = bernoulli_f64(0.5, src);
+            if negative && magnitude == 0 {
+                continue;
+            }
+            return if negative { -magnitude } else { magnitude };
+        }
+    }
+}
+
+/// diffprivlib-style discrete Gaussian (`GaussianDiscrete`): the
+/// Canonne rejection scheme with the geometric-method Laplace candidate
+/// and float-computed acceptance bias. Runtime linear in σ.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffprivlibGaussian {
+    sigma: f64,
+    t: f64,
+    lap: DiffprivlibLaplace,
+}
+
+impl DiffprivlibGaussian {
+    /// Creates a sampler for `N_ℤ(0, sigma²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "DiffprivlibGaussian: nonpositive sigma");
+        let t = sigma.floor() + 1.0;
+        DiffprivlibGaussian { sigma, t, lap: DiffprivlibLaplace::new(t) }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, src: &mut dyn ByteSource) -> i64 {
+        let sigma2 = self.sigma * self.sigma;
+        loop {
+            let y = self.lap.sample(src);
+            let centered = (y.abs() as f64) - sigma2 / self.t;
+            let bias = (-(centered * centered) / (2.0 * sigma2)).exp();
+            if bernoulli_f64(bias, src) {
+                return y;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_slang::SeededByteSource;
+
+    #[test]
+    fn uniform_f64_in_range_and_spread() {
+        let mut src = SeededByteSource::new(1);
+        let n = 10_000;
+        let vals: Vec<f64> = (0..n).map(|_| uniform_f64(&mut src)).collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let scale = 5.0f64;
+        let lap = DiffprivlibLaplace::new(scale);
+        let mut src = SeededByteSource::new(2);
+        let n = 30_000;
+        let (mut sum, mut sumsq) = (0f64, 0f64);
+        for _ in 0..n {
+            let z = lap.sample(&mut src) as f64;
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        let e = (1.0 / scale).exp();
+        let expect = 2.0 * e / (e - 1.0) / (e - 1.0);
+        assert!(mean.abs() < 0.3, "mean={mean}");
+        assert!((var - expect).abs() / expect < 0.06, "var={var} expect={expect}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let g = DiffprivlibGaussian::new(6.0);
+        let mut src = SeededByteSource::new(3);
+        let n = 30_000;
+        let (mut sum, mut sumsq) = (0f64, 0f64);
+        for _ in 0..n {
+            let z = g.sample(&mut src) as f64;
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.25, "mean={mean}");
+        assert!((var - 36.0).abs() / 36.0 < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn runtime_proxy_is_linear_in_sigma() {
+        // Count bytes consumed (a machine-independent runtime proxy): the
+        // geometric method's entropy use grows roughly linearly with σ.
+        use sampcert_slang::CountingByteSource;
+        let consumption = |sigma: f64| {
+            let g = DiffprivlibGaussian::new(sigma);
+            let mut src = CountingByteSource::new(SeededByteSource::new(4));
+            for _ in 0..300 {
+                g.sample(&mut src);
+            }
+            src.bytes_read() as f64 / 300.0
+        };
+        let at_5 = consumption(5.0);
+        let at_40 = consumption(40.0);
+        assert!(
+            at_40 > at_5 * 4.0,
+            "expected roughly linear growth: σ=5 → {at_5}, σ=40 → {at_40}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonpositive sigma")]
+    fn rejects_bad_sigma() {
+        let _ = DiffprivlibGaussian::new(0.0);
+    }
+}

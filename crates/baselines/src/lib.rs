@@ -1,0 +1,23 @@
+//! # sampcert-baselines
+//!
+//! The comparators of the paper's evaluation (Section 4.2), rebuilt:
+//!
+//! - [`canonne`]: a function-for-function port of Canonne–Kamath–Steinke's
+//!   reference implementation (`sample_dgauss`) over exact fractions —
+//!   the "sample_dgauss (Algorithm 1)" series of Fig. 4;
+//! - [`diffprivlib`]: IBM diffprivlib-style samplers — geometric-method
+//!   Laplace and a float-parameterized discrete Gaussian whose runtime is
+//!   linear in σ — the "diffprivlib (Algorithm 2)" series of Fig. 4;
+//! - [`mironov`]: the broken floating-point Laplace of Mironov's attack,
+//!   the workspace's positive control (the DP falsifier must flag it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonne;
+pub mod diffprivlib;
+pub mod mironov;
+
+pub use canonne::{sample_dgauss, sample_dlaplace};
+pub use diffprivlib::{uniform_f64, DiffprivlibGaussian, DiffprivlibLaplace};
+pub use mironov::{reachable_outputs, MironovLaplace};

@@ -1,0 +1,192 @@
+//! Mironov's broken floating-point Laplace mechanism (CCS 2012) — the
+//! attack that motivates the entire discrete-sampling program of the
+//! paper (Challenge 3, Section 1.1).
+//!
+//! The textbook implementation adds `−b·sign(u)·ln(1−2|u|)` to the true
+//! answer, with `u` a double-precision uniform. Because floating-point
+//! numbers are unevenly spaced, the *set of reachable outputs* depends on
+//! the true answer: there exist doubles reachable from query value `v`
+//! but not from `v + 1`. Observing such an output identifies the input
+//! exactly — an infinite-ε breach of the claimed ε-DP, invisible to any
+//! accuracy test.
+//!
+//! This module implements the vulnerable mechanism and the artifact the
+//! attack exploits ([`reachable_outputs`]); `sampcert-stattest`'s
+//! falsifier and the `float_attack` example use it as the positive
+//! control that the verification pipeline catches real bugs.
+
+use crate::diffprivlib::uniform_f64;
+use sampcert_slang::ByteSource;
+use std::collections::HashSet;
+
+/// The classic floating-point Laplace mechanism: `value + Lap(scale)`
+/// computed in `f64` by inverse-CDF sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct MironovLaplace {
+    scale: f64,
+}
+
+impl MironovLaplace {
+    /// Creates the (vulnerable) mechanism with the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "MironovLaplace: nonpositive scale");
+        MironovLaplace { scale }
+    }
+
+    /// One noised release of `value` — a double, as deployed systems did.
+    pub fn sample(&self, value: f64, src: &mut dyn ByteSource) -> f64 {
+        let u = uniform_f64(src) - 0.5;
+        let noise = -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln();
+        value + noise
+    }
+
+    /// The release, keyed by raw bit pattern (an injective integer view of
+    /// the double, suitable for the integer-event falsifier; the attack
+    /// does not need this precision — coarse bit truncation works too,
+    /// see [`Self::sample_bits_truncated`]).
+    pub fn sample_bits(&self, value: f64, src: &mut dyn ByteSource) -> i64 {
+        self.sample(value, src).to_bits() as i64
+    }
+
+    /// The release with the mantissa truncated to its top `keep` bits —
+    /// a *coarsened* view of the output. The support mismatch survives
+    /// coarsening precisely because the reachable-set gaps are structural,
+    /// not a matter of the last ulp.
+    pub fn sample_bits_truncated(&self, value: f64, keep: u32, src: &mut dyn ByteSource) -> i64 {
+        let mask = !((1u64 << (52 - keep)) - 1);
+        (self.sample(value, src).to_bits() & mask) as i64
+    }
+}
+
+impl MironovLaplace {
+    /// Decides whether `output` is reachable from query value `value` —
+    /// the membership test at the heart of Mironov's attack. Inverts the
+    /// noise function to the candidate uniform `u*` and round-trips the
+    /// handful of representable doubles around it; floating-point output
+    /// grids are sparse enough that a released double is reachable from
+    /// (almost) exactly one input.
+    pub fn is_reachable(&self, value: f64, output: f64) -> bool {
+        let noise = output - value;
+        // noise = −b·sign(u)·ln(1 − 2|u|); the log factor is nonpositive,
+        // so sign(noise) = sign(u) and |u| = (1 − e^{−|noise|/b})/2.
+        let mag = (1.0 - (-noise.abs() / self.scale).exp()) / 2.0;
+        let u_star = if noise >= 0.0 { mag } else { -mag };
+        // Scan the representable doubles around u*, and around the raw
+        // uniform grid point (u is `k·2⁻⁵³ − 0.5` for integer k).
+        let k = ((u_star + 0.5) * 9_007_199_254_740_992.0).round() as i64;
+        for dk in -4i64..=4 {
+            let u = ((k + dk) as f64) * (1.0 / 9_007_199_254_740_992.0) - 0.5;
+            let candidate = value + (-self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln());
+            if candidate == output {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Enumerates the outputs of the mechanism reachable from `value` over all
+/// `2^bits` possible top-`bits` randomness values (a coarse sweep of the
+/// uniform's range, enough to exhibit reachability gaps).
+pub fn reachable_outputs(mech: &MironovLaplace, value: f64, bits: u32) -> HashSet<u64> {
+    assert!(bits <= 20, "reachable_outputs: sweep too large");
+    let mut out = HashSet::new();
+    let n = 1u64 << bits;
+    for i in 0..n {
+        let u = (i as f64 + 0.5) / n as f64 - 0.5;
+        let noise = -mech.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln();
+        out.insert((value + noise).to_bits());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_slang::SeededByteSource;
+
+    #[test]
+    fn accuracy_looks_fine() {
+        // The broken mechanism *passes* accuracy checks — that is the
+        // point of the attack.
+        let m = MironovLaplace::new(2.0);
+        let mut src = SeededByteSource::new(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| m.sample(10.0, &mut src)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn reachable_sets_differ_between_neighbours() {
+        // The heart of Mironov's observation: outputs reachable from 0
+        // are (mostly) not reachable from 1 — the supports barely overlap,
+        // where true ε-DP demands they coincide.
+        let m = MironovLaplace::new(1.0);
+        let from_0 = reachable_outputs(&m, 0.0, 14);
+        let from_1 = reachable_outputs(&m, 1.0, 14);
+        let overlap = from_0.intersection(&from_1).count();
+        assert!(
+            (overlap as f64) < 0.01 * from_0.len() as f64,
+            "supports overlap too much to demonstrate the attack: {overlap}/{}",
+            from_0.len()
+        );
+    }
+
+    #[test]
+    fn truncated_bits_still_distinguish() {
+        // Even after truncating the mantissa, neighbouring inputs yield
+        // nearly disjoint output sets at moderate precision.
+        let m = MironovLaplace::new(1.0);
+        let mut src = SeededByteSource::new(2);
+        let n = 4000;
+        let a: HashSet<i64> =
+            (0..n).map(|_| m.sample_bits_truncated(0.0, 40, &mut src)).collect();
+        let b: HashSet<i64> =
+            (0..n).map(|_| m.sample_bits_truncated(1.0, 40, &mut src)).collect();
+        let overlap = a.intersection(&b).count();
+        assert!(
+            (overlap as f64) < 0.05 * a.len() as f64,
+            "overlap {overlap} of {}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn reachability_oracle_identifies_the_input() {
+        // The full attack: every released double is reachable from its
+        // true input, and (almost) never from the neighbouring one.
+        let m = MironovLaplace::new(1.0);
+        let mut src = SeededByteSource::new(5);
+        let n = 2_000;
+        let mut own = 0;
+        let mut other = 0;
+        for _ in 0..n {
+            let o = m.sample(0.0, &mut src);
+            if m.is_reachable(0.0, o) {
+                own += 1;
+            }
+            if m.is_reachable(1.0, o) {
+                other += 1;
+            }
+        }
+        assert!(own > n * 99 / 100, "oracle misses its own outputs: {own}/{n}");
+        // Most outputs are *provably* not from the neighbouring input —
+        // an infinite-ε event for every such release. (A minority falls
+        // on grid coincidences; the attack does not need them.)
+        assert!(
+            other < n * 3 / 10,
+            "neighbouring input explains too many outputs: {other}/{n}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonpositive scale")]
+    fn rejects_bad_scale() {
+        let _ = MironovLaplace::new(-1.0);
+    }
+}

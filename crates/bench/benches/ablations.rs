@@ -1,0 +1,117 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! - `laplace_switch`: the two verified Laplace loops across scales — the
+//!   data behind the `SWITCH_SCALE` constant and the paper's
+//!   "best of both worlds" optimization (§3.3.1);
+//! - `interp_overhead`: tagless-final interpreted sampler vs the fused
+//!   path — the cost of the extraction-shaped program representation
+//!   (the gap Fig. 5 measures between extracted and compiled);
+//! - `uniform_rejection`: exact `uniform_below` just below vs just above
+//!   a power of two — the microscopic cause of the Fig. 4/6 spikes;
+//! - `bernoulli_exp_neg`: the von Neumann `e^{−γ}` coin across γ, the
+//!   inner loop every sampler spends its time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sampcert_arith::Nat;
+use sampcert_samplers::{
+    bernoulli_exp_neg, discrete_laplace, uniform_below, FusedGaussian, LaplaceAlg,
+};
+use sampcert_slang::{Sampling, SeededByteSource};
+use sampcert_bench::GaussianImpl;
+
+fn bench_laplace_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_laplace_switch");
+    group.sample_size(20);
+    for &scale in &[1u64, 4, 8, 16, 32, 64, 256, 1024] {
+        for (name, alg) in [
+            ("geometric", LaplaceAlg::Geometric),
+            ("uniform", LaplaceAlg::Uniform),
+            ("switched", LaplaceAlg::Switched),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, scale), &scale, |b, &scale| {
+                let prog = discrete_laplace::<Sampling>(&Nat::from(scale), &Nat::one(), alg);
+                let mut src = SeededByteSource::new(3 ^ scale);
+                b.iter(|| prog.run(&mut src));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_interp_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interp_overhead");
+    group.sample_size(20);
+    for &sigma in &[5u64, 25] {
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", sigma),
+            &sigma,
+            |b, &sigma| {
+                let mut sampler = GaussianImpl::SampcertOptimized.build(sigma);
+                let mut src = SeededByteSource::new(5 ^ sigma);
+                b.iter(|| sampler(&mut src));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fused", sigma), &sigma, |b, &sigma| {
+            let g = FusedGaussian::new(sigma, 1, LaplaceAlg::Switched);
+            let mut src = SeededByteSource::new(5 ^ sigma);
+            b.iter(|| g.sample(&mut src));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("extracted_vm", sigma),
+            &sigma,
+            |b, &sigma| {
+                // The deep-IR bytecode VM (the Dafny→Python-analogue path).
+                let kind = if sigma + 1 >= sampcert_samplers::SWITCH_SCALE {
+                    sampcert_extract::LoopKind::Uniform
+                } else {
+                    sampcert_extract::LoopKind::Geometric
+                };
+                let program = sampcert_extract::gaussian_program(sigma, 1, kind);
+                let vm = sampcert_extract::Vm::new(sampcert_extract::compile(&program));
+                let mut src = SeededByteSource::new(5 ^ sigma);
+                b.iter(|| vm.run(&mut src));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_uniform_rejection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_uniform_rejection");
+    group.sample_size(20);
+    // 2^k (acceptance 1/2 at k+1 bits) vs 2^k − 1 (acceptance ≈ 1).
+    for &bound in &[255u64, 256, 257, 65_535, 65_536, 65_537] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            let prog = uniform_below::<Sampling>(&Nat::from(bound));
+            let mut src = SeededByteSource::new(9 ^ bound);
+            b.iter(|| prog.run(&mut src));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bernoulli_exp_neg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bernoulli_exp_neg");
+    group.sample_size(20);
+    for &(num, den) in &[(1u64, 2u64), (1, 1), (5, 1), (25, 1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{num}/{den}")),
+            &(num, den),
+            |b, &(num, den)| {
+                let prog = bernoulli_exp_neg::<Sampling>(&Nat::from(num), &Nat::from(den));
+                let mut src = SeededByteSource::new(13 ^ num);
+                b.iter(|| prog.run(&mut src));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_laplace_switch,
+    bench_interp_overhead,
+    bench_uniform_rejection,
+    bench_bernoulli_exp_neg
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating Fig. 4 (and the extra Fig. 5 series):
+//! discrete Gaussian sampling time as a function of σ, for the two
+//! baselines, the three SampCert configurations, and the fused/compiled
+//! path.
+//!
+//! Run `cargo bench -p sampcert-bench --bench fig4` and compare the series
+//! shapes with the paper: `sample_dgauss` flat and slowest; `diffprivlib`
+//! linear in σ; SampCert's optimized/switched sampler flat and fastest of
+//! the verified paths (Fig. 5's fused path faster still).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sampcert_bench::GaussianImpl;
+use sampcert_slang::SeededByteSource;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_gaussian_runtime");
+    group.sample_size(20);
+    for &sigma in &[1u64, 5, 10, 20, 35, 50] {
+        for impl_ in GaussianImpl::FIG5 {
+            group.bench_with_input(
+                BenchmarkId::new(impl_.label(), sigma),
+                &sigma,
+                |b, &sigma| {
+                    let mut sampler = impl_.build(sigma);
+                    let mut src = SeededByteSource::new(7 ^ sigma);
+                    b.iter(|| sampler(&mut src));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

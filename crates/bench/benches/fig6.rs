@@ -1,0 +1,33 @@
+//! Criterion bench regenerating Fig. 6's phenomenon from the runtime
+//! side: the Algorithm-2 (uniform-loop) sampler's cost spikes as σ
+//! crosses powers of two, because the exact uniform rejection rate
+//! doubles there (Appendix C).
+//!
+//! The entropy counts themselves (the paper's y-axis) are measured by
+//! `reproduce fig6`; this bench demonstrates the same spikes in wall
+//! time by benchmarking just below and just above each power of two.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sampcert_bench::GaussianImpl;
+use sampcert_slang::SeededByteSource;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_power_of_two_spikes");
+    group.sample_size(20);
+    // σ straddling powers of two: t = σ+1 crosses 2^k at σ = 2^k − 1.
+    for &sigma in &[6u64, 7, 8, 14, 15, 16, 30, 31, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("SampCert+Alg2(uniform)", sigma),
+            &sigma,
+            |b, &sigma| {
+                let mut sampler = GaussianImpl::SampcertUniform.build(sigma);
+                let mut src = SeededByteSource::new(11 ^ sigma);
+                b.iter(|| sampler(&mut src));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

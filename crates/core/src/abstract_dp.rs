@@ -1,0 +1,242 @@
+//! The abstract differential-privacy interface (paper Listing 2) and its
+//! instantiations.
+//!
+//! SampCert's `AbstractDP` typeclass packages the privacy *axioms* every
+//! useful single-parameter DP notion satisfies: additive sequential
+//! composition, free postprocessing, zero-cost constants, monotonicity,
+//! and a reduction to approximate DP. Mechanism proofs written against the
+//! interface hold for every instance.
+//!
+//! In this reproduction the typeclass becomes the [`AbstractDp`] trait.
+//! Lean's `prop : Mechanism → NNReal → Prop` — an undecidable proposition
+//! discharged by proof — becomes a **decidable divergence** on the
+//! analytic output distributions ([`AbstractDp::divergence`]): a mechanism
+//! satisfies `prop m γ` on a neighbouring pair exactly when the instance's
+//! divergence between the two output distributions is at most `γ`. The
+//! typed combinators in [`crate::Private`] play the role of the
+//! composition lemmas; the divergence checkers play the role of the
+//! base-case noise proofs.
+
+use sampcert_slang::{SubPmf, Value};
+use sampcert_stattest::{
+    max_divergence_sym_report, renyi_divergence_report, zcdp_rho_report, DivergenceReport,
+};
+
+/// A single-parameter differential-privacy notion (γ-ADP in the paper).
+///
+/// Instances supply the parameter algebra (composition is always additive
+/// — `adaptive_compose_prop`; parallel composition takes `max` —
+/// Appendix B) and the decidable divergence that interprets `prop`.
+///
+/// The trait is implemented by [`PureDp`], [`Zcdp`] and [`RenyiDp`]; the
+/// abstract mechanism constructions in `sampcert-mechanisms` are generic
+/// over it, reproducing the paper's "one proof, every DP notion" workflow
+/// (Section 2.3).
+pub trait AbstractDp: 'static {
+    /// Human-readable name of the privacy notion.
+    const NAME: &'static str;
+
+    /// Sequential composition bound: `adaptive_compose_prop` says the
+    /// composition of `γ₁`- and `γ₂`-ADP mechanisms is `(γ₁+γ₂)`-ADP.
+    fn compose(g1: f64, g2: f64) -> f64 {
+        g1 + g2
+    }
+
+    /// Parallel composition bound over disjoint partitions
+    /// (`AbstractParDP::prop_par`, Listing 18): `max(γ₁, γ₂)`.
+    fn par_compose(g1: f64, g2: f64) -> f64 {
+        g1.max(g2)
+    }
+
+    /// The divergence interpreting `prop`: the smallest `γ` such that the
+    /// pair `(p, q)` of output distributions on a neighbouring input pair
+    /// is admissible at privacy `γ`, together with truncation-escaped mass
+    /// (see `sampcert_stattest::DivergenceReport`).
+    fn divergence<U: Value>(p: &SubPmf<U, f64>, q: &SubPmf<U, f64>) -> DivergenceReport;
+
+    /// `of_app_dp` (Listing 2): the ADP parameter sufficient for
+    /// `(eps, delta)`-approximate DP. Inverse of [`Self::to_app_dp`].
+    fn of_app_dp(delta: f64, eps: f64) -> f64;
+
+    /// The `(ε, δ)` guarantee implied by a `γ` bound: returns `ε` for the
+    /// given `δ` (`prop_app_dp`).
+    fn to_app_dp(gamma: f64, delta: f64) -> f64;
+}
+
+/// Pure ε-differential privacy (Definition 2.1), interpreted by the
+/// symmetric max divergence.
+///
+/// `of_app_dp(δ, ε) = ε`: a pure ε-DP mechanism is `(ε, δ)`-DP for every
+/// `δ` (Section 2.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PureDp;
+
+impl AbstractDp for PureDp {
+    const NAME: &'static str = "pure-DP";
+
+    fn divergence<U: Value>(p: &SubPmf<U, f64>, q: &SubPmf<U, f64>) -> DivergenceReport {
+        max_divergence_sym_report(p, q)
+    }
+
+    fn of_app_dp(_delta: f64, eps: f64) -> f64 {
+        eps
+    }
+
+    fn to_app_dp(gamma: f64, _delta: f64) -> f64 {
+        gamma
+    }
+}
+
+/// Zero-concentrated differential privacy, ρ-zCDP (Definition 2.2),
+/// interpreted by `sup_α D_α/α` over a grid up to [`Zcdp::MAX_ALPHA`].
+///
+/// The approximate-DP reduction is Lemma 3.5 of Bun–Steinke: ρ-zCDP
+/// implies `(ρ + √(4ρ·ln(1/δ)), δ)`-DP; `of_app_dp` inverts it as
+/// `ρ = (√(L+ε) − √L)²` with `L = ln(1/δ)` — the same bound the paper
+/// mechanizes with Markov's inequality and hyperbolic calculus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Zcdp;
+
+impl Zcdp {
+    /// Largest Rényi order probed by the divergence checker.
+    pub const MAX_ALPHA: f64 = 128.0;
+}
+
+impl AbstractDp for Zcdp {
+    const NAME: &'static str = "zCDP";
+
+    fn divergence<U: Value>(p: &SubPmf<U, f64>, q: &SubPmf<U, f64>) -> DivergenceReport {
+        zcdp_rho_report(p, q, Self::MAX_ALPHA)
+    }
+
+    fn of_app_dp(delta: f64, eps: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "of_app_dp: delta outside (0,1)");
+        let l = (1.0 / delta).ln();
+        let s = (l + eps).sqrt() - l.sqrt();
+        s * s
+    }
+
+    fn to_app_dp(gamma: f64, delta: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "to_app_dp: delta outside (0,1)");
+        gamma + (4.0 * gamma * (1.0 / delta).ln()).sqrt()
+    }
+}
+
+/// Rényi differential privacy of integer order `ALPHA` (Mironov 2017),
+/// interpreted by `D_ALPHA`. Included as the paper's "etc." instance: it
+/// demonstrates that the abstract interface extends beyond the two
+/// built-in notions.
+///
+/// `(ALPHA, ε)-RDP` implies `(ε + ln(1/δ)/(ALPHA−1), δ)`-DP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenyiDp<const ALPHA: u32>;
+
+impl<const ALPHA: u32> AbstractDp for RenyiDp<ALPHA> {
+    const NAME: &'static str = "Renyi-DP";
+
+    fn divergence<U: Value>(p: &SubPmf<U, f64>, q: &SubPmf<U, f64>) -> DivergenceReport {
+        assert!(ALPHA > 1, "RenyiDp requires alpha > 1");
+        let a = renyi_divergence_report(p, q, ALPHA as f64);
+        let b = renyi_divergence_report(q, p, ALPHA as f64);
+        DivergenceReport {
+            value: a.value.max(b.value),
+            escaped_mass: a.escaped_mass.max(b.escaped_mass),
+        }
+    }
+
+    fn of_app_dp(delta: f64, eps: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "of_app_dp: delta outside (0,1)");
+        (eps - (1.0 / delta).ln() / (ALPHA as f64 - 1.0)).max(0.0)
+    }
+
+    fn to_app_dp(gamma: f64, delta: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "to_app_dp: delta outside (0,1)");
+        gamma + (1.0 / delta).ln() / (ALPHA as f64 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_samplers::pmf::{gaussian_mass, laplace_mass};
+
+    #[test]
+    fn composition_is_additive_everywhere() {
+        assert_eq!(PureDp::compose(0.5, 0.25), 0.75);
+        assert_eq!(Zcdp::compose(0.1, 0.2), 0.30000000000000004);
+        assert_eq!(PureDp::par_compose(0.5, 0.25), 0.5);
+        assert_eq!(Zcdp::par_compose(0.1, 0.2), 0.2);
+    }
+
+    #[test]
+    fn pure_dp_divergence_on_laplace_pair() {
+        // Sensitivity-1 Laplace with scale 2: ε = 1/2 exactly.
+        let p = laplace_mass(2.0, 0, 120);
+        let q = laplace_mass(2.0, 1, 120);
+        let r = PureDp::divergence(&p, &q);
+        assert!(r.escaped_mass < 1e-15);
+        assert!((r.value - 0.5).abs() < 1e-9, "eps={}", r.value);
+    }
+
+    #[test]
+    fn zcdp_divergence_on_gaussian_pair() {
+        let sigma2 = 4.0;
+        let p = gaussian_mass(sigma2, 0, 30);
+        let q = gaussian_mass(sigma2, 1, 30);
+        let r = Zcdp::divergence(&p, &q);
+        assert!(r.escaped_mass < 1e-15);
+        let expect = 1.0 / (2.0 * sigma2);
+        assert!(r.value <= expect * 1.05, "rho={} vs {expect}", r.value);
+        assert!(r.value >= expect * 0.9);
+    }
+
+    #[test]
+    fn renyi_divergence_on_gaussian_pair() {
+        let sigma2 = 4.0;
+        let p = gaussian_mass(sigma2, 0, 30);
+        let q = gaussian_mass(sigma2, 1, 30);
+        let r = RenyiDp::<8>::divergence(&p, &q);
+        let expect = 8.0 / (2.0 * sigma2);
+        assert!(r.value <= expect + 1e-9, "d={} vs {expect}", r.value);
+        assert!(r.value >= expect * 0.95);
+    }
+
+    #[test]
+    fn zcdp_app_dp_roundtrip() {
+        // of_app_dp and to_app_dp are inverses in ε.
+        for (delta, eps) in [(1e-6, 1.0), (1e-9, 0.3), (0.01, 4.0)] {
+            let rho = Zcdp::of_app_dp(delta, eps);
+            let back = Zcdp::to_app_dp(rho, delta);
+            assert!((back - eps).abs() < 1e-9, "δ={delta} ε={eps}: {back}");
+        }
+    }
+
+    #[test]
+    fn renyi_app_dp_roundtrip() {
+        for (delta, eps) in [(1e-6, 3.0), (1e-3, 8.0)] {
+            let g = RenyiDp::<16>::of_app_dp(delta, eps);
+            let back = RenyiDp::<16>::to_app_dp(g, delta);
+            assert!((back - eps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_dp_app_dp_is_identity() {
+        assert_eq!(PureDp::of_app_dp(1e-9, 0.7), 0.7);
+        assert_eq!(PureDp::to_app_dp(0.7, 1e-9), 0.7);
+    }
+
+    #[test]
+    fn zcdp_of_app_dp_monotone_in_delta() {
+        // Smaller δ demands smaller ρ for the same ε.
+        let r1 = Zcdp::of_app_dp(1e-3, 1.0);
+        let r2 = Zcdp::of_app_dp(1e-9, 1.0);
+        assert!(r2 < r1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta outside")]
+    fn zcdp_rejects_bad_delta() {
+        let _ = Zcdp::of_app_dp(0.0, 1.0);
+    }
+}

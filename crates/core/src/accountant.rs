@@ -1,0 +1,297 @@
+//! Privacy accounting across many releases.
+//!
+//! The paper's `AbstractDP` makes composition a typeclass law; production
+//! systems additionally need a *ledger* that tracks spending across a
+//! session and converts the running total into the `(ε, δ)` guarantee a
+//! policy is stated in. This module provides both:
+//!
+//! - [`Ledger`]: a labelled additive ledger for any [`AbstractDp`] notion
+//!   (what AWS-style deployments meter against a budget);
+//! - [`RdpAccountant`]: a Rényi accountant over a grid of orders — the
+//!   "moments accountant" composition that motivates Rényi DP as an
+//!   `AbstractDP` instance: summing `D_α` curves across releases and
+//!   optimizing the order at conversion time gives strictly better `ε(δ)`
+//!   than converting each release separately.
+
+use crate::abstract_dp::AbstractDp;
+use std::marker::PhantomData;
+
+/// A labelled privacy ledger for notion `D`.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::{Ledger, PureDp};
+///
+/// let mut ledger: Ledger<PureDp> = Ledger::new(1.0); // ε budget
+/// ledger.charge("histogram", 0.5).unwrap();
+/// ledger.charge("count", 0.25).unwrap();
+/// assert!(ledger.charge("another-histogram", 0.5).is_err()); // over budget
+/// assert_eq!(ledger.spent(), 0.75);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ledger<D: AbstractDp> {
+    budget: f64,
+    entries: Vec<(String, f64)>,
+    _notion: PhantomData<D>,
+}
+
+/// Error returned when a charge would exceed the ledger's budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetExceeded {
+    /// The attempted charge.
+    pub requested: f64,
+    /// Remaining budget at the time of the attempt.
+    pub remaining: f64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: requested {}, remaining {}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+impl<D: AbstractDp> Ledger<D> {
+    /// Creates a ledger with a total budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or not finite.
+    pub fn new(budget: f64) -> Self {
+        assert!(budget.is_finite() && budget >= 0.0, "invalid budget");
+        Ledger { budget, entries: Vec::new(), _notion: PhantomData }
+    }
+
+    /// Records a release costing `gamma`, refusing charges that would
+    /// exceed the budget (the release should then not be executed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when over budget; the ledger is
+    /// unchanged in that case.
+    pub fn charge(&mut self, label: impl Into<String>, gamma: f64) -> Result<(), BudgetExceeded> {
+        assert!(gamma.is_finite() && gamma >= 0.0, "invalid charge");
+        let spent = self.spent();
+        if D::compose(spent, gamma) > self.budget + 1e-12 {
+            return Err(BudgetExceeded { requested: gamma, remaining: self.budget - spent });
+        }
+        self.entries.push((label.into(), gamma));
+        Ok(())
+    }
+
+    /// Total spent so far (composed additively, per `AbstractDP`).
+    pub fn spent(&self) -> f64 {
+        self.entries.iter().fold(0.0, |acc, (_, g)| D::compose(acc, *g))
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent()).max(0.0)
+    }
+
+    /// The recorded entries, in charge order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// The `(ε, δ)` guarantee implied by the current spending.
+    pub fn approx_dp(&self, delta: f64) -> f64 {
+        D::to_app_dp(self.spent(), delta)
+    }
+}
+
+/// A Rényi accountant: tracks `ε(α) ≥ D_α` for a grid of orders and
+/// converts to `(ε, δ)`-DP by optimizing the order.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::RdpAccountant;
+///
+/// let mut acct = RdpAccountant::with_default_orders();
+/// for _ in 0..32 {
+///     acct.add_gaussian(8.0); // 32 releases, σ/Δ = 8
+/// }
+/// let (eps, _alpha) = acct.epsilon(1e-6);
+/// // Converting each release separately and summing would exceed ε = 20;
+/// // accounting in RDP and converting once lands under 4.
+/// assert!(eps < 4.0, "eps = {eps}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RdpAccountant {
+    orders: Vec<f64>,
+    eps: Vec<f64>,
+}
+
+impl RdpAccountant {
+    /// An accountant over the given Rényi orders (all must exceed 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orders` is empty or contains an order ≤ 1.
+    pub fn new(orders: Vec<f64>) -> Self {
+        assert!(!orders.is_empty(), "no Renyi orders");
+        assert!(orders.iter().all(|a| *a > 1.0), "Renyi orders must exceed 1");
+        let n = orders.len();
+        RdpAccountant { orders, eps: vec![0.0; n] }
+    }
+
+    /// The conventional order grid (1.25 … 512, log-spaced plus small
+    /// integer orders).
+    pub fn with_default_orders() -> Self {
+        let mut orders: Vec<f64> = vec![1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0];
+        let mut a = 12.0;
+        while a <= 512.0 {
+            orders.push(a);
+            a *= 1.5;
+        }
+        RdpAccountant::new(orders)
+    }
+
+    /// Adds a Gaussian release with noise-to-sensitivity ratio `σ/Δ`:
+    /// `D_α ≤ α/(2(σ/Δ)²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not strictly positive.
+    pub fn add_gaussian(&mut self, sigma_over_sensitivity: f64) {
+        assert!(sigma_over_sensitivity > 0.0, "invalid noise ratio");
+        let s2 = sigma_over_sensitivity * sigma_over_sensitivity;
+        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
+            *e += a / (2.0 * s2);
+        }
+    }
+
+    /// Adds a pure ε-DP release: `D_α ≤ min(ε, α·ε²/2)` (Bun–Steinke read
+    /// at order α, capped by `D_∞`).
+    pub fn add_pure(&mut self, eps: f64) {
+        assert!(eps.is_finite() && eps >= 0.0, "invalid epsilon");
+        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
+            *e += eps.min(a * eps * eps / 2.0);
+        }
+    }
+
+    /// Adds a release described by an arbitrary RDP curve `α ↦ ε(α)`.
+    pub fn add_curve(&mut self, curve: impl Fn(f64) -> f64) {
+        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
+            *e += curve(*a);
+        }
+    }
+
+    /// The accumulated RDP curve as `(order, ε)` pairs.
+    pub fn curve(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.orders.iter().copied().zip(self.eps.iter().copied())
+    }
+
+    /// Converts to `(ε, δ)`-DP, returning the `ε` and the optimizing
+    /// order: `ε = min_α [ε(α) + ln(1/δ)/(α−1)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside `(0, 1)`.
+    pub fn epsilon(&self, delta: f64) -> (f64, f64) {
+        assert!(delta > 0.0 && delta < 1.0, "delta outside (0,1)");
+        let l = (1.0 / delta).ln();
+        self.curve()
+            .map(|(a, e)| (e + l / (a - 1.0), a))
+            .min_by(|x, y| x.0.total_cmp(&y.0))
+            .expect("nonempty order grid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_dp::{PureDp, Zcdp};
+
+    #[test]
+    fn ledger_tracks_and_enforces() {
+        let mut ledger: Ledger<Zcdp> = Ledger::new(0.5);
+        ledger.charge("q1", 0.2).unwrap();
+        ledger.charge("q2", 0.25).unwrap();
+        let err = ledger.charge("q3", 0.1).unwrap_err();
+        assert!((err.remaining - 0.05).abs() < 1e-12);
+        assert_eq!(ledger.entries().len(), 2);
+        assert!((ledger.remaining() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_approx_dp_matches_notion() {
+        let mut ledger: Ledger<PureDp> = Ledger::new(2.0);
+        ledger.charge("a", 1.5).unwrap();
+        assert_eq!(ledger.approx_dp(1e-9), 1.5);
+    }
+
+    #[test]
+    fn single_gaussian_matches_zcdp_conversion() {
+        // One σ/Δ = 4 Gaussian: ρ = 1/32. The RDP conversion over a rich
+        // grid is within a few percent of the zCDP closed form.
+        let mut acct = RdpAccountant::with_default_orders();
+        acct.add_gaussian(4.0);
+        let delta = 1e-6;
+        let (eps_rdp, _) = acct.epsilon(delta);
+        let eps_zcdp = Zcdp::to_app_dp(1.0 / 32.0, delta);
+        assert!(eps_rdp <= eps_zcdp * 1.05, "{eps_rdp} vs {eps_zcdp}");
+        assert!(eps_rdp >= eps_zcdp * 0.8, "{eps_rdp} vs {eps_zcdp}");
+    }
+
+    #[test]
+    fn composition_beats_naive_pure_accounting() {
+        // 64 pure ε = 0.1 releases: naive additive ε = 6.4; RDP accounting
+        // recovers advanced-composition-strength bounds (≈ 4.5 here,
+        // advanced composition itself gives ≈ 4.9 at this δ).
+        let mut acct = RdpAccountant::with_default_orders();
+        for _ in 0..64 {
+            acct.add_pure(0.1);
+        }
+        let (eps, _) = acct.epsilon(1e-6);
+        assert!(eps < 5.0, "RDP accounting not helping: {eps}");
+        assert!(eps > 0.8, "implausibly small: {eps}");
+    }
+
+    #[test]
+    fn epsilon_decreases_with_looser_delta() {
+        let mut acct = RdpAccountant::with_default_orders();
+        acct.add_gaussian(2.0);
+        let (tight, _) = acct.epsilon(1e-9);
+        let (loose, _) = acct.epsilon(1e-3);
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn optimal_order_shrinks_as_budget_grows() {
+        // More releases push the optimal α down (standard RDP behaviour).
+        let mut a1 = RdpAccountant::with_default_orders();
+        a1.add_gaussian(8.0);
+        let (_, alpha_one) = a1.epsilon(1e-6);
+        let mut a2 = RdpAccountant::with_default_orders();
+        for _ in 0..256 {
+            a2.add_gaussian(8.0);
+        }
+        let (_, alpha_many) = a2.epsilon(1e-6);
+        assert!(alpha_many < alpha_one, "{alpha_many} !< {alpha_one}");
+    }
+
+    #[test]
+    fn add_curve_matches_add_gaussian() {
+        let mut a = RdpAccountant::with_default_orders();
+        a.add_gaussian(3.0);
+        let mut b = RdpAccountant::with_default_orders();
+        b.add_curve(|alpha| alpha / (2.0 * 9.0));
+        let (ea, _) = a.epsilon(1e-5);
+        let (eb, _) = b.epsilon(1e-5);
+        assert!((ea - eb).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "orders must exceed 1")]
+    fn rejects_bad_orders() {
+        let _ = RdpAccountant::new(vec![0.5]);
+    }
+}

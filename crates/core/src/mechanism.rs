@@ -1,0 +1,246 @@
+//! Mechanisms: randomized functions from databases to outputs, carried
+//! with *both* of the paper's semantics.
+//!
+//! The paper's `Mechanism T U := List T → PMF U` (Listing 1) lives in the
+//! mass-function world for proofs and is extracted for execution. Here a
+//! [`Mechanism`] carries the pair explicitly:
+//!
+//! - `run`: the executable semantics (drawing from a
+//!   [`ByteSource`]) — what deploys;
+//! - `dist`: the analytic output distribution for a given database, built
+//!   from the closed-form PMFs whose agreement with the samplers is
+//!   established in `sampcert-samplers` — what the privacy checkers
+//!   consume.
+//!
+//! The generic combinators of Listing 1 (`privComposeAdaptive`,
+//! `privPostProcess`, `privConst`) and Listing 17 (`privParComp`) derive
+//! both semantics at once, so composite mechanisms stay runnable *and*
+//! checkable by construction.
+
+use sampcert_slang::{ByteSource, SubPmf, Value};
+use std::rc::Rc;
+
+/// A randomized mechanism with executable and analytic semantics.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::Mechanism;
+/// use sampcert_slang::{SeededByteSource, SubPmf};
+///
+/// // A (non-private!) mechanism releasing the database length.
+/// let m: Mechanism<u8, i64> = Mechanism::deterministic(|db| db.len() as i64);
+/// let mut src = SeededByteSource::new(0);
+/// assert_eq!(m.run(&[1, 2, 3], &mut src), 3);
+/// assert_eq!(m.dist(&[1, 2, 3]).mass(&3), 1.0);
+/// ```
+pub struct Mechanism<T, U: Value> {
+    sample: Rc<dyn Fn(&[T], &mut dyn ByteSource) -> U>,
+    dist: Rc<dyn Fn(&[T]) -> SubPmf<U, f64>>,
+}
+
+impl<T, U: Value> Clone for Mechanism<T, U> {
+    fn clone(&self) -> Self {
+        Mechanism { sample: Rc::clone(&self.sample), dist: Rc::clone(&self.dist) }
+    }
+}
+
+impl<T, U: Value> std::fmt::Debug for Mechanism<T, U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mechanism { sample: <fn>, dist: <fn> }")
+    }
+}
+
+impl<T: 'static, U: Value> Mechanism<T, U> {
+    /// Builds a mechanism from its two semantics.
+    ///
+    /// Callers are responsible for the semantics agreeing; the noise
+    /// mechanisms built by this workspace pair a sampler with its proven
+    /// closed form, and the test suite cross-checks them statistically.
+    pub fn from_parts(
+        sample: impl Fn(&[T], &mut dyn ByteSource) -> U + 'static,
+        dist: impl Fn(&[T]) -> SubPmf<U, f64> + 'static,
+    ) -> Self {
+        Mechanism { sample: Rc::new(sample), dist: Rc::new(dist) }
+    }
+
+    /// A deterministic (zero-noise) mechanism — useful as a baseline and
+    /// for tests; deterministic non-constant mechanisms are of course not
+    /// private.
+    pub fn deterministic(f: impl Fn(&[T]) -> U + 'static) -> Self {
+        let f = Rc::new(f);
+        let f2 = Rc::clone(&f);
+        Mechanism {
+            sample: Rc::new(move |db, _| f(db)),
+            dist: Rc::new(move |db| SubPmf::dirac(f2(db))),
+        }
+    }
+
+    /// `privConst` (Listing 1): ignores the database entirely.
+    pub fn constant(u: U) -> Self {
+        let u2 = u.clone();
+        Mechanism {
+            sample: Rc::new(move |_, _| u.clone()),
+            dist: Rc::new(move |_| SubPmf::dirac(u2.clone())),
+        }
+    }
+
+    /// Draws one output for `db`.
+    pub fn run(&self, db: &[T], src: &mut dyn ByteSource) -> U {
+        (self.sample)(db, src)
+    }
+
+    /// The analytic output distribution for `db`.
+    pub fn dist(&self, db: &[T]) -> SubPmf<U, f64> {
+        (self.dist)(db)
+    }
+
+    /// `privPostProcess` (Listing 1): applies a database-independent
+    /// function to the output. Postprocessing never degrades privacy —
+    /// the typed layer exposes this as a free operation.
+    pub fn postprocess<V: Value>(&self, f: impl Fn(&U) -> V + 'static) -> Mechanism<T, V> {
+        let sample = Rc::clone(&self.sample);
+        let dist = Rc::clone(&self.dist);
+        let f = Rc::new(f);
+        let f2 = Rc::clone(&f);
+        Mechanism {
+            sample: Rc::new(move |db, src| f(&sample(db, src))),
+            dist: Rc::new(move |db| dist(db).map(|u| f2(u))),
+        }
+    }
+
+    /// `privComposeAdaptive` (Listing 1): runs `self`, feeds its output to
+    /// `next`, and releases both results. Privacy composes additively
+    /// (enforced in the typed layer).
+    pub fn compose_adaptive<V: Value>(
+        &self,
+        next: impl Fn(&U) -> Mechanism<T, V> + 'static,
+    ) -> Mechanism<T, (U, V)> {
+        let sample1 = Rc::clone(&self.sample);
+        let dist1 = Rc::clone(&self.dist);
+        let next = Rc::new(next);
+        let next2 = Rc::clone(&next);
+        Mechanism {
+            sample: Rc::new(move |db, src| {
+                let a = sample1(db, src);
+                let b = next(&a).run(db, src);
+                (a, b)
+            }),
+            dist: Rc::new(move |db| {
+                dist1(db).bind(|a| {
+                    let a = a.clone();
+                    next2(&a).dist(db).map(move |b| (a.clone(), b.clone()))
+                })
+            }),
+        }
+    }
+
+    /// Non-adaptive sequential composition (`privCompose`).
+    pub fn compose<V: Value>(&self, other: &Mechanism<T, V>) -> Mechanism<T, (U, V)> {
+        let other = other.clone();
+        self.compose_adaptive(move |_| other.clone())
+    }
+}
+
+impl<T: Clone + 'static, U: Value> Mechanism<T, U> {
+    /// `privParComp` (Listing 17): partitions the database by `pred` and
+    /// applies `self` to the matching rows and `other` to the rest.
+    ///
+    /// A neighbouring change lands in exactly one partition, which is why
+    /// parallel composition costs `max` rather than `+` (Appendix B).
+    pub fn par_compose<V: Value>(
+        &self,
+        other: &Mechanism<T, V>,
+        pred: impl Fn(&T) -> bool + 'static,
+    ) -> Mechanism<T, (U, V)> {
+        let pred = Rc::new(pred);
+        let pred2 = Rc::clone(&pred);
+        let (s1, d1) = (Rc::clone(&self.sample), Rc::clone(&self.dist));
+        let (m2s, m2d) = (Rc::clone(&other.sample), Rc::clone(&other.dist));
+        Mechanism {
+            sample: Rc::new(move |db, src| {
+                let (yes, no): (Vec<T>, Vec<T>) = db.iter().cloned().partition(|t| pred(t));
+                let a = s1(&yes, src);
+                let b = m2s(&no, src);
+                (a, b)
+            }),
+            dist: Rc::new(move |db| {
+                let (yes, no): (Vec<T>, Vec<T>) = db.iter().cloned().partition(|t| pred2(t));
+                let db_dist = d1(&yes);
+                let other_dist = m2d(&no);
+                db_dist.bind(|a| {
+                    let a = a.clone();
+                    other_dist.map(move |b| (a.clone(), b.clone()))
+                })
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_slang::SeededByteSource;
+
+    fn coin<T: 'static>() -> Mechanism<T, bool> {
+        Mechanism::from_parts(
+            |_, src| src.next_byte() & 1 == 1,
+            |_| SubPmf::from_entries(vec![(true, 0.5), (false, 0.5)]),
+        )
+    }
+
+    #[test]
+    fn constant_ignores_database() {
+        let m: Mechanism<u8, i64> = Mechanism::constant(9);
+        let mut src = SeededByteSource::new(0);
+        assert_eq!(m.run(&[1, 2], &mut src), 9);
+        assert_eq!(m.dist(&[]).mass(&9), 1.0);
+    }
+
+    #[test]
+    fn postprocess_both_semantics() {
+        let m = coin::<u8>().postprocess(|b| if *b { 1i64 } else { 0 });
+        assert_eq!(m.dist(&[]).mass(&1), 0.5);
+        let mut src = SeededByteSource::new(1);
+        let v = m.run(&[], &mut src);
+        assert!(v == 0 || v == 1);
+    }
+
+    #[test]
+    fn compose_adaptive_dist_is_product_when_nonadaptive() {
+        let m = coin::<u8>().compose(&coin::<u8>());
+        let d = m.dist(&[]);
+        for pt in [(false, false), (false, true), (true, false), (true, true)] {
+            assert!((d.mass(&pt) - 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn compose_adaptive_reacts_to_first_output() {
+        // Second mechanism is constant 0 or 1 depending on the first coin.
+        let m = coin::<u8>()
+            .compose_adaptive(|&b| Mechanism::constant(if b { 1i64 } else { 0 }));
+        let d = m.dist(&[]);
+        assert!((d.mass(&(true, 1)) - 0.5).abs() < 1e-15);
+        assert!((d.mass(&(false, 0)) - 0.5).abs() < 1e-15);
+        assert_eq!(d.mass(&(true, 0)), 0.0);
+    }
+
+    #[test]
+    fn par_compose_partitions() {
+        // Count evens and odds separately (deterministically, for the test).
+        let evens: Mechanism<i64, i64> = Mechanism::deterministic(|db| db.len() as i64);
+        let odds: Mechanism<i64, i64> = Mechanism::deterministic(|db| db.len() as i64);
+        let m = evens.par_compose(&odds, |v| v % 2 == 0);
+        let mut src = SeededByteSource::new(2);
+        assert_eq!(m.run(&[1, 2, 3, 4, 6], &mut src), (3, 2));
+        assert_eq!(m.dist(&[2, 4]).mass(&(2, 0)), 1.0);
+    }
+
+    #[test]
+    fn mechanisms_are_cloneable() {
+        let m = coin::<u8>();
+        let m2 = m.clone();
+        assert_eq!(m.dist(&[]).mass(&true), m2.dist(&[]).mass(&true));
+    }
+}

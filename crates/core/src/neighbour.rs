@@ -1,0 +1,117 @@
+//! The adjacency relation on databases.
+//!
+//! SampCert fixes databases to be lists and neighbouring databases to be
+//! lists differing in the inclusion/exclusion of one row (paper
+//! Section 2.4, footnote 2). This module provides that relation plus
+//! generators of neighbouring pairs, which the executable `prop` checkers
+//! and property tests quantify over.
+
+/// Returns `true` when `b` can be obtained from `a` by inserting or
+/// removing exactly one row (at any position).
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::is_neighbour;
+/// assert!(is_neighbour(&[1, 2, 3], &[1, 3]));
+/// assert!(is_neighbour(&[1, 3], &[1, 2, 3]));
+/// assert!(!is_neighbour(&[1, 2], &[1, 2]));
+/// assert!(!is_neighbour(&[1, 2, 3], &[1, 4]));
+/// ```
+pub fn is_neighbour<T: PartialEq>(a: &[T], b: &[T]) -> bool {
+    let (longer, shorter) = if a.len() == b.len() + 1 {
+        (a, b)
+    } else if b.len() == a.len() + 1 {
+        (b, a)
+    } else {
+        return false;
+    };
+    // `longer` must equal `shorter` with one element skipped.
+    let mut skipped = false;
+    let mut i = 0;
+    for x in longer {
+        if i < shorter.len() && *x == shorter[i] {
+            i += 1;
+        } else if skipped {
+            return false;
+        } else {
+            skipped = true;
+        }
+    }
+    true
+}
+
+/// All databases obtainable from `db` by removing one row.
+pub fn removals<T: Clone>(db: &[T]) -> Vec<Vec<T>> {
+    (0..db.len())
+        .map(|i| {
+            let mut v = db.to_vec();
+            v.remove(i);
+            v
+        })
+        .collect()
+}
+
+/// Databases obtainable from `db` by appending one row drawn from `pool`.
+pub fn insertions<T: Clone>(db: &[T], pool: &[T]) -> Vec<Vec<T>> {
+    pool.iter()
+        .map(|x| {
+            let mut v = db.to_vec();
+            v.push(x.clone());
+            v
+        })
+        .collect()
+}
+
+/// All neighbours of `db` reachable by one removal or one appended
+/// insertion from `pool` — the quantification domain of the executable
+/// privacy checks.
+pub fn neighbours<T: Clone>(db: &[T], pool: &[T]) -> Vec<Vec<T>> {
+    let mut out = removals(db);
+    out.extend(insertions(db, pool));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbour_by_removal_any_position() {
+        assert!(is_neighbour(&[1, 2, 3], &[2, 3]));
+        assert!(is_neighbour(&[1, 2, 3], &[1, 3]));
+        assert!(is_neighbour(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn neighbour_is_symmetric() {
+        assert!(is_neighbour(&[2, 3], &[1, 2, 3]));
+        assert!(is_neighbour(&[0u8; 0], &[7]));
+    }
+
+    #[test]
+    fn non_neighbours() {
+        assert!(!is_neighbour(&[1, 2, 3], &[1, 2, 3])); // equal
+        assert!(!is_neighbour(&[1, 2, 3], &[3, 2, 1, 0])); // reorder + insert
+        assert!(!is_neighbour(&[1, 2], &[3, 4, 2])); // two changes
+        assert!(!is_neighbour::<i32>(&[], &[1, 2])); // size gap 2
+    }
+
+    #[test]
+    fn duplicate_rows_handled() {
+        assert!(is_neighbour(&[5, 5, 5], &[5, 5]));
+        assert!(is_neighbour(&[5, 5], &[5, 5, 5]));
+    }
+
+    #[test]
+    fn generators_produce_neighbours() {
+        let db = vec![10, 20, 30];
+        let pool = vec![1, 2];
+        for n in neighbours(&db, &pool) {
+            assert!(is_neighbour(&db, &n), "{n:?}");
+        }
+        assert_eq!(removals(&db).len(), 3);
+        assert_eq!(insertions(&db, &pool).len(), 2);
+        assert_eq!(neighbours(&db, &pool).len(), 5);
+    }
+}

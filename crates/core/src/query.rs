@@ -1,0 +1,199 @@
+//! Queries and sensitivity.
+//!
+//! A query is a deterministic integer statistic of a database; its
+//! **sensitivity** is the maximum change over neighbouring databases
+//! (paper Section 2.2). SampCert proves sensitivity bounds in Lean (e.g.
+//! `exactBinCount_sensitivity`, Listing 5); here a [`Query`] carries its
+//! claimed bound and [`check_sensitivity`] verifies the claim on generated
+//! neighbour pairs — the bound is also what the noise calibration consumes,
+//! so an overclaimed sensitivity fails loudly in the privacy checkers.
+
+use crate::neighbour::neighbours;
+use std::rc::Rc;
+
+/// A deterministic integer query with a claimed sensitivity bound.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::Query;
+///
+/// let count: Query<u32> = Query::new("count", 1, |db| db.len() as i64);
+/// assert_eq!(count.eval(&[5, 6, 7]), 3);
+/// assert_eq!(count.sensitivity(), 1);
+/// ```
+pub struct Query<T> {
+    name: String,
+    sensitivity: u64,
+    f: Rc<dyn Fn(&[T]) -> i64>,
+}
+
+impl<T> Clone for Query<T> {
+    fn clone(&self) -> Self {
+        Query {
+            name: self.name.clone(),
+            sensitivity: self.sensitivity,
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Query<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query")
+            .field("name", &self.name)
+            .field("sensitivity", &self.sensitivity)
+            .finish()
+    }
+}
+
+impl<T> Query<T> {
+    /// Creates a query with a claimed sensitivity bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensitivity` is zero (a zero-sensitivity query is a
+    /// constant; use [`crate::Private::constant`] instead — noise
+    /// calibration divides by the sensitivity).
+    pub fn new(
+        name: impl Into<String>,
+        sensitivity: u64,
+        f: impl Fn(&[T]) -> i64 + 'static,
+    ) -> Self {
+        assert!(sensitivity > 0, "zero-sensitivity query; use a constant mechanism");
+        Query { name: name.into(), sensitivity, f: Rc::new(f) }
+    }
+
+    /// Evaluates the query on a database.
+    pub fn eval(&self, db: &[T]) -> i64 {
+        (self.f)(db)
+    }
+
+    /// The claimed sensitivity bound.
+    pub fn sensitivity(&self) -> u64 {
+        self.sensitivity
+    }
+
+    /// The query's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T: Clone> Query<T> {
+    /// Checks the claimed sensitivity on every neighbour of each given
+    /// database (removals plus insertions from `pool`), returning the first
+    /// violating pair if any.
+    ///
+    /// This is the executable form of the paper's sensitivity lemmas: it
+    /// cannot quantify over *all* databases, but exercises the claim on a
+    /// caller-chosen family, and the privacy checkers independently verify
+    /// the final DP bound.
+    pub fn check_sensitivity(
+        &self,
+        databases: &[Vec<T>],
+        pool: &[T],
+    ) -> Result<(), SensitivityViolation> {
+        for db in databases {
+            let base = self.eval(db);
+            for n in neighbours(db, pool) {
+                let other = self.eval(&n);
+                let diff = base.abs_diff(other);
+                if diff > self.sensitivity {
+                    return Err(SensitivityViolation {
+                        query: self.name.clone(),
+                        claimed: self.sensitivity,
+                        observed: diff,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`Query::check_sensitivity`] when a neighbour pair
+/// exceeds the claimed bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensitivityViolation {
+    /// Name of the offending query.
+    pub query: String,
+    /// The claimed sensitivity.
+    pub claimed: u64,
+    /// The observed change across one neighbour pair.
+    pub observed: u64,
+}
+
+impl std::fmt::Display for SensitivityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query `{}` claimed sensitivity {} but changed by {}",
+            self.query, self.claimed, self.observed
+        )
+    }
+}
+
+impl std::error::Error for SensitivityViolation {}
+
+/// The counting query `|db|`, sensitivity 1.
+pub fn count_query<T: 'static>() -> Query<T> {
+    Query::new("count", 1, |db: &[T]| db.len() as i64)
+}
+
+/// A sum query with per-row clamping to `[lo, hi]`; sensitivity
+/// `max(|lo|, |hi|)`.
+///
+/// Clamping is what makes an unbounded sum private — the paper's intro
+/// example (means over data "whose values lack tight upper bounds a
+/// priori") needs exactly this.
+pub fn bounded_sum_query(lo: i64, hi: i64) -> Query<i64> {
+    assert!(lo <= hi, "bounded_sum_query: empty clamp range");
+    let sens = lo.unsigned_abs().max(hi.unsigned_abs()).max(1);
+    Query::new(format!("sum[{lo},{hi}]"), sens, move |db: &[i64]| {
+        db.iter().map(|v| (*v).clamp(lo, hi)).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sensitivity_holds() {
+        let q = count_query::<i64>();
+        let dbs = vec![vec![], vec![1, 2, 3], vec![5; 10]];
+        assert!(q.check_sensitivity(&dbs, &[0, 9]).is_ok());
+    }
+
+    #[test]
+    fn bounded_sum_clamps() {
+        let q = bounded_sum_query(0, 10);
+        assert_eq!(q.eval(&[5, 20, -7]), 15); // 5 + 10 + 0
+        assert_eq!(q.sensitivity(), 10);
+    }
+
+    #[test]
+    fn bounded_sum_sensitivity_holds() {
+        let q = bounded_sum_query(-3, 7);
+        let dbs = vec![vec![1, 100, -100], vec![0; 5], vec![7, -3]];
+        assert!(q.check_sensitivity(&dbs, &[i64::MIN, i64::MAX, 0, 7, -3]).is_ok());
+    }
+
+    #[test]
+    fn overclaimed_sensitivity_detected() {
+        // An unclamped sum claims sensitivity 1 — a lie.
+        let q = Query::new("raw-sum", 1, |db: &[i64]| db.iter().sum());
+        let dbs = vec![vec![1, 2, 3]];
+        let err = q.check_sensitivity(&dbs, &[50]).unwrap_err();
+        assert!(err.observed > 1, "observed={}", err.observed);
+        assert_eq!(err.claimed, 1);
+        assert!(err.to_string().contains("raw-sum"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sensitivity")]
+    fn zero_sensitivity_rejected() {
+        let _ = Query::new("bad", 0, |_: &[u8]| 0);
+    }
+}

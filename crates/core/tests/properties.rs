@@ -1,0 +1,91 @@
+//! Property-based tests for the abstract-DP layer: the algebraic laws of
+//! the privacy-parameter arithmetic, the neighbour relation, and the
+//! approximate-DP reductions, over randomized parameters.
+
+use proptest::prelude::*;
+use sampcert_core::{
+    insertions, is_neighbour, neighbours, removals, AbstractDp, PureDp, RenyiDp, Zcdp,
+};
+
+proptest! {
+    #[test]
+    fn removals_are_neighbours(db in prop::collection::vec(any::<u8>(), 1..8)) {
+        for n in removals(&db) {
+            prop_assert!(is_neighbour(&db, &n));
+            prop_assert!(is_neighbour(&n, &db), "symmetry");
+        }
+    }
+
+    #[test]
+    fn insertions_are_neighbours(
+        db in prop::collection::vec(any::<u8>(), 0..8),
+        pool in prop::collection::vec(any::<u8>(), 1..4),
+    ) {
+        for n in insertions(&db, &pool) {
+            prop_assert!(is_neighbour(&db, &n));
+        }
+        prop_assert_eq!(neighbours(&db, &pool).len(), db.len() + pool.len());
+    }
+
+    #[test]
+    fn equal_length_never_neighbours(db in prop::collection::vec(any::<u8>(), 0..8)) {
+        prop_assert!(!is_neighbour(&db, &db));
+        let mut shuffled = db.clone();
+        shuffled.reverse();
+        prop_assert!(!is_neighbour(&db, &shuffled) || db.len() <= 1);
+    }
+
+    #[test]
+    fn two_removals_not_neighbours(db in prop::collection::vec(any::<u8>(), 2..8)) {
+        let shorter = &db[2..];
+        prop_assert!(!is_neighbour(&db, shorter));
+    }
+
+    #[test]
+    fn composition_is_monoid(a in 0.0f64..10.0, b in 0.0f64..10.0, c in 0.0f64..10.0) {
+        // Additive composition: associative, commutative, zero identity.
+        prop_assert!((PureDp::compose(a, PureDp::compose(b, c))
+            - PureDp::compose(PureDp::compose(a, b), c)).abs() < 1e-12);
+        prop_assert_eq!(PureDp::compose(a, b), PureDp::compose(b, a));
+        prop_assert_eq!(PureDp::compose(a, 0.0), a);
+        // Parallel composition: idempotent monoid under max.
+        prop_assert_eq!(Zcdp::par_compose(a, a), a);
+        prop_assert_eq!(Zcdp::par_compose(a, b), Zcdp::par_compose(b, a));
+        prop_assert!(Zcdp::par_compose(a, b) <= PureDp::compose(a, b));
+    }
+
+    #[test]
+    fn zcdp_app_dp_inverse_pair(eps in 0.01f64..20.0, log_delta in -30f64..-1.0) {
+        let delta = log_delta.exp();
+        let rho = Zcdp::of_app_dp(delta, eps);
+        prop_assert!(rho >= 0.0 && rho <= eps, "rho={rho}");
+        let back = Zcdp::to_app_dp(rho, delta);
+        prop_assert!((back - eps).abs() < 1e-6 * eps.max(1.0), "{back} vs {eps}");
+    }
+
+    #[test]
+    fn zcdp_to_app_dp_monotone(rho in 0.001f64..5.0, extra in 0.001f64..1.0, log_delta in -20f64..-2.0) {
+        let delta = log_delta.exp();
+        prop_assert!(Zcdp::to_app_dp(rho + extra, delta) > Zcdp::to_app_dp(rho, delta));
+    }
+
+    #[test]
+    fn renyi_app_dp_inverse_pair(eps in 0.5f64..20.0, log_delta in -20f64..-2.0) {
+        let delta = log_delta.exp();
+        let g = RenyiDp::<8>::of_app_dp(delta, eps);
+        let back = RenyiDp::<8>::to_app_dp(g, delta);
+        // of_app_dp clamps at 0, so only check the invertible region.
+        if g > 0.0 {
+            prop_assert!((back - eps).abs() < 1e-9);
+        } else {
+            prop_assert!(back >= eps - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_dp_reduction_is_identity(eps in 0.0f64..20.0, log_delta in -20f64..-1.0) {
+        let delta = log_delta.exp();
+        prop_assert_eq!(PureDp::of_app_dp(delta, eps), eps);
+        prop_assert_eq!(PureDp::to_app_dp(eps, delta), eps);
+    }
+}

@@ -1,0 +1,324 @@
+//! A deep embedding of first-order `SLang` programs.
+//!
+//! SampCert's second deployment path inspects the Lean syntax tree of a
+//! sampler and translates a limited, first-order subset of Lean into Dafny
+//! source, which Dafny then compiles to Python (paper Appendix C). This
+//! module is the Rust analogue's front half: a first-order imperative IR
+//! with integer locals and exactly one probabilistic primitive —
+//! `UniformByte` — matching the trusted primitive of the shallow
+//! embedding. [`crate::compile`] lowers the IR to a small bytecode
+//! ([`crate::vm`]); [`crate::pretty`] renders it as readable source (the
+//! "Dafny text" analogue); and the test suite proves the translation
+//! faithful by running the extracted samplers byte-for-byte against the
+//! fused reference implementations.
+//!
+//! Values are `i128` integers (booleans are 0/1), wide enough for the
+//! discrete Gaussian's exact intermediates at any `u64` σ.
+
+use std::fmt;
+
+/// Binary arithmetic and comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping-checked addition (panics on overflow — the IR targets
+    /// parameter ranges where intermediates fit `i128`).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Euclidean division (quotient toward −∞, nonnegative remainder) —
+    /// matching Lean/Mathlib's `Int.ediv`, which the samplers use.
+    Div,
+    /// Euclidean remainder.
+    Mod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Strict less-than (yields 0/1).
+    Lt,
+    /// Less-or-equal (yields 0/1).
+    Le,
+    /// Equality (yields 0/1).
+    Eq,
+    /// Logical and over 0/1 values.
+    And,
+    /// Logical or over 0/1 values.
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arithmetic overflow or division by zero.
+    pub fn apply(self, a: i128, b: i128) -> i128 {
+        match self {
+            BinOp::Add => a.checked_add(b).expect("IR overflow: add"),
+            BinOp::Sub => a.checked_sub(b).expect("IR overflow: sub"),
+            BinOp::Mul => a.checked_mul(b).expect("IR overflow: mul"),
+            BinOp::Div => a.div_euclid(b),
+            BinOp::Mod => a.rem_euclid(b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::Lt => i128::from(a < b),
+            BinOp::Le => i128::from(a <= b),
+            BinOp::Eq => i128::from(a == b),
+            BinOp::And => i128::from(a != 0 && b != 0),
+            BinOp::Or => i128::from(a != 0 || b != 0),
+        }
+    }
+
+    /// Source-syntax token for the pretty printer.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Eq => "==",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// A local-variable index.
+pub type Local = usize;
+
+/// Pure integer expressions over the locals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i128),
+    /// Read a local.
+    Local(Local),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Absolute value.
+    Abs(Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Logical not over 0/1.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, a, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    /// Free variables (locals) read by the expression.
+    pub fn reads(&self, out: &mut Vec<Local>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Local(l) => out.push(*l),
+            Expr::Bin(_, a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+            Expr::Abs(a) | Expr::Neg(a) | Expr::Not(a) => a.reads(out),
+        }
+    }
+}
+
+/// Statements: straight-line assignments, the byte primitive, and
+/// structured control flow (the image of `probBind`/`probWhile` under the
+/// paper's operator-per-statement translation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `local := expr`.
+    Assign(Local, Expr),
+    /// `local := probUniformByte()` — the sole probabilistic primitive.
+    Byte(Local),
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `if cond ≠ 0 { then } else { else }`.
+    If(Expr, Box<Stmt>, Box<Stmt>),
+    /// `while cond ≠ 0 { body }` — the image of `probWhile`.
+    While(Expr, Box<Stmt>),
+    /// No-op (empty else-branches).
+    Skip,
+}
+
+impl Stmt {
+    /// Sequences two statements, flattening nested sequences.
+    pub fn then(self, next: Stmt) -> Stmt {
+        match (self, next) {
+            (Stmt::Seq(mut a), Stmt::Seq(b)) => {
+                a.extend(b);
+                Stmt::Seq(a)
+            }
+            (Stmt::Seq(mut a), s) => {
+                a.push(s);
+                Stmt::Seq(a)
+            }
+            (s, Stmt::Seq(mut b)) => {
+                b.insert(0, s);
+                Stmt::Seq(b)
+            }
+            (a, b) => Stmt::Seq(vec![a, b]),
+        }
+    }
+}
+
+/// A complete extracted program: a statement over `n_locals` integer
+/// locals (zero-initialized) whose result is the final value of `result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Number of locals; all start at zero.
+    pub n_locals: usize,
+    /// Human-readable names for the locals (pretty printer; diagnostics).
+    pub local_names: Vec<String>,
+    /// Program name.
+    pub name: String,
+    /// The body.
+    pub body: Stmt,
+    /// The returned expression.
+    pub result: Expr,
+}
+
+impl Program {
+    /// Creates a program, validating local indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced local is out of range or the name list
+    /// length mismatches.
+    pub fn new(
+        name: impl Into<String>,
+        local_names: Vec<String>,
+        body: Stmt,
+        result: Expr,
+    ) -> Self {
+        let n_locals = local_names.len();
+        let p = Program { n_locals, local_names, name: name.into(), body, result };
+        p.validate();
+        p
+    }
+
+    fn validate(&self) {
+        fn check_expr(e: &Expr, n: usize) {
+            let mut reads = Vec::new();
+            e.reads(&mut reads);
+            for l in reads {
+                assert!(l < n, "expression reads out-of-range local {l}");
+            }
+        }
+        fn check_stmt(s: &Stmt, n: usize) {
+            match s {
+                Stmt::Assign(l, e) => {
+                    assert!(*l < n, "assignment to out-of-range local {l}");
+                    check_expr(e, n);
+                }
+                Stmt::Byte(l) => assert!(*l < n, "byte draw into out-of-range local {l}"),
+                Stmt::Seq(ss) => ss.iter().for_each(|s| check_stmt(s, n)),
+                Stmt::If(c, t, e) => {
+                    check_expr(c, n);
+                    check_stmt(t, n);
+                    check_stmt(e, n);
+                }
+                Stmt::While(c, b) => {
+                    check_expr(c, n);
+                    check_stmt(b, n);
+                }
+                Stmt::Skip => {}
+            }
+        }
+        check_stmt(&self.body, self.n_locals);
+        check_expr(&self.result, self.n_locals);
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program {}({} locals)", self.name, self.n_locals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Div.apply(-7, 3), -3); // euclidean
+        assert_eq!(BinOp::Mod.apply(-7, 3), 2);
+        assert_eq!(BinOp::Lt.apply(1, 2), 1);
+        assert_eq!(BinOp::Lt.apply(2, 2), 0);
+        assert_eq!(BinOp::And.apply(1, 0), 0);
+        assert_eq!(BinOp::Or.apply(1, 0), 1);
+        assert_eq!(BinOp::Min.apply(4, -2), -2);
+        assert_eq!(BinOp::Max.apply(4, -2), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "IR overflow")]
+    fn overflow_panics() {
+        let _ = BinOp::Mul.apply(i128::MAX, 2);
+    }
+
+    #[test]
+    fn expr_reads() {
+        let e = Expr::add(Expr::Local(0), Expr::mul(Expr::Local(2), Expr::Const(3)));
+        let mut r = Vec::new();
+        e.reads(&mut r);
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn then_flattens() {
+        let s = Stmt::Assign(0, Expr::Const(1))
+            .then(Stmt::Assign(1, Expr::Const(2)))
+            .then(Stmt::Skip);
+        match s {
+            Stmt::Seq(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range local")]
+    fn validation_catches_bad_local() {
+        let _ = Program::new(
+            "bad",
+            vec!["x".into()],
+            Stmt::Assign(3, Expr::Const(0)),
+            Expr::Const(0),
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # sampcert-extract
+//!
+//! The analogue of SampCert's second deployment pipeline (paper
+//! Section 4.1 and Appendix C): where the Lean development translates its
+//! sampler terms into Dafny and compiles them onward to Python, this crate
+//! provides
+//!
+//! - a **deep, first-order IR** for `SLang` programs ([`Expr`], [`Stmt`],
+//!   [`Program`]) with a single probabilistic primitive (`Byte`, the
+//!   paper's `probUniformByte`),
+//! - a **bytecode compiler and stack VM** ([`compile`], [`Vm`]) — the
+//!   "compiled target" whose faithfulness is the pipeline's trusted step,
+//! - a **pretty printer** ([`render`]) producing auditable source text
+//!   (the "Dafny file" analogue), and
+//! - **extracted sampler programs** ([`laplace_program`],
+//!   [`gaussian_program`]) for both verified Laplace loops and the
+//!   Gaussian rejection scheme, and
+//! - a **bytecode-level distribution analyzer** ([`analyze`]): the exact
+//!   output mass function of the *compiled* artifact, computed by
+//!   Markov-chain exploration of VM configurations — removing even the
+//!   compiler from the trusted base.
+//!
+//! The paper's extraction is trusted-but-small; here the analogous trust
+//! is discharged by differential testing: the AST interpreter, the VM,
+//! and the fused reference samplers from `sampcert-samplers` are checked
+//! **byte-for-byte equal** on shared entropy streams (see
+//! `tests/extraction_equivalence.rs`), so all three are literally the same
+//! function from random bytes to samples.
+//!
+//! ```
+//! use sampcert_extract::{compile, laplace_program, LoopKind, Vm};
+//! use sampcert_slang::SeededByteSource;
+//!
+//! let program = laplace_program(5, 2, LoopKind::Uniform); // scale 5/2
+//! let vm = Vm::new(compile(&program));
+//! let mut entropy = SeededByteSource::new(0);
+//! let _noise: i128 = vm.run(&mut entropy);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod ir;
+mod pretty;
+mod programs;
+mod vm;
+
+pub use analyze::{analyze, Analysis};
+pub use ir::{BinOp, Expr, Local, Program, Stmt};
+pub use pretty::render;
+pub use programs::{gaussian_program, geometric_program, laplace_program, LoopKind};
+pub use vm::{compile, interpret, Bytecode, Op, Vm};

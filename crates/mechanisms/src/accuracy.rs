@@ -1,0 +1,189 @@
+//! Accuracy guarantees for the noise mechanisms.
+//!
+//! A deployed DP system answers "how wrong can this released count be?"
+//! alongside every release. These closed-form tail bounds come straight
+//! from the verified PMFs (Eq. 6 and the discrete Gaussian), so they are
+//! exact statements about the mechanisms in this workspace, not
+//! continuous-distribution approximations.
+
+use sampcert_samplers::pmf::gaussian_normalizer;
+
+/// `P(|Z| ≥ m)` for the discrete Laplace with scale `t`: the exact tail
+/// `2·s^m/(1+s)` with `s = e^{−1/t}` (for `m ≥ 1`; 1 at `m = 0`).
+///
+/// # Panics
+///
+/// Panics if `t` is not strictly positive.
+pub fn laplace_tail(t: f64, m: i64) -> f64 {
+    assert!(t > 0.0, "laplace_tail: scale must be positive");
+    if m <= 0 {
+        return 1.0;
+    }
+    let s = (-1.0 / t).exp();
+    2.0 * s.powi(m as i32) / (1.0 + s)
+}
+
+/// The `(1 − β)`-accuracy of discrete Laplace noise with scale `t`: the
+/// smallest `m` with `P(|Z| ≥ m) ≤ β`. A noised release is within `± (m−1)`
+/// of the exact answer with probability at least `1 − β`.
+///
+/// # Panics
+///
+/// Panics if `t ≤ 0` or `β` is outside `(0, 1)`.
+pub fn laplace_accuracy(t: f64, beta: f64) -> i64 {
+    assert!(t > 0.0, "laplace_accuracy: scale must be positive");
+    assert!(beta > 0.0 && beta < 1.0, "laplace_accuracy: beta outside (0,1)");
+    let s = (-1.0 / t).exp();
+    let m = ((2.0 / (beta * (1.0 + s))).ln() / (1.0 / t)).ceil() as i64;
+    // The closed form can overshoot by one at boundaries; tighten greedily.
+    let mut m = m.max(1);
+    while m > 1 && laplace_tail(t, m - 1) <= beta {
+        m -= 1;
+    }
+    m
+}
+
+/// `P(|Z| ≥ m)` for the discrete Gaussian `N_ℤ(0, σ²)`, by exact
+/// summation of the verified PMF.
+///
+/// # Panics
+///
+/// Panics if `sigma2` is not strictly positive.
+pub fn gaussian_tail(sigma2: f64, m: i64) -> f64 {
+    assert!(sigma2 > 0.0, "gaussian_tail: variance must be positive");
+    if m <= 0 {
+        return 1.0;
+    }
+    let n = gaussian_normalizer(sigma2);
+    let mut tail = 0.0;
+    let mut z = m;
+    loop {
+        let term = (-(z as f64) * (z as f64) / (2.0 * sigma2)).exp() / n;
+        if term < 1e-20 {
+            break;
+        }
+        tail += 2.0 * term;
+        z += 1;
+    }
+    tail.min(1.0)
+}
+
+/// The `(1 − β)`-accuracy of discrete Gaussian noise with variance `σ²`.
+///
+/// # Panics
+///
+/// Panics if `sigma2 ≤ 0` or `β` is outside `(0, 1)`.
+pub fn gaussian_accuracy(sigma2: f64, beta: f64) -> i64 {
+    assert!(sigma2 > 0.0, "gaussian_accuracy: variance must be positive");
+    assert!(beta > 0.0 && beta < 1.0, "gaussian_accuracy: beta outside (0,1)");
+    let mut m = 1i64;
+    while gaussian_tail(sigma2, m) > beta {
+        m += 1;
+    }
+    m
+}
+
+/// The accuracy of a pure-DP noised query at `(ε₁/ε₂)` with sensitivity
+/// `Δ`: the `± bound` such that the release is within it with probability
+/// `1 − β`. (The Laplace scale is `Δ·ε₂/ε₁`, as calibrated by the noise
+/// instance.)
+pub fn pure_dp_accuracy(sensitivity: u64, eps_num: u64, eps_den: u64, beta: f64) -> i64 {
+    assert!(sensitivity > 0 && eps_num > 0 && eps_den > 0, "invalid parameters");
+    let t = sensitivity as f64 * eps_den as f64 / eps_num as f64;
+    laplace_accuracy(t, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_samplers::pmf::laplace_cdf;
+
+    #[test]
+    fn laplace_tail_matches_cdf() {
+        let t = 3.0;
+        for m in 1i64..20 {
+            // P(|Z| >= m) = P(Z <= -m) + 1 - P(Z <= m-1)
+            let direct = laplace_cdf(t, -m) + 1.0 - laplace_cdf(t, m - 1);
+            assert!(
+                (laplace_tail(t, m) - direct).abs() < 1e-12,
+                "m={m}: {} vs {direct}",
+                laplace_tail(t, m)
+            );
+        }
+        assert_eq!(laplace_tail(t, 0), 1.0);
+    }
+
+    #[test]
+    fn laplace_accuracy_is_tight() {
+        for t in [0.5, 2.0, 10.0] {
+            for beta in [0.1, 0.01, 1e-6] {
+                let m = laplace_accuracy(t, beta);
+                assert!(laplace_tail(t, m) <= beta, "t={t} beta={beta} m={m}");
+                if m > 1 {
+                    assert!(
+                        laplace_tail(t, m - 1) > beta,
+                        "not tight: t={t} beta={beta} m={m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_accuracy_is_tight_and_scales() {
+        for sigma2 in [1.0, 16.0] {
+            for beta in [0.05, 1e-4] {
+                let m = gaussian_accuracy(sigma2, beta);
+                assert!(gaussian_tail(sigma2, m) <= beta);
+                if m > 1 {
+                    assert!(gaussian_tail(sigma2, m - 1) > beta);
+                }
+            }
+        }
+        // ~2σ at β = 5%, ~4σ at β = 1e-4 (Gaussian intuition carries over).
+        let m = gaussian_accuracy(16.0, 0.05);
+        assert!((m - 8).abs() <= 1, "m={m}");
+    }
+
+    #[test]
+    fn tails_decrease_monotonically() {
+        for m in 1i64..30 {
+            assert!(laplace_tail(2.0, m + 1) < laplace_tail(2.0, m));
+            assert!(gaussian_tail(4.0, m + 1) <= gaussian_tail(4.0, m));
+        }
+    }
+
+    #[test]
+    fn pure_dp_accuracy_scales_with_sensitivity_and_eps() {
+        let tight = pure_dp_accuracy(1, 2, 1, 0.05); // ε = 2
+        let loose = pure_dp_accuracy(1, 1, 2, 0.05); // ε = 1/2
+        assert!(loose > tight * 3, "tight={tight} loose={loose}");
+        let sens5 = pure_dp_accuracy(5, 2, 1, 0.05);
+        assert!(sens5 >= tight * 4, "sens5={sens5} tight={tight}");
+    }
+
+    #[test]
+    fn accuracy_empirically_valid() {
+        // Draw from the actual sampler: the bound must hold at the stated
+        // confidence (with statistical slack).
+        use sampcert_arith::Nat;
+        use sampcert_samplers::{discrete_laplace, LaplaceAlg};
+        use sampcert_slang::{Sampling, SeededByteSource};
+        let t = 4.0;
+        let beta = 0.1;
+        let m = laplace_accuracy(t, beta);
+        let prog = discrete_laplace::<Sampling>(&Nat::from(4u64), &Nat::one(), LaplaceAlg::Switched);
+        let mut src = SeededByteSource::new(44);
+        let n = 20_000;
+        let violations = (0..n).filter(|_| prog.run(&mut src).abs() >= m).count();
+        let rate = violations as f64 / n as f64;
+        assert!(rate <= beta * 1.15, "violation rate {rate} vs beta {beta}");
+        assert!(rate >= beta * 0.5, "bound suspiciously loose: {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta outside")]
+    fn rejects_bad_beta() {
+        let _ = laplace_accuracy(1.0, 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Noised scalar statistics: count, bounded sum, and mean.
+//!
+//! These are the paper's bread-and-butter mechanisms ("count, sum, mean,
+//! histogram, SVT, …" in Fig. 1's mechanism library), built purely from
+//! the abstract interface: a noised count and a noised clamped sum are
+//! base-case noise applications; the mean is their sequential composition
+//! postprocessed by division — privacy accounting for all of it falls out
+//! of the typed combinators, for any [`DpNoise`] instance.
+
+use sampcert_core::{bounded_sum_query, count_query, DpNoise, Private};
+
+/// A noised count of the rows, at `noise_priv(γ₁, γ₂)`-ADP.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_mechanisms::noised_count;
+/// use sampcert_core::PureDp;
+/// use sampcert_slang::SeededByteSource;
+///
+/// let m = noised_count::<PureDp, u32>(1, 1); // ε = 1
+/// let mut src = SeededByteSource::new(0);
+/// let _approx_len = m.run(&[10, 20, 30], &mut src);
+/// ```
+pub fn noised_count<D: DpNoise, T: 'static>(gamma_num: u64, gamma_den: u64) -> Private<D, T, i64> {
+    Private::noised_query(&count_query(), gamma_num, gamma_den)
+}
+
+/// A noised sum with per-row clamping to `[lo, hi]`, at
+/// `noise_priv(γ₁, γ₂)`-ADP. The noise is calibrated to the clamp-derived
+/// sensitivity `max(|lo|, |hi|)`.
+pub fn noised_bounded_sum<D: DpNoise>(
+    lo: i64,
+    hi: i64,
+    gamma_num: u64,
+    gamma_den: u64,
+) -> Private<D, i64, i64> {
+    Private::noised_query(&bounded_sum_query(lo, hi), gamma_num, gamma_den)
+}
+
+/// A noised mean of clamped values: releases `(noised sum, noised count)`
+/// — postprocess with [`mean_of`] for the quotient. Sequential
+/// composition: the total budget is `compose(noise_priv(γ₁, γ₂),
+/// noise_priv(γ₁, γ₂))`, i.e. each of sum and count gets the given slice.
+///
+/// Releasing the raw pair rather than the quotient keeps the output
+/// countable and lets consumers re-derive confidence information — the
+/// same shape SampCert's mean mechanism produces before postprocessing.
+pub fn noised_mean<D: DpNoise>(
+    lo: i64,
+    hi: i64,
+    gamma_num: u64,
+    gamma_den: u64,
+) -> Private<D, i64, (i64, i64)> {
+    noised_bounded_sum::<D>(lo, hi, gamma_num, gamma_den)
+        .compose(&noised_count::<D, i64>(gamma_num, gamma_den))
+}
+
+/// The mean implied by a `(sum, count)` release, with the count floored at
+/// one (a noised count can be nonpositive on tiny databases).
+pub fn mean_of(release: &(i64, i64)) -> f64 {
+    release.0 as f64 / (release.1.max(1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_core::{CheckOptions, PureDp, Zcdp};
+    use sampcert_slang::SeededByteSource;
+
+    #[test]
+    fn count_budget_and_privacy() {
+        let m = noised_count::<PureDp, u8>(1, 2);
+        assert_eq!(m.gamma(), 0.5);
+        m.check_pair(&[1, 2, 3], &[1, 2], CheckOptions::default())
+            .expect("noised count is ε/2-DP");
+    }
+
+    #[test]
+    fn sum_clamps_and_checks() {
+        let m = noised_bounded_sum::<PureDp>(0, 8, 1, 1);
+        // Sensitivity is 8, so the ε = 1 noise is 8× wider; still 1-DP
+        // even when a row is far outside the clamp.
+        m.check_pair(&[3, 100, -50], &[3, 100], CheckOptions::default())
+            .expect("clamped sum is 1-DP");
+    }
+
+    #[test]
+    fn mean_composes_budgets() {
+        let m = noised_mean::<PureDp>(0, 10, 1, 2);
+        assert_eq!(m.gamma(), 1.0); // 1/2 + 1/2
+        let m2 = noised_mean::<Zcdp>(0, 10, 1, 2);
+        assert_eq!(m2.gamma(), 0.25); // 1/8 + 1/8
+    }
+
+    #[test]
+    fn mean_is_accurate_with_tight_noise() {
+        let m = noised_mean::<PureDp>(0, 10, 20, 1); // very tight ε = 40
+        let db: Vec<i64> = (0..200).map(|i| i % 11).collect(); // mean = 5
+        let mut src = SeededByteSource::new(13);
+        let rel = m.run(&db, &mut src);
+        let mean = mean_of(&rel);
+        assert!((mean - 5.0).abs() < 0.5, "mean={mean}");
+    }
+
+    #[test]
+    fn mean_of_handles_degenerate_count() {
+        assert_eq!(mean_of(&(10, 0)), 10.0);
+        assert_eq!(mean_of(&(10, -3)), 10.0);
+        assert_eq!(mean_of(&(9, 3)), 3.0);
+    }
+}

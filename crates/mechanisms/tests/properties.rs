@@ -1,0 +1,113 @@
+//! Property-based tests for the mechanism library: budget arithmetic as a
+//! function of randomized parameters, structural invariants of histogram
+//! outputs, and SVT's stream-length independence.
+
+use proptest::prelude::*;
+use sampcert_core::{PureDp, Query, Zcdp};
+use sampcert_mechanisms::{
+    above_threshold, noised_count, noised_histogram, par_noised_histogram, sparse, Bins,
+    SvtParams,
+};
+use sampcert_slang::SeededByteSource;
+
+fn mod_bins(n: usize) -> Bins<i64> {
+    Bins::new(n, move |v: &i64| (*v).unsigned_abs() as usize % n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pure_histogram_budget_independent_of_bins(n_bins in 1usize..12, num in 1u64..6, den in 1u64..6) {
+        let h = noised_histogram::<PureDp, i64>(&mod_bins(n_bins), num, den);
+        prop_assert!((h.gamma() - num as f64 / den as f64).abs() < 1e-9);
+        let par = par_noised_histogram::<PureDp, i64>(&mod_bins(n_bins), num, den);
+        prop_assert!((par.gamma() - num as f64 / den as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zcdp_histogram_budget_formula(n_bins in 1usize..10, num in 1u64..5, den in 1u64..5) {
+        let h = noised_histogram::<Zcdp, i64>(&mod_bins(n_bins), num, den);
+        let expect = 0.5 * (num as f64 / den as f64).powi(2) / n_bins as f64;
+        prop_assert!((h.gamma() - expect).abs() < 1e-9, "{} vs {expect}", h.gamma());
+    }
+
+    #[test]
+    fn histogram_output_shape(n_bins in 1usize..10, seed in any::<u64>()) {
+        let h = noised_histogram::<PureDp, i64>(&mod_bins(n_bins), 8, 1);
+        let db: Vec<i64> = (0..30).collect();
+        let mut src = SeededByteSource::new(seed);
+        let out = h.run(&db, &mut src);
+        prop_assert_eq!(out.len(), n_bins);
+    }
+
+    #[test]
+    fn histogram_counts_track_truth_with_tight_noise(n_bins in 2usize..6, seed in any::<u64>()) {
+        let h = noised_histogram::<PureDp, i64>(&mod_bins(n_bins), 40, 1);
+        let db: Vec<i64> = (0..(60 * n_bins as i64)).collect(); // 60 per bin
+        let mut src = SeededByteSource::new(seed);
+        let out = h.run(&db, &mut src);
+        for c in out {
+            prop_assert!((c - 60).abs() < 25, "count {c} far from 60");
+        }
+    }
+
+    #[test]
+    fn count_budget_is_ratio(num in 1u64..10, den in 1u64..10) {
+        let m = noised_count::<PureDp, u8>(num, den);
+        prop_assert!((m.gamma() - num as f64 / den as f64).abs() < 1e-12);
+        let z = noised_count::<Zcdp, u8>(num, den);
+        prop_assert!((z.gamma() - 0.5 * (num as f64 / den as f64).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svt_budget_independent_of_queries(n_queries in 1usize..20, num in 1u64..5, den in 1u64..5) {
+        let qs: Vec<Query<i64>> = (0..n_queries)
+            .map(|i| {
+                let c = i as i64;
+                Query::new(format!("q{i}"), 1, move |db: &[i64]| {
+                    db.iter().filter(|v| **v > c).count() as i64
+                })
+            })
+            .collect();
+        let p = above_threshold(&qs, SvtParams { threshold: 3, eps_num: num, eps_den: den });
+        prop_assert!((p.gamma() - num as f64 / den as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_budget_linear(c in 1usize..5, num in 1u64..4, den in 1u64..4) {
+        let qs: Vec<Query<i64>> = (0..8)
+            .map(|i| {
+                let cut = i as i64;
+                Query::new(format!("q{i}"), 1, move |db: &[i64]| {
+                    db.iter().filter(|v| **v > cut).count() as i64
+                })
+            })
+            .collect();
+        let s = sparse(&qs, SvtParams { threshold: 4, eps_num: num, eps_den: den }, c);
+        prop_assert!((s.gamma() - c as f64 * num as f64 / den as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_outputs_strictly_increasing(seed in any::<u64>(), c in 1usize..4) {
+        let qs: Vec<Query<i64>> = (0..6)
+            .map(|i| {
+                let cut = (i % 3) as i64;
+                Query::new(format!("q{i}"), 1, move |db: &[i64]| {
+                    db.iter().filter(|v| **v > cut).count() as i64
+                })
+            })
+            .collect();
+        let s = sparse(&qs, SvtParams { threshold: 2, eps_num: 2, eps_den: 1 }, c);
+        let db: Vec<i64> = (0..10).collect();
+        let mut src = SeededByteSource::new(seed);
+        let out = s.run(&db, &mut src);
+        prop_assert!(out.len() <= c);
+        for w in out.windows(2) {
+            prop_assert!(w[0] < w[1], "{out:?}");
+        }
+        for v in &out {
+            prop_assert!(*v < 6, "index out of range: {out:?}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Bernoulli trials with exact rational and `exp(−γ)` biases.
+//!
+//! These are the building blocks of the Canonne–Kamath–Steinke samplers
+//! (paper Section 3.2.2): `BernoulliSample` compares an exact uniform draw
+//! against a rational, and `BernoulliExpNegSample` realizes a coin with
+//! bias `e^(−num/den)` using only rational arithmetic — the von Neumann
+//! series trick, with no transcendental function ever evaluated.
+
+use crate::uniform::uniform_below;
+use sampcert_arith::Nat;
+use sampcert_slang::{map, Interp};
+
+/// `BernoulliSample num den`: a coin that is `true` with probability
+/// `num/den`, exactly.
+///
+/// # Panics
+///
+/// Panics (at program construction) if `den` is zero or `num > den` — the
+/// same side condition the Lean source discharges with a proof argument.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_samplers::bernoulli;
+/// use sampcert_arith::{Nat, Rat};
+/// use sampcert_slang::Mass;
+///
+/// let d = bernoulli::<Mass<Rat>>(&Nat::from(3u64), &Nat::from(8u64)).eval_limit(64);
+/// assert_eq!(d.mass(&true), Rat::from_ratio(3, 8));
+/// ```
+pub fn bernoulli<I: Interp>(num: &Nat, den: &Nat) -> I::Repr<bool> {
+    assert!(!den.is_zero(), "bernoulli: zero denominator");
+    assert!(num <= den, "bernoulli: bias above one ({num}/{den})");
+    let num = num.clone();
+    map::<I, _, _>(uniform_below::<I>(den), move |u| *u < num)
+}
+
+/// `BernoulliExpNegSampleUnit`: a coin that is `true` with probability
+/// `e^(−num/den)`, for `num ≤ den` (i.e. γ ∈ [0, 1]).
+///
+/// Runs the von Neumann series: draw `A_k ~ Bernoulli(γ/k)` for
+/// `k = 1, 2, …` until the first failure at index `K`; return whether `K`
+/// is even. The alternating-series identity
+/// `P(K even) = Σ (−γ)^j/j! = e^(−γ)` makes the bias exact.
+///
+/// # Panics
+///
+/// Panics if `den` is zero or `num > den`.
+pub fn bernoulli_exp_neg_unit<I: Interp>(num: &Nat, den: &Nat) -> I::Repr<bool> {
+    assert!(!den.is_zero(), "bernoulli_exp_neg_unit: zero denominator");
+    assert!(num <= den, "bernoulli_exp_neg_unit: gamma above one ({num}/{den})");
+    let num = num.clone();
+    let den = den.clone();
+    // State: (last trial result, index of the *next* trial).
+    let looped = I::while_loop(
+        |s: &(bool, u64)| s.0,
+        move |s| {
+            let k = s.1;
+            let den_k = &den * &Nat::from(k);
+            map::<I, _, _>(bernoulli::<I>(&num.clone().min(den_k.clone()), &den_k), move |&a| {
+                (a, k + 1)
+            })
+        },
+        I::pure((true, 1u64)),
+    );
+    // Final state (false, K+1): K = index of first failure; success iff K odd
+    // i.e. the stored counter is even.
+    map::<I, _, _>(looped, |s| s.1 % 2 == 0)
+}
+
+/// `BernoulliExpNegSample`: a coin that is `true` with probability
+/// `e^(−num/den)` for an arbitrary rational `num/den ≥ 0`.
+///
+/// Splits `γ = ⌊γ⌋ + r`: runs `⌊γ⌋` independent `e^(−1)` trials (early
+/// exit on the first failure), then one fractional trial `e^(−r)`.
+///
+/// # Panics
+///
+/// Panics if `den` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_samplers::bernoulli_exp_neg;
+/// use sampcert_arith::Nat;
+/// use sampcert_slang::Mass;
+///
+/// // P(true) = e^{-5/2} ≈ 0.0821
+/// let d = bernoulli_exp_neg::<Mass<f64>>(&Nat::from(5u64), &Nat::from(2u64)).eval_limit(256);
+/// assert!((d.mass(&true) - (-2.5f64).exp()).abs() < 1e-9);
+/// ```
+pub fn bernoulli_exp_neg<I: Interp>(num: &Nat, den: &Nat) -> I::Repr<bool> {
+    assert!(!den.is_zero(), "bernoulli_exp_neg: zero denominator");
+    if num <= den {
+        return bernoulli_exp_neg_unit::<I>(num, den);
+    }
+    let (gamf, rem) = num.div_rem(den);
+    let gamf = gamf
+        .to_u64()
+        .expect("bernoulli_exp_neg: integer part of gamma exceeds u64");
+    let den2 = den.clone();
+    // One shared e^{-1} trial program: constructing it once (rather than
+    // per loop state) lets the mass interpreter reuse its denotation.
+    let e_inv_trial = bernoulli_exp_neg_unit::<I>(&Nat::one(), &Nat::one());
+    // State: (still alive, number of e^{-1} trials completed).
+    let whole = I::while_loop(
+        move |s: &(bool, u64)| s.0 && s.1 < gamf,
+        move |s| {
+            let done = s.1;
+            map::<I, _, _>(e_inv_trial.clone(), move |&b| (b, done + 1))
+        },
+        I::pure((true, 0u64)),
+    );
+    let rem2 = rem;
+    I::bind(whole, move |s| {
+        if s.0 {
+            bernoulli_exp_neg_unit::<I>(&rem2, &den2)
+        } else {
+            I::pure(false)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_arith::Rat;
+    use sampcert_slang::{Mass, Sampling, SeededByteSource};
+
+    fn nat(v: u64) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn bernoulli_exact_bias() {
+        for (n, d) in [(0u64, 1u64), (1, 2), (3, 8), (5, 5), (7, 13)] {
+            let dist = bernoulli::<Mass<Rat>>(&nat(n), &nat(d)).eval_limit(128);
+            assert_eq!(dist.mass(&true), Rat::from_ratio(n, d), "{n}/{d}");
+            assert_eq!(dist.total_mass(), Rat::one());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias above one")]
+    fn bernoulli_rejects_bias_above_one() {
+        let _ = bernoulli::<Sampling>(&nat(3), &nat(2));
+    }
+
+    #[test]
+    fn exp_neg_unit_matches_closed_form() {
+        for (n, d) in [(0u64, 1u64), (1, 1), (1, 2), (2, 3), (9, 10)] {
+            let dist = bernoulli_exp_neg_unit::<Mass<f64>>(&nat(n), &nat(d)).eval_limit(256);
+            let expect = (-(n as f64) / d as f64).exp();
+            assert!(
+                (dist.mass(&true) - expect).abs() < 1e-9,
+                "gamma={n}/{d}: got {} want {expect}",
+                dist.mass(&true)
+            );
+            assert!((dist.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exp_neg_general_matches_closed_form() {
+        for (n, d) in [(5u64, 2u64), (3, 1), (7, 3), (10, 10)] {
+            let dist = bernoulli_exp_neg::<Mass<f64>>(&nat(n), &nat(d)).eval_limit(256);
+            let expect = (-(n as f64) / d as f64).exp();
+            assert!(
+                (dist.mass(&true) - expect).abs() < 1e-9,
+                "gamma={n}/{d}: got {} want {expect}",
+                dist.mass(&true)
+            );
+        }
+    }
+
+    #[test]
+    fn exp_neg_zero_gamma_is_always_true() {
+        let dist = bernoulli_exp_neg::<Mass<Rat>>(&nat(0), &nat(7)).eval_limit(64);
+        assert_eq!(dist.mass(&true), Rat::one());
+    }
+
+    #[test]
+    fn sampling_agrees_with_mass() {
+        let prog = bernoulli_exp_neg::<Sampling>(&nat(3), &nat(2));
+        let mut src = SeededByteSource::new(11);
+        let n = 40_000;
+        let mut hits = 0u64;
+        for _ in 0..n {
+            if prog.run(&mut src) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / n as f64;
+        let expect = (-1.5f64).exp();
+        assert!((freq - expect).abs() < 0.01, "freq={freq} expect={expect}");
+    }
+
+    #[test]
+    fn bernoulli_big_parameters() {
+        // Bias with a denominator beyond u64: exactness must survive.
+        let den = &(&Nat::from(u64::MAX) * &nat(3)) + &nat(1);
+        let num = &den / &nat(2);
+        let prog = bernoulli::<Sampling>(&num, &den);
+        let mut src = SeededByteSource::new(5);
+        let n = 5_000;
+        let hits = (0..n).filter(|_| prog.run(&mut src)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.5).abs() < 0.05, "freq={freq}");
+    }
+}

@@ -1,0 +1,149 @@
+//! The geometric sampler of paper Section 3.2.1 (Listing 8).
+//!
+//! `probGeometric trial` repeats an i.i.d. boolean `trial` until the first
+//! `false`, returning the total number of trials. Its PMF is Eq. (4) of the
+//! paper: `Geo_t(z) = (1−t)·t^(z−1)` for `z ≥ 1`, where `t` is the trial's
+//! success probability. The paper uses this program as the showcase for the
+//! cut-reachability / cut-stability proof technique; the tests here run
+//! that argument executably (see also `slang::cut_curve`).
+
+use sampcert_slang::{map, Interp};
+
+/// `probGeometric`: number of i.i.d. `trial` draws up to and including the
+/// first `false`.
+///
+/// The trial program is cloned into the loop body, so each iteration draws
+/// an independent sample, exactly as the Lean `probWhile` does.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_samplers::geometric;
+/// use sampcert_slang::{map, Interp, Mass};
+///
+/// // Fair-coin trial: P(n) = 2^{-n}.
+/// let trial = map::<Mass<f64>, _, _>(Mass::<f64>::uniform_byte(), |b| b & 1 == 1);
+/// let d = geometric::<Mass<f64>>(trial).eval_with_fuel(40);
+/// assert!((d.mass(&1) - 0.5).abs() < 1e-12);
+/// assert!((d.mass(&3) - 0.125).abs() < 1e-12);
+/// ```
+pub fn geometric<I: Interp>(trial: I::Repr<bool>) -> I::Repr<u64> {
+    let looped = I::while_loop(
+        |st: &(bool, u64)| st.0,
+        move |st| {
+            let n = st.1;
+            map::<I, _, _>(trial.clone(), move |&x| (x, n + 1))
+        },
+        I::pure((true, 0u64)),
+    );
+    map::<I, _, _>(looped, |st| st.1)
+}
+
+/// The closed-form geometric PMF, Eq. (4): `Geo_t(0) = 0`,
+/// `Geo_t(z) = (1−t)·t^(z−1)` for `z > 0`.
+pub fn geometric_pmf(t: f64, z: u64) -> f64 {
+    assert!((0.0..1.0).contains(&t), "geometric_pmf: t must be in [0,1)");
+    if z == 0 {
+        0.0
+    } else {
+        (1.0 - t) * t.powi((z - 1) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bernoulli::bernoulli;
+    use sampcert_arith::{Nat, Rat};
+    use sampcert_slang::{cut_curve, cuts_are_monotone, Mass, Sampling, SeededByteSource};
+
+    fn coin_trial<W: sampcert_slang::Weight>() -> sampcert_slang::MassFn<bool, W> {
+        bernoulli::<Mass<W>>(&Nat::from(1u64), &Nat::from(2u64))
+    }
+
+    #[test]
+    fn pmf_matches_eq4_exactly() {
+        // Bernoulli(1/2) trial: Geo masses are exact dyadics.
+        let g = geometric::<Mass<Rat>>(coin_trial::<Rat>());
+        let d = g.eval_limit(50);
+        assert_eq!(d.mass(&0), Rat::zero());
+        for z in 1u64..10 {
+            assert_eq!(d.mass(&z), Rat::from_ratio(1, 2).powi(z as i32), "z={z}");
+        }
+    }
+
+    #[test]
+    fn pmf_matches_eq4_uneven_bias() {
+        // t = 3/4: Geo_t(z) = (1/4)(3/4)^{z-1}.
+        let trial = bernoulli::<Mass<Rat>>(&Nat::from(3u64), &Nat::from(4u64));
+        let d = geometric::<Mass<Rat>>(trial).eval_limit(60);
+        for z in 1u64..8 {
+            let expect =
+                &Rat::from_ratio(1, 4) * &Rat::from_ratio(3, 4).powi(z as i32 - 1);
+            assert_eq!(d.mass(&z), expect, "z={z}");
+        }
+    }
+
+    #[test]
+    fn cut_reachability_and_stability() {
+        // The paper's Section 3.2.1 argument, executed: cut n+1 reaches the
+        // limit mass at point n, and later cuts preserve it. The trial here
+        // is a rejection-free coin (byte parity) so that the cut arithmetic
+        // is exactly the paper's — `bernoulli(1,2)` would nest a second
+        // truncated loop and shift the reachability cut.
+        let trial = sampcert_slang::map::<Mass<f64>, _, _>(
+            Mass::<f64>::uniform_byte(),
+            |b| b & 1 == 1,
+        );
+        let g = geometric::<Mass<f64>>(trial);
+        for n in 1usize..6 {
+            let reach = g.eval_with_fuel(n + 1).mass(&(n as u64));
+            assert!((reach - geometric_pmf(0.5, n as u64)).abs() < 1e-12);
+            for extra in 1..4 {
+                let later = g.eval_with_fuel(n + 1 + extra).mass(&(n as u64));
+                assert_eq!(reach, later, "stability failed at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_monotone() {
+        let g = geometric::<Mass<f64>>(coin_trial::<f64>());
+        let curve = cut_curve(&g, [1, 2, 4, 8, 16, 32]);
+        assert!(cuts_are_monotone(&curve));
+    }
+
+    #[test]
+    fn normalizes() {
+        let g = geometric::<Mass<f64>>(coin_trial::<f64>());
+        assert!((g.eval_with_fuel(200).total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_mean_matches() {
+        // E[Geo] = 1/(1-t); for t = 1/2 the mean is 2.
+        let trial = bernoulli::<Sampling>(&Nat::from(1u64), &Nat::from(2u64));
+        let g = geometric::<Sampling>(trial);
+        let mut src = SeededByteSource::new(3);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| g.run(&mut src)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn never_returns_zero() {
+        let trial = bernoulli::<Sampling>(&Nat::from(9u64), &Nat::from(10u64));
+        let g = geometric::<Sampling>(trial);
+        let mut src = SeededByteSource::new(8);
+        for _ in 0..500 {
+            assert!(g.run(&mut src) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "t must be in [0,1)")]
+    fn pmf_rejects_bad_t() {
+        let _ = geometric_pmf(1.0, 3);
+    }
+}

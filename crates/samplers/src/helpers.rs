@@ -1,0 +1,40 @@
+//! Small shared helpers for the sampler programs.
+
+use sampcert_arith::Nat;
+
+/// Assembles a big-endian byte vector into a natural number.
+pub(crate) fn nat_from_bytes(bytes: &[u8]) -> Nat {
+    Nat::from_be_bytes(bytes)
+}
+
+/// Converts a natural to `i64`.
+///
+/// # Panics
+///
+/// Panics if the value does not fit; sampler outputs only exceed `i64` for
+/// astronomically large noise scales (documented on the public samplers).
+pub(crate) fn nat_to_i64(v: &Nat) -> i64 {
+    i64::try_from(v.to_u64().expect("sample magnitude exceeds u64 range"))
+        .expect("sample magnitude exceeds i64 range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_big_endian() {
+        assert_eq!(nat_from_bytes(&[0x01, 0x00]), Nat::from(256u64));
+    }
+
+    #[test]
+    fn nat_conversion() {
+        assert_eq!(nat_to_i64(&Nat::from(7u64)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn nat_conversion_overflow_panics() {
+        let _ = nat_to_i64(&Nat::from(u64::MAX));
+    }
+}

@@ -1,0 +1,132 @@
+//! The `SLang` language: four operators, interpreted two ways.
+//!
+//! The paper defines `SLang` as a shallowly-embedded monadic DSL with
+//! exactly four primitive terms (Fig. 3):
+//!
+//! | paper             | here                     |
+//! |-------------------|--------------------------|
+//! | `probPure`        | [`Interp::pure`]         |
+//! | `probBind`        | [`Interp::bind`]         |
+//! | `probUniformByte` | [`Interp::uniform_byte`] |
+//! | `probWhile`       | [`Interp::while_loop`]   |
+//!
+//! In Lean, one shallow embedding serves both proof (mass-function
+//! semantics) and execution (FFI extraction). In Rust we achieve the same
+//! single-source-of-truth with a *tagless-final* encoding: a program is a
+//! generic function over an interpreter `I: Interp`, and the two
+//! interpreters are [`Sampling`](crate::Sampling) (executable, drives a
+//! [`ByteSource`](crate::ByteSource)) and [`Mass`](crate::Mass) (exact
+//! unnormalized mass functions, the paper's Eq. (2)/(3) and the
+//! `probWhileCut` truncation semantics).
+//!
+//! # Example: a fair coin from a uniform byte
+//!
+//! ```
+//! use sampcert_slang::{Interp, Mass, MassCtx, Sampling, SeededByteSource};
+//!
+//! fn coin<I: Interp>() -> I::Repr<bool> {
+//!     I::bind(I::uniform_byte(), |b| I::pure(b & 1 == 1))
+//! }
+//!
+//! // Executable semantics:
+//! let mut src = SeededByteSource::new(0);
+//! let _flip: bool = coin::<Sampling>().run(&mut src);
+//!
+//! // Denotational semantics — exactly one half each:
+//! let d = coin::<Mass<f64>>().eval(&MassCtx::new(1));
+//! assert_eq!(d.mass(&true), 0.5);
+//! assert_eq!(d.mass(&false), 0.5);
+//! ```
+
+use crate::subpmf::Value;
+
+/// An interpreter for the four `SLang` operators.
+///
+/// Implementations provide a representation type `Repr<T>` for programs
+/// producing `T`, and the four primitive constructions. Programs written
+/// against this trait can be run ([`Sampling`](crate::Sampling)) or
+/// analyzed exactly ([`Mass`](crate::Mass)) without duplication — the
+/// reproduction of the paper's "one definition, extracted and verified".
+pub trait Interp: 'static {
+    /// The representation of a probabilistic computation returning `T`.
+    type Repr<T: Value>: Clone;
+
+    /// `probPure v`: the point-mass program.
+    fn pure<T: Value>(v: T) -> Self::Repr<T>;
+
+    /// `probBind m f`: sequencing.
+    fn bind<T: Value, U: Value>(
+        m: Self::Repr<T>,
+        f: impl Fn(&T) -> Self::Repr<U> + 'static,
+    ) -> Self::Repr<U>;
+
+    /// `probUniformByte`: one uniformly random byte.
+    fn uniform_byte() -> Self::Repr<u8>;
+
+    /// `probWhile cond body init`: iterate `body` from `init` while `cond`
+    /// holds.
+    ///
+    /// The executable semantics runs the loop directly; the mass semantics
+    /// is the supremum over the `probWhileCut` truncations (approximated at
+    /// a finite, checkable fuel).
+    fn while_loop<S: Value>(
+        cond: impl Fn(&S) -> bool + 'static,
+        body: impl Fn(&S) -> Self::Repr<S> + 'static,
+        init: Self::Repr<S>,
+    ) -> Self::Repr<S>;
+}
+
+/// Functorial map, derived from `bind` and `pure`.
+///
+/// ```
+/// use sampcert_slang::{map, Interp, Mass, MassCtx};
+/// let doubled = map::<Mass, _, _>(Mass::<f64>::uniform_byte(), |b| (*b as u16) * 2);
+/// assert_eq!(doubled.eval(&MassCtx::new(1)).mass(&510), 1.0 / 256.0);
+/// ```
+pub fn map<I: Interp, T: Value, U: Value>(
+    m: I::Repr<T>,
+    f: impl Fn(&T) -> U + 'static,
+) -> I::Repr<U> {
+    I::bind(m, move |t| I::pure(f(t)))
+}
+
+/// `probUntil body cond`: rejection sampling — repeat `body` until the
+/// result satisfies `cond` (paper, Section 3.2.2).
+///
+/// Defined, as in the paper, by running `body` once and then looping
+/// `body` while the condition fails.
+pub fn until<I: Interp, T: Value>(
+    body: I::Repr<T>,
+    cond: impl Fn(&T) -> bool + 'static,
+) -> I::Repr<T> {
+    let again = body.clone();
+    I::while_loop(move |t| !cond(t), move |_| again.clone(), body)
+}
+
+/// Pairs two independent computations.
+pub fn pair<I: Interp, T: Value, U: Value>(
+    a: I::Repr<T>,
+    b: I::Repr<U>,
+) -> I::Repr<(T, U)> {
+    I::bind(a, move |t| {
+        let t = t.clone();
+        map::<I, _, _>(b.clone(), move |u| (t.clone(), u.clone()))
+    })
+}
+
+/// Sequences a computation `n` times, collecting results.
+pub fn replicate<I: Interp, T: Value>(n: usize, m: I::Repr<T>) -> I::Repr<Vec<T>> {
+    let mut acc: I::Repr<Vec<T>> = I::pure(Vec::new());
+    for _ in 0..n {
+        let m = m.clone();
+        acc = I::bind(acc, move |v| {
+            let v = v.clone();
+            map::<I, _, _>(m.clone(), move |t| {
+                let mut v2 = v.clone();
+                v2.push(t.clone());
+                v2
+            })
+        });
+    }
+    acc
+}

@@ -1,0 +1,63 @@
+//! # sampcert-slang
+//!
+//! `SLang`: the paper's four-operator probabilistic programming language
+//! (Fig. 3 of *Verified Foundations for Differential Privacy*, PLDI 2025),
+//! reproduced as a tagless-final embedding with two interpreters:
+//!
+//! - [`Sampling`] — executable: programs become closures pulling bytes from
+//!   a [`ByteSource`] (the analogue of the paper's Lean→C++ extraction,
+//!   Listing 12);
+//! - [`Mass`] — denotational: programs become unnormalized mass functions
+//!   ([`SubPmf`]) over their result type, with loops interpreted by the
+//!   `probWhileCut` truncation semantics and its supremum (Section 3.1).
+//!
+//! Writing a sampler once, generically over [`Interp`], and holding its two
+//! interpretations against each other (and against closed-form PMFs) is
+//! this reproduction's executable substitute for the paper's Lean proofs:
+//! the *same* program text that runs in production is the one analyzed.
+//!
+//! ## Example
+//!
+//! ```
+//! use sampcert_slang::*;
+//!
+//! /// A uniform sample from {0, 1, 2} by rejection — written once.
+//! fn die<I: Interp>() -> I::Repr<u8> {
+//!     until::<I, _>(
+//!         map::<I, _, _>(I::uniform_byte(), |b| b & 3),
+//!         |&v| v < 3,
+//!     )
+//! }
+//!
+//! // Run it:
+//! let mut src = SeededByteSource::new(0);
+//! let v = die::<Sampling>().run(&mut src);
+//! assert!(v < 3);
+//!
+//! // Analyze it (exact limit of loop cuts):
+//! let d = eval_to_stability(&die::<Mass<f64>>(), 8, 1 << 12, 1e-12)
+//!     .expect("stabilizes")
+//!     .dist;
+//! assert!((d.mass(&0) - 1.0 / 3.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interp;
+mod mass;
+mod sampling;
+mod source;
+mod subpmf;
+mod weight;
+
+pub use interp::{map, pair, replicate, until, Interp};
+pub use mass::{
+    cut_curve, cuts_are_monotone, eval_to_stability, Mass, MassCtx, MassFn, StableEval,
+};
+pub use sampling::{SLang, Sampling};
+pub use source::{
+    ByteSource, CountingByteSource, CyclicByteSource, OsByteSource, SeededByteSource,
+};
+pub use subpmf::{SubPmf, Value};
+pub use weight::Weight;

@@ -1,0 +1,501 @@
+//! The denotational interpreter: `SLang` programs as unnormalized mass
+//! functions.
+//!
+//! This interpreter implements the semantics of the paper's Fig. 3
+//! literally:
+//!
+//! - `probPure v` is the Dirac mass at `v` (Eq. 2),
+//! - `probBind p f` is `Σ_t f(t)(v)·p(t)` (Eq. 3),
+//! - `probUniformByte` puts mass `2⁻⁸` on each of the 256 bytes,
+//! - `probWhile c f init` is `sup_n probWhileCut c f n init` — here
+//!   evaluated at a finite fuel `n`, with [`eval_to_stability`] providing
+//!   the executable version of the paper's **cut reachability / cut
+//!   stability** proof technique (Section 3.2): increase the cut until the
+//!   mass function stops changing, then report the stable cut.
+//!
+//! Because the semantics is *unnormalized* (total mass of a cut is < 1
+//! while mass is still "inside" the loop), cuts are pointwise monotone and
+//! stabilize pointwise — the property the paper's proofs rely on and which
+//! [`cut_curve`] lets tests observe directly.
+
+use crate::interp::Interp;
+use crate::subpmf::{SubPmf, Value};
+use crate::weight::Weight;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// Evaluation context for the mass semantics.
+///
+/// `fuel` is the loop cut: every `probWhile` in the program is truncated to
+/// at most this many unrollings (each unrolling is one guard check, exactly
+/// as in the paper's `probWhileCut`).
+///
+/// With `accelerate` set, the evaluator additionally detects when
+/// consecutive loop frontiers become *proportional* (the situation the
+/// paper's cut-stability lemmas formalize: after some cut, each further
+/// unrolling scales the in-loop mass by a constant factor `c < 1`) and sums
+/// the remaining geometric series `Σ c^k` in closed form — yielding the
+/// exact supremum `probWhile = sup_n probWhileCut n` instead of a
+/// truncation. With `Rat` weights this limit is exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MassCtx {
+    /// Loop cut applied to every `while_loop` during evaluation.
+    pub fuel: usize,
+    /// Enable closed-form summation of geometrically decaying loop tails.
+    pub accelerate: bool,
+    /// Mass floor: support points carrying less than this weight are
+    /// dropped during `bind` and loop stepping. Zero (the default) keeps
+    /// the semantics exact; a tiny positive floor (e.g. `1e-12`) makes
+    /// deep-tail analyses tractable at a quantified accuracy cost — the
+    /// dropped mass is bounded by `prune × (number of pruned points)`,
+    /// and the result remains a pointwise *lower* bound on the true
+    /// denotation (the same one-sided guarantee a finite cut gives).
+    pub prune: f64,
+}
+
+impl MassCtx {
+    /// Pure `probWhileCut` semantics at the given cut (no acceleration,
+    /// no pruning).
+    pub fn new(fuel: usize) -> Self {
+        MassCtx { fuel, accelerate: false, prune: 0.0 }
+    }
+
+    /// Limit semantics: acceleration on, with `fuel` as a safety cap.
+    pub fn limit(fuel: usize) -> Self {
+        MassCtx { fuel, accelerate: true, prune: 0.0 }
+    }
+
+    /// Returns this context with the given mass floor.
+    pub fn with_prune(self, prune: f64) -> Self {
+        MassCtx { prune, ..self }
+    }
+}
+
+/// A lazily-evaluated mass function: the denotation of a `SLang` program.
+///
+/// Evaluate with [`MassFn::eval`] at a chosen cut. Cheap to clone.
+///
+/// Denotations are **memoized per context**: programs are built by cloning
+/// shared subterms (a geometric loop clones its trial program into every
+/// unrolling), so without sharing, evaluation cost would grow with the
+/// *syntactic* number of subterm occurrences rather than the number of
+/// distinct subprograms — exponential for the nested rejection loops of
+/// the Gaussian sampler. The cache holds the most recent `(ctx, result)`
+/// pair, which suffices because an evaluation pass uses one context
+/// throughout.
+pub struct MassFn<T: Value, W: Weight> {
+    f: Rc<dyn Fn(&MassCtx) -> SubPmf<T, W>>,
+    cache: Rc<std::cell::RefCell<Option<(MassCtx, SubPmf<T, W>)>>>,
+}
+
+impl<T: Value, W: Weight> Clone for MassFn<T, W> {
+    fn clone(&self) -> Self {
+        MassFn { f: Rc::clone(&self.f), cache: Rc::clone(&self.cache) }
+    }
+}
+
+impl<T: Value, W: Weight> MassFn<T, W> {
+    fn from_fn(f: impl Fn(&MassCtx) -> SubPmf<T, W> + 'static) -> Self {
+        MassFn { f: Rc::new(f), cache: Rc::new(std::cell::RefCell::new(None)) }
+    }
+
+    /// Evaluates the denotation at the cut in `ctx` (memoized; see the
+    /// type docs).
+    pub fn eval(&self, ctx: &MassCtx) -> SubPmf<T, W> {
+        if let Some((cached_ctx, result)) = self.cache.borrow().as_ref() {
+            if cached_ctx == ctx {
+                return result.clone();
+            }
+        }
+        let result = (self.f)(ctx);
+        *self.cache.borrow_mut() = Some((*ctx, result.clone()));
+        result
+    }
+
+    /// Evaluates at cut `fuel`.
+    pub fn eval_with_fuel(&self, fuel: usize) -> SubPmf<T, W> {
+        self.eval(&MassCtx::new(fuel))
+    }
+
+    /// Evaluates the loop-limit semantics (`probWhile` as the supremum of
+    /// its cuts), using geometric-tail acceleration with `max_fuel` as a
+    /// safety cap. With `Rat` weights the result is the exact limit
+    /// whenever every loop's residual eventually decays proportionally.
+    pub fn eval_limit(&self, max_fuel: usize) -> SubPmf<T, W> {
+        self.eval(&MassCtx::limit(max_fuel))
+    }
+}
+
+/// Returns `c` when `next = c · prev` pointwise (same support, constant
+/// ratio), the precondition for closed-form tail summation.
+fn proportional<T: Value, W: Weight>(prev: &SubPmf<T, W>, next: &SubPmf<T, W>) -> Option<W> {
+    if prev.support_len() != next.support_len() || prev.support_len() == 0 {
+        return None;
+    }
+    let mut ratio: Option<W> = None;
+    for (v, w) in next.iter() {
+        let pw = prev.mass(v);
+        if pw.is_zero() {
+            return None;
+        }
+        let r = w.div(&pw);
+        match &ratio {
+            None => ratio = Some(r),
+            Some(r0) => {
+                if !r0.almost_eq(&r) {
+                    return None;
+                }
+            }
+        }
+    }
+    ratio
+}
+
+/// The mass-function interpreter (marker type), parameterized by the
+/// weight carrier: `f64` for fast analyses, `Rat` for exact ones.
+///
+/// # Examples
+///
+/// Exact geometric masses from a loop (cf. paper Section 3.2.1):
+///
+/// ```
+/// use sampcert_slang::{Interp, Mass, MassCtx};
+/// use sampcert_arith::Rat;
+///
+/// // Flip fair coins until heads; count flips.
+/// let trial = Mass::<Rat>::bind(Mass::<Rat>::uniform_byte(), |b| {
+///     Mass::<Rat>::pure(b & 1 == 1)
+/// });
+/// let loop_ = Mass::<Rat>::while_loop(
+///     |s: &(bool, u64)| s.0,
+///     move |s| {
+///         let n = s.1;
+///         Mass::<Rat>::bind(trial.clone(), move |&flip| Mass::<Rat>::pure((flip, n + 1)))
+///     },
+///     Mass::<Rat>::pure((true, 0u64)),
+/// );
+/// let d = loop_.eval(&MassCtx::new(20));
+/// // P(first failure on trial k) = 2^-k, exactly.
+/// assert_eq!(d.mass(&(false, 1)), Rat::from_ratio(1, 2));
+/// assert_eq!(d.mass(&(false, 3)), Rat::from_ratio(1, 8));
+/// ```
+pub struct Mass<W: Weight = f64>(PhantomData<W>);
+
+impl<W: Weight> Interp for Mass<W> {
+    type Repr<T: Value> = MassFn<T, W>;
+
+    fn pure<T: Value>(v: T) -> MassFn<T, W> {
+        MassFn::from_fn(move |_| SubPmf::dirac(v.clone()))
+    }
+
+    fn bind<T: Value, U: Value>(
+        m: MassFn<T, W>,
+        f: impl Fn(&T) -> MassFn<U, W> + 'static,
+    ) -> MassFn<U, W> {
+        MassFn::from_fn(move |ctx| {
+            let src = if ctx.prune > 0.0 {
+                m.eval(ctx).trim(ctx.prune)
+            } else {
+                m.eval(ctx)
+            };
+            src.bind(|t| f(t).eval(ctx))
+        })
+    }
+
+    fn uniform_byte() -> MassFn<u8, W> {
+        MassFn::from_fn(|_| {
+            SubPmf::from_entries((0u16..256).map(|b| (b as u8, W::from_ratio(1, 256))))
+        })
+    }
+
+    fn while_loop<S: Value>(
+        cond: impl Fn(&S) -> bool + 'static,
+        body: impl Fn(&S) -> MassFn<S, W> + 'static,
+        init: MassFn<S, W>,
+    ) -> MassFn<S, W> {
+        MassFn::from_fn(move |ctx| {
+            let mut out: SubPmf<S, W> = SubPmf::zero();
+            let mut frontier = init.eval(ctx);
+            // The body kernel is deterministic in its input state, so cache
+            // its denotation per state across unrollings.
+            let mut cache: HashMap<S, SubPmf<S, W>> = HashMap::new();
+            for _ in 0..ctx.fuel {
+                if frontier.support_len() == 0 {
+                    break;
+                }
+                let (cont, done) = frontier.partition(&cond);
+                out = out.add(&done);
+                let cont = if ctx.prune > 0.0 { cont.trim(ctx.prune) } else { cont };
+                if cont.support_len() == 0 {
+                    break;
+                }
+                let next = cont.bind(|s| {
+                    cache
+                        .entry(s.clone())
+                        .or_insert_with(|| body(s).eval(ctx))
+                        .clone()
+                });
+                if ctx.accelerate {
+                    // Cut stability, executed: once each unrolling scales the
+                    // in-loop mass by a constant c < 1, the remaining exits
+                    // form the geometric series done·(c + c² + …), summed in
+                    // closed form. Exact for `Rat` weights.
+                    if let Some(c) = proportional(&frontier, &next) {
+                        if c.to_f64() < 1.0 - 1e-13 {
+                            let factor = c.div(&W::one().sub_sat(&c));
+                            return out.add(&done.scale(&factor));
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            // Mass still in `frontier` is inside the loop at this cut; it is
+            // dropped, exactly as probWhileCut maps exhausted fuel to the
+            // zero mass function.
+            out
+        })
+    }
+}
+
+/// Evaluates a program at each cut in `fuels`, returning the sequence of
+/// truncated denotations — the raw material of a cut-reachability /
+/// cut-stability argument.
+pub fn cut_curve<T: Value, W: Weight>(
+    m: &MassFn<T, W>,
+    fuels: impl IntoIterator<Item = usize>,
+) -> Vec<SubPmf<T, W>> {
+    fuels.into_iter().map(|f| m.eval_with_fuel(f)).collect()
+}
+
+/// Checks pointwise monotonicity of the cuts: each denotation in the
+/// sequence must dominate the previous one. This is the lemma the paper
+/// proves for `probWhileCut` (Section 3.1) and the precondition for
+/// `probWhile` being the supremum of its cuts.
+pub fn cuts_are_monotone<T: Value, W: Weight>(curve: &[SubPmf<T, W>]) -> bool {
+    curve.windows(2).all(|w| w[0].le(&w[1]))
+}
+
+/// Result of evaluating to stability; see [`eval_to_stability`].
+#[derive(Debug, Clone)]
+pub struct StableEval<T: Value, W: Weight> {
+    /// The (approximately) stable denotation.
+    pub dist: SubPmf<T, W>,
+    /// The cut at which stability was reached.
+    pub fuel: usize,
+    /// L∞ change between the last two evaluated cuts.
+    pub last_change: f64,
+}
+
+/// Doubles the cut until the denotation stops changing (L∞ below `tol`),
+/// starting at `start_fuel` and giving up at `max_fuel`.
+///
+/// This is the executable counterpart of the paper's stability lemma: once
+/// the returned `last_change` is zero (exact weights) or below tolerance,
+/// further cuts provably cannot *decrease* any mass (monotonicity), so the
+/// reported distribution is a certified lower bound and, when its total
+/// mass is ≈ 1, the limit itself.
+///
+/// # Errors
+///
+/// Returns `Err` with the last evaluation if `max_fuel` is reached before
+/// stabilizing.
+pub fn eval_to_stability<T: Value, W: Weight>(
+    m: &MassFn<T, W>,
+    start_fuel: usize,
+    max_fuel: usize,
+    tol: f64,
+) -> Result<StableEval<T, W>, StableEval<T, W>> {
+    let mut fuel = start_fuel.max(1);
+    let mut prev = m.eval_with_fuel(fuel);
+    loop {
+        let next_fuel = (fuel * 2).min(max_fuel);
+        let next = m.eval_with_fuel(next_fuel);
+        let change = prev.linf_distance(&next);
+        let res = StableEval { dist: next, fuel: next_fuel, last_change: change };
+        if change <= tol {
+            return Ok(res);
+        }
+        if next_fuel >= max_fuel {
+            return Err(res);
+        }
+        fuel = next_fuel;
+        prev = res.dist;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{map, until};
+    use sampcert_arith::Rat;
+
+    fn coin<W: Weight>() -> MassFn<bool, W> {
+        Mass::<W>::bind(Mass::<W>::uniform_byte(), |b| Mass::<W>::pure(b & 1 == 1))
+    }
+
+    #[test]
+    fn pure_is_dirac() {
+        let d = Mass::<f64>::pure(9u8).eval_with_fuel(0);
+        assert_eq!(d.mass(&9), 1.0);
+        assert_eq!(d.total_mass(), 1.0);
+    }
+
+    #[test]
+    fn uniform_byte_mass() {
+        let d = Mass::<Rat>::uniform_byte().eval_with_fuel(0);
+        assert_eq!(d.support_len(), 256);
+        assert_eq!(d.mass(&0), Rat::from_ratio(1, 256));
+        assert_eq!(d.total_mass(), Rat::one());
+    }
+
+    #[test]
+    fn bind_composes_masses_exactly() {
+        let two_coins = Mass::<Rat>::bind(coin::<Rat>(), |&a| {
+            map::<Mass<Rat>, _, _>(coin::<Rat>(), move |&b| (a, b))
+        });
+        let d = two_coins.eval_with_fuel(0);
+        for pt in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(d.mass(&pt), Rat::from_ratio(1, 4));
+        }
+    }
+
+    /// The worked example of paper Section 3.2.1: the geometric loop.
+    fn geo_loop<W: Weight>() -> MassFn<(bool, u64), W> {
+        Mass::<W>::while_loop(
+            |s: &(bool, u64)| s.0,
+            move |s| {
+                let n = s.1;
+                Mass::<W>::bind(coin::<W>(), move |&flip| Mass::<W>::pure((flip, n + 1)))
+            },
+            Mass::<W>::pure((true, 0u64)),
+        )
+    }
+
+    #[test]
+    fn cut_reachability_geometric() {
+        // Cut n+1 suffices for the mass at (false, n) to reach Geo(n).
+        let g = geo_loop::<Rat>();
+        for n in 1u64..6 {
+            let d = g.eval_with_fuel(n as usize + 1);
+            assert_eq!(
+                d.mass(&(false, n)),
+                Rat::from_ratio(1, 2).powi(n as i32),
+                "cut reachability at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_stability_geometric() {
+        // Extra fuel after reachability leaves the mass unchanged.
+        let g = geo_loop::<Rat>();
+        for n in 1u64..5 {
+            let at_reach = g.eval_with_fuel(n as usize + 1).mass(&(false, n));
+            for extra in 1..4usize {
+                let later = g.eval_with_fuel(n as usize + 1 + extra).mass(&(false, n));
+                assert_eq!(at_reach, later, "cut stability at n={n}, +{extra}");
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_monotone_and_mass_to_one() {
+        let g = geo_loop::<f64>();
+        let curve = cut_curve(&g, [1, 2, 4, 8, 16, 32]);
+        assert!(cuts_are_monotone(&curve));
+        let last = curve.last().unwrap();
+        assert!((last.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_returns_true_flag() {
+        // "probGeometricLoop never returns a state with flag true".
+        let g = geo_loop::<f64>();
+        let d = g.eval_with_fuel(30);
+        assert!(d.iter().all(|(s, _)| !s.0));
+    }
+
+    #[test]
+    fn eval_to_stability_converges() {
+        let g = geo_loop::<f64>();
+        let res = eval_to_stability(&g, 1, 1 << 12, 1e-12).expect("stabilizes");
+        assert!((res.dist.total_mass() - 1.0).abs() < 1e-9);
+        assert!((res.dist.mass(&(false, 1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_to_stability_reports_failure() {
+        // A loop that never terminates: cond always true.
+        let never = Mass::<f64>::while_loop(
+            |_: &u8| true,
+            |s| Mass::<f64>::pure(*s),
+            Mass::<f64>::pure(0u8),
+        );
+        // Mass stays zero forever, so it "stabilizes" at zero immediately —
+        // total mass 0 distinguishes divergence from normalization.
+        let res = eval_to_stability(&never, 1, 64, 0.0).expect("zero is stable");
+        assert_eq!(res.dist.total_mass(), 0.0);
+    }
+
+    #[test]
+    fn until_is_normalized_conditional() {
+        // Rejection-sample a byte until it is < 3: uniform on {0,1,2}.
+        let p = until::<Mass<Rat>, _>(Mass::<Rat>::uniform_byte(), |&b| b < 3);
+        let d = p.eval_limit(64);
+        assert_eq!(d.total_mass(), Rat::one());
+        for b in 0u8..3 {
+            assert_eq!(d.mass(&b), Rat::from_ratio(1, 3));
+        }
+        assert_eq!(d.mass(&3), Rat::zero());
+    }
+
+    #[test]
+    fn accelerated_limit_agrees_with_deep_cut() {
+        let p = until::<Mass<f64>, _>(Mass::<f64>::uniform_byte(), |&b| b >= 128);
+        let exact = p.eval_limit(64);
+        let cut = p.eval_with_fuel(64);
+        assert!(exact.linf_distance(&cut) < 1e-9);
+        assert!((exact.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceleration_skips_mass_preserving_loops() {
+        // cond always true with a deterministic body: c = 1, never
+        // accelerated; the cut semantics (zero mass) is preserved.
+        let never = Mass::<f64>::while_loop(
+            |_: &u8| true,
+            |s| Mass::<f64>::pure(*s),
+            Mass::<f64>::pure(0u8),
+        );
+        assert_eq!(never.eval_limit(32).total_mass(), 0.0);
+    }
+
+    #[test]
+    fn geometric_limit_exact_under_acceleration() {
+        // The geometric loop's frontier is {(true, k)} with moving support,
+        // so proportionality never fires; the accelerated evaluator must
+        // still produce the correct cut-limited masses.
+        let g = geo_loop::<Rat>();
+        let d = g.eval(&MassCtx::limit(30));
+        assert_eq!(d.mass(&(false, 2)), Rat::from_ratio(1, 4));
+    }
+
+    #[test]
+    fn while_cut_zero_is_zero() {
+        let g = geo_loop::<f64>();
+        assert_eq!(g.eval_with_fuel(0).total_mass(), 0.0);
+    }
+
+    #[test]
+    fn loop_with_immediate_exit_consumes_one_cut() {
+        // cond false at entry: cut 1 yields the init distribution.
+        let p = Mass::<f64>::while_loop(
+            |_: &u8| false,
+            |s| Mass::<f64>::pure(*s),
+            Mass::<f64>::pure(7u8),
+        );
+        assert_eq!(p.eval_with_fuel(0).total_mass(), 0.0);
+        assert_eq!(p.eval_with_fuel(1).mass(&7), 1.0);
+    }
+}

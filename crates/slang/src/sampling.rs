@@ -1,0 +1,203 @@
+//! The executable interpreter: `SLang` programs as sampling procedures.
+//!
+//! This is the Rust analogue of the paper's extraction pipeline
+//! (Section 4.1, Listings 12/20): each of the four operators becomes a
+//! small closure, composed at program-construction time, that pulls bytes
+//! from a [`ByteSource`] at run time. The correspondence is operator-for-
+//! operator —
+//!
+//! | Lean/C++ FFI        | here                                  |
+//! |---------------------|---------------------------------------|
+//! | `prob_Pure`         | a closure returning the value         |
+//! | `prob_Bind`         | run the first, apply, run the second  |
+//! | `prob_UniformByte`  | `src.next_byte()`                     |
+//! | `prob_While`        | a `while` loop over the state         |
+//!
+//! — so the trusted "compilation" step is exactly as thin as the paper's
+//! 57 lines of C++.
+
+use crate::interp::Interp;
+use crate::source::ByteSource;
+use crate::subpmf::Value;
+use std::rc::Rc;
+
+/// A compiled sampling procedure producing `T`.
+///
+/// Values of this type are cheap to clone (reference-counted) and can be
+/// run any number of times against any [`ByteSource`].
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_slang::{Interp, Sampling, SLang, SeededByteSource};
+///
+/// let byte: SLang<u8> = Sampling::uniform_byte();
+/// let mut src = SeededByteSource::new(1);
+/// let a = byte.run(&mut src);
+/// let b = byte.run(&mut src);
+/// // Two independent draws from the same program.
+/// let _ = (a, b);
+/// ```
+pub struct SLang<T>(Rc<dyn Fn(&mut dyn ByteSource) -> T>);
+
+impl<T> Clone for SLang<T> {
+    fn clone(&self) -> Self {
+        SLang(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Value> SLang<T> {
+    /// Wraps a raw sampling function.
+    ///
+    /// This is the escape hatch used by the hand-fused "compiled" samplers
+    /// (the analogue of calling external C++ from Lean); library code should
+    /// prefer the four primitive operators.
+    pub fn from_fn(f: impl Fn(&mut dyn ByteSource) -> T + 'static) -> Self {
+        SLang(Rc::new(f))
+    }
+
+    /// Draws one sample.
+    pub fn run(&self, src: &mut dyn ByteSource) -> T {
+        (self.0)(src)
+    }
+
+    /// Draws `n` independent samples.
+    pub fn sample_many(&self, n: usize, src: &mut dyn ByteSource) -> Vec<T> {
+        (0..n).map(|_| self.run(src)).collect()
+    }
+}
+
+/// The executable interpreter (marker type).
+///
+/// `Sampling::Repr<T> = SLang<T>`; see the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct Sampling;
+
+impl Interp for Sampling {
+    type Repr<T: Value> = SLang<T>;
+
+    fn pure<T: Value>(v: T) -> SLang<T> {
+        SLang(Rc::new(move |_| v.clone()))
+    }
+
+    fn bind<T: Value, U: Value>(
+        m: SLang<T>,
+        f: impl Fn(&T) -> SLang<U> + 'static,
+    ) -> SLang<U> {
+        SLang(Rc::new(move |src| {
+            let t = m.run(src);
+            f(&t).run(src)
+        }))
+    }
+
+    fn uniform_byte() -> SLang<u8> {
+        SLang(Rc::new(|src| src.next_byte()))
+    }
+
+    fn while_loop<S: Value>(
+        cond: impl Fn(&S) -> bool + 'static,
+        body: impl Fn(&S) -> SLang<S> + 'static,
+        init: SLang<S>,
+    ) -> SLang<S> {
+        SLang(Rc::new(move |src| {
+            let mut s = init.run(src);
+            while cond(&s) {
+                s = body(&s).run(src);
+            }
+            s
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{map, pair, replicate, until};
+    use crate::source::{CyclicByteSource, SeededByteSource};
+
+    #[test]
+    fn pure_ignores_randomness() {
+        let p: SLang<u32> = Sampling::pure(17);
+        let mut src = CyclicByteSource::new(vec![0xAB]);
+        assert_eq!(p.run(&mut src), 17);
+    }
+
+    #[test]
+    fn uniform_byte_reads_one_byte() {
+        let p: SLang<u8> = Sampling::uniform_byte();
+        let mut src = CyclicByteSource::new(vec![42, 43]);
+        assert_eq!(p.run(&mut src), 42);
+        assert_eq!(p.run(&mut src), 43);
+    }
+
+    #[test]
+    fn bind_sequences_left_to_right() {
+        let p = Sampling::bind(Sampling::uniform_byte(), |&a| {
+            map::<Sampling, _, _>(Sampling::uniform_byte(), move |&b| (a, b))
+        });
+        let mut src = CyclicByteSource::new(vec![1, 2, 3, 4]);
+        assert_eq!(p.run(&mut src), (1, 2));
+        assert_eq!(p.run(&mut src), (3, 4));
+    }
+
+    #[test]
+    fn while_loop_runs_until_condition_fails() {
+        // Count down from the first byte to zero, counting iterations.
+        let init: SLang<(u8, u32)> =
+            map::<Sampling, _, _>(Sampling::uniform_byte(), |&b| (b, 0));
+        let p = Sampling::while_loop(
+            |s: &(u8, u32)| s.0 > 0,
+            |s| Sampling::pure((s.0 - 1, s.1 + 1)),
+            init,
+        );
+        let mut src = CyclicByteSource::new(vec![5]);
+        assert_eq!(p.run(&mut src), (0, 5));
+    }
+
+    #[test]
+    fn until_rejects_until_predicate() {
+        // Redraw bytes until we see one below 4.
+        let p = until::<Sampling, _>(Sampling::uniform_byte(), |&b| b < 4);
+        let mut src = CyclicByteSource::new(vec![200, 100, 3, 77]);
+        assert_eq!(p.run(&mut src), 3);
+        // Next run starts at 77 -> cycles to 200, 100, 3 again.
+        assert_eq!(p.run(&mut src), 3);
+    }
+
+    #[test]
+    fn pair_draws_independently() {
+        let p = pair::<Sampling, _, _>(Sampling::uniform_byte(), Sampling::uniform_byte());
+        let mut src = CyclicByteSource::new(vec![7, 9]);
+        assert_eq!(p.run(&mut src), (7, 9));
+    }
+
+    #[test]
+    fn replicate_collects() {
+        let p = replicate::<Sampling, _>(3, Sampling::uniform_byte());
+        let mut src = CyclicByteSource::new(vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(p.run(&mut src), vec![1, 2, 3]);
+        assert_eq!(p.run(&mut src), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn programs_are_reusable_and_cloneable() {
+        let p: SLang<u8> = Sampling::uniform_byte();
+        let q = p.clone();
+        let mut src = SeededByteSource::new(3);
+        let xs = p.sample_many(10, &mut src);
+        let ys = q.sample_many(10, &mut src);
+        assert_eq!(xs.len(), 10);
+        assert_eq!(ys.len(), 10);
+    }
+
+    #[test]
+    fn from_fn_escape_hatch() {
+        let p: SLang<u16> = SLang::from_fn(|src| {
+            let hi = src.next_byte() as u16;
+            let lo = src.next_byte() as u16;
+            (hi << 8) | lo
+        });
+        let mut src = CyclicByteSource::new(vec![0x12, 0x34]);
+        assert_eq!(p.run(&mut src), 0x1234);
+    }
+}

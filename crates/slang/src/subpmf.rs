@@ -1,0 +1,425 @@
+//! Unnormalized mass functions over countable types.
+//!
+//! [`SubPmf<T, W>`] is the denotation domain of `SLang`: a finitely
+//! supported map `T → W` with nonnegative weights summing to *at most* one
+//! (sub-probability), or in intermediate analyses to anything at all — the
+//! paper's key move is to work in the **unnormalized** Giry monad so that
+//! loop cuts compose without normalizing factors (Section 3.1). Promotion
+//! to a true PMF is a *check* ([`SubPmf::total_mass`] ≈ 1), performed after
+//! functional correctness is established, exactly mirroring the paper's
+//! ordering of normalization proofs after correctness proofs.
+
+use crate::weight::Weight;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Marker for values that can inhabit a `SLang` program.
+///
+/// Blanket-implemented; the bounds are what a finitely-supported mass
+/// function (hash map keys) and the sampling interpreter (owned results)
+/// require.
+pub trait Value: Clone + Eq + Hash + Debug + 'static {}
+impl<T: Clone + Eq + Hash + Debug + 'static> Value for T {}
+
+/// A finitely-supported unnormalized mass function.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_slang::SubPmf;
+///
+/// let coin: SubPmf<bool, f64> = SubPmf::from_entries(vec![(true, 0.5), (false, 0.5)]);
+/// assert_eq!(coin.total_mass(), 1.0);
+/// assert_eq!(coin.mass(&true), 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubPmf<T: Value, W: Weight = f64> {
+    map: HashMap<T, W>,
+}
+
+impl<T: Value, W: Weight> SubPmf<T, W> {
+    /// The zero mass function (the denotation of a non-terminating loop cut).
+    pub fn zero() -> Self {
+        SubPmf { map: HashMap::new() }
+    }
+
+    /// The Dirac mass function at `v` (the denotation of `probPure v`).
+    pub fn dirac(v: T) -> Self {
+        let mut map = HashMap::new();
+        map.insert(v, W::one());
+        SubPmf { map }
+    }
+
+    /// Builds a mass function from `(value, weight)` entries, summing
+    /// duplicate keys and dropping zero weights.
+    pub fn from_entries(entries: impl IntoIterator<Item = (T, W)>) -> Self {
+        let mut out = SubPmf::zero();
+        for (v, w) in entries {
+            out.add_mass(v, w);
+        }
+        out
+    }
+
+    /// Adds `w` to the mass at `v`.
+    pub fn add_mass(&mut self, v: T, w: W) {
+        if w.is_zero() {
+            return;
+        }
+        match self.map.get_mut(&v) {
+            Some(cur) => *cur = cur.add(&w),
+            None => {
+                self.map.insert(v, w);
+            }
+        }
+    }
+
+    /// The mass at `v` (zero off the support).
+    pub fn mass(&self, v: &T) -> W {
+        self.map.get(v).cloned().unwrap_or_else(W::zero)
+    }
+
+    /// The total mass `Σ_v m(v)`.
+    ///
+    /// A complete `SLang` program denotes a PMF exactly when this is one;
+    /// the shortfall of a loop cut below one is the mass still "inside" the
+    /// loop (or lost to non-termination in the limit).
+    pub fn total_mass(&self) -> W {
+        self.map
+            .values()
+            .fold(W::zero(), |acc, w| acc.add(w))
+    }
+
+    /// Number of support points.
+    pub fn support_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(value, weight)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &W)> {
+        self.map.iter()
+    }
+
+    /// The support as a vector (unspecified order).
+    pub fn support(&self) -> Vec<T> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// Scales every weight by `w`.
+    pub fn scale(&self, w: &W) -> Self {
+        if w.is_zero() {
+            return SubPmf::zero();
+        }
+        SubPmf {
+            map: self
+                .map
+                .iter()
+                .map(|(v, m)| (v.clone(), m.mul(w)))
+                .collect(),
+        }
+    }
+
+    /// Pointwise sum of two mass functions.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (v, w) in other.iter() {
+            out.add_mass(v.clone(), w.clone());
+        }
+        out
+    }
+
+    /// Monadic bind: `(p >>= f)(v) = Σ_t f(t)(v) · p(t)` — Eq. (3) of the
+    /// paper, evaluated over the finite support.
+    pub fn bind<U: Value>(&self, mut f: impl FnMut(&T) -> SubPmf<U, W>) -> SubPmf<U, W> {
+        let mut out = SubPmf::zero();
+        for (t, w) in self.map.iter() {
+            let inner = f(t);
+            for (u, wu) in inner.map {
+                out.add_mass(u, w.mul(&wu));
+            }
+        }
+        out
+    }
+
+    /// Pushes the mass function forward along `f` (postprocessing).
+    pub fn map<U: Value>(&self, mut f: impl FnMut(&T) -> U) -> SubPmf<U, W> {
+        let mut out = SubPmf::zero();
+        for (t, w) in self.map.iter() {
+            out.add_mass(f(t), w.clone());
+        }
+        out
+    }
+
+    /// Keeps only the mass at points satisfying `pred`.
+    pub fn filter(&self, mut pred: impl FnMut(&T) -> bool) -> Self {
+        SubPmf {
+            map: self
+                .map
+                .iter()
+                .filter(|(t, _)| pred(t))
+                .map(|(t, w)| (t.clone(), w.clone()))
+                .collect(),
+        }
+    }
+
+    /// Drops support points whose weight is below `floor` (as `f64`).
+    ///
+    /// Analytic distributions in this workspace are truncations of
+    /// infinite-support closed forms; comparing two truncations built
+    /// around different centers leaves mismatched edge points carrying
+    /// only truncation-artifact mass. Trimming at a floor far below the
+    /// truncation tail bound (e.g. `1e-13` against an `e^{−40}` tail)
+    /// removes exactly those artifacts before divergence computations.
+    pub fn trim(&self, floor: f64) -> Self {
+        SubPmf {
+            map: self
+                .map
+                .iter()
+                .filter(|(_, w)| w.to_f64() >= floor)
+                .map(|(t, w)| (t.clone(), w.clone()))
+                .collect(),
+        }
+    }
+
+    /// Splits into `(mass where pred, mass where !pred)`.
+    pub fn partition(&self, mut pred: impl FnMut(&T) -> bool) -> (Self, Self) {
+        let mut yes = SubPmf::zero();
+        let mut no = SubPmf::zero();
+        for (t, w) in self.map.iter() {
+            if pred(t) {
+                yes.add_mass(t.clone(), w.clone());
+            } else {
+                no.add_mass(t.clone(), w.clone());
+            }
+        }
+        (yes, no)
+    }
+
+    /// Normalizes to total mass one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total mass is zero.
+    pub fn normalize(&self) -> Self {
+        let total = self.total_mass();
+        assert!(!total.is_zero(), "cannot normalize the zero mass function");
+        SubPmf {
+            map: self
+                .map
+                .iter()
+                .map(|(v, w)| (v.clone(), w.div(&total)))
+                .collect(),
+        }
+    }
+
+    /// Pointwise monotone comparison: `self(v) ≤ other(v)` everywhere.
+    ///
+    /// The cuts `probWhileCut c f n i` are pointwise monotone in `n`
+    /// (paper, Section 3.1); the tests use this to check that property of
+    /// the executable semantics.
+    pub fn le(&self, other: &Self) -> bool {
+        self.map.iter().all(|(v, w)| *w <= other.mass(v))
+    }
+
+    /// The largest absolute pointwise difference, as `f64`.
+    pub fn linf_distance<W2: Weight>(&self, other: &SubPmf<T, W2>) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (v, w) in self.map.iter() {
+            worst = worst.max((w.to_f64() - other.mass(v).to_f64()).abs());
+        }
+        for (v, w) in other.map.iter() {
+            worst = worst.max((self.mass(v).to_f64() - w.to_f64()).abs());
+        }
+        worst
+    }
+
+    /// Total-variation distance `½ Σ_v |p(v) − q(v)|`, as `f64`.
+    pub fn tv_distance<W2: Weight>(&self, other: &SubPmf<T, W2>) -> f64 {
+        let mut sum = 0.0;
+        for (v, w) in self.map.iter() {
+            sum += (w.to_f64() - other.mass(v).to_f64()).abs();
+        }
+        for (v, w) in other.map.iter() {
+            if !self.map.contains_key(v) {
+                sum += w.to_f64().abs();
+            }
+        }
+        sum / 2.0
+    }
+
+    /// Converts the weights to `f64`.
+    pub fn to_f64_pmf(&self) -> SubPmf<T, f64> {
+        SubPmf {
+            map: self
+                .map
+                .iter()
+                .map(|(v, w)| (v.clone(), w.to_f64()))
+                .collect(),
+        }
+    }
+}
+
+impl<T: Value, W: Weight> PartialEq for SubPmf<T, W> {
+    /// Exact pointwise equality of mass functions (zero-mass points are
+    /// never stored, so map equality is pointwise equality).
+    fn eq(&self, other: &Self) -> bool {
+        self.map.len() == other.map.len()
+            && self.map.iter().all(|(v, w)| other.mass(v) == *w)
+    }
+}
+
+impl<T: Value + Ord, W: Weight> SubPmf<T, W> {
+    /// Entries sorted by value, for deterministic reporting.
+    pub fn sorted_entries(&self) -> Vec<(T, W)> {
+        let mut v: Vec<(T, W)> = self
+            .map
+            .iter()
+            .map(|(t, w)| (t.clone(), w.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+impl SubPmf<i64, f64> {
+    /// Expectation `Σ_v v · m(v)` of an integer-valued mass function.
+    pub fn expectation(&self) -> f64 {
+        self.map.iter().map(|(v, w)| *v as f64 * w).sum()
+    }
+
+    /// Raw second moment `Σ_v v² · m(v)`.
+    pub fn second_moment(&self) -> f64 {
+        self.map.iter().map(|(v, w)| (*v as f64).powi(2) * w).sum()
+    }
+
+    /// Variance of the normalized distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total mass is zero.
+    pub fn variance(&self) -> f64 {
+        let n = self.normalize();
+        let mean = n.expectation();
+        n.second_moment() - mean * mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_arith::Rat;
+
+    #[test]
+    fn dirac_and_zero() {
+        let d: SubPmf<u8> = SubPmf::dirac(3);
+        assert_eq!(d.mass(&3), 1.0);
+        assert_eq!(d.mass(&4), 0.0);
+        assert_eq!(d.total_mass(), 1.0);
+        let z: SubPmf<u8> = SubPmf::zero();
+        assert_eq!(z.total_mass(), 0.0);
+        assert_eq!(z.support_len(), 0);
+    }
+
+    #[test]
+    fn bind_is_eq3() {
+        // p = uniform on {0,1}; f(x) = dirac(x+10) with weight 1/2 else zero.
+        let p: SubPmf<u8> = SubPmf::from_entries(vec![(0u8, 0.5), (1u8, 0.5)]);
+        let q = p.bind(|&x| {
+            if x == 0 {
+                SubPmf::from_entries(vec![(10u8, 0.5)])
+            } else {
+                SubPmf::dirac(11)
+            }
+        });
+        assert_eq!(q.mass(&10), 0.25);
+        assert_eq!(q.mass(&11), 0.5);
+        assert!((q.total_mass() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bind_monad_laws_exact() {
+        // Left identity and associativity with exact rational weights.
+        type P = SubPmf<u8, Rat>;
+        let h = Rat::from_ratio(1, 2);
+        let p: P = SubPmf::from_entries(vec![(0u8, h.clone()), (1u8, h.clone())]);
+        let f = |x: &u8| -> P { SubPmf::dirac(x.wrapping_add(1)) };
+        let g = |x: &u8| -> P {
+            SubPmf::from_entries(vec![(*x, Rat::from_ratio(1, 3)), (x + 10, Rat::from_ratio(1, 3))])
+        };
+        // left identity: dirac(a) >>= f == f(a)
+        assert_eq!(SubPmf::dirac(5u8).bind(f), f(&5));
+        // associativity
+        let lhs = p.bind(f).bind(g);
+        let rhs = p.bind(|x| f(x).bind(g));
+        assert_eq!(lhs, rhs);
+        // right identity
+        assert_eq!(p.bind(|x| SubPmf::dirac(*x)), p);
+    }
+
+    #[test]
+    fn partition_and_filter() {
+        let p: SubPmf<i64> =
+            SubPmf::from_entries(vec![(1, 0.2), (2, 0.3), (3, 0.5)]);
+        let (even, odd) = p.partition(|v| v % 2 == 0);
+        assert!((even.total_mass() - 0.3).abs() < 1e-15);
+        assert!((odd.total_mass() - 0.7).abs() < 1e-15);
+        assert_eq!(p.filter(|v| *v > 2).support(), vec![3]);
+    }
+
+    #[test]
+    fn normalize_and_moments() {
+        let p: SubPmf<i64> = SubPmf::from_entries(vec![(0, 0.25), (2, 0.25)]);
+        let n = p.normalize();
+        assert!((n.total_mass() - 1.0).abs() < 1e-15);
+        assert_eq!(n.expectation(), 1.0);
+        assert_eq!(p.variance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mass function")]
+    fn normalize_zero_panics() {
+        let _ = SubPmf::<u8, f64>::zero().normalize();
+    }
+
+    #[test]
+    fn distances() {
+        let p: SubPmf<u8> = SubPmf::from_entries(vec![(0u8, 0.5), (1u8, 0.5)]);
+        let q: SubPmf<u8> = SubPmf::from_entries(vec![(0u8, 0.25), (2u8, 0.75)]);
+        assert!((p.tv_distance(&q) - 0.75).abs() < 1e-15);
+        assert!((p.linf_distance(&q) - 0.75).abs() < 1e-15);
+        assert_eq!(p.tv_distance(&p), 0.0);
+    }
+
+    #[test]
+    fn pointwise_le() {
+        let small: SubPmf<u8> = SubPmf::from_entries(vec![(0u8, 0.2)]);
+        let big: SubPmf<u8> = SubPmf::from_entries(vec![(0u8, 0.3), (1u8, 0.1)]);
+        assert!(small.le(&big));
+        assert!(!big.le(&small));
+    }
+
+    #[test]
+    fn exact_rational_masses() {
+        // 1/3 + 1/6 = 1/2 exactly; f64 would be fine here but the point is
+        // the carrier is exact.
+        let p: SubPmf<u8, Rat> = SubPmf::from_entries(vec![
+            (0u8, Rat::from_ratio(1, 3)),
+            (0u8, Rat::from_ratio(1, 6)),
+        ]);
+        assert_eq!(p.mass(&0), Rat::from_ratio(1, 2));
+    }
+
+    #[test]
+    fn sorted_entries_deterministic() {
+        let p: SubPmf<i64> = SubPmf::from_entries(vec![(3, 0.1), (-1, 0.2), (2, 0.3)]);
+        let keys: Vec<i64> = p.sorted_entries().into_iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![-1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_weights_not_stored() {
+        let mut p: SubPmf<u8> = SubPmf::zero();
+        p.add_mass(1, 0.0);
+        assert_eq!(p.support_len(), 0);
+    }
+}

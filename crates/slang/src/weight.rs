@@ -1,0 +1,156 @@
+//! Mass-function weights: the semiring ℝ≥0 in which `SLang` denotations live.
+//!
+//! The paper embeds `SLang τ` as `τ → ℝ∞≥0` — functions into the *extended*
+//! nonnegative reals, where every series converges. A Rust reproduction
+//! evaluates mass functions on finite supports, so plain nonnegative values
+//! suffice; [`Weight`] abstracts over the two carriers used here:
+//!
+//! - `f64`: fast approximate weights for large analyses, and
+//! - [`Rat`](sampcert_arith::Rat): exact rational weights, with which the
+//!   "sampler PMF = closed form" checks hold *with equality*, not just up
+//!   to tolerance — the executable stand-in for the Lean proofs.
+
+use sampcert_arith::Rat;
+use std::fmt::Debug;
+
+/// A nonnegative weight carrier for mass functions.
+///
+/// Implementors form the subsemiring of ℝ≥0 reachable from dyadic rationals
+/// (`probUniformByte` contributes mass `1/256` per point; the four `SLang`
+/// operators only add and multiply).
+pub trait Weight: Clone + PartialEq + PartialOrd + Debug + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// The weight `n / d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    fn from_ratio(n: u64, d: u64) -> Self;
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Division.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or yield a non-finite value for `f64`) when `other` is zero.
+    fn div(&self, other: &Self) -> Self;
+    /// Truncated subtraction: `max(self − other, 0)`.
+    fn sub_sat(&self, other: &Self) -> Self;
+    /// Equality up to the carrier's intrinsic precision: exact for `Rat`,
+    /// relative `1e-12` for `f64`. Used by the loop-limit accelerator to
+    /// detect proportional frontiers.
+    fn almost_eq(&self, other: &Self) -> bool;
+    /// Conversion to `f64` for reporting and statistics.
+    fn to_f64(&self) -> f64;
+    /// Returns `true` for the additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+impl Weight for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_ratio(n: u64, d: u64) -> Self {
+        assert!(d != 0, "zero denominator");
+        n as f64 / d as f64
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn sub_sat(&self, other: &Self) -> Self {
+        (self - other).max(0.0)
+    }
+    fn almost_eq(&self, other: &Self) -> bool {
+        (self - other).abs() <= 1e-12 * self.abs().max(other.abs())
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+}
+
+impl Weight for Rat {
+    fn zero() -> Self {
+        Rat::zero()
+    }
+    fn one() -> Self {
+        Rat::one()
+    }
+    fn from_ratio(n: u64, d: u64) -> Self {
+        Rat::from_ratio(n, d)
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn sub_sat(&self, other: &Self) -> Self {
+        if self <= other {
+            Rat::zero()
+        } else {
+            self - other
+        }
+    }
+    fn almost_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+    fn to_f64(&self) -> f64 {
+        Rat::to_f64(self)
+    }
+    fn is_zero(&self) -> bool {
+        Rat::is_zero(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn semiring_laws<W: Weight>() {
+        let half = W::from_ratio(1, 2);
+        let third = W::from_ratio(1, 3);
+        assert_eq!(half.add(&W::zero()), half);
+        assert_eq!(half.mul(&W::one()), half);
+        assert!(W::zero().is_zero());
+        assert!(!W::one().is_zero());
+        assert!(half.mul(&third).almost_eq(&W::from_ratio(1, 6)));
+        assert!(half.add(&third).almost_eq(&W::from_ratio(5, 6)));
+        assert!(W::from_ratio(5, 6).div(&half).almost_eq(&W::from_ratio(5, 3)));
+        assert!(half.sub_sat(&third).almost_eq(&W::from_ratio(1, 6)));
+        assert_eq!(third.sub_sat(&half), W::zero());
+        assert!(half.almost_eq(&W::from_ratio(2, 4)));
+        assert!(!half.almost_eq(&third));
+    }
+
+    #[test]
+    fn f64_laws() {
+        semiring_laws::<f64>();
+        assert_eq!(0.5f64.to_f64(), 0.5);
+    }
+
+    #[test]
+    fn rat_laws() {
+        semiring_laws::<Rat>();
+        assert_eq!(Rat::from_ratio(1, 3).to_f64(), 1.0 / 3.0);
+    }
+}

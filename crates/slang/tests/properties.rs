@@ -1,0 +1,150 @@
+//! Property-based tests for the mass-function semantics: the monad and
+//! measure laws the paper's Lean development proves once and for all,
+//! checked here on randomized finite distributions.
+
+use proptest::prelude::*;
+use sampcert_arith::Rat;
+use sampcert_slang::{Interp, Mass, MassCtx, SubPmf, Weight};
+
+/// Strategy: a small random sub-PMF over u8 with rational weights summing
+/// to at most 1.
+fn arb_subpmf() -> impl Strategy<Value = SubPmf<u8, Rat>> {
+    prop::collection::vec((any::<u8>(), 1u64..100), 1..8).prop_map(|entries| {
+        let total: u64 = entries.iter().map(|(_, w)| *w).sum();
+        let denom = total.max(1) * 2; // total mass ≤ 1/2
+        SubPmf::from_entries(
+            entries
+                .into_iter()
+                .map(move |(v, w)| (v, Rat::from_ratio(w, denom))),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn bind_left_identity(v in any::<u8>(), shift in any::<u8>()) {
+        let f = move |x: &u8| SubPmf::<u8, Rat>::dirac(x.wrapping_add(shift));
+        prop_assert_eq!(SubPmf::dirac(v).bind(f), f(&v));
+    }
+
+    #[test]
+    fn bind_right_identity(p in arb_subpmf()) {
+        prop_assert_eq!(p.bind(|x| SubPmf::dirac(*x)), p);
+    }
+
+    #[test]
+    fn bind_associativity(p in arb_subpmf(), s1 in any::<u8>(), s2 in any::<u8>()) {
+        let f = move |x: &u8| -> SubPmf<u8, Rat> {
+            SubPmf::from_entries(vec![
+                (x.wrapping_add(s1), Rat::from_ratio(1, 3)),
+                (x.wrapping_mul(2), Rat::from_ratio(1, 3)),
+            ])
+        };
+        let g = move |x: &u8| SubPmf::<u8, Rat>::dirac(x.wrapping_add(s2));
+        let lhs = p.bind(f).bind(g);
+        let rhs = p.bind(|x| f(x).bind(g));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bind_preserves_total_mass_for_stochastic_kernels(p in arb_subpmf()) {
+        // A kernel mapping each point to a *probability* distribution
+        // preserves total mass exactly.
+        let f = |x: &u8| -> SubPmf<u8, Rat> {
+            SubPmf::from_entries(vec![
+                (*x, Rat::from_ratio(1, 2)),
+                (x.wrapping_add(1), Rat::from_ratio(1, 2)),
+            ])
+        };
+        prop_assert_eq!(p.bind(f).total_mass(), p.total_mass());
+    }
+
+    #[test]
+    fn map_preserves_total_mass(p in arb_subpmf(), k in any::<u8>()) {
+        prop_assert_eq!(p.map(|x| x.wrapping_mul(k)).total_mass(), p.total_mass());
+    }
+
+    #[test]
+    fn partition_splits_mass(p in arb_subpmf(), cut in any::<u8>()) {
+        let (yes, no) = p.partition(|x| *x < cut);
+        prop_assert_eq!(yes.total_mass().add(&no.total_mass()), p.total_mass());
+        prop_assert_eq!(yes.add(&no), p);
+    }
+
+    #[test]
+    fn scale_is_linear(p in arb_subpmf(), n in 1u64..10, d in 10u64..20) {
+        let c = Rat::from_ratio(n, d);
+        let scaled = p.scale(&c);
+        prop_assert_eq!(scaled.total_mass(), p.total_mass().mul(&c));
+        for (v, w) in p.iter() {
+            prop_assert_eq!(scaled.mass(v), w.mul(&c));
+        }
+    }
+
+    #[test]
+    fn tv_distance_is_a_metric(p in arb_subpmf(), q in arb_subpmf(), r in arb_subpmf()) {
+        let pf = p.to_f64_pmf();
+        let qf = q.to_f64_pmf();
+        let rf = r.to_f64_pmf();
+        prop_assert!(pf.tv_distance(&qf) >= 0.0);
+        prop_assert!((pf.tv_distance(&qf) - qf.tv_distance(&pf)).abs() < 1e-12);
+        prop_assert!(pf.tv_distance(&pf) < 1e-15);
+        // Triangle inequality.
+        prop_assert!(pf.tv_distance(&rf) <= pf.tv_distance(&qf) + qf.tv_distance(&rf) + 1e-12);
+    }
+
+    #[test]
+    fn normalize_then_total_is_one(p in arb_subpmf()) {
+        prop_assume!(!p.total_mass().is_zero());
+        prop_assert_eq!(p.normalize().total_mass(), Rat::one());
+    }
+
+    #[test]
+    fn trim_only_removes_small_mass(p in arb_subpmf()) {
+        let trimmed = p.trim(1e-3);
+        for (v, w) in trimmed.iter() {
+            prop_assert!(w.to_f64() >= 1e-3);
+            prop_assert_eq!(p.mass(v), w.clone());
+        }
+        prop_assert!(trimmed.le(&p));
+    }
+
+    #[test]
+    fn while_cut_monotone_in_fuel(bias in 1u64..255, fuels in prop::collection::vec(1usize..24, 2..5)) {
+        // A random until-style loop: redraw a byte until it is below `bias`.
+        let prog = sampcert_slang::until::<Mass<f64>, _>(
+            Mass::<f64>::uniform_byte(),
+            move |b| (*b as u64) < bias,
+        );
+        let mut fuels = fuels;
+        fuels.sort_unstable();
+        let mut prev = prog.eval(&MassCtx::new(fuels[0]));
+        for f in &fuels[1..] {
+            let next = prog.eval(&MassCtx::new(*f));
+            prop_assert!(prev.le(&next), "cut monotonicity violated at fuel {f}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn accelerated_limit_dominates_every_cut(bias in 1u64..255) {
+        let prog = sampcert_slang::until::<Mass<f64>, _>(
+            Mass::<f64>::uniform_byte(),
+            move |b| (*b as u64) < bias,
+        );
+        let limit = prog.eval(&MassCtx::limit(64));
+        for fuel in [1usize, 3, 9] {
+            let cut = prog.eval(&MassCtx::new(fuel));
+            // Domination up to f64 rounding: the closed-form tail sum and
+            // the cut's running sums round differently by a few ulps.
+            for (v, w) in cut.iter() {
+                prop_assert!(
+                    *w <= limit.mass(v) + 1e-12,
+                    "cut mass {w} exceeds limit {} at {v:?}",
+                    limit.mass(v)
+                );
+            }
+        }
+        prop_assert!((limit.total_mass() - 1.0).abs() < 1e-9);
+    }
+}

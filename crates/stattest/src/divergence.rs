@@ -1,0 +1,351 @@
+//! Divergences between discrete distributions.
+//!
+//! These are the quantitative hearts of the privacy definitions in the
+//! paper's Section 2: pure DP bounds the **max divergence** between output
+//! distributions on neighbouring databases (Definition 2.1), zCDP bounds
+//! every **Rényi divergence** `D_α` by `ρ·α` (Definition 2.2), and
+//! approximate DP is checked through the **hockey-stick divergence**
+//! (Definition 2.3). The DP layer's executable `prop` checkers evaluate
+//! these on exact (closed-form, truncated) mechanism distributions.
+//!
+//! ## Truncation honesty
+//!
+//! The analytic mechanism distributions are finite truncations of
+//! infinite-support closed forms, so two distributions built around
+//! different centers can disagree about which far-tail points exist at
+//! all. Rather than silently ignoring such points (unsound: it would hide
+//! genuine support violations like clamping) or reporting `∞` (useless: the
+//! untruncated divergence is finite), every `*_report` function returns a
+//! [`DivergenceReport`]: the divergence over the common support **plus**
+//! the probability mass of `p` that `q` cannot explain. Callers assert the
+//! escaped mass is below the truncation tail bound (`≈ e^{−40}`); a real
+//! violation carries Ω(1) escaped mass and is still caught.
+
+use sampcert_slang::{SubPmf, Value, Weight};
+
+/// A divergence value together with the `p`-mass living outside `q`'s
+/// support (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceReport {
+    /// The divergence computed over the common support.
+    pub value: f64,
+    /// Probability mass of `p` at points where `q` is zero.
+    pub escaped_mass: f64,
+}
+
+impl DivergenceReport {
+    /// Collapses to a single value: `∞` when any mass escaped.
+    pub fn strict(&self) -> f64 {
+        if self.escaped_mass > 0.0 {
+            f64::INFINITY
+        } else {
+            self.value
+        }
+    }
+
+    /// The value, provided the escaped mass is below `tail_tol`; `∞`
+    /// otherwise.
+    pub fn with_tolerance(&self, tail_tol: f64) -> f64 {
+        if self.escaped_mass > tail_tol {
+            f64::INFINITY
+        } else {
+            self.value
+        }
+    }
+}
+
+/// Max divergence `D_∞(p‖q) = sup_x ln(p(x)/q(x))` over the common
+/// support, with escaped mass reported separately.
+pub fn max_divergence_report<T: Value, W: Weight>(
+    p: &SubPmf<T, W>,
+    q: &SubPmf<T, W>,
+) -> DivergenceReport {
+    let mut worst = 0.0f64;
+    let mut escaped = 0.0f64;
+    for (x, pw) in p.iter() {
+        let pw = pw.to_f64();
+        if pw == 0.0 {
+            continue;
+        }
+        let qw = q.mass(x).to_f64();
+        if qw == 0.0 {
+            escaped += pw;
+        } else {
+            worst = worst.max((pw / qw).ln());
+        }
+    }
+    DivergenceReport { value: worst, escaped_mass: escaped }
+}
+
+/// Max divergence `D_∞(p‖q)`, strict: `∞` on any support mismatch.
+///
+/// For countable spaces the supremum over events in Definition 2.1 is
+/// attained pointwise, so a mechanism is `ε`-DP on a neighbouring pair iff
+/// this value (in both directions — see [`max_divergence_sym`]) is at
+/// most `ε`.
+pub fn max_divergence<T: Value, W: Weight>(p: &SubPmf<T, W>, q: &SubPmf<T, W>) -> f64 {
+    max_divergence_report(p, q).strict()
+}
+
+/// Symmetric max divergence with escaped mass from both directions.
+pub fn max_divergence_sym_report<T: Value, W: Weight>(
+    p: &SubPmf<T, W>,
+    q: &SubPmf<T, W>,
+) -> DivergenceReport {
+    let a = max_divergence_report(p, q);
+    let b = max_divergence_report(q, p);
+    DivergenceReport {
+        value: a.value.max(b.value),
+        escaped_mass: a.escaped_mass.max(b.escaped_mass),
+    }
+}
+
+/// Symmetric max divergence `max(D_∞(p‖q), D_∞(q‖p))` — the tight `ε` for
+/// which the pair satisfies the pure-DP inequality in both directions
+/// (strict on support mismatches).
+pub fn max_divergence_sym<T: Value, W: Weight>(p: &SubPmf<T, W>, q: &SubPmf<T, W>) -> f64 {
+    max_divergence_sym_report(p, q).strict()
+}
+
+/// Rényi divergence of order `α > 1`:
+/// `D_α(p‖q) = (α−1)⁻¹ · ln Σ_x p(x)^α q(x)^{1−α}`, over the common
+/// support, with escaped `p`-mass reported separately.
+///
+/// Both arguments are normalized before the computation so that truncated
+/// analytic distributions can be compared directly.
+///
+/// # Panics
+///
+/// Panics if `alpha ≤ 1`, or if either distribution has zero total mass.
+pub fn renyi_divergence_report<T: Value, W: Weight>(
+    p: &SubPmf<T, W>,
+    q: &SubPmf<T, W>,
+    alpha: f64,
+) -> DivergenceReport {
+    assert!(alpha > 1.0, "renyi_divergence: alpha must exceed 1");
+    let p = p.to_f64_pmf().normalize();
+    let q = q.to_f64_pmf().normalize();
+    // Accumulate log(Σ p^α q^{1−α}) by log-sum-exp: at large α the
+    // individual terms overflow f64 long before the divergence itself is
+    // large, so plain summation is not an option.
+    let mut log_terms: Vec<f64> = Vec::with_capacity(p.support_len());
+    let mut escaped = 0.0f64;
+    for (x, pw) in p.iter() {
+        if *pw == 0.0 {
+            continue;
+        }
+        let qw = q.mass(x);
+        if qw == 0.0 {
+            escaped += pw;
+        } else {
+            log_terms.push(alpha * pw.ln() + (1.0 - alpha) * qw.ln());
+        }
+    }
+    let log_sum = match log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max) {
+        m if m == f64::NEG_INFINITY => f64::NEG_INFINITY,
+        m => m + log_terms.iter().map(|t| (t - m).exp()).sum::<f64>().ln(),
+    };
+    DivergenceReport { value: log_sum.max(0.0) / (alpha - 1.0), escaped_mass: escaped }
+}
+
+/// Rényi divergence of order `α > 1`, strict on support mismatches.
+pub fn renyi_divergence<T: Value, W: Weight>(
+    p: &SubPmf<T, W>,
+    q: &SubPmf<T, W>,
+    alpha: f64,
+) -> f64 {
+    renyi_divergence_report(p, q, alpha).strict()
+}
+
+/// The tightest zCDP parameter for the pair: `ρ̂ = sup_{α>1} D_α(p‖q)/α`,
+/// evaluated over a geometric grid of orders up to `max_alpha`, with
+/// escaped mass reported.
+///
+/// By Definition 2.2 a mechanism is `ρ`-zCDP iff for every neighbouring
+/// pair this value is at most `ρ`.
+pub fn zcdp_rho_report<T: Value, W: Weight>(
+    p: &SubPmf<T, W>,
+    q: &SubPmf<T, W>,
+    max_alpha: f64,
+) -> DivergenceReport {
+    assert!(max_alpha > 1.0, "zcdp_rho: max_alpha must exceed 1");
+    let mut rho: f64 = 0.0;
+    let mut escaped: f64 = 0.0;
+    let mut alpha: f64 = 1.0 + 1.0 / 64.0;
+    loop {
+        let alpha_eval = alpha.min(max_alpha);
+        let r = renyi_divergence_report(p, q, alpha_eval);
+        rho = rho.max(r.value / alpha_eval);
+        escaped = escaped.max(r.escaped_mass);
+        if alpha >= max_alpha {
+            break;
+        }
+        alpha *= 1.25;
+    }
+    DivergenceReport { value: rho, escaped_mass: escaped }
+}
+
+/// The tightest zCDP parameter (strict on support mismatches).
+pub fn zcdp_rho<T: Value, W: Weight>(p: &SubPmf<T, W>, q: &SubPmf<T, W>, max_alpha: f64) -> f64 {
+    zcdp_rho_report(p, q, max_alpha).strict()
+}
+
+/// Hockey-stick divergence `H_{e^ε}(p‖q) = Σ_x max(p(x) − e^ε q(x), 0)`:
+/// the smallest `δ` for which the pair satisfies the approximate-DP
+/// inequality (Definition 2.3) at privacy `ε`. Escaped mass is *included*
+/// in `δ` (that is exactly what approximate DP's `δ` measures).
+pub fn hockey_stick<T: Value, W: Weight>(p: &SubPmf<T, W>, q: &SubPmf<T, W>, eps: f64) -> f64 {
+    let scale = eps.exp();
+    let mut delta = 0.0;
+    for (x, pw) in p.iter() {
+        let diff = pw.to_f64() - scale * q.mass(x).to_f64();
+        if diff > 0.0 {
+            delta += diff;
+        }
+    }
+    delta
+}
+
+/// Kullback–Leibler divergence `D(p‖q)` (the `α → 1` limit of `D_α`),
+/// strict on support mismatches.
+pub fn kl_divergence<T: Value, W: Weight>(p: &SubPmf<T, W>, q: &SubPmf<T, W>) -> f64 {
+    let p = p.to_f64_pmf().normalize();
+    let q = q.to_f64_pmf().normalize();
+    let mut sum = 0.0;
+    for (x, pw) in p.iter() {
+        if *pw == 0.0 {
+            continue;
+        }
+        let qw = q.mass(x);
+        if qw == 0.0 {
+            return f64::INFINITY;
+        }
+        sum += pw * (pw / qw).ln();
+    }
+    sum.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_slang::SubPmf;
+
+    fn bern(p: f64) -> SubPmf<bool, f64> {
+        SubPmf::from_entries(vec![(true, p), (false, 1.0 - p)])
+    }
+
+    #[test]
+    fn max_divergence_pointwise() {
+        let p = bern(0.6);
+        let q = bern(0.5);
+        let expect = (0.6f64 / 0.5).ln();
+        assert!((max_divergence(&p, &q) - expect).abs() < 1e-12);
+        // Symmetric version takes the worse direction: 0.5/0.4.
+        let expect_sym = (0.5f64 / 0.4).ln();
+        assert!((max_divergence_sym(&p, &q) - expect_sym).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_divergence_disjoint_support_infinite() {
+        let p: SubPmf<u8, f64> = SubPmf::dirac(0);
+        let q: SubPmf<u8, f64> = SubPmf::dirac(1);
+        assert_eq!(max_divergence(&p, &q), f64::INFINITY);
+        let report = max_divergence_report(&p, &q);
+        assert_eq!(report.escaped_mass, 1.0);
+        assert_eq!(report.with_tolerance(1e-10), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_divergence_of_self_zero() {
+        let p = bern(0.3);
+        assert_eq!(max_divergence_sym(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn truncation_artifacts_reported_not_hidden() {
+        // Two truncations of the same Laplace, shifted windows: tiny
+        // escaped mass, finite divergence under tolerance.
+        let p = sampcert_samplers::pmf::laplace_mass(1.0, 0, 50);
+        let q = sampcert_samplers::pmf::laplace_mass(1.0, 1, 50);
+        let r = max_divergence_sym_report(&p, &q);
+        assert!(r.escaped_mass < 1e-18, "escaped={}", r.escaped_mass);
+        assert!((r.value - 1.0).abs() < 1e-9, "eps={}", r.value); // Δ/t = 1
+        assert!(r.with_tolerance(1e-12).is_finite());
+        assert_eq!(max_divergence_sym(&p, &q), f64::INFINITY); // strict sees the mismatch
+    }
+
+    #[test]
+    fn renyi_increasing_in_alpha() {
+        let p = bern(0.7);
+        let q = bern(0.5);
+        let d2 = renyi_divergence(&p, &q, 2.0);
+        let d4 = renyi_divergence(&p, &q, 4.0);
+        let d16 = renyi_divergence(&p, &q, 16.0);
+        assert!(d2 <= d4 + 1e-12 && d4 <= d16 + 1e-12, "{d2} {d4} {d16}");
+        // D_α → D_∞ from below.
+        assert!(d16 <= max_divergence(&p, &q) + 1e-9);
+    }
+
+    #[test]
+    fn renyi_of_self_zero() {
+        let p = bern(0.25);
+        assert!(renyi_divergence(&p, &p, 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renyi_gaussian_matches_theory() {
+        // For (continuous) Gaussians, D_α(N(0,σ²)‖N(s,σ²)) = α s²/(2σ²);
+        // the discrete Gaussian obeys the same bound (paper Section 3.3.2),
+        // nearly with equality for σ ≳ 1.
+        let sigma2 = 16.0;
+        let p = sampcert_samplers::pmf::gaussian_mass(sigma2, 0, 60);
+        let q = sampcert_samplers::pmf::gaussian_mass(sigma2, 1, 60);
+        for alpha in [1.5f64, 2.0, 5.0] {
+            let r = renyi_divergence_report(&p, &q, alpha);
+            assert!(r.escaped_mass < 1e-20, "escaped={}", r.escaped_mass);
+            let bound = alpha / (2.0 * sigma2);
+            assert!(r.value <= bound + 1e-9, "alpha={alpha}: {} > {bound}", r.value);
+            assert!(r.value >= bound * 0.98, "alpha={alpha}: {} far below {bound}", r.value);
+        }
+    }
+
+    #[test]
+    fn zcdp_rho_gaussian() {
+        // ρ for a sensitivity-1 discrete Gaussian pair is ≈ 1/(2σ²).
+        let sigma2 = 9.0;
+        let p = sampcert_samplers::pmf::gaussian_mass(sigma2, 0, 50);
+        let q = sampcert_samplers::pmf::gaussian_mass(sigma2, 1, 50);
+        let r = zcdp_rho_report(&p, &q, 64.0);
+        assert!(r.escaped_mass < 1e-20);
+        let expect = 1.0 / (2.0 * sigma2);
+        assert!(r.value <= expect * 1.05 + 1e-9, "rho={} expect≈{expect}", r.value);
+        assert!(r.value >= expect * 0.9, "rho={} expect≈{expect}", r.value);
+    }
+
+    #[test]
+    fn hockey_stick_zero_iff_pure_dp_holds() {
+        let p = bern(0.6);
+        let q = bern(0.5);
+        let eps = max_divergence_sym(&p, &q);
+        assert!(hockey_stick(&p, &q, eps) < 1e-12);
+        assert!(hockey_stick(&p, &q, eps / 2.0) > 0.0);
+    }
+
+    #[test]
+    fn hockey_stick_includes_escaped_mass() {
+        let p: SubPmf<u8, f64> =
+            SubPmf::from_entries(vec![(0u8, 0.9), (1u8, 0.1)]);
+        let q: SubPmf<u8, f64> = SubPmf::dirac(0);
+        // Point 1 is unexplainable by q at any ε: δ ≥ 0.1.
+        assert!(hockey_stick(&p, &q, 10.0) >= 0.1 - 1e-12);
+    }
+
+    #[test]
+    fn kl_between_bernoullis() {
+        let p = bern(0.75);
+        let q = bern(0.5);
+        let expect = 0.75 * (0.75f64 / 0.5).ln() + 0.25 * (0.25f64 / 0.5).ln();
+        assert!((kl_divergence(&p, &q) - expect).abs() < 1e-12);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Goodness-of-fit tests for integer-valued samplers.
+//!
+//! The paper validates its extracted samplers with Kolmogorov–Smirnov tests
+//! (footnote 10); this module supplies that test plus a χ² test against
+//! exact PMFs, both used throughout the workspace to check the executable
+//! samplers against their closed forms at scale.
+
+use crate::special::chi2_sf;
+use sampcert_slang::SubPmf;
+use std::collections::HashMap;
+
+/// Outcome of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `sup_z |F̂(z) − F(z)|`.
+    pub statistic: f64,
+    /// The rejection threshold `c(α)/√n`.
+    pub threshold: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// Whether the sample is consistent with the reference CDF at the
+    /// chosen significance (i.e. the test does *not* reject).
+    pub fn passes(&self) -> bool {
+        self.statistic <= self.threshold
+    }
+}
+
+/// One-sample KS test of integer `samples` against a reference CDF.
+///
+/// For lattice (integer-valued) distributions the asymptotic threshold
+/// `c(α)·√(1/n)` is conservative, which only makes the check stricter in
+/// the passing direction the tests care about.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `alpha` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_stattest::ks_test;
+/// // A fair die against its true CDF.
+/// let samples: Vec<i64> = (0..6000).map(|i| i % 6).collect();
+/// let res = ks_test(&samples, |z| ((z + 1).clamp(0, 6) as f64) / 6.0, 0.01);
+/// assert!(res.passes());
+/// ```
+pub fn ks_test(samples: &[i64], cdf: impl Fn(i64) -> f64, alpha: f64) -> KsResult {
+    assert!(!samples.is_empty(), "ks_test: no samples");
+    assert!(alpha > 0.0 && alpha < 1.0, "ks_test: alpha outside (0,1)");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut stat: f64 = 0.0;
+    let mut i = 0;
+    while i < n {
+        let z = sorted[i];
+        let mut j = i;
+        while j < n && sorted[j] == z {
+            j += 1;
+        }
+        let ecdf_before = i as f64 / nf;
+        let ecdf_at = j as f64 / nf;
+        // Both F̂ and F are right-continuous step functions on ℤ: compare
+        // the post-jump values at z, and the pre-jump plateau against
+        // F(z − 1) (using F(z) here would inflate the statistic by the PMF
+        // at z for any discrete distribution).
+        stat = stat
+            .max((ecdf_at - cdf(z)).abs())
+            .max((cdf(z - 1) - ecdf_before).abs());
+        i = j;
+    }
+    // c(α) = sqrt(-ln(α/2)/2).
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    KsResult { statistic: stat, threshold: c / nf.sqrt(), n }
+}
+
+/// Outcome of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom after binning.
+    pub dof: u32,
+    /// The p-value `P(χ²_dof ≥ statistic)`.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// Whether the test fails to reject at significance `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// χ² goodness-of-fit of integer `samples` against an exact reference
+/// distribution.
+///
+/// Support points with expected count below `min_expected` (usually 5) are
+/// pooled into the two tail bins; the reference's truncated-away tail mass
+/// is folded into those bins as well.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or the reference has empty support.
+pub fn chi2_gof(samples: &[i64], reference: &SubPmf<i64, f64>, min_expected: f64) -> Chi2Result {
+    assert!(!samples.is_empty(), "chi2_gof: no samples");
+    assert!(reference.support_len() > 0, "chi2_gof: empty reference");
+    let n = samples.len() as f64;
+    let total_ref = reference.total_mass();
+
+    let mut counts: HashMap<i64, u64> = HashMap::new();
+    for &s in samples {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+
+    // Walk the reference support in order, pooling small-expectation bins.
+    let entries = reference.sorted_entries();
+    let mut bins: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut acc_obs = 0.0;
+    let mut acc_exp = 0.0;
+    for (z, p) in &entries {
+        acc_obs += counts.get(z).copied().unwrap_or(0) as f64;
+        acc_exp += p / total_ref * n;
+        if acc_exp >= min_expected {
+            bins.push((acc_obs, acc_exp));
+            acc_obs = 0.0;
+            acc_exp = 0.0;
+        }
+    }
+    // Out-of-support observations join the final pooled bin.
+    let in_support: f64 = entries
+        .iter()
+        .map(|(z, _)| counts.get(z).copied().unwrap_or(0) as f64)
+        .sum();
+    acc_obs += n - in_support;
+    if acc_exp > 0.0 || acc_obs > 0.0 {
+        match bins.last_mut() {
+            Some(last) if acc_exp < min_expected => {
+                last.0 += acc_obs;
+                last.1 += acc_exp;
+            }
+            _ => bins.push((acc_obs, acc_exp.max(1e-12))),
+        }
+    }
+
+    let statistic: f64 = bins
+        .iter()
+        .map(|(o, e)| (o - e) * (o - e) / e)
+        .sum();
+    let dof = (bins.len().max(2) - 1) as u32;
+    Chi2Result { statistic, dof, p_value: chi2_sf(dof, statistic) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_die_samples(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..6) as i64).collect()
+    }
+
+    fn die_cdf(z: i64) -> f64 {
+        ((z + 1).clamp(0, 6)) as f64 / 6.0
+    }
+
+    fn die_pmf() -> SubPmf<i64, f64> {
+        SubPmf::from_entries((0..6).map(|z| (z, 1.0 / 6.0)))
+    }
+
+    #[test]
+    fn ks_accepts_true_distribution() {
+        let res = ks_test(&uniform_die_samples(20_000, 1), die_cdf, 0.01);
+        assert!(res.passes(), "stat={} thr={}", res.statistic, res.threshold);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_distribution() {
+        // Samples from a die, tested against a *biased* CDF.
+        let biased = |z: i64| match z {
+            z if z < 0 => 0.0,
+            0 => 0.4,
+            1 => 0.6,
+            2 => 0.7,
+            3 => 0.8,
+            4 => 0.9,
+            _ => 1.0,
+        };
+        let res = ks_test(&uniform_die_samples(20_000, 2), biased, 0.01);
+        assert!(!res.passes());
+    }
+
+    #[test]
+    fn ks_detects_shift() {
+        let shifted: Vec<i64> = uniform_die_samples(20_000, 3).iter().map(|z| z + 1).collect();
+        assert!(!ks_test(&shifted, die_cdf, 0.01).passes());
+    }
+
+    #[test]
+    fn chi2_accepts_true_distribution() {
+        let res = chi2_gof(&uniform_die_samples(30_000, 4), &die_pmf(), 5.0);
+        assert!(res.passes(0.01), "p={}", res.p_value);
+        assert_eq!(res.dof, 5);
+    }
+
+    #[test]
+    fn chi2_rejects_biased_samples() {
+        let mut samples = uniform_die_samples(30_000, 5);
+        // Replace roughly a third of the 5s with 0s.
+        let mut rng = StdRng::seed_from_u64(6);
+        for s in samples.iter_mut() {
+            if *s == 5 && rng.gen_bool(0.3) {
+                *s = 0;
+            }
+        }
+        let res = chi2_gof(&samples, &die_pmf(), 5.0);
+        assert!(!res.passes(0.01), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn chi2_pools_small_bins() {
+        // Geometric-ish reference with a long thin tail: pooling must keep
+        // every bin's expectation reasonable and the test passing on true
+        // samples.
+        let reference =
+            SubPmf::from_entries((0..40).map(|z| (z as i64, 0.5f64.powi(z + 1))));
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<i64> = (0..20_000)
+            .map(|_| {
+                let mut z = 0i64;
+                while rng.gen_bool(0.5) {
+                    z += 1;
+                }
+                z
+            })
+            .collect();
+        let res = chi2_gof(&samples, &reference, 5.0);
+        assert!(res.passes(0.001), "p={}", res.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn ks_rejects_empty() {
+        let _ = ks_test(&[], |_| 0.5, 0.05);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sampcert-stattest
+//!
+//! Statistical validation substrate for the SampCert reproduction:
+//!
+//! - [`ks_test`] / [`chi2_gof`]: goodness-of-fit checks of the executable
+//!   samplers against their closed-form PMFs (the paper validates its
+//!   extracted code the same way — footnote 10);
+//! - [`max_divergence_sym`], [`renyi_divergence`], [`zcdp_rho`],
+//!   [`hockey_stick`]: the divergences quantifying pure DP, Rényi DP, zCDP
+//!   and approximate DP (paper Definitions 2.1–2.3), evaluated exactly on
+//!   finite/truncated distributions — the decidable core of this
+//!   reproduction's `AbstractDp::prop` checkers;
+//! - [`estimate_epsilon`]: a StatDP-style empirical falsifier used as a
+//!   positive/negative control (it flags Mironov's float Laplace, and does
+//!   not flag the discrete samplers);
+//! - [`ln_gamma`], [`gamma_p`]/[`gamma_q`], [`chi2_sf`], [`erf`]: the
+//!   special-function layer everything above rests on, built from scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod divergence;
+mod falsifier;
+mod gof;
+mod special;
+
+pub use divergence::{
+    hockey_stick, kl_divergence, max_divergence, max_divergence_report, max_divergence_sym,
+    max_divergence_sym_report, renyi_divergence, renyi_divergence_report, zcdp_rho,
+    zcdp_rho_report, DivergenceReport,
+};
+pub use falsifier::{estimate_epsilon, standard_events, EpsilonEstimate, Event};
+pub use gof::{chi2_gof, ks_test, Chi2Result, KsResult};
+pub use special::{chi2_sf, erf, gamma_p, gamma_q, ln_gamma, std_normal_cdf};

@@ -1,0 +1,56 @@
+//! The extraction pipeline, end to end (paper Section 4.1, Appendix C).
+//!
+//! SampCert ships its verified samplers by translating Lean terms to
+//! Dafny and compiling onward. This example runs the analogous pipeline:
+//! extract the discrete Laplace sampler to the deep IR, render it as
+//! auditable source, compile it to bytecode, execute it on the VM — and
+//! then demonstrate the pipeline's correctness property live: the VM and
+//! the fused reference sampler produce identical outputs from identical
+//! entropy.
+//!
+//! Run with: `cargo run --release --example extraction`
+
+use sampcert::extract::{compile, laplace_program, render, LoopKind, Vm};
+use sampcert::samplers::{FusedLaplace, LaplaceAlg};
+use sampcert::slang::SeededByteSource;
+
+fn main() {
+    let (num, den) = (5u64, 2u64);
+    let program = laplace_program(num, den, LoopKind::Uniform);
+
+    // 1. The auditable artifact (the "Dafny source" analogue).
+    let source = render(&program);
+    println!("--- extracted source ({} lines) ---", source.lines().count());
+    for line in source.lines().take(18) {
+        println!("{line}");
+    }
+    println!("  ... [{} more lines]\n", source.lines().count() - 18);
+
+    // 2. Compile and run on the VM.
+    let bytecode = compile(&program);
+    println!("compiled to {} bytecode instructions", bytecode.ops.len());
+    let vm = Vm::new(bytecode);
+
+    // 3. Differential check against the fused reference: same bytes in,
+    //    same samples out.
+    let fused = FusedLaplace::new(num, den, LaplaceAlg::Uniform);
+    let mut s1 = SeededByteSource::new(2025);
+    let mut s2 = SeededByteSource::new(2025);
+    let n = 10_000;
+    let mut agree = 0;
+    let mut first: Vec<i128> = Vec::new();
+    for _ in 0..n {
+        let a = vm.run(&mut s1);
+        let b = fused.sample(&mut s2) as i128;
+        if a == b {
+            agree += 1;
+        }
+        if first.len() < 10 {
+            first.push(a);
+        }
+    }
+    println!("first VM samples:        {first:?}");
+    println!("VM vs fused agreement:   {agree}/{n} draws identical");
+    assert_eq!(agree, n, "extraction changed the sampler's semantics!");
+    println!("\nextraction preserves semantics, byte for byte.");
+}

@@ -1,0 +1,80 @@
+//! Timing side channels in rejection samplers — the paper's named future
+//! work ("we would like to extend SampCert to model and prove
+//! non-existence of timing side-channels", Section 7), measured.
+//!
+//! Rejection samplers take data-dependent time: the geometric-method
+//! Laplace loop runs for a number of iterations equal to the drawn
+//! magnitude, so *observing the latency leaks information about the
+//! noise* — and noise plus released value determines the secret query
+//! answer. This example quantifies the channel: the correlation between
+//! |sample| and per-draw wall time for the two verified Laplace loops.
+//!
+//! Run with: `cargo run --release --example timing_channels`
+
+use sampcert::samplers::{FusedLaplace, LaplaceAlg};
+use sampcert::slang::OsByteSource;
+use std::time::Instant;
+
+/// Pearson correlation between two equal-length series.
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+fn measure(alg: LaplaceAlg, scale: u64, n: usize) -> (f64, f64) {
+    let lap = FusedLaplace::new(scale, 1, alg);
+    let mut src = OsByteSource::new();
+    let mut mags = Vec::with_capacity(n);
+    let mut times = Vec::with_capacity(n);
+    // Warm up.
+    for _ in 0..n / 5 {
+        let _ = lap.sample(&mut src);
+    }
+    for _ in 0..n {
+        let start = Instant::now();
+        let z = lap.sample(&mut src);
+        let dt = start.elapsed().as_nanos() as f64;
+        mags.push(z.unsigned_abs() as f64);
+        times.push(dt);
+    }
+    let mean_time = times.iter().sum::<f64>() / n as f64;
+    (correlation(&mags, &times), mean_time)
+}
+
+fn main() {
+    let n = 40_000;
+    let scale = 64; // large scale: the geometric loop's iterations ≈ |sample|
+    println!("Laplace scale {scale}, {n} timed draws per algorithm\n");
+    println!(
+        "{:<22} {:>22} {:>16}",
+        "algorithm", "corr(|sample|, time)", "mean ns/draw"
+    );
+    let (c_geo, t_geo) = measure(LaplaceAlg::Geometric, scale, n);
+    println!("{:<22} {:>22.3} {:>16.0}", "geometric loop", c_geo, t_geo);
+    let (c_uni, t_uni) = measure(LaplaceAlg::Uniform, scale, n);
+    println!("{:<22} {:>22.3} {:>16.0}", "uniform loop", c_uni, t_uni);
+
+    println!();
+    if c_geo > 0.5 {
+        println!(
+            "the geometric loop's latency is strongly correlated with the drawn\n\
+             magnitude (r = {c_geo:.2}): an adversary observing response times\n\
+             learns about the noise — the side channel the paper flags as open."
+        );
+    }
+    println!(
+        "the uniform loop's correlation is {c_uni:.2}: weaker, but rejection\n\
+         counts still leak — constant-time exact sampling remains future work\n\
+         here exactly as in the paper."
+    );
+}

@@ -1,0 +1,60 @@
+//! # sampcert — a Rust reproduction of *Verified Foundations for
+//! Differential Privacy* (PLDI 2025)
+//!
+//! SampCert is the first comprehensive, mechanized foundation for
+//! *executable* differential privacy: a generic, extensible notion of DP
+//! with pure-DP and zCDP instantiations, a framework for building and
+//! composing DP mechanisms, and formally verified discrete Laplace and
+//! Gaussian samplers, all written in Lean 4 and extracted for deployment
+//! at AWS. This workspace rebuilds that system in Rust, replacing the Lean
+//! proof layer with an executable verification layer (exact mass-function
+//! semantics, decidable divergence checkers, statistical validation); see
+//! `DESIGN.md` for the substitution map and `EXPERIMENTS.md` for the
+//! reproduced evaluation.
+//!
+//! This facade crate re-exports the workspace's layers, bottom-up, in the
+//! order of the paper's Fig. 1:
+//!
+//! | layer | crate | paper |
+//! |---|---|---|
+//! | [`arith`] | exact big-number arithmetic | Lean `Nat`/`Int`/`Rat` + Mathlib |
+//! | [`slang`] | the 4-operator probabilistic language, two interpreters | Fig. 3, §3.1 |
+//! | [`samplers`] | discrete Laplace & Gaussian samplers | §3.2–3.3 |
+//! | [`core`] | abstract DP, pure/zCDP/Rényi instances, noise, budgets | §2 |
+//! | [`mechanisms`] | count/sum/mean/histogram/SVT | §2.3, App. A & B |
+//! | [`baselines`] | `sample_dgauss`, diffprivlib, Mironov | §4.2 |
+//! | [`stattest`] | KS/χ², divergences, DP falsifier | fn. 10, §5 |
+//! | [`extract`] | deep IR → bytecode VM extraction pipeline | §4.1, App. C |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sampcert::core::{count_query, CheckOptions, Private, PureDp};
+//! use sampcert::slang::OsByteSource;
+//!
+//! // An ε = 1 differentially private count of a sensitive database.
+//! let private_count: Private<PureDp, u32, i64> =
+//!     Private::noised_query(&count_query(), 1, 1);
+//!
+//! let genomes: Vec<u32> = (0..1000).collect();
+//! let mut entropy = OsByteSource::new();
+//! let released = private_count.run(&genomes, &mut entropy);
+//! assert!((released - 1000).abs() < 100); // tight ε=1 noise
+//!
+//! // And check the claimed bound on a real neighbouring pair:
+//! private_count
+//!     .check_pair(&genomes, &genomes[1..].to_vec(), CheckOptions::default())
+//!     .expect("the noised count is 1-DP");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sampcert_arith as arith;
+pub use sampcert_baselines as baselines;
+pub use sampcert_core as core;
+pub use sampcert_extract as extract;
+pub use sampcert_mechanisms as mechanisms;
+pub use sampcert_samplers as samplers;
+pub use sampcert_slang as slang;
+pub use sampcert_stattest as stattest;

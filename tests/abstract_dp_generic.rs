@@ -1,0 +1,114 @@
+//! Integration test: the paper's central claim about `AbstractDP`
+//! (Section 2.3) — one generic mechanism construction yields verified
+//! privacy under *every* instantiation.
+//!
+//! The histogram of Listing 4 is built once and instantiated for pure DP,
+//! zCDP and Rényi DP; the claimed budgets follow each notion's arithmetic
+//! and the executable `prop` checkers accept each instantiation on
+//! generated neighbouring databases.
+
+use sampcert::core::{
+    approx_dp_of, CheckOptions, Private, PureDp, RenyiDp, Zcdp,
+};
+use sampcert::mechanisms::{noised_histogram, Bins};
+use sampcert::slang::SeededByteSource;
+use sampcert::stattest::hockey_stick;
+
+fn bins() -> Bins<i64> {
+    Bins::new(2, |v: &i64| (*v % 2).unsigned_abs() as usize)
+}
+
+fn databases() -> Vec<Vec<i64>> {
+    vec![vec![], vec![1, 2, 3], vec![2, 2, 2, 5]]
+}
+
+#[test]
+fn histogram_generic_budgets_specialize_correctly() {
+    // Pure DP: total ε = γ₁/γ₂ independent of bin count.
+    let pure = noised_histogram::<PureDp, i64>(&bins(), 1, 1);
+    assert!((pure.gamma() - 1.0).abs() < 1e-12);
+
+    // zCDP: per-bin ½(γ₁/(γ₂·n))² summed over n bins.
+    let conc = noised_histogram::<Zcdp, i64>(&bins(), 1, 1);
+    assert!((conc.gamma() - 0.25).abs() < 1e-12);
+
+    // Rényi DP at α = 4: per-bin α(γ₁/(γ₂·n))²/2 summed over n bins.
+    let renyi = noised_histogram::<RenyiDp<4>, i64>(&bins(), 1, 1);
+    assert!((renyi.gamma() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn histogram_pure_dp_prop_verified() {
+    let h = noised_histogram::<PureDp, i64>(&bins(), 1, 1);
+    h.check_neighbourhood(&databases(), &[0, 1], CheckOptions::default())
+        .expect("pure-DP histogram bound holds on all generated neighbours");
+}
+
+#[test]
+fn histogram_zcdp_prop_verified() {
+    let h = noised_histogram::<Zcdp, i64>(&bins(), 1, 1);
+    h.check_neighbourhood(&databases(), &[0, 1], CheckOptions::default())
+        .expect("zCDP histogram bound holds on all generated neighbours");
+}
+
+#[test]
+fn histogram_renyi_prop_verified() {
+    let h = noised_histogram::<RenyiDp<4>, i64>(&bins(), 1, 1);
+    h.check_pair(&[1, 2, 3], &[1, 2], CheckOptions::default())
+        .expect("Renyi-DP histogram bound holds");
+}
+
+#[test]
+fn histogram_runs_under_every_notion() {
+    let mut src = SeededByteSource::new(5);
+    let db: Vec<i64> = (0..40).collect();
+    let pure = noised_histogram::<PureDp, i64>(&bins(), 4, 1).run(&db, &mut src);
+    let conc = noised_histogram::<Zcdp, i64>(&bins(), 4, 1).run(&db, &mut src);
+    let renyi = noised_histogram::<RenyiDp<8>, i64>(&bins(), 4, 1).run(&db, &mut src);
+    for h in [&pure, &conc, &renyi] {
+        assert_eq!(h.len(), 2);
+        // ε/ρ are tight enough that counts land near the truth (20/20).
+        assert!((h[0] - 20).abs() < 15 && (h[1] - 20).abs() < 15, "{h:?}");
+    }
+}
+
+#[test]
+fn approx_dp_reduction_consistent_across_notions() {
+    // prop_app_dp, executed: the (ε, δ) bound implied by each notion's
+    // γ must dominate the actual hockey-stick divergence.
+    let delta = 1e-6;
+    let db: Vec<i64> = (0..10).collect();
+    let neighbour: Vec<i64> = (1..10).collect();
+
+    let pure = noised_histogram::<PureDp, i64>(&bins(), 1, 1);
+    let conc = noised_histogram::<Zcdp, i64>(&bins(), 1, 1);
+
+    for (eps, d1, d2) in [
+        (
+            approx_dp_of(&pure, delta),
+            pure.dist(&db),
+            pure.dist(&neighbour),
+        ),
+        (
+            approx_dp_of(&conc, delta),
+            conc.dist(&db),
+            conc.dist(&neighbour),
+        ),
+    ] {
+        let hs = hockey_stick(&d1, &d2, eps).max(hockey_stick(&d2, &d1, eps));
+        assert!(hs <= delta + 1e-12, "hockey stick {hs} exceeds δ = {delta} at ε = {eps}");
+    }
+}
+
+#[test]
+fn monotonicity_weakening_composes() {
+    // prop_mono: weakened budgets still verify; composition of weakened
+    // parts carries the weakened sum.
+    let a: Private<PureDp, i64, i64> =
+        Private::noised_query(&sampcert::core::count_query(), 1, 2);
+    let weak = a.clone().weaken(0.75);
+    let c = weak.compose(&a);
+    assert!((c.gamma() - 1.25).abs() < 1e-12);
+    c.check_pair(&[1, 2, 3], &[1, 2], CheckOptions::default())
+        .expect("weakened composition still satisfies its (looser) bound");
+}

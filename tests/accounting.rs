@@ -1,0 +1,116 @@
+//! Integration test: privacy accounting across heterogeneous releases —
+//! the ledger/accountant layer against the measured divergences of real
+//! composed mechanisms.
+
+use sampcert::core::{
+    count_query, AbstractDp, ApproxPrivate, Ledger, Private, PureDp, RdpAccountant, RenyiDp,
+    Zcdp,
+};
+use sampcert::stattest::renyi_divergence_report;
+
+#[test]
+fn ledger_meters_a_session() {
+    let mut ledger: Ledger<PureDp> = Ledger::new(2.0);
+    let count: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), 1, 2);
+    ledger.charge("count", count.gamma()).unwrap();
+    let hist = sampcert::mechanisms::noised_histogram::<PureDp, u8>(
+        &sampcert::mechanisms::Bins::new(4, |v: &u8| (*v % 4) as usize),
+        1,
+        1,
+    );
+    ledger.charge("histogram", hist.gamma()).unwrap();
+    assert!((ledger.spent() - 1.5).abs() < 1e-12);
+    // The next full-ε release must be refused.
+    assert!(ledger.charge("too-much", 1.0).is_err());
+    // And the session's (ε, δ) statement is the pure-DP identity.
+    assert_eq!(ledger.approx_dp(1e-9), ledger.spent());
+}
+
+#[test]
+fn rdp_accountant_dominates_measured_composition() {
+    // Two adaptive Gaussian releases at σ = 3 on a sensitivity-1 query:
+    // the accountant's curve must dominate the *measured* Rényi
+    // divergence of the actual composed mechanism.
+    let q = count_query::<u8>();
+    let g1: Private<Zcdp, u8, i64> = Private::noised_query(&q, 1, 3); // σ = 3
+    let composed = g1.compose(&g1.clone());
+
+    let mut acct = RdpAccountant::new(vec![2.0, 4.0, 8.0]);
+    acct.add_gaussian(3.0);
+    acct.add_gaussian(3.0);
+
+    let db1 = vec![0u8; 6];
+    let db2 = vec![0u8; 7];
+    let d1 = composed.dist(&db1);
+    let d2 = composed.dist(&db2);
+    for (alpha, eps_budget) in acct.curve() {
+        let measured = renyi_divergence_report(&d1, &d2, alpha);
+        assert!(measured.escaped_mass < 1e-10);
+        assert!(
+            measured.value <= eps_budget * 1.02 + 1e-9,
+            "alpha={alpha}: measured {} > budget {eps_budget}",
+            measured.value
+        );
+        // And the budget is not vacuous (within 2× of measured).
+        assert!(
+            measured.value >= eps_budget * 0.5,
+            "alpha={alpha}: budget {eps_budget} looks vacuous vs {}",
+            measured.value
+        );
+    }
+}
+
+#[test]
+fn renyi_notion_and_accountant_agree() {
+    // A single Gaussian release read as RenyiDp<4> carries the same bound
+    // the accountant computes at order 4.
+    let q = count_query::<u8>();
+    let r: Private<RenyiDp<4>, u8, i64> = Private::noised_query(&q, 1, 2); // σ = 2
+    let mut acct = RdpAccountant::new(vec![4.0]);
+    acct.add_gaussian(2.0);
+    let (_, (alpha, eps)) = (0, acct.curve().next().unwrap());
+    assert_eq!(alpha, 4.0);
+    assert!((r.gamma() - eps).abs() < 1e-12);
+}
+
+#[test]
+fn approx_layer_sums_heterogeneous_sessions() {
+    // Pure-DP count + zCDP count, embedded and composed at (ε, δ); the
+    // total must dominate what either notion alone reports.
+    let pure: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), 1, 2);
+    let conc: Private<Zcdp, u8, i64> = Private::noised_query(&count_query(), 1, 2);
+    let a = ApproxPrivate::from_private(&pure, 0.0f64.max(1e-9));
+    let b = ApproxPrivate::from_private(&conc, 1e-6);
+    let total = a.compose(&b);
+    let budget = total.budget();
+    assert!(budget.eps > 0.5 && budget.eps < 4.0, "eps={}", budget.eps);
+    assert!((budget.delta - (1e-9 + 1e-6)).abs() < 1e-15);
+    total
+        .check_pair(&[1, 2, 3], &[1, 2], 0.02)
+        .expect("composed (ε, δ) bound holds on a real neighbour pair");
+}
+
+#[test]
+fn accountant_beats_notionwise_conversion_for_many_releases() {
+    // 16 Gaussian releases: converting each to (ε, δ/16) and summing is
+    // much worse than accounting in RDP and converting once.
+    let k = 16;
+    let sigma = 4.0;
+    let delta = 1e-6;
+
+    let mut acct = RdpAccountant::with_default_orders();
+    for _ in 0..k {
+        acct.add_gaussian(sigma);
+    }
+    let (eps_rdp, _) = acct.epsilon(delta);
+
+    let rho_each = 1.0 / (2.0 * sigma * sigma);
+    let eps_each = Zcdp::to_app_dp(rho_each, delta / k as f64);
+    let eps_naive = eps_each * k as f64;
+
+    // zCDP itself also composes additively; RDP should be comparable.
+    let eps_zcdp_total = Zcdp::to_app_dp(rho_each * k as f64, delta);
+
+    assert!(eps_rdp < eps_naive / 2.0, "rdp {eps_rdp} vs naive {eps_naive}");
+    assert!(eps_rdp < eps_zcdp_total * 1.1, "rdp {eps_rdp} vs zcdp {eps_zcdp_total}");
+}

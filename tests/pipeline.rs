@@ -1,0 +1,119 @@
+//! Integration test: the full verification pipeline on one program — the
+//! reproduction's equivalent of the paper's end-to-end story. For a single
+//! `SLang` sampler text we check the commuting square:
+//!
+//! ```text
+//!    SLang program ──(Mass interp)──▶ exact mass function
+//!         │                                 │
+//!   (Sampling interp)                  (= closed form, §3.3 theorems)
+//!         ▼                                 ▼
+//!    byte-driven sampler ──(KS test)──▶ closed-form PMF
+//! ```
+//!
+//! plus the deployment leg: the fused sampler consumes the same bytes,
+//! and a mechanism built from the sampler passes its privacy check.
+
+use sampcert::arith::{Nat, Rat};
+use sampcert::core::{count_query, CheckOptions, Private, PureDp};
+use sampcert::samplers::pmf::{laplace_cdf, laplace_pmf};
+use sampcert::samplers::{bernoulli_exp_neg, discrete_laplace, FusedLaplace, LaplaceAlg};
+use sampcert::slang::{Mass, MassCtx, Sampling, SeededByteSource};
+use sampcert::stattest::ks_test;
+
+const SCALE_NUM: u64 = 3;
+const SCALE_DEN: u64 = 2;
+const T: f64 = 1.5;
+
+#[test]
+fn mass_semantics_equals_closed_form() {
+    let prog = discrete_laplace::<Mass<f64>>(
+        &Nat::from(SCALE_NUM),
+        &Nat::from(SCALE_DEN),
+        LaplaceAlg::Uniform,
+    );
+    let d = prog.eval(&MassCtx::limit(800).with_prune(1e-14));
+    assert!((d.total_mass() - 1.0).abs() < 1e-7, "mass {}", d.total_mass());
+    for z in -5i64..=5 {
+        assert!(
+            (d.mass(&z) - laplace_pmf(T, z)).abs() < 1e-7,
+            "z={z}: {} vs {}",
+            d.mass(&z),
+            laplace_pmf(T, z)
+        );
+    }
+}
+
+#[test]
+fn sampling_semantics_matches_closed_form_by_ks() {
+    let prog = discrete_laplace::<Sampling>(
+        &Nat::from(SCALE_NUM),
+        &Nat::from(SCALE_DEN),
+        LaplaceAlg::Uniform,
+    );
+    let mut src = SeededByteSource::new(55);
+    let samples = prog.sample_many(30_000, &mut src);
+    let ks = ks_test(&samples, |z| laplace_cdf(T, z), 0.001);
+    assert!(ks.passes(), "KS stat {} > {}", ks.statistic, ks.threshold);
+}
+
+#[test]
+fn fused_sampler_is_bytewise_identical() {
+    let monadic = discrete_laplace::<Sampling>(
+        &Nat::from(SCALE_NUM),
+        &Nat::from(SCALE_DEN),
+        LaplaceAlg::Uniform,
+    );
+    let fused = FusedLaplace::new(SCALE_NUM, SCALE_DEN, LaplaceAlg::Uniform);
+    let mut s1 = SeededByteSource::new(77);
+    let mut s2 = SeededByteSource::new(77);
+    for i in 0..3_000 {
+        assert_eq!(monadic.run(&mut s1), fused.sample(&mut s2), "draw {i}");
+    }
+}
+
+#[test]
+fn exact_bernoulli_masses_are_rational() {
+    // The `Rat`-weighted mass interpreter gives *equalities*, not
+    // approximations: P(e^{-1/2} coin accepts after exactly the right von
+    // Neumann race) summed over the race equals a rational partial sum.
+    let coin = bernoulli_exp_neg::<Mass<Rat>>(&Nat::one(), &Nat::from(2u64));
+    let d = coin.eval_limit(128);
+    let p_true = d.mass(&true);
+    // e^{-1/2} is irrational, so at any finite cut the mass is a rational
+    // strictly below it, within the tail bound of the stopped series.
+    let approx = p_true.to_f64();
+    assert!(approx <= (-0.5f64).exp());
+    assert!(((-0.5f64).exp() - approx) < 1e-9);
+    // And total mass is exactly 1 minus the unresolved race mass.
+    assert!(d.total_mass() <= Rat::one());
+}
+
+#[test]
+fn mechanism_built_from_sampler_passes_privacy_check() {
+    // End of the pipeline: the noised count (Laplace at ε = 2/3) built on
+    // the very sampler validated above satisfies its claimed divergence
+    // bound on generated neighbours.
+    let m: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), 2, 3);
+    assert!((m.gamma() - 2.0 / 3.0).abs() < 1e-12);
+    m.check_neighbourhood(
+        &[vec![], vec![9, 9, 9], vec![1; 7]],
+        &[0],
+        CheckOptions::default(),
+    )
+    .expect("noised count verifies at ε = 2/3");
+}
+
+#[test]
+fn cut_monotonicity_holds_for_the_full_sampler() {
+    // The probWhileCut monotonicity lemma, end-to-end on the composed
+    // Laplace program (not just toy loops).
+    let prog = discrete_laplace::<Mass<f64>>(
+        &Nat::from(SCALE_NUM),
+        &Nat::from(SCALE_DEN),
+        LaplaceAlg::Geometric,
+    );
+    let cuts = sampcert::slang::cut_curve(&prog, [5, 10, 20, 40]);
+    assert!(sampcert::slang::cuts_are_monotone(&cuts));
+    let masses: Vec<f64> = cuts.iter().map(|d| d.total_mass()).collect();
+    assert!(masses.windows(2).all(|w| w[0] <= w[1] + 1e-15), "{masses:?}");
+}
