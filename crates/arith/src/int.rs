@@ -34,12 +34,18 @@ pub struct Int {
 impl Int {
     /// The integer zero.
     pub fn zero() -> Self {
-        Int { negative: false, mag: Nat::zero() }
+        Int {
+            negative: false,
+            mag: Nat::zero(),
+        }
     }
 
     /// The integer one.
     pub fn one() -> Self {
-        Int { negative: false, mag: Nat::one() }
+        Int {
+            negative: false,
+            mag: Nat::one(),
+        }
     }
 
     /// Builds an integer from a sign and magnitude, normalizing zero.
@@ -59,7 +65,10 @@ impl Int {
 
     /// Builds a non-negative integer from a natural number.
     pub fn from_nat(mag: Nat) -> Self {
-        Int { negative: false, mag }
+        Int {
+            negative: false,
+            mag,
+        }
     }
 
     /// Returns `true` when this integer is zero.
@@ -79,7 +88,10 @@ impl Int {
 
     /// The absolute value.
     pub fn abs(&self) -> Int {
-        Int { negative: false, mag: self.mag.clone() }
+        Int {
+            negative: false,
+            mag: self.mag.clone(),
+        }
     }
 
     /// Sign as `-1`, `0` or `1`.
@@ -223,9 +235,7 @@ impl Add for &Int {
         } else {
             match self.mag.cmp(&rhs.mag) {
                 Ordering::Equal => Int::zero(),
-                Ordering::Greater => {
-                    Int::from_sign_mag(self.negative, &self.mag - &rhs.mag)
-                }
+                Ordering::Greater => Int::from_sign_mag(self.negative, &self.mag - &rhs.mag),
                 Ordering::Less => Int::from_sign_mag(rhs.negative, &rhs.mag - &self.mag),
             }
         }
@@ -241,7 +251,13 @@ impl Add for Int {
 
 impl AddAssign<&Int> for Int {
     fn add_assign(&mut self, rhs: &Int) {
-        *self = &*self + rhs;
+        if self.negative == rhs.negative {
+            // Same sign: magnitude addition happens in place (no
+            // reallocation for the dominant single-limb case).
+            self.mag += &rhs.mag;
+        } else {
+            *self = &*self + rhs;
+        }
     }
 }
 

@@ -16,6 +16,22 @@
 //! paper's central design constraint (Mironov's attack, Section 3 of the
 //! paper).
 //!
+//! ## Performance model
+//!
+//! The sampler hot loops (`bernoulli_exp_neg`, `uniform_below`, the
+//! geometric/Laplace trials) overwhelmingly operate on values below 2⁶⁴,
+//! so [`Nat`] uses a small-value-inlined representation: a single inline
+//! limb for anything word-sized (zero heap allocation for construction,
+//! `Clone`, add/sub/mul/cmp/div/gcd whenever the result also fits) and a
+//! limb vector beyond that, with Karatsuba multiplication above a measured
+//! ~64-limb threshold. [`Rat`] keeps the lowest-terms invariant using
+//! word-sized gcds for machine-integer constructors and the classic
+//! denominator/cross gcd factorizations for `+`/`×`, so reduction never
+//! runs over full cross-products. See the [`nat`-module docs](Nat) for the
+//! exact representation invariant and complexity table, and
+//! `BENCH_arith.json` at the repository root for the tracked before/after
+//! measurements.
+//!
 //! ## Example
 //!
 //! ```

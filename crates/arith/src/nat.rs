@@ -1,14 +1,40 @@
 //! Arbitrary-precision natural numbers.
 //!
-//! [`Nat`] is an unsigned integer of unbounded size, stored as little-endian
-//! `u64` limbs. It provides the exact arithmetic required by the discrete
-//! Laplace and Gaussian samplers: the Canonne–Kamath–Steinke algorithms
-//! manipulate rationals whose numerators and denominators (for example
-//! `(|Y|·t·den − num)²`) grow without bound in the scale parameter.
+//! [`Nat`] is an unsigned integer of unbounded size. It provides the exact
+//! arithmetic required by the discrete Laplace and Gaussian samplers: the
+//! Canonne–Kamath–Steinke algorithms manipulate rationals whose numerators
+//! and denominators (for example `(|Y|·t·den − num)²`) grow without bound
+//! in the scale parameter — while the *typical* operand in the sampler hot
+//! loops (`bernoulli_exp_neg`, `uniform_below`, the geometric trials) fits
+//! in a single machine word.
 //!
-//! The representation invariant is that `limbs` never has trailing zero
-//! limbs; zero is the empty limb vector. All public constructors and
-//! operations preserve this invariant.
+//! # Representation
+//!
+//! `Nat` is a two-variant enum:
+//!
+//! - `Small(u64)` — any value `≤ u64::MAX`, stored inline. The dominant
+//!   sampler case: construction, `Clone`, add, sub, mul, cmp, div_rem and
+//!   gcd on this variant perform **zero heap allocations** whenever the
+//!   result also fits in one limb.
+//! - `Big(Vec<u64>)` — little-endian limbs for everything larger.
+//!
+//! The representation invariant (checked by every constructor) is:
+//!
+//! 1. `Big` vectors have length ≥ 2 and a nonzero top limb — so every
+//!    value has exactly one representation and the derived `Eq`/`Hash`
+//!    are value equality;
+//! 2. viewed through [`Nat::limbs`], the limb sequence never has trailing
+//!    zeros, and zero is the empty sequence (exactly as in the previous
+//!    `Vec`-only representation).
+//!
+//! # Complexity
+//!
+//! | operation | small × small | n-limb × m-limb |
+//! |---|---|---|
+//! | add / sub / cmp | O(1), no alloc | O(max(n, m)) |
+//! | mul | O(1), alloc only on 2-limb result | O(n·m) schoolbook below [`KARATSUBA_THRESHOLD`] limbs, O(max(n,m)^1.585) Karatsuba above |
+//! | div_rem | O(1), no alloc | O(n) per quotient limb (Knuth D) |
+//! | gcd | O(log) word ops, no alloc | Euclid on limbs until both fit u64 |
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -17,6 +43,23 @@ use std::str::FromStr;
 
 /// Number of bits per limb.
 const LIMB_BITS: u32 = 64;
+
+/// Limb count below which multiplication stays schoolbook.
+///
+/// Karatsuba's 3-multiplies-of-half-size recursion only wins once the
+/// savings outweigh the extra additions and allocations; measured on this
+/// implementation (see `BENCH_arith.json`) the crossover sits around 64
+/// limbs (4096 bits), so that is the cutoff.
+const KARATSUBA_THRESHOLD: usize = 64;
+
+/// The two storage variants; see the [module docs](self).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline single-limb value (covers zero).
+    Small(u64),
+    /// Little-endian limbs: `len ≥ 2`, top limb nonzero.
+    Big(Vec<u64>),
+}
 
 /// An arbitrary-precision natural number (unsigned integer).
 ///
@@ -30,10 +73,189 @@ const LIMB_BITS: u32 = 64;
 /// let (q, r) = a.div_rem(&b);
 /// assert_eq!(&(&q * &b) + &r, a);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Nat {
-    /// Little-endian limbs with no trailing zeros.
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for Nat {
+    fn default() -> Self {
+        Nat::zero()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice helpers: variant-agnostic little-endian limb arithmetic.
+// ---------------------------------------------------------------------------
+
+fn cmp_slices(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let b = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = long[i].overflowing_add(b);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry > 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a -= b` in place; `a` must be numerically `≥ b`.
+///
+/// Both slices may carry trailing zeros (Karatsuba intermediates do); the
+/// result is trimmed.
+fn sub_assign_slices(a: &mut Vec<u64>, b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let rhs = b.get(i).copied().unwrap_or(0);
+        if borrow == 0 && rhs == 0 && i >= b.len() {
+            break;
+        }
+        let (d1, u1) = a[i].overflowing_sub(rhs);
+        let (d2, u2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (u1 as u64) + (u2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "slice subtraction underflow");
+    while a.last() == Some(&0) {
+        a.pop();
+    }
+}
+
+fn sub_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = a.to_vec();
+    sub_assign_slices(&mut out, b);
+    out
+}
+
+/// Adds `src` into `out[offset..]`, propagating the carry within `out`.
+///
+/// The caller guarantees the running total fits in `out` (true whenever
+/// `out` was sized for the full product being accumulated).
+fn add_at(out: &mut [u64], src: &[u64], offset: usize) {
+    let mut carry = 0u64;
+    for (i, &s) in src.iter().enumerate() {
+        let (s1, c1) = out[offset + i].overflowing_add(s);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out[offset + i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    let mut k = offset + src.len();
+    while carry > 0 {
+        let (s, c) = out[k].overflowing_add(carry);
+        out[k] = s;
+        carry = c as u64;
+        k += 1;
+    }
+}
+
+/// Schoolbook product, O(n·m).
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Product dispatcher: schoolbook below [`KARATSUBA_THRESHOLD`], Karatsuba
+/// above. Returns unnormalized limbs (may carry trailing zeros).
+fn mul_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    mul_karatsuba(a, b)
+}
+
+/// Karatsuba recursion: split at `m = ⌈max(n, len)/2⌉ limbs so
+/// `x = x1·B^m + x0`, `y = y1·B^m + y0`, then
+///
+/// ```text
+/// x·y = z2·B^{2m} + z1·B^m + z0
+/// z0 = x0·y0,  z2 = x1·y1,  z1 = (x0+x1)(y0+y1) − z0 − z2
+/// ```
+///
+/// Three half-size products instead of four gives the O(n^log2(3)) bound.
+/// Empty high halves (when one operand is much shorter than the other)
+/// degenerate gracefully: `z2` is empty and the recursion halves `b` only.
+fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let m = a.len().max(b.len()).div_ceil(2);
+    let (a0, a1) = a.split_at(m.min(a.len()));
+    let (b0, b1) = b.split_at(m.min(b.len()));
+    let trim = |s: &[u64]| {
+        let mut end = s.len();
+        while end > 0 && s[end - 1] == 0 {
+            end -= 1;
+        }
+        s[..end].to_vec()
+    };
+    let a0 = trim(a0);
+    let b0 = trim(b0);
+
+    let z0 = mul_slices(&a0, b0.as_slice());
+    let z2 = mul_slices(a1, b1);
+    let sa = add_slices(&a0, a1);
+    let sb = add_slices(&b0, b1);
+    let mut z1 = mul_slices(&sa, &sb);
+    sub_assign_slices(&mut z1, &z0);
+    sub_assign_slices(&mut z1, &z2);
+
+    let mut out = vec![0u64; a.len() + b.len()];
+    let clip = |z: &[u64]| {
+        let mut end = z.len();
+        while end > 0 && z[end - 1] == 0 {
+            end -= 1;
+        }
+        end
+    };
+    add_at(&mut out, &z0[..clip(&z0)], 0);
+    add_at(&mut out, &z1[..clip(&z1)], m);
+    add_at(&mut out, &z2[..clip(&z2)], 2 * m);
+    out
+}
+
+/// Euclid's algorithm on machine words (shared with `Rat::from_ratio`).
+pub(crate) fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 impl Nat {
@@ -44,7 +266,9 @@ impl Nat {
     /// assert!(Nat::zero().is_zero());
     /// ```
     pub fn zero() -> Self {
-        Nat { limbs: Vec::new() }
+        Nat {
+            repr: Repr::Small(0),
+        }
     }
 
     /// The natural number one.
@@ -54,17 +278,27 @@ impl Nat {
     /// assert_eq!(Nat::one(), Nat::from(1u64));
     /// ```
     pub fn one() -> Self {
-        Nat { limbs: vec![1] }
+        Nat {
+            repr: Repr::Small(1),
+        }
     }
 
     /// Returns `true` when this number is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` when this number is one.
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.repr, Repr::Small(1))
+    }
+
+    /// Returns `true` when the value is stored inline (fits in one limb).
+    ///
+    /// Exposed so tests and benchmarks can pin down the allocation
+    /// behaviour of the hot paths; algorithms should not branch on it.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// Returns `true` when the low bit is zero (zero is even).
@@ -75,7 +309,10 @@ impl Nat {
     /// assert!(!Nat::from(9u64).is_even());
     /// ```
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        match &self.repr {
+            Repr::Small(v) => v & 1 == 0,
+            Repr::Big(v) => v[0] & 1 == 0,
+        }
     }
 
     /// Constructs a `Nat` from raw little-endian limbs, normalizing.
@@ -83,12 +320,35 @@ impl Nat {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        Nat { limbs }
+        match limbs.len() {
+            0 => Nat::zero(),
+            1 => Nat {
+                repr: Repr::Small(limbs[0]),
+            },
+            _ => Nat {
+                repr: Repr::Big(limbs),
+            },
+        }
     }
 
-    /// A view of the little-endian limbs (no trailing zeros).
+    /// A view of the little-endian limbs (no trailing zeros; zero is the
+    /// empty slice).
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.repr {
+            Repr::Small(0) => &[],
+            Repr::Small(v) => std::slice::from_ref(v),
+            Repr::Big(v) => v,
+        }
+    }
+
+    /// Consumes the value into owned limbs (no trailing zeros), reusing the
+    /// heap buffer of `Big` values.
+    fn into_limbs(self) -> Vec<u64> {
+        match self.repr {
+            Repr::Small(0) => Vec::new(),
+            Repr::Small(v) => vec![v],
+            Repr::Big(v) => v,
+        }
     }
 
     /// Number of significant bits; zero has zero bits.
@@ -100,11 +360,11 @@ impl Nat {
     /// assert_eq!(Nat::zero().bit_length(), 0);
     /// ```
     pub fn bit_length(&self) -> u64 {
-        match self.limbs.last() {
-            None => 0,
-            Some(top) => {
-                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64
-                    + (LIMB_BITS - top.leading_zeros()) as u64
+        match &self.repr {
+            Repr::Small(v) => (LIMB_BITS - v.leading_zeros()) as u64,
+            Repr::Big(v) => {
+                let top = v[v.len() - 1];
+                (v.len() as u64 - 1) * LIMB_BITS as u64 + (LIMB_BITS - top.leading_zeros()) as u64
             }
         }
     }
@@ -113,7 +373,7 @@ impl Nat {
     pub fn bit(&self, i: u64) -> bool {
         let limb = (i / LIMB_BITS as u64) as usize;
         let off = (i % LIMB_BITS as u64) as u32;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs().get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Keeps only the low `bits` bits (i.e. reduces modulo `2^bits`).
@@ -127,33 +387,38 @@ impl Nat {
         if bits >= self.bit_length() {
             return self.clone();
         }
+        if let Repr::Small(v) = self.repr {
+            // bits < bit_length <= 64 here.
+            return Nat {
+                repr: Repr::Small(v & ((1u64 << bits) - 1)),
+            };
+        }
+        let limbs = self.limbs();
         let whole = (bits / LIMB_BITS as u64) as usize;
         let rem = (bits % LIMB_BITS as u64) as u32;
-        let mut limbs = self.limbs[..whole.min(self.limbs.len())].to_vec();
+        let mut out = limbs[..whole.min(limbs.len())].to_vec();
         if rem > 0 {
-            if let Some(&l) = self.limbs.get(whole) {
-                limbs.push(l & ((1u64 << rem) - 1));
+            if let Some(&l) = limbs.get(whole) {
+                out.push(l & ((1u64 << rem) - 1));
             }
         }
-        Nat::from_limbs(limbs)
+        Nat::from_limbs(out)
     }
 
     /// Converts to `u64` when the value fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Big(_) => None,
         }
     }
 
     /// Converts to `u128` when the value fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v as u128),
+            Repr::Big(v) if v.len() == 2 => Some((v[1] as u128) << 64 | v[0] as u128),
+            Repr::Big(_) => None,
         }
     }
 
@@ -164,13 +429,14 @@ impl Nat {
     /// assert_eq!(Nat::from(12u64).to_f64(), 12.0);
     /// ```
     pub fn to_f64(&self) -> f64 {
-        match self.limbs.len() {
+        let limbs = self.limbs();
+        match limbs.len() {
             0 => 0.0,
-            1 => self.limbs[0] as f64,
-            2 => (self.limbs[1] as f64) * 2f64.powi(64) + self.limbs[0] as f64,
+            1 => limbs[0] as f64,
+            2 => (limbs[1] as f64) * 2f64.powi(64) + limbs[0] as f64,
             n => {
                 // Use the top two limbs for the mantissa and scale by the rest.
-                let hi = self.limbs[n - 1] as f64 * 2f64.powi(64) + self.limbs[n - 2] as f64;
+                let hi = limbs[n - 1] as f64 * 2f64.powi(64) + limbs[n - 2] as f64;
                 hi * 2f64.powi(((n - 2) as i32) * 64)
             }
         }
@@ -178,52 +444,118 @@ impl Nat {
 
     /// Builds a `Nat` from big-endian bytes.
     ///
+    /// Single pass, one allocation at most: the bytes are packed into
+    /// limbs directly rather than folded through repeated shifts.
+    ///
     /// ```
     /// use sampcert_arith::Nat;
     /// assert_eq!(Nat::from_be_bytes(&[1, 0]), Nat::from(256u64));
     /// ```
     pub fn from_be_bytes(bytes: &[u8]) -> Self {
-        let mut n = Nat::zero();
-        for &b in bytes {
-            n = &(&n << 8u32) + &Nat::from(b as u64);
+        let first = bytes.iter().position(|&b| b != 0).unwrap_or(bytes.len());
+        let bytes = &bytes[first..];
+        if bytes.len() <= 8 {
+            let mut v = 0u64;
+            for &b in bytes {
+                v = (v << 8) | b as u64;
+            }
+            return Nat {
+                repr: Repr::Small(v),
+            };
         }
-        n
+        let n_limbs = bytes.len().div_ceil(8);
+        let mut limbs = Vec::with_capacity(n_limbs);
+        let mut end = bytes.len();
+        while end > 0 {
+            let start = end.saturating_sub(8);
+            let mut v = 0u64;
+            for &b in &bytes[start..end] {
+                v = (v << 8) | b as u64;
+            }
+            limbs.push(v);
+            end = start;
+        }
+        Nat::from_limbs(limbs)
+    }
+
+    /// `self · 256 + b`: appends one big-endian byte.
+    ///
+    /// This is the per-byte step of the uniform sampler's accumulation
+    /// loop; for values below `2^56` it is branch-cheap and allocation
+    /// free.
+    pub fn push_be_byte(&self, b: u8) -> Nat {
+        match &self.repr {
+            Repr::Small(v) if *v >> 56 == 0 => Nat {
+                repr: Repr::Small((v << 8) | b as u64),
+            },
+            _ => {
+                let limbs = self.limbs();
+                let mut out = Vec::with_capacity(limbs.len() + 1);
+                let mut carry = b as u64;
+                for &l in limbs {
+                    out.push((l << 8) | carry);
+                    carry = l >> 56;
+                }
+                if carry != 0 {
+                    out.push(carry);
+                }
+                Nat::from_limbs(out)
+            }
+        }
+    }
+
+    /// Multiplies by a machine word, allocation-free when the result fits
+    /// in one limb.
+    pub fn mul_u64(&self, m: u64) -> Nat {
+        match &self.repr {
+            Repr::Small(v) => {
+                let p = *v as u128 * m as u128;
+                Nat::from(p)
+            }
+            Repr::Big(v) => {
+                if m == 0 {
+                    return Nat::zero();
+                }
+                let mut out = Vec::with_capacity(v.len() + 1);
+                let mut carry = 0u128;
+                for &l in v {
+                    let cur = l as u128 * m as u128 + carry;
+                    out.push(cur as u64);
+                    carry = cur >> 64;
+                }
+                if carry != 0 {
+                    out.push(carry as u64);
+                }
+                Nat::from_limbs(out)
+            }
+        }
     }
 
     /// Compares two naturals.
     fn cmp_nat(&self, other: &Nat) -> Ordering {
-        if self.limbs.len() != other.limbs.len() {
-            return self.limbs.len().cmp(&other.limbs.len());
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            (Repr::Small(_), Repr::Big(_)) => Ordering::Less,
+            (Repr::Big(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big(a), Repr::Big(b)) => cmp_slices(a, b),
         }
-        for i in (0..self.limbs.len()).rev() {
-            match self.limbs[i].cmp(&other.limbs[i]) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            }
-        }
-        Ordering::Equal
     }
 
     /// Adds two naturals.
     fn add_nat(&self, other: &Nat) -> Nat {
-        let (long, short) = if self.limbs.len() >= other.limbs.len() {
-            (&self.limbs, &other.limbs)
-        } else {
-            (&other.limbs, &self.limbs)
-        };
-        let mut out = Vec::with_capacity(long.len() + 1);
-        let mut carry = 0u64;
-        for i in 0..long.len() {
-            let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
-            let (s2, c2) = s1.overflowing_add(carry);
-            out.push(s2);
-            carry = (c1 as u64) + (c2 as u64);
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            let (s, carry) = a.overflowing_add(*b);
+            return if carry {
+                Nat {
+                    repr: Repr::Big(vec![s, 1]),
+                }
+            } else {
+                Nat {
+                    repr: Repr::Small(s),
+                }
+            };
         }
-        if carry > 0 {
-            out.push(carry);
-        }
-        Nat::from_limbs(out)
+        Nat::from_limbs(add_slices(self.limbs(), other.limbs()))
     }
 
     /// Subtracts `other` from `self`, returning `None` on underflow.
@@ -234,20 +566,15 @@ impl Nat {
     /// assert_eq!(Nat::from(7u64).checked_sub(&Nat::from(5u64)), Some(Nat::from(2u64)));
     /// ```
     pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return a.checked_sub(*b).map(|d| Nat {
+                repr: Repr::Small(d),
+            });
+        }
         if self.cmp_nat(other) == Ordering::Less {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
-        let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, u1) = self.limbs[i].overflowing_sub(b);
-            let (d2, u2) = d1.overflowing_sub(borrow);
-            out.push(d2);
-            borrow = (u1 as u64) + (u2 as u64);
-        }
-        debug_assert_eq!(borrow, 0);
-        Some(Nat::from_limbs(out))
+        Some(Nat::from_limbs(sub_slices(self.limbs(), other.limbs())))
     }
 
     /// Saturating subtraction: `max(self - other, 0)`.
@@ -263,44 +590,48 @@ impl Nat {
         self.checked_sub(other).unwrap_or_else(Nat::zero)
     }
 
-    /// Multiplies two naturals (schoolbook).
+    /// Multiplies two naturals.
     fn mul_nat(&self, other: &Nat) -> Nat {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return Nat::from(*a as u128 * *b as u128);
+        }
         if self.is_zero() || other.is_zero() {
             return Nat::zero();
         }
-        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            if a == 0 {
-                continue;
-            }
-            let mut carry = 0u128;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
-                out[i + j] = cur as u64;
-                carry = cur >> 64;
-            }
-            let mut k = i + other.limbs.len();
-            while carry > 0 {
-                let cur = out[k] as u128 + carry;
-                out[k] = cur as u64;
-                carry = cur >> 64;
-                k += 1;
-            }
+        Nat::from_limbs(mul_slices(self.limbs(), other.limbs()))
+    }
+
+    /// Multiplies two naturals forcing the schoolbook path (test hook for
+    /// differential checks against Karatsuba).
+    #[doc(hidden)]
+    pub fn mul_schoolbook_for_tests(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
         }
-        Nat::from_limbs(out)
+        Nat::from_limbs(mul_schoolbook(self.limbs(), other.limbs()))
     }
 
     /// Divides by a single limb, returning `(quotient, remainder)`.
     fn div_rem_limb(&self, d: u64) -> (Nat, u64) {
         assert!(d != 0, "division by zero");
-        let mut out = vec![0u64; self.limbs.len()];
-        let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
-            out[i] = (cur / d as u128) as u64;
-            rem = cur % d as u128;
+        match &self.repr {
+            Repr::Small(v) => (
+                Nat {
+                    repr: Repr::Small(v / d),
+                },
+                v % d,
+            ),
+            Repr::Big(v) => {
+                let mut out = vec![0u64; v.len()];
+                let mut rem = 0u128;
+                for i in (0..v.len()).rev() {
+                    let cur = (rem << 64) | v[i] as u128;
+                    out[i] = (cur / d as u128) as u64;
+                    rem = cur % d as u128;
+                }
+                (Nat::from_limbs(out), rem as u64)
+            }
         }
-        (Nat::from_limbs(out), rem as u64)
     }
 
     /// Euclidean division, returning `(quotient, remainder)`.
@@ -316,13 +647,23 @@ impl Nat {
     /// ```
     pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
         assert!(!divisor.is_zero(), "division by zero");
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &divisor.repr) {
+            return (
+                Nat {
+                    repr: Repr::Small(a / b),
+                },
+                Nat {
+                    repr: Repr::Small(a % b),
+                },
+            );
+        }
         match self.cmp_nat(divisor) {
             Ordering::Less => return (Nat::zero(), self.clone()),
             Ordering::Equal => return (Nat::one(), Nat::zero()),
             Ordering::Greater => {}
         }
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+        if let Repr::Small(d) = divisor.repr {
+            let (q, r) = self.div_rem_limb(d);
             return (q, Nat::from(r));
         }
         self.div_rem_knuth(divisor)
@@ -330,14 +671,15 @@ impl Nat {
 
     /// Knuth Algorithm D for multi-limb divisors.
     fn div_rem_knuth(&self, divisor: &Nat) -> (Nat, Nat) {
-        let n = divisor.limbs.len();
-        let m = self.limbs.len() - n;
-        let shift = divisor.limbs[n - 1].leading_zeros();
+        let dl = divisor.limbs();
+        let n = dl.len();
+        let m = self.limbs().len() - n;
+        let shift = dl[n - 1].leading_zeros();
 
         // Normalized copies: u has one extra high limb.
-        let v = (divisor << shift).limbs;
-        let mut u = (self << shift).limbs;
-        u.resize(self.limbs.len() + 1, 0);
+        let v = (divisor << shift).into_limbs();
+        let mut u = (self << shift).into_limbs();
+        u.resize(self.limbs().len() + 1, 0);
 
         let mut q = vec![0u64; m + 1];
         let b = 1u128 << 64;
@@ -345,9 +687,7 @@ impl Nat {
             let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
             let mut qhat = top / v[n - 1] as u128;
             let mut rhat = top % v[n - 1] as u128;
-            while qhat >= b
-                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >= b {
@@ -384,7 +724,11 @@ impl Nat {
         (Nat::from_limbs(q), rem)
     }
 
-    /// Greatest common divisor (Euclid's algorithm).
+    /// Greatest common divisor.
+    ///
+    /// Both-small operands run a word-sized Euclid loop with no heap
+    /// traffic; larger operands take Euclid steps on limbs until both
+    /// sides fit in a word.
     ///
     /// ```
     /// use sampcert_arith::Nat;
@@ -392,9 +736,19 @@ impl Nat {
     /// assert_eq!(Nat::from(5u64).gcd(&Nat::zero()), Nat::from(5u64));
     /// ```
     pub fn gcd(&self, other: &Nat) -> Nat {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return Nat {
+                repr: Repr::Small(gcd_u64(*a, *b)),
+            };
+        }
         let mut a = self.clone();
         let mut b = other.clone();
         while !b.is_zero() {
+            if let (Some(x), Some(y)) = (a.to_u64(), b.to_u64()) {
+                return Nat {
+                    repr: Repr::Small(gcd_u64(x, y)),
+                };
+            }
             let (_, r) = a.div_rem(&b);
             a = b;
             b = r;
@@ -461,17 +815,30 @@ impl PartialOrd for Nat {
     }
 }
 
-macro_rules! impl_from_unsigned {
+macro_rules! impl_from_word {
     ($($t:ty),*) => {$(
         impl From<$t> for Nat {
             fn from(v: $t) -> Self {
-                let v = v as u128;
-                Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+                Nat { repr: Repr::Small(v as u64) }
             }
         }
     )*};
 }
-impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_word!(u8, u16, u32, u64, usize);
+
+impl From<u128> for Nat {
+    fn from(v: u128) -> Self {
+        if v <= u64::MAX as u128 {
+            Nat {
+                repr: Repr::Small(v as u64),
+            }
+        } else {
+            Nat {
+                repr: Repr::Big(vec![v as u64, (v >> 64) as u64]),
+            }
+        }
+    }
+}
 
 impl Add for &Nat {
     type Output = Nat;
@@ -489,7 +856,36 @@ impl Add for Nat {
 
 impl AddAssign<&Nat> for Nat {
     fn add_assign(&mut self, rhs: &Nat) {
-        *self = self.add_nat(rhs);
+        match (&mut self.repr, &rhs.repr) {
+            (Repr::Small(a), Repr::Small(b)) => {
+                let (s, carry) = a.overflowing_add(*b);
+                if carry {
+                    self.repr = Repr::Big(vec![s, 1]);
+                } else {
+                    *a = s;
+                }
+            }
+            (Repr::Big(a), _) if a.len() >= rhs.limbs().len() => {
+                // True in-place add: no reallocation unless a carry limb
+                // must be appended.
+                let b = rhs.limbs();
+                let mut carry = 0u64;
+                for i in 0..a.len() {
+                    let rhs_l = b.get(i).copied().unwrap_or(0);
+                    if carry == 0 && i >= b.len() {
+                        break;
+                    }
+                    let (s1, c1) = a[i].overflowing_add(rhs_l);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    a[i] = s2;
+                    carry = (c1 as u64) + (c2 as u64);
+                }
+                if carry > 0 {
+                    a.push(carry);
+                }
+            }
+            _ => *self = self.add_nat(rhs),
+        }
     }
 }
 
@@ -512,7 +908,18 @@ impl Sub for Nat {
 
 impl SubAssign<&Nat> for Nat {
     fn sub_assign(&mut self, rhs: &Nat) {
-        *self = &*self - rhs;
+        match (&mut self.repr, &rhs.repr) {
+            (Repr::Small(a), Repr::Small(b)) => {
+                *a = a.checked_sub(*b).expect("Nat subtraction underflow");
+            }
+            (Repr::Big(a), _) if cmp_slices(a, rhs.limbs()) != Ordering::Less => {
+                sub_assign_slices(a, rhs.limbs());
+                if a.len() < 2 {
+                    self.repr = Repr::Small(a.first().copied().unwrap_or(0));
+                }
+            }
+            _ => *self = &*self - rhs,
+        }
     }
 }
 
@@ -532,6 +939,13 @@ impl Mul for Nat {
 
 impl MulAssign<&Nat> for Nat {
     fn mul_assign(&mut self, rhs: &Nat) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.repr, &rhs.repr) {
+            let p = *a as u128 * *b as u128;
+            if p <= u64::MAX as u128 {
+                *a = p as u64;
+                return;
+            }
+        }
         *self = self.mul_nat(rhs);
     }
 }
@@ -570,14 +984,22 @@ impl Shl<u32> for &Nat {
         if self.is_zero() || bits == 0 {
             return self.clone();
         }
+        if let Repr::Small(v) = self.repr {
+            if bits < LIMB_BITS && v.leading_zeros() >= bits {
+                return Nat {
+                    repr: Repr::Small(v << bits),
+                };
+            }
+        }
+        let limbs = self.limbs();
         let limb_shift = (bits / LIMB_BITS) as usize;
         let bit_shift = bits % LIMB_BITS;
         let mut out = vec![0u64; limb_shift];
         if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
+            out.extend_from_slice(limbs);
         } else {
             let mut carry = 0u64;
-            for &l in &self.limbs {
+            for &l in limbs {
                 out.push((l << bit_shift) | carry);
                 carry = l >> (LIMB_BITS - bit_shift);
             }
@@ -599,12 +1021,18 @@ impl Shl<u32> for Nat {
 impl Shr<u32> for &Nat {
     type Output = Nat;
     fn shr(self, bits: u32) -> Nat {
+        if let Repr::Small(v) = self.repr {
+            return Nat {
+                repr: Repr::Small(if bits >= LIMB_BITS { 0 } else { v >> bits }),
+            };
+        }
+        let limbs = self.limbs();
         let limb_shift = (bits / LIMB_BITS) as usize;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= limbs.len() {
             return Nat::zero();
         }
         let bit_shift = bits % LIMB_BITS;
-        let src = &self.limbs[limb_shift..];
+        let src = &limbs[limb_shift..];
         let mut out = Vec::with_capacity(src.len());
         if bit_shift == 0 {
             out.extend_from_slice(src);
@@ -629,6 +1057,9 @@ impl fmt::Display for Nat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_zero() {
             return f.pad_integral(true, "", "0");
+        }
+        if let Repr::Small(v) = self.repr {
+            return f.pad_integral(true, "", &v.to_string());
         }
         // Peel off 19 decimal digits at a time (10^19 fits in a u64).
         const CHUNK: u64 = 10_000_000_000_000_000_000;
@@ -673,18 +1104,17 @@ impl FromStr for Nat {
             return Err(ParseNatError);
         }
         let mut n = Nat::zero();
-        let ten19 = Nat::from(10_000_000_000_000_000_000u64);
         let bytes = s.as_bytes();
         let mut i = 0;
         while i < bytes.len() {
             let take = (bytes.len() - i).min(19);
             let chunk: u64 = s[i..i + take].parse().map_err(|_| ParseNatError)?;
             let scale = if take == 19 {
-                ten19.clone()
+                10_000_000_000_000_000_000u64
             } else {
-                Nat::from(10u64.pow(take as u32))
+                10u64.pow(take as u32)
             };
-            n = &(&n * &scale) + &Nat::from(chunk);
+            n = &n.mul_u64(scale) + &Nat::from(chunk);
             i += take;
         }
         Ok(n)
@@ -708,6 +1138,23 @@ mod tests {
     }
 
     #[test]
+    fn representation_invariant() {
+        // Values at and around the limb boundary take the right variant.
+        assert!(n(0).is_inline());
+        assert!(n(u64::MAX as u128).is_inline());
+        assert!(!n(u64::MAX as u128 + 1).is_inline());
+        // Operations that shrink a Big value re-inline it.
+        let big = n(1u128 << 64);
+        assert!((&big - &Nat::one()).is_inline());
+        assert!((&big >> 64u32).is_inline());
+        assert!(big.div_rem(&n(2)).0.is_inline()); // 2^63 fits one limb
+        assert!(!(&big * &big).is_inline());
+        assert!(big.div_rem(&big).0.is_inline());
+        assert_eq!(Nat::from_limbs(vec![7, 0, 0]), n(7));
+        assert!(Nat::from_limbs(vec![7, 0, 0]).is_inline());
+    }
+
+    #[test]
     fn add_basic_and_carry() {
         assert_eq!(&n(2) + &n(3), n(5));
         assert_eq!(&n(u64::MAX as u128) + &n(1), n(1u128 << 64));
@@ -717,11 +1164,46 @@ mod tests {
     }
 
     #[test]
+    fn add_assign_in_place() {
+        let mut a = n(40);
+        a += &n(2);
+        assert_eq!(a, n(42));
+        // Small overflowing into Big.
+        let mut b = n(u64::MAX as u128);
+        b += &Nat::one();
+        assert_eq!(b, n(1u128 << 64));
+        // Big += Small in place, with carry limb growth.
+        let mut c = n(u128::MAX);
+        c += &Nat::one();
+        assert_eq!(c, &n(u128::MAX) + &Nat::one());
+        // Small += Big promotes.
+        let mut d = n(5);
+        d += &n(1u128 << 100);
+        assert_eq!(d, &n(5) + &n(1u128 << 100));
+    }
+
+    #[test]
     fn sub_and_underflow() {
         assert_eq!(&n(10) - &n(4), n(6));
         assert_eq!(n(4).checked_sub(&n(10)), None);
         assert_eq!(n(4).saturating_sub(&n(10)), Nat::zero());
         assert_eq!(&n(1u128 << 64) - &n(1), n(u64::MAX as u128));
+    }
+
+    #[test]
+    fn sub_assign_in_place() {
+        let mut a = n(10);
+        a -= &n(4);
+        assert_eq!(a, n(6));
+        // Big shrinking back to Small.
+        let mut b = n(1u128 << 64);
+        b -= &Nat::one();
+        assert_eq!(b, n(u64::MAX as u128));
+        assert!(b.is_inline());
+        let mut c = n(u128::MAX);
+        c -= &n(u128::MAX - 7);
+        assert_eq!(c, n(7));
+        assert!(c.is_inline());
     }
 
     #[test]
@@ -738,6 +1220,90 @@ mod tests {
         let big = Nat::from(10u64).pow(40);
         let sq = &big * &big;
         assert_eq!(sq, Nat::from(10u64).pow(80));
+    }
+
+    #[test]
+    fn mul_assign_in_place() {
+        let mut a = n(6);
+        a *= &n(7);
+        assert_eq!(a, n(42));
+        assert!(a.is_inline());
+        let mut b = n(1u128 << 40);
+        b *= &n(1u128 << 40);
+        assert_eq!(b, n(1u128 << 80));
+    }
+
+    #[test]
+    fn mul_u64_matches_general_mul() {
+        for v in [0u128, 1, 7, u64::MAX as u128, 1u128 << 90, u128::MAX] {
+            for m in [0u64, 1, 255, u64::MAX] {
+                assert_eq!(n(v).mul_u64(m), &n(v) * &Nat::from(m), "{v} * {m}");
+            }
+        }
+        let huge = Nat::from(10u64).pow(50);
+        assert_eq!(huge.mul_u64(10), &huge * &n(10));
+    }
+
+    #[test]
+    fn push_be_byte_matches_shift_or() {
+        for v in [
+            0u128,
+            1,
+            0xFF,
+            1 << 55,
+            1 << 56,
+            u64::MAX as u128,
+            1u128 << 90,
+        ] {
+            for b in [0u8, 1, 0xAB, 0xFF] {
+                let expect = &(&n(v) << 8u32) + &Nat::from(b);
+                assert_eq!(n(v).push_be_byte(b), expect, "v={v} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Dense operands straddling the threshold.
+        let mk = |limbs: usize, seed: u64| {
+            let mut v = Vec::with_capacity(limbs);
+            let mut state = seed;
+            for _ in 0..limbs {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v.push(state);
+            }
+            Nat::from_limbs(v)
+        };
+        for (la, lb) in [
+            (KARATSUBA_THRESHOLD, KARATSUBA_THRESHOLD),
+            (KARATSUBA_THRESHOLD + 1, KARATSUBA_THRESHOLD),
+            (2 * KARATSUBA_THRESHOLD + 3, KARATSUBA_THRESHOLD + 1),
+            (97, 61),
+            (130, 130),
+        ] {
+            let a = mk(la, la as u64 ^ 0xA5);
+            let b = mk(lb, lb as u64 ^ 0x5A);
+            assert_eq!(&a * &b, a.mul_schoolbook_for_tests(&b), "{la}x{lb}");
+            // And against the all-ones closed form where easy to build.
+        }
+        // Highly asymmetric: Karatsuba degenerate split.
+        let a = mk(200, 9);
+        let b = mk(KARATSUBA_THRESHOLD, 10);
+        assert_eq!(&a * &b, a.mul_schoolbook_for_tests(&b));
+    }
+
+    #[test]
+    fn karatsuba_all_ones_closed_form() {
+        // (B^n - 1)(B^m - 1) = B^{n+m} - B^n - B^m + 1.
+        let pow = |k: u32| Nat::one() << (64 * k);
+        for (nn, mm) in [(64u32, 64u32), (100, 40), (129, 77)] {
+            let a = &pow(nn) - &Nat::one();
+            let b = &pow(mm) - &Nat::one();
+            let expect = &(&(&pow(nn + mm) - &pow(nn)) - &pow(mm)) + &Nat::one();
+            assert_eq!(&a * &b, expect, "{nn}x{mm}");
+        }
     }
 
     #[test]
@@ -790,6 +1356,11 @@ mod tests {
         let a = Nat::from(10u64).pow(30);
         assert_eq!(&(&a << 64u32) >> 64u32, a);
         assert_eq!(&(&a << 13u32) >> 13u32, a);
+        // Small-path boundaries.
+        assert_eq!(&n(1) << 63u32, n(1u128 << 63));
+        assert_eq!(&n(1) << 64u32, n(1u128 << 64));
+        assert_eq!(&n(3) << 63u32, n(3u128 << 63));
+        assert_eq!(&n(0xFFFF) >> 64u32, Nat::zero());
     }
 
     #[test]
@@ -801,6 +1372,10 @@ mod tests {
         let a = Nat::from(2u64).pow(100);
         let b = Nat::from(2u64).pow(60) * Nat::from(3u64);
         assert_eq!(a.gcd(&b), Nat::from(2u64).pow(60));
+        // Mixed small/big.
+        let big = Nat::from(2u64).pow(100);
+        assert_eq!(big.gcd(&n(1u128 << 10)), n(1u128 << 10));
+        assert_eq!(n(1u128 << 10).gcd(&big), n(1u128 << 10));
     }
 
     #[test]
@@ -820,7 +1395,13 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "1", "42", "18446744073709551616", "123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "123456789012345678901234567890",
+        ] {
             let v: Nat = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }
@@ -851,6 +1432,13 @@ mod tests {
         assert_eq!(Nat::from_be_bytes(&[0x12, 0x34]), n(0x1234));
         let bytes = [0xffu8; 16];
         assert_eq!(Nat::from_be_bytes(&bytes), n(u128::MAX));
+        // Leading zeros are insignificant; long inputs hit the limb-packing
+        // path.
+        assert_eq!(Nat::from_be_bytes(&[0, 0, 0x12, 0x34]), n(0x1234));
+        let mut long = vec![0u8; 3];
+        long.extend_from_slice(&[0xAB; 23]);
+        let expect = (0..23).fold(Nat::zero(), |acc, _| acc.push_be_byte(0xAB));
+        assert_eq!(Nat::from_be_bytes(&long), expect);
     }
 
     #[test]
@@ -858,6 +1446,17 @@ mod tests {
         let v = n(0b1011);
         assert!(v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3) && !v.bit(4));
         assert!(!v.bit(1000));
-        assert!(v.is_even() == false);
+        assert!(!v.is_even());
+    }
+
+    #[test]
+    fn low_bits_boundaries() {
+        assert_eq!(n(0b110101).low_bits(3), n(0b101));
+        assert_eq!(n(7).low_bits(0), Nat::zero());
+        assert_eq!(n(u128::MAX).low_bits(64), n(u64::MAX as u128));
+        assert_eq!(n(u128::MAX).low_bits(65), n((1u128 << 65) - 1));
+        let big = Nat::from(10u64).pow(40);
+        assert_eq!(big.low_bits(big.bit_length()), big);
+        assert_eq!(big.low_bits(10_000), big);
     }
 }

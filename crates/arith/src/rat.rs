@@ -35,12 +35,18 @@ pub struct Rat {
 impl Rat {
     /// The rational zero.
     pub fn zero() -> Self {
-        Rat { num: Int::zero(), den: Nat::one() }
+        Rat {
+            num: Int::zero(),
+            den: Nat::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Self {
-        Rat { num: Int::one(), den: Nat::one() }
+        Rat {
+            num: Int::one(),
+            den: Nat::one(),
+        }
     }
 
     /// Creates a rational from a numerator and denominator, reducing to
@@ -71,18 +77,45 @@ impl Rat {
         }
     }
 
+    /// Internal constructor for numerator/denominator pairs already known
+    /// to be coprime (skips the gcd).
+    ///
+    /// The arithmetic operators use this together with the classic
+    /// denominator-gcd factorizations (Knuth, TAOCP 4.5.1), so `Rat`
+    /// addition and multiplication never run a gcd over the full
+    /// cross-products — only over the (much smaller) inputs.
+    fn from_reduced(num: Int, den: Nat) -> Self {
+        debug_assert!(!den.is_zero(), "zero denominator");
+        debug_assert!(
+            num.is_zero() && den.is_one() || num.magnitude().gcd(&den).is_one(),
+            "from_reduced: {num}/{den} not in lowest terms"
+        );
+        Rat { num, den }
+    }
+
     /// Creates a rational from two unsigned machine integers.
+    ///
+    /// Runs a word-sized gcd — no big-integer traffic at all — making this
+    /// the cheapest way to build sampler parameters.
     ///
     /// # Panics
     ///
     /// Panics if `den` is zero.
     pub fn from_ratio(num: u64, den: u64) -> Self {
-        Rat::new(Int::from(num), Nat::from(den))
+        assert!(den != 0, "zero denominator");
+        if num == 0 {
+            return Rat::zero();
+        }
+        let g = crate::nat::gcd_u64(num, den);
+        Rat::from_reduced(Int::from(num / g), Nat::from(den / g))
     }
 
     /// Creates an integer-valued rational.
     pub fn from_int(v: impl Into<Int>) -> Self {
-        Rat { num: v.into(), den: Nat::one() }
+        Rat {
+            num: v.into(),
+            den: Nat::one(),
+        }
     }
 
     /// The numerator (sign-carrying, lowest terms).
@@ -107,7 +140,10 @@ impl Rat {
 
     /// The absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// The multiplicative inverse.
@@ -136,7 +172,9 @@ impl Rat {
 
     /// Ceiling: the least integer `≥ self`.
     pub fn ceil(&self) -> Int {
-        -&((-&self.num).div_rem_euclid(&Int::from_nat(self.den.clone())).0)
+        -&((-&self.num)
+            .div_rem_euclid(&Int::from_nat(self.den.clone()))
+            .0)
     }
 
     /// Raises to an integer power (negative powers invert).
@@ -183,10 +221,24 @@ impl Rat {
     }
 
     /// Compares with another rational by cross-multiplication (exact).
+    ///
+    /// Signs are compared first so the (unsigned) cross-products are only
+    /// formed when both sides share a sign — no sign-carrying clones.
     fn cmp_rat(&self, other: &Rat) -> Ordering {
-        let lhs = &self.num * &Int::from_nat(other.den.clone());
-        let rhs = &other.num * &Int::from_nat(self.den.clone());
-        lhs.cmp(&rhs)
+        let (sa, sb) = (self.num.signum(), other.num.signum());
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        if sa == 0 {
+            return Ordering::Equal;
+        }
+        let lhs = self.num.magnitude() * &other.den;
+        let rhs = other.num.magnitude() * &self.den;
+        if sa > 0 {
+            lhs.cmp(&rhs)
+        } else {
+            rhs.cmp(&lhs)
+        }
     }
 }
 
@@ -216,16 +268,49 @@ impl From<Int> for Rat {
 
 impl From<Nat> for Rat {
     fn from(v: Nat) -> Self {
-        Rat { num: Int::from_nat(v), den: Nat::one() }
+        Rat {
+            num: Int::from_nat(v),
+            den: Nat::one(),
+        }
     }
 }
 
 impl Add for &Rat {
     type Output = Rat;
+    /// Denominator-gcd addition: with `g = gcd(b, d)`,
+    /// `a/b + c/d = t / (b·(d/g))` where `t = a·(d/g) + c·(b/g)` shares
+    /// only factors of `g` with the denominator — so the final reduction
+    /// is `gcd(t, g)`, never a gcd over the full cross-products.
     fn add(self, rhs: &Rat) -> Rat {
-        let num = &(&self.num * &Int::from_nat(rhs.den.clone()))
-            + &(&rhs.num * &Int::from_nat(self.den.clone()));
-        Rat::new(num, &self.den * &rhs.den)
+        if self.num.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.num.is_zero() {
+            return self.clone();
+        }
+        let g = self.den.gcd(&rhs.den);
+        if g.is_one() {
+            // b ⊥ d: the sum a·d + c·b is coprime with b·d (any prime of b
+            // would have to divide a·d, impossible as a ⊥ b and b ⊥ d).
+            let num = &(&self.num * &Int::from_nat(rhs.den.clone()))
+                + &(&rhs.num * &Int::from_nat(self.den.clone()));
+            return Rat::from_reduced(num, &self.den * &rhs.den);
+        }
+        let d_g = &rhs.den / &g;
+        let b_g = &self.den / &g;
+        let t = &(&self.num * &Int::from_nat(d_g.clone())) + &(&rhs.num * &Int::from_nat(b_g));
+        if t.is_zero() {
+            return Rat::zero();
+        }
+        let g2 = t.magnitude().gcd(&g);
+        if g2.is_one() {
+            Rat::from_reduced(t, &self.den * &d_g)
+        } else {
+            Rat::from_reduced(
+                Int::from_sign_mag(t.is_negative(), t.magnitude() / &g2),
+                &(&self.den / &g2) * &d_g,
+            )
+        }
     }
 }
 
@@ -264,8 +349,39 @@ impl SubAssign<&Rat> for Rat {
 
 impl Mul for &Rat {
     type Output = Rat;
+    /// Cross-gcd multiplication: `(a/g1)·(c/g2) / ((b/g2)·(d/g1))` with
+    /// `g1 = gcd(|a|, d)`, `g2 = gcd(|c|, b)` is already in lowest terms,
+    /// so the product needs no gcd over the (large) result.
     fn mul(self, rhs: &Rat) -> Rat {
-        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+        if self.num.is_zero() || rhs.num.is_zero() {
+            return Rat::zero();
+        }
+        let g1 = self.num.magnitude().gcd(&rhs.den);
+        let g2 = rhs.num.magnitude().gcd(&self.den);
+        let a = if g1.is_one() {
+            self.num.magnitude().clone()
+        } else {
+            self.num.magnitude() / &g1
+        };
+        let c = if g2.is_one() {
+            rhs.num.magnitude().clone()
+        } else {
+            rhs.num.magnitude() / &g2
+        };
+        let b = if g2.is_one() {
+            self.den.clone()
+        } else {
+            &self.den / &g2
+        };
+        let d = if g1.is_one() {
+            rhs.den.clone()
+        } else {
+            &rhs.den / &g1
+        };
+        Rat::from_reduced(
+            Int::from_sign_mag(self.num.is_negative() != rhs.num.is_negative(), &a * &c),
+            &b * &d,
+        )
     }
 }
 
@@ -301,14 +417,20 @@ impl Div for Rat {
 impl Neg for &Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -&self.num, den: self.den.clone() }
+        Rat {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

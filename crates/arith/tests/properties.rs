@@ -194,3 +194,142 @@ proptest! {
         prop_assert_eq!(s.parse::<Rat>().unwrap(), a);
     }
 }
+
+/// Strategy for naturals wide enough to straddle the Karatsuba threshold
+/// (a few limbs up to ~160 limbs).
+fn arb_nat_wide() -> impl Strategy<Value = Nat> {
+    prop::collection::vec(any::<u64>(), 0..160).prop_map(|ls| {
+        ls.iter()
+            .fold(Nat::zero(), |acc, &l| &(&acc << 64u32) + &Nat::from(l))
+    })
+}
+
+/// Strategy for values hugging the inline/heap boundary: `2^(64k) ± δ` for
+/// small `δ`, where carries, borrows and re-normalization all trigger.
+fn arb_nat_boundary() -> impl Strategy<Value = Nat> {
+    (0u32..3, 0u64..3, any::<bool>()).prop_map(|(k, delta, below)| {
+        let base = Nat::one() << (64 * (k + 1));
+        if below {
+            base.saturating_sub(&Nat::from(delta))
+        } else {
+            &base + &Nat::from(delta)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Karatsuba and schoolbook multiplication agree on random operands
+    /// spanning the threshold in both directions (including the highly
+    /// asymmetric splits where one recursion half is empty).
+    #[test]
+    fn karatsuba_matches_schoolbook_differential(a in arb_nat_wide(), b in arb_nat_wide()) {
+        prop_assert_eq!(&a * &b, a.mul_schoolbook_for_tests(&b));
+    }
+
+    /// The inline (Small) and heap (Big) code paths compute the same
+    /// function: lifting both operands by a limb moves the identical
+    /// operation onto the multi-limb path, and shifting back must agree.
+    #[test]
+    fn inline_vs_heap_add_sub_mul_cmp(a in any::<u64>(), b in any::<u64>()) {
+        let (na, nb) = (Nat::from(a), Nat::from(b));
+        let (ha, hb) = (&na << 64u32, &nb << 64u32);
+        prop_assert_eq!(&(&ha + &hb) >> 64u32, &na + &nb);
+        prop_assert_eq!(&(&ha * &hb) >> 128u32, &na * &nb);
+        prop_assert_eq!(ha.cmp(&hb), na.cmp(&nb));
+        if a >= b {
+            prop_assert_eq!(&(&ha - &hb) >> 64u32, &na - &nb);
+        }
+        // Division through the multi-limb path against u128 reference.
+        let (q, r) = ha.div_rem(&(&nb + &Nat::one()));
+        let lifted = (a as u128) << 64;
+        prop_assert_eq!(q, Nat::from(lifted / (b as u128 + 1)));
+        prop_assert_eq!(r, Nat::from(lifted % (b as u128 + 1)));
+    }
+
+    /// Carry/borrow/normalization edges: exact `u128` reference semantics
+    /// at the limb boundary.
+    #[test]
+    fn boundary_ops_match_u128(a in arb_nat_boundary(), b in arb_nat_boundary()) {
+        if let (Some(x), Some(y)) = (a.to_u128(), b.to_u128()) {
+            if let Some(s) = x.checked_add(y) {
+                prop_assert_eq!(&a + &b, Nat::from(s));
+            }
+            if x >= y {
+                let d = &a - &b;
+                prop_assert_eq!(d.clone(), Nat::from(x - y));
+                // Results that shrink below one limb must re-inline.
+                prop_assert_eq!(d.is_inline(), x - y <= u64::MAX as u128);
+            }
+            if let Some(p) = x.checked_mul(y) {
+                prop_assert_eq!(&a * &b, Nat::from(p));
+            }
+            prop_assert_eq!(a.cmp(&b), x.cmp(&y));
+        }
+    }
+
+    /// In-place assignment operators agree with the by-value operators on
+    /// operands straddling the boundary.
+    #[test]
+    fn assign_ops_match_operators(a in arb_nat_boundary(), b in arb_nat_boundary()) {
+        let mut s = a.clone();
+        s += &b;
+        prop_assert_eq!(s, &a + &b);
+        if a >= b {
+            let mut d = a.clone();
+            d -= &b;
+            prop_assert_eq!(d, &a - &b);
+        }
+        let mut m = a.clone();
+        m *= &b;
+        prop_assert_eq!(m, &a * &b);
+    }
+
+    /// Scalar helpers agree with their general-purpose equivalents.
+    #[test]
+    fn scalar_helpers_match_general(a in arb_nat_wide(), m in any::<u64>(), byte in any::<u8>()) {
+        prop_assert_eq!(a.mul_u64(m), &a * &Nat::from(m));
+        prop_assert_eq!(a.push_be_byte(byte), &(&a << 8u32) + &Nat::from(byte));
+    }
+
+    /// The gcd-free `Rat` operator fast paths agree with the reference
+    /// construction through `Rat::new`'s full reduction.
+    #[test]
+    fn rat_fast_paths_match_reference(a in arb_rat(), b in arb_rat()) {
+        let cross = &(a.numer() * &Int::from_nat(b.denom().clone()))
+            + &(b.numer() * &Int::from_nat(a.denom().clone()));
+        prop_assert_eq!(&a + &b, Rat::new(cross, a.denom() * b.denom()));
+        prop_assert_eq!(&a * &b, Rat::new(a.numer() * b.numer(), a.denom() * b.denom()));
+    }
+
+    /// `from_ratio`'s word-sized reduction agrees with the big-number path.
+    #[test]
+    fn rat_from_ratio_matches_new(n in any::<u64>(), d in 1u64..) {
+        prop_assert_eq!(Rat::from_ratio(n, d), Rat::new(Int::from(n), Nat::from(d)));
+    }
+}
+
+/// Deterministic spot-checks of the exact boundary values (no randomness:
+/// these are the cases the strategies above are aimed at, pinned down).
+#[test]
+fn limb_boundary_pinned_cases() {
+    let b64 = Nat::one() << 64u32;
+    let b128 = Nat::one() << 128u32;
+    // Carry in: u64::MAX + 1 crosses into two limbs.
+    assert_eq!(&Nat::from(u64::MAX) + &Nat::one(), b64);
+    assert!(!(&Nat::from(u64::MAX) + &Nat::one()).is_inline());
+    // Borrow out: 2^64 - 1 comes back inline.
+    assert!((&b64 - &Nat::one()).is_inline());
+    assert_eq!(&b64 - &Nat::one(), Nat::from(u64::MAX));
+    // Two-limb borrow cascade: 2^128 - 1 has exactly two limbs.
+    assert_eq!((&b128 - &Nat::one()).limbs(), &[u64::MAX, u64::MAX]);
+    // Multiplication crossing one limb exactly.
+    let r = &Nat::from(1u64 << 32) * &Nat::from(1u64 << 32);
+    assert_eq!(r, b64);
+    assert!(!r.is_inline());
+    // Division collapsing back to inline.
+    assert_eq!(&b128 / &b64, b64);
+    assert!((&b64 / &b64).is_inline());
+    assert!((&(&b64 * &Nat::from(3u64)) / &b64).is_inline());
+}

@@ -183,9 +183,14 @@ mod tests {
             let p = rat(x, d);
             let expect = (-(x as f64) / d as f64).exp();
             let n = 20_000;
-            let hits = (0..n).filter(|_| sample_bernoulli_exp(&p, &mut src)).count();
+            let hits = (0..n)
+                .filter(|_| sample_bernoulli_exp(&p, &mut src))
+                .count();
             let freq = hits as f64 / n as f64;
-            assert!((freq - expect).abs() < 0.02, "x={x}/{d}: freq={freq} expect={expect}");
+            assert!(
+                (freq - expect).abs() < 0.02,
+                "x={x}/{d}: freq={freq} expect={expect}"
+            );
         }
     }
 
@@ -221,7 +226,10 @@ mod tests {
         let e = (1.0f64 / 3.0).exp();
         let expect = 2.0 * e / (e - 1.0) / (e - 1.0);
         assert!(mean.abs() < 0.15, "mean={mean}");
-        assert!((var - expect).abs() / expect < 0.06, "var={var} expect={expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.06,
+            "var={var} expect={expect}"
+        );
     }
 
     #[test]

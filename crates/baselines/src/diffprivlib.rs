@@ -46,7 +46,9 @@ impl DiffprivlibLaplace {
     /// Panics if `scale` is not strictly positive.
     pub fn new(scale: f64) -> Self {
         assert!(scale > 0.0, "DiffprivlibLaplace: nonpositive scale");
-        DiffprivlibLaplace { p_continue: (-1.0 / scale).exp() }
+        DiffprivlibLaplace {
+            p_continue: (-1.0 / scale).exp(),
+        }
     }
 
     /// Draws one sample.
@@ -84,7 +86,11 @@ impl DiffprivlibGaussian {
     pub fn new(sigma: f64) -> Self {
         assert!(sigma > 0.0, "DiffprivlibGaussian: nonpositive sigma");
         let t = sigma.floor() + 1.0;
-        DiffprivlibGaussian { sigma, t, lap: DiffprivlibLaplace::new(t) }
+        DiffprivlibGaussian {
+            sigma,
+            t,
+            lap: DiffprivlibLaplace::new(t),
+        }
     }
 
     /// Draws one sample.
@@ -133,7 +139,10 @@ mod tests {
         let e = (1.0 / scale).exp();
         let expect = 2.0 * e / (e - 1.0) / (e - 1.0);
         assert!(mean.abs() < 0.3, "mean={mean}");
-        assert!((var - expect).abs() / expect < 0.06, "var={var} expect={expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.06,
+            "var={var} expect={expect}"
+        );
     }
 
     #[test]

@@ -144,10 +144,12 @@ mod tests {
         let m = MironovLaplace::new(1.0);
         let mut src = SeededByteSource::new(2);
         let n = 4000;
-        let a: HashSet<i64> =
-            (0..n).map(|_| m.sample_bits_truncated(0.0, 40, &mut src)).collect();
-        let b: HashSet<i64> =
-            (0..n).map(|_| m.sample_bits_truncated(1.0, 40, &mut src)).collect();
+        let a: HashSet<i64> = (0..n)
+            .map(|_| m.sample_bits_truncated(0.0, 40, &mut src))
+            .collect();
+        let b: HashSet<i64> = (0..n)
+            .map(|_| m.sample_bits_truncated(1.0, 40, &mut src))
+            .collect();
         let overlap = a.intersection(&b).count();
         assert!(
             (overlap as f64) < 0.05 * a.len() as f64,
@@ -174,7 +176,10 @@ mod tests {
                 other += 1;
             }
         }
-        assert!(own > n * 99 / 100, "oracle misses its own outputs: {own}/{n}");
+        assert!(
+            own > n * 99 / 100,
+            "oracle misses its own outputs: {own}/{n}"
+        );
         // Most outputs are *provably* not from the neighbouring input —
         // an infinite-ε event for every such release. (A minority falls
         // on grid coincidences; the attack does not need them.)

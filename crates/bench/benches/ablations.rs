@@ -13,11 +13,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sampcert_arith::Nat;
+use sampcert_bench::GaussianImpl;
 use sampcert_samplers::{
     bernoulli_exp_neg, discrete_laplace, uniform_below, FusedGaussian, LaplaceAlg,
 };
 use sampcert_slang::{Sampling, SeededByteSource};
-use sampcert_bench::GaussianImpl;
 
 fn bench_laplace_switch(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_laplace_switch");

@@ -1,0 +1,111 @@
+//! Criterion bench for the exact-arithmetic layer.
+//!
+//! The Canonne–Kamath–Steinke samplers spend nearly all of their time in
+//! `Nat`/`Rat` operations on one- and two-limb operands (the paper's
+//! Figs. 4–6 are ultimately graphs of this cost), so this bench pins down:
+//!
+//! - small (single-limb) and large (multi-limb) `Nat` mul/div_rem,
+//! - `Rat` construction and field ops at sampler-typical sizes,
+//! - the `bernoulli_exp_neg` trial loop and a small-σ discrete Gaussian
+//!   draw loop — the end-to-end consumers of the small-operand fast path.
+//!
+//! `reproduce arith` measures the same set without Criterion and emits
+//! `BENCH_arith.json`, the format tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sampcert_arith::{Nat, Rat};
+use sampcert_bench::arith_bench;
+use sampcert_slang::SeededByteSource;
+
+fn bench_nat_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nat_small");
+    group.sample_size(20);
+    let a = Nat::from(0xDEAD_BEEF_u64);
+    let b = Nat::from(48_611u64);
+    group.bench_function("add", |bch| bch.iter(|| &a + &b));
+    group.bench_function("mul", |bch| bch.iter(|| &a * &b));
+    group.bench_function("div_rem", |bch| bch.iter(|| a.div_rem(&b)));
+    group.bench_function("gcd", |bch| bch.iter(|| a.gcd(&b)));
+    group.finish();
+}
+
+fn bench_nat_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nat_large");
+    group.sample_size(20);
+    for &limbs in &[8u32, 32, 64, 128] {
+        // A dense multi-limb operand: (2^64)^limbs - 1 style.
+        let a = (Nat::one() << (64 * limbs)) - Nat::one();
+        let b = (Nat::one() << (64 * limbs - 13)) - Nat::from(12_345u64);
+        group.bench_with_input(BenchmarkId::new("mul", limbs), &limbs, |bch, _| {
+            bch.iter(|| &a * &b)
+        });
+        group.bench_with_input(BenchmarkId::new("div_rem", limbs), &limbs, |bch, _| {
+            bch.iter(|| a.div_rem(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rat_ops");
+    group.sample_size(20);
+    let half = Rat::from_ratio(1, 2);
+    let third = Rat::from_ratio(1, 3);
+    group.bench_function("from_ratio", |bch| bch.iter(|| Rat::from_ratio(355, 113)));
+    group.bench_function("add", |bch| bch.iter(|| &half + &third));
+    group.bench_function("mul", |bch| bch.iter(|| &half * &third));
+    group.finish();
+}
+
+fn bench_sampler_loops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_loops");
+    group.sample_size(20);
+    group.bench_function("bernoulli_exp_neg_3_2", |bch| {
+        let prog = sampcert_samplers::bernoulli_exp_neg::<sampcert_slang::Sampling>(
+            &Nat::from(3u64),
+            &Nat::from(2u64),
+        );
+        let mut src = SeededByteSource::new(7);
+        bch.iter(|| prog.run(&mut src))
+    });
+    for &sigma in &[4u64, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("discrete_gaussian", sigma),
+            &sigma,
+            |bch, &sigma| {
+                let prog = sampcert_samplers::discrete_gaussian::<sampcert_slang::Sampling>(
+                    &Nat::from(sigma),
+                    &Nat::one(),
+                    sampcert_samplers::LaplaceAlg::Switched,
+                );
+                let mut src = SeededByteSource::new(11 ^ sigma);
+                bch.iter(|| prog.run(&mut src))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_json_set(c: &mut Criterion) {
+    // The exact measurement set behind BENCH_arith.json, for
+    // apples-to-apples comparison with `reproduce arith`.
+    let mut group = c.benchmark_group("bench_json_set");
+    group.sample_size(10);
+    for spec in arith_bench::MICRO_BENCHES {
+        group.bench_function(spec.name, |bch| {
+            let mut op = (spec.build)();
+            bch.iter(&mut op)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nat_small,
+    bench_nat_large,
+    bench_rat,
+    bench_sampler_loops,
+    bench_json_set
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Measures the Karatsuba/schoolbook crossover that sets
+//! `KARATSUBA_THRESHOLD` in `sampcert-arith`.
+//!
+//! Run with `cargo run --release -p sampcert-bench --example kara_probe`;
+//! the dispatch column should never be materially worse than schoolbook,
+//! and should win clearly from ~2x the threshold upward.
+
+use sampcert_arith::Nat;
+use std::time::Instant;
+
+fn big(limbs: usize, seed: u64) -> Nat {
+    let mut n = Nat::from(seed | 1);
+    let m = Nat::from(0xD1B5_4A32_D192_ED03u64);
+    while n.limbs().len() < limbs {
+        n = &(&n * &m) + &Nat::from(seed ^ 0xABCD);
+    }
+    n
+}
+
+fn time<F: FnMut() -> Nat>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let iters = 200;
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn main() {
+    for limbs in [16usize, 24, 32, 48, 64, 96, 128, 192, 256] {
+        let a = big(limbs, 3);
+        let b = big(limbs, 5);
+        let school = time(|| a.mul_schoolbook_for_tests(&b));
+        let auto = time(|| &a * &b);
+        println!("{limbs:>4} limbs: schoolbook {school:>10.0} ns   dispatch {auto:>10.0} ns");
+    }
+}

@@ -1,0 +1,453 @@
+//! Micro-benchmarks of the exact-arithmetic layer, with a JSON emitter.
+//!
+//! This is the measurement set behind `BENCH_arith.json`: small-operand
+//! `Nat`/`Rat` operations (the sampler hot path), multi-limb
+//! multiplication (the Karatsuba regime), and the end-to-end sampler
+//! loops that consume them. `reproduce arith` runs the set and emits the
+//! JSON tracked across PRs; the Criterion bench `benches/arith.rs` runs
+//! the same specs with per-batch statistics.
+
+use sampcert_arith::{Int, Nat, Rat};
+use sampcert_samplers::{bernoulli_exp_neg, discrete_gaussian, uniform_below, LaplaceAlg};
+use sampcert_slang::{Sampling, SeededByteSource};
+use std::time::{Duration, Instant};
+
+/// One micro-benchmark: a name plus a builder for its operation closure.
+///
+/// The builder performs all setup (program construction, operand
+/// synthesis); only the returned closure is timed. The closure returns an
+/// `i64` sink value so the optimizer cannot discard the work.
+pub struct MicroBench {
+    /// Stable identifier, used as the JSON key.
+    pub name: &'static str,
+    /// Constructs the operation to be timed.
+    pub build: fn() -> Box<dyn FnMut() -> i64>,
+}
+
+fn nat_sink(n: &Nat) -> i64 {
+    n.limbs().first().copied().unwrap_or(0) as i64
+}
+
+fn big_nat(limbs: u32, tweak: u64) -> Nat {
+    // A dense operand with no convenient structure: chained multiply-add.
+    let mut n = Nat::from(0x9E37_79B9_7F4A_7C15u64 ^ tweak);
+    let mult = Nat::from(0xD1B5_4A32_D192_ED03u64);
+    while n.limbs().len() < limbs as usize {
+        n = &(&n * &mult) + &Nat::from(0xABCD_EF01u64 ^ tweak);
+    }
+    n
+}
+
+fn build_nat_add_small() -> Box<dyn FnMut() -> i64> {
+    let a = Nat::from(0xDEAD_BEEF_u64);
+    let b = Nat::from(48_611u64);
+    Box::new(move || nat_sink(&(&a + &b)))
+}
+
+fn build_nat_mul_small() -> Box<dyn FnMut() -> i64> {
+    let a = Nat::from(0xBEEF_u64);
+    let b = Nat::from(48_611u64);
+    Box::new(move || nat_sink(&(&a * &b)))
+}
+
+fn build_nat_div_rem_small() -> Box<dyn FnMut() -> i64> {
+    let a = Nat::from(0xDEAD_BEEF_DEAD_u64);
+    let b = Nat::from(48_611u64);
+    Box::new(move || {
+        let (q, r) = a.div_rem(&b);
+        nat_sink(&q) ^ nat_sink(&r)
+    })
+}
+
+fn build_nat_gcd_small() -> Box<dyn FnMut() -> i64> {
+    let a = Nat::from(2_299_252_361_600u64); // highly composite
+    let b = Nat::from(48_611u64 * 7 * 32);
+    Box::new(move || nat_sink(&a.gcd(&b)))
+}
+
+fn build_nat_mul_32limb() -> Box<dyn FnMut() -> i64> {
+    let a = big_nat(32, 1);
+    let b = big_nat(32, 2);
+    Box::new(move || nat_sink(&(&a * &b)))
+}
+
+fn build_nat_mul_128limb() -> Box<dyn FnMut() -> i64> {
+    let a = big_nat(128, 3);
+    let b = big_nat(128, 4);
+    Box::new(move || nat_sink(&(&a * &b)))
+}
+
+fn build_nat_div_rem_64limb() -> Box<dyn FnMut() -> i64> {
+    let a = big_nat(64, 5);
+    let b = big_nat(17, 6);
+    Box::new(move || {
+        let (q, r) = a.div_rem(&b);
+        nat_sink(&q) ^ nat_sink(&r)
+    })
+}
+
+fn build_rat_from_ratio() -> Box<dyn FnMut() -> i64> {
+    Box::new(move || {
+        let r = Rat::from_ratio(450, 240);
+        nat_sink(r.denom())
+    })
+}
+
+fn build_rat_add_small() -> Box<dyn FnMut() -> i64> {
+    let a = Rat::from_ratio(3, 8);
+    let b = Rat::from_ratio(5, 12);
+    Box::new(move || nat_sink((&a + &b).denom()))
+}
+
+fn build_rat_mul_small() -> Box<dyn FnMut() -> i64> {
+    let a = Rat::from_ratio(3, 8);
+    let b = Rat::from_ratio(8, 9);
+    Box::new(move || nat_sink((&a * &b).denom()))
+}
+
+fn build_rat_mul_big() -> Box<dyn FnMut() -> i64> {
+    let a = Rat::new(Int::from_nat(big_nat(12, 7)), big_nat(12, 8));
+    let b = Rat::new(Int::from_nat(big_nat(12, 9)), big_nat(12, 10));
+    Box::new(move || nat_sink((&a * &b).denom()))
+}
+
+fn build_bernoulli_exp_neg_loop() -> Box<dyn FnMut() -> i64> {
+    let prog = bernoulli_exp_neg::<Sampling>(&Nat::from(3u64), &Nat::from(2u64));
+    let mut src = SeededByteSource::new(0xA5A5);
+    Box::new(move || prog.run(&mut src) as i64)
+}
+
+fn build_uniform_below_small() -> Box<dyn FnMut() -> i64> {
+    let prog = uniform_below::<Sampling>(&Nat::from(1_000_003u64));
+    let mut src = SeededByteSource::new(0x5A5A);
+    Box::new(move || nat_sink(&prog.run(&mut src)))
+}
+
+fn build_uniform_below_multilimb() -> Box<dyn FnMut() -> i64> {
+    let bound = big_nat(8, 11);
+    let prog = uniform_below::<Sampling>(&bound);
+    let mut src = SeededByteSource::new(0x1D1D);
+    Box::new(move || nat_sink(&prog.run(&mut src)))
+}
+
+fn build_gaussian_sigma(sigma: u64, seed: u64) -> Box<dyn FnMut() -> i64> {
+    let prog = discrete_gaussian::<Sampling>(&Nat::from(sigma), &Nat::one(), LaplaceAlg::Switched);
+    let mut src = SeededByteSource::new(seed);
+    Box::new(move || prog.run(&mut src))
+}
+
+fn build_gaussian_sigma4() -> Box<dyn FnMut() -> i64> {
+    build_gaussian_sigma(4, 0xF0F0)
+}
+
+fn build_gaussian_sigma64() -> Box<dyn FnMut() -> i64> {
+    build_gaussian_sigma(64, 0x0F0F)
+}
+
+/// The full measurement set, in reporting order.
+pub const MICRO_BENCHES: &[MicroBench] = &[
+    MicroBench {
+        name: "nat_add_small",
+        build: build_nat_add_small,
+    },
+    MicroBench {
+        name: "nat_mul_small",
+        build: build_nat_mul_small,
+    },
+    MicroBench {
+        name: "nat_div_rem_small",
+        build: build_nat_div_rem_small,
+    },
+    MicroBench {
+        name: "nat_gcd_small",
+        build: build_nat_gcd_small,
+    },
+    MicroBench {
+        name: "nat_mul_32limb",
+        build: build_nat_mul_32limb,
+    },
+    MicroBench {
+        name: "nat_mul_128limb",
+        build: build_nat_mul_128limb,
+    },
+    MicroBench {
+        name: "nat_div_rem_64limb",
+        build: build_nat_div_rem_64limb,
+    },
+    MicroBench {
+        name: "rat_from_ratio",
+        build: build_rat_from_ratio,
+    },
+    MicroBench {
+        name: "rat_add_small",
+        build: build_rat_add_small,
+    },
+    MicroBench {
+        name: "rat_mul_small",
+        build: build_rat_mul_small,
+    },
+    MicroBench {
+        name: "rat_mul_big",
+        build: build_rat_mul_big,
+    },
+    MicroBench {
+        name: "bernoulli_exp_neg_3_2",
+        build: build_bernoulli_exp_neg_loop,
+    },
+    MicroBench {
+        name: "uniform_below_1e6",
+        build: build_uniform_below_small,
+    },
+    MicroBench {
+        name: "uniform_below_8limb",
+        build: build_uniform_below_multilimb,
+    },
+    MicroBench {
+        name: "gaussian_sigma4_draw",
+        build: build_gaussian_sigma4,
+    },
+    MicroBench {
+        name: "gaussian_sigma64_draw",
+        build: build_gaussian_sigma64,
+    },
+];
+
+/// Median nanoseconds per operation for one spec.
+///
+/// Calibrates the batch size to `batch_target`, then takes the median of
+/// `samples` batches — the same scheme as the workspace Criterion shim, so
+/// the two report comparable numbers.
+pub fn measure_ns(spec: &MicroBench, samples: usize, batch_target: Duration) -> f64 {
+    let mut op = (spec.build)();
+    let mut iters: u64 = 1;
+    let mut sink = 0i64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(op());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= batch_target || iters >= 1 << 24 {
+            break;
+        }
+        let grow = if elapsed.is_zero() {
+            16.0
+        } else {
+            (batch_target.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                sink = sink.wrapping_add(op());
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    std::hint::black_box(sink);
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_iter[per_iter.len() / 2]
+}
+
+/// Runs the whole set and returns `(name, ns_per_op)` rows.
+pub fn measure_all(samples: usize, batch_target: Duration) -> Vec<(&'static str, f64)> {
+    MICRO_BENCHES
+        .iter()
+        .map(|spec| (spec.name, measure_ns(spec, samples, batch_target)))
+        .collect()
+}
+
+/// Renders the `BENCH_arith.json` document, merging a new labeled run into
+/// the runs already present in `existing` (pass the current file contents,
+/// or `None` to start fresh).
+///
+/// The format keeps one `runs` object keyed by label, plus a derived
+/// `speedup_vs_baseline` section whenever a run labeled `baseline`
+/// coexists with others — so the tracked workflow is simply
+/// `reproduce arith --label baseline` before a change and
+/// `reproduce arith --label optimized` after, with nothing hand-merged:
+///
+/// ```json
+/// {
+///   "schema": "sampcert-bench/arith-v2",
+///   "unit": "ns_per_op",
+///   "runs": {"baseline": {"nat_add_small": 17.7, ...}, "optimized": {...}},
+///   "speedup_vs_baseline": {"optimized": {"nat_add_small": 4.02, ...}}
+/// }
+/// ```
+pub fn to_json(existing: Option<&str>, label: &str, rows: &[(&'static str, f64)]) -> String {
+    let mut runs: Vec<(String, Vec<(String, f64)>)> = existing.map(parse_runs).unwrap_or_default();
+    runs.retain(|(l, _)| l != label);
+    runs.push((
+        label.to_string(),
+        rows.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+    ));
+
+    let fmt_run = |vals: &[(String, f64)], indent: &str| {
+        let mut s = String::from("{\n");
+        for (i, (name, ns)) in vals.iter().enumerate() {
+            let comma = if i + 1 == vals.len() { "" } else { "," };
+            s.push_str(&format!("{indent}  \"{name}\": {ns:.2}{comma}\n"));
+        }
+        s.push_str(&format!("{indent}}}"));
+        s
+    };
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"sampcert-bench/arith-v2\",\n");
+    out.push_str("  \"unit\": \"ns_per_op\",\n");
+    out.push_str("  \"runs\": {\n");
+    for (i, (run_label, vals)) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{run_label}\": {}{comma}\n",
+            fmt_run(vals, "    ")
+        ));
+    }
+    out.push_str("  }");
+
+    let baseline = runs.iter().find(|(l, _)| l == "baseline").cloned();
+    let others: Vec<_> = runs.iter().filter(|(l, _)| l != "baseline").collect();
+    if let (Some((_, base)), false) = (baseline, others.is_empty()) {
+        out.push_str(",\n  \"speedup_vs_baseline\": {\n");
+        for (i, (run_label, vals)) in others.iter().enumerate() {
+            let ratios: Vec<(String, f64)> = vals
+                .iter()
+                .filter_map(|(name, ns)| {
+                    let b = base.iter().find(|(bn, _)| bn == name)?.1;
+                    (*ns > 0.0).then(|| (name.clone(), b / ns))
+                })
+                .collect();
+            let comma = if i + 1 == others.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    \"{run_label}\": {}{comma}\n",
+                fmt_run(&ratios, "    ")
+            ));
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Extracts `runs` from a previous [`to_json`] document.
+///
+/// A deliberately narrow parser: it only understands the flat
+/// two-level shape this module emits (string keys, numeric leaves) and
+/// returns the runs it can read — a malformed or foreign file simply
+/// contributes nothing rather than aborting the measurement.
+fn parse_runs(doc: &str) -> Vec<(String, Vec<(String, f64)>)> {
+    let Some(runs_start) = doc.find("\"runs\"") else {
+        return Vec::new();
+    };
+    let Some(open) = doc[runs_start..].find('{') else {
+        return Vec::new();
+    };
+    // Slice out the balanced {...} after "runs":.
+    let body_start = runs_start + open;
+    let mut depth = 0usize;
+    let mut body_end = None;
+    for (i, c) in doc[body_start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    body_end = Some(body_start + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced braces (truncated file): nothing salvageable.
+    let Some(body_end) = body_end else {
+        return Vec::new();
+    };
+    let body = &doc[body_start + 1..body_end];
+
+    let mut runs = Vec::new();
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(qe) = after.find('"') else { break };
+        let label = &after[..qe];
+        let Some(open) = after[qe..].find('{') else {
+            break;
+        };
+        let inner = &after[qe + open + 1..];
+        let Some(close) = inner.find('}') else { break };
+        let entries = inner[..close]
+            .split(',')
+            .filter_map(|pair| {
+                let (k, v) = pair.split_once(':')?;
+                let key = k.trim().trim_matches('"').to_string();
+                let val: f64 = v.trim().parse().ok()?;
+                Some((key, val))
+            })
+            .collect();
+        runs.push((label.to_string(), entries));
+        rest = &inner[close + 1..];
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build_and_run() {
+        for spec in MICRO_BENCHES {
+            let mut op = (spec.build)();
+            let _ = op();
+            let _ = op();
+        }
+    }
+
+    #[test]
+    fn measurement_is_positive() {
+        let ns = measure_ns(&MICRO_BENCHES[0], 3, Duration::from_micros(200));
+        assert!(ns > 0.0 && ns < 1e9, "ns={ns}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let doc = to_json(None, "test", &[("a", 1.25), ("b", 3.5)]);
+        assert!(doc.contains("\"a\": 1.25"));
+        assert!(doc.contains("sampcert-bench/arith-v2"));
+        assert!(doc.trim_end().ends_with('}'));
+        // Single run, no baseline: no ratio section.
+        assert!(!doc.contains("speedup_vs_baseline"));
+    }
+
+    #[test]
+    fn json_merges_runs_and_derives_speedup() {
+        let first = to_json(None, "baseline", &[("a", 10.0), ("b", 4.0)]);
+        let merged = to_json(Some(&first), "optimized", &[("a", 2.5), ("b", 4.0)]);
+        assert!(merged.contains("\"baseline\""));
+        assert!(merged.contains("\"optimized\""));
+        assert!(merged.contains("\"speedup_vs_baseline\""));
+        assert!(merged.contains("\"a\": 4.00"), "{merged}");
+        assert!(merged.contains("\"b\": 1.00"), "{merged}");
+        // Re-running a label replaces it rather than duplicating.
+        let again = to_json(Some(&merged), "optimized", &[("a", 5.0), ("b", 4.0)]);
+        assert_eq!(again.matches("\"optimized\"").count(), 2); // runs + speedup
+        assert!(again.contains("\"a\": 2.00"), "{again}");
+        // Roundtrip through the narrow parser keeps all runs.
+        let runs = super::parse_runs(&again);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, "baseline");
+        assert_eq!(runs[0].1[0], ("a".to_string(), 10.0));
+    }
+
+    #[test]
+    fn json_parser_tolerates_garbage() {
+        assert!(super::parse_runs("not json at all").is_empty());
+        assert!(super::parse_runs("{\"schema\": \"x\"}").is_empty());
+        let doc = to_json(Some("{\"runs\": {\"weird\""), "only", &[("a", 1.0)]);
+        assert!(doc.contains("\"only\""));
+    }
+}

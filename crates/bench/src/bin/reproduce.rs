@@ -17,9 +17,10 @@
 //! subsample for quick runs. Results are deterministic (seeded PRG bytes).
 
 use sampcert_bench::{
-    entropy_sweep, ms_per_sample, print_table, runtime_sweep, GaussianImpl, Row,
+    arith_bench, entropy_sweep, ms_per_sample, print_table, runtime_sweep, GaussianImpl, Row,
 };
 use sampcert_samplers::pmf::laplace_pmf;
+use std::time::Duration;
 
 fn sigmas(full: bool) -> Vec<u64> {
     if full {
@@ -44,7 +45,10 @@ fn fig2() {
 
 fn fig4(samples: usize, full: bool) {
     let rows = runtime_sweep(&GaussianImpl::FIG4, &sigmas(full), samples);
-    print_table("Fig. 4 — Gaussian sampler runtime (ms/sample) vs sigma", &rows);
+    print_table(
+        "Fig. 4 — Gaussian sampler runtime (ms/sample) vs sigma",
+        &rows,
+    );
 }
 
 fn fig5(samples: usize, full: bool) {
@@ -84,7 +88,11 @@ fn claims(samples: usize) {
         fused_ratios.push(dgauss / ms_per_sample(GaussianImpl::CompiledOptimized, s, samples));
         interp_ratios.push(dgauss / ms_per_sample(GaussianImpl::SampcertOptimized, s, samples));
     }
-    let round2 = |v: &[f64]| v.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>();
+    let round2 = |v: &[f64]| {
+        v.iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    };
     let min_fused = fused_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
         "sample_dgauss / Compiled(Optimized) speedup over sigma {probe:?}: {:?} (min {:.2}x)",
@@ -123,6 +131,43 @@ fn claims(samples: usize) {
     );
 }
 
+/// Runs the arithmetic micro-bench set and updates `BENCH_arith.json`.
+///
+/// `--label X` names the run (e.g. `baseline` vs `optimized`); `--out P`
+/// overrides the output path. Runs under other labels already present in
+/// the file are preserved — the measurement is merged in, and a
+/// `speedup_vs_baseline` section is derived whenever a `baseline` run
+/// exists — so measuring before and after a change never requires editing
+/// the JSON by hand. The table is also printed to stdout.
+fn arith(args: &[String]) {
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("current");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_arith.json");
+    println!("\n## Arithmetic micro-benchmarks (ns/op, median of 7 batches)");
+    let rows = arith_bench::measure_all(7, Duration::from_millis(20));
+    for (name, ns) in &rows {
+        println!("{name:>24}  {ns:>14.1}");
+    }
+    let existing = std::fs::read_to_string(out).ok();
+    let doc = arith_bench::to_json(existing.as_deref(), label, &rows);
+    match std::fs::write(out, &doc) {
+        Ok(()) => println!("\nwrote {out} (label: {label})"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -149,6 +194,7 @@ fn main() {
         "fig5" => fig5(samples, full),
         "fig6" => fig6(samples * 2, full),
         "claims" => claims(samples),
+        "arith" => arith(&args),
         "all" => {
             fig2();
             fig4(samples, full);
@@ -157,7 +203,7 @@ fn main() {
             claims(samples);
         }
         other => {
-            eprintln!("unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|all");
+            eprintln!("unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|all");
             std::process::exit(2);
         }
     }

@@ -19,6 +19,8 @@ use sampcert_samplers::{discrete_gaussian, FusedGaussian, LaplaceAlg};
 use sampcert_slang::{ByteSource, CountingByteSource, Sampling, SeededByteSource};
 use std::time::Instant;
 
+pub mod arith_bench;
+
 /// The five-plus-one sampler configurations of Figs. 4 and 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GaussianImpl {

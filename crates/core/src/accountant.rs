@@ -65,7 +65,11 @@ impl<D: AbstractDp> Ledger<D> {
     /// Panics if `budget` is negative or not finite.
     pub fn new(budget: f64) -> Self {
         assert!(budget.is_finite() && budget >= 0.0, "invalid budget");
-        Ledger { budget, entries: Vec::new(), _notion: PhantomData }
+        Ledger {
+            budget,
+            entries: Vec::new(),
+            _notion: PhantomData,
+        }
     }
 
     /// Records a release costing `gamma`, refusing charges that would
@@ -79,7 +83,10 @@ impl<D: AbstractDp> Ledger<D> {
         assert!(gamma.is_finite() && gamma >= 0.0, "invalid charge");
         let spent = self.spent();
         if D::compose(spent, gamma) > self.budget + 1e-12 {
-            return Err(BudgetExceeded { requested: gamma, remaining: self.budget - spent });
+            return Err(BudgetExceeded {
+                requested: gamma,
+                remaining: self.budget - spent,
+            });
         }
         self.entries.push((label.into(), gamma));
         Ok(())
@@ -87,7 +94,9 @@ impl<D: AbstractDp> Ledger<D> {
 
     /// Total spent so far (composed additively, per `AbstractDP`).
     pub fn spent(&self) -> f64 {
-        self.entries.iter().fold(0.0, |acc, (_, g)| D::compose(acc, *g))
+        self.entries
+            .iter()
+            .fold(0.0, |acc, (_, g)| D::compose(acc, *g))
     }
 
     /// Remaining budget.
@@ -137,9 +146,15 @@ impl RdpAccountant {
     /// Panics if `orders` is empty or contains an order ≤ 1.
     pub fn new(orders: Vec<f64>) -> Self {
         assert!(!orders.is_empty(), "no Renyi orders");
-        assert!(orders.iter().all(|a| *a > 1.0), "Renyi orders must exceed 1");
+        assert!(
+            orders.iter().all(|a| *a > 1.0),
+            "Renyi orders must exceed 1"
+        );
         let n = orders.len();
-        RdpAccountant { orders, eps: vec![0.0; n] }
+        RdpAccountant {
+            orders,
+            eps: vec![0.0; n],
+        }
     }
 
     /// The conventional order grid (1.25 … 512, log-spaced plus small

@@ -40,7 +40,10 @@ impl ApproxBudget {
 
     /// Basic sequential composition: `(ε₁+ε₂, δ₁+δ₂)`.
     pub fn compose(self, other: ApproxBudget) -> ApproxBudget {
-        ApproxBudget { eps: self.eps + other.eps, delta: (self.delta + other.delta).min(1.0) }
+        ApproxBudget {
+            eps: self.eps + other.eps,
+            delta: (self.delta + other.delta).min(1.0),
+        }
     }
 }
 
@@ -52,13 +55,20 @@ pub struct ApproxPrivate<T, U: Value> {
 
 impl<T, U: Value> Clone for ApproxPrivate<T, U> {
     fn clone(&self) -> Self {
-        ApproxPrivate { mech: self.mech.clone(), budget: self.budget }
+        ApproxPrivate {
+            mech: self.mech.clone(),
+            budget: self.budget,
+        }
     }
 }
 
 impl<T, U: Value> std::fmt::Debug for ApproxPrivate<T, U> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ApproxPrivate(eps = {}, delta = {})", self.budget.eps, self.budget.delta)
+        write!(
+            f,
+            "ApproxPrivate(eps = {}, delta = {})",
+            self.budget.eps, self.budget.delta
+        )
     }
 }
 
@@ -99,7 +109,10 @@ impl<T: 'static, U: Value> ApproxPrivate<T, U> {
 
     /// Free postprocessing.
     pub fn postprocess<V: Value>(&self, f: impl Fn(&U) -> V + 'static) -> ApproxPrivate<T, V> {
-        ApproxPrivate { mech: self.mech.postprocess(f), budget: self.budget }
+        ApproxPrivate {
+            mech: self.mech.postprocess(f),
+            budget: self.budget,
+        }
     }
 
     /// Checks Definition 2.3 on one neighbouring pair: the hockey-stick
@@ -113,11 +126,14 @@ impl<T: 'static, U: Value> ApproxPrivate<T, U> {
     where
         T: PartialEq,
     {
-        assert!(is_neighbour(db1, db2), "check_pair: inputs are not neighbours");
+        assert!(
+            is_neighbour(db1, db2),
+            "check_pair: inputs are not neighbours"
+        );
         let d1 = self.dist(db1);
         let d2 = self.dist(db2);
-        let hs = hockey_stick(&d1, &d2, self.budget.eps)
-            .max(hockey_stick(&d2, &d1, self.budget.eps));
+        let hs =
+            hockey_stick(&d1, &d2, self.budget.eps).max(hockey_stick(&d2, &d1, self.budget.eps));
         if hs > self.budget.delta * (1.0 + slack) + 1e-12 {
             Err((hs, self.budget.delta))
         } else {
@@ -195,10 +211,10 @@ mod tests {
 
     #[test]
     fn postprocess_keeps_budget() {
-        let a = ApproxPrivate::from_private(&pure_count(1, 1), 1e-9)
-            .postprocess(|v| *v > 0);
+        let a = ApproxPrivate::from_private(&pure_count(1, 1), 1e-9).postprocess(|v| *v > 0);
         assert!((a.budget().eps - 1.0).abs() < 1e-12);
-        a.check_pair(&[1, 2], &[1], 0.02).expect("postprocessing is free");
+        a.check_pair(&[1, 2], &[1], 0.02)
+            .expect("postprocessing is free");
     }
 
     #[test]

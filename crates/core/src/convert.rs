@@ -63,10 +63,7 @@ pub fn zcdp_to_renyi<const ALPHA: u32, T: 'static, U: Value>(
 /// # Panics
 ///
 /// Panics if `delta` is outside `(0, 1)` (for notions that need it).
-pub fn approx_dp_of<D: AbstractDp, T: 'static, U: Value>(
-    p: &Private<D, T, U>,
-    delta: f64,
-) -> f64 {
+pub fn approx_dp_of<D: AbstractDp, T: 'static, U: Value>(p: &Private<D, T, U>, delta: f64) -> f64 {
     D::to_app_dp(p.gamma(), delta)
 }
 
@@ -99,11 +96,15 @@ mod tests {
         // of the measured value (Prop 1.4 is not tight but not vacuous).
         let p = laplace_private(1, 1);
         let z = pure_to_zcdp(&p);
-        let d1 = z.dist(&vec![0u8; 4]);
-        let d2 = z.dist(&vec![0u8; 5]);
+        let d1 = z.dist(&[0u8; 4]);
+        let d2 = z.dist(&[0u8; 5]);
         let measured = crate::abstract_dp::Zcdp::divergence(&d1, &d2).value;
         assert!(measured <= z.gamma() + 1e-9);
-        assert!(measured >= z.gamma() / 4.0, "measured {measured} vs bound {}", z.gamma());
+        assert!(
+            measured >= z.gamma() / 4.0,
+            "measured {measured} vs bound {}",
+            z.gamma()
+        );
     }
 
     #[test]
@@ -131,8 +132,8 @@ mod tests {
         let z: Private<Zcdp, u8, i64> = Private::noised_query(&count_query(), 1, 1);
         let delta = 1e-6;
         let eps = approx_dp_of(&z, delta);
-        let d1 = z.dist(&vec![0u8; 3]);
-        let d2 = z.dist(&vec![0u8; 4]);
+        let d1 = z.dist(&[0u8; 3]);
+        let d2 = z.dist(&[0u8; 4]);
         let hs = hockey_stick(&d1, &d2, eps).max(hockey_stick(&d2, &d1, eps));
         assert!(hs <= delta, "hockey stick {hs} exceeds delta {delta}");
     }

@@ -41,7 +41,10 @@ pub struct Mechanism<T, U: Value> {
 
 impl<T, U: Value> Clone for Mechanism<T, U> {
     fn clone(&self) -> Self {
-        Mechanism { sample: Rc::clone(&self.sample), dist: Rc::clone(&self.dist) }
+        Mechanism {
+            sample: Rc::clone(&self.sample),
+            dist: Rc::clone(&self.dist),
+        }
     }
 }
 
@@ -61,7 +64,10 @@ impl<T: 'static, U: Value> Mechanism<T, U> {
         sample: impl Fn(&[T], &mut dyn ByteSource) -> U + 'static,
         dist: impl Fn(&[T]) -> SubPmf<U, f64> + 'static,
     ) -> Self {
-        Mechanism { sample: Rc::new(sample), dist: Rc::new(dist) }
+        Mechanism {
+            sample: Rc::new(sample),
+            dist: Rc::new(dist),
+        }
     }
 
     /// A deterministic (zero-noise) mechanism — useful as a baseline and
@@ -218,8 +224,7 @@ mod tests {
     #[test]
     fn compose_adaptive_reacts_to_first_output() {
         // Second mechanism is constant 0 or 1 depending on the first coin.
-        let m = coin::<u8>()
-            .compose_adaptive(|&b| Mechanism::constant(if b { 1i64 } else { 0 }));
+        let m = coin::<u8>().compose_adaptive(|&b| Mechanism::constant(if b { 1i64 } else { 0 }));
         let d = m.dist(&[]);
         assert!((d.mass(&(true, 1)) - 0.5).abs() < 1e-15);
         assert!((d.mass(&(false, 0)) - 0.5).abs() < 1e-15);

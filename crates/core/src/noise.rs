@@ -61,7 +61,10 @@ impl DpNoise for PureDp {
     /// `privNoisedQueryPure` (Section 2.4): discrete Laplace noise with
     /// scale `Δ·ε₂/ε₁`, achieving `(ε₁/ε₂)`-DP.
     fn noise<T: 'static>(query: &Query<T>, gamma_num: u64, gamma_den: u64) -> Mechanism<T, i64> {
-        assert!(gamma_num > 0 && gamma_den > 0, "noise: zero privacy parameter");
+        assert!(
+            gamma_num > 0 && gamma_den > 0,
+            "noise: zero privacy parameter"
+        );
         laplace_noise_mechanism(query, query.sensitivity() * gamma_den, gamma_num)
     }
 
@@ -96,7 +99,10 @@ impl DpNoise for Zcdp {
     /// `privNoisedQuery` (Section 2.5): discrete Gaussian noise with
     /// σ = `Δ·ρ₂/ρ₁`, achieving `½(ρ₁/ρ₂)²`-zCDP.
     fn noise<T: 'static>(query: &Query<T>, gamma_num: u64, gamma_den: u64) -> Mechanism<T, i64> {
-        assert!(gamma_num > 0 && gamma_den > 0, "noise: zero privacy parameter");
+        assert!(
+            gamma_num > 0 && gamma_den > 0,
+            "noise: zero privacy parameter"
+        );
         gaussian_noise_mechanism(query, query.sensitivity() * gamma_den, gamma_num)
     }
 
@@ -109,7 +115,10 @@ impl<const ALPHA: u32> DpNoise for RenyiDp<ALPHA> {
     /// Gaussian noise read through the Rényi lens: σ = `Δ·γ₂/γ₁` gives
     /// `D_α ≤ α(γ₁/γ₂)²/2`, i.e. `(α, α(γ₁/γ₂)²/2)`-RDP.
     fn noise<T: 'static>(query: &Query<T>, gamma_num: u64, gamma_den: u64) -> Mechanism<T, i64> {
-        assert!(gamma_num > 0 && gamma_den > 0, "noise: zero privacy parameter");
+        assert!(
+            gamma_num > 0 && gamma_den > 0,
+            "noise: zero privacy parameter"
+        );
         gaussian_noise_mechanism(query, query.sensitivity() * gamma_den, gamma_num)
     }
 
@@ -138,8 +147,8 @@ mod tests {
     fn pure_noise_prop_holds_on_neighbours() {
         let q = count_query::<u8>();
         let m = PureDp::noise(&q, 1, 2);
-        let d1 = m.dist(&vec![0u8; 10]);
-        let d2 = m.dist(&vec![0u8; 11]);
+        let d1 = m.dist(&[0u8; 10]);
+        let d2 = m.dist(&[0u8; 11]);
         let r = PureDp::divergence(&d1, &d2);
         assert!(r.escaped_mass < 1e-15);
         let claimed = PureDp::noise_priv(1, 2);
@@ -152,8 +161,8 @@ mod tests {
     fn zcdp_noise_prop_holds_on_neighbours() {
         let q = count_query::<u8>();
         let m = Zcdp::noise(&q, 1, 3); // ρ = 1/18, σ = 3
-        let d1 = m.dist(&vec![0u8; 5]);
-        let d2 = m.dist(&vec![0u8; 6]);
+        let d1 = m.dist(&[0u8; 5]);
+        let d2 = m.dist(&[0u8; 6]);
         let r = Zcdp::divergence(&d1, &d2);
         assert!(r.escaped_mass < 1e-15);
         let claimed = Zcdp::noise_priv(1, 3);
@@ -165,8 +174,8 @@ mod tests {
     fn renyi_noise_prop_holds_on_neighbours() {
         let q = count_query::<u8>();
         let m = RenyiDp::<4>::noise(&q, 1, 2); // σ = 2, D_4 ≤ 4·(1/2)²/2 = 1/2
-        let d1 = m.dist(&vec![0u8; 3]);
-        let d2 = m.dist(&vec![0u8; 4]);
+        let d1 = m.dist(&[0u8; 3]);
+        let d2 = m.dist(&[0u8; 4]);
         let r = RenyiDp::<4>::divergence(&d1, &d2);
         let claimed = RenyiDp::<4>::noise_priv(1, 2);
         assert!(r.value <= claimed + 1e-9, "{} > {claimed}", r.value);

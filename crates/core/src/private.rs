@@ -55,7 +55,11 @@ pub struct Private<D: AbstractDp, T, U: Value> {
 
 impl<D: AbstractDp, T, U: Value> Clone for Private<D, T, U> {
     fn clone(&self) -> Self {
-        Private { mech: self.mech.clone(), gamma: self.gamma, _notion: PhantomData }
+        Private {
+            mech: self.mech.clone(),
+            gamma: self.gamma,
+            _notion: PhantomData,
+        }
     }
 }
 
@@ -68,7 +72,11 @@ impl<D: AbstractDp, T, U: Value> std::fmt::Debug for Private<D, T, U> {
 impl<D: AbstractDp, T: 'static, U: Value> Private<D, T, U> {
     /// `const_prop`: a constant mechanism is 0-ADP.
     pub fn constant(u: U) -> Self {
-        Private { mech: Mechanism::constant(u), gamma: 0.0, _notion: PhantomData }
+        Private {
+            mech: Mechanism::constant(u),
+            gamma: 0.0,
+            _notion: PhantomData,
+        }
     }
 
     /// Escape hatch for mechanisms whose privacy is established outside
@@ -76,9 +84,19 @@ impl<D: AbstractDp, T: 'static, U: Value> Private<D, T, U> {
     /// `justification` string names the external argument; the bound is
     /// still subject to [`check_pair`](Self::check_pair).
     pub fn from_asserted(mech: Mechanism<T, U>, gamma: f64, justification: &str) -> Self {
-        assert!(gamma.is_finite() && gamma >= 0.0, "invalid privacy parameter");
-        assert!(!justification.is_empty(), "asserted privacy requires a justification");
-        Private { mech, gamma, _notion: PhantomData }
+        assert!(
+            gamma.is_finite() && gamma >= 0.0,
+            "invalid privacy parameter"
+        );
+        assert!(
+            !justification.is_empty(),
+            "asserted privacy requires a justification"
+        );
+        Private {
+            mech,
+            gamma,
+            _notion: PhantomData,
+        }
     }
 
     /// The claimed privacy parameter γ.
@@ -229,7 +247,10 @@ pub struct CheckOptions {
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { rel_slack: 0.02, tail_tol: 1e-10 }
+        CheckOptions {
+            rel_slack: 0.02,
+            tail_tol: 1e-10,
+        }
     }
 }
 
@@ -250,11 +271,12 @@ impl<D: AbstractDp, T: 'static, U: Value> Private<D, T, U> {
     where
         T: PartialEq,
     {
-        assert!(is_neighbour(db1, db2), "check_pair: inputs are not neighbours");
+        assert!(
+            is_neighbour(db1, db2),
+            "check_pair: inputs are not neighbours"
+        );
         let r = D::divergence(&self.dist(db1), &self.dist(db2));
-        if r.escaped_mass > opts.tail_tol
-            || r.value > self.gamma * (1.0 + opts.rel_slack) + 1e-12
-        {
+        if r.escaped_mass > opts.tail_tol || r.value > self.gamma * (1.0 + opts.rel_slack) + 1e-12 {
             Err(PrivacyViolation {
                 claimed: self.gamma,
                 observed: r.value,

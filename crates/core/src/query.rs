@@ -60,8 +60,15 @@ impl<T> Query<T> {
         sensitivity: u64,
         f: impl Fn(&[T]) -> i64 + 'static,
     ) -> Self {
-        assert!(sensitivity > 0, "zero-sensitivity query; use a constant mechanism");
-        Query { name: name.into(), sensitivity, f: Rc::new(f) }
+        assert!(
+            sensitivity > 0,
+            "zero-sensitivity query; use a constant mechanism"
+        );
+        Query {
+            name: name.into(),
+            sensitivity,
+            f: Rc::new(f),
+        }
     }
 
     /// Evaluates the query on a database.
@@ -177,7 +184,9 @@ mod tests {
     fn bounded_sum_sensitivity_holds() {
         let q = bounded_sum_query(-3, 7);
         let dbs = vec![vec![1, 100, -100], vec![0; 5], vec![7, -3]];
-        assert!(q.check_sensitivity(&dbs, &[i64::MIN, i64::MAX, 0, 7, -3]).is_ok());
+        assert!(q
+            .check_sensitivity(&dbs, &[i64::MIN, i64::MAX, 0, 7, -3])
+            .is_ok());
     }
 
     #[test]

@@ -55,7 +55,11 @@ pub struct Analysis {
 /// Panics on malformed bytecode (impossible for
 /// [`compile`](crate::compile) output).
 pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
-    let start = Config { pc: 0, locals: vec![0; code.n_locals], stack: Vec::new() };
+    let start = Config {
+        pc: 0,
+        locals: vec![0; code.n_locals],
+        stack: Vec::new(),
+    };
     let mut live: HashMap<Config, f64> = HashMap::new();
     live.insert(start, 1.0);
     let mut out: SubPmf<i128, f64> = SubPmf::zero();
@@ -149,7 +153,11 @@ pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
     // Honesty: mass dropped by pruning is unresolved, exactly like mass
     // still live at the step budget — both count as residual.
     let residual: f64 = live.values().sum::<f64>() + pruned_mass;
-    Analysis { dist: out, residual_mass: residual, configs_explored: explored }
+    Analysis {
+        dist: out,
+        residual_mass: residual,
+        configs_explored: explored,
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +229,10 @@ mod tests {
                 E::Local(1),
                 Box::new(
                     Stmt::Byte(1)
-                        .then(Stmt::Assign(1, E::bin(BinOp::Mod, E::Local(1), E::Const(2))))
+                        .then(Stmt::Assign(
+                            1,
+                            E::bin(BinOp::Mod, E::Local(1), E::Const(2)),
+                        ))
                         .then(Stmt::Assign(0, E::add(E::Local(0), E::Const(1)))),
                 ),
             )),

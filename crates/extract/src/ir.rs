@@ -225,7 +225,13 @@ impl Program {
         result: Expr,
     ) -> Self {
         let n_locals = local_names.len();
-        let p = Program { n_locals, local_names, name: name.into(), body, result };
+        let p = Program {
+            n_locals,
+            local_names,
+            name: name.into(),
+            body,
+            result,
+        };
         p.validate();
         p
     }

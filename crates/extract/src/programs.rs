@@ -91,10 +91,10 @@ fn emit_uniform_below(b: &mut Builder, m: Expr, out: Local) -> Stmt {
         ))
         .then(Stmt::Assign(out, Expr::bin(BinOp::Mod, l(out), l(pow2))))
         .then(Stmt::Assign(accept, Expr::lt(l(out), m.clone())));
-    bit_len.then(n_bytes).then(Stmt::Assign(accept, c(0))).then(Stmt::While(
-        Expr::Not(Box::new(l(accept))),
-        Box::new(draw),
-    ))
+    bit_len
+        .then(n_bytes)
+        .then(Stmt::Assign(accept, c(0)))
+        .then(Stmt::While(Expr::Not(Box::new(l(accept))), Box::new(draw)))
 }
 
 /// Emits `out := Bernoulli(num/den)` as 0/1 (runtime parameters).
@@ -125,7 +125,10 @@ fn emit_exp_neg_unit(b: &mut Builder, num: Expr, den: Expr, out: Local) -> Stmt 
         .then(Stmt::Assign(trial, c(1)))
         .then(Stmt::While(l(trial), Box::new(body)))
         // success iff the failing trial index k is odd
-        .then(Stmt::Assign(out, Expr::eq(Expr::bin(BinOp::Mod, l(k), c(2)), c(1))))
+        .then(Stmt::Assign(
+            out,
+            Expr::eq(Expr::bin(BinOp::Mod, l(k), c(2)), c(1)),
+        ))
 }
 
 /// Emits `out := Bernoulli(e^{−num/den})` for arbitrary `num/den ≥ 0`.
@@ -177,10 +180,9 @@ fn emit_geometric_exp_neg(b: &mut Builder, num: Expr, den: Expr, out: Local) -> 
     let body = emit_exp_neg(b, num.clone(), den.clone(), t)
         .then(Stmt::Assign(out, Expr::add(l(out), c(1))));
     // do { n += 1; t = trial } while t  — expressed with a priming flag.
-    Stmt::Assign(out, c(0)).then(Stmt::Assign(t, c(1))).then(Stmt::While(
-        l(t),
-        Box::new(body),
-    ))
+    Stmt::Assign(out, c(0))
+        .then(Stmt::Assign(t, c(1)))
+        .then(Stmt::While(l(t), Box::new(body)))
 }
 
 /// Emits `(sign, magnitude) := laplace sampling loop` with the selected
@@ -206,19 +208,24 @@ fn emit_laplace_loop(
             let v = b.fresh("v");
             let x = b.fresh("x");
             // rejection: u ~ U[0,num) accepted with prob e^{-u/num}
-            let attempt = emit_uniform_below(b, c(num as i128), u)
-                .then(emit_exp_neg_unit(b, l(u), c(num as i128), d));
-            let accept_u = Stmt::Assign(d, c(0)).then(Stmt::While(
-                Expr::Not(Box::new(l(d))),
-                Box::new(attempt),
+            let attempt = emit_uniform_below(b, c(num as i128), u).then(emit_exp_neg_unit(
+                b,
+                l(u),
+                c(num as i128),
+                d,
             ));
+            let accept_u = Stmt::Assign(d, c(0))
+                .then(Stmt::While(Expr::Not(Box::new(l(d))), Box::new(attempt)));
             accept_u
                 .then(emit_geometric_exp_neg(b, c(1), c(1), v))
                 .then(Stmt::Assign(
                     x,
                     Expr::add(l(u), Expr::mul(c(num as i128), Expr::sub(l(v), c(1)))),
                 ))
-                .then(Stmt::Assign(mag, Expr::bin(BinOp::Div, l(x), c(den as i128))))
+                .then(Stmt::Assign(
+                    mag,
+                    Expr::bin(BinOp::Div, l(x), c(den as i128)),
+                ))
                 .then(emit_bernoulli(b, c(1), c(2), sign))
         }
     }
@@ -236,7 +243,12 @@ pub fn geometric_program(num: u64, den: u64) -> Program {
     let mut b = Builder::default();
     let out = b.fresh("n");
     let body = emit_geometric_exp_neg(&mut b, c(num as i128), c(den as i128), out);
-    Program::new(format!("geometric_exp_neg_{num}_{den}"), b.names, body, l(out))
+    Program::new(
+        format!("geometric_exp_neg_{num}_{den}"),
+        b.names,
+        body,
+        l(out),
+    )
 }
 
 /// Extracts the discrete Laplace sampler with scale `num/den` to the IR.
@@ -257,13 +269,11 @@ pub fn laplace_program(num: u64, den: u64, kind: LoopKind) -> Program {
         Box::new(loop_block.then(Stmt::If(
             Expr::bin(BinOp::And, l(sign), Expr::eq(l(mag), c(0))),
             Box::new(Stmt::Skip), // (+,0): resample
-            Box::new(
-                Stmt::Assign(done, c(1)).then(Stmt::If(
-                    l(sign),
-                    Box::new(Stmt::Assign(result, Expr::Neg(Box::new(l(mag))))),
-                    Box::new(Stmt::Assign(result, l(mag))),
-                )),
-            ),
+            Box::new(Stmt::Assign(done, c(1)).then(Stmt::If(
+                l(sign),
+                Box::new(Stmt::Assign(result, Expr::Neg(Box::new(l(mag))))),
+                Box::new(Stmt::Assign(result, l(mag))),
+            ))),
         ))),
     ));
     Program::new(
@@ -282,7 +292,10 @@ pub fn laplace_program(num: u64, den: u64, kind: LoopKind) -> Program {
 /// fused sampler: intermediates must fit the IR's `i128`).
 pub fn gaussian_program(num: u64, den: u64, kind: LoopKind) -> Program {
     assert!(num > 0 && den > 0, "gaussian_program: zero sigma parameter");
-    assert!(num < (1 << 32), "gaussian_program: sigma too large for the IR");
+    assert!(
+        num < (1 << 32),
+        "gaussian_program: sigma too large for the IR"
+    );
     let t = (num / den + 1) as i128;
     let num_sq = (num as i128) * (num as i128);
     let den_sq = (den as i128) * (den as i128);
@@ -304,13 +317,11 @@ pub fn gaussian_program(num: u64, den: u64, kind: LoopKind) -> Program {
         Box::new(lap_loop.then(Stmt::If(
             Expr::bin(BinOp::And, l(sign), Expr::eq(l(mag), c(0))),
             Box::new(Stmt::Skip),
-            Box::new(
-                Stmt::Assign(ldone, c(1)).then(Stmt::If(
-                    l(sign),
-                    Box::new(Stmt::Assign(y, Expr::Neg(Box::new(l(mag))))),
-                    Box::new(Stmt::Assign(y, l(mag))),
-                )),
-            ),
+            Box::new(Stmt::Assign(ldone, c(1)).then(Stmt::If(
+                l(sign),
+                Box::new(Stmt::Assign(y, Expr::Neg(Box::new(l(mag))))),
+                Box::new(Stmt::Assign(y, l(mag))),
+            ))),
         ))),
     ));
 
@@ -318,10 +329,7 @@ pub fn gaussian_program(num: u64, den: u64, kind: LoopKind) -> Program {
     let accept_block = Stmt::Assign(
         diff,
         Expr::Abs(Box::new(Expr::sub(
-            Expr::mul(
-                Expr::Abs(Box::new(l(y))),
-                Expr::mul(c(t), c(den_sq)),
-            ),
+            Expr::mul(Expr::Abs(Box::new(l(y))), Expr::mul(c(t), c(den_sq))),
             c(num_sq),
         ))),
     )
@@ -398,7 +406,11 @@ mod tests {
         let mut src = SeededByteSource::new(3);
         let n = 4000;
         let sum: i128 = (0..n).map(|_| vm.run(&mut src)).sum();
-        assert!((sum as f64 / n as f64).abs() < 0.5, "mean={}", sum as f64 / n as f64);
+        assert!(
+            (sum as f64 / n as f64).abs() < 0.5,
+            "mean={}",
+            sum as f64 / n as f64
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub fn compile(p: &Program) -> Bytecode {
     compile_stmt(&p.body, &mut ops);
     compile_expr(&p.result, &mut ops);
     ops.push(Op::Halt);
-    Bytecode { ops, n_locals: p.n_locals, name: p.name.clone() }
+    Bytecode {
+        ops,
+        n_locals: p.n_locals,
+        name: p.name.clone(),
+    }
 }
 
 fn compile_expr(e: &Expr, ops: &mut Vec<Op>) {
@@ -296,22 +300,21 @@ mod tests {
         let p = Program::new(
             "mix",
             names(3),
-            Stmt::Byte(0)
-                .then(Stmt::While(
-                    E::lt(E::Local(1), E::bin(BinOp::Mod, E::Local(0), E::Const(17))),
-                    Box::new(
-                        Stmt::Byte(2)
-                            .then(Stmt::Assign(1, E::add(E::Local(1), E::Const(1))))
-                            .then(Stmt::If(
-                                E::lt(E::Local(2), E::Const(128)),
-                                Box::new(Stmt::Assign(
-                                    0,
-                                    E::bin(BinOp::Max, E::Local(0), E::Local(2)),
-                                )),
-                                Box::new(Stmt::Skip),
+            Stmt::Byte(0).then(Stmt::While(
+                E::lt(E::Local(1), E::bin(BinOp::Mod, E::Local(0), E::Const(17))),
+                Box::new(
+                    Stmt::Byte(2)
+                        .then(Stmt::Assign(1, E::add(E::Local(1), E::Const(1))))
+                        .then(Stmt::If(
+                            E::lt(E::Local(2), E::Const(128)),
+                            Box::new(Stmt::Assign(
+                                0,
+                                E::bin(BinOp::Max, E::Local(0), E::Local(2)),
                             )),
-                    ),
-                )),
+                            Box::new(Stmt::Skip),
+                        )),
+                ),
+            )),
             E::add(E::Local(0), E::Local(1)),
         );
         let vm = Vm::new(compile(&p));

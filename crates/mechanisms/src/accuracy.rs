@@ -32,7 +32,10 @@ pub fn laplace_tail(t: f64, m: i64) -> f64 {
 /// Panics if `t ≤ 0` or `β` is outside `(0, 1)`.
 pub fn laplace_accuracy(t: f64, beta: f64) -> i64 {
     assert!(t > 0.0, "laplace_accuracy: scale must be positive");
-    assert!(beta > 0.0 && beta < 1.0, "laplace_accuracy: beta outside (0,1)");
+    assert!(
+        beta > 0.0 && beta < 1.0,
+        "laplace_accuracy: beta outside (0,1)"
+    );
     let s = (-1.0 / t).exp();
     let m = ((2.0 / (beta * (1.0 + s))).ln() / (1.0 / t)).ceil() as i64;
     // The closed form can overshoot by one at boundaries; tighten greedily.
@@ -75,7 +78,10 @@ pub fn gaussian_tail(sigma2: f64, m: i64) -> f64 {
 /// Panics if `sigma2 ≤ 0` or `β` is outside `(0, 1)`.
 pub fn gaussian_accuracy(sigma2: f64, beta: f64) -> i64 {
     assert!(sigma2 > 0.0, "gaussian_accuracy: variance must be positive");
-    assert!(beta > 0.0 && beta < 1.0, "gaussian_accuracy: beta outside (0,1)");
+    assert!(
+        beta > 0.0 && beta < 1.0,
+        "gaussian_accuracy: beta outside (0,1)"
+    );
     let mut m = 1i64;
     while gaussian_tail(sigma2, m) > beta {
         m += 1;
@@ -88,7 +94,10 @@ pub fn gaussian_accuracy(sigma2: f64, beta: f64) -> i64 {
 /// `1 − β`. (The Laplace scale is `Δ·ε₂/ε₁`, as calibrated by the noise
 /// instance.)
 pub fn pure_dp_accuracy(sensitivity: u64, eps_num: u64, eps_den: u64, beta: f64) -> i64 {
-    assert!(sensitivity > 0 && eps_num > 0 && eps_den > 0, "invalid parameters");
+    assert!(
+        sensitivity > 0 && eps_num > 0 && eps_den > 0,
+        "invalid parameters"
+    );
     let t = sensitivity as f64 * eps_den as f64 / eps_num as f64;
     laplace_accuracy(t, beta)
 }
@@ -172,7 +181,8 @@ mod tests {
         let t = 4.0;
         let beta = 0.1;
         let m = laplace_accuracy(t, beta);
-        let prog = discrete_laplace::<Sampling>(&Nat::from(4u64), &Nat::one(), LaplaceAlg::Switched);
+        let prog =
+            discrete_laplace::<Sampling>(&Nat::from(4u64), &Nat::one(), LaplaceAlg::Switched);
         let mut src = SeededByteSource::new(44);
         let n = 20_000;
         let violations = (0..n).filter(|_| prog.run(&mut src).abs() >= m).count();

@@ -77,7 +77,11 @@ pub fn adaptive_mean<D: DpNoise>(
             None => 1,
         };
         noised_mean::<D>(0, hi, mean_num, mean_den).postprocess(move |(sum, count)| {
-            AdaptiveMeanRelease { sum: *sum, count: *count, clamp_hi: hi }
+            AdaptiveMeanRelease {
+                sum: *sum,
+                count: *count,
+                clamp_hi: hi,
+            }
         })
     })
     .postprocess(|(_, release)| release.clone())

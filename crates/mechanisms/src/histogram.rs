@@ -26,7 +26,10 @@ pub struct Bins<T> {
 
 impl<T> Clone for Bins<T> {
     fn clone(&self) -> Self {
-        Bins { n_bins: self.n_bins, f: Rc::clone(&self.f) }
+        Bins {
+            n_bins: self.n_bins,
+            f: Rc::clone(&self.f),
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl<T> Bins<T> {
     /// codomain, which makes out-of-range bins unrepresentable).
     pub fn new(n_bins: usize, f: impl Fn(&T) -> usize + 'static) -> Self {
         assert!(n_bins > 0, "Bins: need at least one bin");
-        Bins { n_bins, f: Rc::new(f) }
+        Bins {
+            n_bins,
+            f: Rc::new(f),
+        }
     }
 
     /// Number of bins.
@@ -269,7 +275,7 @@ mod tests {
         assert!((am.gamma() - 8.0).abs() < 1e-12);
         let mut src = SeededByteSource::new(4);
         // 40 rows in bin 2, nothing else heavy.
-        let db: Vec<i64> = std::iter::repeat(2).take(40).chain([0, 1]).collect();
+        let db: Vec<i64> = std::iter::repeat_n(2, 40).chain([0, 1]).collect();
         let got = am.run(&db, &mut src);
         assert_eq!(got, Some(2));
     }

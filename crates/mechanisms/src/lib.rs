@@ -44,8 +44,7 @@ pub use accuracy::{
 };
 pub use adaptive::{adaptive_mean, magnitude_bins, AdaptiveMeanRelease};
 pub use histogram::{
-    approx_max_bin, exact_bin_count, noised_bin_count, noised_histogram, par_noised_histogram,
-    Bins,
+    approx_max_bin, exact_bin_count, noised_bin_count, noised_histogram, par_noised_histogram, Bins,
 };
 pub use queries::{mean_of, noised_bounded_sum, noised_count, noised_mean};
 pub use svt::{above_threshold, sparse, SvtParams};

@@ -73,9 +73,8 @@ fn above_threshold_dist(values: &[i64], params: SvtParams) -> SubPmf<u64, f64> {
     for tau in -radius..=radius {
         let w_tau = laplace_pmf(tau_scale, tau);
         // continue probability for query i at this tau.
-        let cont = |i: usize| -> f64 {
-            laplace_cdf(guess_scale, tau + params.threshold - values[i] - 1)
-        };
+        let cont =
+            |i: usize| -> f64 { laplace_cdf(guess_scale, tau + params.threshold - values[i] - 1) };
         let mut survive = 1.0f64;
         for (k, _) in values.iter().enumerate() {
             let c = cont(k);
@@ -105,7 +104,10 @@ pub fn above_threshold<T: 'static>(
     queries: &[Query<T>],
     params: SvtParams,
 ) -> Private<PureDp, T, u64> {
-    assert!(params.eps_num > 0 && params.eps_den > 0, "zero privacy parameter");
+    assert!(
+        params.eps_num > 0 && params.eps_den > 0,
+        "zero privacy parameter"
+    );
     for q in queries {
         assert!(
             q.sensitivity() == 1,
@@ -173,8 +175,7 @@ fn sparse_aux<T: 'static>(
     let queries2 = Rc::clone(&queries);
     head.compose_adaptive(rest_budget, move |&k| {
         let next_offset = offset + k as usize + 1;
-        sparse_aux(Rc::clone(&queries2), next_offset, params, c - 1)
-            .weaken(rest_budget)
+        sparse_aux(Rc::clone(&queries2), next_offset, params, c - 1).weaken(rest_budget)
     })
     .postprocess(move |(k, rest)| {
         // The sentinel ("nothing fired") ends the release.
@@ -206,7 +207,11 @@ mod tests {
     }
 
     fn params(eps_num: u64, eps_den: u64, threshold: i64) -> SvtParams {
-        SvtParams { threshold, eps_num, eps_den }
+        SvtParams {
+            threshold,
+            eps_num,
+            eps_den,
+        }
     }
 
     #[test]
@@ -214,7 +219,11 @@ mod tests {
         // Query 1 is far above the threshold; it should fire with high
         // probability.
         let d = above_threshold_dist(&[0, 50, 0], params(2, 1, 10));
-        assert!((d.total_mass() - 1.0).abs() < 1e-9, "mass={}", d.total_mass());
+        assert!(
+            (d.total_mass() - 1.0).abs() < 1e-9,
+            "mass={}",
+            d.total_mass()
+        );
         assert!(d.mass(&1) > 0.9, "P(1)={}", d.mass(&1));
     }
 

@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 use sampcert_core::{PureDp, Query, Zcdp};
 use sampcert_mechanisms::{
-    above_threshold, noised_count, noised_histogram, par_noised_histogram, sparse, Bins,
-    SvtParams,
+    above_threshold, noised_count, noised_histogram, par_noised_histogram, sparse, Bins, SvtParams,
 };
 use sampcert_slang::SeededByteSource;
 

@@ -48,18 +48,44 @@ pub fn bernoulli<I: Interp>(num: &Nat, den: &Nat) -> I::Repr<bool> {
 /// Panics if `den` is zero or `num > den`.
 pub fn bernoulli_exp_neg_unit<I: Interp>(num: &Nat, den: &Nat) -> I::Repr<bool> {
     assert!(!den.is_zero(), "bernoulli_exp_neg_unit: zero denominator");
-    assert!(num <= den, "bernoulli_exp_neg_unit: gamma above one ({num}/{den})");
+    assert!(
+        num <= den,
+        "bernoulli_exp_neg_unit: gamma above one ({num}/{den})"
+    );
     let num = num.clone();
     let den = den.clone();
+    // One `Bernoulli(γ/k)` trial program, mapped into the loop state. The
+    // `den · k` product takes the scalar fast path: allocation-free while
+    // it fits one limb, which is every iteration that matters.
+    let make_trial = move |k: u64| {
+        let den_k = den.mul_u64(k);
+        let capped = if num <= den_k { &num } else { &den_k };
+        map::<I, _, _>(bernoulli::<I>(capped, &den_k), move |&a| (a, k + 1))
+    };
+    // Memoize the first few trial indices: the loop ends at the first
+    // failure (E[K] < e ≈ 2.7), so caching k ≤ 16 makes re-running the
+    // sampler construct zero programs per iteration in practice, while
+    // k > 16 (probability < 1/16! per draw) falls back to on-the-fly
+    // construction. Lazy so that building this program stays cheap — the
+    // Laplace uniform loop constructs one per accepted candidate.
+    const TRIAL_CACHE: usize = 16;
+    let cache: std::cell::RefCell<Vec<Option<I::Repr<(bool, u64)>>>> =
+        std::cell::RefCell::new(vec![None; TRIAL_CACHE]);
     // State: (last trial result, index of the *next* trial).
     let looped = I::while_loop(
         |s: &(bool, u64)| s.0,
         move |s| {
             let k = s.1;
-            let den_k = &den * &Nat::from(k);
-            map::<I, _, _>(bernoulli::<I>(&num.clone().min(den_k.clone()), &den_k), move |&a| {
-                (a, k + 1)
-            })
+            if k as usize <= TRIAL_CACHE {
+                let mut slots = cache.borrow_mut();
+                let slot = &mut slots[(k - 1) as usize];
+                if slot.is_none() {
+                    *slot = Some(make_trial(k));
+                }
+                slot.as_ref().expect("just filled").clone()
+            } else {
+                make_trial(k)
+            }
         },
         I::pure((true, 1u64)),
     );

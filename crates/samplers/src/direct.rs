@@ -57,7 +57,9 @@ fn bernoulli_u128(num: u128, den: u128, src: &mut dyn ByteSource) -> bool {
 fn bernoulli_exp_neg_unit_u128(num: u128, den: u128, src: &mut dyn ByteSource) -> bool {
     let mut k: u128 = 1;
     loop {
-        let den_k = den.checked_mul(k).expect("fused sampler parameter overflow");
+        let den_k = den
+            .checked_mul(k)
+            .expect("fused sampler parameter overflow");
         if !bernoulli_u128(num.min(den_k), den_k, src) {
             // First failure at trial k: success iff k is odd.
             return k % 2 == 1;
@@ -214,7 +216,10 @@ impl FusedGaussian {
     /// `SLang` sampler for extreme scales).
     pub fn new(num: u64, den: u64, alg: LaplaceAlg) -> Self {
         assert!(num > 0 && den > 0, "FusedGaussian: zero sigma parameter");
-        assert!(num < (1 << 32), "FusedGaussian: sigma too large for the fused path");
+        assert!(
+            num < (1 << 32),
+            "FusedGaussian: sigma too large for the fused path"
+        );
         let t = num / den + 1;
         FusedGaussian {
             num_sq: (num as u128) * (num as u128),
@@ -231,7 +236,9 @@ impl FusedGaussian {
             let abs_y = y.unsigned_abs() as u128;
             let lhs = abs_y * self.t as u128 * self.den_sq;
             let diff = lhs.abs_diff(self.num_sq);
-            let sq = diff.checked_mul(diff).expect("fused sampler parameter overflow");
+            let sq = diff
+                .checked_mul(diff)
+                .expect("fused sampler parameter overflow");
             let bound = 2u128
                 .checked_mul(self.num_sq)
                 .and_then(|v| v.checked_mul((self.t as u128) * (self.t as u128)))
@@ -263,8 +270,7 @@ mod tests {
             (40, 3, LaplaceAlg::Switched),
         ] {
             let fused = FusedLaplace::new(num, den, alg);
-            let monadic =
-                discrete_laplace::<Sampling>(&Nat::from(num), &Nat::from(den), alg);
+            let monadic = discrete_laplace::<Sampling>(&Nat::from(num), &Nat::from(den), alg);
             let mut s1 = SeededByteSource::new(123);
             let mut s2 = SeededByteSource::new(123);
             for i in 0..2000 {
@@ -284,8 +290,7 @@ mod tests {
             (50, 1, LaplaceAlg::Switched),
         ] {
             let fused = FusedGaussian::new(num, den, alg);
-            let monadic =
-                discrete_gaussian::<Sampling>(&Nat::from(num), &Nat::from(den), alg);
+            let monadic = discrete_gaussian::<Sampling>(&Nat::from(num), &Nat::from(den), alg);
             let mut s1 = SeededByteSource::new(321);
             let mut s2 = SeededByteSource::new(321);
             for i in 0..500 {

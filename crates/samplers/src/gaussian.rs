@@ -61,7 +61,10 @@ pub fn gaussian_loop<I: Interp>(
 /// let _z: i64 = gauss.run(&mut src);
 /// ```
 pub fn discrete_gaussian<I: Interp>(num: &Nat, den: &Nat, alg: LaplaceAlg) -> I::Repr<i64> {
-    assert!(!num.is_zero() && !den.is_zero(), "discrete_gaussian: zero sigma parameter");
+    assert!(
+        !num.is_zero() && !den.is_zero(),
+        "discrete_gaussian: zero sigma parameter"
+    );
     // t = ⌊σ⌋ + 1 = ⌊num/den⌋ + 1.
     let t = &(num / den) + &Nat::one();
     let num_sq = num.pow(2);
@@ -169,7 +172,8 @@ mod tests {
 
     #[test]
     fn shifted_mean() {
-        let prog = discrete_gaussian_shifted::<Sampling>(&nat(2), &nat(1), 100, LaplaceAlg::Switched);
+        let prog =
+            discrete_gaussian_shifted::<Sampling>(&nat(2), &nat(1), 100, LaplaceAlg::Switched);
         let mut src = SeededByteSource::new(31);
         let n = 20_000;
         let sum: i64 = (0..n).map(|_| prog.run(&mut src)).sum();

@@ -78,8 +78,7 @@ mod tests {
         let trial = bernoulli::<Mass<Rat>>(&Nat::from(3u64), &Nat::from(4u64));
         let d = geometric::<Mass<Rat>>(trial).eval_limit(60);
         for z in 1u64..8 {
-            let expect =
-                &Rat::from_ratio(1, 4) * &Rat::from_ratio(3, 4).powi(z as i32 - 1);
+            let expect = &Rat::from_ratio(1, 4) * &Rat::from_ratio(3, 4).powi(z as i32 - 1);
             assert_eq!(d.mass(&z), expect, "z={z}");
         }
     }
@@ -91,10 +90,8 @@ mod tests {
         // is a rejection-free coin (byte parity) so that the cut arithmetic
         // is exactly the paper's — `bernoulli(1,2)` would nest a second
         // truncated loop and shift the reachability cut.
-        let trial = sampcert_slang::map::<Mass<f64>, _, _>(
-            Mass::<f64>::uniform_byte(),
-            |b| b & 1 == 1,
-        );
+        let trial =
+            sampcert_slang::map::<Mass<f64>, _, _>(Mass::<f64>::uniform_byte(), |b| b & 1 == 1);
         let g = geometric::<Mass<f64>>(trial);
         for n in 1usize..6 {
             let reach = g.eval_with_fuel(n + 1).mass(&(n as u64));

@@ -2,11 +2,6 @@
 
 use sampcert_arith::Nat;
 
-/// Assembles a big-endian byte vector into a natural number.
-pub(crate) fn nat_from_bytes(bytes: &[u8]) -> Nat {
-    Nat::from_be_bytes(bytes)
-}
-
 /// Converts a natural to `i64`.
 ///
 /// # Panics
@@ -21,11 +16,6 @@ pub(crate) fn nat_to_i64(v: &Nat) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bytes_big_endian() {
-        assert_eq!(nat_from_bytes(&[0x01, 0x00]), Nat::from(256u64));
-    }
 
     #[test]
     fn nat_conversion() {

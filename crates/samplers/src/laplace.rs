@@ -140,7 +140,10 @@ fn resolve_alg(num: &Nat, den: &Nat, alg: LaplaceAlg) -> LaplaceAlg {
 /// let _z: i64 = lap.run(&mut src);
 /// ```
 pub fn discrete_laplace<I: Interp>(num: &Nat, den: &Nat, alg: LaplaceAlg) -> I::Repr<i64> {
-    assert!(!num.is_zero() && !den.is_zero(), "discrete_laplace: zero scale parameter");
+    assert!(
+        !num.is_zero() && !den.is_zero(),
+        "discrete_laplace: zero scale parameter"
+    );
     let loop_prog = match resolve_alg(num, den, alg) {
         LaplaceAlg::Geometric => laplace_loop_geometric::<I>(num, den),
         LaplaceAlg::Uniform => laplace_loop_uniform::<I>(num, den),
@@ -216,8 +219,8 @@ mod tests {
             let ctx = sampcert_slang::MassCtx::limit(800).with_prune(1e-14);
             let a = discrete_laplace::<Mass<f64>>(&nat(num), &nat(den), LaplaceAlg::Geometric)
                 .eval(&ctx);
-            let b = discrete_laplace::<Mass<f64>>(&nat(num), &nat(den), LaplaceAlg::Uniform)
-                .eval(&ctx);
+            let b =
+                discrete_laplace::<Mass<f64>>(&nat(num), &nat(den), LaplaceAlg::Uniform).eval(&ctx);
             assert!(
                 a.linf_distance(&b) < 1e-8,
                 "loops disagree at {num}/{den}: {}",
@@ -228,7 +231,10 @@ mod tests {
 
     #[test]
     fn switched_picks_by_scale() {
-        assert_eq!(resolve_alg(&nat(1), &nat(1), LaplaceAlg::Switched), LaplaceAlg::Geometric);
+        assert_eq!(
+            resolve_alg(&nat(1), &nat(1), LaplaceAlg::Switched),
+            LaplaceAlg::Geometric
+        );
         assert_eq!(
             resolve_alg(&nat(SWITCH_SCALE), &nat(1), LaplaceAlg::Switched),
             LaplaceAlg::Uniform
@@ -238,7 +244,10 @@ mod tests {
             LaplaceAlg::Geometric
         );
         // Explicit algs pass through.
-        assert_eq!(resolve_alg(&nat(100), &nat(1), LaplaceAlg::Geometric), LaplaceAlg::Geometric);
+        assert_eq!(
+            resolve_alg(&nat(100), &nat(1), LaplaceAlg::Geometric),
+            LaplaceAlg::Geometric
+        );
     }
 
     #[test]
@@ -271,7 +280,10 @@ mod tests {
         let e = (1.0 / t).exp();
         let expect_var = 2.0 * e / (e - 1.0) / (e - 1.0);
         assert!(mean.abs() < 0.2, "mean={mean}");
-        assert!((var - expect_var).abs() / expect_var < 0.05, "var={var} want {expect_var}");
+        assert!(
+            (var - expect_var).abs() / expect_var < 0.05,
+            "var={var} want {expect_var}"
+        );
     }
 
     #[test]

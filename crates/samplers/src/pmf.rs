@@ -50,7 +50,10 @@ pub fn laplace_cdf(t: f64, z: i64) -> f64 {
 ///
 /// Panics if `sigma2` is not strictly positive.
 pub fn gaussian_normalizer(sigma2: f64) -> f64 {
-    assert!(sigma2 > 0.0, "gaussian_normalizer: variance must be positive");
+    assert!(
+        sigma2 > 0.0,
+        "gaussian_normalizer: variance must be positive"
+    );
     let mut sum = 1.0; // k = 0 term
     let mut k = 1.0f64;
     loop {
@@ -155,7 +158,7 @@ mod tests {
         let t = 2.0;
         let mut acc = 0.0;
         for z in -60i64..=60 {
-            acc += laplace_pmf(t, z + -0); // running sum up to z
+            acc += laplace_pmf(t, z); // running sum up to z
             let direct = laplace_cdf(t, z);
             assert!(
                 (acc - direct).abs() < 1e-12,
@@ -177,7 +180,10 @@ mod tests {
         for sigma in [1.0f64, 2.0, 5.0, 20.0] {
             let n = gaussian_normalizer(sigma * sigma);
             let cont = (2.0 * std::f64::consts::PI * sigma * sigma).sqrt();
-            assert!((n - cont).abs() / cont < 1e-8, "sigma={sigma}: {n} vs {cont}");
+            assert!(
+                (n - cont).abs() / cont < 1e-8,
+                "sigma={sigma}: {n} vs {cont}"
+            );
         }
     }
 

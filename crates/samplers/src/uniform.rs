@@ -8,7 +8,6 @@
 //! power of two doubles the rejection rate, and whole-byte consumption
 //! quantizes the draw size. Both effects are reproduced faithfully here.
 
-use crate::helpers::nat_from_bytes;
 use sampcert_arith::Nat;
 use sampcert_slang::{map, until, Interp};
 
@@ -35,18 +34,21 @@ pub fn uniform_pow2<I: Interp>(bits: u64) -> I::Repr<Nat> {
         return I::pure(Nat::zero());
     }
     let n_bytes = bits.div_ceil(8);
-    let mut acc: I::Repr<Vec<u8>> = I::pure(Vec::new());
+    // Fold bytes straight into the accumulating natural (`acc·256 + b` per
+    // byte) instead of snowballing a `Vec<u8>` through the bind chain: the
+    // sampling path then does O(1) work per byte for all bounds up to a
+    // limb (and one limb-sized shift for larger ones), where the byte
+    // vector cost two clones of the whole prefix per byte. Byte order and
+    // the final masking are unchanged, so the consumed byte stream — and
+    // with it the fused-sampler equality — is identical.
+    let mut acc: I::Repr<Nat> = I::pure(Nat::zero());
     for _ in 0..n_bytes {
-        acc = I::bind(acc, move |bs| {
-            let bs = bs.clone();
-            map::<I, _, _>(I::uniform_byte(), move |&b| {
-                let mut bs2 = bs.clone();
-                bs2.push(b);
-                bs2
-            })
+        acc = I::bind(acc, move |n| {
+            let n = n.clone();
+            map::<I, _, _>(I::uniform_byte(), move |&b| n.push_be_byte(b))
         });
     }
-    map::<I, _, _>(acc, move |bs| nat_from_bytes(bs).low_bits(bits))
+    map::<I, _, _>(acc, move |n| n.low_bits(bits))
 }
 
 /// `probUniform n`: exact uniform sample on `[0, n)` by rejection.
@@ -138,14 +140,9 @@ mod tests {
         let d = prog.eval_with_fuel(64);
         // At a finite cut the masses are dyadic partial sums; normalize the
         // f64 view for an approximate check and the stable limit for exact.
-        let stable = eval_to_stability(
-            &uniform_below::<Mass<f64>>(&nat(5)),
-            8,
-            1 << 14,
-            1e-13,
-        )
-        .expect("stabilizes")
-        .dist;
+        let stable = eval_to_stability(&uniform_below::<Mass<f64>>(&nat(5)), 8, 1 << 14, 1e-13)
+            .expect("stabilizes")
+            .dist;
         for v in 0u64..5 {
             assert!((stable.mass(&nat(v)) - 0.2).abs() < 1e-9);
             assert!(d.mass(&nat(v)) > Rat::zero());

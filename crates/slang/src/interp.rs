@@ -74,6 +74,16 @@ pub trait Interp: 'static {
         body: impl Fn(&S) -> Self::Repr<S> + 'static,
         init: Self::Repr<S>,
     ) -> Self::Repr<S>;
+
+    /// Functorial map. **Derived**, not a fifth primitive: the default is
+    /// exactly `bind m (pure ∘ f)`, and any override must denote the same
+    /// function — interpreters may only fuse away the intermediate
+    /// `pure` program construction (the [`Sampling`](crate::Sampling)
+    /// override saves one closure allocation per map node per draw, which
+    /// the sampler loops hit on every iteration).
+    fn map<T: Value, U: Value>(m: Self::Repr<T>, f: impl Fn(&T) -> U + 'static) -> Self::Repr<U> {
+        Self::bind(m, move |t| Self::pure(f(t)))
+    }
 }
 
 /// Functorial map, derived from `bind` and `pure`.
@@ -87,7 +97,7 @@ pub fn map<I: Interp, T: Value, U: Value>(
     m: I::Repr<T>,
     f: impl Fn(&T) -> U + 'static,
 ) -> I::Repr<U> {
-    I::bind(m, move |t| I::pure(f(t)))
+    I::map(m, f)
 }
 
 /// `probUntil body cond`: rejection sampling — repeat `body` until the
@@ -104,10 +114,7 @@ pub fn until<I: Interp, T: Value>(
 }
 
 /// Pairs two independent computations.
-pub fn pair<I: Interp, T: Value, U: Value>(
-    a: I::Repr<T>,
-    b: I::Repr<U>,
-) -> I::Repr<(T, U)> {
+pub fn pair<I: Interp, T: Value, U: Value>(a: I::Repr<T>, b: I::Repr<U>) -> I::Repr<(T, U)> {
     I::bind(a, move |t| {
         let t = t.clone();
         map::<I, _, _>(b.clone(), move |u| (t.clone(), u.clone()))

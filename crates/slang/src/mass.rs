@@ -58,12 +58,20 @@ impl MassCtx {
     /// Pure `probWhileCut` semantics at the given cut (no acceleration,
     /// no pruning).
     pub fn new(fuel: usize) -> Self {
-        MassCtx { fuel, accelerate: false, prune: 0.0 }
+        MassCtx {
+            fuel,
+            accelerate: false,
+            prune: 0.0,
+        }
     }
 
     /// Limit semantics: acceleration on, with `fuel` as a safety cap.
     pub fn limit(fuel: usize) -> Self {
-        MassCtx { fuel, accelerate: true, prune: 0.0 }
+        MassCtx {
+            fuel,
+            accelerate: true,
+            prune: 0.0,
+        }
     }
 
     /// Returns this context with the given mass floor.
@@ -91,13 +99,19 @@ pub struct MassFn<T: Value, W: Weight> {
 
 impl<T: Value, W: Weight> Clone for MassFn<T, W> {
     fn clone(&self) -> Self {
-        MassFn { f: Rc::clone(&self.f), cache: Rc::clone(&self.cache) }
+        MassFn {
+            f: Rc::clone(&self.f),
+            cache: Rc::clone(&self.cache),
+        }
     }
 }
 
 impl<T: Value, W: Weight> MassFn<T, W> {
     fn from_fn(f: impl Fn(&MassCtx) -> SubPmf<T, W> + 'static) -> Self {
-        MassFn { f: Rc::new(f), cache: Rc::new(std::cell::RefCell::new(None)) }
+        MassFn {
+            f: Rc::new(f),
+            cache: Rc::new(std::cell::RefCell::new(None)),
+        }
     }
 
     /// Evaluates the denotation at the cut in `ctx` (memoized; see the
@@ -226,7 +240,11 @@ impl<W: Weight> Interp for Mass<W> {
                 }
                 let (cont, done) = frontier.partition(&cond);
                 out = out.add(&done);
-                let cont = if ctx.prune > 0.0 { cont.trim(ctx.prune) } else { cont };
+                let cont = if ctx.prune > 0.0 {
+                    cont.trim(ctx.prune)
+                } else {
+                    cont
+                };
                 if cont.support_len() == 0 {
                     break;
                 }
@@ -312,7 +330,11 @@ pub fn eval_to_stability<T: Value, W: Weight>(
         let next_fuel = (fuel * 2).min(max_fuel);
         let next = m.eval_with_fuel(next_fuel);
         let change = prev.linf_distance(&next);
-        let res = StableEval { dist: next, fuel: next_fuel, last_change: change };
+        let res = StableEval {
+            dist: next,
+            fuel: next_fuel,
+            last_change: change,
+        };
         if change <= tol {
             return Ok(res);
         }

@@ -80,10 +80,7 @@ impl Interp for Sampling {
         SLang(Rc::new(move |_| v.clone()))
     }
 
-    fn bind<T: Value, U: Value>(
-        m: SLang<T>,
-        f: impl Fn(&T) -> SLang<U> + 'static,
-    ) -> SLang<U> {
+    fn bind<T: Value, U: Value>(m: SLang<T>, f: impl Fn(&T) -> SLang<U> + 'static) -> SLang<U> {
         SLang(Rc::new(move |src| {
             let t = m.run(src);
             f(&t).run(src)
@@ -106,6 +103,13 @@ impl Interp for Sampling {
             }
             s
         }))
+    }
+
+    /// Fused map: runs `m` and applies `f` directly, without constructing
+    /// the intermediate `pure` program the default derivation allocates on
+    /// every draw. Same byte stream, same outputs.
+    fn map<T: Value, U: Value>(m: SLang<T>, f: impl Fn(&T) -> U + 'static) -> SLang<U> {
+        SLang(Rc::new(move |src| f(&m.run(src))))
     }
 }
 
@@ -143,8 +147,7 @@ mod tests {
     #[test]
     fn while_loop_runs_until_condition_fails() {
         // Count down from the first byte to zero, counting iterations.
-        let init: SLang<(u8, u32)> =
-            map::<Sampling, _, _>(Sampling::uniform_byte(), |&b| (b, 0));
+        let init: SLang<(u8, u32)> = map::<Sampling, _, _>(Sampling::uniform_byte(), |&b| (b, 0));
         let p = Sampling::while_loop(
             |s: &(u8, u32)| s.0 > 0,
             |s| Sampling::pure((s.0 - 1, s.1 + 1)),

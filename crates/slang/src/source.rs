@@ -62,7 +62,11 @@ pub struct OsByteSource {
 impl OsByteSource {
     /// Creates a source seeded from operating-system entropy.
     pub fn new() -> Self {
-        OsByteSource { rng: StdRng::from_entropy(), buf: [0; BUF_LEN], pos: BUF_LEN }
+        OsByteSource {
+            rng: StdRng::from_entropy(),
+            buf: [0; BUF_LEN],
+            pos: BUF_LEN,
+        }
     }
 }
 
@@ -107,7 +111,11 @@ pub struct SeededByteSource {
 impl SeededByteSource {
     /// Creates a deterministic source from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededByteSource { rng: StdRng::seed_from_u64(seed), buf: [0; BUF_LEN], pos: BUF_LEN }
+        SeededByteSource {
+            rng: StdRng::seed_from_u64(seed),
+            buf: [0; BUF_LEN],
+            pos: BUF_LEN,
+        }
     }
 }
 

@@ -41,7 +41,9 @@ pub struct SubPmf<T: Value, W: Weight = f64> {
 impl<T: Value, W: Weight> SubPmf<T, W> {
     /// The zero mass function (the denotation of a non-terminating loop cut).
     pub fn zero() -> Self {
-        SubPmf { map: HashMap::new() }
+        SubPmf {
+            map: HashMap::new(),
+        }
     }
 
     /// The Dirac mass function at `v` (the denotation of `probPure v`).
@@ -85,9 +87,7 @@ impl<T: Value, W: Weight> SubPmf<T, W> {
     /// the shortfall of a loop cut below one is the mass still "inside" the
     /// loop (or lost to non-termination in the limit).
     pub fn total_mass(&self) -> W {
-        self.map
-            .values()
-            .fold(W::zero(), |acc, w| acc.add(w))
+        self.map.values().fold(W::zero(), |acc, w| acc.add(w))
     }
 
     /// Number of support points.
@@ -263,8 +263,7 @@ impl<T: Value, W: Weight> PartialEq for SubPmf<T, W> {
     /// Exact pointwise equality of mass functions (zero-mass points are
     /// never stored, so map equality is pointwise equality).
     fn eq(&self, other: &Self) -> bool {
-        self.map.len() == other.map.len()
-            && self.map.iter().all(|(v, w)| other.mass(v) == *w)
+        self.map.len() == other.map.len() && self.map.iter().all(|(v, w)| other.mass(v) == *w)
     }
 }
 
@@ -344,7 +343,10 @@ mod tests {
         let p: P = SubPmf::from_entries(vec![(0u8, h.clone()), (1u8, h.clone())]);
         let f = |x: &u8| -> P { SubPmf::dirac(x.wrapping_add(1)) };
         let g = |x: &u8| -> P {
-            SubPmf::from_entries(vec![(*x, Rat::from_ratio(1, 3)), (x + 10, Rat::from_ratio(1, 3))])
+            SubPmf::from_entries(vec![
+                (*x, Rat::from_ratio(1, 3)),
+                (x + 10, Rat::from_ratio(1, 3)),
+            ])
         };
         // left identity: dirac(a) >>= f == f(a)
         assert_eq!(SubPmf::dirac(5u8).bind(f), f(&5));
@@ -358,8 +360,7 @@ mod tests {
 
     #[test]
     fn partition_and_filter() {
-        let p: SubPmf<i64> =
-            SubPmf::from_entries(vec![(1, 0.2), (2, 0.3), (3, 0.5)]);
+        let p: SubPmf<i64> = SubPmf::from_entries(vec![(1, 0.2), (2, 0.3), (3, 0.5)]);
         let (even, odd) = p.partition(|v| v % 2 == 0);
         assert!((even.total_mass() - 0.3).abs() < 1e-15);
         assert!((odd.total_mass() - 0.7).abs() < 1e-15);

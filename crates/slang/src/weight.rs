@@ -135,7 +135,9 @@ mod tests {
         assert!(!W::one().is_zero());
         assert!(half.mul(&third).almost_eq(&W::from_ratio(1, 6)));
         assert!(half.add(&third).almost_eq(&W::from_ratio(5, 6)));
-        assert!(W::from_ratio(5, 6).div(&half).almost_eq(&W::from_ratio(5, 3)));
+        assert!(W::from_ratio(5, 6)
+            .div(&half)
+            .almost_eq(&W::from_ratio(5, 3)));
         assert!(half.sub_sat(&third).almost_eq(&W::from_ratio(1, 6)));
         assert_eq!(third.sub_sat(&half), W::zero());
         assert!(half.almost_eq(&W::from_ratio(2, 4)));

@@ -74,7 +74,10 @@ pub fn max_divergence_report<T: Value, W: Weight>(
             worst = worst.max((pw / qw).ln());
         }
     }
-    DivergenceReport { value: worst, escaped_mass: escaped }
+    DivergenceReport {
+        value: worst,
+        escaped_mass: escaped,
+    }
 }
 
 /// Max divergence `D_∞(p‖q)`, strict: `∞` on any support mismatch.
@@ -145,7 +148,10 @@ pub fn renyi_divergence_report<T: Value, W: Weight>(
         m if m == f64::NEG_INFINITY => f64::NEG_INFINITY,
         m => m + log_terms.iter().map(|t| (t - m).exp()).sum::<f64>().ln(),
     };
-    DivergenceReport { value: log_sum.max(0.0) / (alpha - 1.0), escaped_mass: escaped }
+    DivergenceReport {
+        value: log_sum.max(0.0) / (alpha - 1.0),
+        escaped_mass: escaped,
+    }
 }
 
 /// Rényi divergence of order `α > 1`, strict on support mismatches.
@@ -182,7 +188,10 @@ pub fn zcdp_rho_report<T: Value, W: Weight>(
         }
         alpha *= 1.25;
     }
-    DivergenceReport { value: rho, escaped_mass: escaped }
+    DivergenceReport {
+        value: rho,
+        escaped_mass: escaped,
+    }
 }
 
 /// The tightest zCDP parameter (strict on support mismatches).
@@ -304,8 +313,16 @@ mod tests {
             let r = renyi_divergence_report(&p, &q, alpha);
             assert!(r.escaped_mass < 1e-20, "escaped={}", r.escaped_mass);
             let bound = alpha / (2.0 * sigma2);
-            assert!(r.value <= bound + 1e-9, "alpha={alpha}: {} > {bound}", r.value);
-            assert!(r.value >= bound * 0.98, "alpha={alpha}: {} far below {bound}", r.value);
+            assert!(
+                r.value <= bound + 1e-9,
+                "alpha={alpha}: {} > {bound}",
+                r.value
+            );
+            assert!(
+                r.value >= bound * 0.98,
+                "alpha={alpha}: {} far below {bound}",
+                r.value
+            );
         }
     }
 
@@ -318,7 +335,11 @@ mod tests {
         let r = zcdp_rho_report(&p, &q, 64.0);
         assert!(r.escaped_mass < 1e-20);
         let expect = 1.0 / (2.0 * sigma2);
-        assert!(r.value <= expect * 1.05 + 1e-9, "rho={} expect≈{expect}", r.value);
+        assert!(
+            r.value <= expect * 1.05 + 1e-9,
+            "rho={} expect≈{expect}",
+            r.value
+        );
         assert!(r.value >= expect * 0.9, "rho={} expect≈{expect}", r.value);
     }
 
@@ -333,8 +354,7 @@ mod tests {
 
     #[test]
     fn hockey_stick_includes_escaped_mass() {
-        let p: SubPmf<u8, f64> =
-            SubPmf::from_entries(vec![(0u8, 0.9), (1u8, 0.1)]);
+        let p: SubPmf<u8, f64> = SubPmf::from_entries(vec![(0u8, 0.9), (1u8, 0.1)]);
         let q: SubPmf<u8, f64> = SubPmf::dirac(0);
         // Point 1 is unexplainable by q at any ε: δ ≥ 0.1.
         assert!(hockey_stick(&p, &q, 10.0) >= 0.1 - 1e-12);

@@ -59,14 +59,23 @@ pub fn standard_events(samples_a: &[i64], samples_b: &[i64]) -> Vec<Event> {
     // Point events over a bounded support.
     if values.len() <= 4096 {
         for &v in &values {
-            events.push(Event { lo: v, hi: v.saturating_add(1) });
+            events.push(Event {
+                lo: v,
+                hi: v.saturating_add(1),
+            });
         }
     }
     // One-sided threshold events at quantiles of the observed values.
     let step = (values.len() / 512).max(1);
     for v in values.iter().step_by(step) {
-        events.push(Event { lo: *v, hi: i64::MAX });
-        events.push(Event { lo: i64::MIN, hi: v.saturating_add(1) });
+        events.push(Event {
+            lo: *v,
+            hi: i64::MAX,
+        });
+        events.push(Event {
+            lo: i64::MIN,
+            hi: v.saturating_add(1),
+        });
     }
     events
 }
@@ -180,7 +189,11 @@ mod tests {
             est.eps_lower
         );
         // And the estimate is informative (not vacuously zero).
-        assert!(est.eps_lower > eps * 0.3, "estimate too weak: {}", est.eps_lower);
+        assert!(
+            est.eps_lower > eps * 0.3,
+            "estimate too weak: {}",
+            est.eps_lower
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub fn ks_test(samples: &[i64], cdf: impl Fn(i64) -> f64, alpha: f64) -> KsResul
     }
     // c(α) = sqrt(-ln(α/2)/2).
     let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
-    KsResult { statistic: stat, threshold: c / nf.sqrt(), n }
+    KsResult {
+        statistic: stat,
+        threshold: c / nf.sqrt(),
+        n,
+    }
 }
 
 /// Outcome of a χ² goodness-of-fit test.
@@ -147,12 +151,13 @@ pub fn chi2_gof(samples: &[i64], reference: &SubPmf<i64, f64>, min_expected: f64
         }
     }
 
-    let statistic: f64 = bins
-        .iter()
-        .map(|(o, e)| (o - e) * (o - e) / e)
-        .sum();
+    let statistic: f64 = bins.iter().map(|(o, e)| (o - e) * (o - e) / e).sum();
     let dof = (bins.len().max(2) - 1) as u32;
-    Chi2Result { statistic, dof, p_value: chi2_sf(dof, statistic) }
+    Chi2Result {
+        statistic,
+        dof,
+        p_value: chi2_sf(dof, statistic),
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +203,10 @@ mod tests {
 
     #[test]
     fn ks_detects_shift() {
-        let shifted: Vec<i64> = uniform_die_samples(20_000, 3).iter().map(|z| z + 1).collect();
+        let shifted: Vec<i64> = uniform_die_samples(20_000, 3)
+            .iter()
+            .map(|z| z + 1)
+            .collect();
         assert!(!ks_test(&shifted, die_cdf, 0.01).passes());
     }
 
@@ -228,8 +236,7 @@ mod tests {
         // Geometric-ish reference with a long thin tail: pooling must keep
         // every bin's expectation reasonable and the test passing on true
         // samples.
-        let reference =
-            SubPmf::from_entries((0..40).map(|z| (z as i64, 0.5f64.powi(z + 1))));
+        let reference = SubPmf::from_entries((0..40).map(|z| (z as i64, 0.5f64.powi(z + 1))));
         let mut rng = StdRng::seed_from_u64(7);
         let samples: Vec<i64> = (0..20_000)
             .map(|_| {

@@ -20,7 +20,10 @@ fn main() {
 
     // 1. The auditable artifact (the "Dafny source" analogue).
     let source = render(&program);
-    println!("--- extracted source ({} lines) ---", source.lines().count());
+    println!(
+        "--- extracted source ({} lines) ---",
+        source.lines().count()
+    );
     for line in source.lines().take(18) {
         println!("{line}");
     }

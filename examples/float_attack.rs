@@ -41,9 +41,7 @@ fn main() {
             broken.is_reachable(0.0, o) && !broken.is_reachable(1.0, o)
         })
         .count();
-    println!(
-        "reachability oracle: {identified}/{n} releases of M(0) are provably NOT from q=1"
-    );
+    println!("reachability oracle: {identified}/{n} releases of M(0) are provably NOT from q=1");
     println!("  -> each such release is an infinite-ε event under the claimed ε = {eps}\n");
 
     // --- 3. The exact discrete Laplace at the same ε is clean. ---------

@@ -13,7 +13,10 @@ use sampcert::samplers::pmf::laplace_pmf;
 fn main() {
     let t = 1.0; // scale; the pair's ε is Δμ/t = 1
     println!("discrete Laplace densities, scale t = {t}, means 0 and 1\n");
-    println!("{:>4}  {:>9}  {:>9}  {:>7}  plot (█ = mean 0, ░ = mean 1)", "x", "f0(x)", "f1(x)", "ratio");
+    println!(
+        "{:>4}  {:>9}  {:>9}  {:>7}  plot (█ = mean 0, ░ = mean 1)",
+        "x", "f0(x)", "f1(x)", "ratio"
+    );
     let mut max_log_ratio = 0f64;
     for x in -4i64..=4 {
         let f0 = laplace_pmf(t, x);

@@ -27,15 +27,25 @@ fn main() {
         .map(|i| {
             let age = 18 + (i * 37) % 72; // 18..90
             let carrier = (i * 7919) % 100 < if (40..70).contains(&age) { 12 } else { 3 };
-            Participant { age: age as u32, carrier }
+            Participant {
+                age: age as u32,
+                carrier,
+            }
         })
         .collect();
     let carriers: Vec<Participant> = cohort.iter().filter(|p| p.carrier).cloned().collect();
 
     // Decade age bands: 8 bins covering 18..98.
-    let bins = Bins::new(8, |p: &Participant| ((p.age.saturating_sub(18)) / 10) as usize);
+    let bins = Bins::new(8, |p: &Participant| {
+        ((p.age.saturating_sub(18)) / 10) as usize
+    });
     let exact: Vec<i64> = (0..8)
-        .map(|b| carriers.iter().filter(|p| ((p.age - 18) / 10) as usize == b.min(7)).count() as i64)
+        .map(|b| {
+            carriers
+                .iter()
+                .filter(|p| ((p.age - 18) / 10) as usize == b.min(7))
+                .count() as i64
+        })
         .collect();
 
     let mut src = SeededByteSource::new(2024);

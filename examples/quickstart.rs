@@ -19,17 +19,18 @@ fn main() {
     let mut entropy = OsByteSource::new();
 
     // 1. A private count at ε = 1/2.
-    let private_count: Private<PureDp, i64, i64> =
-        Private::noised_query(&count_query(), 1, 2);
+    let private_count: Private<PureDp, i64, i64> = Private::noised_query(&count_query(), 1, 2);
     let count = private_count.run(&salaries, &mut entropy);
-    println!("private count (ε = 1/2):      {count}  (true: {})", salaries.len());
+    println!(
+        "private count (ε = 1/2):      {count}  (true: {})",
+        salaries.len()
+    );
 
     // 2. A private mean at ε = 1/2 + 1/2: clamped sum composed with a count.
     let private_mean = noised_mean::<PureDp>(0, 200, 1, 2);
     let release = private_mean.run(&salaries, &mut entropy);
     let mean = mean_of(&release);
-    let true_mean =
-        salaries.iter().sum::<i64>() as f64 / salaries.len() as f64;
+    let true_mean = salaries.iter().sum::<i64>() as f64 / salaries.len() as f64;
     println!("private mean  (ε = 1):        {mean:.2}  (true: {true_mean:.2})");
 
     // 3. The budget ledger is part of the type's value:

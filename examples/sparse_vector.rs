@@ -38,7 +38,11 @@ fn main() {
         })
         .collect();
 
-    let params = SvtParams { threshold: 5_000, eps_num: 1, eps_den: 2 };
+    let params = SvtParams {
+        threshold: 5_000,
+        eps_num: 1,
+        eps_den: 2,
+    };
     let mut src = SeededByteSource::new(7);
 
     // One release: the first category exceeding the threshold.

@@ -7,9 +7,7 @@
 //! and the executable `prop` checkers accept each instantiation on
 //! generated neighbouring databases.
 
-use sampcert::core::{
-    approx_dp_of, CheckOptions, Private, PureDp, RenyiDp, Zcdp,
-};
+use sampcert::core::{approx_dp_of, CheckOptions, Private, PureDp, RenyiDp, Zcdp};
 use sampcert::mechanisms::{noised_histogram, Bins};
 use sampcert::slang::SeededByteSource;
 use sampcert::stattest::hockey_stick;
@@ -96,7 +94,10 @@ fn approx_dp_reduction_consistent_across_notions() {
         ),
     ] {
         let hs = hockey_stick(&d1, &d2, eps).max(hockey_stick(&d2, &d1, eps));
-        assert!(hs <= delta + 1e-12, "hockey stick {hs} exceeds δ = {delta} at ε = {eps}");
+        assert!(
+            hs <= delta + 1e-12,
+            "hockey stick {hs} exceeds δ = {delta} at ε = {eps}"
+        );
     }
 }
 
@@ -104,8 +105,7 @@ fn approx_dp_reduction_consistent_across_notions() {
 fn monotonicity_weakening_composes() {
     // prop_mono: weakened budgets still verify; composition of weakened
     // parts carries the weakened sum.
-    let a: Private<PureDp, i64, i64> =
-        Private::noised_query(&sampcert::core::count_query(), 1, 2);
+    let a: Private<PureDp, i64, i64> = Private::noised_query(&sampcert::core::count_query(), 1, 2);
     let weak = a.clone().weaken(0.75);
     let c = weak.compose(&a);
     assert!((c.gamma() - 1.25).abs() < 1e-12);

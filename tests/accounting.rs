@@ -3,8 +3,7 @@
 //! composed mechanisms.
 
 use sampcert::core::{
-    count_query, AbstractDp, ApproxPrivate, Ledger, Private, PureDp, RdpAccountant, RenyiDp,
-    Zcdp,
+    count_query, AbstractDp, ApproxPrivate, Ledger, Private, PureDp, RdpAccountant, RenyiDp, Zcdp,
 };
 use sampcert::stattest::renyi_divergence_report;
 
@@ -111,6 +110,12 @@ fn accountant_beats_notionwise_conversion_for_many_releases() {
     // zCDP itself also composes additively; RDP should be comparable.
     let eps_zcdp_total = Zcdp::to_app_dp(rho_each * k as f64, delta);
 
-    assert!(eps_rdp < eps_naive / 2.0, "rdp {eps_rdp} vs naive {eps_naive}");
-    assert!(eps_rdp < eps_zcdp_total * 1.1, "rdp {eps_rdp} vs zcdp {eps_zcdp_total}");
+    assert!(
+        eps_rdp < eps_naive / 2.0,
+        "rdp {eps_rdp} vs naive {eps_naive}"
+    );
+    assert!(
+        eps_rdp < eps_zcdp_total * 1.1,
+        "rdp {eps_rdp} vs zcdp {eps_zcdp_total}"
+    );
 }

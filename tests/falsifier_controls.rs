@@ -63,7 +63,11 @@ fn negative_control_discrete_laplace_clean() {
         est.eps_lower
     );
     // Informative, not vacuous.
-    assert!(est.eps_lower > 0.3, "estimate suspiciously weak: {}", est.eps_lower);
+    assert!(
+        est.eps_lower > 0.3,
+        "estimate suspiciously weak: {}",
+        est.eps_lower
+    );
 }
 
 #[test]
@@ -79,7 +83,11 @@ fn negative_control_discrete_gaussian_clean() {
     // Max-divergence of a shifted discrete Gaussian over the empirically
     // reachable range (|z| ≲ 4σ) is ≈ (2·4σ+1)/(2σ²) ≈ 2.1; the Wilson
     // bounds keep the estimate below that.
-    assert!(est.eps_lower < 2.5, "implausible ε̂ = {} for σ=2 Gaussian", est.eps_lower);
+    assert!(
+        est.eps_lower < 2.5,
+        "implausible ε̂ = {} for σ=2 Gaussian",
+        est.eps_lower
+    );
 }
 
 #[test]

@@ -34,15 +34,24 @@ fn laplace_geometric_loop_ks() {
     let prog = discrete_laplace::<Sampling>(&Nat::from(2u64), &Nat::one(), LaplaceAlg::Geometric);
     let mut src = SeededByteSource::new(101);
     let samples = prog.sample_many(N, &mut src);
-    ks_and_chi2(&samples, |z| laplace_cdf(2.0, z), &laplace_mass(2.0, 0, 120));
+    ks_and_chi2(
+        &samples,
+        |z| laplace_cdf(2.0, z),
+        &laplace_mass(2.0, 0, 120),
+    );
 }
 
 #[test]
 fn laplace_uniform_loop_ks() {
-    let prog = discrete_laplace::<Sampling>(&Nat::from(7u64), &Nat::from(2u64), LaplaceAlg::Uniform);
+    let prog =
+        discrete_laplace::<Sampling>(&Nat::from(7u64), &Nat::from(2u64), LaplaceAlg::Uniform);
     let mut src = SeededByteSource::new(102);
     let samples = prog.sample_many(N, &mut src);
-    ks_and_chi2(&samples, |z| laplace_cdf(3.5, z), &laplace_mass(3.5, 0, 250));
+    ks_and_chi2(
+        &samples,
+        |z| laplace_cdf(3.5, z),
+        &laplace_mass(3.5, 0, 250),
+    );
 }
 
 #[test]
@@ -50,7 +59,11 @@ fn laplace_fused_ks() {
     let lap = FusedLaplace::new(5, 1, LaplaceAlg::Switched);
     let mut src = SeededByteSource::new(103);
     let samples: Vec<i64> = (0..N).map(|_| lap.sample(&mut src)).collect();
-    ks_and_chi2(&samples, |z| laplace_cdf(5.0, z), &laplace_mass(5.0, 0, 300));
+    ks_and_chi2(
+        &samples,
+        |z| laplace_cdf(5.0, z),
+        &laplace_mass(5.0, 0, 300),
+    );
 }
 
 #[test]
@@ -80,7 +93,8 @@ fn gaussian_fused_ks() {
 #[test]
 fn gaussian_rational_sigma_ks() {
     // σ = 5/2: exercises the den ≠ 1 path end to end.
-    let prog = discrete_gaussian::<Sampling>(&Nat::from(5u64), &Nat::from(2u64), LaplaceAlg::Switched);
+    let prog =
+        discrete_gaussian::<Sampling>(&Nat::from(5u64), &Nat::from(2u64), LaplaceAlg::Switched);
     let mut src = SeededByteSource::new(106);
     let samples = prog.sample_many(N, &mut src);
     ks_and_chi2(

@@ -32,7 +32,11 @@ fn mass_semantics_equals_closed_form() {
         LaplaceAlg::Uniform,
     );
     let d = prog.eval(&MassCtx::limit(800).with_prune(1e-14));
-    assert!((d.total_mass() - 1.0).abs() < 1e-7, "mass {}", d.total_mass());
+    assert!(
+        (d.total_mass() - 1.0).abs() < 1e-7,
+        "mass {}",
+        d.total_mass()
+    );
     for z in -5i64..=5 {
         assert!(
             (d.mass(&z) - laplace_pmf(T, z)).abs() < 1e-7,
@@ -115,5 +119,8 @@ fn cut_monotonicity_holds_for_the_full_sampler() {
     let cuts = sampcert::slang::cut_curve(&prog, [5, 10, 20, 40]);
     assert!(sampcert::slang::cuts_are_monotone(&cuts));
     let masses: Vec<f64> = cuts.iter().map(|d| d.total_mass()).collect();
-    assert!(masses.windows(2).all(|w| w[0] <= w[1] + 1e-15), "{masses:?}");
+    assert!(
+        masses.windows(2).all(|w| w[0] <= w[1] + 1e-15),
+        "{masses:?}"
+    );
 }

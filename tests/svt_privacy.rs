@@ -27,7 +27,14 @@ fn cutoff_queries(cutoffs: &[i64]) -> Vec<Query<i64>> {
 #[test]
 fn above_threshold_analytic_eps_on_many_neighbours() {
     let qs = cutoff_queries(&[2, 5, 8]);
-    let p = above_threshold(&qs, SvtParams { threshold: 4, eps_num: 1, eps_den: 1 });
+    let p = above_threshold(
+        &qs,
+        SvtParams {
+            threshold: 4,
+            eps_num: 1,
+            eps_den: 1,
+        },
+    );
     let db: Vec<i64> = (0..10).collect();
     p.check_neighbourhood(&[db], &[0, 9], CheckOptions::default())
         .expect("AboveThreshold is 1-DP on every generated neighbour");
@@ -36,7 +43,11 @@ fn above_threshold_analytic_eps_on_many_neighbours() {
 #[test]
 fn above_threshold_empirical_eps() {
     let qs = cutoff_queries(&[3, 7]);
-    let params = SvtParams { threshold: 5, eps_num: 1, eps_den: 1 };
+    let params = SvtParams {
+        threshold: 5,
+        eps_num: 1,
+        eps_den: 1,
+    };
     let p = above_threshold(&qs, params);
     let db: Vec<i64> = (0..12).collect();
     let neighbour: Vec<i64> = (1..12).collect();
@@ -56,14 +67,18 @@ fn above_threshold_empirical_eps() {
 #[test]
 fn sparse_linear_budget_verified() {
     let qs = cutoff_queries(&[1, 4, 7, 10]);
-    let params = SvtParams { threshold: 5, eps_num: 1, eps_den: 2 };
+    let params = SvtParams {
+        threshold: 5,
+        eps_num: 1,
+        eps_den: 2,
+    };
     for c in 1..=3usize {
         let s = sparse(&qs, params, c);
         assert!((s.gamma() - c as f64 * 0.5).abs() < 1e-12, "c={c}");
     }
     let s = sparse(&qs, params, 2);
     let db: Vec<i64> = (0..9).collect();
-    s.check_pair(&db, &db[1..].to_vec(), CheckOptions::default())
+    s.check_pair(&db, &db[1..], CheckOptions::default())
         .expect("sparse(2) satisfies its composed budget");
 }
 
@@ -72,11 +87,18 @@ fn svt_zcdp_via_conversion() {
     // ε-DP ⇒ (ε²/2)-zCDP, then verified against the zCDP divergence on a
     // concrete neighbour pair.
     let qs = cutoff_queries(&[3, 6]);
-    let p = above_threshold(&qs, SvtParams { threshold: 4, eps_num: 1, eps_den: 1 });
+    let p = above_threshold(
+        &qs,
+        SvtParams {
+            threshold: 4,
+            eps_num: 1,
+            eps_den: 1,
+        },
+    );
     let z = pure_to_zcdp(&p);
     assert!((z.gamma() - 0.5).abs() < 1e-12);
     let db: Vec<i64> = (0..8).collect();
-    let r = Zcdp::divergence(&z.dist(&db), &z.dist(&db[1..].to_vec()));
+    let r = Zcdp::divergence(&z.dist(&db), &z.dist(&db[1..]));
     assert!(r.escaped_mass < 1e-10, "escaped {}", r.escaped_mass);
     assert!(
         r.value <= z.gamma() * 1.02 + 1e-9,
@@ -92,14 +114,18 @@ fn svt_cost_independent_of_stream_length_end_to_end() {
     // agrees on both.
     let short = cutoff_queries(&[2, 5, 8]);
     let long = cutoff_queries(&(0..30).map(|i| i % 12).collect::<Vec<_>>());
-    let params = SvtParams { threshold: 6, eps_num: 1, eps_den: 1 };
+    let params = SvtParams {
+        threshold: 6,
+        eps_num: 1,
+        eps_den: 1,
+    };
     let p_short = above_threshold(&short, params);
     let p_long = above_threshold(&long, params);
     assert_eq!(p_short.gamma(), p_long.gamma());
 
     let db: Vec<i64> = (0..14).collect();
     p_long
-        .check_pair(&db, &db[1..].to_vec(), CheckOptions::default())
+        .check_pair(&db, &db[1..], CheckOptions::default())
         .expect("30-query AboveThreshold still 1-DP");
 }
 
@@ -107,7 +133,11 @@ fn svt_cost_independent_of_stream_length_end_to_end() {
 fn svt_finds_heavy_query_with_good_probability() {
     // Utility sanity: with comfortable margins SVT reports the right index.
     let qs = cutoff_queries(&[100, 0, 100]); // only query 1 is heavy
-    let params = SvtParams { threshold: 20, eps_num: 4, eps_den: 1 };
+    let params = SvtParams {
+        threshold: 20,
+        eps_num: 4,
+        eps_den: 1,
+    };
     let p = above_threshold(&qs, params);
     let db: Vec<i64> = (0..60).collect();
     let mut src = SeededByteSource::new(73);

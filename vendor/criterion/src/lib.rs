@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so this shim provides the subset of the `criterion` 0.5 API
+//! that the workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistical machinery is intentionally simple: each benchmark is
+//! calibrated to a target batch time, then timed over `sample_size`
+//! batches; the median, minimum, and maximum per-iteration times are
+//! printed as a table row. That is enough to read off the paper's
+//! qualitative series shapes (flat vs linear, spikes at powers of two)
+//! and to feed the JSON emitters in `sampcert-bench`; swap the workspace
+//! `criterion` entry for the registry version when full statistics,
+//! plots, and regression baselines are needed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall time per measured batch.
+    batch_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            batch_target: Duration::from_millis(10),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n# group: {name}");
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            "benchmark", "median", "min", "max"
+        );
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.sample_size, self.batch_target, &mut f);
+        print_row(&name.into(), &stats);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let stats = run_bench(samples, self.criterion.batch_target, &mut |b| f(b, input));
+        print_row(&format!("{}/{}", self.name, id.0), &stats);
+        self
+    }
+
+    /// Benchmarks `f` under `name` within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let stats = run_bench(samples, self.criterion.batch_target, &mut f);
+        print_row(&format!("{}/{}", self.name, name), &stats);
+        self
+    }
+
+    /// Ends the group (stats were already reported per bench).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Per-iteration timing statistics, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median over measured batches.
+    pub median_ns: f64,
+    /// Fastest batch.
+    pub min_ns: f64,
+    /// Slowest batch.
+    pub max_ns: f64,
+}
+
+/// The timing hook handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrates an iteration count to the batch target, then measures.
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, target: Duration, f: &mut F) -> Stats {
+    // Calibration: grow the per-batch iteration count until one batch
+    // reaches ~the target time (or a cap, for very slow benchmarks).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 24 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Stats {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+    }
+}
+
+fn print_row(label: &str, stats: &Stats) {
+    println!(
+        "{:<44} {:>12} {:>12} {:>12}",
+        label,
+        fmt_ns(stats.median_ns),
+        fmt_ns(stats.min_ns),
+        fmt_ns(stats.max_ns)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Groups benchmark functions into one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion {
+            sample_size: 3,
+            batch_target: Duration::from_micros(50),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut acc = 0u64;
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("5/2").0, "5/2");
+    }
+
+    #[test]
+    fn stats_ordering() {
+        let stats = run_bench(5, Duration::from_micros(10), &mut |b| {
+            b.iter(|| black_box(2u64).wrapping_mul(3))
+        });
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        assert!(stats.min_ns > 0.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so this shim provides the subset of the `proptest` 1.x API the
+//! workspace's property tests use: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, [`Strategy`] with `prop_map`,
+//! [`any`], integer/float range strategies, tuple strategies,
+//! `prop::collection::vec`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   (printed via `Debug` where available in the assertion message) but is
+//!   not minimized.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so failures reproduce exactly run-to-run — the same
+//!   stability the seed repository's statistical tests rely on.
+//! - **Uniform generation.** `any::<T>()` draws uniformly over the type's
+//!   full range rather than using proptest's bias toward edge values; range
+//!   strategies are uniform over the range.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Marker error returned by [`prop_assume!`] to skip the current case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCaseSkip;
+
+/// Deterministic per-test random generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator whose seed is derived from `name` (FNV-1a).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Returns the next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next 128 uniform bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, span)` for nonzero `span`, without modulo bias.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u128();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values (mirrors `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.whence);
+    }
+}
+
+/// A constant strategy (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates a uniform value over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Integers with uniform range strategies.
+pub trait RangeValue: Copy {
+    /// Uniform draw from `[lo, hi]` (both inclusive), `lo <= hi`.
+    fn uniform_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// The largest representable value (for `lo..` ranges).
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_range_value_uint {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn uniform_inclusive(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi as u128 - lo as u128 + 1;
+                lo + rng.below(span) as $t
+            }
+            fn max_value() -> $t { <$t>::MAX }
+        }
+    )*};
+}
+impl_range_value_uint!(u8, u16, u32, u64, usize);
+
+impl RangeValue for u128 {
+    fn uniform_inclusive(rng: &mut TestRng, lo: u128, hi: u128) -> u128 {
+        assert!(lo <= hi, "empty range strategy");
+        if lo == 0 && hi == u128::MAX {
+            return rng.next_u128();
+        }
+        lo + rng.below(hi - lo + 1)
+    }
+    fn max_value() -> u128 {
+        u128::MAX
+    }
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RangeValue for $t {
+            fn uniform_inclusive(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range strategy");
+                let lo_u = lo as $u ^ <$t>::MIN as $u;
+                let hi_u = hi as $u ^ <$t>::MIN as $u;
+                let v = <$u>::uniform_inclusive(rng, lo_u, hi_u);
+                (v ^ <$t>::MIN as $u) as $t
+            }
+            fn max_value() -> $t { <$t>::MAX }
+        }
+    )*};
+}
+impl_range_value_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+/// One step below a value, for translating exclusive to inclusive bounds.
+trait StepDown: Copy {
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_step_down {
+    ($($t:ty),*) => {$(
+        impl StepDown for $t {
+            fn step_down(self) -> $t { self - 1 }
+        }
+    )*};
+}
+impl_step_down!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<T: RangeValue + StepDown + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::uniform_inclusive(rng, self.start, self.end.step_down())
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeFrom<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::uniform_inclusive(rng, self.start, T::max_value())
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::uniform_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy with element strategy `element` and length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                usize::uniform_len(rng, self.len.start, self.len.end)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    trait UniformLen {
+        fn uniform_len(rng: &mut TestRng, lo: usize, hi: usize) -> usize;
+    }
+
+    impl UniformLen for usize {
+        fn uniform_len(rng: &mut TestRng, lo: usize, hi: usize) -> usize {
+            lo + rng.below((hi - lo) as u128) as usize
+        }
+    }
+}
+
+/// Per-test configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything the property tests import (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Mirror of the `proptest::prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", lhs, rhs);
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                lhs,
+                rhs,
+                format!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs == rhs {
+            panic!("prop_assert_ne failed: both sides = {:?}", lhs);
+        }
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+/// Defines property tests (mirrors `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            let mut passed = 0u32;
+            let mut attempts = 0u32;
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(64),
+                    "prop_assume rejected too many cases ({passed}/{} passed)",
+                    config.cases
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseSkip> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if outcome.is_ok() {
+                    passed += 1;
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+            let f = (0.25f64..0.5).generate(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+            let x = (1u64..).generate(&mut rng);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = crate::TestRng::deterministic("vec");
+        for _ in 0..200 {
+            let v = prop::collection::vec(any::<u8>(), 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = crate::TestRng::deterministic("map");
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("same");
+        let mut b = crate::TestRng::deterministic("same");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn macro_generates_and_asserts(a in any::<u8>(), b in 1u64..100) {
+            prop_assert!(b >= 1);
+            prop_assert_eq!(a as u64 + b, b + a as u64);
+        }
+
+        fn assume_skips(v in any::<u8>()) {
+            prop_assume!(v.is_multiple_of(2));
+            prop_assert!(v.is_multiple_of(2));
+        }
+    }
+}
