@@ -278,6 +278,18 @@ pub fn measure_all(samples: usize, batch_target: Duration) -> Vec<(&'static str,
 /// }
 /// ```
 pub fn to_json(existing: Option<&str>, label: &str, rows: &[(&'static str, f64)]) -> String {
+    to_json_for_schema("sampcert-bench/arith-v2", existing, label, rows)
+}
+
+/// [`to_json`] with an explicit schema tag — the same document shape and
+/// merge behaviour serves every measurement set (`BENCH_arith.json`,
+/// `BENCH_batch.json`, …).
+pub fn to_json_for_schema(
+    schema: &str,
+    existing: Option<&str>,
+    label: &str,
+    rows: &[(&'static str, f64)],
+) -> String {
     let mut runs: Vec<(String, Vec<(String, f64)>)> = existing.map(parse_runs).unwrap_or_default();
     runs.retain(|(l, _)| l != label);
     runs.push((
@@ -296,7 +308,7 @@ pub fn to_json(existing: Option<&str>, label: &str, rows: &[(&'static str, f64)]
     };
 
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"sampcert-bench/arith-v2\",\n");
+    out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
     out.push_str("  \"unit\": \"ns_per_op\",\n");
     out.push_str("  \"runs\": {\n");
     for (i, (run_label, vals)) in runs.iter().enumerate() {

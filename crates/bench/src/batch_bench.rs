@@ -1,0 +1,278 @@
+//! Micro-benchmarks of the batched serving layer, with a JSON emitter.
+//!
+//! This is the measurement set behind `BENCH_batch.json`: batched vs
+//! per-draw discrete-Gaussian throughput at σ ∈ {4, 64, 1024}, the
+//! `replicate` combinator's per-draw cost, and accountant/ledger
+//! operations (per-release loops vs the vectorized batch charges). The
+//! `gauss_*` row triples attribute the serving speedup within a run:
+//! `perdraw` is the status-quo path (the interpreted program one sample
+//! at a time, as `Mechanism::run` does), `fused_perdraw` isolates what
+//! the fused machine-word sampler contributes on its own, and `batched`
+//! is the `*_many` path (fused dispatch plus construction/buffer
+//! amortization) — `perdraw / batched` is the speedup the ISSUE's
+//! acceptance bar reads, and most of it comes from the fused dispatch.
+//! The `baseline`/`optimized` labels track the quadratic-combinator
+//! bugfixes (`replicate`, `Ledger::spent`) across the PR, the same
+//! workflow as `BENCH_arith.json`.
+//!
+//! Unit: ns per op. For the `gauss_*` rows an op is one served sample (the
+//! batched rows amortize 512-draw refills), so ops/s = 1e9 / ns. For the
+//! `*_1k` accountant rows an op is the whole 1000-release session.
+
+use crate::arith_bench::MicroBench;
+use sampcert_arith::Nat;
+use sampcert_core::{Ledger, PureDp, RdpAccountant};
+use sampcert_samplers::{
+    discrete_gaussian, discrete_gaussian_many_into, FusedGaussian, LaplaceAlg,
+};
+use sampcert_slang::{replicate, Interp, Sampling, SeededByteSource};
+
+/// Draws per refill in the batched-sampler rows.
+const BATCH: usize = 512;
+
+fn build_gauss_perdraw(sigma: u64, seed: u64) -> Box<dyn FnMut() -> i64> {
+    // The status-quo serving loop: the program tree is pre-built (as
+    // inside a `Mechanism`), but every draw re-enters it one sample at a
+    // time.
+    let prog = discrete_gaussian::<Sampling>(&Nat::from(sigma), &Nat::one(), LaplaceAlg::Switched);
+    let mut src = SeededByteSource::new(seed);
+    Box::new(move || prog.run(&mut src))
+}
+
+fn build_gauss_fused_perdraw(sigma: u64, seed: u64) -> Box<dyn FnMut() -> i64> {
+    // Attribution row: the fused sampler drawn one sample at a time.
+    // `batched − fused_perdraw` isolates what buffer amortization adds on
+    // top of the fused dispatch; `perdraw − fused_perdraw` is the fused
+    // dispatch itself.
+    let g = FusedGaussian::new(sigma, 1, LaplaceAlg::Switched);
+    let mut src = SeededByteSource::new(seed);
+    Box::new(move || g.sample(&mut src))
+}
+
+fn build_gauss_batched(sigma: u64, seed: u64) -> Box<dyn FnMut() -> i64> {
+    // The batched path: `discrete_gaussian_many_into` refills a retained
+    // buffer; the per-op cost is one sample, refills amortized.
+    let num = Nat::from(sigma);
+    let den = Nat::one();
+    let mut src = SeededByteSource::new(seed);
+    let mut buf: Vec<i64> = Vec::new();
+    let mut next = 0usize;
+    Box::new(move || {
+        if next == buf.len() {
+            buf.clear();
+            discrete_gaussian_many_into(
+                &num,
+                &den,
+                LaplaceAlg::Switched,
+                BATCH,
+                &mut src,
+                &mut buf,
+            );
+            next = 0;
+        }
+        let v = buf[next];
+        next += 1;
+        v
+    })
+}
+
+fn build_gauss_sigma4_perdraw() -> Box<dyn FnMut() -> i64> {
+    build_gauss_perdraw(4, 0xBA7C)
+}
+fn build_gauss_sigma4_fused_perdraw() -> Box<dyn FnMut() -> i64> {
+    build_gauss_fused_perdraw(4, 0xBA7C)
+}
+fn build_gauss_sigma4_batched() -> Box<dyn FnMut() -> i64> {
+    build_gauss_batched(4, 0xBA7C)
+}
+fn build_gauss_sigma64_perdraw() -> Box<dyn FnMut() -> i64> {
+    build_gauss_perdraw(64, 0xBA7D)
+}
+fn build_gauss_sigma64_fused_perdraw() -> Box<dyn FnMut() -> i64> {
+    build_gauss_fused_perdraw(64, 0xBA7D)
+}
+fn build_gauss_sigma64_batched() -> Box<dyn FnMut() -> i64> {
+    build_gauss_batched(64, 0xBA7D)
+}
+fn build_gauss_sigma1024_perdraw() -> Box<dyn FnMut() -> i64> {
+    build_gauss_perdraw(1024, 0xBA7E)
+}
+fn build_gauss_sigma1024_fused_perdraw() -> Box<dyn FnMut() -> i64> {
+    build_gauss_fused_perdraw(1024, 0xBA7E)
+}
+fn build_gauss_sigma1024_batched() -> Box<dyn FnMut() -> i64> {
+    build_gauss_batched(1024, 0xBA7E)
+}
+
+fn build_replicate_256() -> Box<dyn FnMut() -> i64> {
+    // One op = one draw of a 256-element replicate program; quadratic
+    // accumulator cloning shows up here directly.
+    let prog = replicate::<Sampling, _>(256, Sampling::uniform_byte());
+    let mut src = SeededByteSource::new(0x5E5E);
+    Box::new(move || prog.run(&mut src).iter().map(|&b| b as i64).sum())
+}
+
+fn build_ledger_session_1k() -> Box<dyn FnMut() -> i64> {
+    // One op = a 1000-release serving session charged one release at a
+    // time; O(n²) before the cached running total, O(n) after.
+    Box::new(move || {
+        let mut ledger: Ledger<PureDp> = Ledger::new(1e9);
+        for _ in 0..1000 {
+            ledger.charge("q", 0.01).expect("budget is ample");
+        }
+        ledger.spent() as i64
+    })
+}
+
+fn build_ledger_charge_batch_1k() -> Box<dyn FnMut() -> i64> {
+    // One op = the same 1000 releases charged as one batch entry.
+    Box::new(move || {
+        let mut ledger: Ledger<PureDp> = Ledger::new(1e9);
+        ledger
+            .charge_batch("batch", 0.01, 1000)
+            .expect("budget is ample");
+        ledger.spent() as i64
+    })
+}
+
+fn build_rdp_gaussian_1k_perrelease() -> Box<dyn FnMut() -> i64> {
+    Box::new(move || {
+        let mut acct = RdpAccountant::with_default_orders();
+        for _ in 0..1000 {
+            acct.add_gaussian(8.0);
+        }
+        acct.epsilon(1e-6).0 as i64
+    })
+}
+
+fn build_rdp_gaussian_1k_vectorized() -> Box<dyn FnMut() -> i64> {
+    Box::new(move || {
+        let mut acct = RdpAccountant::with_default_orders();
+        acct.add_gaussian_n(8.0, 1000);
+        acct.epsilon(1e-6).0 as i64
+    })
+}
+
+fn build_rdp_pure_1k_perrelease() -> Box<dyn FnMut() -> i64> {
+    Box::new(move || {
+        let mut acct = RdpAccountant::with_default_orders();
+        for _ in 0..1000 {
+            acct.add_pure(0.05);
+        }
+        acct.epsilon(1e-6).0 as i64
+    })
+}
+
+fn build_rdp_pure_1k_vectorized() -> Box<dyn FnMut() -> i64> {
+    Box::new(move || {
+        let mut acct = RdpAccountant::with_default_orders();
+        acct.add_pure_n(0.05, 1000);
+        acct.epsilon(1e-6).0 as i64
+    })
+}
+
+/// The full batched-serving measurement set, in reporting order.
+pub const BATCH_BENCHES: &[MicroBench] = &[
+    MicroBench {
+        name: "gauss_sigma4_perdraw",
+        build: build_gauss_sigma4_perdraw,
+    },
+    MicroBench {
+        name: "gauss_sigma4_fused_perdraw",
+        build: build_gauss_sigma4_fused_perdraw,
+    },
+    MicroBench {
+        name: "gauss_sigma4_batched",
+        build: build_gauss_sigma4_batched,
+    },
+    MicroBench {
+        name: "gauss_sigma64_perdraw",
+        build: build_gauss_sigma64_perdraw,
+    },
+    MicroBench {
+        name: "gauss_sigma64_fused_perdraw",
+        build: build_gauss_sigma64_fused_perdraw,
+    },
+    MicroBench {
+        name: "gauss_sigma64_batched",
+        build: build_gauss_sigma64_batched,
+    },
+    MicroBench {
+        name: "gauss_sigma1024_perdraw",
+        build: build_gauss_sigma1024_perdraw,
+    },
+    MicroBench {
+        name: "gauss_sigma1024_fused_perdraw",
+        build: build_gauss_sigma1024_fused_perdraw,
+    },
+    MicroBench {
+        name: "gauss_sigma1024_batched",
+        build: build_gauss_sigma1024_batched,
+    },
+    MicroBench {
+        name: "replicate_256bytes_draw",
+        build: build_replicate_256,
+    },
+    MicroBench {
+        name: "ledger_session_1k",
+        build: build_ledger_session_1k,
+    },
+    MicroBench {
+        name: "ledger_charge_batch_1k",
+        build: build_ledger_charge_batch_1k,
+    },
+    MicroBench {
+        name: "rdp_gaussian_1k_perrelease",
+        build: build_rdp_gaussian_1k_perrelease,
+    },
+    MicroBench {
+        name: "rdp_gaussian_1k_vectorized",
+        build: build_rdp_gaussian_1k_vectorized,
+    },
+    MicroBench {
+        name: "rdp_pure_1k_perrelease",
+        build: build_rdp_pure_1k_perrelease,
+    },
+    MicroBench {
+        name: "rdp_pure_1k_vectorized",
+        build: build_rdp_pure_1k_vectorized,
+    },
+];
+
+/// Runs the whole set and returns `(name, ns_per_op)` rows.
+pub fn measure_all(samples: usize, batch_target: std::time::Duration) -> Vec<(&'static str, f64)> {
+    BATCH_BENCHES
+        .iter()
+        .map(|spec| {
+            (
+                spec.name,
+                crate::arith_bench::measure_ns(spec, samples, batch_target),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build_and_run() {
+        for spec in BATCH_BENCHES {
+            let mut op = (spec.build)();
+            let _ = op();
+            let _ = op();
+        }
+    }
+
+    #[test]
+    fn batched_and_perdraw_gauss_rows_agree_on_distribution() {
+        // Smoke: both serving paths produce plausible σ=4 samples.
+        let mut per = build_gauss_sigma4_perdraw();
+        let mut bat = build_gauss_sigma4_batched();
+        for _ in 0..200 {
+            assert!(per().abs() < 100);
+            assert!(bat().abs() < 100);
+        }
+    }
+}

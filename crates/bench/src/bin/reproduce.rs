@@ -2,7 +2,7 @@
 //! tables.
 //!
 //! ```text
-//! reproduce [fig2|fig4|fig5|fig6|claims|all] [--samples N] [--full]
+//! reproduce [fig2|fig4|fig5|fig6|claims|arith|batch|all] [--samples N] [--full]
 //! ```
 //!
 //! - `fig2`: two discrete Laplace densities (the ε intuition picture);
@@ -17,7 +17,8 @@
 //! subsample for quick runs. Results are deterministic (seeded PRG bytes).
 
 use sampcert_bench::{
-    arith_bench, entropy_sweep, ms_per_sample, print_table, runtime_sweep, GaussianImpl, Row,
+    arith_bench, batch_bench, entropy_sweep, ms_per_sample, print_table, runtime_sweep,
+    GaussianImpl, Row,
 };
 use sampcert_samplers::pmf::laplace_pmf;
 use std::time::Duration;
@@ -168,6 +169,59 @@ fn arith(args: &[String]) {
     }
 }
 
+/// Runs the batched-serving micro-bench set and updates
+/// `BENCH_batch.json` — batched vs per-draw Gaussian throughput at
+/// σ ∈ {4, 64, 1024} plus accountant/ledger batch charging. Same labeled
+/// merge workflow as [`arith`].
+fn batch(args: &[String]) {
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("current");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_batch.json");
+    println!("\n## Batched serving micro-benchmarks (ns/op, median of 7 batches)");
+    let rows = batch_bench::measure_all(7, Duration::from_millis(20));
+    for (name, ns) in &rows {
+        println!("{name:>28}  {ns:>14.1}");
+    }
+    let per_vs_batched = |s: &str| {
+        let get = |n: String| rows.iter().find(|(name, _)| *name == n).map(|(_, v)| *v);
+        if let (Some(p), Some(b)) = (
+            get(format!("gauss_sigma{s}_perdraw")),
+            get(format!("gauss_sigma{s}_batched")),
+        ) {
+            println!(
+                "sigma {s}: batched serves {:.2}x the per-draw throughput",
+                p / b
+            );
+        }
+    };
+    for s in ["4", "64", "1024"] {
+        per_vs_batched(s);
+    }
+    let existing = std::fs::read_to_string(out).ok();
+    let doc = arith_bench::to_json_for_schema(
+        "sampcert-bench/batch-v1",
+        existing.as_deref(),
+        label,
+        &rows,
+    );
+    match std::fs::write(out, &doc) {
+        Ok(()) => println!("\nwrote {out} (label: {label})"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -195,6 +249,7 @@ fn main() {
         "fig6" => fig6(samples * 2, full),
         "claims" => claims(samples),
         "arith" => arith(&args),
+        "batch" => batch(&args),
         "all" => {
             fig2();
             fig4(samples, full);
@@ -203,7 +258,9 @@ fn main() {
             claims(samples);
         }
         other => {
-            eprintln!("unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|all");
+            eprintln!(
+                "unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|batch|all"
+            );
             std::process::exit(2);
         }
     }

@@ -20,6 +20,7 @@ use sampcert_slang::{ByteSource, CountingByteSource, Sampling, SeededByteSource}
 use std::time::Instant;
 
 pub mod arith_bench;
+pub mod batch_bench;
 
 /// The five-plus-one sampler configurations of Figs. 4 and 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -42,6 +42,17 @@ pub trait AbstractDp: 'static {
         g1 + g2
     }
 
+    /// `n`-fold sequential composition of equal-cost releases — the
+    /// vectorized form of folding [`compose`](Self::compose) `n` times
+    /// from zero. Since composition is additive this is a single
+    /// multiplication, which is what lets a batch of `n` noised answers be
+    /// charged in O(1) instead of O(n); an instance overriding `compose`
+    /// must override this consistently (tests pin the two against each
+    /// other to 1e-12).
+    fn compose_n(gamma: f64, n: u64) -> f64 {
+        gamma * n as f64
+    }
+
     /// Parallel composition bound over disjoint partitions
     /// (`AbstractParDP::prop_par`, Listing 18): `max(γ₁, γ₂)`.
     fn par_compose(g1: f64, g2: f64) -> f64 {

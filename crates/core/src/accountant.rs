@@ -33,6 +33,13 @@ use std::marker::PhantomData;
 pub struct Ledger<D: AbstractDp> {
     budget: f64,
     entries: Vec<(String, f64)>,
+    /// Cached composed total of `entries`, maintained incrementally so
+    /// that `charge`/`spent` are O(1) instead of re-folding the whole
+    /// history (which made an n-release session O(n²)). Invariant: equals
+    /// `entries.iter().fold(0.0, D::compose)` exactly — the cache is
+    /// updated with the same left-fold order the recomputation would use,
+    /// so not even the f64 rounding differs.
+    spent: f64,
     _notion: PhantomData<D>,
 }
 
@@ -68,6 +75,7 @@ impl<D: AbstractDp> Ledger<D> {
         Ledger {
             budget,
             entries: Vec::new(),
+            spent: 0.0,
             _notion: PhantomData,
         }
     }
@@ -81,22 +89,63 @@ impl<D: AbstractDp> Ledger<D> {
     /// unchanged in that case.
     pub fn charge(&mut self, label: impl Into<String>, gamma: f64) -> Result<(), BudgetExceeded> {
         assert!(gamma.is_finite() && gamma >= 0.0, "invalid charge");
-        let spent = self.spent();
-        if D::compose(spent, gamma) > self.budget + 1e-12 {
+        let new_spent = D::compose(self.spent, gamma);
+        if new_spent > self.budget + 1e-12 {
+            // Clamp: the acceptance tolerance lets `spent` exceed the
+            // budget by up to 1e-12, which must not surface as a negative
+            // remaining budget.
             return Err(BudgetExceeded {
                 requested: gamma,
-                remaining: self.budget - spent,
+                remaining: (self.budget - self.spent).max(0.0),
             });
         }
         self.entries.push((label.into(), gamma));
+        self.spent = new_spent;
         Ok(())
     }
 
+    /// Records a batch of `count` releases, each costing `gamma_each`,
+    /// under one label — the ledger-side half of batched noise serving
+    /// (see [`NoiseBatch`](crate::NoiseBatch)). The batch is composed in
+    /// O(1) via [`AbstractDp::compose_n`] and recorded as a single entry
+    /// holding the composed total, so charging a million-draw batch costs
+    /// the same as charging one release. All-or-nothing: either the whole
+    /// batch fits in the budget or the ledger is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] (with `requested` set to the composed
+    /// batch total) when the batch would overrun the budget.
+    pub fn charge_batch(
+        &mut self,
+        label: impl Into<String>,
+        gamma_each: f64,
+        count: u64,
+    ) -> Result<(), BudgetExceeded> {
+        assert!(
+            gamma_each.is_finite() && gamma_each >= 0.0,
+            "invalid charge"
+        );
+        let total = D::compose_n(gamma_each, count);
+        if !total.is_finite() {
+            // A batch whose composed total overflows f64 certainly exceeds
+            // any finite budget; refuse it the same way an over-budget
+            // charge is refused instead of tripping `charge`'s
+            // finite-gamma assertion.
+            return Err(BudgetExceeded {
+                requested: total,
+                remaining: (self.budget - self.spent).max(0.0),
+            });
+        }
+        self.charge(label, total)
+    }
+
     /// Total spent so far (composed additively, per `AbstractDP`).
+    ///
+    /// O(1): the composed total is maintained incrementally by
+    /// [`charge`](Self::charge)/[`charge_batch`](Self::charge_batch).
     pub fn spent(&self) -> f64 {
-        self.entries
-            .iter()
-            .fold(0.0, |acc, (_, g)| D::compose(acc, *g))
+        self.spent
     }
 
     /// Remaining budget.
@@ -183,12 +232,43 @@ impl RdpAccountant {
         }
     }
 
+    /// Adds `count` i.i.d. Gaussian releases at ratio `σ/Δ` in one pass:
+    /// per-order RDP is additive, so the batch charge is
+    /// `count · α/(2(σ/Δ)²)` — O(grid) total, where `count` repeated
+    /// [`add_gaussian`](Self::add_gaussian) calls cost O(count·grid).
+    /// Equal to the repeated calls to within f64 rounding (pinned to
+    /// 1e-12 by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not strictly positive.
+    pub fn add_gaussian_n(&mut self, sigma_over_sensitivity: f64, count: u64) {
+        assert!(sigma_over_sensitivity > 0.0, "invalid noise ratio");
+        let s2 = sigma_over_sensitivity * sigma_over_sensitivity;
+        let k = count as f64;
+        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
+            *e += k * a / (2.0 * s2);
+        }
+    }
+
     /// Adds a pure ε-DP release: `D_α ≤ min(ε, α·ε²/2)` (Bun–Steinke read
     /// at order α, capped by `D_∞`).
     pub fn add_pure(&mut self, eps: f64) {
         assert!(eps.is_finite() && eps >= 0.0, "invalid epsilon");
         for (e, a) in self.eps.iter_mut().zip(&self.orders) {
             *e += eps.min(a * eps * eps / 2.0);
+        }
+    }
+
+    /// Adds `count` i.i.d. pure ε-DP releases in one O(grid) pass; the
+    /// vectorized form of `count` [`add_pure`](Self::add_pure) calls
+    /// (each release's per-order charge is the same, so the batch is a
+    /// single scale).
+    pub fn add_pure_n(&mut self, eps: f64, count: u64) {
+        assert!(eps.is_finite() && eps >= 0.0, "invalid epsilon");
+        let k = count as f64;
+        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
+            *e += k * eps.min(a * eps * eps / 2.0);
         }
     }
 
@@ -308,5 +388,130 @@ mod tests {
     #[should_panic(expected = "orders must exceed 1")]
     fn rejects_bad_orders() {
         let _ = RdpAccountant::new(vec![0.5]);
+    }
+
+    #[test]
+    fn add_gaussian_n_equals_repeated_adds() {
+        for count in [1u64, 7, 256, 10_000] {
+            let mut batched = RdpAccountant::with_default_orders();
+            batched.add_gaussian_n(7.5, count);
+            let mut looped = RdpAccountant::with_default_orders();
+            for _ in 0..count {
+                looped.add_gaussian(7.5);
+            }
+            for ((a, eb), (_, el)) in batched.curve().zip(looped.curve()) {
+                assert!(
+                    (eb - el).abs() <= 1e-12 * el.max(1.0),
+                    "count={count} alpha={a}: {eb} vs {el}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_pure_n_equals_repeated_adds() {
+        for count in [1u64, 64, 4096] {
+            let mut batched = RdpAccountant::with_default_orders();
+            batched.add_pure_n(0.1, count);
+            let mut looped = RdpAccountant::with_default_orders();
+            for _ in 0..count {
+                looped.add_pure(0.1);
+            }
+            for ((a, eb), (_, el)) in batched.curve().zip(looped.curve()) {
+                assert!(
+                    (eb - el).abs() <= 1e-12 * el.max(1.0),
+                    "count={count} alpha={a}: {eb} vs {el}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn charge_batch_equals_repeated_charges() {
+        let mut batched: Ledger<Zcdp> = Ledger::new(10.0);
+        batched.charge_batch("batch", 0.001, 1000).unwrap();
+        let mut looped: Ledger<Zcdp> = Ledger::new(10.0);
+        for i in 0..1000 {
+            looped.charge(format!("q{i}"), 0.001).unwrap();
+        }
+        assert!((batched.spent() - looped.spent()).abs() < 1e-12);
+        assert_eq!(batched.entries().len(), 1);
+        // A batch that would overrun is refused atomically.
+        let err = batched.charge_batch("too-much", 0.01, 1000).unwrap_err();
+        assert!((err.requested - 10.0).abs() < 1e-9);
+        assert!((batched.spent() - 1.0).abs() < 1e-12, "ledger mutated");
+    }
+
+    #[test]
+    fn charge_batch_overflowing_total_is_refused_not_panicked() {
+        let mut ledger: Ledger<PureDp> = Ledger::new(1.0);
+        ledger.charge("a", 0.25).unwrap();
+        // 1e308 × 10 overflows to +inf: must come back as BudgetExceeded,
+        // exactly like the per-release path's over-budget refusal.
+        let err = ledger.charge_batch("huge", 1e308, 10).unwrap_err();
+        assert!(err.requested.is_infinite());
+        assert!((err.remaining - 0.75).abs() < 1e-12);
+        assert!((ledger.spent() - 0.25).abs() < 1e-12, "ledger mutated");
+    }
+
+    #[test]
+    fn charge_batch_zero_count_is_free() {
+        let mut ledger: Ledger<PureDp> = Ledger::new(1.0);
+        ledger.charge_batch("empty", 0.5, 0).unwrap();
+        assert_eq!(ledger.spent(), 0.0);
+    }
+
+    /// `BudgetExceeded::remaining` must never report a negative budget:
+    /// the acceptance tolerance lets `spent` overshoot the budget by up to
+    /// 1e-12, and the clamp keeps the error message (and any retry logic
+    /// keyed on it) sane.
+    #[test]
+    fn budget_exceeded_remaining_is_clamped_at_zero() {
+        let mut ledger: Ledger<PureDp> = Ledger::new(1.0);
+        // Accepted within the 1e-12 tolerance; spent now exceeds budget.
+        ledger.charge("a", 1.0 + 1e-13).unwrap();
+        assert!(ledger.spent() > 1.0);
+        let err = ledger.charge("b", 0.5).unwrap_err();
+        assert!(err.remaining >= 0.0, "remaining={}", err.remaining);
+        assert_eq!(err.remaining, 0.0);
+        assert_eq!(ledger.remaining(), 0.0);
+    }
+
+    #[test]
+    fn spent_is_consistent_across_many_charges() {
+        let mut ledger: Ledger<PureDp> = Ledger::new(1e9);
+        let mut reference = 0.0f64;
+        for i in 0..500 {
+            let g = 0.01 + (i % 7) as f64 * 0.003;
+            ledger.charge(format!("q{i}"), g).unwrap();
+            reference = PureDp::compose(reference, g);
+            assert!(
+                (ledger.spent() - reference).abs() < 1e-9,
+                "drift at charge {i}: {} vs {reference}",
+                ledger.spent()
+            );
+        }
+        assert_eq!(ledger.entries().len(), 500);
+        // The cached total must equal re-folding the recorded entries
+        // bit-for-bit (same left-fold order).
+        let refold = ledger
+            .entries()
+            .iter()
+            .fold(0.0, |acc, (_, g)| PureDp::compose(acc, *g));
+        assert_eq!(ledger.spent(), refold);
+    }
+
+    #[test]
+    fn compose_n_matches_fold_for_all_notions() {
+        fn check<D: AbstractDp>() {
+            for n in [0u64, 1, 3, 1000] {
+                let folded = (0..n).fold(0.0, |acc, _| D::compose(acc, 0.125));
+                let vec = D::compose_n(0.125, n);
+                assert!((folded - vec).abs() <= 1e-12 * folded.max(1.0), "{n}");
+            }
+        }
+        check::<PureDp>();
+        check::<Zcdp>();
+        check::<crate::abstract_dp::RenyiDp<4>>();
     }
 }

@@ -1,0 +1,177 @@
+//! Batched noise serving: a batch of noised answers paired with one
+//! vectorized accountant charge.
+//!
+//! High-throughput serving draws noise in batches
+//! ([`Mechanism::run_many`](crate::Mechanism::run_many), the `*_many`
+//! samplers) — but a batch of `n` releases still costs `n` releases of
+//! privacy, and charging them one [`Ledger::charge`](crate::Ledger::charge)
+//! or [`RdpAccountant::add_gaussian`](crate::RdpAccountant::add_gaussian)
+//! at a time puts an O(n) (or, before the cached ledger total, O(n²))
+//! accounting loop right back on the hot path. [`NoiseBatch`] keeps the
+//! two halves together: the answers and the per-answer cost travel as one
+//! value, and the whole batch is charged in O(1) via
+//! [`AbstractDp::compose_n`] / the vectorized accountant adders.
+//!
+//! # Example
+//!
+//! ```
+//! use sampcert_core::{count_query, Ledger, NoiseBatch, Private, PureDp};
+//! use sampcert_slang::SeededByteSource;
+//!
+//! let query: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), 1, 2);
+//! let mut ledger: Ledger<PureDp> = Ledger::new(100.0);
+//! let mut src = SeededByteSource::new(0);
+//!
+//! // Serve 128 noised counts, then charge the session ledger once.
+//! let batch = query.run_batch(&[1, 2, 3], 128, &mut src);
+//! batch.charge(&mut ledger, "counts-batch").unwrap();
+//! assert_eq!(batch.len(), 128);
+//! assert!((ledger.spent() - 64.0).abs() < 1e-9); // 128 × ε/2
+//! ```
+
+use crate::abstract_dp::AbstractDp;
+use crate::accountant::{BudgetExceeded, Ledger, RdpAccountant};
+use std::marker::PhantomData;
+
+/// A batch of noised answers plus the per-answer privacy cost under
+/// notion `D`.
+///
+/// Constructed by [`Private::run_batch`](crate::Private::run_batch) (which
+/// carries the bound over from the typed mechanism) or directly via
+/// [`NoiseBatch::new`] for hand-built serving paths.
+#[derive(Debug, Clone)]
+pub struct NoiseBatch<D: AbstractDp, U> {
+    values: Vec<U>,
+    gamma_each: f64,
+    _notion: PhantomData<D>,
+}
+
+impl<D: AbstractDp, U> NoiseBatch<D, U> {
+    /// Pairs a batch of answers with the privacy cost of each one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma_each` is negative or not finite.
+    pub fn new(values: Vec<U>, gamma_each: f64) -> Self {
+        assert!(
+            gamma_each.is_finite() && gamma_each >= 0.0,
+            "invalid privacy parameter"
+        );
+        NoiseBatch {
+            values,
+            gamma_each,
+            _notion: PhantomData,
+        }
+    }
+
+    /// The batched answers, in draw order.
+    pub fn values(&self) -> &[U] {
+        &self.values
+    }
+
+    /// Consumes the batch, returning the answers.
+    ///
+    /// Dropping the batch without charging it is the caller's
+    /// responsibility to avoid; charge first, then unwrap.
+    pub fn into_values(self) -> Vec<U> {
+        self.values
+    }
+
+    /// Number of answers in the batch.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The privacy cost of each answer.
+    pub fn gamma_each(&self) -> f64 {
+        self.gamma_each
+    }
+
+    /// The composed cost of the whole batch
+    /// (`compose_n(gamma_each, len)`).
+    pub fn gamma_total(&self) -> f64 {
+        D::compose_n(self.gamma_each, self.values.len() as u64)
+    }
+
+    /// Charges the whole batch to `ledger` as one O(1) entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] if the batch does not fit; the ledger is
+    /// unchanged in that case (the batch's answers should then not be
+    /// released).
+    pub fn charge(
+        &self,
+        ledger: &mut Ledger<D>,
+        label: impl Into<String>,
+    ) -> Result<(), BudgetExceeded> {
+        ledger.charge_batch(label, self.gamma_each, self.values.len() as u64)
+    }
+
+    /// Charges the batch to a Rényi accountant as `len` Gaussian releases
+    /// at noise-to-sensitivity ratio `ratio`, in one O(grid) pass.
+    ///
+    /// The ratio is the σ/Δ the batch was actually drawn with — the RDP
+    /// curve is parameterized by it, not by `gamma_each`.
+    pub fn charge_rdp_gaussian(&self, acct: &mut RdpAccountant, ratio: f64) {
+        acct.add_gaussian_n(ratio, self.values.len() as u64);
+    }
+
+    /// Charges the batch to a Rényi accountant as `len` pure `eps`-DP
+    /// releases, in one O(grid) pass.
+    pub fn charge_rdp_pure(&self, acct: &mut RdpAccountant, eps: f64) {
+        acct.add_pure_n(eps, self.values.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_dp::{PureDp, Zcdp};
+
+    #[test]
+    fn gamma_total_composes() {
+        let b: NoiseBatch<PureDp, i64> = NoiseBatch::new(vec![1, 2, 3, 4], 0.25);
+        assert!((b.gamma_total() - 1.0).abs() < 1e-12);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.values(), &[1, 2, 3, 4]);
+        assert_eq!(b.into_values(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn charge_is_one_entry_and_atomic() {
+        let mut ledger: Ledger<Zcdp> = Ledger::new(1.0);
+        let b: NoiseBatch<Zcdp, i64> = NoiseBatch::new(vec![0; 100], 0.005);
+        b.charge(&mut ledger, "batch").unwrap();
+        assert_eq!(ledger.entries().len(), 1);
+        assert!((ledger.spent() - 0.5).abs() < 1e-12);
+        // Second identical batch fits exactly; a third does not.
+        b.charge(&mut ledger, "batch-2").unwrap();
+        assert!(b.charge(&mut ledger, "batch-3").is_err());
+        assert_eq!(ledger.entries().len(), 2);
+    }
+
+    #[test]
+    fn rdp_charges_delegate_to_vectorized_adders() {
+        let b: NoiseBatch<Zcdp, i64> = NoiseBatch::new(vec![0; 32], 0.0);
+        let mut via_batch = RdpAccountant::with_default_orders();
+        b.charge_rdp_gaussian(&mut via_batch, 8.0);
+        let mut direct = RdpAccountant::with_default_orders();
+        direct.add_gaussian_n(8.0, 32);
+        for ((_, a), (_, b)) in via_batch.curve().zip(direct.curve()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid privacy parameter")]
+    fn rejects_negative_gamma() {
+        let _: NoiseBatch<PureDp, i64> = NoiseBatch::new(vec![], -0.1);
+    }
+}

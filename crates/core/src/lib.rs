@@ -41,6 +41,7 @@
 mod abstract_dp;
 mod accountant;
 mod approx;
+mod batch;
 mod convert;
 mod mechanism;
 mod neighbour;
@@ -51,6 +52,7 @@ mod query;
 pub use abstract_dp::{AbstractDp, PureDp, RenyiDp, Zcdp};
 pub use accountant::{BudgetExceeded, Ledger, RdpAccountant};
 pub use approx::{ApproxBudget, ApproxPrivate};
+pub use batch::NoiseBatch;
 pub use convert::{approx_dp_of, pure_to_renyi, pure_to_zcdp, zcdp_to_renyi};
 pub use mechanism::Mechanism;
 pub use neighbour::{insertions, is_neighbour, neighbours, removals};

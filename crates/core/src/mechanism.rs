@@ -96,6 +96,34 @@ impl<T: 'static, U: Value> Mechanism<T, U> {
         (self.sample)(db, src)
     }
 
+    /// Draws `n` independent outputs for `db`, appending them to `out`.
+    ///
+    /// The serving-side batch primitive: the mechanism (and every sampler
+    /// program inside it) is built once and reused for the whole batch,
+    /// the output buffer is reserved once and can be retained across
+    /// batches, and the draws go through a single reborrowed byte cursor.
+    /// Byte-stream and value equality with `n` sequential
+    /// [`run`](Self::run) calls is part of the contract (pinned by tests);
+    /// pair with [`Ledger::charge_batch`](crate::Ledger::charge_batch) or
+    /// the vectorized [`RdpAccountant`](crate::RdpAccountant) adders to
+    /// account for the whole batch in O(1).
+    pub fn run_many_into(&self, db: &[T], n: usize, src: &mut dyn ByteSource, out: &mut Vec<U>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push((self.sample)(db, src));
+        }
+    }
+
+    /// Draws `n` independent outputs for `db`.
+    ///
+    /// Convenience wrapper over [`run_many_into`](Self::run_many_into)
+    /// with a fresh, exactly-sized buffer.
+    pub fn run_many(&self, db: &[T], n: usize, src: &mut dyn ByteSource) -> Vec<U> {
+        let mut out = Vec::new();
+        self.run_many_into(db, n, src, &mut out);
+        out
+    }
+
     /// The analytic output distribution for `db`.
     pub fn dist(&self, db: &[T]) -> SubPmf<U, f64> {
         (self.dist)(db)
@@ -240,6 +268,21 @@ mod tests {
         let mut src = SeededByteSource::new(2);
         assert_eq!(m.run(&[1, 2, 3, 4, 6], &mut src), (3, 2));
         assert_eq!(m.dist(&[2, 4]).mass(&(2, 0)), 1.0);
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs_bytewise() {
+        use sampcert_slang::CountingByteSource;
+        let m = coin::<u8>().compose(&coin::<u8>());
+        let db = [1u8, 2, 3];
+        let mut seq_src = CountingByteSource::new(SeededByteSource::new(9));
+        let seq: Vec<_> = (0..200).map(|_| m.run(&db, &mut seq_src)).collect();
+        let mut batch_src = CountingByteSource::new(SeededByteSource::new(9));
+        let mut out = Vec::new();
+        m.run_many_into(&db, 200, &mut batch_src, &mut out);
+        assert_eq!(out, seq);
+        assert_eq!(batch_src.bytes_read(), seq_src.bytes_read());
+        assert_eq!(m.run_many(&db, 5, &mut batch_src).len(), 5);
     }
 
     #[test]

@@ -143,6 +143,28 @@ mod tests {
         assert!((r.mean() - 8.0).abs() < 1.0, "mean={}", r.mean());
     }
 
+    /// Serving repeated adaptive releases through the batched path: one
+    /// `run_batch` + one ledger entry, byte-identical to sequential runs.
+    #[test]
+    fn adaptive_rounds_serve_through_batched_path() {
+        use sampcert_core::Ledger;
+        use sampcert_slang::CountingByteSource;
+        let db: Vec<i64> = (0..500).map(|i| 40 + (i * 31) % 80).collect();
+        let m = adaptive_mean::<PureDp>(12, 10, 4, 1, 8, 1);
+
+        let mut seq_src = CountingByteSource::new(SeededByteSource::new(41));
+        let seq: Vec<_> = (0..16).map(|_| m.run(&db, &mut seq_src)).collect();
+        let mut batch_src = CountingByteSource::new(SeededByteSource::new(41));
+        let batch = m.run_batch(&db, 16, &mut batch_src);
+        assert_eq!(batch.values(), &seq[..]);
+        assert_eq!(batch_src.bytes_read(), seq_src.bytes_read());
+
+        let mut ledger: Ledger<PureDp> = Ledger::new(400.0);
+        batch.charge(&mut ledger, "adaptive-rounds").unwrap();
+        assert_eq!(ledger.entries().len(), 1);
+        assert!((ledger.spent() - 16.0 * m.gamma()).abs() < 1e-9);
+    }
+
     #[test]
     fn empty_database_degrades_gracefully() {
         let m = adaptive_mean::<PureDp>(8, 10, 8, 1, 8, 1);

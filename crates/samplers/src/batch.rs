@@ -1,0 +1,366 @@
+//! Batched noise constructors: build the program once, draw many times.
+//!
+//! The paper's headline evaluation (Fig. 4) is about *throughput*: verified
+//! samplers fast enough to serve production noise. A serving loop that
+//! reconstructs the sampler — or even just re-enters the generic
+//! program tree — per draw leaves most of that throughput on the table.
+//! The `*_many` constructors here amortize everything amortizable across a
+//! batch of `n` i.i.d. draws:
+//!
+//! - **program construction** happens once per batch, not once per draw
+//!   (`⌊σ⌋`, squared parameters, the closure tree);
+//! - **execution** goes through the fused fast path
+//!   ([`FusedGaussian`](crate::FusedGaussian) /
+//!   [`FusedLaplace`](crate::FusedLaplace) / the `u128` uniform loop)
+//!   whenever the parameters sit safely inside its machine-word regime
+//!   (a conservative `2²⁶` box for the Gaussian — see
+//!   `FUSED_GAUSS_LIMIT`), falling back to the general `SLang` program —
+//!   drawn via [`run_into`](sampcert_slang::SLang::run_into) — for
+//!   anything else;
+//! - **output allocation** is reused: every function has a `*_into`
+//!   variant appending to a caller-retained buffer.
+//!
+//! Batching is invisible to the distribution *and* to the entropy stream:
+//! each `*_many` consumes exactly the bytes that `n` sequential
+//! single-draw `run`s would, and produces exactly the same values — pinned
+//! by the equality tests below (the fused/monadic byte equality is
+//! established in [`direct`](crate::FusedGaussian)'s tests, and re-checked
+//! here through the batch entry points).
+
+use crate::direct::{uniform_below_u128, FusedGaussian, FusedLaplace};
+use crate::gaussian::discrete_gaussian;
+use crate::laplace::{discrete_laplace, LaplaceAlg};
+use crate::uniform::uniform_below;
+use sampcert_arith::Nat;
+use sampcert_slang::{ByteSource, Sampling};
+
+/// Upper bound (exclusive) on `num` *and* `den` for dispatching to the
+/// fused Gaussian fast path.
+///
+/// Deliberately tighter than [`FusedGaussian::new`]'s own `num < 2³²`
+/// admission: with both parameters below 2²⁶, every intermediate in the
+/// fused acceptance test (`2·num²·t²·den²` and the squared difference,
+/// whose extreme is `(|Y|·t·den²)²`) stays far inside `u128` for any
+/// remotely reachable `|Y|`, so the fast path cannot hit the fused
+/// sampler's checked-overflow aborts on parameters the general `SLang`
+/// program handles fine — which would break the batch-equals-sequential
+/// contract. Parameters outside the box take the general program.
+const FUSED_GAUSS_LIMIT: u64 = 1 << 26;
+
+/// Draws `n` i.i.d. discrete Gaussian samples `N_ℤ(0, (num/den)²)`,
+/// appending them to `out`.
+///
+/// Builds the sampler once and reuses it for the whole batch; see the
+/// [module docs](self) for the amortization and byte-stream contract.
+///
+/// # Panics
+///
+/// Panics if `num` or `den` is zero.
+pub fn discrete_gaussian_many_into(
+    num: &Nat,
+    den: &Nat,
+    alg: LaplaceAlg,
+    n: usize,
+    src: &mut dyn ByteSource,
+    out: &mut Vec<i64>,
+) {
+    assert!(
+        !num.is_zero() && !den.is_zero(),
+        "discrete_gaussian: zero sigma parameter"
+    );
+    out.reserve(n);
+    match (num.to_u64(), den.to_u64()) {
+        (Some(nu), Some(de)) if nu < FUSED_GAUSS_LIMIT && de < FUSED_GAUSS_LIMIT => {
+            let g = FusedGaussian::new(nu, de, alg);
+            for _ in 0..n {
+                out.push(g.sample(src));
+            }
+        }
+        _ => discrete_gaussian::<Sampling>(num, den, alg).run_into(n, src, out),
+    }
+}
+
+/// Draws `n` i.i.d. discrete Gaussian samples `N_ℤ(0, (num/den)²)`.
+///
+/// # Panics
+///
+/// Panics if `num` or `den` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_samplers::{discrete_gaussian_many, LaplaceAlg};
+/// use sampcert_arith::Nat;
+/// use sampcert_slang::SeededByteSource;
+///
+/// let mut src = SeededByteSource::new(0);
+/// let noise = discrete_gaussian_many(
+///     &Nat::from(64u64),
+///     &Nat::one(),
+///     LaplaceAlg::Switched,
+///     1024,
+///     &mut src,
+/// );
+/// assert_eq!(noise.len(), 1024);
+/// ```
+pub fn discrete_gaussian_many(
+    num: &Nat,
+    den: &Nat,
+    alg: LaplaceAlg,
+    n: usize,
+    src: &mut dyn ByteSource,
+) -> Vec<i64> {
+    let mut out = Vec::new();
+    discrete_gaussian_many_into(num, den, alg, n, src, &mut out);
+    out
+}
+
+/// Draws `n` i.i.d. discrete Laplace samples with scale `num/den`,
+/// appending them to `out`.
+///
+/// # Panics
+///
+/// Panics if `num` or `den` is zero.
+pub fn discrete_laplace_many_into(
+    num: &Nat,
+    den: &Nat,
+    alg: LaplaceAlg,
+    n: usize,
+    src: &mut dyn ByteSource,
+    out: &mut Vec<i64>,
+) {
+    assert!(
+        !num.is_zero() && !den.is_zero(),
+        "discrete_laplace: zero scale parameter"
+    );
+    out.reserve(n);
+    match (num.to_u64(), den.to_u64()) {
+        (Some(nu), Some(de)) => {
+            let l = FusedLaplace::new(nu, de, alg);
+            for _ in 0..n {
+                out.push(l.sample(src));
+            }
+        }
+        _ => discrete_laplace::<Sampling>(num, den, alg).run_into(n, src, out),
+    }
+}
+
+/// Draws `n` i.i.d. discrete Laplace samples with scale `num/den`.
+///
+/// # Panics
+///
+/// Panics if `num` or `den` is zero.
+pub fn discrete_laplace_many(
+    num: &Nat,
+    den: &Nat,
+    alg: LaplaceAlg,
+    n: usize,
+    src: &mut dyn ByteSource,
+) -> Vec<i64> {
+    let mut out = Vec::new();
+    discrete_laplace_many_into(num, den, alg, n, src, &mut out);
+    out
+}
+
+/// Draws `n` i.i.d. exact uniform samples on `[0, bound)`, appending them
+/// to `out`.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn uniform_below_many_into(
+    bound: &Nat,
+    n: usize,
+    src: &mut dyn ByteSource,
+    out: &mut Vec<Nat>,
+) {
+    assert!(!bound.is_zero(), "uniform_below: empty range");
+    out.reserve(n);
+    match bound.to_u64() {
+        Some(b) => {
+            for _ in 0..n {
+                out.push(Nat::from(uniform_below_u128(b as u128, src) as u64));
+            }
+        }
+        None => uniform_below::<Sampling>(bound).run_into(n, src, out),
+    }
+}
+
+/// Draws `n` i.i.d. exact uniform samples on `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn uniform_below_many(bound: &Nat, n: usize, src: &mut dyn ByteSource) -> Vec<Nat> {
+    let mut out = Vec::new();
+    uniform_below_many_into(bound, n, src, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_slang::{CountingByteSource, SeededByteSource};
+
+    fn nat(v: u64) -> Nat {
+        Nat::from(v)
+    }
+
+    fn multilimb(seed: u64) -> Nat {
+        // Deterministic > 64-bit operand.
+        &(&Nat::from(u64::MAX) * &Nat::from(seed)) + &Nat::from(seed ^ 0xABCD)
+    }
+
+    /// The batch contract, checked per API: `*_many` must equal `n`
+    /// sequential runs of the single-draw program — same values, same
+    /// bytes — on both the fused and the fallback parameter regimes.
+    #[test]
+    fn gaussian_many_equals_sequential_runs_bytewise() {
+        for (num, den, alg, n) in [
+            (nat(4), nat(1), LaplaceAlg::Switched, 300usize),
+            (nat(64), nat(1), LaplaceAlg::Switched, 200),
+            (nat(7), nat(2), LaplaceAlg::Geometric, 200),
+            (nat(25), nat(3), LaplaceAlg::Uniform, 200),
+            // num ≥ 2^26: exercises the general-program fallback.
+            (nat(1 << 33), nat(1), LaplaceAlg::Switched, 4),
+            // σ = 2^32 − 1 is admitted by FusedGaussian::new, but its
+            // u128 acceptance bound 2·num²·t²·den² overflows on the very
+            // first sample; the dispatch guard must route it to the
+            // general program, which handles it.
+            (nat((1 << 32) - 1), nat(1), LaplaceAlg::Switched, 3),
+            // Large denominator past the fused box (σ = 3): fallback.
+            (nat(3 << 26), nat(1 << 26), LaplaceAlg::Switched, 50),
+        ] {
+            let prog = discrete_gaussian::<Sampling>(&num, &den, alg);
+            let mut seq_src = CountingByteSource::new(SeededByteSource::new(42));
+            let seq: Vec<i64> = (0..n).map(|_| prog.run(&mut seq_src)).collect();
+            let mut batch_src = CountingByteSource::new(SeededByteSource::new(42));
+            let batch = discrete_gaussian_many(&num, &den, alg, n, &mut batch_src);
+            assert_eq!(batch, seq, "values ({num:?}/{den:?}, {alg:?})");
+            assert_eq!(
+                batch_src.bytes_read(),
+                seq_src.bytes_read(),
+                "bytes ({num:?}/{den:?}, {alg:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn laplace_many_equals_sequential_runs_bytewise() {
+        for (num, den, alg, n) in [
+            (nat(1), nat(1), LaplaceAlg::Geometric, 400usize),
+            (nat(5), nat(2), LaplaceAlg::Switched, 300),
+            (nat(40), nat(3), LaplaceAlg::Uniform, 300),
+            // Large single-limb scale: pins the fused uniform loop's u128
+            // arithmetic against the general program where the existing
+            // direct.rs equality tests stop at scale 40/3.
+            (nat(1_000_000), nat(1), LaplaceAlg::Switched, 100),
+            // Multi-limb parameters (scale 1/2, so magnitudes stay small):
+            // exercises the general-program fallback.
+            (
+                multilimb(3),
+                &multilimb(3) * &nat(2),
+                LaplaceAlg::Switched,
+                50,
+            ),
+        ] {
+            let prog = discrete_laplace::<Sampling>(&num, &den, alg);
+            let mut seq_src = CountingByteSource::new(SeededByteSource::new(7));
+            let seq: Vec<i64> = (0..n).map(|_| prog.run(&mut seq_src)).collect();
+            let mut batch_src = CountingByteSource::new(SeededByteSource::new(7));
+            let batch = discrete_laplace_many(&num, &den, alg, n, &mut batch_src);
+            assert_eq!(batch, seq, "values ({num:?}/{den:?}, {alg:?})");
+            assert_eq!(
+                batch_src.bytes_read(),
+                seq_src.bytes_read(),
+                "bytes ({num:?}/{den:?}, {alg:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_many_equals_sequential_runs_bytewise() {
+        for (bound, n) in [
+            (nat(5), 500usize),
+            (nat(256), 300),
+            (nat(1_000_003), 300),
+            (multilimb(9), 20),
+        ] {
+            let prog = uniform_below::<Sampling>(&bound);
+            let mut seq_src = CountingByteSource::new(SeededByteSource::new(13));
+            let seq: Vec<Nat> = (0..n).map(|_| prog.run(&mut seq_src)).collect();
+            let mut batch_src = CountingByteSource::new(SeededByteSource::new(13));
+            let batch = uniform_below_many(&bound, n, &mut batch_src);
+            assert_eq!(batch, seq, "values (bound {bound:?})");
+            assert_eq!(
+                batch_src.bytes_read(),
+                seq_src.bytes_read(),
+                "bytes (bound {bound:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_append_and_reuse_buffer() {
+        let mut src = SeededByteSource::new(1);
+        let mut out = Vec::new();
+        discrete_gaussian_many_into(
+            &nat(4),
+            &nat(1),
+            LaplaceAlg::Switched,
+            10,
+            &mut src,
+            &mut out,
+        );
+        assert_eq!(out.len(), 10);
+        let cap = out.capacity();
+        out.clear();
+        discrete_gaussian_many_into(
+            &nat(4),
+            &nat(1),
+            LaplaceAlg::Switched,
+            10,
+            &mut src,
+            &mut out,
+        );
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.capacity(), cap, "buffer reallocated on reuse");
+    }
+
+    #[test]
+    fn batch_moments_sane() {
+        let mut src = SeededByteSource::new(99);
+        let draws =
+            discrete_gaussian_many(&nat(5), &nat(1), LaplaceAlg::Switched, 30_000, &mut src);
+        let n = draws.len() as f64;
+        let mean = draws.iter().map(|&z| z as f64).sum::<f64>() / n;
+        let var = draws
+            .iter()
+            .map(|&z| (z as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 0.15, "mean={mean}");
+        assert!((var - 25.0).abs() / 25.0 < 0.05, "var={var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sigma parameter")]
+    fn gaussian_many_rejects_zero_sigma() {
+        let mut src = SeededByteSource::new(0);
+        let _ = discrete_gaussian_many(&Nat::zero(), &nat(1), LaplaceAlg::Switched, 1, &mut src);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero scale parameter")]
+    fn laplace_many_rejects_zero_scale() {
+        let mut src = SeededByteSource::new(0);
+        let _ = discrete_laplace_many(&nat(1), &Nat::zero(), LaplaceAlg::Switched, 1, &mut src);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_many_rejects_zero_bound() {
+        let mut src = SeededByteSource::new(0);
+        let _ = uniform_below_many(&Nat::zero(), 1, &mut src);
+    }
+}

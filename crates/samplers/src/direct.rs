@@ -37,7 +37,7 @@ fn uniform_pow2_u128(bits: u32, src: &mut dyn ByteSource) -> u128 {
 
 /// Uniform draw on `[0, n)` by bit-length rejection, matching
 /// [`uniform_below`](crate::uniform_below).
-fn uniform_below_u128(n: u128, src: &mut dyn ByteSource) -> u128 {
+pub(crate) fn uniform_below_u128(n: u128, src: &mut dyn ByteSource) -> u128 {
     debug_assert!(n > 0);
     let bits = 128 - n.leading_zeros();
     loop {

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bernoulli;
 mod direct;
 mod gaussian;
@@ -45,6 +46,10 @@ mod laplace;
 pub mod pmf;
 mod uniform;
 
+pub use batch::{
+    discrete_gaussian_many, discrete_gaussian_many_into, discrete_laplace_many,
+    discrete_laplace_many_into, uniform_below_many, uniform_below_many_into,
+};
 pub use bernoulli::{bernoulli, bernoulli_exp_neg, bernoulli_exp_neg_unit};
 pub use direct::{FusedGaussian, FusedLaplace};
 pub use gaussian::{discrete_gaussian, discrete_gaussian_shifted, gaussian_loop};

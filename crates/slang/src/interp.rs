@@ -84,6 +84,31 @@ pub trait Interp: 'static {
     fn map<T: Value, U: Value>(m: Self::Repr<T>, f: impl Fn(&T) -> U + 'static) -> Self::Repr<U> {
         Self::bind(m, move |t| Self::pure(f(t)))
     }
+
+    /// Sequences `m` `n` times, collecting the results in draw order.
+    /// **Derived**, like [`map`](Self::map): the default is the left fold
+    /// of `bind`/`map` that appends one element per step, and any override
+    /// must denote the same function — `m` run exactly `n` times, in
+    /// order, against the same byte stream. Interpreters may only fuse
+    /// away the intermediate accumulator programs (the
+    /// [`Sampling`](crate::Sampling) override collects into one pre-sized
+    /// buffer, O(1) amortized per element per draw, where the fold clones
+    /// the accumulated prefix at every element — O(n²) per draw).
+    fn replicate<T: Value>(n: usize, m: Self::Repr<T>) -> Self::Repr<Vec<T>> {
+        let mut acc: Self::Repr<Vec<T>> = Self::pure(Vec::new());
+        for _ in 0..n {
+            let m = m.clone();
+            acc = Self::bind(acc, move |v| {
+                let v = v.clone();
+                Self::map(m.clone(), move |t| {
+                    let mut v2 = v.clone();
+                    v2.push(t.clone());
+                    v2
+                })
+            });
+        }
+        acc
+    }
 }
 
 /// Functorial map, derived from `bind` and `pure`.
@@ -122,18 +147,9 @@ pub fn pair<I: Interp, T: Value, U: Value>(a: I::Repr<T>, b: I::Repr<U>) -> I::R
 }
 
 /// Sequences a computation `n` times, collecting results.
+///
+/// Delegates to [`Interp::replicate`], so the executable interpreter's
+/// fused batch collection applies wherever this combinator is used.
 pub fn replicate<I: Interp, T: Value>(n: usize, m: I::Repr<T>) -> I::Repr<Vec<T>> {
-    let mut acc: I::Repr<Vec<T>> = I::pure(Vec::new());
-    for _ in 0..n {
-        let m = m.clone();
-        acc = I::bind(acc, move |v| {
-            let v = v.clone();
-            map::<I, _, _>(m.clone(), move |t| {
-                let mut v2 = v.clone();
-                v2.push(t.clone());
-                v2
-            })
-        });
-    }
-    acc
+    I::replicate(n, m)
 }

@@ -57,7 +57,8 @@ pub use mass::{
 };
 pub use sampling::{SLang, Sampling};
 pub use source::{
-    ByteSource, CountingByteSource, CyclicByteSource, OsByteSource, SeededByteSource,
+    BufferedByteSource, ByteSource, CountingByteSource, CyclicByteSource, OsByteSource,
+    SeededByteSource,
 };
 pub use subpmf::{SubPmf, Value};
 pub use weight::Weight;

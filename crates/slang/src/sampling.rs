@@ -61,9 +61,39 @@ impl<T: Value> SLang<T> {
         (self.0)(src)
     }
 
+    /// Draws `n` independent samples, appending them to `out`.
+    ///
+    /// The allocation-aware batch primitive: the program (and its closure
+    /// tree) is walked per draw exactly as [`run`](Self::run) does, but the
+    /// output buffer is reserved once up front and can be reused across
+    /// batches, and the whole batch draws through the single reborrowed
+    /// byte cursor instead of re-entering the serving loop per sample. The
+    /// consumed byte stream is identical to `n` sequential `run` calls
+    /// (pinned by tests), so batching is distribution- and
+    /// entropy-invariant.
+    ///
+    /// Pair a byte-hungry batch with a block-buffered source so refills
+    /// amortize across the batch as well:
+    /// [`OsByteSource`](crate::OsByteSource)/[`SeededByteSource`](crate::SeededByteSource)
+    /// already are, and a custom source with a block-efficient
+    /// [`ByteSource::fill`] can be fronted by
+    /// [`BufferedByteSource`](crate::BufferedByteSource).
+    pub fn run_into(&self, n: usize, src: &mut dyn ByteSource, out: &mut Vec<T>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push((self.0)(src));
+        }
+    }
+
     /// Draws `n` independent samples.
+    ///
+    /// Convenience wrapper over [`run_into`](Self::run_into) that allocates
+    /// a fresh, exactly-sized buffer; serving loops that draw batch after
+    /// batch should call `run_into` with a retained buffer instead.
     pub fn sample_many(&self, n: usize, src: &mut dyn ByteSource) -> Vec<T> {
-        (0..n).map(|_| self.run(src)).collect()
+        let mut out = Vec::new();
+        self.run_into(n, src, &mut out);
+        out
     }
 }
 
@@ -111,13 +141,30 @@ impl Interp for Sampling {
     fn map<T: Value, U: Value>(m: SLang<T>, f: impl Fn(&T) -> U + 'static) -> SLang<U> {
         SLang(Rc::new(move |src| f(&m.run(src))))
     }
+
+    /// Fused replicate: runs `m` `n` times into one pre-sized buffer.
+    ///
+    /// The default bind/map fold denotes the same function but clones the
+    /// accumulated prefix at every element — O(n²) time and allocation
+    /// *per draw*. Here each draw does one allocation and O(1) amortized
+    /// work per element. `m` still runs exactly `n` times in order, so the
+    /// byte stream is unchanged (pinned against the fold by tests).
+    fn replicate<T: Value>(n: usize, m: SLang<T>) -> SLang<Vec<T>> {
+        SLang(Rc::new(move |src| {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(m.run(src));
+            }
+            out
+        }))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::interp::{map, pair, replicate, until};
-    use crate::source::{CyclicByteSource, SeededByteSource};
+    use crate::source::{CountingByteSource, CyclicByteSource, SeededByteSource};
 
     #[test]
     fn pure_ignores_randomness() {
@@ -191,6 +238,62 @@ mod tests {
         let ys = q.sample_many(10, &mut src);
         assert_eq!(xs.len(), 10);
         assert_eq!(ys.len(), 10);
+    }
+
+    /// The batch primitive's contract: same values, same byte stream as
+    /// sequential `run` calls, and the output buffer is appended to.
+    #[test]
+    fn run_into_matches_sequential_runs_bytewise() {
+        // A byte-hungry program: rejection until a byte below 8.
+        let p = until::<Sampling, _>(Sampling::uniform_byte(), |&b| b < 8);
+        let mut seq_src = CountingByteSource::new(SeededByteSource::new(11));
+        let seq: Vec<u8> = (0..500).map(|_| p.run(&mut seq_src)).collect();
+
+        let mut batch_src = CountingByteSource::new(SeededByteSource::new(11));
+        let mut out = vec![0xEEu8]; // pre-existing content must survive
+        p.run_into(500, &mut batch_src, &mut out);
+        assert_eq!(out[0], 0xEE);
+        assert_eq!(&out[1..], &seq[..]);
+        assert_eq!(batch_src.bytes_read(), seq_src.bytes_read());
+    }
+
+    #[test]
+    fn sample_many_matches_sequential_runs_bytewise() {
+        let p = replicate::<Sampling, _>(3, Sampling::uniform_byte());
+        let mut seq_src = CountingByteSource::new(SeededByteSource::new(23));
+        let seq: Vec<Vec<u8>> = (0..100).map(|_| p.run(&mut seq_src)).collect();
+        let mut batch_src = CountingByteSource::new(SeededByteSource::new(23));
+        assert_eq!(p.sample_many(100, &mut batch_src), seq);
+        assert_eq!(batch_src.bytes_read(), seq_src.bytes_read());
+    }
+
+    /// `Interp::replicate` overrides must preserve the fold's byte stream
+    /// and values; pin both against the legacy bind/map fold.
+    #[test]
+    fn replicate_matches_legacy_fold_bytewise() {
+        fn legacy_fold(n: usize, m: SLang<u8>) -> SLang<Vec<u8>> {
+            let mut acc: SLang<Vec<u8>> = Sampling::pure(Vec::new());
+            for _ in 0..n {
+                let m = m.clone();
+                acc = Sampling::bind(acc, move |v| {
+                    let v = v.clone();
+                    map::<Sampling, _, _>(m.clone(), move |t| {
+                        let mut v2 = v.clone();
+                        v2.push(*t);
+                        v2
+                    })
+                });
+            }
+            acc
+        }
+        for n in [0usize, 1, 7, 64] {
+            let hot = replicate::<Sampling, _>(n, Sampling::uniform_byte());
+            let reference = legacy_fold(n, Sampling::uniform_byte());
+            let mut s1 = CountingByteSource::new(SeededByteSource::new(n as u64));
+            let mut s2 = CountingByteSource::new(SeededByteSource::new(n as u64));
+            assert_eq!(hot.run(&mut s1), reference.run(&mut s2), "values at n={n}");
+            assert_eq!(s1.bytes_read(), s2.bytes_read(), "bytes at n={n}");
+        }
     }
 
     #[test]

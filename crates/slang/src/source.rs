@@ -13,7 +13,9 @@
 //! - [`CountingByteSource`]: a wrapper that counts consumed bytes, used to
 //!   regenerate Fig. 6 of the paper (entropy consumption of the samplers),
 //! - [`CyclicByteSource`]: replays a fixed script, for unit-testing exact
-//!   byte-level behaviour of the samplers.
+//!   byte-level behaviour of the samplers,
+//! - [`BufferedByteSource`]: a locally-buffered cursor over any other
+//!   source, amortizing per-call overhead across batched draws.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -28,11 +30,54 @@ use rand::{RngCore, SeedableRng};
 pub trait ByteSource {
     /// Returns the next uniform byte.
     fn next_byte(&mut self) -> u8;
+
+    /// Fills `out` with the next `out.len()` bytes of the stream.
+    ///
+    /// Semantically this **is** `out.len()` calls to
+    /// [`next_byte`](Self::next_byte) — the default does exactly that, and
+    /// any override must deliver the identical stream (pinned by tests for
+    /// the built-in sources). Overriding lets a source serve whole blocks
+    /// without per-byte dispatch ([`OsByteSource`]/[`SeededByteSource`]
+    /// copy straight out of their internal buffers), which is what makes
+    /// the [`BufferedByteSource`] batch cursor an actual amortization
+    /// rather than a pass-through.
+    fn fill(&mut self, out: &mut [u8]) {
+        for b in out.iter_mut() {
+            *b = self.next_byte();
+        }
+    }
 }
 
 impl<S: ByteSource + ?Sized> ByteSource for &mut S {
     fn next_byte(&mut self) -> u8 {
         (**self).next_byte()
+    }
+
+    fn fill(&mut self, out: &mut [u8]) {
+        (**self).fill(out)
+    }
+}
+
+/// Copies from a `[u8; BUF_LEN]`-backed PRG buffer into `out`, refilling
+/// from `refill` as blocks run out — the shared `fill` override of
+/// [`OsByteSource`] and [`SeededByteSource`]. Delivers exactly the bytes
+/// the per-byte path would.
+fn fill_from_buffered(
+    buf: &mut [u8; BUF_LEN],
+    pos: &mut usize,
+    out: &mut [u8],
+    mut refill: impl FnMut(&mut [u8; BUF_LEN]),
+) {
+    let mut done = 0;
+    while done < out.len() {
+        if *pos == BUF_LEN {
+            refill(buf);
+            *pos = 0;
+        }
+        let take = (BUF_LEN - *pos).min(out.len() - done);
+        out[done..done + take].copy_from_slice(&buf[*pos..*pos + take]);
+        *pos += take;
+        done += take;
     }
 }
 
@@ -86,6 +131,11 @@ impl ByteSource for OsByteSource {
         self.pos += 1;
         b
     }
+
+    fn fill(&mut self, out: &mut [u8]) {
+        let rng = &mut self.rng;
+        fill_from_buffered(&mut self.buf, &mut self.pos, out, |buf| rng.fill_bytes(buf));
+    }
 }
 
 /// Deterministic pseudorandom bytes from a fixed seed.
@@ -128,6 +178,11 @@ impl ByteSource for SeededByteSource {
         let b = self.buf[self.pos];
         self.pos += 1;
         b
+    }
+
+    fn fill(&mut self, out: &mut [u8]) {
+        let rng = &mut self.rng;
+        fill_from_buffered(&mut self.buf, &mut self.pos, out, |buf| rng.fill_bytes(buf));
     }
 }
 
@@ -180,6 +235,86 @@ impl<S: ByteSource> ByteSource for CountingByteSource<S> {
     fn next_byte(&mut self) -> u8 {
         self.count += 1;
         self.inner.next_byte()
+    }
+
+    fn fill(&mut self, out: &mut [u8]) {
+        self.count += out.len() as u64;
+        self.inner.fill(out);
+    }
+}
+
+/// A locally-buffered byte cursor over any other source.
+///
+/// Batched serving (`SLang::run_into`, the `*_many` samplers) draws many
+/// bytes back-to-back through a `&mut dyn ByteSource`; this cursor turns
+/// that per-byte virtual dispatch into one [`ByteSource::fill`] call per
+/// block on the inner source. The amortization is real exactly when the
+/// inner source's `fill` is block-efficient — the built-in PRG sources
+/// override it with buffer copies, and a custom FFI/syscall-backed source
+/// should override it with its native block read. For a source that only
+/// implements `next_byte` (inheriting the default per-byte `fill`), the
+/// cursor is a pass-through with an extra copy — wrap nothing you haven't
+/// given a real `fill`.
+///
+/// The *delivered* byte stream is identical to reading the inner source
+/// directly — bytes come out in order, none are dropped — so wrapping is
+/// distribution-invariant. The inner source, however, is consumed in
+/// blocks: up to one block of prefetched bytes is discarded on drop, so
+/// do not wrap metered or entropy-limited sources (or a
+/// [`CountingByteSource`] whose count you want per-draw-exact).
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_slang::{BufferedByteSource, ByteSource, CyclicByteSource};
+/// let mut direct = CyclicByteSource::new(vec![1, 2, 3]);
+/// let mut buffered = BufferedByteSource::new(CyclicByteSource::new(vec![1, 2, 3]));
+/// for _ in 0..10 {
+///     assert_eq!(buffered.next_byte(), direct.next_byte());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct BufferedByteSource<S> {
+    inner: S,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<S: ByteSource> BufferedByteSource<S> {
+    /// Wraps `inner` with the default block size (4096 bytes).
+    pub fn new(inner: S) -> Self {
+        Self::with_block(inner, BUF_LEN)
+    }
+
+    /// Wraps `inner`, refilling `block` bytes at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn with_block(inner: S, block: usize) -> Self {
+        assert!(block > 0, "BufferedByteSource: zero block size");
+        BufferedByteSource {
+            inner,
+            buf: vec![0; block],
+            pos: block,
+        }
+    }
+
+    /// Returns the wrapped source, discarding any prefetched bytes.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ByteSource> ByteSource for BufferedByteSource<S> {
+    fn next_byte(&mut self) -> u8 {
+        if self.pos == self.buf.len() {
+            self.inner.fill(&mut self.buf);
+            self.pos = 0;
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        b
     }
 }
 
@@ -276,6 +411,55 @@ mod tests {
         let mut src = OsByteSource::new();
         let v: Vec<u8> = (0..4096 + 16).map(|_| src.next_byte()).collect();
         assert!(v.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    /// `fill` overrides must deliver exactly the per-byte stream.
+    #[test]
+    fn fill_matches_per_byte_stream() {
+        let mut filled = SeededByteSource::new(5);
+        let mut stepped = SeededByteSource::new(5);
+        // Crosses several internal refill boundaries, with odd offsets.
+        for chunk in [3usize, BUF_LEN - 1, 1, 2 * BUF_LEN, 17] {
+            let mut out = vec![0u8; chunk];
+            filled.fill(&mut out);
+            for (i, &x) in out.iter().enumerate() {
+                assert_eq!(x, stepped.next_byte(), "byte {i} of chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_counts_fills() {
+        let mut src = CountingByteSource::new(SeededByteSource::new(0));
+        let mut out = [0u8; 37];
+        src.fill(&mut out);
+        src.next_byte();
+        assert_eq!(src.bytes_read(), 38);
+    }
+
+    #[test]
+    fn buffered_delivers_identical_stream() {
+        let mut direct = SeededByteSource::new(77);
+        let mut buffered = BufferedByteSource::with_block(SeededByteSource::new(77), 64);
+        for i in 0..1000 {
+            assert_eq!(buffered.next_byte(), direct.next_byte(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn buffered_refills_in_blocks() {
+        let mut src = BufferedByteSource::with_block(
+            CountingByteSource::new(CyclicByteSource::new(vec![9])),
+            16,
+        );
+        src.next_byte();
+        assert_eq!(src.into_inner().bytes_read(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero block size")]
+    fn buffered_rejects_zero_block() {
+        let _ = BufferedByteSource::with_block(CyclicByteSource::new(vec![1]), 0);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Integration test: the batched serving pipeline end-to-end — batched
+//! noise draws, batched mechanism releases, and one vectorized accountant
+//! charge per batch — against the release-at-a-time path it replaces.
+//!
+//! Every equality here is exact (same values, same consumed bytes): the
+//! batched layer is a throughput optimization, not a semantic change.
+
+use sampcert::arith::Nat;
+use sampcert::core::{count_query, Ledger, Private, PureDp, RdpAccountant, Zcdp};
+use sampcert::mechanisms::{answer_workload, histogram_batch, noised_histogram, Bins};
+use sampcert::samplers::{discrete_gaussian, discrete_gaussian_many, LaplaceAlg};
+use sampcert::slang::{CountingByteSource, Sampling, SeededByteSource};
+
+#[test]
+fn batched_draws_are_invisible_to_values_and_entropy() {
+    // σ = 64, the acceptance-bar configuration of BENCH_batch.json.
+    let num = Nat::from(64u64);
+    let den = Nat::one();
+    let prog = discrete_gaussian::<Sampling>(&num, &den, LaplaceAlg::Switched);
+    let mut seq_src = CountingByteSource::new(SeededByteSource::new(2024));
+    let seq: Vec<i64> = (0..1000).map(|_| prog.run(&mut seq_src)).collect();
+
+    let mut batch_src = CountingByteSource::new(SeededByteSource::new(2024));
+    let batch = discrete_gaussian_many(&num, &den, LaplaceAlg::Switched, 1000, &mut batch_src);
+
+    assert_eq!(batch, seq);
+    assert_eq!(batch_src.bytes_read(), seq_src.bytes_read());
+}
+
+#[test]
+fn serving_session_charges_once_per_batch() {
+    // A session serving 3 batches of 200 noised counts each, metered
+    // against the same budget arithmetic as 600 individual charges.
+    let query: Private<Zcdp, u8, i64> = Private::noised_query(&count_query(), 1, 8);
+    let db = vec![0u8; 50];
+    let mut src = SeededByteSource::new(7);
+
+    let mut batched_ledger: Ledger<Zcdp> = Ledger::new(10.0);
+    let mut individual_ledger: Ledger<Zcdp> = Ledger::new(10.0);
+    for round in 0..3 {
+        let batch = query.run_batch(&db, 200, &mut src);
+        batch
+            .charge(&mut batched_ledger, format!("round-{round}"))
+            .expect("budget covers the session");
+        for _ in 0..batch.len() {
+            individual_ledger
+                .charge(format!("round-{round}"), query.gamma())
+                .expect("budget covers the session");
+        }
+    }
+    assert_eq!(batched_ledger.entries().len(), 3);
+    assert_eq!(individual_ledger.entries().len(), 600);
+    assert!((batched_ledger.spent() - individual_ledger.spent()).abs() < 1e-12);
+    assert!((batched_ledger.remaining() - individual_ledger.remaining()).abs() < 1e-12);
+}
+
+#[test]
+fn vectorized_rdp_matches_per_release_accounting() {
+    // 600 σ/Δ = 8 Gaussian releases: one vectorized charge equals the
+    // per-release loop on the whole curve and in the (ε, δ) conversion.
+    let mut vectorized = RdpAccountant::with_default_orders();
+    vectorized.add_gaussian_n(8.0, 600);
+    let mut looped = RdpAccountant::with_default_orders();
+    for _ in 0..600 {
+        looped.add_gaussian(8.0);
+    }
+    for ((a, ev), (_, el)) in vectorized.curve().zip(looped.curve()) {
+        assert!((ev - el).abs() <= 1e-12 * el.max(1.0), "alpha={a}");
+    }
+    let (eps_v, _) = vectorized.epsilon(1e-6);
+    let (eps_l, _) = looped.epsilon(1e-6);
+    assert!((eps_v - eps_l).abs() < 1e-9);
+}
+
+#[test]
+fn batched_histogram_serves_the_compositional_distribution() {
+    let bins = Bins::new(8, |v: &u32| (*v as usize) % 8);
+    let db: Vec<u32> = (0..500).map(|i| i * 7 % 100).collect();
+    let compositional = noised_histogram::<PureDp, u32>(&bins, 4, 1);
+
+    let mut seq_src = CountingByteSource::new(SeededByteSource::new(99));
+    let mut batch_src = CountingByteSource::new(SeededByteSource::new(99));
+    for _ in 0..10 {
+        assert_eq!(
+            compositional.run(&db, &mut seq_src),
+            histogram_batch::<PureDp, u32>(&bins, 4, 1, &db, &mut batch_src)
+        );
+        assert_eq!(seq_src.bytes_read(), batch_src.bytes_read());
+    }
+}
+
+#[test]
+fn workload_batch_fits_ledger_or_leaves_it_untouched() {
+    let workload: Vec<_> = (0..20)
+        .map(|i| sampcert::core::Query::new(format!("count-{i}"), 1, |db: &[u8]| db.len() as i64))
+        .collect();
+    let mut src = SeededByteSource::new(12);
+    let batch = answer_workload::<PureDp, u8>(&workload, 1, 2, &[1, 2, 3], &mut src);
+    assert_eq!(batch.len(), 20);
+
+    // Budget 5: a 20 × ε/2 = 10 workload must be refused atomically.
+    let mut tight: Ledger<PureDp> = Ledger::new(5.0);
+    let err = batch.charge(&mut tight, "workload").unwrap_err();
+    assert!(err.remaining >= 0.0);
+    assert_eq!(tight.entries().len(), 0);
+    assert_eq!(tight.spent(), 0.0);
+
+    // Budget 10 admits it exactly.
+    let mut ample: Ledger<PureDp> = Ledger::new(10.0);
+    batch.charge(&mut ample, "workload").unwrap();
+    assert!((ample.spent() - 10.0).abs() < 1e-9);
+}
