@@ -1,0 +1,659 @@
+//! Dyadic rationals: exact arithmetic on a power-of-two denominator
+//! lattice, with **shift-only** normalization.
+//!
+//! [`Dyadic`] represents `± m · 2^e` with an odd mantissa `m` (a [`Nat`])
+//! and a signed exponent `e`. Every operation keeps the representation
+//! canonical by shifting trailing zero bits out of the mantissa — there is
+//! **no gcd anywhere** in this module's arithmetic, which is the point:
+//! the privacy accountant's charge path (`add`, `mul`, `cmp`,
+//! small-integer scaling) composes budgets exactly without ever paying the
+//! rational reduction that dominates a [`Rat`]-based ledger. Tests pin
+//! this with the debug-mode [`gcd_call_count`](crate::gcd_call_count)
+//! counter.
+//!
+//! # Rounding contract
+//!
+//! Not every value is dyadic (`1/3` is not), and `f64` inputs below the
+//! lattice floor [`Dyadic::MIN_EXP`] are quantized — so the constructors
+//! come in *directed* pairs with a conservative-accounting orientation:
+//!
+//! - [`Dyadic::from_f64_ceil`] / [`Dyadic::from_rat_ceil`] round **up**:
+//!   use them for *charges*, so the exact ledger never under-counts
+//!   spending;
+//! - [`Dyadic::from_f64_floor`] / [`Dyadic::from_rat_floor`] round
+//!   **down**: use them for *budgets*, so the exact ledger never grants
+//!   more than the stated allowance.
+//!
+//! Both directions are exact whenever the input is representable on the
+//! lattice (for `f64`, whenever the value's least significant bit sits at
+//! or above `2^MIN_EXP` — which covers every realistic privacy parameter);
+//! the bracketing law `floor ≤ x ≤ ceil` holds always.
+//!
+//! # Example
+//!
+//! ```
+//! use sampcert_arith::{Dyadic, Rat};
+//!
+//! let eighth = Dyadic::from_f64_ceil(0.125); // exactly 1·2^-3
+//! let three_eighths = &eighth + &(&eighth + &eighth);
+//! assert_eq!(three_eighths.to_rat(), Rat::from_ratio(3, 8));
+//! assert_eq!(three_eighths.to_string(), "0.375");
+//! ```
+
+use crate::{Int, Nat, Rat};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// An exact dyadic rational `± mantissa · 2^exponent` with odd mantissa.
+///
+/// The canonical form (odd mantissa, and `+0 · 2^0` for zero) makes the
+/// derived equality and hashing value equality. All arithmetic is exact
+/// and gcd-free; see the [module docs](self) for the rounding contract of
+/// the lossy constructors.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dyadic {
+    /// Sign; `false` for zero.
+    neg: bool,
+    /// Odd mantissa (zero only for the value zero).
+    mant: Nat,
+    /// Power-of-two exponent (zero for the value zero).
+    exp: i64,
+}
+
+impl Dyadic {
+    /// Lattice floor for directed `f64` conversion: inputs whose least
+    /// significant bit lies below `2^MIN_EXP` are quantized onto the
+    /// `2^MIN_EXP` grid (up or down per the chosen direction).
+    ///
+    /// The floor bounds mantissa growth in long-running ledgers: the
+    /// mantissa of any sum of converted charges spans at most
+    /// `log₂(total) − MIN_EXP` bits (a few limbs for any realistic
+    /// budget), so exact accounting stays word-cheap forever. At `2^-127`
+    /// (≈ 5.9·10⁻³⁹) the quantization is far below any meaningful privacy
+    /// resolution and conservative in direction by construction.
+    pub const MIN_EXP: i64 = -127;
+
+    /// The dyadic zero.
+    pub fn zero() -> Self {
+        Dyadic {
+            neg: false,
+            mant: Nat::zero(),
+            exp: 0,
+        }
+    }
+
+    /// The dyadic one.
+    pub fn one() -> Self {
+        Dyadic {
+            neg: false,
+            mant: Nat::one(),
+            exp: 0,
+        }
+    }
+
+    /// Canonicalizes `± mant · 2^exp` by shifting out trailing zeros.
+    fn normalized(neg: bool, mant: Nat, exp: i64) -> Self {
+        if mant.is_zero() {
+            return Dyadic::zero();
+        }
+        let tz = mant.trailing_zeros();
+        let shift = u32::try_from(tz).expect("dyadic mantissa beyond 2^32 bits");
+        Dyadic {
+            neg,
+            mant: &mant >> shift,
+            exp: exp + tz as i64,
+        }
+    }
+
+    /// Creates `mant · 2^exp` from a signed integer mantissa.
+    ///
+    /// ```
+    /// use sampcert_arith::{Dyadic, Int};
+    /// assert_eq!(Dyadic::new(Int::from(-12i64), -2).to_string(), "-3");
+    /// ```
+    pub fn new(mant: Int, exp: i64) -> Self {
+        Dyadic::normalized(mant.is_negative(), mant.magnitude().clone(), exp)
+    }
+
+    /// The odd mantissa (zero for the value zero).
+    pub fn mantissa(&self) -> &Nat {
+        &self.mant
+    }
+
+    /// The power-of-two exponent (zero for the value zero).
+    pub fn exponent(&self) -> i64 {
+        self.exp
+    }
+
+    /// Returns `true` when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mant.is_zero()
+    }
+
+    /// Returns `true` when the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// Sign as `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        if self.mant.is_zero() {
+            0
+        } else if self.neg {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Dyadic {
+        Dyadic {
+            neg: false,
+            ..self.clone()
+        }
+    }
+
+    /// Multiplies by a machine-word count — the vectorized ledger charge
+    /// `n · γ`, exactly equal to folding `n` additions (and, like them,
+    /// gcd-free).
+    pub fn mul_u64(&self, n: u64) -> Dyadic {
+        Dyadic::normalized(self.neg, self.mant.mul_u64(n), self.exp)
+    }
+
+    /// `max(self − other, 0)`: the exact "remaining budget" subtraction.
+    pub fn saturating_sub(&self, other: &Dyadic) -> Dyadic {
+        let d = self - other;
+        if d.is_negative() {
+            Dyadic::zero()
+        } else {
+            d
+        }
+    }
+
+    /// Exact conversion to a rational (always possible; never lossy).
+    ///
+    /// Not part of the charge path: building the [`Rat`] runs its usual
+    /// lowest-terms constructor.
+    pub fn to_rat(&self) -> Rat {
+        if self.exp >= 0 {
+            let shift = u32::try_from(self.exp).expect("dyadic exponent beyond 2^32 bits");
+            Rat::from_int(Int::from_sign_mag(self.neg, &self.mant << shift))
+        } else {
+            let shift = u32::try_from(-self.exp).expect("dyadic exponent beyond 2^32 bits");
+            Rat::new(
+                Int::from_sign_mag(self.neg, self.mant.clone()),
+                Nat::one() << shift,
+            )
+        }
+    }
+
+    /// Exact conversion from a rational, when the rational is dyadic
+    /// (its denominator is a power of two); `None` otherwise.
+    ///
+    /// ```
+    /// use sampcert_arith::{Dyadic, Rat};
+    /// assert!(Dyadic::try_from_rat(&Rat::from_ratio(3, 8)).is_some());
+    /// assert!(Dyadic::try_from_rat(&Rat::from_ratio(1, 3)).is_none());
+    /// ```
+    pub fn try_from_rat(r: &Rat) -> Option<Dyadic> {
+        let den = r.denom();
+        let tz = den.trailing_zeros();
+        let shift = u32::try_from(tz).expect("denominator beyond 2^32 bits");
+        if !(den >> shift).is_one() {
+            return None;
+        }
+        Some(Dyadic::normalized(
+            r.is_negative(),
+            r.numer().magnitude().clone(),
+            -(tz as i64),
+        ))
+    }
+
+    /// The greatest multiple of `2^-frac_bits` that is `≤ r` (round
+    /// toward −∞) — the budget-direction rational conversion.
+    pub fn from_rat_floor(r: &Rat, frac_bits: u32) -> Dyadic {
+        let scaled = Int::from_sign_mag(r.is_negative(), r.numer().magnitude() << frac_bits);
+        let (q, _) = scaled.div_rem_euclid(&Int::from_nat(r.denom().clone()));
+        Dyadic::new(q, -(frac_bits as i64))
+    }
+
+    /// The least multiple of `2^-frac_bits` that is `≥ r` (round toward
+    /// +∞) — the charge-direction rational conversion.
+    pub fn from_rat_ceil(r: &Rat, frac_bits: u32) -> Dyadic {
+        -Dyadic::from_rat_floor(&-r, frac_bits)
+    }
+
+    /// Splits a strictly positive finite `f64` into `(mantissa, exponent)`
+    /// with `value = mantissa · 2^exponent` exactly.
+    fn decompose_f64(x: f64) -> (u64, i64) {
+        debug_assert!(x.is_finite() && x > 0.0);
+        let bits = x.to_bits();
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        if biased == 0 {
+            (frac, -1074) // subnormal
+        } else {
+            (frac | (1 << 52), biased - 1075)
+        }
+    }
+
+    /// Quantizes a positive decomposed `f64` onto the `2^MIN_EXP` lattice,
+    /// rounding the mantissa down (`ceil = false`) or up (`ceil = true`).
+    fn quantize_positive(m: u64, e: i64, ceil: bool) -> Dyadic {
+        if e >= Dyadic::MIN_EXP {
+            return Dyadic::normalized(false, Nat::from(m), e);
+        }
+        let shift = (Dyadic::MIN_EXP - e) as u64;
+        let (q, exact) = if shift >= 64 {
+            (0u64, m == 0)
+        } else {
+            let q = m >> shift;
+            (q, q << shift == m)
+        };
+        let q = if !exact && ceil { q + 1 } else { q };
+        Dyadic::normalized(false, Nat::from(q), Dyadic::MIN_EXP)
+    }
+
+    /// The greatest lattice value `≤ x` (round toward −∞): the
+    /// **budget-direction** conversion, so a converted budget never grants
+    /// more than `x`. Exact (`floor = ceil = x`) whenever `x` is
+    /// representable on the [`MIN_EXP`](Self::MIN_EXP) lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or infinite.
+    pub fn from_f64_floor(x: f64) -> Dyadic {
+        assert!(x.is_finite(), "dyadic conversion of non-finite {x}");
+        if x == 0.0 {
+            Dyadic::zero()
+        } else if x < 0.0 {
+            -Dyadic::from_f64_ceil(-x)
+        } else {
+            let (m, e) = Dyadic::decompose_f64(x);
+            Dyadic::quantize_positive(m, e, false)
+        }
+    }
+
+    /// The least lattice value `≥ x` (round toward +∞): the
+    /// **charge-direction** conversion, so a converted charge never
+    /// under-counts `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or infinite.
+    pub fn from_f64_ceil(x: f64) -> Dyadic {
+        assert!(x.is_finite(), "dyadic conversion of non-finite {x}");
+        if x == 0.0 {
+            Dyadic::zero()
+        } else if x < 0.0 {
+            -Dyadic::from_f64_floor(-x)
+        } else {
+            let (m, e) = Dyadic::decompose_f64(x);
+            Dyadic::quantize_positive(m, e, true)
+        }
+    }
+
+    /// Approximates as `f64` (a few ulps for huge mantissas; exact when
+    /// the mantissa fits the `f64` mantissa and the exponent is in range).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        // Pre-scale so the mantissa conversion keeps ~100 significant bits.
+        let drop = (self.mant.bit_length() as i64 - 100).max(0) as u32;
+        let m = (&self.mant >> drop).to_f64();
+        let e = self.exp + drop as i64;
+        let v = m * 2f64.powi(e.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+        if self.neg {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Compares magnitudes (ignoring signs).
+    fn cmp_mag(&self, other: &Dyadic) -> Ordering {
+        // The top bit of `m·2^e` sits at `bit_length + e`; different
+        // positions decide without any shifting.
+        let ta = self.mant.bit_length() as i64 + self.exp;
+        let tb = other.mant.bit_length() as i64 + other.exp;
+        if ta != tb {
+            return ta.cmp(&tb);
+        }
+        let e = self.exp.min(other.exp);
+        let sa = u32::try_from(self.exp - e).expect("dyadic exponent gap beyond 2^32 bits");
+        let sb = u32::try_from(other.exp - e).expect("dyadic exponent gap beyond 2^32 bits");
+        (&self.mant << sa).cmp(&(&other.mant << sb))
+    }
+}
+
+impl Default for Dyadic {
+    fn default() -> Self {
+        Dyadic::zero()
+    }
+}
+
+impl From<u64> for Dyadic {
+    fn from(v: u64) -> Self {
+        Dyadic::normalized(false, Nat::from(v), 0)
+    }
+}
+
+impl From<i64> for Dyadic {
+    fn from(v: i64) -> Self {
+        Dyadic::normalized(v < 0, Nat::from(v.unsigned_abs()), 0)
+    }
+}
+
+impl Add for &Dyadic {
+    type Output = Dyadic;
+    /// Exact addition: align exponents by a left shift, add or subtract
+    /// mantissas, shift trailing zeros back out. No gcd, ever.
+    fn add(self, rhs: &Dyadic) -> Dyadic {
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        let e = self.exp.min(rhs.exp);
+        let sa = u32::try_from(self.exp - e).expect("dyadic exponent gap beyond 2^32 bits");
+        let sb = u32::try_from(rhs.exp - e).expect("dyadic exponent gap beyond 2^32 bits");
+        let ma = &self.mant << sa;
+        let mb = &rhs.mant << sb;
+        if self.neg == rhs.neg {
+            return Dyadic::normalized(self.neg, &ma + &mb, e);
+        }
+        match ma.cmp(&mb) {
+            Ordering::Equal => Dyadic::zero(),
+            Ordering::Greater => Dyadic::normalized(self.neg, &ma - &mb, e),
+            Ordering::Less => Dyadic::normalized(rhs.neg, &mb - &ma, e),
+        }
+    }
+}
+
+impl Add for Dyadic {
+    type Output = Dyadic;
+    fn add(self, rhs: Dyadic) -> Dyadic {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Dyadic> for Dyadic {
+    fn add_assign(&mut self, rhs: &Dyadic) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Dyadic {
+    type Output = Dyadic;
+    fn sub(self, rhs: &Dyadic) -> Dyadic {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Dyadic {
+    type Output = Dyadic;
+    fn sub(self, rhs: Dyadic) -> Dyadic {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Dyadic> for Dyadic {
+    fn sub_assign(&mut self, rhs: &Dyadic) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Dyadic {
+    type Output = Dyadic;
+    /// Exact multiplication; odd × odd is odd, so the product is already
+    /// canonical with no normalization shift at all.
+    fn mul(self, rhs: &Dyadic) -> Dyadic {
+        if self.is_zero() || rhs.is_zero() {
+            return Dyadic::zero();
+        }
+        let mant = &self.mant * &rhs.mant;
+        debug_assert!(!mant.is_even(), "odd×odd must be odd");
+        Dyadic {
+            neg: self.neg != rhs.neg,
+            mant,
+            exp: self.exp + rhs.exp,
+        }
+    }
+}
+
+impl Mul for Dyadic {
+    type Output = Dyadic;
+    fn mul(self, rhs: Dyadic) -> Dyadic {
+        &self * &rhs
+    }
+}
+
+impl Neg for &Dyadic {
+    type Output = Dyadic;
+    fn neg(self) -> Dyadic {
+        if self.is_zero() {
+            return Dyadic::zero();
+        }
+        Dyadic {
+            neg: !self.neg,
+            ..self.clone()
+        }
+    }
+}
+
+impl Neg for Dyadic {
+    type Output = Dyadic;
+    fn neg(self) -> Dyadic {
+        -&self
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (sa, sb) = (self.signum(), other.signum());
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        match sa {
+            0 => Ordering::Equal,
+            s if s > 0 => self.cmp_mag(other),
+            _ => other.cmp_mag(self),
+        }
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Dyadic {
+    /// Exact finite decimal: every dyadic `m·2^-k` equals
+    /// `m·5^k / 10^k`, so the expansion terminates — budget-exceeded
+    /// errors can report the exact requested/remaining values with no
+    /// rounding at all.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let sign = if self.neg { "-" } else { "" };
+        if self.exp >= 0 {
+            let shift = u32::try_from(self.exp).expect("dyadic exponent beyond 2^32 bits");
+            return write!(f, "{sign}{}", &self.mant << shift);
+        }
+        let k = u32::try_from(-self.exp).expect("dyadic exponent beyond 2^32 bits");
+        let digits = (&self.mant * &Nat::from(5u64).pow(k)).to_string();
+        let k = k as usize;
+        if digits.len() > k {
+            let (int, frac) = digits.split_at(digits.len() - k);
+            write!(f, "{sign}{int}.{frac}")
+        } else {
+            write!(f, "{sign}0.{}{digits}", "0".repeat(k - digits.len()))
+        }
+    }
+}
+
+impl fmt::Debug for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("Dyadic(0)");
+        }
+        let sign = if self.neg { "-" } else { "" };
+        write!(f, "Dyadic({sign}{}*2^{})", self.mant, self.exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(m: i64, e: i64) -> Dyadic {
+        Dyadic::new(Int::from(m), e)
+    }
+
+    #[test]
+    fn canonical_form() {
+        let x = d(24, -3); // 24/8 = 3
+        assert_eq!(x.mantissa(), &Nat::from(3u64));
+        assert_eq!(x.exponent(), 0);
+        assert_eq!(d(0, 17), Dyadic::zero());
+        assert_eq!(Dyadic::zero().exponent(), 0);
+        assert!(!Dyadic::zero().is_negative());
+    }
+
+    #[test]
+    fn field_ops_exact() {
+        let half = d(1, -1);
+        let three_quarters = d(3, -2);
+        assert_eq!(&half + &three_quarters, d(5, -2));
+        assert_eq!(&half - &three_quarters, d(-1, -2));
+        assert_eq!(&half * &three_quarters, d(3, -3));
+        assert_eq!(-&half, d(-1, -1));
+        assert_eq!(&half + &d(-1, -1), Dyadic::zero());
+        assert_eq!(half.mul_u64(6), d(3, 0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(d(1, -2) < d(1, -1));
+        assert!(d(-1, -1) < d(-1, -2));
+        assert!(d(-5, 3) < Dyadic::zero());
+        assert!(d(3, 0) > d(5, -1));
+        assert_eq!(d(4, -2).cmp(&d(1, 0)), Ordering::Equal);
+        // Equal top-bit positions, different values: forces the aligned
+        // mantissa comparison.
+        assert!(d(5, -2) > d(9, -3));
+    }
+
+    #[test]
+    fn rat_roundtrip_exact() {
+        for (m, e) in [(3i64, -5i64), (-7, 2), (1, 0), (255, -8), (-1, -60)] {
+            let x = d(m, e);
+            let back = Dyadic::try_from_rat(&x.to_rat()).expect("dyadic rat");
+            assert_eq!(back, x, "{m}*2^{e}");
+        }
+        assert!(Dyadic::try_from_rat(&Rat::from_ratio(1, 3)).is_none());
+        assert!(Dyadic::try_from_rat(&Rat::from_ratio(5, 6)).is_none());
+        assert_eq!(
+            Dyadic::try_from_rat(&Rat::from_ratio(0, 7)),
+            Some(Dyadic::zero())
+        );
+    }
+
+    #[test]
+    fn rat_directed_rounding_brackets() {
+        let third = Rat::from_ratio(1, 3);
+        let lo = Dyadic::from_rat_floor(&third, 8);
+        let hi = Dyadic::from_rat_ceil(&third, 8);
+        assert!(lo.to_rat() < third && third < hi.to_rat());
+        assert_eq!(&hi - &lo, d(1, -8));
+        // Negative operand: floor moves toward −∞.
+        let neg = -&third;
+        let nlo = Dyadic::from_rat_floor(&neg, 8);
+        let nhi = Dyadic::from_rat_ceil(&neg, 8);
+        assert!(nlo.to_rat() < neg && neg < nhi.to_rat());
+        // Representable values convert exactly in both directions.
+        let r = Rat::from_ratio(5, 16);
+        assert_eq!(Dyadic::from_rat_floor(&r, 8), Dyadic::from_rat_ceil(&r, 8));
+        assert_eq!(Dyadic::from_rat_floor(&r, 8).to_rat(), r);
+    }
+
+    #[test]
+    fn f64_conversion_exact_on_lattice() {
+        for x in [0.0, 0.5, -0.75, 1.0, 123456.0, 0.1, 1e-12, 1e30] {
+            let lo = Dyadic::from_f64_floor(x);
+            let hi = Dyadic::from_f64_ceil(x);
+            assert!(lo.to_f64() <= x && x <= hi.to_f64(), "{x}");
+            // Every f64 with lsb ≥ 2^MIN_EXP is exactly representable.
+            assert_eq!(lo, hi, "{x}");
+        }
+        assert_eq!(Dyadic::from_f64_ceil(0.125), d(1, -3));
+        assert_eq!(Dyadic::from_f64_floor(-2.5), d(-5, -1));
+    }
+
+    #[test]
+    fn f64_conversion_quantizes_below_lattice() {
+        let tiny = 2f64.powi(-300);
+        let lo = Dyadic::from_f64_floor(tiny);
+        let hi = Dyadic::from_f64_ceil(tiny);
+        assert_eq!(lo, Dyadic::zero());
+        assert_eq!(hi, d(1, Dyadic::MIN_EXP));
+        assert!(lo.to_f64() <= tiny && tiny <= hi.to_f64());
+        // Negative mirror: directions flip.
+        assert_eq!(Dyadic::from_f64_ceil(-tiny), Dyadic::zero());
+        assert_eq!(Dyadic::from_f64_floor(-tiny), d(-1, Dyadic::MIN_EXP));
+        // Partially representable: lsb below the lattice, top bit above it
+        // (note 1.0 + 2^-140 would just round to 1.0 inside the f64).
+        let x = 2f64.powi(-100) + 2f64.powi(-140);
+        let lo = Dyadic::from_f64_floor(x);
+        let hi = Dyadic::from_f64_ceil(x);
+        assert_eq!(lo, d(1, -100));
+        assert_eq!(&hi - &lo, d(1, Dyadic::MIN_EXP));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = Dyadic::from_f64_ceil(f64::NAN);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(d(3, -1).saturating_sub(&d(1, -1)), d(1, 0));
+        assert_eq!(d(1, -1).saturating_sub(&d(3, -1)), Dyadic::zero());
+    }
+
+    #[test]
+    fn display_is_exact_decimal() {
+        assert_eq!(d(3, -2).to_string(), "0.75");
+        assert_eq!(d(-3, -2).to_string(), "-0.75");
+        assert_eq!(d(5, 2).to_string(), "20");
+        assert_eq!(d(1, -7).to_string(), "0.0078125");
+        assert_eq!(Dyadic::zero().to_string(), "0");
+        assert_eq!(format!("{:?}", d(-3, -2)), "Dyadic(-3*2^-2)");
+    }
+
+    #[test]
+    fn display_roundtrips_through_rat() {
+        // The printed decimal re-parses (as a fraction over 10^k) to the
+        // same exact value.
+        for (m, e) in [(123i64, -9i64), (-5, -11), (7, 4)] {
+            let x = d(m, e);
+            let s = x.to_string();
+            let parsed: Rat = match s.split_once('.') {
+                None => s.parse().expect("integer"),
+                Some((int, frac)) => {
+                    let scale = Nat::from(10u64).pow(frac.len() as u32);
+                    let whole: Rat = format!("{int}{frac}").parse().expect("digits");
+                    whole * Rat::new(Int::one(), scale)
+                }
+            };
+            assert_eq!(parsed, x.to_rat(), "{s}");
+        }
+    }
+}

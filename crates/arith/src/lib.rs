@@ -1,7 +1,9 @@
 //! # sampcert-arith
 //!
 //! Arbitrary-precision exact arithmetic: [`Nat`] (naturals), [`Int`]
-//! (integers) and [`Rat`] (rationals in lowest terms).
+//! (integers), [`Rat`] (rationals in lowest terms) and [`Dyadic`]
+//! (rationals on the power-of-two lattice, normalized by shifts alone —
+//! the gcd-free substrate of the exact privacy ledger).
 //!
 //! This crate is the numeric substrate of the SampCert reproduction. The
 //! paper's discrete Laplace and Gaussian samplers (Canonne, Kamath & Steinke,
@@ -56,10 +58,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dyadic;
 mod int;
 mod nat;
 mod rat;
 
+pub use dyadic::Dyadic;
 pub use int::Int;
-pub use nat::{Nat, ParseNatError};
+pub use nat::{gcd_call_count, Nat, ParseNatError};
 pub use rat::{ParseRatError, Rat};

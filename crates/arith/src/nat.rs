@@ -251,11 +251,51 @@ fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
 }
 
 /// Euclid's algorithm on machine words (shared with `Rat::from_ratio`).
-pub(crate) fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+pub(crate) fn gcd_u64(a: u64, b: u64) -> u64 {
+    note_gcd_call();
+    gcd_u64_inner(a, b)
+}
+
+/// [`gcd_u64`] without the counter bump, for use inside [`Nat::gcd`]
+/// (which already counted its own invocation).
+fn gcd_u64_inner(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
         (a, b) = (b, a % b);
     }
     a
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Per-thread count of gcd invocations; see [`gcd_call_count`].
+    static GCD_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Bumps the per-thread gcd counter (debug builds only; free in release).
+#[inline]
+fn note_gcd_call() {
+    #[cfg(debug_assertions)]
+    GCD_CALLS.with(|c| c.set(c.get() + 1));
+}
+
+/// Number of gcd invocations ([`Nat::gcd`] or the internal word-sized
+/// Euclid used by `Rat::from_ratio`) performed by the **current thread**
+/// since it started.
+///
+/// Only counts in debug builds — release builds always report `0`, so the
+/// counter costs nothing on the sampler hot paths. Tests use snapshots of
+/// this counter to prove that gcd-free code paths (the `Dyadic` budget
+/// lattice in particular) really perform no reductions; such tests must be
+/// gated on `cfg(debug_assertions)`.
+pub fn gcd_call_count() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        GCD_CALLS.with(|c| c.get())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
 }
 
 impl Nat {
@@ -365,6 +405,27 @@ impl Nat {
             Repr::Big(v) => {
                 let top = v[v.len() - 1];
                 (v.len() as u64 - 1) * LIMB_BITS as u64 + (LIMB_BITS - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Number of trailing zero bits; zero has zero trailing zeros (by the
+    /// convention that makes `n >> n.trailing_zeros()` total).
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(24u64).trailing_zeros(), 3);
+    /// assert_eq!(Nat::from(1u64).trailing_zeros(), 0);
+    /// assert_eq!(Nat::zero().trailing_zeros(), 0);
+    /// ```
+    pub fn trailing_zeros(&self) -> u64 {
+        match &self.repr {
+            Repr::Small(0) => 0,
+            Repr::Small(v) => v.trailing_zeros() as u64,
+            Repr::Big(v) => {
+                // Invariant: some limb is nonzero.
+                let i = v.iter().position(|&l| l != 0).expect("normalized Big");
+                i as u64 * LIMB_BITS as u64 + v[i].trailing_zeros() as u64
             }
         }
     }
@@ -736,9 +797,10 @@ impl Nat {
     /// assert_eq!(Nat::from(5u64).gcd(&Nat::zero()), Nat::from(5u64));
     /// ```
     pub fn gcd(&self, other: &Nat) -> Nat {
+        note_gcd_call();
         if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
             return Nat {
-                repr: Repr::Small(gcd_u64(*a, *b)),
+                repr: Repr::Small(gcd_u64_inner(*a, *b)),
             };
         }
         let mut a = self.clone();
@@ -746,7 +808,7 @@ impl Nat {
         while !b.is_zero() {
             if let (Some(x), Some(y)) = (a.to_u64(), b.to_u64()) {
                 return Nat {
-                    repr: Repr::Small(gcd_u64(x, y)),
+                    repr: Repr::Small(gcd_u64_inner(x, y)),
                 };
             }
             let (_, r) = a.div_rem(&b);

@@ -1,0 +1,198 @@
+//! Differential property tests for [`Dyadic`] against the [`Rat`]
+//! reference semantics.
+//!
+//! `Rat` is the trusted exact-arithmetic layer (itself pinned against
+//! `u128` semantics in `properties.rs`), so every dyadic operation is
+//! checked by mapping into it: `to_rat` is a homomorphism for `+`, `−`,
+//! `×`, negation, scaling and comparison, normalization round-trips
+//! through `Rat` losslessly, and the directed `f64`/`Rat` conversions
+//! bracket their inputs. A final (debug-build) property pins the module's
+//! defining claim: dyadic arithmetic never calls a gcd.
+
+use proptest::prelude::*;
+use sampcert_arith::{Dyadic, Int, Nat, Rat};
+
+/// Dyadics over one-or-two-limb mantissas and a wide exponent range —
+/// enough to exercise multi-limb alignment shifts in `add`/`cmp`.
+fn arb_dyadic() -> impl Strategy<Value = Dyadic> {
+    (any::<u64>(), any::<u64>(), any::<bool>(), -300i64..300).prop_map(|(lo, hi, neg, exp)| {
+        let mant = &(&Nat::from(hi) << 64u32) + &Nat::from(lo);
+        Dyadic::new(Int::from_sign_mag(neg, mant), exp)
+    })
+}
+
+/// Finite `f64`s over the full bit pattern space (NaN/∞ re-drawn).
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>()
+        .prop_map(f64::from_bits)
+        .prop_filter("finite", |x| x.is_finite())
+}
+
+/// The exact rational value of a finite `f64` (every finite float is a
+/// dyadic rational, hence exactly representable as a `Rat`).
+fn rat_of_f64(x: f64) -> Rat {
+    if x == 0.0 {
+        return Rat::zero();
+    }
+    let bits = x.abs().to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e) = if biased == 0 {
+        (frac, -1074i64)
+    } else {
+        (frac | (1 << 52), biased - 1075)
+    };
+    let mag = if e >= 0 {
+        Rat::from_int(Int::from_nat(Nat::from(m) << e as u32))
+    } else {
+        Rat::new(Int::from(m), Nat::one() << (-e) as u32)
+    };
+    if x < 0.0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_rat(a in arb_dyadic(), b in arb_dyadic()) {
+        prop_assert_eq!((&a + &b).to_rat(), &a.to_rat() + &b.to_rat());
+    }
+
+    #[test]
+    fn sub_matches_rat(a in arb_dyadic(), b in arb_dyadic()) {
+        prop_assert_eq!((&a - &b).to_rat(), &a.to_rat() - &b.to_rat());
+    }
+
+    #[test]
+    fn mul_matches_rat(a in arb_dyadic(), b in arb_dyadic()) {
+        prop_assert_eq!((&a * &b).to_rat(), &a.to_rat() * &b.to_rat());
+    }
+
+    #[test]
+    fn neg_and_abs_match_rat(a in arb_dyadic()) {
+        prop_assert_eq!((-&a).to_rat(), -&a.to_rat());
+        prop_assert_eq!(a.abs().to_rat(), a.to_rat().abs());
+    }
+
+    #[test]
+    fn cmp_matches_rat(a in arb_dyadic(), b in arb_dyadic()) {
+        prop_assert_eq!(a.cmp(&b), a.to_rat().cmp(&b.to_rat()));
+    }
+
+    #[test]
+    fn scaling_equals_repeated_addition(a in arb_dyadic(), n in 0u64..200) {
+        let mut folded = Dyadic::zero();
+        for _ in 0..n {
+            folded += &a;
+        }
+        prop_assert_eq!(a.mul_u64(n), folded);
+    }
+
+    /// Normalization round-trip: the canonical form survives the trip
+    /// through `Rat` bit-for-bit (odd mantissa, same exponent, same sign).
+    #[test]
+    fn rat_roundtrip_is_identity(a in arb_dyadic()) {
+        let back = Dyadic::try_from_rat(&a.to_rat()).expect("dyadic Rat is dyadic");
+        prop_assert_eq!(&back, &a);
+        prop_assert!(back.mantissa().is_zero() || !back.mantissa().is_even());
+    }
+
+    /// Construction is insensitive to un-normalized input: shifting the
+    /// mantissa up while shifting the exponent down is the same value.
+    #[test]
+    fn normalization_quotients_representations(
+        m in any::<i64>(), e in -200i64..200, extra in 0u32..40,
+    ) {
+        let a = Dyadic::new(Int::from(m), e);
+        let shifted = Dyadic::new(
+            Int::from_sign_mag(m < 0, Nat::from(m.unsigned_abs()) << extra),
+            e - extra as i64,
+        );
+        prop_assert_eq!(a, shifted);
+    }
+
+    /// `from_rat` directed rounding: floor ≤ r ≤ ceil with a gap of at
+    /// most one lattice step, and exactness exactly when `r` is on the
+    /// lattice.
+    #[test]
+    fn rat_conversions_bracket(
+        num in any::<i64>(), den in 1u64.., frac_bits in 0u32..64,
+    ) {
+        let r = Rat::new(Int::from(num), Nat::from(den));
+        let lo = Dyadic::from_rat_floor(&r, frac_bits);
+        let hi = Dyadic::from_rat_ceil(&r, frac_bits);
+        prop_assert!(lo.to_rat() <= r && r <= hi.to_rat());
+        let step = Dyadic::new(Int::one(), -(frac_bits as i64));
+        prop_assert!(&hi - &lo <= step);
+        // floor = ceil exactly when r is a multiple of the lattice step.
+        let on_lattice = (&r * &Rat::from_int(Int::from_nat(Nat::one() << frac_bits)))
+            .denom()
+            .is_one();
+        prop_assert_eq!(lo == hi, on_lattice);
+        if on_lattice {
+            prop_assert_eq!(lo.to_rat(), r);
+        }
+    }
+
+    /// `from_f64` directed rounding: floor ≤ x ≤ ceil (compared through
+    /// the exact rational value of the float), gap at most one lattice
+    /// quantum, and both sides exact whenever the float's least
+    /// significant bit sits on the lattice.
+    #[test]
+    fn f64_conversions_bracket(x in arb_finite_f64()) {
+        let exact = rat_of_f64(x);
+        let lo = Dyadic::from_f64_floor(x);
+        let hi = Dyadic::from_f64_ceil(x);
+        prop_assert!(lo.to_rat() <= exact, "floor {lo:?} above {x}");
+        prop_assert!(hi.to_rat() >= exact, "ceil {hi:?} below {x}");
+        let step = Dyadic::new(Int::one(), Dyadic::MIN_EXP);
+        prop_assert!(&hi - &lo <= step);
+        // Representable values convert exactly, in both directions.
+        if x == 0.0 || rat_of_f64(x).denom().bit_length() as i64 - 1 <= -Dyadic::MIN_EXP {
+            prop_assert_eq!(&lo, &hi, "representable {x} not exact");
+            prop_assert_eq!(lo.to_rat(), exact);
+        }
+    }
+
+    /// The mirror symmetry of directed rounding: floor(−x) = −ceil(x).
+    #[test]
+    fn f64_directions_mirror(x in arb_finite_f64()) {
+        prop_assert_eq!(Dyadic::from_f64_floor(-x), -Dyadic::from_f64_ceil(x));
+    }
+}
+
+/// The defining claim, as a property: dyadic arithmetic (construction from
+/// `f64`, add, sub, mul, scaling, comparison, remaining-budget
+/// subtraction) performs **zero** gcd calls. Debug builds only — the
+/// counter compiles to a constant `0` in release, which would make the
+/// assertion vacuous.
+#[cfg(debug_assertions)]
+#[test]
+fn dyadic_arithmetic_is_gcd_free() {
+    use proptest::{Strategy, TestRng};
+    let mut rng = TestRng::deterministic("dyadic_arithmetic_is_gcd_free");
+    let strat = arb_dyadic();
+    for _ in 0..256 {
+        let a = strat.generate(&mut rng);
+        let b = strat.generate(&mut rng);
+        let x = f64::from_bits(rng.next_u64());
+        let before = sampcert_arith::gcd_call_count();
+        let sum = &a + &b;
+        let _ = &a - &b;
+        let _ = &a * &b;
+        let _ = a.cmp(&b);
+        let _ = sum.mul_u64(1000);
+        let _ = a.saturating_sub(&b);
+        if x.is_finite() {
+            let _ = Dyadic::from_f64_ceil(x);
+            let _ = Dyadic::from_f64_floor(x);
+        }
+        assert_eq!(
+            sampcert_arith::gcd_call_count(),
+            before,
+            "dyadic op ran a gcd (a={a:?}, b={b:?})"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! JSON tracked across PRs; the Criterion bench `benches/arith.rs` runs
 //! the same specs with per-batch statistics.
 
-use sampcert_arith::{Int, Nat, Rat};
+use sampcert_arith::{Dyadic, Int, Nat, Rat};
 use sampcert_samplers::{bernoulli_exp_neg, discrete_gaussian, uniform_below, LaplaceAlg};
 use sampcert_slang::{Sampling, SeededByteSource};
 use std::time::{Duration, Instant};
@@ -111,6 +111,53 @@ fn build_rat_mul_big() -> Box<dyn FnMut() -> i64> {
     Box::new(move || nat_sink((&a * &b).denom()))
 }
 
+/// The heterogeneous per-release charges used by the ledger-composition
+/// pair below: denominators with mixed prime factors, exactly the shape
+/// that makes `Rat` addition pay its reduction gcds.
+fn charge_ratios() -> Vec<(u64, u64)> {
+    (0..64u64).map(|i| (i % 7 + 1, 64 + i % 13)).collect()
+}
+
+fn build_rat_compose_fold64() -> Box<dyn FnMut() -> i64> {
+    let charges: Vec<Rat> = charge_ratios()
+        .into_iter()
+        .map(|(n, d)| Rat::from_ratio(n, d))
+        .collect();
+    Box::new(move || {
+        // A 64-release exact session total, as a Rat-backed ledger would
+        // accumulate it: one reduced addition per charge.
+        let mut spent = Rat::zero();
+        for c in &charges {
+            spent += c;
+        }
+        nat_sink(spent.denom())
+    })
+}
+
+fn build_dyadic_compose_fold64() -> Box<dyn FnMut() -> i64> {
+    let charges: Vec<Dyadic> = charge_ratios()
+        .into_iter()
+        .map(|(n, d)| Dyadic::from_f64_ceil(n as f64 / d as f64))
+        .collect();
+    Box::new(move || {
+        // The same 64-release session on the dyadic lattice (charges
+        // ceil-converted once, as the exact ledger does): shift-and-add
+        // only, no gcd anywhere.
+        let mut spent = Dyadic::zero();
+        for c in &charges {
+            spent += c;
+        }
+        spent.exponent()
+    })
+}
+
+fn build_dyadic_from_f64_ceil() -> Box<dyn FnMut() -> i64> {
+    Box::new(move || {
+        // The charge-boundary conversion cost (ledger entry point).
+        Dyadic::from_f64_ceil(0.014_925_373_134_328_358).exponent()
+    })
+}
+
 fn build_bernoulli_exp_neg_loop() -> Box<dyn FnMut() -> i64> {
     let prog = bernoulli_exp_neg::<Sampling>(&Nat::from(3u64), &Nat::from(2u64));
     let mut src = SeededByteSource::new(0xA5A5);
@@ -189,6 +236,18 @@ pub const MICRO_BENCHES: &[MicroBench] = &[
     MicroBench {
         name: "rat_mul_big",
         build: build_rat_mul_big,
+    },
+    MicroBench {
+        name: "rat_compose_fold64",
+        build: build_rat_compose_fold64,
+    },
+    MicroBench {
+        name: "dyadic_compose_fold64",
+        build: build_dyadic_compose_fold64,
+    },
+    MicroBench {
+        name: "dyadic_from_f64_ceil",
+        build: build_dyadic_from_f64_ceil,
     },
     MicroBench {
         name: "bernoulli_exp_neg_3_2",

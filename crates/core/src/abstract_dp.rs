@@ -38,6 +38,12 @@ pub trait AbstractDp: 'static {
 
     /// Sequential composition bound: `adaptive_compose_prop` says the
     /// composition of `γ₁`- and `γ₂`-ADP mechanisms is `(γ₁+γ₂)`-ADP.
+    ///
+    /// Additivity is load-bearing beyond this trait: the exact
+    /// ([`Dyadic`](sampcert_arith::Dyadic)) budget carrier composes by
+    /// exact addition and debug-asserts that `compose` agrees — a notion
+    /// overriding this with non-additive arithmetic cannot be metered by
+    /// the exact ledger.
     fn compose(g1: f64, g2: f64) -> f64 {
         g1 + g2
     }

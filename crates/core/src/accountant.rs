@@ -12,11 +12,67 @@
 //!   `AbstractDP` instance: summing `D_α` curves across releases and
 //!   optimizing the order at conversion time gives strictly better `ε(δ)`
 //!   than converting each release separately.
+//!
+//! # Budget carriers and the rounding-direction contract
+//!
+//! Both accountants are generic over a [`Budget`] carrier, defaulting to
+//! the classic `f64` meter. Instantiating with [`Dyadic`] instead (the
+//! [`ExactLedger`] / [`ExactRdpAccountant`] aliases) gives **exact**
+//! accounting on the power-of-two lattice with shift-only normalization —
+//! the charge path performs *no gcd at all* (pinned by a
+//! `gcd_call_count` test), unlike a `Rat`-backed meter which pays a
+//! reduction per composition.
+//!
+//! `f64` parameters cross into the exact carrier under a conservative
+//! rounding contract, fixed once here and relied on everywhere:
+//!
+//! - **charges round up** ([`Budget::charge_from_f64`]): a recorded cost
+//!   is never less than the real one, so the exact meter never
+//!   under-counts spending;
+//! - **budgets round down** ([`Budget::budget_from_f64`]): the enforced
+//!   allowance is never more than the stated one, so the exact meter never
+//!   over-grants;
+//! - the exact acceptance check is **strict** (no `1e-12` forgiveness —
+//!   that tolerance exists to absorb float rounding, which the exact
+//!   carrier does not have).
+//!
+//! Consequently an exact ledger is sound by construction: any disagreement
+//! with the float ledger about admitting a release resolves in the
+//! conservative direction.
+//!
+//! ## Example: metering a session exactly
+//!
+//! ```
+//! use sampcert_core::{ExactLedger, Ledger, PureDp};
+//! use sampcert_arith::Dyadic;
+//!
+//! // A budget of ε = 1, enforced exactly: charges are ε = 1/8 each, which
+//! // is dyadic, so nothing is lost in conversion and the ninth release is
+//! // refused with exact arithmetic (no tolerance, no drift).
+//! let mut ledger: ExactLedger<PureDp> = Ledger::new(1.0);
+//! for i in 0..8 {
+//!     ledger.charge(format!("q{i}"), 0.125).unwrap();
+//! }
+//! assert_eq!(ledger.spent_exact(), &Dyadic::from(1u64));
+//! assert_eq!(ledger.remaining_exact(), Dyadic::zero());
+//! let err = ledger.charge("one-more", 0.125).unwrap_err();
+//! // The rejection reports the *exact* requested/remaining quantities.
+//! assert_eq!(err.to_string(), "privacy budget exceeded: requested 0.125, remaining 0");
+//! ```
 
 use crate::abstract_dp::AbstractDp;
+use crate::budget::Budget;
+use sampcert_arith::Dyadic;
 use std::marker::PhantomData;
 
-/// A labelled privacy ledger for notion `D`.
+/// A [`Ledger`] metering exactly on the dyadic lattice (gcd-free).
+pub type ExactLedger<D> = Ledger<D, Dyadic>;
+
+/// An [`RdpAccountant`] whose per-order totals accumulate exactly.
+pub type ExactRdpAccountant = RdpAccountant<Dyadic>;
+
+/// A labelled privacy ledger for notion `D`, metering in carrier `B`
+/// (`f64` by default; see the [module docs](self) for the exact variant).
 ///
 /// # Examples
 ///
@@ -30,29 +86,34 @@ use std::marker::PhantomData;
 /// assert_eq!(ledger.spent(), 0.75);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Ledger<D: AbstractDp> {
-    budget: f64,
-    entries: Vec<(String, f64)>,
+pub struct Ledger<D: AbstractDp, B: Budget = f64> {
+    budget: B,
+    entries: Vec<(String, B)>,
     /// Cached composed total of `entries`, maintained incrementally so
     /// that `charge`/`spent` are O(1) instead of re-folding the whole
     /// history (which made an n-release session O(n²)). Invariant: equals
-    /// `entries.iter().fold(0.0, D::compose)` exactly — the cache is
-    /// updated with the same left-fold order the recomputation would use,
-    /// so not even the f64 rounding differs.
-    spent: f64,
+    /// the left fold of `entries` under `B::compose::<D>` exactly — the
+    /// cache is updated with the same fold order the recomputation would
+    /// use, so not even the f64 rounding differs (and the exact carrier
+    /// has none to differ by).
+    spent: B,
     _notion: PhantomData<D>,
 }
 
 /// Error returned when a charge would exceed the ledger's budget.
+///
+/// Generic in the budget carrier so an exact-ledger rejection reports the
+/// **exact** requested/remaining values (rendered as exact finite
+/// decimals by [`Dyadic`]'s `Display`) instead of a lossy `f64` cast.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BudgetExceeded {
+pub struct BudgetExceeded<B = f64> {
     /// The attempted charge.
-    pub requested: f64,
+    pub requested: B,
     /// Remaining budget at the time of the attempt.
-    pub remaining: f64,
+    pub remaining: B,
 }
 
-impl std::fmt::Display for BudgetExceeded {
+impl<B: std::fmt::Display> std::fmt::Display for BudgetExceeded<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -62,20 +123,34 @@ impl std::fmt::Display for BudgetExceeded {
     }
 }
 
-impl std::error::Error for BudgetExceeded {}
+impl<B: std::fmt::Display + std::fmt::Debug> std::error::Error for BudgetExceeded<B> {}
 
-impl<D: AbstractDp> Ledger<D> {
-    /// Creates a ledger with a total budget.
+impl<D: AbstractDp, B: Budget> Ledger<D, B> {
+    /// Creates a ledger with a total budget, converted into the carrier
+    /// with **downward** rounding (the conservative direction for an
+    /// allowance; exact whenever `budget` is representable — in
+    /// particular always for the `f64` carrier).
     ///
     /// # Panics
     ///
     /// Panics if `budget` is negative or not finite.
     pub fn new(budget: f64) -> Self {
         assert!(budget.is_finite() && budget >= 0.0, "invalid budget");
+        Ledger::with_budget(B::budget_from_f64(budget))
+    }
+
+    /// Creates a ledger from a budget already in the carrier — the
+    /// lossless entry point for exact budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not a valid budget quantity.
+    pub fn with_budget(budget: B) -> Self {
+        assert!(budget.is_valid(), "invalid budget");
         Ledger {
             budget,
             entries: Vec::new(),
-            spent: 0.0,
+            spent: B::zero(),
             _notion: PhantomData,
         }
     }
@@ -83,20 +158,43 @@ impl<D: AbstractDp> Ledger<D> {
     /// Records a release costing `gamma`, refusing charges that would
     /// exceed the budget (the release should then not be executed).
     ///
+    /// The charge crosses into the carrier with **upward** rounding
+    /// (conservative for spending; the identity on `f64`).
+    ///
     /// # Errors
     ///
     /// Returns [`BudgetExceeded`] when over budget; the ledger is
     /// unchanged in that case.
-    pub fn charge(&mut self, label: impl Into<String>, gamma: f64) -> Result<(), BudgetExceeded> {
+    pub fn charge(
+        &mut self,
+        label: impl Into<String>,
+        gamma: f64,
+    ) -> Result<(), BudgetExceeded<B>> {
         assert!(gamma.is_finite() && gamma >= 0.0, "invalid charge");
-        let new_spent = D::compose(self.spent, gamma);
-        if new_spent > self.budget + 1e-12 {
-            // Clamp: the acceptance tolerance lets `spent` exceed the
-            // budget by up to 1e-12, which must not surface as a negative
-            // remaining budget.
+        self.charge_exact(label, B::charge_from_f64(gamma))
+    }
+
+    /// Records a release whose cost is already in the carrier (no
+    /// conversion, no rounding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when over budget; the ledger is
+    /// unchanged in that case.
+    pub fn charge_exact(
+        &mut self,
+        label: impl Into<String>,
+        gamma: B,
+    ) -> Result<(), BudgetExceeded<B>> {
+        assert!(gamma.is_valid(), "invalid charge");
+        let new_spent = B::compose::<D>(&self.spent, &gamma);
+        if B::exceeds(&new_spent, &self.budget) {
+            // Remaining is clamped at zero: the f64 carrier's acceptance
+            // tolerance lets `spent` overshoot the budget by up to 1e-12,
+            // which must not surface as a negative remaining budget.
             return Err(BudgetExceeded {
                 requested: gamma,
-                remaining: (self.budget - self.spent).max(0.0),
+                remaining: self.budget.saturating_sub(&self.spent),
             });
         }
         self.entries.push((label.into(), gamma));
@@ -107,10 +205,13 @@ impl<D: AbstractDp> Ledger<D> {
     /// Records a batch of `count` releases, each costing `gamma_each`,
     /// under one label — the ledger-side half of batched noise serving
     /// (see [`NoiseBatch`](crate::NoiseBatch)). The batch is composed in
-    /// O(1) via [`AbstractDp::compose_n`] and recorded as a single entry
+    /// O(1) via [`Budget::compose_n`] and recorded as a single entry
     /// holding the composed total, so charging a million-draw batch costs
-    /// the same as charging one release. All-or-nothing: either the whole
-    /// batch fits in the budget or the ledger is unchanged.
+    /// the same as charging one release. On the exact carrier the
+    /// vectorized total equals `count` sequential [`charge`](Self::charge)
+    /// calls *exactly* (on `f64`, to within float rounding, as always).
+    /// All-or-nothing: either the whole batch fits in the budget or the
+    /// ledger is unchanged.
     ///
     /// # Errors
     ///
@@ -121,40 +222,67 @@ impl<D: AbstractDp> Ledger<D> {
         label: impl Into<String>,
         gamma_each: f64,
         count: u64,
-    ) -> Result<(), BudgetExceeded> {
+    ) -> Result<(), BudgetExceeded<B>> {
         assert!(
             gamma_each.is_finite() && gamma_each >= 0.0,
             "invalid charge"
         );
-        let total = D::compose_n(gamma_each, count);
-        if !total.is_finite() {
-            // A batch whose composed total overflows f64 certainly exceeds
-            // any finite budget; refuse it the same way an over-budget
-            // charge is refused instead of tripping `charge`'s
-            // finite-gamma assertion.
-            return Err(BudgetExceeded {
-                requested: total,
-                remaining: (self.budget - self.spent).max(0.0),
-            });
-        }
-        self.charge(label, total)
+        self.charge_batch_exact(label, B::charge_from_f64(gamma_each), count)
     }
 
-    /// Total spent so far (composed additively, per `AbstractDP`).
+    /// [`charge_batch`](Self::charge_batch) with the per-release cost
+    /// already in the carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when the batch would overrun the budget.
+    pub fn charge_batch_exact(
+        &mut self,
+        label: impl Into<String>,
+        gamma_each: B,
+        count: u64,
+    ) -> Result<(), BudgetExceeded<B>> {
+        assert!(gamma_each.is_valid(), "invalid charge");
+        let total = B::compose_n::<D>(&gamma_each, count);
+        if !total.is_valid() {
+            // A batch whose composed total overflows the carrier (f64
+            // infinity) certainly exceeds any finite budget; refuse it the
+            // same way an over-budget charge is refused instead of
+            // tripping `charge_exact`'s validity assertion.
+            return Err(BudgetExceeded {
+                requested: total,
+                remaining: self.budget.saturating_sub(&self.spent),
+            });
+        }
+        self.charge_exact(label, total)
+    }
+
+    /// Total spent so far (composed additively, per `AbstractDP`),
+    /// approximated as `f64` for reporting.
     ///
     /// O(1): the composed total is maintained incrementally by
     /// [`charge`](Self::charge)/[`charge_batch`](Self::charge_batch).
     pub fn spent(&self) -> f64 {
-        self.spent
+        self.spent.to_f64()
     }
 
-    /// Remaining budget.
+    /// Total spent so far, in the carrier (exact for exact carriers).
+    pub fn spent_exact(&self) -> &B {
+        &self.spent
+    }
+
+    /// Remaining budget, approximated as `f64` for reporting.
     pub fn remaining(&self) -> f64 {
-        (self.budget - self.spent()).max(0.0)
+        self.remaining_exact().to_f64()
+    }
+
+    /// Remaining budget in the carrier: `max(budget − spent, 0)`.
+    pub fn remaining_exact(&self) -> B {
+        self.budget.saturating_sub(&self.spent)
     }
 
     /// The recorded entries, in charge order.
-    pub fn entries(&self) -> &[(String, f64)] {
+    pub fn entries(&self) -> &[(String, B)] {
         &self.entries
     }
 
@@ -166,6 +294,11 @@ impl<D: AbstractDp> Ledger<D> {
 
 /// A Rényi accountant: tracks `ε(α) ≥ D_α` for a grid of orders and
 /// converts to `(ε, δ)`-DP by optimizing the order.
+///
+/// Generic in the [`Budget`] carrier accumulating the per-order totals
+/// (`f64` by default; [`ExactRdpAccountant`] accumulates exactly, with
+/// each per-release increment rounded **up** on conversion so the stored
+/// curve always dominates the real one).
 ///
 /// # Examples
 ///
@@ -182,18 +315,52 @@ impl<D: AbstractDp> Ledger<D> {
 /// assert!(eps < 4.0, "eps = {eps}");
 /// ```
 #[derive(Debug, Clone)]
-pub struct RdpAccountant {
+pub struct RdpAccountant<B: Budget = f64> {
     orders: Vec<f64>,
-    eps: Vec<f64>,
+    eps: Vec<B>,
 }
 
 impl RdpAccountant {
-    /// An accountant over the given Rényi orders (all must exceed 1).
+    /// An `f64`-carried accountant over the given Rényi orders (all must
+    /// exceed 1).
     ///
     /// # Panics
     ///
     /// Panics if `orders` is empty or contains an order ≤ 1.
     pub fn new(orders: Vec<f64>) -> Self {
+        RdpAccountant::with_orders(orders)
+    }
+
+    /// The conventional order grid (1.25 … 512, log-spaced plus small
+    /// integer orders), carried in `f64`.
+    pub fn with_default_orders() -> Self {
+        RdpAccountant::with_orders(RdpAccountant::default_order_grid())
+    }
+
+    /// The conventional order grid used by
+    /// [`with_default_orders`](Self::with_default_orders) — carrier-
+    /// independent (orders are always `f64`), so exact accountants reuse
+    /// it: `ExactRdpAccountant::with_orders(RdpAccountant::default_order_grid())`.
+    pub fn default_order_grid() -> Vec<f64> {
+        let mut orders: Vec<f64> = vec![1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0];
+        let mut a = 12.0;
+        while a <= 512.0 {
+            orders.push(a);
+            a *= 1.5;
+        }
+        orders
+    }
+}
+
+impl<B: Budget> RdpAccountant<B> {
+    /// An accountant over the given Rényi orders (all must exceed 1), in
+    /// any carrier — `ExactRdpAccountant::with_orders(...)` is the exact
+    /// entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orders` is empty or contains an order ≤ 1.
+    pub fn with_orders(orders: Vec<f64>) -> Self {
         assert!(!orders.is_empty(), "no Renyi orders");
         assert!(
             orders.iter().all(|a| *a > 1.0),
@@ -202,20 +369,17 @@ impl RdpAccountant {
         let n = orders.len();
         RdpAccountant {
             orders,
-            eps: vec![0.0; n],
+            eps: std::iter::repeat_with(B::zero).take(n).collect(),
         }
     }
 
-    /// The conventional order grid (1.25 … 512, log-spaced plus small
-    /// integer orders).
-    pub fn with_default_orders() -> Self {
-        let mut orders: Vec<f64> = vec![1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0];
-        let mut a = 12.0;
-        while a <= 512.0 {
-            orders.push(a);
-            a *= 1.5;
+    /// Adds a release described by an arbitrary RDP curve `α ↦ ε(α)`,
+    /// converting each per-order increment into the carrier in the
+    /// **charge direction** (round up).
+    pub fn add_curve(&mut self, curve: impl Fn(f64) -> f64) {
+        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
+            *e = e.add(&B::charge_from_f64(curve(*a)));
         }
-        RdpAccountant::new(orders)
     }
 
     /// Adds a Gaussian release with noise-to-sensitivity ratio `σ/Δ`:
@@ -227,17 +391,15 @@ impl RdpAccountant {
     pub fn add_gaussian(&mut self, sigma_over_sensitivity: f64) {
         assert!(sigma_over_sensitivity > 0.0, "invalid noise ratio");
         let s2 = sigma_over_sensitivity * sigma_over_sensitivity;
-        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
-            *e += a / (2.0 * s2);
-        }
+        self.add_curve(|a| a / (2.0 * s2));
     }
 
     /// Adds `count` i.i.d. Gaussian releases at ratio `σ/Δ` in one pass:
-    /// per-order RDP is additive, so the batch charge is
-    /// `count · α/(2(σ/Δ)²)` — O(grid) total, where `count` repeated
+    /// per-order RDP is additive, so the batch charge is the per-release
+    /// charge scaled by `count` — O(grid) total, where `count` repeated
     /// [`add_gaussian`](Self::add_gaussian) calls cost O(count·grid).
-    /// Equal to the repeated calls to within f64 rounding (pinned to
-    /// 1e-12 by tests).
+    /// Equal to the repeated calls exactly on the exact carrier, and to
+    /// within f64 rounding (pinned to 1e-12 by tests) on `f64`.
     ///
     /// # Panics
     ///
@@ -245,43 +407,45 @@ impl RdpAccountant {
     pub fn add_gaussian_n(&mut self, sigma_over_sensitivity: f64, count: u64) {
         assert!(sigma_over_sensitivity > 0.0, "invalid noise ratio");
         let s2 = sigma_over_sensitivity * sigma_over_sensitivity;
-        let k = count as f64;
-        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
-            *e += k * a / (2.0 * s2);
-        }
+        self.add_curve_n(|a| a / (2.0 * s2), count);
     }
 
     /// Adds a pure ε-DP release: `D_α ≤ min(ε, α·ε²/2)` (Bun–Steinke read
     /// at order α, capped by `D_∞`).
     pub fn add_pure(&mut self, eps: f64) {
         assert!(eps.is_finite() && eps >= 0.0, "invalid epsilon");
-        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
-            *e += eps.min(a * eps * eps / 2.0);
-        }
+        self.add_curve(|a| eps.min(a * eps * eps / 2.0));
     }
 
     /// Adds `count` i.i.d. pure ε-DP releases in one O(grid) pass; the
     /// vectorized form of `count` [`add_pure`](Self::add_pure) calls
     /// (each release's per-order charge is the same, so the batch is a
-    /// single scale).
+    /// single scale — exact on the exact carrier).
     pub fn add_pure_n(&mut self, eps: f64, count: u64) {
         assert!(eps.is_finite() && eps >= 0.0, "invalid epsilon");
-        let k = count as f64;
+        self.add_curve_n(|a| eps.min(a * eps * eps / 2.0), count);
+    }
+
+    /// Vectorized [`add_curve`](Self::add_curve): adds `count` releases of
+    /// the same curve by scaling each converted per-order charge.
+    pub fn add_curve_n(&mut self, curve: impl Fn(f64) -> f64, count: u64) {
         for (e, a) in self.eps.iter_mut().zip(&self.orders) {
-            *e += k * eps.min(a * eps * eps / 2.0);
+            *e = e.add(&B::charge_from_f64(curve(*a)).scale(count));
         }
     }
 
-    /// Adds a release described by an arbitrary RDP curve `α ↦ ε(α)`.
-    pub fn add_curve(&mut self, curve: impl Fn(f64) -> f64) {
-        for (e, a) in self.eps.iter_mut().zip(&self.orders) {
-            *e += curve(*a);
-        }
-    }
-
-    /// The accumulated RDP curve as `(order, ε)` pairs.
+    /// The accumulated RDP curve as `(order, ε)` pairs (ε approximated as
+    /// `f64` for reporting; see [`curve_exact`](Self::curve_exact)).
     pub fn curve(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.orders.iter().copied().zip(self.eps.iter().copied())
+        self.orders
+            .iter()
+            .copied()
+            .zip(self.eps.iter().map(Budget::to_f64))
+    }
+
+    /// The accumulated RDP curve with the totals in the carrier.
+    pub fn curve_exact(&self) -> impl Iterator<Item = (f64, &B)> + '_ {
+        self.orders.iter().copied().zip(self.eps.iter())
     }
 
     /// Converts to `(ε, δ)`-DP, returning the `ε` and the optimizing
@@ -427,6 +591,39 @@ mod tests {
     }
 
     #[test]
+    fn exact_accountant_batch_equals_repeated_adds_exactly() {
+        for count in [1u64, 7, 1000] {
+            let mut batched = ExactRdpAccountant::with_orders(vec![2.0, 8.0, 64.0]);
+            batched.add_gaussian_n(7.5, count);
+            let mut looped = ExactRdpAccountant::with_orders(vec![2.0, 8.0, 64.0]);
+            for _ in 0..count {
+                looped.add_gaussian(7.5);
+            }
+            for ((a, eb), (_, el)) in batched.curve_exact().zip(looped.curve_exact()) {
+                assert_eq!(eb, el, "count={count} alpha={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_accountant_curve_dominates_f64_curve() {
+        // Per-release charges round up, so the exact totals dominate the
+        // float totals (up to the float's own summation error, which the
+        // 1-ulp-per-term slack absorbs).
+        let mut exact = ExactRdpAccountant::with_orders(vec![2.0, 16.0]);
+        let mut float: RdpAccountant = RdpAccountant::with_orders(vec![2.0, 16.0]);
+        for _ in 0..100 {
+            exact.add_gaussian(3.0);
+            float.add_gaussian(3.0);
+            exact.add_pure(0.1);
+            float.add_pure(0.1);
+        }
+        for ((_, de), (_, fe)) in exact.curve().zip(float.curve()) {
+            assert!(de >= fe * (1.0 - 1e-12), "{de} vs {fe}");
+        }
+    }
+
+    #[test]
     fn charge_batch_equals_repeated_charges() {
         let mut batched: Ledger<Zcdp> = Ledger::new(10.0);
         batched.charge_batch("batch", 0.001, 1000).unwrap();
@@ -462,9 +659,9 @@ mod tests {
     }
 
     /// `BudgetExceeded::remaining` must never report a negative budget:
-    /// the acceptance tolerance lets `spent` overshoot the budget by up to
-    /// 1e-12, and the clamp keeps the error message (and any retry logic
-    /// keyed on it) sane.
+    /// the f64 acceptance tolerance lets `spent` exceed the budget by up
+    /// to 1e-12, and the clamp keeps the error message (and any retry
+    /// logic keyed on it) sane.
     #[test]
     fn budget_exceeded_remaining_is_clamped_at_zero() {
         let mut ledger: Ledger<PureDp> = Ledger::new(1.0);
@@ -475,6 +672,19 @@ mod tests {
         assert!(err.remaining >= 0.0, "remaining={}", err.remaining);
         assert_eq!(err.remaining, 0.0);
         assert_eq!(ledger.remaining(), 0.0);
+    }
+
+    #[test]
+    fn exact_ledger_has_no_acceptance_tolerance() {
+        // The same 1e-13 overshoot that the f64 carrier forgives is
+        // refused exactly by the dyadic carrier.
+        let mut ledger: ExactLedger<PureDp> = Ledger::new(1.0);
+        let err = ledger.charge("a", 1.0 + 1e-13).unwrap_err();
+        assert_eq!(err.remaining, Dyadic::from(1u64));
+        assert_eq!(ledger.entries().len(), 0);
+        // An exactly-fitting charge is accepted to the last lattice bit.
+        ledger.charge("b", 1.0).unwrap();
+        assert_eq!(ledger.remaining_exact(), Dyadic::zero());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use crate::abstract_dp::AbstractDp;
 use crate::accountant::{BudgetExceeded, Ledger, RdpAccountant};
+use crate::budget::Budget;
 use std::marker::PhantomData;
 
 /// A batch of noised answers plus the per-answer privacy cost under
@@ -98,18 +99,22 @@ impl<D: AbstractDp, U> NoiseBatch<D, U> {
         D::compose_n(self.gamma_each, self.values.len() as u64)
     }
 
-    /// Charges the whole batch to `ledger` as one O(1) entry.
+    /// Charges the whole batch to `ledger` as one O(1) entry — to any
+    /// budget carrier, so the same batch can be metered by the classic
+    /// `f64` ledger or the exact dyadic one
+    /// ([`ExactLedger`](crate::ExactLedger)) without touching the serving
+    /// code.
     ///
     /// # Errors
     ///
     /// Returns [`BudgetExceeded`] if the batch does not fit; the ledger is
     /// unchanged in that case (the batch's answers should then not be
     /// released).
-    pub fn charge(
+    pub fn charge<B: Budget>(
         &self,
-        ledger: &mut Ledger<D>,
+        ledger: &mut Ledger<D, B>,
         label: impl Into<String>,
-    ) -> Result<(), BudgetExceeded> {
+    ) -> Result<(), BudgetExceeded<B>> {
         ledger.charge_batch(label, self.gamma_each, self.values.len() as u64)
     }
 

@@ -1,0 +1,257 @@
+//! The budget value space of the accounting layer: `f64` or exact
+//! [`Dyadic`], behind one trait.
+//!
+//! [`Ledger`](crate::Ledger) and [`RdpAccountant`](crate::RdpAccountant)
+//! meter privacy spending in some numeric carrier. The paper's whole point
+//! is that guarantees are *exact*, so the carrier should be too — but an
+//! `f64` ledger is what most deployments run, and the exact carrier must
+//! not reintroduce the gcd-per-reduction cost of [`Rat`]. [`Budget`]
+//! abstracts the carrier so the accountants are written once:
+//!
+//! - **`f64`**: the classic float ledger, bit-for-bit the pre-trait
+//!   behaviour (composition delegates to [`AbstractDp::compose`], the
+//!   acceptance check keeps its `1e-12` tolerance);
+//! - **[`Dyadic`]**: exact accounting on the power-of-two lattice.
+//!   Addition, scaling and comparison are shift-and-add only — **no gcd on
+//!   the charge path** (pinned by a counter test) — and the acceptance
+//!   check is strict, since there is no rounding to forgive.
+//!
+//! # The conservative rounding contract
+//!
+//! Privacy parameters arrive as `f64` (from `noise_priv`, RDP curves,
+//! user-facing APIs). The trait fixes the rounding **direction** at the
+//! boundary so quantization can only make accounting *more* conservative,
+//! never less:
+//!
+//! - [`Budget::charge_from_f64`] rounds **up** (a recorded charge is ≥ the
+//!   real cost);
+//! - [`Budget::budget_from_f64`] rounds **down** (the enforced allowance
+//!   is ≤ the stated one).
+//!
+//! For `f64` both are the identity; for [`Dyadic`] they are the directed
+//! lattice conversions. Under this contract an exact ledger's refusals are
+//! always sound: whenever the float ledger and the exact ledger disagree
+//! about admitting a release, the exact one is the conservative answer.
+
+use crate::abstract_dp::AbstractDp;
+use sampcert_arith::Dyadic;
+use std::fmt;
+
+/// A numeric carrier for privacy budgets and charges.
+///
+/// Implementations must form an ordered additive monoid under
+/// [`compose`](Self::compose) with [`zero`](Self::zero) as identity, and
+/// honour the conservative rounding contract described in the
+/// [module docs](self).
+pub trait Budget: Clone + PartialEq + PartialOrd + fmt::Debug + fmt::Display + 'static {
+    /// Human-readable carrier name (for diagnostics).
+    const NAME: &'static str;
+
+    /// The zero budget (nothing spent).
+    fn zero() -> Self;
+
+    /// Plain addition — the accumulation of per-order RDP totals, where
+    /// additivity is the defining law rather than an `AbstractDp` axiom.
+    fn add(&self, other: &Self) -> Self;
+
+    /// Plain `n`-fold scaling — the vectorized form of folding
+    /// [`add`](Self::add) `n` times from zero (exact for exact carriers).
+    fn scale(&self, n: u64) -> Self;
+
+    /// Folds one more charge into a running total under notion `D`.
+    ///
+    /// The `f64` carrier delegates to [`AbstractDp::compose`]; exact
+    /// carriers add exactly, which coincides because composition is
+    /// additive for every `AbstractDp` instance (the trait's stated
+    /// axiom).
+    fn compose<D: AbstractDp>(total: &Self, charge: &Self) -> Self;
+
+    /// `n`-fold composition of one charge — the vectorized batch total.
+    ///
+    /// Must equal folding [`compose`](Self::compose) `n` times from zero:
+    /// exactly for exact carriers, to within float rounding for `f64`.
+    fn compose_n<D: AbstractDp>(charge: &Self, n: u64) -> Self;
+
+    /// Converts an `f64` charge, rounding **up** (conservative for
+    /// spending).
+    fn charge_from_f64(gamma: f64) -> Self;
+
+    /// Converts an `f64` budget, rounding **down** (conservative for
+    /// allowances).
+    fn budget_from_f64(budget: f64) -> Self;
+
+    /// Approximates as `f64` (for `(ε, δ)` conversion and reporting).
+    fn to_f64(&self) -> f64;
+
+    /// `max(self − other, 0)`: the remaining-budget subtraction.
+    fn saturating_sub(&self, other: &Self) -> Self;
+
+    /// Whether `total` overruns `budget`. The `f64` carrier keeps the
+    /// historical `1e-12` acceptance tolerance; exact carriers compare
+    /// strictly.
+    fn exceeds(total: &Self, budget: &Self) -> bool;
+
+    /// Whether the value is a usable budget quantity (finite and
+    /// non-negative). Batch totals that overflow the carrier (`f64`
+    /// infinity) report `false` and are refused rather than recorded.
+    fn is_valid(&self) -> bool;
+}
+
+impl Budget for f64 {
+    const NAME: &'static str = "f64";
+
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+
+    fn scale(&self, n: u64) -> Self {
+        self * n as f64
+    }
+
+    fn compose<D: AbstractDp>(total: &Self, charge: &Self) -> Self {
+        D::compose(*total, *charge)
+    }
+
+    fn compose_n<D: AbstractDp>(charge: &Self, n: u64) -> Self {
+        D::compose_n(*charge, n)
+    }
+
+    fn charge_from_f64(gamma: f64) -> Self {
+        gamma
+    }
+
+    fn budget_from_f64(budget: f64) -> Self {
+        budget
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+
+    fn saturating_sub(&self, other: &Self) -> Self {
+        (self - other).max(0.0)
+    }
+
+    fn exceeds(total: &Self, budget: &Self) -> bool {
+        *total > budget + 1e-12
+    }
+
+    fn is_valid(&self) -> bool {
+        self.is_finite() && *self >= 0.0
+    }
+}
+
+impl Budget for Dyadic {
+    const NAME: &'static str = "dyadic";
+
+    fn zero() -> Self {
+        Dyadic::zero()
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+
+    fn scale(&self, n: u64) -> Self {
+        self.mul_u64(n)
+    }
+
+    fn compose<D: AbstractDp>(total: &Self, charge: &Self) -> Self {
+        // Additive composition is an `AbstractDp` axiom; here it is exact.
+        // The probe catches a notion that overrides `compose` with
+        // non-additive arithmetic, which this carrier cannot follow.
+        debug_assert_eq!(
+            D::compose(0.25, 0.5),
+            0.75,
+            "{} overrides compose non-additively; the exact carrier only \
+             supports additive composition",
+            D::NAME
+        );
+        total + charge
+    }
+
+    fn compose_n<D: AbstractDp>(charge: &Self, n: u64) -> Self {
+        debug_assert_eq!(
+            D::compose_n(0.25, 3),
+            0.75,
+            "{} overrides compose_n non-additively; the exact carrier only \
+             supports additive composition",
+            D::NAME
+        );
+        charge.mul_u64(n)
+    }
+
+    fn charge_from_f64(gamma: f64) -> Self {
+        Dyadic::from_f64_ceil(gamma)
+    }
+
+    fn budget_from_f64(budget: f64) -> Self {
+        Dyadic::from_f64_floor(budget)
+    }
+
+    fn to_f64(&self) -> f64 {
+        Dyadic::to_f64(self)
+    }
+
+    fn saturating_sub(&self, other: &Self) -> Self {
+        Dyadic::saturating_sub(self, other)
+    }
+
+    fn exceeds(total: &Self, budget: &Self) -> bool {
+        total > budget
+    }
+
+    fn is_valid(&self) -> bool {
+        !self.is_negative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_dp::{PureDp, Zcdp};
+
+    #[test]
+    fn f64_carrier_matches_notion_arithmetic() {
+        assert_eq!(
+            <f64 as Budget>::compose::<Zcdp>(&0.1, &0.2),
+            Zcdp::compose(0.1, 0.2)
+        );
+        assert_eq!(<f64 as Budget>::compose_n::<PureDp>(&0.25, 8), 2.0);
+        assert!(<f64 as Budget>::exceeds(&1.1, &1.0));
+        assert!(!<f64 as Budget>::exceeds(&(1.0 + 1e-13), &1.0));
+        assert!(!f64::INFINITY.is_valid());
+        assert!(!(-0.5f64).is_valid());
+    }
+
+    #[test]
+    fn dyadic_carrier_is_exact_and_strict() {
+        let g = Dyadic::charge_from_f64(0.1);
+        // 0.1 rounds up: the converted charge dominates the f64 value.
+        assert!(g.to_f64() >= 0.1);
+        let ten = <Dyadic as Budget>::compose_n::<PureDp>(&g, 10);
+        let mut folded = <Dyadic as Budget>::zero();
+        for _ in 0..10 {
+            folded = <Dyadic as Budget>::compose::<PureDp>(&folded, &g);
+        }
+        assert_eq!(ten, folded, "vectorized ≠ folded");
+        // Strict acceptance: one lattice quantum over is over.
+        let budget = Dyadic::budget_from_f64(1.0);
+        assert!(!<Dyadic as Budget>::exceeds(&budget, &budget));
+        let eps = Dyadic::new(sampcert_arith::Int::one(), Dyadic::MIN_EXP);
+        assert!(<Dyadic as Budget>::exceeds(&(&budget + &eps), &budget));
+    }
+
+    #[test]
+    fn rounding_directions_bracket() {
+        for x in [0.1, 1.0 / 3.0, 0.5, 1e-9, 2.75] {
+            let up = Dyadic::charge_from_f64(x);
+            let down = Dyadic::budget_from_f64(x);
+            assert!(down.to_f64() <= x && x <= up.to_f64(), "{x}");
+        }
+    }
+}

@@ -42,6 +42,7 @@ mod abstract_dp;
 mod accountant;
 mod approx;
 mod batch;
+mod budget;
 mod convert;
 mod mechanism;
 mod neighbour;
@@ -50,12 +51,15 @@ mod private;
 mod query;
 
 pub use abstract_dp::{AbstractDp, PureDp, RenyiDp, Zcdp};
-pub use accountant::{BudgetExceeded, Ledger, RdpAccountant};
+pub use accountant::{BudgetExceeded, ExactLedger, ExactRdpAccountant, Ledger, RdpAccountant};
 pub use approx::{ApproxBudget, ApproxPrivate};
 pub use batch::NoiseBatch;
+pub use budget::Budget;
 pub use convert::{approx_dp_of, pure_to_renyi, pure_to_zcdp, zcdp_to_renyi};
 pub use mechanism::Mechanism;
 pub use neighbour::{insertions, is_neighbour, neighbours, removals};
 pub use noise::DpNoise;
 pub use private::{CheckOptions, PrivacyViolation, Private};
 pub use query::{bounded_sum_query, count_query, Query, SensitivityViolation};
+// Re-exported so exact-ledger users don't need a direct arith dependency.
+pub use sampcert_arith::Dyadic;

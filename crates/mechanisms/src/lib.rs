@@ -44,7 +44,7 @@ pub use accuracy::{
     gaussian_accuracy, gaussian_tail, laplace_accuracy, laplace_tail, pure_dp_accuracy,
 };
 pub use adaptive::{adaptive_mean, magnitude_bins, AdaptiveMeanRelease};
-pub use batch::{answer_workload, histogram_batch, histogram_gamma};
+pub use batch::{answer_workload, histogram_batch, histogram_batch_metered, histogram_gamma};
 pub use histogram::{
     approx_max_bin, exact_bin_count, noised_bin_count, noised_histogram, par_noised_histogram, Bins,
 };

@@ -2,10 +2,31 @@
 //! the ledger/accountant layer against the measured divergences of real
 //! composed mechanisms.
 
+use sampcert::arith::Dyadic;
 use sampcert::core::{
-    count_query, AbstractDp, ApproxPrivate, Ledger, Private, PureDp, RdpAccountant, RenyiDp, Zcdp,
+    count_query, AbstractDp, ApproxPrivate, ExactLedger, ExactRdpAccountant, Ledger, Private,
+    PureDp, RdpAccountant, RenyiDp, Zcdp,
 };
 use sampcert::stattest::renyi_divergence_report;
+
+/// A tiny deterministic generator for the random-session laws below
+/// (SplitMix64; no dependence on the test framework's RNG).
+struct SessionRng(u64);
+
+impl SessionRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A charge in `(0, 0.1]` with an awkward (non-dyadic) mantissa.
+    fn charge(&mut self) -> f64 {
+        (self.next() % 10_000 + 1) as f64 / 100_000.0
+    }
+}
 
 #[test]
 fn ledger_meters_a_session() {
@@ -87,6 +108,148 @@ fn approx_layer_sums_heterogeneous_sessions() {
     total
         .check_pair(&[1, 2, 3], &[1, 2], 0.02)
         .expect("composed (ε, δ) bound holds on a real neighbour pair");
+}
+
+/// Accountant law: `ε(δ)` is antitone in `δ` (a looser failure allowance
+/// never demands a larger ε), for both budget carriers and under
+/// heterogeneous spending.
+#[test]
+fn epsilon_is_monotone_in_delta() {
+    let mut rng = SessionRng(11);
+    let mut float = RdpAccountant::with_default_orders();
+    let mut exact = ExactRdpAccountant::with_orders(RdpAccountant::default_order_grid());
+    for i in 0..40 {
+        let sigma = 1.0 + (rng.next() % 64) as f64;
+        float.add_gaussian(sigma);
+        exact.add_gaussian(sigma);
+        if i % 3 == 0 {
+            let eps = rng.charge();
+            float.add_pure(eps);
+            exact.add_pure(eps);
+        }
+    }
+    let deltas = [1e-12, 1e-9, 1e-6, 1e-4, 1e-2, 0.1, 0.5];
+    for acct_eps in [
+        deltas.map(|d| float.epsilon(d).0),
+        deltas.map(|d| exact.epsilon(d).0),
+    ] {
+        for w in acct_eps.windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "eps increased as delta loosened: {acct_eps:?}"
+            );
+        }
+    }
+}
+
+/// Accountant law: `charge_batch` ≡ `n` sequential `charge`s — to within
+/// f64 fold rounding on the float carrier, **exactly** on the dyadic one.
+#[test]
+fn charge_batch_equals_sequential_charges_for_both_carriers() {
+    for (gamma, n) in [(0.013, 997u64), (0.125, 64), (1e-6, 100_000)] {
+        let mut f_batch: Ledger<Zcdp> = Ledger::new(1e9);
+        let mut f_seq: Ledger<Zcdp> = Ledger::new(1e9);
+        f_batch.charge_batch("batch", gamma, n).unwrap();
+        for i in 0..n {
+            f_seq.charge(format!("q{i}"), gamma).unwrap();
+        }
+        assert!(
+            (f_batch.spent() - f_seq.spent()).abs() <= 1e-12 * f_seq.spent().max(1.0),
+            "f64 carrier: {} vs {}",
+            f_batch.spent(),
+            f_seq.spent()
+        );
+
+        let mut d_batch: ExactLedger<Zcdp> = Ledger::new(1e9);
+        let mut d_seq: ExactLedger<Zcdp> = Ledger::new(1e9);
+        d_batch.charge_batch("batch", gamma, n).unwrap();
+        for i in 0..n {
+            d_seq.charge(format!("q{i}"), gamma).unwrap();
+        }
+        assert_eq!(
+            d_batch.spent_exact(),
+            d_seq.spent_exact(),
+            "dyadic carrier must agree bit-for-bit (gamma={gamma}, n={n})"
+        );
+    }
+}
+
+/// Exact-vs-f64 ledger agreement over random sessions, within the stated
+/// rounding bound. Per charge, the conversion onto the lattice rounds
+/// **up** by at most one `2^MIN_EXP` quantum, and the f64 fold rounds its
+/// running total by at most one ulp of the final total — so after `n`
+/// charges the two totals differ by at most
+/// `n · (ulp(total) + 2^MIN_EXP)`, and the exact total (which only ever
+/// rounds up) dominates the true sum.
+#[test]
+fn exact_and_f64_ledgers_agree_within_rounding_bound() {
+    for seed in [1u64, 7, 42] {
+        let mut rng = SessionRng(seed);
+        let mut float: Ledger<PureDp> = Ledger::new(1e9);
+        let mut exact: ExactLedger<PureDp> = Ledger::new(1e9);
+        let n = 2000;
+        for i in 0..n {
+            let g = rng.charge();
+            float.charge(format!("q{i}"), g).unwrap();
+            exact.charge(format!("q{i}"), g).unwrap();
+        }
+        let total = float.spent();
+        let bound = n as f64 * (f64::EPSILON * total.max(1.0) + 2f64.powi(Dyadic::MIN_EXP as i32));
+        let diff = (total - exact.spent()).abs();
+        assert!(
+            diff <= bound,
+            "seed {seed}: ledgers drifted {diff} > {bound}"
+        );
+        assert_eq!(exact.entries().len(), float.entries().len());
+    }
+}
+
+/// The acceptance criterion of the gcd-free lattice, as a counter test:
+/// `Nat::gcd` (and the word-sized gcd behind `Rat::from_ratio`) is never
+/// invoked by `Dyadic` ledger `charge`/`charge_batch`/`remaining`/`spent`,
+/// nor by the exact RDP accountant's adders. Debug builds only — the
+/// counter is compiled out of release builds.
+#[cfg(debug_assertions)]
+#[test]
+fn dyadic_ledger_charge_path_performs_no_gcd() {
+    let mut rng = SessionRng(3);
+    let mut ledger: ExactLedger<Zcdp> = Ledger::new(1e6);
+    let mut acct = ExactRdpAccountant::with_orders(vec![2.0, 4.0, 32.0]);
+    let before = sampcert::arith::gcd_call_count();
+    for i in 0..500 {
+        ledger.charge(format!("q{i}"), rng.charge()).unwrap();
+        let _ = ledger.spent_exact();
+        let _ = ledger.remaining_exact();
+        acct.add_gaussian(4.0);
+    }
+    ledger.charge_batch("batch", 0.003, 100_000).unwrap();
+    acct.add_gaussian_n(8.0, 1 << 20);
+    acct.add_pure_n(0.1, 12345);
+    let _ = acct.epsilon(1e-6);
+    assert_eq!(
+        sampcert::arith::gcd_call_count(),
+        before,
+        "exact accounting ran a gcd"
+    );
+    // Sanity: the counter is live — a Rat reduction does bump it.
+    let _ = sampcert::arith::Rat::from_ratio(450, 240);
+    assert!(sampcert::arith::gcd_call_count() > before);
+}
+
+/// The exact carrier refuses with exact quantities: requested and
+/// remaining come back as dyadic values whose `Display` is an exact
+/// finite decimal, not a lossy float cast.
+#[test]
+fn exact_rejection_reports_exact_quantities() {
+    let mut ledger: ExactLedger<PureDp> = Ledger::new(1.0);
+    ledger.charge("warmup", 0.75).unwrap();
+    let err = ledger.charge("big", 0.5).unwrap_err();
+    assert_eq!(err.requested, Dyadic::from_f64_ceil(0.5));
+    assert_eq!(err.remaining, Dyadic::from_f64_ceil(0.25));
+    assert_eq!(
+        err.to_string(),
+        "privacy budget exceeded: requested 0.5, remaining 0.25"
+    );
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Statistical goodness-of-fit validation of the batched samplers against
+//! the closed-form PMFs.
+//!
+//! The batch equality tests elsewhere pin `*_many` byte-for-byte to `n`
+//! sequential single draws — **self-consistency**, which would hold just
+//! as well if both paths sampled the wrong distribution. This suite closes
+//! that gap: it runs KS and χ² tests of `discrete_gaussian_many` /
+//! `discrete_laplace_many` output against the analytic PMFs/CDFs in
+//! `sampcert::samplers::pmf`, separately for
+//!
+//! - the **fused fast path** (single-limb parameters inside the machine-
+//!   word box), and
+//! - the **interpreted multi-limb fallback** (parameters built as
+//!   multi-limb `Nat`s with the same rational value, which the dispatch
+//!   guard must route through the general `SLang` program).
+//!
+//! All byte sources are seeded, so the tests are deterministic.
+
+use sampcert::arith::Nat;
+use sampcert::samplers::pmf::{
+    gaussian_cdf, gaussian_mass, gaussian_radius, laplace_cdf, laplace_mass, laplace_radius,
+};
+use sampcert::samplers::{discrete_gaussian_many, discrete_laplace_many, LaplaceAlg};
+use sampcert::slang::SeededByteSource;
+use sampcert::stattest::{chi2_gof, ks_test};
+
+/// A deterministic multi-limb `Nat` scale factor: multiplying both sides
+/// of a parameter ratio by it preserves the distribution while forcing the
+/// interpreted fallback (the fused dispatch requires single-limb
+/// parameters).
+fn multilimb_unit() -> Nat {
+    &(&Nat::from(u64::MAX) * &Nat::from(41u64)) + &Nat::from(17u64)
+}
+
+fn run_gaussian_gof(num: &Nat, den: &Nat, sigma2: f64, n: usize, seed: u64) {
+    let mut src = SeededByteSource::new(seed);
+    let draws = discrete_gaussian_many(num, den, LaplaceAlg::Switched, n, &mut src);
+    let reference = gaussian_mass(sigma2, 0, gaussian_radius(sigma2));
+    let chi2 = chi2_gof(&draws, &reference, 5.0);
+    assert!(
+        chi2.passes(0.001),
+        "chi2 rejects gaussian sigma2={sigma2}: stat={} dof={} p={}",
+        chi2.statistic,
+        chi2.dof,
+        chi2.p_value
+    );
+    let ks = ks_test(&draws, |z| gaussian_cdf(sigma2, 0, z), 0.001);
+    assert!(
+        ks.passes(),
+        "KS rejects gaussian sigma2={sigma2}: stat={} thr={}",
+        ks.statistic,
+        ks.threshold
+    );
+}
+
+fn run_laplace_gof(num: &Nat, den: &Nat, t: f64, n: usize, seed: u64) {
+    let mut src = SeededByteSource::new(seed);
+    let draws = discrete_laplace_many(num, den, LaplaceAlg::Switched, n, &mut src);
+    let reference = laplace_mass(t, 0, laplace_radius(t));
+    let chi2 = chi2_gof(&draws, &reference, 5.0);
+    assert!(
+        chi2.passes(0.001),
+        "chi2 rejects laplace t={t}: stat={} dof={} p={}",
+        chi2.statistic,
+        chi2.dof,
+        chi2.p_value
+    );
+    let ks = ks_test(&draws, |z| laplace_cdf(t, z), 0.001);
+    assert!(
+        ks.passes(),
+        "KS rejects laplace t={t}: stat={} thr={}",
+        ks.statistic,
+        ks.threshold
+    );
+}
+
+#[test]
+fn gaussian_many_fused_path_matches_analytic_pmf() {
+    // σ = 5/1: single-limb, far inside the fused 2²⁶ box.
+    run_gaussian_gof(&Nat::from(5u64), &Nat::from(1u64), 25.0, 30_000, 0xD1CE);
+    // Non-integer σ = 7/2 through the same fast path.
+    run_gaussian_gof(&Nat::from(7u64), &Nat::from(2u64), 12.25, 30_000, 0xBEAD);
+}
+
+#[test]
+fn gaussian_many_interpreted_fallback_matches_analytic_pmf() {
+    // σ = 5k/k = 5 with k multi-limb: same distribution as the fused case
+    // above, but the parameters overflow u64 so the dispatch guard must
+    // take the general program.
+    let k = multilimb_unit();
+    let num = &k * &Nat::from(5u64);
+    assert!(
+        num.to_u64().is_none() && k.to_u64().is_none(),
+        "parameters must be multi-limb to exercise the fallback"
+    );
+    run_gaussian_gof(&num, &k, 25.0, 4_000, 0xFA11);
+}
+
+#[test]
+fn laplace_many_fused_path_matches_analytic_pmf() {
+    // t = 2/1 and t = 5/2: single-limb, fused loop.
+    run_laplace_gof(&Nat::from(2u64), &Nat::from(1u64), 2.0, 30_000, 0x1A91);
+    run_laplace_gof(&Nat::from(5u64), &Nat::from(2u64), 2.5, 30_000, 0x2B82);
+}
+
+#[test]
+fn laplace_many_interpreted_fallback_matches_analytic_pmf() {
+    // t = 3k/2k = 3/2 with k multi-limb: interpreted fallback.
+    let k = multilimb_unit();
+    let num = &k * &Nat::from(3u64);
+    let den = &k * &Nat::from(2u64);
+    assert!(num.to_u64().is_none() && den.to_u64().is_none());
+    run_laplace_gof(&num, &den, 1.5, 4_000, 0x3C73);
+}
+
+/// Power control: the same tests must *reject* a mis-specified reference —
+/// otherwise the suite above proves nothing.
+#[test]
+fn gof_rejects_wrong_distribution() {
+    let mut src = SeededByteSource::new(0x0FF);
+    let draws = discrete_gaussian_many(
+        &Nat::from(5u64),
+        &Nat::from(1u64),
+        LaplaceAlg::Switched,
+        30_000,
+        &mut src,
+    );
+    // Tested against σ = 6 instead of the true σ = 5.
+    let wrong = gaussian_mass(36.0, 0, gaussian_radius(36.0));
+    assert!(!chi2_gof(&draws, &wrong, 5.0).passes(0.001));
+    assert!(!ks_test(&draws, |z| gaussian_cdf(36.0, 0, z), 0.001).passes());
+    // And against a shifted mean at the true σ.
+    assert!(!ks_test(&draws, |z| gaussian_cdf(25.0, 2, z), 0.001).passes());
+}

@@ -15,7 +15,9 @@
 //!   not minimized.
 //! - **Deterministic seeding.** Each test derives its RNG seed from the
 //!   test's name, so failures reproduce exactly run-to-run — the same
-//!   stability the seed repository's statistical tests rely on.
+//!   stability the seed repository's statistical tests rely on. The
+//!   default case count honours the `PROPTEST_CASES` environment variable
+//!   (like upstream), so CI can pin a reproducible larger run.
 //! - **Uniform generation.** `any::<T>()` draws uniformly over the type's
 //!   full range rather than using proptest's bias toward edge values; range
 //!   strategies are uniform over the range.
@@ -376,8 +378,18 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable — the same knob real proptest reads, so CI can pin a
+    /// reproducible (larger) case count without code changes. Note a
+    /// `#![proptest_config(...)]` header takes precedence over the
+    /// environment, exactly as upstream.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
