@@ -49,7 +49,7 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 ///
 /// The canonical form (odd mantissa, and `+0 · 2^0` for zero) makes the
 /// derived equality and hashing value equality. All arithmetic is exact
-/// and gcd-free; see the [module docs](self) for the rounding contract of
+/// and gcd-free; see the module-level docs above for the rounding contract of
 /// the lossy constructors.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Dyadic {

@@ -52,7 +52,7 @@ const LIMB_BITS: u32 = 64;
 /// limbs (4096 bits), so that is the cutoff.
 const KARATSUBA_THRESHOLD: usize = 64;
 
-/// The two storage variants; see the [module docs](self).
+/// The two storage variants; see the module-level docs above.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Repr {
     /// Inline single-limb value (covers zero).

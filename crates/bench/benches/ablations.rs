@@ -1,4 +1,4 @@
-//! Ablation benches for the design decisions DESIGN.md calls out:
+//! Ablation benches for the design decisions ARCHITECTURE.md calls out:
 //!
 //! - `laplace_switch`: the two verified Laplace loops across scales — the
 //!   data behind the `SWITCH_SCALE` constant and the paper's

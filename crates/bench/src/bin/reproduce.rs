@@ -2,7 +2,7 @@
 //! tables.
 //!
 //! ```text
-//! reproduce [fig2|fig4|fig5|fig6|claims|arith|batch|all] [--samples N] [--full]
+//! reproduce [fig2|fig4|fig5|fig6|claims|arith|batch|serve|all] [--samples N] [--full]
 //! ```
 //!
 //! - `fig2`: two discrete Laplace densities (the ε intuition picture);
@@ -18,7 +18,7 @@
 
 use sampcert_bench::{
     arith_bench, batch_bench, entropy_sweep, ms_per_sample, print_table, runtime_sweep,
-    GaussianImpl, Row,
+    serve_bench, GaussianImpl, Row,
 };
 use sampcert_samplers::pmf::laplace_pmf;
 use std::time::Duration;
@@ -132,34 +132,22 @@ fn claims(samples: usize) {
     );
 }
 
-/// Runs the arithmetic micro-bench set and updates `BENCH_arith.json`.
-///
-/// `--label X` names the run (e.g. `baseline` vs `optimized`); `--out P`
-/// overrides the output path. Runs under other labels already present in
-/// the file are preserved — the measurement is merged in, and a
-/// `speedup_vs_baseline` section is derived whenever a `baseline` run
-/// exists — so measuring before and after a change never requires editing
-/// the JSON by hand. The table is also printed to stdout.
-fn arith(args: &[String]) {
-    let label = args
-        .iter()
-        .position(|a| a == "--label")
+/// Returns the value following `flag` in `args`, or `default` when the
+/// flag is absent (or is the last argument).
+fn flag_value<'a>(args: &'a [String], flag: &str, default: &'a str) -> &'a str {
+    args.iter()
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(|s| s.as_str())
-        .unwrap_or("current");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-        .unwrap_or("BENCH_arith.json");
-    println!("\n## Arithmetic micro-benchmarks (ns/op, median of 7 batches)");
-    let rows = arith_bench::measure_all(7, Duration::from_millis(20));
-    for (name, ns) in &rows {
-        println!("{name:>24}  {ns:>14.1}");
-    }
+        .unwrap_or(default)
+}
+
+/// Merges `rows` into the labeled-runs document at `out` and writes it
+/// back — the shared `--label`/`--out` workflow of every measurement
+/// subcommand. Exits with status 1 when `out` is unwritable.
+fn write_merged(schema: &str, out: &str, label: &str, rows: &[(&'static str, f64)]) {
     let existing = std::fs::read_to_string(out).ok();
-    let doc = arith_bench::to_json(existing.as_deref(), label, &rows);
+    let doc = arith_bench::to_json_for_schema(schema, existing.as_deref(), label, rows);
     match std::fs::write(out, &doc) {
         Ok(()) => println!("\nwrote {out} (label: {label})"),
         Err(e) => {
@@ -169,23 +157,32 @@ fn arith(args: &[String]) {
     }
 }
 
+/// Runs the arithmetic micro-bench set and updates `BENCH_arith.json`.
+///
+/// `--label X` names the run (e.g. `baseline` vs `optimized`); `--out P`
+/// overrides the output path. Runs under other labels already present in
+/// the file are preserved — the measurement is merged in, and a
+/// `speedup_vs_baseline` section is derived whenever a `baseline` run
+/// exists — so measuring before and after a change never requires editing
+/// the JSON by hand. The table is also printed to stdout.
+fn arith(args: &[String]) {
+    let label = flag_value(args, "--label", "current");
+    let out = flag_value(args, "--out", "BENCH_arith.json");
+    println!("\n## Arithmetic micro-benchmarks (ns/op, median of 7 batches)");
+    let rows = arith_bench::measure_all(7, Duration::from_millis(20));
+    for (name, ns) in &rows {
+        println!("{name:>24}  {ns:>14.1}");
+    }
+    write_merged("sampcert-bench/arith-v2", out, label, &rows);
+}
+
 /// Runs the batched-serving micro-bench set and updates
 /// `BENCH_batch.json` — batched vs per-draw Gaussian throughput at
 /// σ ∈ {4, 64, 1024} plus accountant/ledger batch charging. Same labeled
 /// merge workflow as [`arith`].
 fn batch(args: &[String]) {
-    let label = args
-        .iter()
-        .position(|a| a == "--label")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-        .unwrap_or("current");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-        .unwrap_or("BENCH_batch.json");
+    let label = flag_value(args, "--label", "current");
+    let out = flag_value(args, "--out", "BENCH_batch.json");
     println!("\n## Batched serving micro-benchmarks (ns/op, median of 7 batches)");
     let rows = batch_bench::measure_all(7, Duration::from_millis(20));
     for (name, ns) in &rows {
@@ -206,20 +203,47 @@ fn batch(args: &[String]) {
     for s in ["4", "64", "1024"] {
         per_vs_batched(s);
     }
-    let existing = std::fs::read_to_string(out).ok();
-    let doc = arith_bench::to_json_for_schema(
-        "sampcert-bench/batch-v1",
-        existing.as_deref(),
-        label,
-        &rows,
-    );
-    match std::fs::write(out, &doc) {
-        Ok(()) => println!("\nwrote {out} (label: {label})"),
-        Err(e) => {
-            eprintln!("could not write {out}: {e}");
-            std::process::exit(1);
-        }
+    write_merged("sampcert-bench/batch-v1", out, label, &rows);
+}
+
+/// Runs the concurrent-serving measurement set and updates
+/// `BENCH_serve.json` — raw serving throughput vs worker count, sharded
+/// vs global-mutex metering, deterministic vs OS-entropy backends. Same
+/// labeled merge workflow as [`arith`]; `--quick` shrinks the per-call
+/// sample count for smoke runs.
+fn serve(args: &[String]) {
+    let label = flag_value(args, "--label", "current");
+    let out = flag_value(args, "--out", "BENCH_serve.json");
+    let quick = args.iter().any(|a| a == "--quick");
+    println!("\n## Concurrent serving micro-benchmarks (ns per served sample, median of runs)");
+    let rows = serve_bench::measure_all(quick);
+    for (name, ns) in &rows {
+        println!("{name:>28}  {ns:>14.1}");
     }
+    let get = |n: &str| rows.iter().find(|(name, _)| *name == n).map(|(_, v)| *v);
+    if let (Some(t1), Some(t8)) = (get("serve_gauss64_det_t1"), get("serve_gauss64_det_t8")) {
+        println!(
+            "8-worker serving throughput = {:.2}x single-worker (host_parallelism {})",
+            t1 / t8,
+            get("host_parallelism").unwrap_or(1.0)
+        );
+    }
+    if let (Some(sh), Some(mx)) = (get("metered_sharded_f64_t8"), get("metered_mutex_f64_t8")) {
+        println!(
+            "sharded ledger serves {:.2}x the global-mutex throughput at 8 workers",
+            mx / sh
+        );
+    }
+    if let (Some(sh), Some(mx)) = (
+        get("charge_perdraw_sharded_f64_t8"),
+        get("charge_perdraw_mutex_f64_t8"),
+    ) {
+        println!(
+            "charging hot path alone: sharded handles {:.2}x the global-mutex charge rate",
+            mx / sh
+        );
+    }
+    write_merged("sampcert-bench/serve-v1", out, label, &rows);
 }
 
 fn main() {
@@ -250,6 +274,7 @@ fn main() {
         "claims" => claims(samples),
         "arith" => arith(&args),
         "batch" => batch(&args),
+        "serve" => serve(&args),
         "all" => {
             fig2();
             fig4(samples, full);
@@ -259,7 +284,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|batch|all"
+                "unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|batch|serve|all"
             );
             std::process::exit(2);
         }

@@ -32,7 +32,7 @@ use sampcert_stattest::{
 /// abstract mechanism constructions in `sampcert-mechanisms` are generic
 /// over it, reproducing the paper's "one proof, every DP notion" workflow
 /// (Section 2.3).
-pub trait AbstractDp: 'static {
+pub trait AbstractDp: Send + Sync + 'static {
     /// Human-readable name of the privacy notion.
     const NAME: &'static str;
 

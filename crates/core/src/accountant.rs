@@ -56,8 +56,12 @@
 //! assert_eq!(ledger.spent_exact(), &Dyadic::from(1u64));
 //! assert_eq!(ledger.remaining_exact(), Dyadic::zero());
 //! let err = ledger.charge("one-more", 0.125).unwrap_err();
-//! // The rejection reports the *exact* requested/remaining quantities.
-//! assert_eq!(err.to_string(), "privacy budget exceeded: requested 0.125, remaining 0");
+//! // The rejection reports the *exact* requested/remaining quantities and
+//! // names the carrier that refused.
+//! assert_eq!(
+//!     err.to_string(),
+//!     "privacy budget exceeded: requested 0.125, remaining 0 [carrier: dyadic]"
+//! );
 //! ```
 
 use crate::abstract_dp::AbstractDp;
@@ -72,7 +76,8 @@ pub type ExactLedger<D> = Ledger<D, Dyadic>;
 pub type ExactRdpAccountant = RdpAccountant<Dyadic>;
 
 /// A labelled privacy ledger for notion `D`, metering in carrier `B`
-/// (`f64` by default; see the [module docs](self) for the exact variant).
+/// (`f64` by default; see the module-level docs above for the exact
+/// variant).
 ///
 /// # Examples
 ///
@@ -105,21 +110,60 @@ pub struct Ledger<D: AbstractDp, B: Budget = f64> {
 /// Generic in the budget carrier so an exact-ledger rejection reports the
 /// **exact** requested/remaining values (rendered as exact finite
 /// decimals by [`Dyadic`]'s `Display`) instead of a lossy `f64` cast.
+///
+/// The rendered message names the budget **carrier** (so an operator can
+/// tell a strict exact refusal from a tolerant float one at a glance) and,
+/// for rejections raised by a [`ShardedLedger`](crate::ShardedLedger)
+/// shard, the **shard** that ran dry:
+///
+/// ```text
+/// privacy budget exceeded: requested 0.5, remaining 0.25 [carrier: f64]
+/// privacy budget exceeded: requested 0.5, remaining 0 [carrier: dyadic, shard: 3]
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct BudgetExceeded<B = f64> {
     /// The attempted charge.
     pub requested: B,
     /// Remaining budget at the time of the attempt.
     pub remaining: B,
+    /// Name of the budget carrier the refusing accountant meters in
+    /// ([`Budget::NAME`]).
+    pub carrier: &'static str,
+    /// The ledger shard that refused the charge, when the refusal came
+    /// from a sharded accountant; `None` for unsharded ledgers.
+    pub shard: Option<usize>,
+}
+
+impl<B: Budget> BudgetExceeded<B> {
+    /// A refusal from an unsharded accountant, stamped with `B`'s carrier
+    /// name.
+    pub fn new(requested: B, remaining: B) -> Self {
+        BudgetExceeded {
+            requested,
+            remaining,
+            carrier: B::NAME,
+            shard: None,
+        }
+    }
+
+    /// Returns this refusal attributed to a ledger shard.
+    pub fn at_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
 }
 
 impl<B: std::fmt::Display> std::fmt::Display for BudgetExceeded<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "privacy budget exceeded: requested {}, remaining {}",
-            self.requested, self.remaining
-        )
+            "privacy budget exceeded: requested {}, remaining {} [carrier: {}",
+            self.requested, self.remaining, self.carrier
+        )?;
+        if let Some(shard) = self.shard {
+            write!(f, ", shard: {shard}")?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -192,10 +236,10 @@ impl<D: AbstractDp, B: Budget> Ledger<D, B> {
             // Remaining is clamped at zero: the f64 carrier's acceptance
             // tolerance lets `spent` overshoot the budget by up to 1e-12,
             // which must not surface as a negative remaining budget.
-            return Err(BudgetExceeded {
-                requested: gamma,
-                remaining: self.budget.saturating_sub(&self.spent),
-            });
+            return Err(BudgetExceeded::new(
+                gamma,
+                self.budget.saturating_sub(&self.spent),
+            ));
         }
         self.entries.push((label.into(), gamma));
         self.spent = new_spent;
@@ -249,10 +293,10 @@ impl<D: AbstractDp, B: Budget> Ledger<D, B> {
             // infinity) certainly exceeds any finite budget; refuse it the
             // same way an over-budget charge is refused instead of
             // tripping `charge_exact`'s validity assertion.
-            return Err(BudgetExceeded {
-                requested: total,
-                remaining: self.budget.saturating_sub(&self.spent),
-            });
+            return Err(BudgetExceeded::new(
+                total,
+                self.budget.saturating_sub(&self.spent),
+            ));
         }
         self.charge_exact(label, total)
     }
@@ -446,6 +490,25 @@ impl<B: Budget> RdpAccountant<B> {
     /// The accumulated RDP curve with the totals in the carrier.
     pub fn curve_exact(&self) -> impl Iterator<Item = (f64, &B)> + '_ {
         self.orders.iter().copied().zip(self.eps.iter())
+    }
+
+    /// Merges another accountant's accumulated curve into this one —
+    /// per-order RDP totals are additive, so accumulating releases on
+    /// several accountants and merging is equivalent to accounting them
+    /// all on one (exactly so on exact carriers). This is the fold step of
+    /// [`ShardedRdpAccountant`](crate::ShardedRdpAccountant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two accountants use different order grids.
+    pub fn merge(&mut self, other: &RdpAccountant<B>) {
+        assert_eq!(
+            self.orders, other.orders,
+            "merging accountants over different order grids"
+        );
+        for (e, o) in self.eps.iter_mut().zip(&other.eps) {
+            *e = e.add(o);
+        }
     }
 
     /// Converts to `(ε, δ)`-DP, returning the `ε` and the optimizing
@@ -709,6 +772,35 @@ mod tests {
             .iter()
             .fold(0.0, |acc, (_, g)| PureDp::compose(acc, *g));
         assert_eq!(ledger.spent(), refold);
+    }
+
+    /// Pins the rejection message shape: operators triage refusals from
+    /// logs, so the message must name the carrier that refused and — for
+    /// sharded refusals — the shard that ran dry.
+    #[test]
+    fn budget_exceeded_message_names_carrier_and_shard() {
+        let mut f64_ledger: Ledger<PureDp> = Ledger::new(1.0);
+        f64_ledger.charge("warmup", 0.75).unwrap();
+        let err = f64_ledger.charge("big", 0.5).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "privacy budget exceeded: requested 0.5, remaining 0.25 [carrier: f64]"
+        );
+
+        let mut exact: ExactLedger<PureDp> = Ledger::new(1.0);
+        let err = exact.charge("big", 1.5).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "privacy budget exceeded: requested 1.5, remaining 1 [carrier: dyadic]"
+        );
+
+        // Shard attribution renders inside the same bracket.
+        let err = BudgetExceeded::<f64>::new(0.5, 0.0).at_shard(3);
+        assert_eq!(
+            err.to_string(),
+            "privacy budget exceeded: requested 0.5, remaining 0 [carrier: f64, shard: 3]"
+        );
+        assert_eq!(err.shard, Some(3));
     }
 
     #[test]

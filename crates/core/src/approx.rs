@@ -108,7 +108,10 @@ impl<T: 'static, U: Value> ApproxPrivate<T, U> {
     }
 
     /// Free postprocessing.
-    pub fn postprocess<V: Value>(&self, f: impl Fn(&U) -> V + 'static) -> ApproxPrivate<T, V> {
+    pub fn postprocess<V: Value>(
+        &self,
+        f: impl Fn(&U) -> V + Send + Sync + 'static,
+    ) -> ApproxPrivate<T, V> {
         ApproxPrivate {
             mech: self.mech.postprocess(f),
             budget: self.budget,

@@ -42,8 +42,10 @@ use std::fmt;
 /// Implementations must form an ordered additive monoid under
 /// [`compose`](Self::compose) with [`zero`](Self::zero) as identity, and
 /// honour the conservative rounding contract described in the
-/// [module docs](self).
-pub trait Budget: Clone + PartialEq + PartialOrd + fmt::Debug + fmt::Display + 'static {
+/// module-level docs above.
+pub trait Budget:
+    Clone + PartialEq + PartialOrd + fmt::Debug + fmt::Display + Send + Sync + 'static
+{
     /// Human-readable carrier name (for diagnostics).
     const NAME: &'static str;
 

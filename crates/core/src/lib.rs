@@ -10,7 +10,7 @@
 //! undecidable proposition in Lean — is interpreted by **decidable
 //! divergences** on analytic output distributions, and the composition
 //! *lemmas* become the only *constructors* of [`Private`] values. See
-//! `DESIGN.md` at the workspace root for the full mapping.
+//! `ARCHITECTURE.md` at the workspace root for the full mapping.
 //!
 //! ## Example: a private count, two ways
 //!
@@ -49,6 +49,7 @@ mod neighbour;
 mod noise;
 mod private;
 mod query;
+mod sharded;
 
 pub use abstract_dp::{AbstractDp, PureDp, RenyiDp, Zcdp};
 pub use accountant::{BudgetExceeded, ExactLedger, ExactRdpAccountant, Ledger, RdpAccountant};
@@ -61,5 +62,8 @@ pub use neighbour::{insertions, is_neighbour, neighbours, removals};
 pub use noise::DpNoise;
 pub use private::{CheckOptions, PrivacyViolation, Private};
 pub use query::{bounded_sum_query, count_query, Query, SensitivityViolation};
+pub use sharded::{
+    ExactShardedLedger, ShardHandle, ShardSpend, ShardedLedger, ShardedRdpAccountant,
+};
 // Re-exported so exact-ledger users don't need a direct arith dependency.
 pub use sampcert_arith::Dyadic;

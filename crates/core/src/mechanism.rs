@@ -18,7 +18,7 @@
 //! checkable by construction.
 
 use sampcert_slang::{ByteSource, SubPmf, Value};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A randomized mechanism with executable and analytic semantics.
 ///
@@ -35,15 +35,15 @@ use std::rc::Rc;
 /// assert_eq!(m.dist(&[1, 2, 3]).mass(&3), 1.0);
 /// ```
 pub struct Mechanism<T, U: Value> {
-    sample: Rc<dyn Fn(&[T], &mut dyn ByteSource) -> U>,
-    dist: Rc<dyn Fn(&[T]) -> SubPmf<U, f64>>,
+    sample: Arc<dyn Fn(&[T], &mut dyn ByteSource) -> U + Send + Sync>,
+    dist: Arc<dyn Fn(&[T]) -> SubPmf<U, f64> + Send + Sync>,
 }
 
 impl<T, U: Value> Clone for Mechanism<T, U> {
     fn clone(&self) -> Self {
         Mechanism {
-            sample: Rc::clone(&self.sample),
-            dist: Rc::clone(&self.dist),
+            sample: Arc::clone(&self.sample),
+            dist: Arc::clone(&self.dist),
         }
     }
 }
@@ -61,24 +61,24 @@ impl<T: 'static, U: Value> Mechanism<T, U> {
     /// mechanisms built by this workspace pair a sampler with its proven
     /// closed form, and the test suite cross-checks them statistically.
     pub fn from_parts(
-        sample: impl Fn(&[T], &mut dyn ByteSource) -> U + 'static,
-        dist: impl Fn(&[T]) -> SubPmf<U, f64> + 'static,
+        sample: impl Fn(&[T], &mut dyn ByteSource) -> U + Send + Sync + 'static,
+        dist: impl Fn(&[T]) -> SubPmf<U, f64> + Send + Sync + 'static,
     ) -> Self {
         Mechanism {
-            sample: Rc::new(sample),
-            dist: Rc::new(dist),
+            sample: Arc::new(sample),
+            dist: Arc::new(dist),
         }
     }
 
     /// A deterministic (zero-noise) mechanism — useful as a baseline and
     /// for tests; deterministic non-constant mechanisms are of course not
     /// private.
-    pub fn deterministic(f: impl Fn(&[T]) -> U + 'static) -> Self {
-        let f = Rc::new(f);
-        let f2 = Rc::clone(&f);
+    pub fn deterministic(f: impl Fn(&[T]) -> U + Send + Sync + 'static) -> Self {
+        let f = Arc::new(f);
+        let f2 = Arc::clone(&f);
         Mechanism {
-            sample: Rc::new(move |db, _| f(db)),
-            dist: Rc::new(move |db| SubPmf::dirac(f2(db))),
+            sample: Arc::new(move |db, _| f(db)),
+            dist: Arc::new(move |db| SubPmf::dirac(f2(db))),
         }
     }
 
@@ -86,8 +86,8 @@ impl<T: 'static, U: Value> Mechanism<T, U> {
     pub fn constant(u: U) -> Self {
         let u2 = u.clone();
         Mechanism {
-            sample: Rc::new(move |_, _| u.clone()),
-            dist: Rc::new(move |_| SubPmf::dirac(u2.clone())),
+            sample: Arc::new(move |_, _| u.clone()),
+            dist: Arc::new(move |_| SubPmf::dirac(u2.clone())),
         }
     }
 
@@ -132,14 +132,17 @@ impl<T: 'static, U: Value> Mechanism<T, U> {
     /// `privPostProcess` (Listing 1): applies a database-independent
     /// function to the output. Postprocessing never degrades privacy —
     /// the typed layer exposes this as a free operation.
-    pub fn postprocess<V: Value>(&self, f: impl Fn(&U) -> V + 'static) -> Mechanism<T, V> {
-        let sample = Rc::clone(&self.sample);
-        let dist = Rc::clone(&self.dist);
-        let f = Rc::new(f);
-        let f2 = Rc::clone(&f);
+    pub fn postprocess<V: Value>(
+        &self,
+        f: impl Fn(&U) -> V + Send + Sync + 'static,
+    ) -> Mechanism<T, V> {
+        let sample = Arc::clone(&self.sample);
+        let dist = Arc::clone(&self.dist);
+        let f = Arc::new(f);
+        let f2 = Arc::clone(&f);
         Mechanism {
-            sample: Rc::new(move |db, src| f(&sample(db, src))),
-            dist: Rc::new(move |db| dist(db).map(|u| f2(u))),
+            sample: Arc::new(move |db, src| f(&sample(db, src))),
+            dist: Arc::new(move |db| dist(db).map(|u| f2(u))),
         }
     }
 
@@ -148,19 +151,19 @@ impl<T: 'static, U: Value> Mechanism<T, U> {
     /// (enforced in the typed layer).
     pub fn compose_adaptive<V: Value>(
         &self,
-        next: impl Fn(&U) -> Mechanism<T, V> + 'static,
+        next: impl Fn(&U) -> Mechanism<T, V> + Send + Sync + 'static,
     ) -> Mechanism<T, (U, V)> {
-        let sample1 = Rc::clone(&self.sample);
-        let dist1 = Rc::clone(&self.dist);
-        let next = Rc::new(next);
-        let next2 = Rc::clone(&next);
+        let sample1 = Arc::clone(&self.sample);
+        let dist1 = Arc::clone(&self.dist);
+        let next = Arc::new(next);
+        let next2 = Arc::clone(&next);
         Mechanism {
-            sample: Rc::new(move |db, src| {
+            sample: Arc::new(move |db, src| {
                 let a = sample1(db, src);
                 let b = next(&a).run(db, src);
                 (a, b)
             }),
-            dist: Rc::new(move |db| {
+            dist: Arc::new(move |db| {
                 dist1(db).bind(|a| {
                     let a = a.clone();
                     next2(&a).dist(db).map(move |b| (a.clone(), b.clone()))
@@ -185,20 +188,20 @@ impl<T: Clone + 'static, U: Value> Mechanism<T, U> {
     pub fn par_compose<V: Value>(
         &self,
         other: &Mechanism<T, V>,
-        pred: impl Fn(&T) -> bool + 'static,
+        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
     ) -> Mechanism<T, (U, V)> {
-        let pred = Rc::new(pred);
-        let pred2 = Rc::clone(&pred);
-        let (s1, d1) = (Rc::clone(&self.sample), Rc::clone(&self.dist));
-        let (m2s, m2d) = (Rc::clone(&other.sample), Rc::clone(&other.dist));
+        let pred = Arc::new(pred);
+        let pred2 = Arc::clone(&pred);
+        let (s1, d1) = (Arc::clone(&self.sample), Arc::clone(&self.dist));
+        let (m2s, m2d) = (Arc::clone(&other.sample), Arc::clone(&other.dist));
         Mechanism {
-            sample: Rc::new(move |db, src| {
+            sample: Arc::new(move |db, src| {
                 let (yes, no): (Vec<T>, Vec<T>) = db.iter().cloned().partition(|t| pred(t));
                 let a = s1(&yes, src);
                 let b = m2s(&no, src);
                 (a, b)
             }),
-            dist: Rc::new(move |db| {
+            dist: Arc::new(move |db| {
                 let (yes, no): (Vec<T>, Vec<T>) = db.iter().cloned().partition(|t| pred2(t));
                 let db_dist = d1(&yes);
                 let other_dist = m2d(&no);

@@ -180,7 +180,10 @@ impl<D: AbstractDp, T: 'static, U: Value> Private<D, T, U> {
     }
 
     /// `postprocess_prop`: database-independent postprocessing is free.
-    pub fn postprocess<V: Value>(&self, f: impl Fn(&U) -> V + 'static) -> Private<D, T, V> {
+    pub fn postprocess<V: Value>(
+        &self,
+        f: impl Fn(&U) -> V + Send + Sync + 'static,
+    ) -> Private<D, T, V> {
         Private {
             mech: self.mech.postprocess(f),
             gamma: self.gamma,
@@ -201,7 +204,7 @@ impl<D: AbstractDp, T: 'static, U: Value> Private<D, T, U> {
     pub fn compose_adaptive<V: Value>(
         &self,
         gamma2: f64,
-        next: impl Fn(&U) -> Private<D, T, V> + 'static,
+        next: impl Fn(&U) -> Private<D, T, V> + Send + Sync + 'static,
     ) -> Private<D, T, (U, V)> {
         let mech = self.mech.compose_adaptive(move |u| {
             let p = next(u);
@@ -235,7 +238,7 @@ impl<D: AbstractDp, T: Clone + 'static, U: Value> Private<D, T, U> {
     pub fn par_compose<V: Value>(
         &self,
         other: &Private<D, T, V>,
-        pred: impl Fn(&T) -> bool + 'static,
+        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
     ) -> Private<D, T, (U, V)> {
         Private {
             mech: self.mech.par_compose(&other.mech, pred),

@@ -9,7 +9,7 @@
 //! so an overclaimed sensitivity fails loudly in the privacy checkers.
 
 use crate::neighbour::neighbours;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A deterministic integer query with a claimed sensitivity bound.
 ///
@@ -25,7 +25,7 @@ use std::rc::Rc;
 pub struct Query<T> {
     name: String,
     sensitivity: u64,
-    f: Rc<dyn Fn(&[T]) -> i64>,
+    f: Arc<dyn Fn(&[T]) -> i64 + Send + Sync>,
 }
 
 impl<T> Clone for Query<T> {
@@ -33,7 +33,7 @@ impl<T> Clone for Query<T> {
         Query {
             name: self.name.clone(),
             sensitivity: self.sensitivity,
-            f: Rc::clone(&self.f),
+            f: Arc::clone(&self.f),
         }
     }
 }
@@ -58,7 +58,7 @@ impl<T> Query<T> {
     pub fn new(
         name: impl Into<String>,
         sensitivity: u64,
-        f: impl Fn(&[T]) -> i64 + 'static,
+        f: impl Fn(&[T]) -> i64 + Send + Sync + 'static,
     ) -> Self {
         assert!(
             sensitivity > 0,
@@ -67,7 +67,7 @@ impl<T> Query<T> {
         Query {
             name: name.into(),
             sensitivity,
-            f: Rc::new(f),
+            f: Arc::new(f),
         }
     }
 

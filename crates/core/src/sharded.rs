@@ -1,0 +1,667 @@
+//! Sharded budget accounting: one global budget, N independent shards,
+//! synchronization-free charges on the hot path.
+//!
+//! A single [`Ledger`](crate::Ledger) behind a mutex serializes every
+//! worker of a concurrent serving pool on one lock — at which point the
+//! pool scales no better than one core. [`ShardedLedger`] partitions the
+//! problem instead of the lock: the global budget lives in a central
+//! *reserve*, and each worker owns a [`ShardHandle`] holding a locally
+//! granted **allowance**. The hot path — a charge that fits the current
+//! allowance — touches no shared state at all: no lock, no atomic, just
+//! two carrier operations on worker-owned memory. Only when a shard's
+//! allowance runs dry does it take the reserve lock once, pull a fresh
+//! chunk (a *cross-shard rebalance*), and go back to lock-free charging.
+//!
+//! # The conservative sharding invariant
+//!
+//! Soundness reduces to three local facts, each enforced in carrier
+//! arithmetic (exact on the [`Dyadic`](sampcert_arith::Dyadic) carrier):
+//!
+//! 1. grants only move budget **out of** the reserve, never create it:
+//!    `Σ granted + reserve = total budget` is a loop invariant;
+//! 2. a shard never spends past its grant: `spent ≤ granted` per shard
+//!    (strict on exact carriers; the f64 carrier keeps its historical
+//!    `1e-12` acceptance tolerance *per shard*);
+//! 3. returning an allowance ([`ShardHandle::finish`]/drop) moves exactly
+//!    `granted − spent` back — never more than was granted.
+//!
+//! Together: `Σ spent ≤ Σ granted ≤ total`, so the shards can **never
+//! jointly over-spend the global budget**, under any interleaving — the
+//! property the concurrency suite stress-tests on the exact carrier. The
+//! price is refusal precision, not soundness: a charge can be refused
+//! while another shard still holds unspent allowance (the refusal names
+//! the shard, so the condition is visible); budget never leaks in the
+//! spending direction. Charges crossing from `f64` still round **up**
+//! ([`Budget::charge_from_f64`]) and the budget itself rounds **down**,
+//! exactly as in the unsharded ledger.
+//!
+//! # Example
+//!
+//! ```
+//! use sampcert_core::{PureDp, ShardedLedger};
+//!
+//! // ε = 1 split across 4 worker shards, charged from 2 of them.
+//! let ledger: ShardedLedger<PureDp> = ShardedLedger::new(1.0, 4);
+//! let mut handles = ledger.handles();
+//! handles[0].charge(0.25).unwrap();
+//! handles[3].charge(0.5).unwrap();
+//! let spent: f64 = handles.into_iter().map(|h| h.finish().spent).sum();
+//! assert!((spent - 0.75).abs() < 1e-12);
+//! // Every grant was returned: the reserve again holds budget − spent.
+//! assert!((ledger.unallocated() - 0.25).abs() < 1e-12);
+//! ```
+
+use crate::abstract_dp::AbstractDp;
+use crate::accountant::{BudgetExceeded, RdpAccountant};
+use crate::budget::Budget;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+/// A [`ShardedLedger`] metering exactly on the dyadic lattice.
+pub type ExactShardedLedger<D> = ShardedLedger<D, sampcert_arith::Dyadic>;
+
+/// The shared half of a sharded ledger: the stated budget and the
+/// unallocated reserve the shards draw grants from.
+struct Reserve<B> {
+    total: B,
+    pool: Mutex<B>,
+}
+
+/// A global privacy budget partitioned across N worker shards.
+///
+/// Construct once, hand a [`ShardHandle`] to each worker via
+/// [`handles`](Self::handles) (or [`handle`](Self::handle)), and let the
+/// workers charge locally; see the module-level docs above for the invariant
+/// and an example. The ledger itself is cheap to clone and share — it owns
+/// no per-shard state.
+pub struct ShardedLedger<D: AbstractDp, B: Budget = f64> {
+    shared: Arc<Reserve<B>>,
+    shards: usize,
+    chunk: B,
+    _notion: PhantomData<D>,
+}
+
+impl<D: AbstractDp, B: Budget> Clone for ShardedLedger<D, B> {
+    fn clone(&self) -> Self {
+        ShardedLedger {
+            shared: Arc::clone(&self.shared),
+            shards: self.shards,
+            chunk: self.chunk.clone(),
+            _notion: PhantomData,
+        }
+    }
+}
+
+impl<D: AbstractDp, B: Budget> std::fmt::Debug for ShardedLedger<D, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLedger")
+            .field("budget", &self.shared.total)
+            .field("shards", &self.shards)
+            .field("chunk", &self.chunk)
+            .finish()
+    }
+}
+
+impl<D: AbstractDp, B: Budget> ShardedLedger<D, B> {
+    /// Creates a sharded ledger over `shards` shards with a total budget,
+    /// converted into the carrier with **downward** rounding (conservative
+    /// for an allowance, as in [`Ledger::new`](crate::Ledger::new)).
+    ///
+    /// The default rebalance chunk is `budget / (8 · shards)` (converted
+    /// downward): small enough that one greedy shard cannot strand most of
+    /// the budget in its local allowance, large enough that a steadily
+    /// charging shard takes the reserve lock rarely. Tune with
+    /// [`with_chunk`](Self::with_chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or not finite, or `shards` is zero.
+    pub fn new(budget: f64, shards: usize) -> Self {
+        assert!(budget.is_finite() && budget >= 0.0, "invalid budget");
+        Self::with_budget(B::budget_from_f64(budget), shards)
+    }
+
+    /// Creates a sharded ledger from a budget already in the carrier — the
+    /// lossless entry point for exact budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not a valid budget quantity or `shards` is
+    /// zero.
+    pub fn with_budget(budget: B, shards: usize) -> Self {
+        assert!(budget.is_valid(), "invalid budget");
+        assert!(shards > 0, "ShardedLedger: need at least one shard");
+        let chunk = B::budget_from_f64(budget.to_f64() / (8.0 * shards as f64));
+        ShardedLedger {
+            shared: Arc::new(Reserve {
+                total: budget.clone(),
+                pool: Mutex::new(budget),
+            }),
+            shards,
+            chunk,
+            _notion: PhantomData,
+        }
+    }
+
+    /// Returns this ledger with the given rebalance chunk (converted
+    /// downward — a smaller chunk is always sound, it only costs extra
+    /// reserve locks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is negative or not finite.
+    pub fn with_chunk(mut self, chunk: f64) -> Self {
+        assert!(chunk.is_finite() && chunk >= 0.0, "invalid chunk");
+        self.chunk = B::budget_from_f64(chunk);
+        self
+    }
+
+    /// Number of shards this ledger was configured for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The stated global budget, in the carrier.
+    pub fn budget(&self) -> &B {
+        &self.shared.total
+    }
+
+    /// Budget currently sitting unallocated in the central reserve, as
+    /// `f64` for reporting.
+    ///
+    /// While handles are live this undercounts what is still spendable
+    /// (their unspent allowances are not in the reserve); once every
+    /// handle has been finished or dropped it equals `budget − spent`
+    /// exactly (on exact carriers).
+    pub fn unallocated(&self) -> f64 {
+        self.unallocated_exact().to_f64()
+    }
+
+    /// [`unallocated`](Self::unallocated), in the carrier.
+    pub fn unallocated_exact(&self) -> B {
+        self.shared.pool.lock().expect("reserve poisoned").clone()
+    }
+
+    /// Total budget granted to shards and not yet returned — an **upper
+    /// bound on total spend** at every instant (`budget − unallocated`),
+    /// which is what a conservative load-shedding policy should compare
+    /// against the budget.
+    pub fn granted_upper_bound(&self) -> f64 {
+        self.shared
+            .total
+            .saturating_sub(&self.unallocated_exact())
+            .to_f64()
+    }
+
+    /// The handle for shard `index`, starting with an empty local
+    /// allowance (its first charge pulls a chunk from the reserve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn handle(&self, index: usize) -> ShardHandle<D, B> {
+        assert!(index < self.shards, "shard index out of range");
+        ShardHandle {
+            shared: Arc::clone(&self.shared),
+            shard: index,
+            chunk: self.chunk.clone(),
+            granted: B::zero(),
+            spent: B::zero(),
+            charges: 0,
+            _notion: PhantomData,
+        }
+    }
+
+    /// One handle per shard, in shard order — hand one to each worker.
+    pub fn handles(&self) -> Vec<ShardHandle<D, B>> {
+        (0..self.shards).map(|i| self.handle(i)).collect()
+    }
+}
+
+/// One worker's shard of a [`ShardedLedger`]: an exclusively owned local
+/// allowance charged without synchronization, refilled from the central
+/// reserve when it runs dry.
+///
+/// Dropping a handle returns its unspent allowance to the reserve; call
+/// [`finish`](Self::finish) instead to also collect the shard's spend
+/// record.
+pub struct ShardHandle<D: AbstractDp, B: Budget = f64> {
+    shared: Arc<Reserve<B>>,
+    shard: usize,
+    chunk: B,
+    /// Total allowance pulled from the reserve since construction.
+    granted: B,
+    /// Composed local spend; `spent ≤ granted` is the shard invariant.
+    spent: B,
+    charges: u64,
+    _notion: PhantomData<D>,
+}
+
+impl<D: AbstractDp, B: Budget> std::fmt::Debug for ShardHandle<D, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle")
+            .field("shard", &self.shard)
+            .field("granted", &self.granted)
+            .field("spent", &self.spent)
+            .field("charges", &self.charges)
+            .finish()
+    }
+}
+
+/// The spend record a [`ShardHandle`] leaves behind
+/// ([`ShardHandle::finish`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpend<B = f64> {
+    /// The shard index.
+    pub shard: usize,
+    /// Composed spend of this shard, in the carrier.
+    pub spent: B,
+    /// Number of accepted charges (batch charges count once).
+    pub charges: u64,
+}
+
+impl<D: AbstractDp, B: Budget> ShardHandle<D, B> {
+    /// This handle's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Composed spend of this shard so far, in the carrier.
+    pub fn spent_exact(&self) -> &B {
+        &self.spent
+    }
+
+    /// Number of accepted charges so far.
+    pub fn charges(&self) -> u64 {
+        self.charges
+    }
+
+    /// Records a release costing `gamma`, converted into the carrier with
+    /// **upward** rounding (conservative, as in
+    /// [`Ledger::charge`](crate::Ledger::charge)).
+    ///
+    /// Lock-free whenever the charge fits the current local allowance;
+    /// otherwise takes the reserve lock once to rebalance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] — naming this shard — when the charge
+    /// fits neither the allowance nor the reserve; the shard is unchanged.
+    pub fn charge(&mut self, gamma: f64) -> Result<(), BudgetExceeded<B>> {
+        assert!(gamma.is_finite() && gamma >= 0.0, "invalid charge");
+        self.charge_exact(B::charge_from_f64(gamma))
+    }
+
+    /// Records a batch of `count` releases of `gamma_each`, composed in
+    /// O(1) via [`Budget::compose_n`]; all-or-nothing like
+    /// [`Ledger::charge_batch`](crate::Ledger::charge_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when the batch does not fit.
+    pub fn charge_batch(&mut self, gamma_each: f64, count: u64) -> Result<(), BudgetExceeded<B>> {
+        assert!(
+            gamma_each.is_finite() && gamma_each >= 0.0,
+            "invalid charge"
+        );
+        let total = B::compose_n::<D>(&B::charge_from_f64(gamma_each), count);
+        if !total.is_valid() {
+            return Err(self.refusal(total));
+        }
+        self.charge_exact(total)
+    }
+
+    /// Records a release whose cost is already in the carrier (no
+    /// conversion, no rounding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when the charge does not fit.
+    pub fn charge_exact(&mut self, gamma: B) -> Result<(), BudgetExceeded<B>> {
+        assert!(gamma.is_valid(), "invalid charge");
+        let new_spent = B::compose::<D>(&self.spent, &gamma);
+        if !B::exceeds(&new_spent, &self.granted) {
+            // Hot path: fits the local allowance — no shared state.
+            self.spent = new_spent;
+            self.charges += 1;
+            return Ok(());
+        }
+        // Rebalance: pull max(chunk, deficit) from the reserve, capped by
+        // what the reserve holds. All arithmetic is carrier-exact; the
+        // reserve only ever decreases by exactly what this grant adds.
+        let need = new_spent.saturating_sub(&self.granted);
+        {
+            let mut pool = self.shared.pool.lock().expect("reserve poisoned");
+            let want = if self.chunk > need {
+                self.chunk.clone()
+            } else {
+                need.clone()
+            };
+            let take = if want > *pool { pool.clone() } else { want };
+            if B::exceeds(&need, &take) {
+                drop(pool);
+                return Err(self.refusal(gamma));
+            }
+            *pool = pool.saturating_sub(&take);
+            self.granted = self.granted.add(&take);
+        }
+        debug_assert!(!B::exceeds(&new_spent, &self.granted));
+        self.spent = new_spent;
+        self.charges += 1;
+        Ok(())
+    }
+
+    /// Builds the shard-attributed refusal, reporting as `remaining` what
+    /// this shard could still obtain: its unspent allowance plus the
+    /// current reserve.
+    fn refusal(&self, requested: B) -> BudgetExceeded<B> {
+        let headroom = self.granted.saturating_sub(&self.spent);
+        let pool = self.shared.pool.lock().expect("reserve poisoned");
+        BudgetExceeded::new(requested, headroom.add(&pool)).at_shard(self.shard)
+    }
+
+    /// Returns the unspent allowance to the reserve and yields the spend
+    /// record. (Dropping the handle also returns the allowance, silently.)
+    pub fn finish(mut self) -> ShardSpend<B> {
+        self.return_headroom();
+        let spent = std::mem::replace(&mut self.spent, B::zero());
+        // Zero the grant too: `self` is dropped on return, and the drop
+        // glue must see a fully settled handle (headroom 0), not re-return
+        // the allowance `return_headroom` just reconciled.
+        self.granted = B::zero();
+        ShardSpend {
+            shard: self.shard,
+            spent,
+            charges: self.charges,
+        }
+    }
+
+    /// Moves `granted − spent` back to the reserve and marks the grant as
+    /// fully consumed (idempotent).
+    fn return_headroom(&mut self) {
+        let headroom = self.granted.saturating_sub(&self.spent);
+        self.granted = self.spent.clone();
+        if headroom == B::zero() {
+            return;
+        }
+        if let Ok(mut pool) = self.shared.pool.lock() {
+            *pool = pool.add(&headroom);
+        }
+    }
+}
+
+impl<D: AbstractDp, B: Budget> Drop for ShardHandle<D, B> {
+    fn drop(&mut self) {
+        self.return_headroom();
+    }
+}
+
+/// A Rényi accountant sharded across workers.
+///
+/// Per-order RDP totals are purely additive, so sharding the *accountant*
+/// needs no budget choreography at all: each worker accumulates releases
+/// on its own private [`RdpAccountant`] (created by
+/// [`shard`](Self::shard)), and [`fold`](Self::fold) merges the shard
+/// curves into the accountant for the whole session — exactly equal, on
+/// exact carriers, to having accounted every release on one accountant
+/// (pinned by tests via [`RdpAccountant::merge`]).
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::{RdpAccountant, ShardedRdpAccountant};
+///
+/// let sharded = ShardedRdpAccountant::with_default_orders(4);
+/// let parts: Vec<_> = (0..4)
+///     .map(|_| {
+///         let mut acct = sharded.shard();
+///         acct.add_gaussian_n(8.0, 256); // each worker serves 256 draws
+///         acct
+///     })
+///     .collect();
+/// let total = sharded.fold(parts);
+///
+/// let mut reference = RdpAccountant::with_default_orders();
+/// reference.add_gaussian_n(8.0, 1024);
+/// assert_eq!(total.epsilon(1e-6), reference.epsilon(1e-6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedRdpAccountant<B: Budget = f64> {
+    orders: Vec<f64>,
+    shards: usize,
+    _carrier: PhantomData<B>,
+}
+
+impl ShardedRdpAccountant {
+    /// An `f64`-carried sharded accountant over the conventional order
+    /// grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_default_orders(shards: usize) -> Self {
+        Self::with_orders(RdpAccountant::default_order_grid(), shards)
+    }
+}
+
+impl<B: Budget> ShardedRdpAccountant<B> {
+    /// A sharded accountant over the given Rényi orders, in any carrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, `orders` is empty, or an order is ≤ 1.
+    pub fn with_orders(orders: Vec<f64>, shards: usize) -> Self {
+        assert!(shards > 0, "ShardedRdpAccountant: need at least one shard");
+        // Validate the grid once, up front, with the same checks the
+        // per-shard constructor applies.
+        let _ = RdpAccountant::<B>::with_orders(orders.clone());
+        ShardedRdpAccountant {
+            orders,
+            shards,
+            _carrier: PhantomData,
+        }
+    }
+
+    /// Number of shards this accountant was configured for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// A fresh per-worker accumulator over this accountant's order grid.
+    pub fn shard(&self) -> RdpAccountant<B> {
+        RdpAccountant::with_orders(self.orders.clone())
+    }
+
+    /// Merges the shard accumulators into the session accountant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a part was built over a different order grid.
+    pub fn fold(&self, parts: impl IntoIterator<Item = RdpAccountant<B>>) -> RdpAccountant<B> {
+        let mut total = self.shard();
+        for part in parts {
+            total.merge(&part);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_dp::{PureDp, Zcdp};
+    use crate::accountant::Ledger;
+    use sampcert_arith::Dyadic;
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ShardHandle<PureDp, f64>>();
+        assert_send::<ShardHandle<Zcdp, Dyadic>>();
+        assert_send::<ShardedLedger<PureDp, Dyadic>>();
+    }
+
+    #[test]
+    fn local_charges_spend_the_global_budget() {
+        let ledger: ShardedLedger<PureDp> = ShardedLedger::new(1.0, 4);
+        let mut handles = ledger.handles();
+        for h in handles.iter_mut() {
+            h.charge(0.125).unwrap();
+        }
+        let spends: Vec<ShardSpend> = handles.into_iter().map(ShardHandle::finish).collect();
+        let total: f64 = spends.iter().map(|s| s.spent).sum();
+        assert!((total - 0.5).abs() < 1e-12);
+        assert_eq!(spends.iter().map(|s| s.charges).sum::<u64>(), 4);
+        // All grants returned: reserve holds exactly budget − spent.
+        assert!((ledger.unallocated() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shards_cannot_jointly_overspend_exact() {
+        // Budget 1 (dyadic-exact), 4 shards, each trying to charge 3/8:
+        // at most two can succeed (2·3/8 = 3/4 ≤ 1 < 3·3/8).
+        let ledger: ExactShardedLedger<PureDp> = ShardedLedger::new(1.0, 4);
+        let mut ok = 0;
+        let mut handles = ledger.handles();
+        for h in handles.iter_mut() {
+            if h.charge(0.375).is_ok() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 2);
+        let total = handles
+            .into_iter()
+            .map(|h| h.finish().spent)
+            .fold(Dyadic::zero(), |acc, s| &acc + &s);
+        assert!(total <= *ledger.budget());
+        assert_eq!(total, Dyadic::from_f64_ceil(0.75));
+    }
+
+    #[test]
+    fn refusal_names_shard_and_reports_obtainable_remaining() {
+        let ledger: ExactShardedLedger<PureDp> = ShardedLedger::new(1.0, 2);
+        let mut handles = ledger.handles();
+        handles[0].charge(0.75).unwrap();
+        let err = handles[1].charge(0.5).unwrap_err();
+        assert_eq!(err.shard, Some(1));
+        assert_eq!(err.carrier, "dyadic");
+        // Shard 1 could still obtain at most what shard 0's grant left
+        // behind; with chunked granting that is ≤ budget − 0.75.
+        assert!(err.remaining <= Dyadic::from_f64_ceil(0.25));
+        let msg = err.to_string();
+        assert!(msg.contains("[carrier: dyadic, shard: 1]"), "{msg}");
+    }
+
+    #[test]
+    fn dropping_a_handle_returns_its_headroom() {
+        // Chunk is 1/(8·2) = 0.0625: a 0.01 charge is granted a whole
+        // chunk, leaving 0.0525 of unspent allowance on the handle.
+        let ledger: ShardedLedger<PureDp> = ShardedLedger::new(1.0, 2);
+        {
+            let mut h = ledger.handle(0);
+            h.charge(0.01).unwrap();
+            assert!((ledger.unallocated() - 0.9375).abs() < 1e-12);
+        }
+        // After the drop only the spend is gone from the reserve.
+        assert!((ledger.unallocated() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebalance_lets_one_shard_spend_nearly_everything() {
+        // The chunk only bounds per-grab size, not per-shard total: a
+        // single busy shard pulls chunk after chunk until the reserve is
+        // dry, so sharding never strands budget in idle shards.
+        let ledger: ExactShardedLedger<PureDp> = ShardedLedger::new(1.0, 8);
+        let mut h = ledger.handle(0);
+        for _ in 0..64 {
+            h.charge(1.0 / 64.0).unwrap();
+        }
+        assert!(h.charge(0.5).is_err());
+        let spent = h.finish().spent;
+        assert_eq!(spent, *ledger.budget());
+        assert_eq!(ledger.unallocated_exact(), Dyadic::zero());
+    }
+
+    #[test]
+    fn sharded_and_unsharded_admit_the_same_exact_session() {
+        // A charge sequence that exactly fills the budget must be fully
+        // admitted by both the sharded and the plain exact ledger.
+        let mut plain: Ledger<PureDp, Dyadic> = Ledger::new(2.0);
+        let sharded: ExactShardedLedger<PureDp> = ShardedLedger::new(2.0, 2);
+        let mut h = sharded.handle(0);
+        for _ in 0..16 {
+            plain.charge("q", 0.125).unwrap();
+            h.charge(0.125).unwrap();
+        }
+        assert_eq!(h.spent_exact(), plain.spent_exact());
+        assert!(h.charge(0.125).is_err());
+        assert!(plain.charge("q", 0.125).is_err());
+    }
+
+    #[test]
+    fn charge_batch_is_atomic_on_shards() {
+        let ledger: ExactShardedLedger<Zcdp> = ShardedLedger::new(1.0, 2);
+        let mut h = ledger.handle(0);
+        h.charge_batch(0.125, 4).unwrap();
+        assert_eq!(h.spent_exact(), &Dyadic::from_f64_ceil(0.5));
+        assert_eq!(h.charges(), 1);
+        // A batch that would overrun is refused without partial spend.
+        let err = h.charge_batch(0.125, 8).unwrap_err();
+        assert_eq!(err.shard, Some(0));
+        assert_eq!(h.spent_exact(), &Dyadic::from_f64_ceil(0.5));
+    }
+
+    #[test]
+    fn overflowing_batch_total_is_refused_not_panicked() {
+        let ledger: ShardedLedger<PureDp> = ShardedLedger::new(1.0, 1);
+        let mut h = ledger.handle(0);
+        let err = h.charge_batch(1e308, 10).unwrap_err();
+        assert!(err.requested.is_infinite());
+        assert_eq!(h.charges(), 0);
+    }
+
+    #[test]
+    fn zero_budget_refuses_everything_but_zero() {
+        let ledger: ExactShardedLedger<PureDp> = ShardedLedger::new(0.0, 2);
+        let mut h = ledger.handle(1);
+        h.charge(0.0).unwrap();
+        assert!(h.charge(1e-9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index out of range")]
+    fn out_of_range_handle_rejected() {
+        let ledger: ShardedLedger<PureDp> = ShardedLedger::new(1.0, 2);
+        let _ = ledger.handle(2);
+    }
+
+    #[test]
+    fn sharded_rdp_fold_equals_single_accountant() {
+        let sharded: ShardedRdpAccountant = ShardedRdpAccountant::with_default_orders(3);
+        let mut parts = Vec::new();
+        for i in 0..3 {
+            let mut acct = sharded.shard();
+            acct.add_gaussian_n(8.0, 100 * (i + 1));
+            acct.add_pure(0.05);
+            parts.push(acct);
+        }
+        let folded = sharded.fold(parts);
+        let mut reference = RdpAccountant::with_default_orders();
+        reference.add_gaussian_n(8.0, 600);
+        for _ in 0..3 {
+            reference.add_pure(0.05);
+        }
+        let (ef, af) = folded.epsilon(1e-6);
+        let (er, ar) = reference.epsilon(1e-6);
+        assert!((ef - er).abs() < 1e-9, "{ef} vs {er}");
+        assert_eq!(af, ar);
+    }
+
+    #[test]
+    #[should_panic(expected = "different order grids")]
+    fn fold_rejects_mismatched_grids() {
+        let sharded: ShardedRdpAccountant = ShardedRdpAccountant::with_orders(vec![2.0, 4.0], 2);
+        let alien: RdpAccountant = RdpAccountant::with_orders(vec![2.0, 8.0]);
+        let _ = sharded.fold([alien]);
+    }
+}

@@ -15,20 +15,20 @@
 //! — the full per-bin budget with `1/nBins` of the sequential noise.
 
 use sampcert_core::{DpNoise, Private, Query};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A binning strategy: a total function from rows to `n_bins` bins
 /// (the paper's `Bins` structure).
 pub struct Bins<T> {
     n_bins: usize,
-    f: Rc<dyn Fn(&T) -> usize>,
+    f: Arc<dyn Fn(&T) -> usize + Send + Sync>,
 }
 
 impl<T> Clone for Bins<T> {
     fn clone(&self) -> Self {
         Bins {
             n_bins: self.n_bins,
-            f: Rc::clone(&self.f),
+            f: Arc::clone(&self.f),
         }
     }
 }
@@ -47,11 +47,11 @@ impl<T> Bins<T> {
     /// Panics if `n_bins` is zero. The function's outputs are clamped into
     /// range at use sites (a defensive echo of the paper's `Fin nBins`
     /// codomain, which makes out-of-range bins unrepresentable).
-    pub fn new(n_bins: usize, f: impl Fn(&T) -> usize + 'static) -> Self {
+    pub fn new(n_bins: usize, f: impl Fn(&T) -> usize + Send + Sync + 'static) -> Self {
         assert!(n_bins > 0, "Bins: need at least one bin");
         Bins {
             n_bins,
-            f: Rc::new(f),
+            f: Arc::new(f),
         }
     }
 

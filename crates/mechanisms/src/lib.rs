@@ -38,6 +38,7 @@ mod adaptive;
 mod batch;
 mod histogram;
 mod queries;
+mod serve;
 mod svt;
 
 pub use accuracy::{
@@ -49,4 +50,5 @@ pub use histogram::{
     approx_max_bin, exact_bin_count, noised_bin_count, noised_histogram, par_noised_histogram, Bins,
 };
 pub use queries::{mean_of, noised_bounded_sum, noised_count, noised_mean};
+pub use serve::{NoiseServer, SeedBackend, ServeConfig};
 pub use svt::{above_threshold, sparse, SvtParams};

@@ -1,0 +1,698 @@
+//! Concurrent noise serving: a persistent worker pool fanning batched
+//! requests across threads.
+//!
+//! Everything below this module serves from one thread: the `*_many`
+//! samplers amortize program construction, [`histogram_batch`] amortizes
+//! database passes, [`NoiseBatch`] amortizes accounting — but a single
+//! core still caps throughput. [`NoiseServer`] is the fan-out layer: it
+//! owns `N` workers, each with
+//!
+//! - **its own byte source** (per-worker OS entropy, or a pairwise
+//!   independent replayable stream derived from one
+//!   [`SplitSeed`](sampcert_slang::SplitSeed) root — the
+//!   [`SeedBackend`] choice), and
+//! - **its own program cache** (raw-noise programs are built per worker
+//!   and reused across serve calls; [`run_many`](NoiseServer::run_many)
+//!   instead shares one `Sync` [`Mechanism`] by reference — programs are
+//!   immutable, so sharing costs no locks after construction),
+//!
+//! and splits each request into per-worker chunks served on
+//! [`std::thread::scope`] threads. Budget metering composes through
+//! [`ShardedLedger`](sampcert_core::ShardedLedger): worker `i` charges
+//! shard `i` before drawing a single byte (one batch charge per chunk
+//! here; long-lived serving loops that charge per request should hold
+//! their `ShardHandle`s across requests to stay on the lock-free path).
+//!
+//! # Determinism contract
+//!
+//! With [`SeedBackend::Deterministic`], the output of every serve call is
+//! a pure function of `(root seed, worker count, request)`: worker `i`
+//! always serves the same chunk from the same stream, and results are
+//! concatenated in worker order. Re-running a server with the same seed
+//! and worker count replays identical outputs — the property the
+//! concurrency suite pins. A *different* worker count is a different
+//! (equally valid) sample of the same distribution: concurrent serving
+//! changes which verified stream each draw comes from, never the
+//! distribution it is drawn from — every chunk is served by the same
+//! byte-stream-pinned `*_many` primitives the sequential layer uses.
+//!
+//! # Example
+//!
+//! ```
+//! use sampcert_mechanisms::{NoiseServer, ServeConfig, SeedBackend};
+//! use sampcert_samplers::LaplaceAlg;
+//! use sampcert_arith::Nat;
+//!
+//! let mut server = NoiseServer::new(ServeConfig {
+//!     workers: 4,
+//!     seed: SeedBackend::Deterministic(7),
+//! });
+//! let noise = server.gaussian_noise_many(
+//!     &Nat::from(64u64),
+//!     &Nat::one(),
+//!     LaplaceAlg::Switched,
+//!     4096,
+//! );
+//! assert_eq!(noise.len(), 4096);
+//! ```
+
+use crate::histogram::Bins;
+use sampcert_arith::Nat;
+use sampcert_core::{Budget, BudgetExceeded, DpNoise, Mechanism, NoiseBatch, Query, ShardedLedger};
+use sampcert_samplers::{
+    discrete_gaussian, discrete_gaussian_many_into, discrete_laplace_many_into, LaplaceAlg,
+};
+use sampcert_slang::{ByteSource, OsByteSource, Sampling, SeededByteSource, SplitSeed};
+use std::collections::HashMap;
+
+/// Where the worker pool's randomness comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedBackend {
+    /// Each worker draws from its own OS-entropy source — the deployment
+    /// backend.
+    OsEntropy,
+    /// Each worker draws the pairwise independent stream
+    /// `SplitSeed::new(root).stream(worker)` — deterministic and
+    /// replayable for a fixed worker count; the test/audit backend.
+    Deterministic(u64),
+}
+
+/// Configuration of a [`NoiseServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of worker threads (and byte streams, and program caches).
+    pub workers: usize,
+    /// The randomness backend.
+    pub seed: SeedBackend,
+}
+
+impl Default for ServeConfig {
+    /// OS entropy across `available_parallelism` workers.
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            seed: SeedBackend::OsEntropy,
+        }
+    }
+}
+
+/// Key of a worker's cached noise program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ProgKey {
+    Gaussian(Nat, Nat, LaplaceAlg),
+    Laplace(Nat, Nat, LaplaceAlg),
+}
+
+/// One worker's persistent state: its byte source and program cache.
+/// Owned exclusively by the worker's thread during a serve call.
+struct WorkerCtx {
+    src: Box<dyn ByteSource + Send>,
+    progs: HashMap<ProgKey, sampcert_slang::SLang<i64>>,
+}
+
+impl WorkerCtx {
+    fn new(index: usize, seed: SeedBackend) -> Self {
+        let src: Box<dyn ByteSource + Send> = match seed {
+            SeedBackend::OsEntropy => Box::new(OsByteSource::new()),
+            SeedBackend::Deterministic(root) => {
+                let stream: SeededByteSource = SplitSeed::new(root).stream(index as u64);
+                Box::new(stream)
+            }
+        };
+        WorkerCtx {
+            src,
+            progs: HashMap::new(),
+        }
+    }
+}
+
+/// Splits `n` into `workers` contiguous chunk lengths, the first
+/// `n % workers` chunks one longer — the fixed request-partition rule the
+/// determinism contract is stated over.
+fn chunk_lengths(n: usize, workers: usize) -> Vec<usize> {
+    let base = n / workers;
+    let rem = n % workers;
+    (0..workers).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// The same partition as [`chunk_lengths`], as per-worker index ranges.
+fn chunk_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    chunk_lengths(n, workers)
+        .into_iter()
+        .scan(0, |acc, len| {
+            let s = *acc;
+            *acc += len;
+            Some(s..*acc)
+        })
+        .collect()
+}
+
+/// A persistent pool of noise-serving workers — per-worker byte streams
+/// and program caches, scoped-thread fan-out, sharded metering; see the
+/// module-level docs above for the determinism contract.
+pub struct NoiseServer {
+    workers: Vec<WorkerCtx>,
+    seed: SeedBackend,
+    /// Round-robin cursor of the single-draw (`*_noise_one`) path.
+    next_one: usize,
+}
+
+impl std::fmt::Debug for NoiseServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NoiseServer")
+            .field("workers", &self.workers.len())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl NoiseServer {
+    /// Creates the pool: one byte source and one empty program cache per
+    /// worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero.
+    pub fn new(config: ServeConfig) -> Self {
+        assert!(config.workers > 0, "NoiseServer: need at least one worker");
+        NoiseServer {
+            workers: (0..config.workers)
+                .map(|i| WorkerCtx::new(i, config.seed))
+                .collect(),
+            seed: config.seed,
+            next_one: 0,
+        }
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The backend the pool was built with.
+    pub fn seed_backend(&self) -> SeedBackend {
+        self.seed
+    }
+
+    /// The core fan-out: hands each worker its context and chunk index,
+    /// runs `serve` on a scoped thread per worker, and returns the
+    /// per-worker results in worker order. A single-worker pool serves
+    /// inline — no thread is spawned, so the 1-worker configuration is a
+    /// true sequential baseline.
+    fn fan_out<R, F>(&mut self, serve: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut WorkerCtx) -> R + Sync,
+    {
+        if self.workers.len() == 1 {
+            return vec![serve(0, &mut self.workers[0])];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .enumerate()
+                .map(|(i, ctx)| {
+                    let serve = &serve;
+                    scope.spawn(move || serve(i, ctx))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Draws `n` i.i.d. discrete Gaussian samples `N_ℤ(0, (num/den)²)`
+    /// across the pool.
+    ///
+    /// Each worker serves its chunk through the byte-stream-pinned batch
+    /// primitive ([`discrete_gaussian_many_into`]) from its own stream;
+    /// results concatenate in worker order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    pub fn gaussian_noise_many(
+        &mut self,
+        num: &Nat,
+        den: &Nat,
+        alg: LaplaceAlg,
+        n: usize,
+    ) -> Vec<i64> {
+        let chunks = chunk_lengths(n, self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let mut out = Vec::new();
+            discrete_gaussian_many_into(num, den, alg, chunks[i], &mut *ctx.src, &mut out);
+            out
+        });
+        parts.concat()
+    }
+
+    /// [`gaussian_noise_many`](Self::gaussian_noise_many) behind a sharded
+    /// ledger: worker `i` charges its whole chunk to shard `i` as one
+    /// batch charge **before** drawing any bytes. The per-call shard
+    /// handle starts with an empty allowance, so this charge takes the
+    /// reserve lock once per worker per call — amortized over the whole
+    /// chunk. (Sharding's lock-free hot path pays off at *fine-grained*
+    /// charging: serving loops that charge per request should hold
+    /// [`ShardHandle`](sampcert_core::ShardHandle)s across requests, as
+    /// the `reproduce serve` request loops do.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the first refusing shard's [`BudgetExceeded`] (by shard
+    /// order) if any chunk does not fit. Chunks whose charge succeeded
+    /// have already spent their budget; their drawn noise is discarded
+    /// unreleased, which errs in the conservative direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero, or the ledger has fewer shards
+    /// than the pool has workers.
+    pub fn gaussian_noise_many_metered<D: DpNoise, B: Budget>(
+        &mut self,
+        num: &Nat,
+        den: &Nat,
+        alg: LaplaceAlg,
+        n: usize,
+        gamma_each: f64,
+        ledger: &ShardedLedger<D, B>,
+    ) -> Result<Vec<i64>, BudgetExceeded<B>> {
+        assert!(
+            ledger.shards() >= self.workers.len(),
+            "ledger has fewer shards than the pool has workers"
+        );
+        let chunks = chunk_lengths(n, self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let mut handle = ledger.handle(i);
+            handle.charge_batch(gamma_each, chunks[i] as u64)?;
+            let mut out = Vec::new();
+            discrete_gaussian_many_into(num, den, alg, chunks[i], &mut *ctx.src, &mut out);
+            Ok(out)
+        });
+        let mut values = Vec::with_capacity(n);
+        for part in parts {
+            values.extend(part?);
+        }
+        Ok(values)
+    }
+
+    /// Draws one sample from a worker-cached single-draw program — the
+    /// per-release serving path (one request, one draw), kept for
+    /// workloads too adaptive to batch. Calls rotate round-robin across
+    /// the pool, so every worker's stream advances and every worker's
+    /// cache warms; the program for `(kind, num, den, alg)` is built once
+    /// per worker and reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    pub fn gaussian_noise_one(&mut self, num: &Nat, den: &Nat, alg: LaplaceAlg) -> i64 {
+        let key = ProgKey::Gaussian(num.clone(), den.clone(), alg);
+        let ctx = self.next_worker();
+        let prog = ctx
+            .progs
+            .entry(key)
+            .or_insert_with(|| discrete_gaussian::<Sampling>(num, den, alg));
+        prog.run(&mut *ctx.src)
+    }
+
+    /// The Laplace twin of
+    /// [`gaussian_noise_one`](Self::gaussian_noise_one), served from the
+    /// same round-robin per-worker program caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    pub fn laplace_noise_one(&mut self, num: &Nat, den: &Nat, alg: LaplaceAlg) -> i64 {
+        let key = ProgKey::Laplace(num.clone(), den.clone(), alg);
+        let ctx = self.next_worker();
+        let prog = ctx
+            .progs
+            .entry(key)
+            .or_insert_with(|| sampcert_samplers::discrete_laplace::<Sampling>(num, den, alg));
+        prog.run(&mut *ctx.src)
+    }
+
+    /// The worker serving the next single-draw request (round-robin).
+    fn next_worker(&mut self) -> &mut WorkerCtx {
+        let i = self.next_one % self.workers.len();
+        self.next_one = self.next_one.wrapping_add(1);
+        &mut self.workers[i]
+    }
+
+    /// Draws `n` i.i.d. discrete Laplace samples with scale `num/den`
+    /// across the pool; the Laplace twin of
+    /// [`gaussian_noise_many`](Self::gaussian_noise_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    pub fn laplace_noise_many(
+        &mut self,
+        num: &Nat,
+        den: &Nat,
+        alg: LaplaceAlg,
+        n: usize,
+    ) -> Vec<i64> {
+        let chunks = chunk_lengths(n, self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let mut out = Vec::new();
+            discrete_laplace_many_into(num, den, alg, chunks[i], &mut *ctx.src, &mut out);
+            out
+        });
+        parts.concat()
+    }
+
+    /// Draws `n` independent outputs of one mechanism across the pool —
+    /// the concurrent form of
+    /// [`Mechanism::run_many`](sampcert_core::Mechanism::run_many).
+    /// The mechanism (and the program tree inside it) is shared by
+    /// reference: `Mechanism` is `Sync`, so no worker rebuilds it.
+    pub fn run_many<T: Sync + 'static, U: sampcert_slang::Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+    ) -> Vec<U> {
+        let chunks = chunk_lengths(n, self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let mut out = Vec::new();
+            mech.run_many_into(db, chunks[i], &mut *ctx.src, &mut out);
+            out
+        });
+        parts.concat()
+    }
+
+    /// [`run_many`](Self::run_many) behind a sharded ledger: worker `i`
+    /// batch-charges shard `i` before serving its chunk.
+    ///
+    /// # Errors
+    ///
+    /// As in
+    /// [`gaussian_noise_many_metered`](Self::gaussian_noise_many_metered):
+    /// first refusing shard wins, successfully charged chunks stay
+    /// charged, nothing is released on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger has fewer shards than the pool has workers.
+    pub fn run_many_metered<D: DpNoise, B: Budget, T: Sync + 'static, U: sampcert_slang::Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        gamma_each: f64,
+        ledger: &ShardedLedger<D, B>,
+    ) -> Result<Vec<U>, BudgetExceeded<B>> {
+        assert!(
+            ledger.shards() >= self.workers.len(),
+            "ledger has fewer shards than the pool has workers"
+        );
+        let chunks = chunk_lengths(n, self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let mut handle = ledger.handle(i);
+            handle.charge_batch(gamma_each, chunks[i] as u64)?;
+            let mut out = Vec::new();
+            mech.run_many_into(db, chunks[i], &mut *ctx.src, &mut out);
+            Ok(out)
+        });
+        let mut values = Vec::with_capacity(n);
+        for part in parts {
+            values.extend(part?);
+        }
+        Ok(values)
+    }
+
+    /// Serves one [`histogram_batch`](crate::histogram_batch) request per
+    /// database across the pool — the fleet form of histogram serving
+    /// (many tenants, one binning scheme). Each worker runs whole
+    /// requests, so every released histogram is byte-identical to the one
+    /// the sequential `histogram_batch` would release from that worker's
+    /// stream position.
+    ///
+    /// Privacy: each database is a separate dataset, so the requests do
+    /// not compose — each costs
+    /// [`histogram_gamma`](crate::histogram_gamma) on its own dataset's
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma_num` or `gamma_den` is zero.
+    pub fn histogram_batches<D: DpNoise, T: Sync + 'static>(
+        &mut self,
+        bins: &Bins<T>,
+        gamma_num: u64,
+        gamma_den: u64,
+        dbs: &[Vec<T>],
+    ) -> Vec<Vec<i64>> {
+        let ranges = chunk_ranges(dbs.len(), self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            dbs[ranges[i].clone()]
+                .iter()
+                .map(|db| {
+                    crate::histogram_batch::<D, T>(bins, gamma_num, gamma_den, db, &mut *ctx.src)
+                })
+                .collect::<Vec<_>>()
+        });
+        parts.concat()
+    }
+
+    /// Answers a query workload across the pool — the concurrent form of
+    /// [`answer_workload`](crate::answer_workload). Queries are split into
+    /// contiguous per-worker chunks; each worker builds (and caches, for
+    /// the duration of the call) one noise program per distinct
+    /// sensitivity in *its* chunk, evaluates its queries against the
+    /// shared database, and the answers are reassembled in workload order
+    /// as one [`NoiseBatch`] charging `noise_priv(γ₁, γ₂)` per answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma_num` or `gamma_den` is zero.
+    pub fn answer_workload<D: DpNoise, T: Sync + 'static>(
+        &mut self,
+        queries: &[Query<T>],
+        gamma_num: u64,
+        gamma_den: u64,
+        db: &[T],
+    ) -> NoiseBatch<D, i64> {
+        let ranges = chunk_ranges(queries.len(), self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let chunk = &queries[ranges[i].clone()];
+            crate::answer_workload::<D, T>(chunk, gamma_num, gamma_den, db, &mut *ctx.src)
+                .into_values()
+        });
+        NoiseBatch::new(parts.concat(), D::noise_priv(gamma_num, gamma_den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_core::{count_query, ExactShardedLedger, Ledger, PureDp, Zcdp};
+
+    fn det_server(workers: usize, root: u64) -> NoiseServer {
+        NoiseServer::new(ServeConfig {
+            workers,
+            seed: SeedBackend::Deterministic(root),
+        })
+    }
+
+    #[test]
+    fn chunk_lengths_partition() {
+        assert_eq!(chunk_lengths(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(chunk_lengths(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(chunk_lengths(0, 2), vec![0, 0]);
+        assert_eq!(chunk_lengths(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn deterministic_serving_is_replayable() {
+        let mut a = det_server(4, 11);
+        let mut b = det_server(4, 11);
+        let num = Nat::from(64u64);
+        let xs = a.gaussian_noise_many(&num, &Nat::one(), LaplaceAlg::Switched, 1000);
+        let ys = b.gaussian_noise_many(&num, &Nat::one(), LaplaceAlg::Switched, 1000);
+        assert_eq!(xs, ys);
+        // And stateful: a second call continues the streams, it does not
+        // restart them.
+        let xs2 = a.gaussian_noise_many(&num, &Nat::one(), LaplaceAlg::Switched, 1000);
+        assert_ne!(xs, xs2);
+        assert_eq!(
+            xs2,
+            b.gaussian_noise_many(&num, &Nat::one(), LaplaceAlg::Switched, 1000)
+        );
+    }
+
+    #[test]
+    fn worker_chunks_match_per_worker_sequential_streams() {
+        // The concurrency is scheduling-only: worker i's chunk must equal
+        // what the same batch primitive serves from stream i directly.
+        let workers = 3;
+        let n = 100;
+        let mut server = det_server(workers, 5);
+        let num = Nat::from(25u64);
+        let den = Nat::from(2u64);
+        let served = server.gaussian_noise_many(&num, &den, LaplaceAlg::Switched, n);
+
+        let root = SplitSeed::new(5);
+        let mut expect = Vec::new();
+        for (i, len) in chunk_lengths(n, workers).into_iter().enumerate() {
+            let mut src = root.stream(i as u64);
+            discrete_gaussian_many_into(
+                &num,
+                &den,
+                LaplaceAlg::Switched,
+                len,
+                &mut src,
+                &mut expect,
+            );
+        }
+        assert_eq!(served, expect);
+    }
+
+    #[test]
+    fn run_many_serves_shared_mechanism() {
+        let q = count_query::<u8>();
+        let mech = PureDp::noise(&q, 1, 1);
+        let db = vec![0u8; 50];
+        let mut server = det_server(4, 9);
+        let out = server.run_many(&mech, &db, 400);
+        assert_eq!(out.len(), 400);
+        let mean = out.iter().sum::<i64>() as f64 / 400.0;
+        assert!((mean - 50.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn metered_run_charges_shards_and_refuses_over_budget() {
+        let q = count_query::<u8>();
+        let mech = Zcdp::noise(&q, 1, 2);
+        let gamma = Zcdp::noise_priv(1, 2); // ρ = 1/8 per answer
+        let db = vec![0u8; 10];
+        let mut server = det_server(2, 3);
+
+        // 16 answers at ρ=1/8 need ρ=2 total; a budget of 2 admits them.
+        let ledger: ExactShardedLedger<Zcdp> = ShardedLedger::new(2.0, 2);
+        let out = server
+            .run_many_metered(&mech, &db, 16, gamma, &ledger)
+            .expect("fits");
+        assert_eq!(out.len(), 16);
+        assert_eq!(ledger.unallocated(), 0.0);
+
+        // The next batch must be refused by a named shard.
+        let err = server
+            .run_many_metered(&mech, &db, 16, gamma, &ledger)
+            .unwrap_err();
+        assert!(err.shard.is_some());
+        assert_eq!(err.carrier, "dyadic");
+    }
+
+    #[test]
+    fn histogram_fleet_matches_sequential_per_worker() {
+        let bins = Bins::new(3, |v: &i64| (*v % 3).unsigned_abs() as usize);
+        let dbs: Vec<Vec<i64>> = (0..8).map(|k| (0..40 + k).collect()).collect();
+        let mut server = det_server(2, 21);
+        let fleet = server.histogram_batches::<PureDp, i64>(&bins, 1, 1, &dbs);
+        assert_eq!(fleet.len(), dbs.len());
+
+        // Worker 0 served requests 0..4 from stream 0, worker 1 requests
+        // 4..8 from stream 1 — replay both sequentially.
+        let root = SplitSeed::new(21);
+        let mut expect = Vec::new();
+        for (w, range) in [(0u64, 0..4usize), (1, 4..8)] {
+            let mut src = root.stream(w);
+            for db in &dbs[range] {
+                expect.push(crate::histogram_batch::<PureDp, i64>(
+                    &bins, 1, 1, db, &mut src,
+                ));
+            }
+        }
+        assert_eq!(fleet, expect);
+    }
+
+    #[test]
+    fn workload_answers_come_back_in_workload_order() {
+        let queries: Vec<Query<i64>> = (0..10)
+            .map(|i| Query::new(format!("q{i}"), 1, move |db: &[i64]| db.len() as i64 + i))
+            .collect();
+        let db: Vec<i64> = (0..30).collect();
+        let mut server = det_server(3, 2);
+        // Huge ε ⇒ near-zero noise: answer order is observable.
+        let batch = server.answer_workload::<PureDp, i64>(&queries, 400, 1, &db);
+        assert_eq!(batch.len(), 10);
+        for (i, v) in batch.values().iter().enumerate() {
+            assert_eq!(*v, 30 + i as i64, "answer {i} out of order");
+        }
+        // The batch charges like its sequential counterpart.
+        let mut ledger: Ledger<PureDp> = Ledger::new(1e9);
+        batch.charge(&mut ledger, "workload").unwrap();
+        assert!((ledger.spent() - 10.0 * 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_worker_pool_serves_inline() {
+        let mut server = det_server(1, 13);
+        let out =
+            server.gaussian_noise_many(&Nat::from(4u64), &Nat::one(), LaplaceAlg::Switched, 64);
+        let mut src = SplitSeed::new(13).stream(0);
+        let mut expect = Vec::new();
+        discrete_gaussian_many_into(
+            &Nat::from(4u64),
+            &Nat::one(),
+            LaplaceAlg::Switched,
+            64,
+            &mut src,
+            &mut expect,
+        );
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn per_release_path_caches_programs() {
+        let mut server = det_server(2, 1);
+        let num = Nat::from(8u64);
+        let _ = server.gaussian_noise_one(&num, &Nat::one(), LaplaceAlg::Switched);
+        let _ = server.gaussian_noise_one(&num, &Nat::one(), LaplaceAlg::Switched);
+        assert_eq!(server.workers[0].progs.len(), 1, "program rebuilt");
+        let _ = server.gaussian_noise_one(&Nat::from(9u64), &Nat::one(), LaplaceAlg::Switched);
+        assert_eq!(server.workers[0].progs.len(), 2);
+        // Laplace programs cache under their own key.
+        let _ = server.laplace_noise_one(&num, &Nat::one(), LaplaceAlg::Switched);
+        let _ = server.laplace_noise_one(&num, &Nat::one(), LaplaceAlg::Switched);
+        assert_eq!(server.workers[0].progs.len(), 3);
+    }
+
+    #[test]
+    fn laplace_serving_splits_like_gaussian() {
+        let mut server = det_server(4, 17);
+        let out = server.laplace_noise_many(
+            &Nat::from(5u64),
+            &Nat::from(2u64),
+            LaplaceAlg::Switched,
+            401,
+        );
+        assert_eq!(out.len(), 401);
+    }
+
+    #[test]
+    fn os_entropy_pool_works() {
+        let mut server = NoiseServer::new(ServeConfig {
+            workers: 2,
+            seed: SeedBackend::OsEntropy,
+        });
+        let out =
+            server.gaussian_noise_many(&Nat::from(4u64), &Nat::one(), LaplaceAlg::Switched, 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = NoiseServer::new(ServeConfig {
+            workers: 0,
+            seed: SeedBackend::OsEntropy,
+        });
+    }
+}

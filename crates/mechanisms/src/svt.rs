@@ -27,7 +27,7 @@ use sampcert_core::{Mechanism, Private, PureDp, Query};
 use sampcert_samplers::pmf::{laplace_cdf, laplace_pmf, laplace_radius};
 use sampcert_samplers::{discrete_laplace, LaplaceAlg};
 use sampcert_slang::{Sampling, SubPmf};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Parameters of one AboveThreshold release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,8 +116,8 @@ pub fn above_threshold<T: 'static>(
             q.name()
         );
     }
-    let queries: Rc<Vec<Query<T>>> = Rc::new(queries.to_vec());
-    let queries2 = Rc::clone(&queries);
+    let queries: Arc<Vec<Query<T>>> = Arc::new(queries.to_vec());
+    let queries2 = Arc::clone(&queries);
     let (tn, td) = params.tau_scale();
     let (gn, gd) = params.guess_scale();
     let tau_sampler =
@@ -158,11 +158,11 @@ pub fn sparse<T: 'static>(
     params: SvtParams,
     c: usize,
 ) -> Private<PureDp, T, Vec<u64>> {
-    sparse_aux(Rc::new(queries.to_vec()), 0, params, c)
+    sparse_aux(Arc::new(queries.to_vec()), 0, params, c)
 }
 
 fn sparse_aux<T: 'static>(
-    queries: Rc<Vec<Query<T>>>,
+    queries: Arc<Vec<Query<T>>>,
     offset: usize,
     params: SvtParams,
     c: usize,
@@ -172,10 +172,10 @@ fn sparse_aux<T: 'static>(
     }
     let head = above_threshold(&queries[offset..], params);
     let rest_budget = ((c - 1) * params.eps_num as usize) as f64 / params.eps_den as f64;
-    let queries2 = Rc::clone(&queries);
+    let queries2 = Arc::clone(&queries);
     head.compose_adaptive(rest_budget, move |&k| {
         let next_offset = offset + k as usize + 1;
-        sparse_aux(Rc::clone(&queries2), next_offset, params, c - 1).weaken(rest_budget)
+        sparse_aux(Arc::clone(&queries2), next_offset, params, c - 1).weaken(rest_budget)
     })
     .postprocess(move |(k, rest)| {
         // The sentinel ("nothing fired") ends the release.

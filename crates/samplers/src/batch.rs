@@ -51,7 +51,8 @@ const FUSED_GAUSS_LIMIT: u64 = 1 << 26;
 /// appending them to `out`.
 ///
 /// Builds the sampler once and reuses it for the whole batch; see the
-/// [module docs](self) for the amortization and byte-stream contract.
+/// module-level docs above for the amortization and byte-stream
+/// contract.
 ///
 /// # Panics
 ///
@@ -150,6 +151,25 @@ pub fn discrete_laplace_many_into(
 /// # Panics
 ///
 /// Panics if `num` or `den` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_samplers::{discrete_laplace_many, LaplaceAlg};
+/// use sampcert_arith::Nat;
+/// use sampcert_slang::SeededByteSource;
+///
+/// // Scale 5/2, one program built for the whole batch.
+/// let mut src = SeededByteSource::new(1);
+/// let noise = discrete_laplace_many(
+///     &Nat::from(5u64),
+///     &Nat::from(2u64),
+///     LaplaceAlg::Switched,
+///     256,
+///     &mut src,
+/// );
+/// assert_eq!(noise.len(), 256);
+/// ```
 pub fn discrete_laplace_many(
     num: &Nat,
     den: &Nat,
@@ -191,6 +211,18 @@ pub fn uniform_below_many_into(
 /// # Panics
 ///
 /// Panics if `bound` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_samplers::uniform_below_many;
+/// use sampcert_arith::Nat;
+/// use sampcert_slang::SeededByteSource;
+///
+/// let mut src = SeededByteSource::new(9);
+/// let draws = uniform_below_many(&Nat::from(1000u64), 64, &mut src);
+/// assert!(draws.iter().all(|v| v < &Nat::from(1000u64)));
+/// ```
 pub fn uniform_below_many(bound: &Nat, n: usize, src: &mut dyn ByteSource) -> Vec<Nat> {
     let mut out = Vec::new();
     uniform_below_many_into(bound, n, src, &mut out);

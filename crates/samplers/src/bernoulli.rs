@@ -69,20 +69,22 @@ pub fn bernoulli_exp_neg_unit<I: Interp>(num: &Nat, den: &Nat) -> I::Repr<bool> 
     // construction. Lazy so that building this program stays cheap — the
     // Laplace uniform loop constructs one per accepted candidate.
     const TRIAL_CACHE: usize = 16;
-    let cache: std::cell::RefCell<Vec<Option<I::Repr<(bool, u64)>>>> =
-        std::cell::RefCell::new(vec![None; TRIAL_CACHE]);
+    // One `OnceLock` per trial index: `Sync` (programs are shared across
+    // serving workers) and lock-free after first fill — a mutex here
+    // would serialize every worker of a pool sharing one program on
+    // essentially every trial (k ≤ 16 always in practice).
+    let cache: Vec<std::sync::OnceLock<I::Repr<(bool, u64)>>> = (0..TRIAL_CACHE)
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
     // State: (last trial result, index of the *next* trial).
     let looped = I::while_loop(
         |s: &(bool, u64)| s.0,
         move |s| {
             let k = s.1;
             if k as usize <= TRIAL_CACHE {
-                let mut slots = cache.borrow_mut();
-                let slot = &mut slots[(k - 1) as usize];
-                if slot.is_none() {
-                    *slot = Some(make_trial(k));
-                }
-                slot.as_ref().expect("just filled").clone()
+                cache[(k - 1) as usize]
+                    .get_or_init(|| make_trial(k))
+                    .clone()
             } else {
                 make_trial(k)
             }

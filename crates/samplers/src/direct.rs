@@ -98,7 +98,7 @@ fn geometric_exp_neg_u128(num: u128, den: u128, src: &mut dyn ByteSource) -> u64
 ///
 /// Distribution-identical (and byte-stream-identical) to
 /// [`discrete_laplace`](crate::discrete_laplace); see the
-/// [module docs](self).
+/// module-level docs above.
 ///
 /// # Examples
 ///

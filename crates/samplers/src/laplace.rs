@@ -28,7 +28,8 @@ use crate::uniform::uniform_below;
 use sampcert_arith::Nat;
 use sampcert_slang::{map, pair, until, Interp};
 
-/// Which verified Laplace sampling loop to run; see the [module docs](self).
+/// Which verified Laplace sampling loop to run; see the module-level
+/// docs above.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LaplaceAlg {
     /// Shifted-geometric loop (diffprivlib's algorithm; Listing 10, top).

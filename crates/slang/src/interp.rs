@@ -49,7 +49,13 @@ use crate::subpmf::Value;
 /// reproduction of the paper's "one definition, extracted and verified".
 pub trait Interp: 'static {
     /// The representation of a probabilistic computation returning `T`.
-    type Repr<T: Value>: Clone;
+    ///
+    /// Representations are `Send + Sync`: a compiled program is an
+    /// immutable value, and the concurrent serving layer shares one
+    /// program across a pool of worker threads (each drawing from its own
+    /// [`ByteSource`](crate::ByteSource)). The closure arguments below
+    /// carry the same bounds because representations capture them.
+    type Repr<T: Value>: Clone + Send + Sync;
 
     /// `probPure v`: the point-mass program.
     fn pure<T: Value>(v: T) -> Self::Repr<T>;
@@ -57,7 +63,7 @@ pub trait Interp: 'static {
     /// `probBind m f`: sequencing.
     fn bind<T: Value, U: Value>(
         m: Self::Repr<T>,
-        f: impl Fn(&T) -> Self::Repr<U> + 'static,
+        f: impl Fn(&T) -> Self::Repr<U> + Send + Sync + 'static,
     ) -> Self::Repr<U>;
 
     /// `probUniformByte`: one uniformly random byte.
@@ -70,8 +76,8 @@ pub trait Interp: 'static {
     /// is the supremum over the `probWhileCut` truncations (approximated at
     /// a finite, checkable fuel).
     fn while_loop<S: Value>(
-        cond: impl Fn(&S) -> bool + 'static,
-        body: impl Fn(&S) -> Self::Repr<S> + 'static,
+        cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+        body: impl Fn(&S) -> Self::Repr<S> + Send + Sync + 'static,
         init: Self::Repr<S>,
     ) -> Self::Repr<S>;
 
@@ -81,7 +87,10 @@ pub trait Interp: 'static {
     /// `pure` program construction (the [`Sampling`](crate::Sampling)
     /// override saves one closure allocation per map node per draw, which
     /// the sampler loops hit on every iteration).
-    fn map<T: Value, U: Value>(m: Self::Repr<T>, f: impl Fn(&T) -> U + 'static) -> Self::Repr<U> {
+    fn map<T: Value, U: Value>(
+        m: Self::Repr<T>,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+    ) -> Self::Repr<U> {
         Self::bind(m, move |t| Self::pure(f(t)))
     }
 
@@ -120,7 +129,7 @@ pub trait Interp: 'static {
 /// ```
 pub fn map<I: Interp, T: Value, U: Value>(
     m: I::Repr<T>,
-    f: impl Fn(&T) -> U + 'static,
+    f: impl Fn(&T) -> U + Send + Sync + 'static,
 ) -> I::Repr<U> {
     I::map(m, f)
 }
@@ -132,7 +141,7 @@ pub fn map<I: Interp, T: Value, U: Value>(
 /// `body` while the condition fails.
 pub fn until<I: Interp, T: Value>(
     body: I::Repr<T>,
-    cond: impl Fn(&T) -> bool + 'static,
+    cond: impl Fn(&T) -> bool + Send + Sync + 'static,
 ) -> I::Repr<T> {
     let again = body.clone();
     I::while_loop(move |t| !cond(t), move |_| again.clone(), body)

@@ -58,7 +58,7 @@ pub use mass::{
 pub use sampling::{SLang, Sampling};
 pub use source::{
     BufferedByteSource, ByteSource, CountingByteSource, CyclicByteSource, OsByteSource,
-    SeededByteSource,
+    SeededByteSource, SplitSeed,
 };
 pub use subpmf::{SubPmf, Value};
 pub use weight::Weight;

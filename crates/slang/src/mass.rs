@@ -23,7 +23,7 @@ use crate::subpmf::{SubPmf, Value};
 use crate::weight::Weight;
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Evaluation context for the mass semantics.
 ///
@@ -93,37 +93,37 @@ impl MassCtx {
 /// pair, which suffices because an evaluation pass uses one context
 /// throughout.
 pub struct MassFn<T: Value, W: Weight> {
-    f: Rc<dyn Fn(&MassCtx) -> SubPmf<T, W>>,
-    cache: Rc<std::cell::RefCell<Option<(MassCtx, SubPmf<T, W>)>>>,
+    f: Arc<dyn Fn(&MassCtx) -> SubPmf<T, W> + Send + Sync>,
+    cache: Arc<Mutex<Option<(MassCtx, SubPmf<T, W>)>>>,
 }
 
 impl<T: Value, W: Weight> Clone for MassFn<T, W> {
     fn clone(&self) -> Self {
         MassFn {
-            f: Rc::clone(&self.f),
-            cache: Rc::clone(&self.cache),
+            f: Arc::clone(&self.f),
+            cache: Arc::clone(&self.cache),
         }
     }
 }
 
 impl<T: Value, W: Weight> MassFn<T, W> {
-    fn from_fn(f: impl Fn(&MassCtx) -> SubPmf<T, W> + 'static) -> Self {
+    fn from_fn(f: impl Fn(&MassCtx) -> SubPmf<T, W> + Send + Sync + 'static) -> Self {
         MassFn {
-            f: Rc::new(f),
-            cache: Rc::new(std::cell::RefCell::new(None)),
+            f: Arc::new(f),
+            cache: Arc::new(Mutex::new(None)),
         }
     }
 
     /// Evaluates the denotation at the cut in `ctx` (memoized; see the
     /// type docs).
     pub fn eval(&self, ctx: &MassCtx) -> SubPmf<T, W> {
-        if let Some((cached_ctx, result)) = self.cache.borrow().as_ref() {
+        if let Some((cached_ctx, result)) = self.cache.lock().expect("cache poisoned").as_ref() {
             if cached_ctx == ctx {
                 return result.clone();
             }
         }
         let result = (self.f)(ctx);
-        *self.cache.borrow_mut() = Some((*ctx, result.clone()));
+        *self.cache.lock().expect("cache poisoned") = Some((*ctx, result.clone()));
         result
     }
 
@@ -205,7 +205,7 @@ impl<W: Weight> Interp for Mass<W> {
 
     fn bind<T: Value, U: Value>(
         m: MassFn<T, W>,
-        f: impl Fn(&T) -> MassFn<U, W> + 'static,
+        f: impl Fn(&T) -> MassFn<U, W> + Send + Sync + 'static,
     ) -> MassFn<U, W> {
         MassFn::from_fn(move |ctx| {
             let src = if ctx.prune > 0.0 {
@@ -224,8 +224,8 @@ impl<W: Weight> Interp for Mass<W> {
     }
 
     fn while_loop<S: Value>(
-        cond: impl Fn(&S) -> bool + 'static,
-        body: impl Fn(&S) -> MassFn<S, W> + 'static,
+        cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+        body: impl Fn(&S) -> MassFn<S, W> + Send + Sync + 'static,
         init: MassFn<S, W>,
     ) -> MassFn<S, W> {
         MassFn::from_fn(move |ctx| {

@@ -19,7 +19,7 @@
 use crate::interp::Interp;
 use crate::source::ByteSource;
 use crate::subpmf::Value;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A compiled sampling procedure producing `T`.
 ///
@@ -38,11 +38,11 @@ use std::rc::Rc;
 /// // Two independent draws from the same program.
 /// let _ = (a, b);
 /// ```
-pub struct SLang<T>(Rc<dyn Fn(&mut dyn ByteSource) -> T>);
+pub struct SLang<T>(Arc<dyn Fn(&mut dyn ByteSource) -> T + Send + Sync>);
 
 impl<T> Clone for SLang<T> {
     fn clone(&self) -> Self {
-        SLang(Rc::clone(&self.0))
+        SLang(Arc::clone(&self.0))
     }
 }
 
@@ -52,8 +52,8 @@ impl<T: Value> SLang<T> {
     /// This is the escape hatch used by the hand-fused "compiled" samplers
     /// (the analogue of calling external C++ from Lean); library code should
     /// prefer the four primitive operators.
-    pub fn from_fn(f: impl Fn(&mut dyn ByteSource) -> T + 'static) -> Self {
-        SLang(Rc::new(f))
+    pub fn from_fn(f: impl Fn(&mut dyn ByteSource) -> T + Send + Sync + 'static) -> Self {
+        SLang(Arc::new(f))
     }
 
     /// Draws one sample.
@@ -78,6 +78,20 @@ impl<T: Value> SLang<T> {
     /// already are, and a custom source with a block-efficient
     /// [`ByteSource::fill`] can be fronted by
     /// [`BufferedByteSource`](crate::BufferedByteSource).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sampcert_slang::{Interp, Sampling, SLang, SeededByteSource};
+    ///
+    /// let byte: SLang<u8> = Sampling::uniform_byte();
+    /// let mut src = SeededByteSource::new(0);
+    /// let mut buf = Vec::new();
+    /// byte.run_into(512, &mut src, &mut buf); // serving loop, batch 1
+    /// buf.clear();
+    /// byte.run_into(512, &mut src, &mut buf); // batch 2, buffer reused
+    /// assert_eq!(buf.len(), 512);
+    /// ```
     pub fn run_into(&self, n: usize, src: &mut dyn ByteSource, out: &mut Vec<T>) {
         out.reserve(n);
         for _ in 0..n {
@@ -90,6 +104,22 @@ impl<T: Value> SLang<T> {
     /// Convenience wrapper over [`run_into`](Self::run_into) that allocates
     /// a fresh, exactly-sized buffer; serving loops that draw batch after
     /// batch should call `run_into` with a retained buffer instead.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sampcert_slang::{until, Interp, Sampling, SeededByteSource};
+    ///
+    /// // A die by rejection, drawn 100 times through one program walk.
+    /// let die = until::<Sampling, _>(
+    ///     Sampling::map(Sampling::uniform_byte(), |b| b & 7),
+    ///     |&v| v < 6,
+    /// );
+    /// let mut src = SeededByteSource::new(3);
+    /// let rolls = die.sample_many(100, &mut src);
+    /// assert_eq!(rolls.len(), 100);
+    /// assert!(rolls.iter().all(|&r| r < 6));
+    /// ```
     pub fn sample_many(&self, n: usize, src: &mut dyn ByteSource) -> Vec<T> {
         let mut out = Vec::new();
         self.run_into(n, src, &mut out);
@@ -99,7 +129,7 @@ impl<T: Value> SLang<T> {
 
 /// The executable interpreter (marker type).
 ///
-/// `Sampling::Repr<T> = SLang<T>`; see the [module docs](self).
+/// `Sampling::Repr<T> = SLang<T>`; see the module-level docs above.
 #[derive(Debug, Clone, Copy)]
 pub struct Sampling;
 
@@ -107,26 +137,29 @@ impl Interp for Sampling {
     type Repr<T: Value> = SLang<T>;
 
     fn pure<T: Value>(v: T) -> SLang<T> {
-        SLang(Rc::new(move |_| v.clone()))
+        SLang(Arc::new(move |_| v.clone()))
     }
 
-    fn bind<T: Value, U: Value>(m: SLang<T>, f: impl Fn(&T) -> SLang<U> + 'static) -> SLang<U> {
-        SLang(Rc::new(move |src| {
+    fn bind<T: Value, U: Value>(
+        m: SLang<T>,
+        f: impl Fn(&T) -> SLang<U> + Send + Sync + 'static,
+    ) -> SLang<U> {
+        SLang(Arc::new(move |src| {
             let t = m.run(src);
             f(&t).run(src)
         }))
     }
 
     fn uniform_byte() -> SLang<u8> {
-        SLang(Rc::new(|src| src.next_byte()))
+        SLang(Arc::new(|src| src.next_byte()))
     }
 
     fn while_loop<S: Value>(
-        cond: impl Fn(&S) -> bool + 'static,
-        body: impl Fn(&S) -> SLang<S> + 'static,
+        cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+        body: impl Fn(&S) -> SLang<S> + Send + Sync + 'static,
         init: SLang<S>,
     ) -> SLang<S> {
-        SLang(Rc::new(move |src| {
+        SLang(Arc::new(move |src| {
             let mut s = init.run(src);
             while cond(&s) {
                 s = body(&s).run(src);
@@ -138,8 +171,11 @@ impl Interp for Sampling {
     /// Fused map: runs `m` and applies `f` directly, without constructing
     /// the intermediate `pure` program the default derivation allocates on
     /// every draw. Same byte stream, same outputs.
-    fn map<T: Value, U: Value>(m: SLang<T>, f: impl Fn(&T) -> U + 'static) -> SLang<U> {
-        SLang(Rc::new(move |src| f(&m.run(src))))
+    fn map<T: Value, U: Value>(
+        m: SLang<T>,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+    ) -> SLang<U> {
+        SLang(Arc::new(move |src| f(&m.run(src))))
     }
 
     /// Fused replicate: runs `m` `n` times into one pre-sized buffer.
@@ -150,7 +186,7 @@ impl Interp for Sampling {
     /// work per element. `m` still runs exactly `n` times in order, so the
     /// byte stream is unchanged (pinned against the fold by tests).
     fn replicate<T: Value>(n: usize, m: SLang<T>) -> SLang<Vec<T>> {
-        SLang(Rc::new(move |src| {
+        SLang(Arc::new(move |src| {
             let mut out = Vec::with_capacity(n);
             for _ in 0..n {
                 out.push(m.run(src));
@@ -294,6 +330,22 @@ mod tests {
             assert_eq!(hot.run(&mut s1), reference.run(&mut s2), "values at n={n}");
             assert_eq!(s1.bytes_read(), s2.bytes_read(), "bytes at n={n}");
         }
+    }
+
+    /// Programs are shared across serving workers; the representation must
+    /// stay `Send + Sync` (compile-time pin).
+    #[test]
+    fn programs_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SLang<u8>>();
+        assert_send_sync::<SLang<Vec<i64>>>();
+        // And actually usable from another thread.
+        let p = until::<Sampling, _>(Sampling::uniform_byte(), |&b| b < 16);
+        let handle = std::thread::spawn(move || {
+            let mut src = SeededByteSource::new(1);
+            p.run(&mut src)
+        });
+        assert!(handle.join().expect("worker panicked") < 16);
     }
 
     #[test]

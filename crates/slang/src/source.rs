@@ -10,6 +10,9 @@
 //! Implementations:
 //! - [`OsByteSource`]: operating-system entropy (the deployment source),
 //! - [`SeededByteSource`]: deterministic PRG bytes for reproducible tests,
+//! - [`SplitSeed`]: a splittable root seed deriving pairwise independent,
+//!   replayable per-worker streams — the deterministic backend of the
+//!   concurrent serving layer,
 //! - [`CountingByteSource`]: a wrapper that counts consumed bytes, used to
 //!   regenerate Fig. 6 of the paper (entropy consumption of the samplers),
 //! - [`CyclicByteSource`]: replays a fixed script, for unit-testing exact
@@ -49,6 +52,16 @@ pub trait ByteSource {
 }
 
 impl<S: ByteSource + ?Sized> ByteSource for &mut S {
+    fn next_byte(&mut self) -> u8 {
+        (**self).next_byte()
+    }
+
+    fn fill(&mut self, out: &mut [u8]) {
+        (**self).fill(out)
+    }
+}
+
+impl<S: ByteSource + ?Sized> ByteSource for Box<S> {
     fn next_byte(&mut self) -> u8 {
         (**self).next_byte()
     }
@@ -318,6 +331,95 @@ impl<S: ByteSource> ByteSource for BufferedByteSource<S> {
     }
 }
 
+/// SplitMix64 finalizer: a bijective avalanche mix on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A splittable deterministic seed: the root of a tree of pairwise
+/// distinct, statistically independent byte streams.
+///
+/// Concurrent serving needs one independent randomness stream per worker
+/// thread. OS entropy gives that trivially but is not replayable; a single
+/// shared deterministic source is replayable but cannot be consumed from
+/// several threads without serializing them (and the interleaving would
+/// depend on scheduling anyway). `SplitSeed` is the deterministic backend
+/// that squares the two: worker `i` derives its own
+/// [`SeededByteSource`] as a pure function of `(root seed, i)`, so
+///
+/// - streams for different worker indices are **pairwise distinct** (the
+///   derivation is injective in the index — a bijective SplitMix64
+///   finalizer over an injective affine map) and decorrelated by two
+///   avalanche rounds;
+/// - a run is **replayable**: the same root seed and worker index always
+///   yield the identical byte stream, regardless of how many other
+///   workers exist or how the scheduler interleaves them.
+///
+/// Nested fan-out (a worker pool inside a worker pool) uses
+/// [`child`](Self::child) to derive an independent sub-root per branch.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_slang::{ByteSource, SplitSeed};
+/// let root = SplitSeed::new(42);
+/// let mut w0 = root.stream(0);
+/// let mut w1 = root.stream(1);
+/// // Independent streams...
+/// assert_ne!(
+///     (0..16).map(|_| w0.next_byte()).collect::<Vec<_>>(),
+///     (0..16).map(|_| w1.next_byte()).collect::<Vec<_>>(),
+/// );
+/// // ...and replayable: re-deriving worker 0 restarts its exact stream.
+/// let mut w0_again = SplitSeed::new(42).stream(0);
+/// let mut w0_fresh = root.stream(0);
+/// for _ in 0..16 {
+///     assert_eq!(w0_again.next_byte(), w0_fresh.next_byte());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitSeed {
+    state: u64,
+}
+
+impl SplitSeed {
+    /// Creates the root seed of a stream tree.
+    pub fn new(seed: u64) -> Self {
+        SplitSeed {
+            state: mix64(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Derives the deterministic byte stream for worker `index`.
+    ///
+    /// A pure function of `(self, index)`: distinct indices yield distinct
+    /// streams, and the same pair always yields the same stream.
+    pub fn stream(&self, index: u64) -> SeededByteSource {
+        SeededByteSource::new(self.derive(index))
+    }
+
+    /// Derives an independent sub-root for branch `index`, for nested
+    /// fan-out. `child(i).stream(j)` and `stream(k)` are decorrelated for
+    /// all `i, j, k`.
+    pub fn child(&self, index: u64) -> SplitSeed {
+        SplitSeed {
+            // A distinct tweak keeps the child-root derivation chain
+            // disjoint from the leaf-stream derivation chain.
+            state: mix64(self.derive(index) ^ 0x2545_F491_4F6C_DD1D),
+        }
+    }
+
+    /// The `u64` the stream for `index` is seeded with — injective in
+    /// `index` for a fixed root.
+    fn derive(&self, index: u64) -> u64 {
+        mix64(self.state.wrapping_add(mix64(
+            index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        )))
+    }
+}
+
 /// Replays a fixed byte script, cycling when exhausted.
 ///
 /// Unit tests use this to pin down the exact byte-level behaviour of a
@@ -460,6 +562,59 @@ mod tests {
     #[should_panic(expected = "zero block size")]
     fn buffered_rejects_zero_block() {
         let _ = BufferedByteSource::with_block(CyclicByteSource::new(vec![1]), 0);
+    }
+
+    /// The serving layer moves sources into worker threads; every built-in
+    /// source must stay `Send` (compile-time pin).
+    #[test]
+    fn sources_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<OsByteSource>();
+        assert_send::<SeededByteSource>();
+        assert_send::<CyclicByteSource>();
+        assert_send::<CountingByteSource<SeededByteSource>>();
+        assert_send::<BufferedByteSource<OsByteSource>>();
+        assert_send::<SplitSeed>();
+    }
+
+    #[test]
+    fn split_seed_streams_are_pairwise_distinct() {
+        let root = SplitSeed::new(7);
+        let prefixes: Vec<Vec<u8>> = (0..32)
+            .map(|i| {
+                let mut s = root.stream(i);
+                (0..32).map(|_| s.next_byte()).collect()
+            })
+            .collect();
+        for i in 0..prefixes.len() {
+            for j in i + 1..prefixes.len() {
+                assert_ne!(prefixes[i], prefixes[j], "workers {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn split_seed_streams_replay() {
+        let a: Vec<u8> = {
+            let mut s = SplitSeed::new(99).stream(5);
+            (0..256).map(|_| s.next_byte()).collect()
+        };
+        let b: Vec<u8> = {
+            let mut s = SplitSeed::new(99).stream(5);
+            (0..256).map(|_| s.next_byte()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_seed_children_decorrelate_from_leaves() {
+        let root = SplitSeed::new(3);
+        let mut leaf = root.stream(0);
+        let mut child_leaf = root.child(0).stream(0);
+        let a: Vec<u8> = (0..32).map(|_| leaf.next_byte()).collect();
+        let b: Vec<u8> = (0..32).map(|_| child_leaf.next_byte()).collect();
+        assert_ne!(a, b);
+        assert_ne!(root.child(0), root.child(1));
     }
 
     #[test]

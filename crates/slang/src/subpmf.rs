@@ -18,9 +18,11 @@ use std::hash::Hash;
 ///
 /// Blanket-implemented; the bounds are what a finitely-supported mass
 /// function (hash map keys) and the sampling interpreter (owned results)
-/// require.
-pub trait Value: Clone + Eq + Hash + Debug + 'static {}
-impl<T: Clone + Eq + Hash + Debug + 'static> Value for T {}
+/// require. `Send + Sync` is part of the contract so that compiled
+/// programs — whose closures capture values of these types — can be
+/// shared across the worker threads of the concurrent serving layer.
+pub trait Value: Clone + Eq + Hash + Debug + Send + Sync + 'static {}
+impl<T: Clone + Eq + Hash + Debug + Send + Sync + 'static> Value for T {}
 
 /// A finitely-supported unnormalized mass function.
 ///

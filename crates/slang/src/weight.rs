@@ -17,8 +17,10 @@ use std::fmt::Debug;
 ///
 /// Implementors form the subsemiring of ℝ≥0 reachable from dyadic rationals
 /// (`probUniformByte` contributes mass `1/256` per point; the four `SLang`
-/// operators only add and multiply).
-pub trait Weight: Clone + PartialEq + PartialOrd + Debug + 'static {
+/// operators only add and multiply). `Send + Sync` rides along so that
+/// denotations can inhabit the `Send`-safe program representations shared
+/// with the concurrent serving layer.
+pub trait Weight: Clone + PartialEq + PartialOrd + Debug + Send + Sync + 'static {
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.

@@ -24,7 +24,7 @@
 use sampcert_slang::{SubPmf, Value, Weight};
 
 /// A divergence value together with the `p`-mass living outside `q`'s
-/// support (see the [module docs](self)).
+/// support (see the module-level docs above).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DivergenceReport {
     /// The divergence computed over the common support.

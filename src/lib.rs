@@ -9,7 +9,7 @@
 //! at AWS. This workspace rebuilds that system in Rust, replacing the Lean
 //! proof layer with an executable verification layer (exact mass-function
 //! semantics, decidable divergence checkers, statistical validation); see
-//! `DESIGN.md` for the substitution map and `EXPERIMENTS.md` for the
+//! `ARCHITECTURE.md` for the substitution map and `README.md` for the
 //! reproduced evaluation.
 //!
 //! This facade crate re-exports the workspace's layers, bottom-up, in the

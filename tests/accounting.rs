@@ -248,7 +248,7 @@ fn exact_rejection_reports_exact_quantities() {
     assert_eq!(err.remaining, Dyadic::from_f64_ceil(0.25));
     assert_eq!(
         err.to_string(),
-        "privacy budget exceeded: requested 0.5, remaining 0.25"
+        "privacy budget exceeded: requested 0.5, remaining 0.25 [carrier: dyadic]"
     );
 }
 
