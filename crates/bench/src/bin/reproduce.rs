@@ -228,6 +228,12 @@ fn serve(args: &[String]) {
             get("host_parallelism").unwrap_or(1.0)
         );
     }
+    if get("degenerate_scaling") == Some(1.0) {
+        println!(
+            "degenerate_scaling: 1-core host — thread-scaling rows collapse by construction; \
+             only the charge-path attribution rows carry signal"
+        );
+    }
     if let (Some(sh), Some(mx)) = (get("metered_sharded_f64_t8"), get("metered_mutex_f64_t8")) {
         println!(
             "sharded ledger serves {:.2}x the global-mutex throughput at 8 workers",

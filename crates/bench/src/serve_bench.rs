@@ -26,7 +26,11 @@
 //!   scaling is bounded by the cores the host actually grants: on a
 //!   multi-core host the `t8/t1` ratio tracks core count; on a 1-core
 //!   container every `t>1` row collapses onto `t1` (modulo scheduling
-//!   overhead) and only the lock-contention attribution remains visible.
+//!   overhead) and only the lock-contention attribution remains visible;
+//! - `degenerate_scaling`: `1.00` exactly when `host_parallelism == 1` —
+//!   an explicit machine-readable flag that the run's thread-scaling rows
+//!   are degenerate, so downstream consumers don't have to re-derive the
+//!   condition.
 //!
 //! Unit: ns per served sample (ops/s = 1e9 / ns). Rows are measured with
 //! whole-request wall time — threads, locks, chunk rebalances included —
@@ -214,16 +218,24 @@ fn charge_perdraw_mutex_row(workers: usize, n: usize, reps: usize) -> f64 {
 }
 
 /// Runs the whole serving measurement set, returning `(name, ns_per_op)`
-/// rows (plus the `host_parallelism` context row). `quick` shrinks the
-/// per-call sample count for CI smoke runs.
+/// rows (plus the `host_parallelism` and `degenerate_scaling` context
+/// rows). `quick` shrinks the per-call sample count for CI smoke runs.
 pub fn measure_all(quick: bool) -> Vec<(&'static str, f64)> {
     let n = samples_per_call(quick);
     let reps = if quick { 3 } else { 5 };
     let det = |t| SeedBackend::Deterministic(0xD15C0 ^ t as u64);
+    let host_parallelism = std::thread::available_parallelism().map_or(1.0, |p| p.get() as f64);
     vec![
+        ("host_parallelism", host_parallelism),
+        // 1.00 = measured on a single-core host: every thread-scaling row
+        // collapses onto its t1 twin by construction, so `t8/t1` ratios
+        // from this run are meaningless — only the lock-architecture
+        // attribution rows (sharded vs mutex charging) carry signal.
+        // Readers and tooling should gate on this flag instead of
+        // re-deriving the condition from `host_parallelism`.
         (
-            "host_parallelism",
-            std::thread::available_parallelism().map_or(1.0, |p| p.get() as f64),
+            "degenerate_scaling",
+            if host_parallelism <= 1.0 { 1.0 } else { 0.0 },
         ),
         ("serve_gauss64_det_t1", serve_row(1, det(1), n, reps)),
         ("serve_gauss64_det_t2", serve_row(2, det(2), n, reps)),
@@ -269,11 +281,18 @@ mod tests {
     #[test]
     fn rows_measure_and_are_positive() {
         let rows = measure_all(true);
-        assert_eq!(rows.len(), 14);
+        assert_eq!(rows.len(), 15);
         for (name, v) in &rows {
-            assert!(*v > 0.0, "{name} = {v}");
+            assert!(*v > 0.0 || *name == "degenerate_scaling", "{name} = {v}");
         }
         assert!(rows.iter().any(|(n, _)| *n == "host_parallelism"));
+        // The degenerate-scaling flag is always emitted and is consistent
+        // with the recorded parallelism.
+        let get = |n: &str| rows.iter().find(|(name, _)| *name == n).unwrap().1;
+        assert_eq!(
+            get("degenerate_scaling") == 1.0,
+            get("host_parallelism") <= 1.0
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod neighbour;
 mod noise;
 mod private;
 mod query;
+mod session;
 mod sharded;
 
 pub use abstract_dp::{AbstractDp, PureDp, RenyiDp, Zcdp};
@@ -62,6 +63,12 @@ pub use neighbour::{insertions, is_neighbour, neighbours, removals};
 pub use noise::DpNoise;
 pub use private::{CheckOptions, PrivacyViolation, Private};
 pub use query::{bounded_sum_query, count_query, Query, SensitivityViolation};
+pub use session::{
+    lane_partition, Accountant, AccountantPlan, Entropy, Executor, ExecutorFailure, Inline,
+    LedgerPlan, NoAccountant, NoExecutor, Planned, RdpCurve, RdpMeter, RdpPlan, Request, Session,
+    SessionBuilder, SessionError, ShardedExecutor, ShardedLedgerPlan, ShardedRdpMeter,
+    ShardedRdpPlan, SpawnExecutor,
+};
 pub use sharded::{
     ExactShardedLedger, ShardHandle, ShardSpend, ShardedLedger, ShardedRdpAccountant,
 };

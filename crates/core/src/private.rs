@@ -148,6 +148,10 @@ impl<D: AbstractDp, T: 'static, U: Value> Private<D, T, U> {
     /// Returns [`BudgetExceeded`](crate::BudgetExceeded) when the batch
     /// does not fit; neither the ledger nor the byte source is touched in
     /// that case (refused noise consumes no entropy).
+    #[deprecated(
+        note = "use Session::answer_many with a Ledger accountant and Request::from_private \
+                (crate::Session) — same charge-before-serve discipline, one front door"
+    )]
     pub fn run_metered<B: crate::Budget>(
         &self,
         db: &[T],

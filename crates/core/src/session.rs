@@ -1,0 +1,1361 @@
+//! The front door: one typestate [`Session`] over every carrier ×
+//! accountant × executor × entropy combination.
+//!
+//! PRs 2–4 grew the serving surface along three independent axes —
+//! batching (`run_many`/`run_batch`), exact carriers
+//! (`charge_exact`/[`ExactLedger`](crate::ExactLedger)) and concurrency
+//! ([`ShardedLedger`]/`NoiseServer`) — leaving callers to hand-wire the
+//! combinations through ~20 near-duplicate entry points. A [`Session`]
+//! closes the configuration space behind a single builder:
+//!
+//! - the budget **carrier** (`f64` or exact
+//!   [`Dyadic`](sampcert_arith::Dyadic)) — [`SessionBuilder::exact`] /
+//!   [`SessionBuilder::carrier`];
+//! - the **accountant** (pure-notion [`Ledger`] or Rényi [`RdpMeter`],
+//!   each global or sharded) — [`SessionBuilder::ledger`],
+//!   [`SessionBuilder::sharded_ledger`], [`SessionBuilder::rdp`],
+//!   [`SessionBuilder::sharded_rdp`];
+//! - the **executor** (the in-core single-lane [`Inline`], or any
+//!   [`SpawnExecutor`] such as `sampcert-mechanisms`' `NoiseServer` pool)
+//!   — [`SessionBuilder::inline`] / [`SessionBuilder::executor`];
+//! - the **entropy backend** ([`Entropy::Os`] or a replayable
+//!   [`Entropy::Seeded`] split-seed tree) — [`SessionBuilder::entropy`].
+//!
+//! Serving goes through three polymorphic methods —
+//! [`Session::answer`], [`Session::answer_many`] and
+//! [`Session::stream_into`] — each taking a [`Request`]: a mechanism plus
+//! its privacy price, constructed from raw calibrated noise
+//! ([`Request::noise`]), any typed [`Private`] mechanism
+//! ([`Request::from_private`]), or the request constructors in
+//! `sampcert-mechanisms` (histogram, workload, SVT, count, mean). Every
+//! serve is **charge-before-serve**: a refused request releases nothing,
+//! and a global accountant's refusal touches no byte source at all (on a
+//! sharded accountant, lanes whose shard admitted its chunk have already
+//! advanced their streams before another shard refused — the drawn noise
+//! is discarded unreleased and the charge stays spent, the conservative
+//! direction). The released bytes are identical to the legacy entry
+//! points' (pinned by `tests/session_api.rs`).
+//!
+//! # The typestate guard
+//!
+//! Illegal combinations do not build. The accountant drives the executor
+//! through the [`Accountant`] trait, and sharded accountants only
+//! implement it for [`ShardedExecutor`]s — so a sharded ledger can never
+//! silently drop its shards onto a single-lane executor:
+//!
+//! ```compile_fail
+//! use sampcert_core::{PureDp, Session};
+//! // A sharded ledger over the single-lane inline executor: rejected at
+//! // compile time (no `Accountant` impl links the two).
+//! let _ = Session::<PureDp>::builder()
+//!     .sharded_ledger(1.0)
+//!     .inline()
+//!     .build();
+//! ```
+//!
+//! ```compile_fail
+//! use sampcert_core::{Session, Zcdp};
+//! // Sharded RDP accounting is equally inexpressible on a single lane.
+//! let _ = Session::<Zcdp>::builder()
+//!     .sharded_rdp(1e-6, 4.0)
+//!     .inline()
+//!     .build();
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use sampcert_core::{count_query, Entropy, Private, PureDp, Request, Session};
+//!
+//! // Carrier f64, global ledger, inline executor, replayable entropy.
+//! let mut session = Session::<PureDp>::builder()
+//!     .ledger(1.0)
+//!     .inline()
+//!     .entropy(Entropy::seeded(7))
+//!     .build();
+//!
+//! let count: Private<PureDp, u32, i64> =
+//!     Private::noised_query(&count_query(), 1, 4);
+//! let req = Request::from_private(&count, "count");
+//! let db: Vec<u32> = (0..100).collect();
+//!
+//! // Four answers, one batched charge of 4 × ε/4 — the whole budget.
+//! let answers = session.answer_many(&req, &db, 4).unwrap();
+//! assert_eq!(answers.len(), 4);
+//! assert!((session.accountant().spent() - 1.0).abs() < 1e-12);
+//!
+//! // A fifth release of the same mechanism no longer fits ε = 1.
+//! assert!(session.answer(&req, &db).is_err());
+//! ```
+
+use crate::abstract_dp::{AbstractDp, PureDp, Zcdp};
+use crate::accountant::{BudgetExceeded, Ledger, RdpAccountant};
+use crate::budget::Budget;
+use crate::mechanism::Mechanism;
+use crate::noise::DpNoise;
+use crate::private::Private;
+use crate::query::Query;
+use crate::sharded::ShardedLedger;
+use sampcert_slang::{ByteSource, OsByteSource, SplitSeed, Value};
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// Entropy
+// ---------------------------------------------------------------------------
+
+/// Where a session's randomness comes from — the entropy axis of the
+/// builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entropy {
+    /// OS entropy: every executor lane draws from its own operating-system
+    /// source. The deployment backend.
+    Os,
+    /// A replayable [`SplitSeed`] tree: lane `i` draws the pairwise
+    /// independent stream `root.stream(i)`. The test/audit backend —
+    /// re-building a session with the same seed and lane count replays
+    /// identical outputs.
+    Seeded(SplitSeed),
+}
+
+impl Entropy {
+    /// [`Entropy::Seeded`] from a raw root seed
+    /// (`Entropy::Seeded(SplitSeed::new(root))`).
+    pub fn seeded(root: u64) -> Self {
+        Entropy::Seeded(SplitSeed::new(root))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// An execution-backend failure (a worker died, a pool was misconfigured,
+/// a remote backend went away) — the non-budget half of [`SessionError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorFailure {
+    reason: String,
+}
+
+impl ExecutorFailure {
+    /// A failure with a human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        ExecutorFailure {
+            reason: reason.into(),
+        }
+    }
+
+    /// The reason the executor failed.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl std::fmt::Display for ExecutorFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "executor failure: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ExecutorFailure {}
+
+/// Everything [`Session::answer`] and friends can refuse with: the budget
+/// ran dry, or the execution backend failed.
+///
+/// Both variants chain their cause through
+/// [`std::error::Error::source`], so `anyhow`-style error walks see the
+/// underlying [`BudgetExceeded`] (with its carrier and shard attribution)
+/// or [`ExecutorFailure`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError<B: Budget = f64> {
+    /// The accountant refused the charge; nothing was released. Global
+    /// accountants consumed no entropy; on a sharded accountant, lanes
+    /// whose shard admitted its chunk advanced their streams before the
+    /// refusing shard was reached (the drawn noise is discarded, the
+    /// charge stays spent — conservative).
+    Budget(BudgetExceeded<B>),
+    /// The execution backend failed; any budget charged for the refused
+    /// answers stays spent (the conservative direction).
+    Executor(ExecutorFailure),
+}
+
+impl<B: Budget> SessionError<B> {
+    /// The budget refusal, if that is what this error is.
+    pub fn as_budget(&self) -> Option<&BudgetExceeded<B>> {
+        match self {
+            SessionError::Budget(e) => Some(e),
+            SessionError::Executor(_) => None,
+        }
+    }
+}
+
+impl<B: Budget> std::fmt::Display for SessionError<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Budget(_) => write!(f, "session refused: privacy budget exceeded"),
+            SessionError::Executor(_) => write!(f, "session refused: executor failure"),
+        }
+    }
+}
+
+impl<B: Budget> std::error::Error for SessionError<B> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Budget(e) => Some(e),
+            SessionError::Executor(e) => Some(e),
+        }
+    }
+}
+
+impl<B: Budget> From<BudgetExceeded<B>> for SessionError<B> {
+    fn from(e: BudgetExceeded<B>) -> Self {
+        SessionError::Budget(e)
+    }
+}
+
+impl<B: Budget> From<ExecutorFailure> for SessionError<B> {
+    fn from(e: ExecutorFailure) -> Self {
+        SessionError::Executor(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------------
+
+/// An execution backend: something that can draw `n` independent outputs
+/// of a mechanism. Implemented by the in-core [`Inline`] executor and by
+/// `sampcert-mechanisms`' `NoiseServer` worker pool; future async or
+/// multi-process backends slot in behind the same trait.
+///
+/// The contract every implementation honours (and the equivalence suite
+/// pins): the `n` outputs are what `n` sequential
+/// [`Mechanism::run`](crate::Mechanism::run) calls would draw from the
+/// backend's stream(s) — execution changes *which verified stream* a draw
+/// comes from, never the distribution it is drawn from.
+pub trait Executor {
+    /// Number of independent lanes (byte streams) this executor serves
+    /// from. `1` for [`Inline`]; the worker count for a pool.
+    fn lanes(&self) -> usize;
+
+    /// How a batch of `n` answers is split across the lanes: lane `i`
+    /// serves `partition(n)[i]` answers, and
+    /// [`run_into`](Self::run_into) returns them concatenated in lane
+    /// order. The default is the contiguous-chunk rule
+    /// ([`lane_partition`]); a backend that schedules differently
+    /// (work-stealing, round-robin) **must** override this so per-lane
+    /// accounting ([`ShardedRdpMeter`]) attributes answers to the lanes
+    /// that actually serve them.
+    fn partition(&self, n: usize) -> Vec<usize> {
+        lane_partition(n, self.lanes())
+    }
+
+    /// Draws `n` outputs of `mech` for `db`, appending them to `out` in
+    /// lane order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorFailure`] when the backend cannot serve (the
+    /// in-tree backends are infallible; the error channel exists for
+    /// remote/async backends).
+    fn run_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), ExecutorFailure>;
+}
+
+/// A multi-lane [`Executor`] whose lanes can each charge their own shard
+/// of a [`ShardedLedger`] *before* drawing — the charge-before-serve
+/// discipline, kept lock-free per lane.
+///
+/// This trait is the static link that makes a sharded accountant
+/// inexpressible on a single-lane executor: [`Accountant`] is only
+/// implemented for [`ShardedLedger`] (and [`ShardedRdpMeter`]) where the
+/// executor is a `ShardedExecutor`, and [`Inline`] deliberately does not
+/// implement it.
+pub trait ShardedExecutor: Executor {
+    /// Draws `n` outputs of `mech`, with lane `i` batch-charging
+    /// `chunkᵢ · units` releases of `gamma_unit` to shard `i` before
+    /// drawing a single byte of its chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Budget`] with the first refusing shard (in shard
+    /// order) if any chunk does not fit — chunks whose charge succeeded
+    /// stay charged and their noise is discarded unreleased (the
+    /// conservative direction); [`SessionError::Executor`] if the backend
+    /// cannot serve (e.g. the ledger has fewer shards than lanes).
+    #[allow(clippy::too_many_arguments)]
+    fn run_sharded_into<D: AbstractDp, B: Budget, T: Sync + 'static, U: Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        gamma_unit: f64,
+        units: u64,
+        ledger: &ShardedLedger<D, B>,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>>;
+}
+
+/// An [`Executor`] the session builder can construct itself, from the
+/// session's [`Entropy`] choice and a requested lane count — what lets
+/// `SessionBuilder::executor::<E>(lanes)` stay generic over backends the
+/// core crate cannot name (such as `NoiseServer`).
+pub trait SpawnExecutor: Executor + Sized {
+    /// Builds the executor. `lanes` is a request, not a command: a
+    /// backend may clamp it (e.g. [`Inline`] always has one lane); the
+    /// builder reads the actual [`Executor::lanes`] back after spawning,
+    /// so sharded accountants always match the real lane count.
+    fn spawn(entropy: Entropy, lanes: usize) -> Self;
+}
+
+/// The single-lane executor: draws on the calling thread from one byte
+/// source. The sequential baseline every concurrent backend is
+/// byte-compared against.
+pub struct Inline {
+    src: Box<dyn ByteSource + Send>,
+}
+
+impl std::fmt::Debug for Inline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Inline { src: <byte source> }")
+    }
+}
+
+impl Inline {
+    /// An inline executor over the given entropy backend. A
+    /// [`Entropy::Seeded`] root serves from `root.stream(0)` — the same
+    /// stream lane 0 of a pooled executor with the same root serves from.
+    pub fn new(entropy: Entropy) -> Self {
+        let src: Box<dyn ByteSource + Send> = match entropy {
+            Entropy::Os => Box::new(OsByteSource::new()),
+            Entropy::Seeded(root) => Box::new(root.stream(0)),
+        };
+        Inline { src }
+    }
+
+    /// An inline executor over an arbitrary byte source.
+    pub fn from_source(src: Box<dyn ByteSource + Send>) -> Self {
+        Inline { src }
+    }
+}
+
+impl Executor for Inline {
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn run_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), ExecutorFailure> {
+        mech.run_many_into(db, n, &mut *self.src, out);
+        Ok(())
+    }
+}
+
+impl SpawnExecutor for Inline {
+    /// Ignores `lanes`: inline execution always has exactly one lane.
+    fn spawn(entropy: Entropy, _lanes: usize) -> Self {
+        Inline::new(entropy)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One unit of servable work: a mechanism together with its privacy
+/// price, in the shape the accountants charge it.
+///
+/// A request prices one *answer* as `units` sub-releases of `gamma_unit`
+/// each (a histogram answer is `nBins` per-bin releases; most requests
+/// are a single release). Charging per unit — converting `gamma_unit`
+/// into the budget carrier **before** the `units`-fold composition —
+/// keeps the exact-carrier charge identical to what the legacy per-path
+/// metering recorded, rounding and all.
+///
+/// Constructors: [`Request::noise`] (raw calibrated noise),
+/// [`Request::from_private`] (any typed mechanism), [`Request::new`] /
+/// [`Request::composite`] (hand-built serving paths), plus the
+/// mechanism-library constructors in `sampcert-mechanisms`
+/// (`histogram_request`, `workload_request`, `svt_request`,
+/// `count_request`, `mean_request`).
+pub struct Request<D: AbstractDp, T, U: Value> {
+    mech: Mechanism<T, U>,
+    gamma_unit: f64,
+    units: u64,
+    label: String,
+    _notion: PhantomData<D>,
+}
+
+impl<D: AbstractDp, T, U: Value> Clone for Request<D, T, U> {
+    fn clone(&self) -> Self {
+        Request {
+            mech: self.mech.clone(),
+            gamma_unit: self.gamma_unit,
+            units: self.units,
+            label: self.label.clone(),
+            _notion: PhantomData,
+        }
+    }
+}
+
+impl<D: AbstractDp, T, U: Value> std::fmt::Debug for Request<D, T, U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("label", &self.label)
+            .field("notion", &D::NAME)
+            .field("gamma_unit", &self.gamma_unit)
+            .field("units", &self.units)
+            .finish()
+    }
+}
+
+impl<D: AbstractDp, T: 'static, U: Value> Request<D, T, U> {
+    /// A request releasing one `gamma_each`-costing answer per serve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma_each` is negative or not finite.
+    pub fn new(mech: Mechanism<T, U>, gamma_each: f64, label: impl Into<String>) -> Self {
+        Request::composite(mech, gamma_each, 1, label)
+    }
+
+    /// A request whose every answer is priced as `units` sub-releases of
+    /// `gamma_unit` (see the type-level docs for why the factorization
+    /// matters on exact carriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma_unit` is negative or not finite.
+    pub fn composite(
+        mech: Mechanism<T, U>,
+        gamma_unit: f64,
+        units: u64,
+        label: impl Into<String>,
+    ) -> Self {
+        assert!(
+            gamma_unit.is_finite() && gamma_unit >= 0.0,
+            "invalid privacy parameter"
+        );
+        Request {
+            mech,
+            gamma_unit,
+            units,
+            label: label.into(),
+            _notion: PhantomData,
+        }
+    }
+
+    /// Wraps a typed [`Private`] mechanism as a request costing its
+    /// established γ per answer — the bridge from the compositional layer
+    /// to the serving layer.
+    pub fn from_private(p: &Private<D, T, U>, label: impl Into<String>) -> Self {
+        Request::new(p.mechanism().clone(), p.gamma(), label)
+    }
+
+    /// The underlying mechanism.
+    pub fn mechanism(&self) -> &Mechanism<T, U> {
+        &self.mech
+    }
+
+    /// The per-sub-release cost (see [`units`](Self::units)).
+    pub fn gamma_unit(&self) -> f64 {
+        self.gamma_unit
+    }
+
+    /// Sub-releases per answer.
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// The composed privacy cost of one answer:
+    /// `compose_n(gamma_unit, units)`.
+    pub fn gamma_each(&self) -> f64 {
+        D::compose_n(self.gamma_unit, self.units)
+    }
+
+    /// The ledger label charges are recorded under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<D: DpNoise, T: 'static> Request<D, T, i64> {
+    /// Raw calibrated noise at scale `num/den` for notion `D` — discrete
+    /// Laplace with scale `num/den` under [`PureDp`], discrete Gaussian
+    /// with σ = `num/den` under [`Zcdp`]. The privacy price per draw
+    /// falls out of the calibration:
+    /// [`noise_priv`](crate::DpNoise::noise_priv)`(den, num)` (ε = den/num
+    /// for Laplace, ρ = ½(den/num)² for Gaussian — the sensitivity-1
+    /// noised-constant reading of a raw draw).
+    ///
+    /// Serve with any database (the value is ignored); `&[]` works.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    pub fn noise(num: u64, den: u64) -> Self {
+        assert!(num > 0 && den > 0, "noise: zero scale parameter");
+        let q: Query<T> = Query::new(format!("noise[{num}/{den}]"), 1, |_| 0);
+        Request::new(
+            D::noise(&q, den, num),
+            D::noise_priv(den, num),
+            format!("noise[{num}/{den}]"),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rényi metering
+// ---------------------------------------------------------------------------
+
+/// Notions whose γ-releases induce a full Rényi curve, i.e. notions an
+/// [`RdpMeter`] can account for. Implemented for [`PureDp`]
+/// (Bun–Steinke: `D_α ≤ min(ε, α·ε²/2)`) and [`Zcdp`] (Definition 2.2:
+/// `D_α ≤ α·ρ`). `RenyiDp<A>` deliberately does **not** implement it — a
+/// single-order bound does not determine the curve at other orders, so
+/// RDP-of-RDP sessions are statically unrepresentable.
+pub trait RdpCurve: AbstractDp {
+    /// The Rényi bound `D_α` implied by one γ-release under this notion.
+    fn rdp_curve(gamma: f64, alpha: f64) -> f64;
+}
+
+impl RdpCurve for PureDp {
+    fn rdp_curve(gamma: f64, alpha: f64) -> f64 {
+        gamma.min(alpha * gamma * gamma / 2.0)
+    }
+}
+
+impl RdpCurve for Zcdp {
+    fn rdp_curve(gamma: f64, alpha: f64) -> f64 {
+        alpha * gamma
+    }
+}
+
+/// An [`RdpAccountant`] with an enforced `(ε, δ)` policy: charges are
+/// admitted only while the optimized conversion
+/// [`RdpAccountant::epsilon`] stays within the stated ε budget at the
+/// stated δ.
+///
+/// The budget check runs in reported-ε space (`f64`); the carrier `B`
+/// governs how the per-order totals *accumulate* (exactly, for
+/// [`Dyadic`](sampcert_arith::Dyadic)), with each per-release increment
+/// rounded up as everywhere else in the accounting layer.
+#[derive(Debug, Clone)]
+pub struct RdpMeter<B: Budget = f64> {
+    acct: RdpAccountant<B>,
+    delta: f64,
+    budget_eps: f64,
+}
+
+impl<B: Budget> RdpMeter<B> {
+    /// A meter over the conventional order grid enforcing `ε ≤ budget_eps`
+    /// at `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside `(0, 1)` or `budget_eps` is negative
+    /// or not finite.
+    pub fn new(delta: f64, budget_eps: f64) -> Self {
+        RdpMeter::with_orders(RdpAccountant::default_order_grid(), delta, budget_eps)
+    }
+
+    /// A meter over a custom order grid.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new), plus the grid requirements of
+    /// [`RdpAccountant::with_orders`].
+    pub fn with_orders(orders: Vec<f64>, delta: f64, budget_eps: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta outside (0,1)");
+        assert!(
+            budget_eps.is_finite() && budget_eps >= 0.0,
+            "invalid epsilon budget"
+        );
+        RdpMeter {
+            acct: RdpAccountant::with_orders(orders),
+            delta,
+            budget_eps,
+        }
+    }
+
+    /// The accumulated accountant.
+    pub fn accountant(&self) -> &RdpAccountant<B> {
+        &self.acct
+    }
+
+    /// The enforced `(budget_eps, delta)` policy.
+    pub fn policy(&self) -> (f64, f64) {
+        (self.budget_eps, self.delta)
+    }
+
+    /// The `(ε, optimizing α)` implied by the spending so far, at the
+    /// policy δ.
+    pub fn epsilon(&self) -> (f64, f64) {
+        self.acct.epsilon(self.delta)
+    }
+
+    /// Admits `count` releases of `gamma` under notion `D` if the
+    /// post-charge ε still fits the policy; the accountant is unchanged
+    /// on refusal.
+    fn try_charge<D: RdpCurve>(&mut self, gamma: f64, count: u64) -> Result<(), BudgetExceeded<B>> {
+        let mut trial = self.acct.clone();
+        trial.add_curve_n(|a| D::rdp_curve(gamma, a), count);
+        let (eps, _) = trial.epsilon(self.delta);
+        if eps > self.budget_eps + 1e-12 {
+            let (current, _) = self.acct.epsilon(self.delta);
+            // Requested/remaining are reported in ε-at-δ space — the
+            // space the policy is stated in.
+            return Err(BudgetExceeded::new(
+                B::charge_from_f64((eps - current).max(0.0)),
+                B::budget_from_f64((self.budget_eps - current).max(0.0)),
+            ));
+        }
+        self.acct = trial;
+        Ok(())
+    }
+}
+
+/// The sharded twin of [`RdpMeter`]: one per-lane [`RdpAccountant`]
+/// accumulator for attribution, plus an incrementally maintained session
+/// total for the policy check — the check stays O(grid) per charge, with
+/// no per-lane fold on the hot path. Per-order RDP totals are additive,
+/// so the running total equals the fold of the lane accumulators exactly
+/// on exact carriers (and to within f64 summation rounding on `f64`);
+/// [`ShardedRdpAccountant`](crate::ShardedRdpAccountant) remains the
+/// primitive for folding externally accumulated lanes.
+///
+/// Only usable with a [`ShardedExecutor`] (the [`Accountant`] impl
+/// requires it), so the per-lane curves always describe real lanes.
+#[derive(Debug, Clone)]
+pub struct ShardedRdpMeter<B: Budget = f64> {
+    parts: Vec<RdpAccountant<B>>,
+    total: RdpAccountant<B>,
+    delta: f64,
+    budget_eps: f64,
+}
+
+impl<B: Budget> ShardedRdpMeter<B> {
+    /// A sharded meter over the conventional order grid with one
+    /// accumulator per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside `(0, 1)`, `budget_eps` is negative or
+    /// not finite, or `lanes` is zero.
+    pub fn new(delta: f64, budget_eps: f64, lanes: usize) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta outside (0,1)");
+        assert!(
+            budget_eps.is_finite() && budget_eps >= 0.0,
+            "invalid epsilon budget"
+        );
+        let orders = RdpAccountant::default_order_grid();
+        let parts = (0..lanes)
+            .map(|_| RdpAccountant::with_orders(orders.clone()))
+            .collect();
+        ShardedRdpMeter {
+            parts,
+            total: RdpAccountant::with_orders(orders),
+            delta,
+            budget_eps,
+        }
+    }
+
+    /// The per-lane accumulators, in lane order.
+    pub fn lane_accountants(&self) -> &[RdpAccountant<B>] {
+        &self.parts
+    }
+
+    /// The whole-session accountant (maintained incrementally; equal to
+    /// folding [`lane_accountants`](Self::lane_accountants) — exactly on
+    /// exact carriers, to within f64 summation rounding otherwise).
+    pub fn folded(&self) -> RdpAccountant<B> {
+        self.total.clone()
+    }
+
+    /// The enforced `(budget_eps, delta)` policy.
+    pub fn policy(&self) -> (f64, f64) {
+        (self.budget_eps, self.delta)
+    }
+
+    /// The `(ε, optimizing α)` implied by the spending so far, at the
+    /// policy δ.
+    pub fn epsilon(&self) -> (f64, f64) {
+        self.total.epsilon(self.delta)
+    }
+
+    /// Admits `lane_counts[i] · units` releases of `gamma_unit` on lane
+    /// `i`'s accumulator if the post-charge ε fits the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_counts` does not have exactly one entry per lane —
+    /// an executor whose [`Executor::partition`] override disagrees with
+    /// its lane count would otherwise be silently under-accounted, which
+    /// is a privacy-soundness violation and must fail loudly.
+    fn try_charge<D: RdpCurve>(
+        &mut self,
+        gamma_unit: f64,
+        units: u64,
+        lane_counts: &[usize],
+    ) -> Result<(), BudgetExceeded<B>> {
+        assert_eq!(
+            lane_counts.len(),
+            self.parts.len(),
+            "executor partition length disagrees with the meter's lane count"
+        );
+        let total_count: u64 = lane_counts.iter().map(|c| *c as u64 * units).sum();
+        let mut trial = self.total.clone();
+        trial.add_curve_n(|a| D::rdp_curve(gamma_unit, a), total_count);
+        let (eps, _) = trial.epsilon(self.delta);
+        if eps > self.budget_eps + 1e-12 {
+            let (current, _) = self.total.epsilon(self.delta);
+            return Err(BudgetExceeded::new(
+                B::charge_from_f64((eps - current).max(0.0)),
+                B::budget_from_f64((self.budget_eps - current).max(0.0)),
+            ));
+        }
+        self.total = trial;
+        for (part, count) in self.parts.iter_mut().zip(lane_counts) {
+            part.add_curve_n(|a| D::rdp_curve(gamma_unit, a), *count as u64 * units);
+        }
+        Ok(())
+    }
+}
+
+/// The default lane-partition rule of the executor contract
+/// ([`Executor::partition`]): `n` answers split into contiguous per-lane
+/// counts, the first `n % lanes` lanes one longer. Multi-lane backends
+/// (the `NoiseServer` pool) serve by exactly this rule; per-lane
+/// accounting ([`ShardedRdpMeter`]) attributes answers through
+/// [`Executor::partition`], so a backend that partitions differently
+/// overrides that method and attribution follows it.
+pub fn lane_partition(n: usize, lanes: usize) -> Vec<usize> {
+    let base = n / lanes;
+    let rem = n % lanes;
+    (0..lanes).map(|i| base + usize::from(i < rem)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The accountant ↔ executor link
+// ---------------------------------------------------------------------------
+
+/// The charge-then-serve step, linking an accountant to the executors it
+/// can legally drive. This is the typestate guard: global accountants
+/// ([`Ledger`], [`RdpMeter`]) drive any [`Executor`]; sharded accountants
+/// ([`ShardedLedger`], [`ShardedRdpMeter`]) only implement this trait for
+/// [`ShardedExecutor`]s, so pairing them with [`Inline`] is a compile
+/// error, not a silent single-shard session.
+pub trait Accountant<D: AbstractDp, B: Budget, E: Executor> {
+    /// Charges `n` answers of `req` and, only if the whole batch fits,
+    /// serves them through `exec` into `out`. A refusal releases nothing
+    /// and leaves `out` untouched; global accountants also consume no
+    /// entropy (sharded accountants may have advanced the streams of
+    /// lanes whose shard admitted its chunk — see
+    /// [`SessionError::Budget`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Budget`] when the batch does not fit,
+    /// [`SessionError::Executor`] when the backend cannot serve.
+    fn serve_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>>;
+}
+
+impl<D: AbstractDp, B: Budget, E: Executor> Accountant<D, B, E> for Ledger<D, B> {
+    fn serve_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        self.charge_batch(req.label(), req.gamma_unit(), n as u64 * req.units())?;
+        exec.run_into(req.mechanism(), db, n, out)?;
+        Ok(())
+    }
+}
+
+impl<D: RdpCurve, B: Budget, E: Executor> Accountant<D, B, E> for RdpMeter<B> {
+    fn serve_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        self.try_charge::<D>(req.gamma_unit(), n as u64 * req.units())?;
+        exec.run_into(req.mechanism(), db, n, out)?;
+        Ok(())
+    }
+}
+
+impl<D: AbstractDp, B: Budget, E: ShardedExecutor> Accountant<D, B, E> for ShardedLedger<D, B> {
+    fn serve_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        exec.run_sharded_into(
+            req.mechanism(),
+            db,
+            n,
+            req.gamma_unit(),
+            req.units(),
+            self,
+            out,
+        )
+    }
+}
+
+impl<D: RdpCurve, B: Budget, E: ShardedExecutor> Accountant<D, B, E> for ShardedRdpMeter<B> {
+    fn serve_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        let counts = exec.partition(n);
+        self.try_charge::<D>(req.gamma_unit(), req.units(), &counts)?;
+        exec.run_into(req.mechanism(), db, n, out)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder typestate
+// ---------------------------------------------------------------------------
+
+/// Builder state: no accountant chosen yet. The carrier can still be
+/// changed in this state ([`SessionBuilder::exact`] /
+/// [`SessionBuilder::carrier`]); once an accountant is chosen it is fixed
+/// inside the accountant's type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAccountant;
+
+/// Builder state: no executor chosen yet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoExecutor;
+
+/// Builder state: executor backend `E` chosen, to be spawned with this
+/// many lanes at [`SessionBuilder::build`] time.
+#[derive(Debug, Clone, Copy)]
+pub struct Planned<E> {
+    lanes: usize,
+    _exec: PhantomData<E>,
+}
+
+/// A deferred accountant choice: built only at
+/// [`SessionBuilder::build`] time, when the executor's actual lane count
+/// is known — which is how a sharded ledger's shard count always equals
+/// the pool's worker count without the caller wiring either.
+pub trait AccountantPlan<D: AbstractDp, B: Budget> {
+    /// The accountant this plan builds.
+    type Built;
+    /// Builds the accountant for an executor with `lanes` lanes.
+    fn build_accountant(self, lanes: usize) -> Self::Built;
+}
+
+/// Plan for a global [`Ledger`] (see [`SessionBuilder::ledger`]).
+#[derive(Debug, Clone)]
+pub struct LedgerPlan<B: Budget> {
+    budget: B,
+}
+
+impl<D: AbstractDp, B: Budget> AccountantPlan<D, B> for LedgerPlan<B> {
+    type Built = Ledger<D, B>;
+    fn build_accountant(self, _lanes: usize) -> Ledger<D, B> {
+        Ledger::with_budget(self.budget)
+    }
+}
+
+/// Plan for a [`ShardedLedger`] with one shard per executor lane (see
+/// [`SessionBuilder::sharded_ledger`]).
+#[derive(Debug, Clone)]
+pub struct ShardedLedgerPlan<B: Budget> {
+    budget: B,
+}
+
+impl<D: AbstractDp, B: Budget> AccountantPlan<D, B> for ShardedLedgerPlan<B> {
+    type Built = ShardedLedger<D, B>;
+    fn build_accountant(self, lanes: usize) -> ShardedLedger<D, B> {
+        ShardedLedger::with_budget(self.budget, lanes)
+    }
+}
+
+/// Plan for a global [`RdpMeter`] (see [`SessionBuilder::rdp`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RdpPlan {
+    delta: f64,
+    budget_eps: f64,
+}
+
+impl<D: AbstractDp, B: Budget> AccountantPlan<D, B> for RdpPlan {
+    type Built = RdpMeter<B>;
+    fn build_accountant(self, _lanes: usize) -> RdpMeter<B> {
+        RdpMeter::new(self.delta, self.budget_eps)
+    }
+}
+
+/// Plan for a [`ShardedRdpMeter`] with one accumulator per executor lane
+/// (see [`SessionBuilder::sharded_rdp`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedRdpPlan {
+    delta: f64,
+    budget_eps: f64,
+}
+
+impl<D: AbstractDp, B: Budget> AccountantPlan<D, B> for ShardedRdpPlan {
+    type Built = ShardedRdpMeter<B>;
+    fn build_accountant(self, lanes: usize) -> ShardedRdpMeter<B> {
+        ShardedRdpMeter::new(self.delta, self.budget_eps, lanes)
+    }
+}
+
+/// The typestate builder behind [`Session::builder`]; see the
+/// module-level docs above for the axes and an example.
+///
+/// Type parameters track the choices made so far: `B` the budget carrier,
+/// `A` the accountant plan (or [`NoAccountant`]), `X` the executor choice
+/// (or [`NoExecutor`]). [`build`](Self::build) only exists once an
+/// accountant and an executor are chosen **and** the pair is legal.
+#[derive(Debug)]
+pub struct SessionBuilder<D: AbstractDp, B: Budget = f64, A = NoAccountant, X = NoExecutor> {
+    accountant: A,
+    executor: X,
+    entropy: Entropy,
+    _notion: PhantomData<D>,
+    _carrier: PhantomData<B>,
+}
+
+impl<D: AbstractDp, B: Budget, A, X> SessionBuilder<D, B, A, X> {
+    /// Selects the entropy backend (default: [`Entropy::Os`]). May be
+    /// called at any point in the chain.
+    pub fn entropy(mut self, entropy: Entropy) -> Self {
+        self.entropy = entropy;
+        self
+    }
+
+    /// Shorthand for `.entropy(Entropy::seeded(root))`.
+    pub fn seeded(self, root: u64) -> Self {
+        self.entropy(Entropy::seeded(root))
+    }
+}
+
+impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, NoAccountant, X> {
+    fn with_accountant<A2>(self, accountant: A2) -> SessionBuilder<D, B, A2, X> {
+        SessionBuilder {
+            accountant,
+            executor: self.executor,
+            entropy: self.entropy,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        }
+    }
+
+    /// Switches the budget carrier to the exact dyadic lattice
+    /// ([`Dyadic`](sampcert_arith::Dyadic)): gcd-free exact accounting,
+    /// strict acceptance. Must precede the accountant choice (the carrier
+    /// lives inside the accountant's type).
+    pub fn exact(self) -> SessionBuilder<D, sampcert_arith::Dyadic, NoAccountant, X> {
+        self.carrier::<sampcert_arith::Dyadic>()
+    }
+
+    /// Switches to an arbitrary budget carrier (`f64` is the default;
+    /// [`exact`](Self::exact) is the shorthand for
+    /// [`Dyadic`](sampcert_arith::Dyadic)).
+    pub fn carrier<B2: Budget>(self) -> SessionBuilder<D, B2, NoAccountant, X> {
+        SessionBuilder {
+            accountant: NoAccountant,
+            executor: self.executor,
+            entropy: self.entropy,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        }
+    }
+
+    /// A global [`Ledger`] with the given budget (converted into the
+    /// carrier rounding **down**, as everywhere in the accounting layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or not finite.
+    pub fn ledger(self, budget: f64) -> SessionBuilder<D, B, LedgerPlan<B>, X> {
+        assert!(budget.is_finite() && budget >= 0.0, "invalid budget");
+        self.ledger_exact(B::budget_from_f64(budget))
+    }
+
+    /// [`ledger`](Self::ledger) with the budget already in the carrier —
+    /// the lossless entry point for exact budgets.
+    pub fn ledger_exact(self, budget: B) -> SessionBuilder<D, B, LedgerPlan<B>, X> {
+        assert!(budget.is_valid(), "invalid budget");
+        self.with_accountant(LedgerPlan { budget })
+    }
+
+    /// A [`ShardedLedger`] with one shard per executor lane. Requires a
+    /// [`ShardedExecutor`] — pairing with [`inline`](Self::inline) is a
+    /// compile error (see the module-level docs above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or not finite.
+    pub fn sharded_ledger(self, budget: f64) -> SessionBuilder<D, B, ShardedLedgerPlan<B>, X> {
+        assert!(budget.is_finite() && budget >= 0.0, "invalid budget");
+        self.sharded_ledger_exact(B::budget_from_f64(budget))
+    }
+
+    /// [`sharded_ledger`](Self::sharded_ledger) with the budget already
+    /// in the carrier.
+    pub fn sharded_ledger_exact(self, budget: B) -> SessionBuilder<D, B, ShardedLedgerPlan<B>, X> {
+        assert!(budget.is_valid(), "invalid budget");
+        self.with_accountant(ShardedLedgerPlan { budget })
+    }
+
+    /// A global [`RdpMeter`] enforcing `ε ≤ budget_eps` at `delta`.
+    /// Requires the notion to have a full Rényi curve ([`RdpCurve`]:
+    /// [`PureDp`] or [`Zcdp`]).
+    pub fn rdp(self, delta: f64, budget_eps: f64) -> SessionBuilder<D, B, RdpPlan, X> {
+        self.with_accountant(RdpPlan { delta, budget_eps })
+    }
+
+    /// A [`ShardedRdpMeter`] with one accumulator per executor lane;
+    /// requires a [`ShardedExecutor`], like
+    /// [`sharded_ledger`](Self::sharded_ledger).
+    pub fn sharded_rdp(
+        self,
+        delta: f64,
+        budget_eps: f64,
+    ) -> SessionBuilder<D, B, ShardedRdpPlan, X> {
+        self.with_accountant(ShardedRdpPlan { delta, budget_eps })
+    }
+}
+
+impl<D: AbstractDp, B: Budget, A> SessionBuilder<D, B, A, NoExecutor> {
+    /// The single-lane in-process executor — the sequential baseline.
+    pub fn inline(self) -> SessionBuilder<D, B, A, Planned<Inline>> {
+        self.executor::<Inline>(1)
+    }
+
+    /// Any [`SpawnExecutor`] backend, spawned with (up to) `lanes` lanes
+    /// at build time — e.g. `.executor::<NoiseServer>(8)` for the
+    /// `sampcert-mechanisms` worker pool. A `lanes` of zero is clamped to
+    /// one.
+    pub fn executor<E: SpawnExecutor>(self, lanes: usize) -> SessionBuilder<D, B, A, Planned<E>> {
+        SessionBuilder {
+            accountant: self.accountant,
+            executor: Planned {
+                lanes: lanes.max(1),
+                _exec: PhantomData,
+            },
+            entropy: self.entropy,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        }
+    }
+}
+
+impl<D: AbstractDp, B: Budget, P, E> SessionBuilder<D, B, P, Planned<E>>
+where
+    P: AccountantPlan<D, B>,
+    E: SpawnExecutor,
+    P::Built: Accountant<D, B, E>,
+{
+    /// Spawns the executor, sizes the accountant to its actual lane
+    /// count, and returns the ready session. Only defined for legal
+    /// accountant × executor pairs — illegal pairs fail to compile.
+    pub fn build(self) -> Session<D, B, P::Built, E> {
+        let executor = E::spawn(self.entropy, self.executor.lanes);
+        let lanes = executor.lanes();
+        Session {
+            accountant: self.accountant.build_accountant(lanes),
+            executor,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A configured serving session: one accountant, one executor, one
+/// entropy backend, one polymorphic surface. Construct via
+/// [`Session::builder`]; see the module-level docs above for the full
+/// tour.
+#[derive(Debug)]
+pub struct Session<D: AbstractDp, B: Budget = f64, A = NoAccountant, E = NoExecutor> {
+    accountant: A,
+    executor: E,
+    _notion: PhantomData<D>,
+    _carrier: PhantomData<B>,
+}
+
+impl<D: AbstractDp> Session<D> {
+    /// Starts a builder with the default axes: `f64` carrier, OS entropy,
+    /// no accountant or executor chosen yet.
+    pub fn builder() -> SessionBuilder<D> {
+        SessionBuilder {
+            accountant: NoAccountant,
+            executor: NoExecutor,
+            entropy: Entropy::Os,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        }
+    }
+}
+
+impl<D: AbstractDp, B: Budget, A, E: Executor> Session<D, B, A, E> {
+    /// The session's accountant — inspect spending through the
+    /// accountant's own reporting surface
+    /// (e.g. [`Ledger::spent`], [`RdpMeter::epsilon`]).
+    pub fn accountant(&self) -> &A {
+        &self.accountant
+    }
+
+    /// The session's executor.
+    pub fn executor(&self) -> &E {
+        &self.executor
+    }
+
+    /// Dismantles the session into its accountant and executor (e.g. to
+    /// fold or archive the spend record).
+    pub fn into_parts(self) -> (A, E) {
+        (self.accountant, self.executor)
+    }
+
+    /// Charges and serves one answer of `req` on `db`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Accountant::serve_into`]; a refusal releases nothing (and,
+    /// on global accountants, consumes no entropy).
+    pub fn answer<T: Sync + 'static, U: Value>(
+        &mut self,
+        req: &Request<D, T, U>,
+        db: &[T],
+    ) -> Result<U, SessionError<B>>
+    where
+        A: Accountant<D, B, E>,
+    {
+        let mut out = Vec::with_capacity(1);
+        self.accountant
+            .serve_into(&mut self.executor, req, db, 1, &mut out)?;
+        out.pop().ok_or_else(|| {
+            SessionError::Executor(ExecutorFailure::new("executor returned no answer"))
+        })
+    }
+
+    /// Charges and serves `n` independent answers of `req` on `db` — one
+    /// batched charge, answers in lane order (byte-identical to the
+    /// legacy batched paths; pinned by `tests/session_api.rs`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Accountant::serve_into`]. All-or-nothing on global
+    /// accountants; on sharded accountants the first refusing shard wins
+    /// and already-charged chunks stay charged (conservative).
+    pub fn answer_many<T: Sync + 'static, U: Value>(
+        &mut self,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+    ) -> Result<Vec<U>, SessionError<B>>
+    where
+        A: Accountant<D, B, E>,
+    {
+        let mut out = Vec::with_capacity(n);
+        self.accountant
+            .serve_into(&mut self.executor, req, db, n, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`answer_many`](Self::answer_many) into a caller-owned buffer —
+    /// the reserve-once, buffer-reusing form for long serving loops.
+    ///
+    /// # Errors
+    ///
+    /// See [`answer_many`](Self::answer_many); `out` is untouched on
+    /// refusal.
+    pub fn stream_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>>
+    where
+        A: Accountant<D, B, E>,
+    {
+        self.accountant
+            .serve_into(&mut self.executor, req, db, n, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::count_query;
+    use sampcert_arith::Dyadic;
+    use sampcert_slang::SeededByteSource;
+
+    fn count_req(num: u64, den: u64) -> Request<PureDp, u8, i64> {
+        let p: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), num, den);
+        Request::from_private(&p, "count")
+    }
+
+    #[test]
+    fn inline_session_charges_then_serves() {
+        let mut s = Session::<PureDp>::builder()
+            .ledger(1.0)
+            .inline()
+            .seeded(3)
+            .build();
+        let req = count_req(1, 4);
+        let db = [0u8; 9];
+        let got = s.answer_many(&req, &db, 4).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!((s.accountant().spent() - 1.0).abs() < 1e-12);
+        let err = s.answer(&req, &db).unwrap_err();
+        assert!(matches!(err, SessionError::Budget(_)));
+    }
+
+    #[test]
+    fn refused_request_consumes_no_entropy() {
+        let src = sampcert_slang::CountingByteSource::new(SeededByteSource::new(1));
+        let mut s = Session {
+            accountant: Ledger::<PureDp>::new(0.1),
+            executor: Inline::from_source(Box::new(src)),
+            _notion: PhantomData::<PureDp>,
+            _carrier: PhantomData::<f64>,
+        };
+        let req = count_req(1, 1);
+        assert!(s.answer(&req, &[1u8]).is_err());
+        // The counting source would have recorded any draw; rebuild the
+        // ledger headroom and confirm the stream starts at its beginning.
+        let (_, exec) = s.into_parts();
+        let mut inline = exec;
+        let mut reference = SeededByteSource::new(1);
+        let mut probe = Vec::new();
+        let p: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), 1, 1);
+        inline
+            .run_into(p.mechanism(), &[1u8], 1, &mut probe)
+            .unwrap();
+        let mut expect = Vec::new();
+        p.mechanism()
+            .run_many_into(&[1u8], 1, &mut reference, &mut expect);
+        assert_eq!(probe, expect);
+    }
+
+    #[test]
+    fn exact_carrier_session_is_strict() {
+        let mut s = Session::<PureDp>::builder()
+            .exact()
+            .ledger(1.0)
+            .inline()
+            .seeded(9)
+            .build();
+        let req = count_req(1, 8); // ε = 1/8, dyadic
+        for _ in 0..8 {
+            s.answer(&req, &[1u8, 2]).unwrap();
+        }
+        assert_eq!(s.accountant().spent_exact(), &Dyadic::from(1u64));
+        let err = s.answer(&req, &[1u8, 2]).unwrap_err();
+        let refusal = err.as_budget().expect("budget refusal");
+        assert_eq!(refusal.carrier, "dyadic");
+        assert_eq!(refusal.remaining, Dyadic::zero());
+    }
+
+    #[test]
+    fn rdp_session_enforces_policy() {
+        let mut s = Session::<Zcdp>::builder()
+            .rdp(1e-6, 4.0)
+            .inline()
+            .seeded(4)
+            .build();
+        // σ/Δ = 8 Gaussians: ρ = 1/128 each; 32 of them convert to under
+        // ε = 4 at δ = 1e-6 (see the accountant module tests).
+        let req: Request<Zcdp, u8, i64> = Request::noise(8, 1);
+        let out = s.answer_many(&req, &[], 32).unwrap();
+        assert_eq!(out.len(), 32);
+        let (eps, _) = s.accountant().epsilon();
+        assert!(eps < 4.0, "eps = {eps}");
+        // A huge follow-up batch must be refused without mutating the meter.
+        let err = s.answer_many(&req, &[], 1_000_000).unwrap_err();
+        assert!(matches!(err, SessionError::Budget(_)));
+        let (eps_after, _) = s.accountant().epsilon();
+        assert_eq!(eps, eps_after);
+    }
+
+    #[test]
+    fn noise_request_prices_itself() {
+        // Laplace scale 2 under pure DP: ε = 1/2 per draw.
+        let req: Request<PureDp, (), i64> = Request::noise(2, 1);
+        assert!((req.gamma_each() - 0.5).abs() < 1e-12);
+        // Gaussian σ = 8 under zCDP: ρ = 1/128 per draw.
+        let req: Request<Zcdp, (), i64> = Request::noise(8, 1);
+        assert!((req.gamma_each() - 1.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_error_chains_sources() {
+        use std::error::Error as _;
+        let budget: SessionError = SessionError::Budget(BudgetExceeded::new(0.5, 0.25));
+        assert_eq!(
+            budget.source().unwrap().to_string(),
+            "privacy budget exceeded: requested 0.5, remaining 0.25 [carrier: f64]"
+        );
+        let exec: SessionError = SessionError::Executor(ExecutorFailure::new("pool died"));
+        assert_eq!(
+            exec.source().unwrap().to_string(),
+            "executor failure: pool died"
+        );
+        assert_eq!(exec.to_string(), "session refused: executor failure");
+    }
+
+    #[test]
+    fn seeded_inline_replays_lane_zero() {
+        let mut a = Inline::new(Entropy::seeded(21));
+        let mut b = SplitSeed::new(21).stream(0);
+        let p: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), 1, 2);
+        let mut got = Vec::new();
+        a.run_into(p.mechanism(), &[7u8], 5, &mut got).unwrap();
+        let mut expect = Vec::new();
+        p.mechanism().run_many_into(&[7u8], 5, &mut b, &mut expect);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lane_partition_rule() {
+        assert_eq!(lane_partition(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(lane_partition(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(lane_partition(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn inline_spawn_clamps_lanes() {
+        let e = Inline::spawn(Entropy::seeded(1), 64);
+        assert_eq!(e.lanes(), 1);
+    }
+}

@@ -24,14 +24,17 @@
 //! directly — the example on [`NoiseBatch`] shows the pattern.
 
 use crate::histogram::Bins;
-use sampcert_core::{Budget, BudgetExceeded, DpNoise, Ledger, Mechanism, NoiseBatch, Query};
-use sampcert_slang::ByteSource;
+use sampcert_core::{
+    Budget, BudgetExceeded, DpNoise, Ledger, Mechanism, NoiseBatch, Query, Request,
+};
+use sampcert_slang::{ByteSource, SubPmf};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A constant-zero query of declared sensitivity `sensitivity`: noising it
 /// yields the raw calibrated noise, which the batched paths add to exact
 /// answers themselves.
-fn noise_only_query<T: 'static>(sensitivity: u64) -> Query<T> {
+pub(crate) fn noise_only_query<T: 'static>(sensitivity: u64) -> Query<T> {
     Query::new(format!("noise[Δ={sensitivity}]"), sensitivity, |_| 0)
 }
 
@@ -113,6 +116,10 @@ pub fn histogram_batch<D: DpNoise, T: 'static>(
 ///
 /// Returns [`BudgetExceeded`] when the histogram does not fit in the
 /// remaining budget; the ledger and byte source are unchanged.
+#[deprecated(
+    note = "use Session::answer with histogram_request (sampcert_core::Session) — \
+            same per-bin exact charge, same bytes, one front door"
+)]
 pub fn histogram_batch_metered<D: DpNoise, B: Budget, T: 'static>(
     bins: &Bins<T>,
     gamma_num: u64,
@@ -162,6 +169,64 @@ pub fn answer_workload<D: DpNoise, T: 'static>(
         values.push(q.eval(db) + noise.run(&[], src));
     }
     NoiseBatch::new(values, D::noise_priv(gamma_num, gamma_den))
+}
+
+/// [`answer_workload`] as a [`Request`] for the
+/// [`Session`](sampcert_core::Session) front door: one answer is the
+/// whole workload (a `Vec<i64>` in workload order), priced as
+/// `queries.len()` sub-releases of `noise_priv(γ₁, γ₂)` — so the exact
+/// carrier records the same per-query rounded charge the legacy
+/// [`NoiseBatch::charge`] path records.
+///
+/// The noise programs (one per distinct sensitivity) are built once, at
+/// request construction, and reused across every serve; the draw order
+/// is workload order, so the released bytes equal a fresh
+/// [`answer_workload`] call on the same stream (pinned by
+/// `tests/session_api.rs`).
+///
+/// The request's analytic distribution is **not** assembled (it is the
+/// product of the per-answer noise distributions, combinatorially large);
+/// it reports as the zero sub-PMF. Check privacy per answer through
+/// [`Private::noised_query`](sampcert_core::Private::noised_query) on the
+/// individual queries instead.
+///
+/// # Panics
+///
+/// Panics if `gamma_num` or `gamma_den` is zero.
+pub fn workload_request<D: DpNoise, T: 'static>(
+    queries: &[Query<T>],
+    gamma_num: u64,
+    gamma_den: u64,
+) -> Request<D, T, Vec<i64>> {
+    let mut programs: HashMap<u64, Mechanism<T, i64>> = HashMap::new();
+    for q in queries {
+        programs.entry(q.sensitivity()).or_insert_with(|| {
+            D::noise(
+                &noise_only_query::<T>(q.sensitivity()),
+                gamma_num,
+                gamma_den,
+            )
+        });
+    }
+    let queries: Arc<Vec<Query<T>>> = Arc::new(queries.to_vec());
+    let units = queries.len() as u64;
+    let mech = Mechanism::from_parts(
+        move |db: &[T], src: &mut dyn ByteSource| {
+            let mut values = Vec::with_capacity(queries.len());
+            for q in queries.iter() {
+                let noise = &programs[&q.sensitivity()];
+                values.push(q.eval(db) + noise.run(&[], src));
+            }
+            values
+        },
+        |_| SubPmf::zero(),
+    );
+    Request::composite(
+        mech,
+        D::noise_priv(gamma_num, gamma_den),
+        units,
+        format!("workload[{units} queries]"),
+    )
 }
 
 #[cfg(test)]
@@ -252,6 +317,9 @@ mod tests {
     /// per-bin γ is not dyadic and the f64-composed total would round the
     /// other way.
     #[test]
+    // Deliberately exercises the deprecated legacy path: it is the exact
+    // charge reference the Session front door is pinned against.
+    #[allow(deprecated)]
     fn metered_histogram_charge_matches_per_bin_batch_charge_exactly() {
         use sampcert_core::{DpNoise, ExactLedger};
 
@@ -270,6 +338,8 @@ mod tests {
     }
 
     #[test]
+    // Deliberately exercises the deprecated legacy path (see above).
+    #[allow(deprecated)]
     fn metered_histogram_charges_then_serves_and_refuses_atomically() {
         use sampcert_core::{Dyadic, ExactLedger};
         use sampcert_slang::CountingByteSource;

@@ -14,7 +14,8 @@
 //! in exactly one partition, and the whole histogram costs `max` over bins
 //! — the full per-bin budget with `1/nBins` of the sequential noise.
 
-use sampcert_core::{DpNoise, Private, Query};
+use sampcert_core::{DpNoise, Mechanism, Private, Query, Request};
+use sampcert_slang::ByteSource;
 use std::sync::Arc;
 
 /// A binning strategy: a total function from rows to `n_bins` bins
@@ -144,6 +145,80 @@ pub fn par_noised_histogram<D: DpNoise, T: Clone + 'static>(
             });
     }
     acc
+}
+
+/// The noised histogram as a [`Request`] for the
+/// [`Session`](sampcert_core::Session) front door.
+///
+/// One answer is a whole histogram, served through the batched path: one
+/// O(rows) counting pass, one noise program drawn `nBins` times in the
+/// compositional draw order — so every released vector (and every
+/// consumed byte) equals what [`histogram_batch`](crate::histogram_batch)
+/// and [`noised_histogram`]`.run` release from the same stream position
+/// (pinned by `tests/session_api.rs`). The price is
+/// [`histogram_gamma`](crate::histogram_gamma), factored as `nBins`
+/// sub-releases of the per-bin cost so exact carriers record the same
+/// per-bin rounded charge the legacy metered path recorded. The analytic
+/// distribution is [`noised_histogram`]'s, so
+/// [`check_pair`](sampcert_core::Private::check_pair)-style verification
+/// remains available through the underlying compositional mechanism.
+///
+/// # Panics
+///
+/// Panics if `gamma_num` or `gamma_den` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::{PureDp, Session};
+/// use sampcert_mechanisms::{histogram_request, Bins};
+///
+/// let bins = Bins::new(4, |age: &u32| (*age as usize) / 25);
+/// let mut session = Session::<PureDp>::builder()
+///     .ledger(2.0)
+///     .inline()
+///     .seeded(1)
+///     .build();
+/// let hist = session
+///     .answer(&histogram_request::<PureDp, u32>(&bins, 1, 1), &[23, 35, 47, 88])
+///     .unwrap();
+/// assert_eq!(hist.len(), 4);
+/// assert!((session.accountant().spent() - 1.0).abs() < 1e-12);
+/// ```
+pub fn histogram_request<D: DpNoise, T: 'static>(
+    bins: &Bins<T>,
+    gamma_num: u64,
+    gamma_den: u64,
+) -> Request<D, T, Vec<i64>> {
+    let n = bins.n_bins();
+    let noise = D::noise(
+        &crate::batch::noise_only_query::<T>(1),
+        gamma_num,
+        gamma_den * n as u64,
+    );
+    let bins2 = bins.clone();
+    let compositional = noised_histogram::<D, T>(bins, gamma_num, gamma_den);
+    let mech = Mechanism::from_parts(
+        move |db: &[T], src: &mut dyn ByteSource| {
+            let mut counts = vec![0i64; n];
+            for row in db {
+                counts[bins2.bin(row)] += 1;
+            }
+            // Bin n−1 is outermost in the composition, so its noise draws
+            // first; matching that order keeps the byte streams identical.
+            for b in (0..n).rev() {
+                counts[b] += noise.run(&[], src);
+            }
+            counts
+        },
+        move |db| compositional.dist(db),
+    );
+    Request::composite(
+        mech,
+        D::noise_priv(gamma_num, gamma_den * n as u64),
+        n as u64,
+        format!("histogram[{n} bins]"),
+    )
 }
 
 /// A private approximate maximum (paper Section 2.3): the index of the

@@ -45,10 +45,17 @@ pub use accuracy::{
     gaussian_accuracy, gaussian_tail, laplace_accuracy, laplace_tail, pure_dp_accuracy,
 };
 pub use adaptive::{adaptive_mean, magnitude_bins, AdaptiveMeanRelease};
-pub use batch::{answer_workload, histogram_batch, histogram_batch_metered, histogram_gamma};
+pub use batch::{answer_workload, histogram_batch, histogram_gamma, workload_request};
+// The deprecated metered wrapper stays exported for migration; the
+// re-export itself must not trip the deprecation lint.
+#[allow(deprecated)]
+pub use batch::histogram_batch_metered;
 pub use histogram::{
-    approx_max_bin, exact_bin_count, noised_bin_count, noised_histogram, par_noised_histogram, Bins,
+    approx_max_bin, exact_bin_count, histogram_request, noised_bin_count, noised_histogram,
+    par_noised_histogram, Bins,
 };
-pub use queries::{mean_of, noised_bounded_sum, noised_count, noised_mean};
+pub use queries::{
+    count_request, mean_of, mean_request, noised_bounded_sum, noised_count, noised_mean,
+};
 pub use serve::{NoiseServer, SeedBackend, ServeConfig};
-pub use svt::{above_threshold, sparse, SvtParams};
+pub use svt::{above_threshold, sparse, svt_request, SvtParams};

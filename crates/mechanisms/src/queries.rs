@@ -7,7 +7,7 @@
 //! postprocessed by division — privacy accounting for all of it falls out
 //! of the typed combinators, for any [`DpNoise`] instance.
 
-use sampcert_core::{bounded_sum_query, count_query, DpNoise, Private};
+use sampcert_core::{bounded_sum_query, count_query, DpNoise, Private, Request};
 
 /// A noised count of the rows, at `noise_priv(γ₁, γ₂)`-ADP.
 ///
@@ -54,6 +54,45 @@ pub fn noised_mean<D: DpNoise>(
 ) -> Private<D, i64, (i64, i64)> {
     noised_bounded_sum::<D>(lo, hi, gamma_num, gamma_den)
         .compose(&noised_count::<D, i64>(gamma_num, gamma_den))
+}
+
+/// [`noised_count`] as a [`Request`] for the
+/// [`Session`](sampcert_core::Session) front door: each answer is one
+/// noised count at `noise_priv(γ₁, γ₂)`.
+///
+/// # Examples
+///
+/// ```
+/// use sampcert_core::{PureDp, Session};
+/// use sampcert_mechanisms::count_request;
+///
+/// let mut session = Session::<PureDp>::builder()
+///     .ledger(1.0)
+///     .inline()
+///     .seeded(0)
+///     .build();
+/// let req = count_request::<PureDp, u32>(1, 2); // ε = 1/2 per answer
+/// let n = session.answer(&req, &[10, 20, 30]).unwrap();
+/// assert!((n - 3).abs() < 40);
+/// ```
+pub fn count_request<D: DpNoise, T: 'static>(gamma_num: u64, gamma_den: u64) -> Request<D, T, i64> {
+    Request::from_private(&noised_count::<D, T>(gamma_num, gamma_den), "noised-count")
+}
+
+/// [`noised_mean`] as a [`Request`] for the
+/// [`Session`](sampcert_core::Session) front door: each answer is a
+/// `(noised sum, noised count)` pair (postprocess with [`mean_of`]),
+/// costing the composition of both slices.
+pub fn mean_request<D: DpNoise>(
+    lo: i64,
+    hi: i64,
+    gamma_num: u64,
+    gamma_den: u64,
+) -> Request<D, i64, (i64, i64)> {
+    Request::from_private(
+        &noised_mean::<D>(lo, hi, gamma_num, gamma_den),
+        "noised-mean",
+    )
 }
 
 /// The mean implied by a `(sum, count)` release, with the count floored at

@@ -58,7 +58,10 @@
 
 use crate::histogram::Bins;
 use sampcert_arith::Nat;
-use sampcert_core::{Budget, BudgetExceeded, DpNoise, Mechanism, NoiseBatch, Query, ShardedLedger};
+use sampcert_core::{
+    Budget, BudgetExceeded, DpNoise, Entropy, Executor, ExecutorFailure, Mechanism, NoiseBatch,
+    Query, SessionError, ShardedExecutor, ShardedLedger, SpawnExecutor,
+};
 use sampcert_samplers::{
     discrete_gaussian, discrete_gaussian_many_into, discrete_laplace_many_into, LaplaceAlg,
 };
@@ -75,6 +78,12 @@ pub enum SeedBackend {
     /// `SplitSeed::new(root).stream(worker)` — deterministic and
     /// replayable for a fixed worker count; the test/audit backend.
     Deterministic(u64),
+    /// Each worker draws `root.stream(worker)` from an explicit
+    /// [`SplitSeed`] tree — what a [`Session`](sampcert_core::Session)
+    /// built with [`Entropy::Seeded`] hands the pool.
+    /// `Split(SplitSeed::new(r))` is stream-for-stream identical to
+    /// `Deterministic(r)`.
+    Split(SplitSeed),
 }
 
 /// Configuration of a [`NoiseServer`].
@@ -118,6 +127,7 @@ impl WorkerCtx {
                 let stream: SeededByteSource = SplitSeed::new(root).stream(index as u64);
                 Box::new(stream)
             }
+            SeedBackend::Split(root) => Box::new(root.stream(index as u64)),
         };
         WorkerCtx {
             src,
@@ -128,11 +138,12 @@ impl WorkerCtx {
 
 /// Splits `n` into `workers` contiguous chunk lengths, the first
 /// `n % workers` chunks one longer — the fixed request-partition rule the
-/// determinism contract is stated over.
+/// determinism contract is stated over. This is exactly the default
+/// [`Executor::partition`] rule ([`sampcert_core::lane_partition`]), so
+/// per-lane accounting in a `Session` attributes answers to the workers
+/// that serve them.
 fn chunk_lengths(n: usize, workers: usize) -> Vec<usize> {
-    let base = n / workers;
-    let rem = n % workers;
-    (0..workers).map(|i| base + usize::from(i < rem)).collect()
+    sampcert_core::lane_partition(n, workers)
 }
 
 /// The same partition as [`chunk_lengths`], as per-worker index ranges.
@@ -271,6 +282,9 @@ impl NoiseServer {
     ///
     /// Panics if `num` or `den` is zero, or the ledger has fewer shards
     /// than the pool has workers.
+    #[deprecated(note = "use Session with a sharded accountant and a pooled executor \
+                (sampcert_core::Session + Request::noise) — same per-shard \
+                charge-before-serve, one front door")]
     pub fn gaussian_noise_many_metered<D: DpNoise, B: Budget>(
         &mut self,
         num: &Nat,
@@ -399,6 +413,9 @@ impl NoiseServer {
     /// # Panics
     ///
     /// Panics if the ledger has fewer shards than the pool has workers.
+    #[deprecated(note = "use Session with a sharded accountant and a pooled executor \
+                (sampcert_core::Session + Request::from_private) — same per-shard \
+                charge-before-serve, one front door")]
     pub fn run_many_metered<D: DpNoise, B: Budget, T: Sync + 'static, U: sampcert_slang::Value>(
         &mut self,
         mech: &Mechanism<T, U>,
@@ -488,6 +505,105 @@ impl NoiseServer {
     }
 }
 
+/// The pooled execution backend of a [`Session`](sampcert_core::Session):
+/// each lane is one worker (its own byte stream and program cache), and
+/// `run_into` fans the batch across the pool exactly as
+/// [`run_many`](NoiseServer::run_many) does.
+impl Executor for NoiseServer {
+    fn lanes(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn run_into<T: Sync + 'static, U: sampcert_slang::Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), ExecutorFailure> {
+        let chunks = chunk_lengths(n, self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let mut part = Vec::new();
+            mech.run_many_into(db, chunks[i], &mut *ctx.src, &mut part);
+            part
+        });
+        for part in parts {
+            out.extend(part);
+        }
+        Ok(())
+    }
+}
+
+/// The sharded charge-before-serve hook: worker `i` batch-charges shard
+/// `i` (as `chunkᵢ · units` releases of `gamma_unit`, matching the
+/// per-unit exact-rounding rule of the unsharded metered paths) before
+/// drawing a byte. This is what lets a sharded accountant legally pair
+/// with the pool in a [`Session`](sampcert_core::Session).
+impl ShardedExecutor for NoiseServer {
+    fn run_sharded_into<
+        D: sampcert_core::AbstractDp,
+        B: Budget,
+        T: Sync + 'static,
+        U: sampcert_slang::Value,
+    >(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        gamma_unit: f64,
+        units: u64,
+        ledger: &ShardedLedger<D, B>,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        if ledger.shards() < self.workers.len() {
+            return Err(SessionError::Executor(ExecutorFailure::new(format!(
+                "ledger has {} shards but the pool has {} workers",
+                ledger.shards(),
+                self.workers.len()
+            ))));
+        }
+        let chunks = chunk_lengths(n, self.workers.len());
+        let parts = self.fan_out(|i, ctx| {
+            let mut handle = ledger.handle(i);
+            handle.charge_batch(gamma_unit, chunks[i] as u64 * units)?;
+            let mut part = Vec::new();
+            mech.run_many_into(db, chunks[i], &mut *ctx.src, &mut part);
+            Ok(part)
+        });
+        // Collect every verdict before touching `out`: if any shard
+        // refused, the successfully drawn chunks are discarded unreleased
+        // (their charges stay spent — the conservative direction) and the
+        // caller's buffer is left exactly as it was. `collect` surfaces
+        // the first refusing shard in shard order.
+        let served: Vec<Vec<U>> = parts
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .map_err(SessionError::Budget)?;
+        for part in served {
+            out.extend(part);
+        }
+        Ok(())
+    }
+}
+
+/// Lets `SessionBuilder::executor::<NoiseServer>(lanes)` spawn the pool:
+/// [`Entropy::Os`] maps to [`SeedBackend::OsEntropy`],
+/// [`Entropy::Seeded`] to [`SeedBackend::Split`] (lane `i` draws
+/// `root.stream(i)` — the same streams `SeedBackend::Deterministic` with
+/// the same root derives).
+impl SpawnExecutor for NoiseServer {
+    fn spawn(entropy: Entropy, lanes: usize) -> Self {
+        let seed = match entropy {
+            Entropy::Os => SeedBackend::OsEntropy,
+            Entropy::Seeded(root) => SeedBackend::Split(root),
+        };
+        NoiseServer::new(ServeConfig {
+            workers: lanes.max(1),
+            seed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +682,9 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated legacy path on purpose: it remains the
+    // byte/charge reference the Session front door is pinned against.
+    #[allow(deprecated)]
     fn metered_run_charges_shards_and_refuses_over_budget() {
         let q = count_query::<u8>();
         let mech = Zcdp::noise(&q, 1, 2);

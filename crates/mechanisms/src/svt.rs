@@ -149,6 +149,27 @@ pub fn above_threshold<T: 'static>(
     )
 }
 
+/// [`above_threshold`] as a [`Request`](sampcert_core::Request) for the
+/// [`Session`](sampcert_core::Session) front door: one answer is one
+/// AboveThreshold release (the firing index, or `queries.len()` for the
+/// sentinel), priced at `ε = ε₁/ε₂` regardless of the stream length —
+/// SVT's defining property, now metered by whichever accountant the
+/// session was built with.
+///
+/// # Panics
+///
+/// As [`above_threshold`]: zero privacy parameters or a query of
+/// sensitivity above 1.
+pub fn svt_request<T: 'static>(
+    queries: &[Query<T>],
+    params: SvtParams,
+) -> sampcert_core::Request<PureDp, T, u64> {
+    sampcert_core::Request::from_private(
+        &above_threshold(queries, params),
+        format!("svt-above-threshold[{} queries]", queries.len()),
+    )
+}
+
 /// `privSparse` (Listing 15): release the indices of the first `c` queries
 /// exceeding the threshold, by adaptively re-running [`above_threshold`]
 /// on the remaining stream. `(c·ε)`-DP by the abstract induction of

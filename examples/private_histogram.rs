@@ -1,18 +1,20 @@
 //! The paper's running example (Sections 1 and 2.3): counting carriers of
-//! a genetic mutation without leaking any individual's data.
+//! a genetic mutation without leaking any individual's data — served
+//! through the `Session` front door.
 //!
 //! Builds a differentially private age histogram of mutation carriers
-//! **once**, generically, and instantiates it three ways — pure DP
-//! (Laplace noise), zCDP (Gaussian noise), and pure DP with *parallel*
-//! composition (Appendix B: same ε, a fraction of the noise) — then
-//! derives an approximate maximum (the oldest well-populated age band,
-//! Section 2.3's motivating postprocessing).
+//! **once**, generically, and serves it under two privacy notions — pure
+//! DP (Laplace noise) and zCDP (Gaussian noise) — each from its own
+//! budget-metered session, then derives an approximate maximum (the
+//! oldest well-populated age band) by free postprocessing of the released
+//! vector. The parallel-composition variant (Appendix B: same ε, 1/nBins
+//! the noise) stays on the low-level `Private` path, which remains the
+//! primitive underneath the request constructors.
 //!
 //! Run with: `cargo run --release --example private_histogram`
 
-use sampcert::core::{approx_dp_of, PureDp, Zcdp};
-use sampcert::mechanisms::{approx_max_bin, noised_histogram, par_noised_histogram, Bins};
-use sampcert::slang::SeededByteSource;
+use sampcert::core::{AbstractDp, Private, PureDp, Request, Session, Zcdp};
+use sampcert::mechanisms::{histogram_request, par_noised_histogram, Bins};
 
 /// One study participant: age and mutation-carrier flag.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -48,44 +50,73 @@ fn main() {
         })
         .collect();
 
-    let mut src = SeededByteSource::new(2024);
-
-    // One generic construction, three privacy notions.
-    let lap = noised_histogram::<PureDp, Participant>(&bins, 1, 1);
-    let gauss = noised_histogram::<Zcdp, Participant>(&bins, 1, 1);
-    let par = par_noised_histogram::<PureDp, Participant>(&bins, 1, 1);
-
     println!("age-band histogram of mutation carriers (8 decade bins)");
     println!("{:>12} {exact:?}", "exact");
+
+    // One generic request constructor, two privacy notions, two metered
+    // sessions (same replayable seed, so reruns print the same tables).
+    let mut laplace_session = Session::<PureDp>::builder()
+        .ledger(2.0)
+        .inline()
+        .seeded(2024)
+        .build();
+    let lap_req = histogram_request::<PureDp, Participant>(&bins, 1, 1);
+    let lap_hist = laplace_session.answer(&lap_req, &carriers).unwrap();
     println!(
-        "{:>12} {:?}   (ε = {})",
+        "{:>12} {lap_hist:?}   (ε = {})",
         "laplace",
-        lap.run(&carriers, &mut src),
-        lap.gamma()
+        lap_req.gamma_each()
     );
+
+    let mut gauss_session = Session::<Zcdp>::builder()
+        .ledger(1.0)
+        .inline()
+        .seeded(2024)
+        .build();
+    let gauss_req = histogram_request::<Zcdp, Participant>(&bins, 1, 1);
+    let gauss_hist = gauss_session.answer(&gauss_req, &carriers).unwrap();
+    let rho = gauss_req.gamma_each();
     println!(
-        "{:>12} {:?}   (ρ = {}, i.e. ({:.3}, 1e-6)-DP)",
+        "{:>12} {gauss_hist:?}   (ρ = {rho}, i.e. ({:.3}, 1e-6)-DP)",
         "gaussian",
-        gauss.run(&carriers, &mut src),
-        gauss.gamma(),
-        approx_dp_of(&gauss, 1e-6)
+        Zcdp::to_app_dp(rho, 1e-6)
     );
+
+    // Parallel composition (Appendix B): same ε, 1/8 the noise — the
+    // low-level compositional path, wrapped as a request for serving.
+    let par: Private<PureDp, Participant, Vec<i64>> =
+        par_noised_histogram::<PureDp, Participant>(&bins, 1, 1);
     println!(
         "{:>12} {:?}   (ε = {} with 1/8 the noise — parallel composition)",
         "parallel",
-        par.run(&carriers, &mut src),
+        laplace_session
+            .answer(&Request::from_private(&par, "par-histogram"), &carriers)
+            .unwrap(),
         par.gamma()
     );
 
-    // Approximate maximum: the oldest age band with > 25 carriers.
-    let am = approx_max_bin::<PureDp, Participant>(&bins, 1, 1, 25);
-    match am.run(&carriers, &mut src) {
+    // Approximate maximum: free postprocessing of the histogram released
+    // above — reusing `lap_hist` costs no further budget (releasing a
+    // fresh histogram here would spend another full ε = 1).
+    let cutoff = 25;
+    let heavy = lap_hist
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, c)| **c > cutoff)
+        .map(|(b, _)| b as u64);
+    match heavy {
         Some(b) => println!(
-            "oldest well-populated band (ε = {}): ages {}–{}",
-            am.gamma(),
+            "oldest band with > {cutoff} carriers: ages {}–{}",
             18 + 10 * b,
             27 + 10 * b
         ),
         None => println!("no band exceeded the cutoff"),
     }
+
+    println!(
+        "laplace session spent ε = {} of 2 across {} releases",
+        laplace_session.accountant().spent(),
+        laplace_session.accountant().entries().len()
+    );
 }

@@ -1,44 +1,63 @@
-//! Quickstart: differentially private statistics in a dozen lines.
+//! Quickstart: differentially private statistics through the `Session`
+//! front door, in a dozen lines.
 //!
-//! Releases a private count and a private mean of a synthetic salary
-//! database under pure DP (Laplace noise), tracks the privacy budget
-//! through composition, and *checks* the claimed guarantee on real
-//! neighbouring databases — the workflow the paper's abstract DP layer
-//! (Section 2) packages.
+//! Builds one serving session (budget carrier × accountant × executor ×
+//! entropy chosen in a single builder chain), releases a private count
+//! and a private mean of a synthetic salary database under pure DP
+//! (Laplace noise) — every release charged to the session's ledger before
+//! a byte of noise is drawn — and *checks* the claimed guarantee on real
+//! neighbouring databases.
+//!
+//! The pre-`Session` low-level path (construct a `Private`, pass a byte
+//! source by hand, meter with a standalone `Ledger`) remains available
+//! and byte-identical; `Private::noised_query` + `Private::run` is still
+//! the primitive underneath, and this example uses it for the privacy
+//! *check*, which needs the analytic distributions rather than a serving
+//! session.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use sampcert::core::{count_query, CheckOptions, Private, PureDp};
-use sampcert::mechanisms::{mean_of, noised_mean};
-use sampcert::slang::OsByteSource;
+use sampcert::core::{count_query, CheckOptions, Private, PureDp, Request, Session};
+use sampcert::mechanisms::{mean_of, mean_request};
 
 fn main() {
     // A synthetic database: one row per person (annual salary, k$).
     let salaries: Vec<i64> = (0..5_000).map(|i| 30 + (i * 7919) % 120).collect();
 
-    let mut entropy = OsByteSource::new();
+    // One front door: ε = 2 total budget, enforced by a ledger; inline
+    // execution; OS entropy (the default).
+    let mut session = Session::<PureDp>::builder().ledger(2.0).inline().build();
 
     // 1. A private count at ε = 1/2.
     let private_count: Private<PureDp, i64, i64> = Private::noised_query(&count_query(), 1, 2);
-    let count = private_count.run(&salaries, &mut entropy);
+    let count = session
+        .answer(&Request::from_private(&private_count, "count"), &salaries)
+        .expect("within budget");
     println!(
         "private count (ε = 1/2):      {count}  (true: {})",
         salaries.len()
     );
 
     // 2. A private mean at ε = 1/2 + 1/2: clamped sum composed with a count.
-    let private_mean = noised_mean::<PureDp>(0, 200, 1, 2);
-    let release = private_mean.run(&salaries, &mut entropy);
+    let release = session
+        .answer(&mean_request::<PureDp>(0, 200, 1, 2), &salaries)
+        .expect("within budget");
     let mean = mean_of(&release);
     let true_mean = salaries.iter().sum::<i64>() as f64 / salaries.len() as f64;
     println!("private mean  (ε = 1):        {mean:.2}  (true: {true_mean:.2})");
 
-    // 3. The budget ledger is part of the type's value:
-    let total = private_count.gamma() + private_mean.gamma();
-    println!("total privacy spent:          ε = {total}");
+    // 3. The ledger metered every release before it was served:
+    println!(
+        "total privacy spent:          ε = {} of {}",
+        session.accountant().spent(),
+        session.accountant().spent() + session.accountant().remaining()
+    );
+    for (label, eps) in session.accountant().entries() {
+        println!("    {label:<24} ε = {eps}");
+    }
 
     // 4. And the claim is *checkable*: divergence of the analytic output
-    //    distributions on a real neighbouring pair.
+    //    distributions on a real neighbouring pair (the low-level path).
     let neighbour = salaries[1..].to_vec();
     private_count
         .check_pair(&salaries, &neighbour, CheckOptions::default())

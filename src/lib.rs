@@ -26,26 +26,42 @@
 //! | [`stattest`] | KS/χ², divergences, DP falsifier | fn. 10, §5 |
 //! | [`extract`] | deep IR → bytecode VM extraction pipeline | §4.1, App. C |
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Session` front door
+//!
+//! Serving goes through one composable surface: a [`Session`] built by
+//! choosing the budget carrier (`f64` or exact dyadic), the accountant
+//! (ledger or Rényi meter, global or sharded), the executor (inline or a
+//! `NoiseServer` worker pool) and the entropy backend (OS or a replayable
+//! split seed) — then answering [`Request`]s. Illegal combinations (a
+//! sharded accountant on a single-lane executor) do not compile.
 //!
 //! ```
-//! use sampcert::core::{count_query, CheckOptions, Private, PureDp};
-//! use sampcert::slang::OsByteSource;
+//! use sampcert::core::{count_query, CheckOptions, Private, PureDp, Request, Session};
 //!
-//! // An ε = 1 differentially private count of a sensitive database.
+//! // An ε = 1 differentially private count of a sensitive database,
+//! // served from a budget-metered session (ε = 2 total, OS entropy).
 //! let private_count: Private<PureDp, u32, i64> =
 //!     Private::noised_query(&count_query(), 1, 1);
+//! let mut session = Session::<PureDp>::builder().ledger(2.0).inline().build();
 //!
 //! let genomes: Vec<u32> = (0..1000).collect();
-//! let mut entropy = OsByteSource::new();
-//! let released = private_count.run(&genomes, &mut entropy);
+//! let released = session
+//!     .answer(&Request::from_private(&private_count, "count"), &genomes)
+//!     .expect("within budget");
 //! assert!((released - 1000).abs() < 100); // tight ε=1 noise
+//! assert_eq!(session.accountant().spent(), 1.0);
 //!
-//! // And check the claimed bound on a real neighbouring pair:
+//! // And check the claimed bound on a real neighbouring pair (the
+//! // low-level path: `Private` + divergence checkers, unchanged):
 //! private_count
 //!     .check_pair(&genomes, &genomes[1..].to_vec(), CheckOptions::default())
 //!     .expect("the noised count is 1-DP");
 //! ```
+//!
+//! The pre-`Session` entry points (`Private::run` with an explicit byte
+//! source, `histogram_batch`, `NoiseServer::run_many`, …) remain the
+//! primitives underneath and stay available; the metered convenience
+//! wrappers they spawned are deprecated in favour of the session.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,3 +74,8 @@ pub use sampcert_mechanisms as mechanisms;
 pub use sampcert_samplers as samplers;
 pub use sampcert_slang as slang;
 pub use sampcert_stattest as stattest;
+
+// The front door, hoisted to the crate root: `sampcert::Session` is the
+// intended first touch of the API (the full set of session types stays in
+// [`core`]).
+pub use sampcert_core::{Entropy, Request, Session, SessionError};

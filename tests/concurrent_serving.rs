@@ -223,6 +223,10 @@ fn worker_streams_are_pairwise_independent_statistically() {
 /// under an exact sharded ledger spends exactly what the request batch
 /// costs, and the refusal that ends the session names a shard.
 #[test]
+// Deliberately drives the deprecated legacy metered path: this suite is
+// the charge/byte reference the Session front door is pinned against
+// (tests/session_api.rs).
+#[allow(deprecated)]
 fn metered_pool_session_is_exactly_accounted() {
     let q = count_query::<u8>();
     let mech = PureDp::noise(&q, 1, 4); // ε = 1/4 per answer, dyadic
