@@ -313,6 +313,62 @@ impl Dyadic {
         }
     }
 
+    /// Serializes losslessly: one flags byte (bit 0 = sign), the exponent
+    /// as 8 little-endian bytes, then the mantissa in minimal
+    /// little-endian bytes ([`Nat::to_le_bytes`]).
+    ///
+    /// The encoding is **canonical** — exactly one byte string per value,
+    /// decoded only by [`from_bytes`](Self::from_bytes) — which is what
+    /// lets a write-ahead charge journal recover exact dyadic budgets
+    /// byte-for-byte (and lets a checksum over the bytes stand in for a
+    /// checksum over the value).
+    ///
+    /// ```
+    /// use sampcert_arith::Dyadic;
+    /// let x = Dyadic::from_f64_ceil(-2.75);
+    /// assert_eq!(Dyadic::from_bytes(&x.to_bytes()), Some(x));
+    /// assert_eq!(Dyadic::zero().to_bytes().len(), 9);
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mant = self.mant.to_le_bytes();
+        let mut out = Vec::with_capacity(9 + mant.len());
+        out.push(u8::from(self.neg));
+        out.extend_from_slice(&self.exp.to_le_bytes());
+        out.extend_from_slice(&mant);
+        out
+    }
+
+    /// Decodes [`to_bytes`](Self::to_bytes), strictly: any byte string
+    /// that is not the canonical encoding of some value — an unknown flag
+    /// bit, a padded (non-minimal) mantissa, an even nonzero mantissa, a
+    /// non-canonical zero — returns `None` rather than a nearby value, so
+    /// a corrupted journal record can never silently decode.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Dyadic> {
+        if bytes.len() < 9 || bytes[0] > 1 {
+            return None;
+        }
+        let neg = bytes[0] == 1;
+        let exp = i64::from_le_bytes(bytes[1..9].try_into().expect("8 exponent bytes"));
+        let mant_bytes = &bytes[9..];
+        // Canonical mantissa: minimal (no trailing zero byte) …
+        if mant_bytes.last() == Some(&0) {
+            return None;
+        }
+        let mant = Nat::from_le_bytes(mant_bytes);
+        if mant.is_zero() {
+            // … with zero spelled exactly one way: +0 · 2^0, no bytes.
+            if neg || exp != 0 {
+                return None;
+            }
+            return Some(Dyadic::zero());
+        }
+        // … and odd, as the normalized representation requires.
+        if mant.is_even() {
+            return None;
+        }
+        Some(Dyadic { neg, mant, exp })
+    }
+
     /// Compares magnitudes (ignoring signs).
     fn cmp_mag(&self, other: &Dyadic) -> Ordering {
         // The top bit of `m·2^e` sits at `bit_length + e`; different
@@ -636,6 +692,41 @@ mod tests {
         assert_eq!(d(1, -7).to_string(), "0.0078125");
         assert_eq!(Dyadic::zero().to_string(), "0");
         assert_eq!(format!("{:?}", d(-3, -2)), "Dyadic(-3*2^-2)");
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        for (m, e) in [(3i64, -5i64), (-7, 2), (1, 0), (255, -8), (-1, -60)] {
+            let x = d(m, e);
+            assert_eq!(Dyadic::from_bytes(&x.to_bytes()), Some(x), "{m}*2^{e}");
+        }
+        assert_eq!(
+            Dyadic::from_bytes(&Dyadic::zero().to_bytes()),
+            Some(Dyadic::zero())
+        );
+    }
+
+    #[test]
+    fn non_canonical_bytes_are_rejected() {
+        // Too short, unknown flags.
+        assert_eq!(Dyadic::from_bytes(&[]), None);
+        assert_eq!(Dyadic::from_bytes(&[0; 8]), None);
+        assert_eq!(Dyadic::from_bytes(&[2; 9]), None);
+        // Padded mantissa (trailing zero byte).
+        let mut padded = d(3, -2).to_bytes();
+        padded.push(0);
+        assert_eq!(Dyadic::from_bytes(&padded), None);
+        // Even nonzero mantissa is not normalized.
+        let mut even = d(3, -2).to_bytes();
+        even[9] = 4;
+        assert_eq!(Dyadic::from_bytes(&even), None);
+        // Zero spelled any way but +0·2^0.
+        let mut neg_zero = Dyadic::zero().to_bytes();
+        neg_zero[0] = 1;
+        assert_eq!(Dyadic::from_bytes(&neg_zero), None);
+        let mut shifted_zero = Dyadic::zero().to_bytes();
+        shifted_zero[1] = 3;
+        assert_eq!(Dyadic::from_bytes(&shifted_zero), None);
     }
 
     #[test]

@@ -355,8 +355,19 @@ impl Nat {
         }
     }
 
-    /// Constructs a `Nat` from raw little-endian limbs, normalizing.
-    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
+    /// Constructs a `Nat` from raw little-endian limbs, normalizing
+    /// (trailing zero limbs are dropped, so any limb vector is accepted).
+    ///
+    /// The inverse of [`limbs`](Self::limbs) — the limb-level export pair
+    /// the serialization layer is built on.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// let x = &(&Nat::from(7u64) << 64u32) + &Nat::from(5u64);
+    /// assert_eq!(Nat::from_limbs(x.limbs().to_vec()), x);
+    /// assert_eq!(Nat::from_limbs(vec![0, 0]), Nat::zero());
+    /// ```
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
@@ -379,6 +390,46 @@ impl Nat {
             Repr::Small(v) => std::slice::from_ref(v),
             Repr::Big(v) => v,
         }
+    }
+
+    /// Serializes as minimal little-endian bytes: no trailing zero bytes,
+    /// and zero is the empty sequence. The canonical wire form — exactly
+    /// one byte string per value, so byte equality is value equality.
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// assert_eq!(Nat::from(0x0102u64).to_le_bytes(), vec![0x02, 0x01]);
+    /// assert!(Nat::zero().to_le_bytes().is_empty());
+    /// ```
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let limbs = self.limbs();
+        let mut out = Vec::with_capacity(limbs.len() * 8);
+        for limb in limbs {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Reconstructs from little-endian bytes, normalizing (trailing zero
+    /// bytes are tolerated — the inverse of [`to_le_bytes`](Self::to_le_bytes)
+    /// on any input, canonical or not).
+    ///
+    /// ```
+    /// use sampcert_arith::Nat;
+    /// let x = Nat::from(10u64).pow(30);
+    /// assert_eq!(Nat::from_le_bytes(&x.to_le_bytes()), x);
+    /// ```
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut limb = [0u8; 8];
+            limb[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(limb));
+        }
+        Nat::from_limbs(limbs)
     }
 
     /// Consumes the value into owned limbs (no trailing zeros), reusing the

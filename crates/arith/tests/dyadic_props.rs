@@ -161,6 +161,57 @@ proptest! {
     fn f64_directions_mirror(x in arb_finite_f64()) {
         prop_assert_eq!(Dyadic::from_f64_floor(-x), -Dyadic::from_f64_ceil(x));
     }
+
+    /// Byte serialization round-trips exactly — including multi-limb
+    /// mantissas and both signs — and the encoding is canonical: equal
+    /// values encode to equal bytes (the journal's checksum-over-bytes
+    /// soundness argument).
+    #[test]
+    fn bytes_roundtrip(a in arb_dyadic()) {
+        let bytes = a.to_bytes();
+        let back = Dyadic::from_bytes(&bytes);
+        prop_assert_eq!(back.as_ref(), Some(&a));
+        prop_assert_eq!(back.unwrap().to_bytes(), bytes);
+    }
+
+    /// `Nat` little-endian byte export round-trips, agrees with the limb
+    /// view, and is minimal (no trailing zero byte; zero is empty).
+    #[test]
+    fn nat_bytes_roundtrip(lo in any::<u64>(), hi in any::<u64>()) {
+        let n = &(&Nat::from(hi) << 64u32) + &Nat::from(lo);
+        let bytes = n.to_le_bytes();
+        prop_assert_eq!(Nat::from_le_bytes(&bytes), n.clone());
+        prop_assert!(bytes.last() != Some(&0u8), "padded encoding");
+        prop_assert_eq!(Nat::from_limbs(n.limbs().to_vec()), n);
+    }
+
+    /// Serialization respects arithmetic across a decode/encode boundary:
+    /// the byte images of `a` and `b` decode to values whose sum, product
+    /// and ordering equal the originals' — i.e. a journal replay composing
+    /// decoded charges reconstructs exactly the composition of the live
+    /// charges.
+    #[test]
+    fn decoded_values_compose_exactly(a in arb_dyadic(), b in arb_dyadic()) {
+        let da = Dyadic::from_bytes(&a.to_bytes()).expect("canonical");
+        let db = Dyadic::from_bytes(&b.to_bytes()).expect("canonical");
+        prop_assert_eq!(&da + &db, &a + &b);
+        prop_assert_eq!(&da * &db, &a * &b);
+        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+    }
+
+    /// Cross-carrier agreement: an f64 charge shuttled through the dyadic
+    /// wire form (exact ceil conversion, encode, decode, back to f64)
+    /// loses nothing whenever the float is representable on the lattice —
+    /// which every realistic privacy parameter is.
+    #[test]
+    fn f64_through_dyadic_wire_is_lossless_on_lattice(x in arb_finite_f64()) {
+        let on_lattice =
+            x == 0.0 || rat_of_f64(x).denom().bit_length() as i64 - 1 <= -Dyadic::MIN_EXP;
+        prop_assume!(on_lattice);
+        let d = Dyadic::from_f64_ceil(x);
+        let back = Dyadic::from_bytes(&d.to_bytes()).expect("canonical");
+        prop_assert_eq!(back.to_rat(), rat_of_f64(x));
+    }
 }
 
 /// The defining claim, as a property: dyadic arithmetic (construction from

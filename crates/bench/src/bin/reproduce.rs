@@ -249,6 +249,17 @@ fn serve(args: &[String]) {
             mx / sh
         );
     }
+    if let (Some(off), Some(on)) = (
+        get("charge_registry_dyadic_t4"),
+        get("charge_durable_mem_dyadic_t4"),
+    ) {
+        println!(
+            "write-ahead journaling costs {:.2}x the plain per-principal charge rate \
+             (in-memory WAL; fsync-per-charge on this host: {:.0} ns)",
+            on / off,
+            get("charge_durable_fsync_t1").unwrap_or(0.0)
+        );
+    }
     write_merged("sampcert-bench/serve-v1", out, label, &rows);
 }
 

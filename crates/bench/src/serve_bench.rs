@@ -21,6 +21,13 @@
 //!   is visible even on a 1-core host: the shard handle's charge is two
 //!   carrier operations on worker-owned memory, the mutex path pays a
 //!   lock/unlock (and, with real parallelism, contention) per charge;
+//! - `charge_registry_dyadic_t4` vs `charge_durable_mem_dyadic_t4` vs
+//!   `charge_durable_fsync_t1`: the per-principal charge path with
+//!   journaling off vs on — a plain [`BudgetRegistry`] (lock-sharded,
+//!   no I/O), a [`DurableRegistry`] over in-memory storage (WAL framing
+//!   plus the single journal lock, no disk), and a `DurableRegistry`
+//!   over a real file with fsync-per-charge (the full durability price;
+//!   the absolute number is dominated by the host's fsync latency);
 //! - `host_parallelism`: `std::thread::available_parallelism()` at
 //!   measurement time. **Read the scaling rows against this.** Thread
 //!   scaling is bounded by the cores the host actually grants: on a
@@ -38,7 +45,9 @@
 //! fan-out machinery.
 
 use sampcert_arith::Nat;
-use sampcert_core::{Ledger, PureDp, ShardedLedger};
+use sampcert_core::{
+    BudgetRegistry, DurableRegistry, Dyadic, FileStorage, Ledger, MemStorage, PureDp, ShardedLedger,
+};
 use sampcert_mechanisms::{NoiseServer, SeedBackend, ServeConfig};
 use sampcert_samplers::{discrete_gaussian_many_into, LaplaceAlg};
 use sampcert_slang::SplitSeed;
@@ -217,6 +226,76 @@ fn charge_perdraw_mutex_row(workers: usize, n: usize, reps: usize) -> f64 {
     })
 }
 
+/// The per-principal charge path with journaling **off**: `workers`
+/// threads hammer a plain [`BudgetRegistry`] on the exact dyadic
+/// carrier, each charging its own principal (distinct lock shards on the
+/// common path).
+fn charge_registry_dyadic_row(workers: usize, n: usize, reps: usize) -> f64 {
+    ns_per_sample(n, reps, move |k| {
+        let registry: BudgetRegistry<PureDp, Dyadic> = BudgetRegistry::new(1e9, workers);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for _ in 0..k / workers {
+                        registry
+                            .charge(w as u64, GAMMA_EACH)
+                            .expect("budget is ample");
+                    }
+                    std::hint::black_box(registry.spent(w as u64));
+                });
+            }
+        });
+    })
+}
+
+/// The same workload with journaling **on** over in-memory storage: every
+/// charge serializes on the journal lock and pays WAL framing +
+/// checksumming, but no disk I/O — the pure journaling-machinery
+/// overhead against [`charge_registry_dyadic_row`].
+fn charge_durable_mem_dyadic_row(workers: usize, n: usize, reps: usize) -> f64 {
+    ns_per_sample(n, reps, move |k| {
+        let registry: DurableRegistry<PureDp, Dyadic, MemStorage> =
+            DurableRegistry::create(1e9, workers, MemStorage::new()).expect("fault-free storage");
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for _ in 0..k / workers {
+                        registry
+                            .charge(w as u64, GAMMA_EACH)
+                            .expect("budget is ample");
+                    }
+                    std::hint::black_box(registry.registry().spent(w as u64));
+                });
+            }
+        });
+    })
+}
+
+/// Journaling **on** over a real file, single thread: each charge is an
+/// append **plus an fsync** before it is acknowledged — the full price
+/// of the durability contract. Absolute values are dominated by the
+/// host's fsync latency (tmpfs vs a real disk differ by orders of
+/// magnitude), so read this row per-host, not across hosts.
+fn charge_durable_fsync_row(n: usize, reps: usize) -> f64 {
+    let dir = std::env::temp_dir().join(format!("sampcert-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ns = ns_per_sample(n, reps, |k| {
+        let path = dir.join("bench.scjl");
+        let _ = std::fs::remove_file(&path);
+        let storage = FileStorage::open(&path).expect("open journal file");
+        let registry: DurableRegistry<PureDp, Dyadic, FileStorage> =
+            DurableRegistry::create(1e9, 1, storage).expect("create journal");
+        for _ in 0..k {
+            registry.charge(0, GAMMA_EACH).expect("budget is ample");
+        }
+        std::hint::black_box(registry.registry().spent(0));
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    ns
+}
+
 /// Runs the whole serving measurement set, returning `(name, ns_per_op)`
 /// rows (plus the `host_parallelism` and `degenerate_scaling` context
 /// rows). `quick` shrinks the per-call sample count for CI smoke runs.
@@ -271,6 +350,20 @@ pub fn measure_all(quick: bool) -> Vec<(&'static str, f64)> {
             "charge_perdraw_mutex_f64_t8",
             charge_perdraw_mutex_row(8, n * 8, reps),
         ),
+        (
+            "charge_registry_dyadic_t4",
+            charge_registry_dyadic_row(4, n * 8, reps),
+        ),
+        (
+            "charge_durable_mem_dyadic_t4",
+            charge_durable_mem_dyadic_row(4, n * 8, reps),
+        ),
+        // fsync-per-charge is ~10^3–10^6 ns on real hardware: keep the
+        // charge count small so the row stays a smoke measurement.
+        (
+            "charge_durable_fsync_t1",
+            charge_durable_fsync_row(n / 16, reps),
+        ),
     ]
 }
 
@@ -281,7 +374,7 @@ mod tests {
     #[test]
     fn rows_measure_and_are_positive() {
         let rows = measure_all(true);
-        assert_eq!(rows.len(), 15);
+        assert_eq!(rows.len(), 18);
         for (name, v) in &rows {
             assert!(*v > 0.0 || *name == "degenerate_scaling", "{name} = {v}");
         }

@@ -112,13 +112,16 @@ pub struct Ledger<D: AbstractDp, B: Budget = f64> {
 /// decimals by [`Dyadic`]'s `Display`) instead of a lossy `f64` cast.
 ///
 /// The rendered message names the budget **carrier** (so an operator can
-/// tell a strict exact refusal from a tolerant float one at a glance) and,
-/// for rejections raised by a [`ShardedLedger`](crate::ShardedLedger)
-/// shard, the **shard** that ran dry:
+/// tell a strict exact refusal from a tolerant float one at a glance),
+/// the **shard** that ran dry for rejections raised by a
+/// [`ShardedLedger`](crate::ShardedLedger) shard, and the **principal**
+/// whose allowance refused for rejections raised by a
+/// [`BudgetRegistry`](crate::BudgetRegistry):
 ///
 /// ```text
 /// privacy budget exceeded: requested 0.5, remaining 0.25 [carrier: f64]
 /// privacy budget exceeded: requested 0.5, remaining 0 [carrier: dyadic, shard: 3]
+/// privacy budget exceeded: requested 0.5, remaining 0 [carrier: dyadic, principal: 42]
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct BudgetExceeded<B = f64> {
@@ -132,6 +135,10 @@ pub struct BudgetExceeded<B = f64> {
     /// The ledger shard that refused the charge, when the refusal came
     /// from a sharded accountant; `None` for unsharded ledgers.
     pub shard: Option<usize>,
+    /// The principal whose per-user allowance refused the charge, when the
+    /// refusal came from a [`BudgetRegistry`](crate::BudgetRegistry);
+    /// `None` for global (non-per-principal) accountants.
+    pub principal: Option<u64>,
 }
 
 impl<B: Budget> BudgetExceeded<B> {
@@ -143,12 +150,20 @@ impl<B: Budget> BudgetExceeded<B> {
             remaining,
             carrier: B::NAME,
             shard: None,
+            principal: None,
         }
     }
 
     /// Returns this refusal attributed to a ledger shard.
     pub fn at_shard(mut self, shard: usize) -> Self {
         self.shard = Some(shard);
+        self
+    }
+
+    /// Returns this refusal attributed to a principal's per-user
+    /// allowance.
+    pub fn for_principal(mut self, principal: u64) -> Self {
+        self.principal = Some(principal);
         self
     }
 }
@@ -162,6 +177,9 @@ impl<B: std::fmt::Display> std::fmt::Display for BudgetExceeded<B> {
         )?;
         if let Some(shard) = self.shard {
             write!(f, ", shard: {shard}")?;
+        }
+        if let Some(principal) = self.principal {
+            write!(f, ", principal: {principal}")?;
         }
         write!(f, "]")
     }
@@ -801,6 +819,23 @@ mod tests {
             "privacy budget exceeded: requested 0.5, remaining 0 [carrier: f64, shard: 3]"
         );
         assert_eq!(err.shard, Some(3));
+
+        // Principal attribution renders after the shard (a registry
+        // refusal carries the principal; shard is usually absent).
+        let err = BudgetExceeded::<f64>::new(0.5, 0.0).for_principal(42);
+        assert_eq!(
+            err.to_string(),
+            "privacy budget exceeded: requested 0.5, remaining 0 [carrier: f64, principal: 42]"
+        );
+        assert_eq!(err.principal, Some(42));
+        let err = BudgetExceeded::<f64>::new(0.5, 0.0)
+            .at_shard(1)
+            .for_principal(7);
+        assert_eq!(
+            err.to_string(),
+            "privacy budget exceeded: requested 0.5, remaining 0 \
+             [carrier: f64, shard: 1, principal: 7]"
+        );
     }
 
     #[test]

@@ -97,6 +97,24 @@ pub trait Budget:
     /// non-negative). Batch totals that overflow the carrier (`f64`
     /// infinity) report `false` and are refused rather than recorded.
     fn is_valid(&self) -> bool;
+
+    /// Lossless wire encoding for the charge journal.
+    ///
+    /// The encoding must be **canonical**: equal values produce equal
+    /// bytes, and [`from_bytes`](Self::from_bytes) of the output returns
+    /// exactly the input. For `f64` this is the IEEE bit pattern
+    /// (little-endian); for [`Dyadic`] it is the normalized
+    /// sign/exponent/mantissa form. Replay therefore reconstructs spend
+    /// bit-for-bit — no re-rounding on recovery.
+    fn to_bytes(&self) -> Vec<u8>;
+
+    /// Decodes a value previously produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// Returns `None` for malformed or non-canonical input (wrong length,
+    /// padded mantissa, …) — a journal record that fails to decode is
+    /// treated by recovery according to the torn-tail rule, never silently
+    /// skipped mid-log.
+    fn from_bytes(bytes: &[u8]) -> Option<Self>;
 }
 
 impl Budget for f64 {
@@ -144,6 +162,15 @@ impl Budget for f64 {
 
     fn is_valid(&self) -> bool {
         self.is_finite() && *self >= 0.0
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_bits().to_le_bytes().to_vec()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let bits: [u8; 8] = bytes.try_into().ok()?;
+        Some(f64::from_bits(u64::from_le_bytes(bits)))
     }
 }
 
@@ -210,6 +237,14 @@ impl Budget for Dyadic {
     fn is_valid(&self) -> bool {
         !self.is_negative()
     }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        Dyadic::to_bytes(self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        Dyadic::from_bytes(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +281,22 @@ mod tests {
         assert!(!<Dyadic as Budget>::exceeds(&budget, &budget));
         let eps = Dyadic::new(sampcert_arith::Int::one(), Dyadic::MIN_EXP);
         assert!(<Dyadic as Budget>::exceeds(&(&budget + &eps), &budget));
+    }
+
+    #[test]
+    fn wire_encodings_roundtrip_exactly() {
+        for x in [0.0f64, 0.1, 1.0 / 3.0, 1e-300, f64::MAX] {
+            let bytes = Budget::to_bytes(&x);
+            assert_eq!(bytes.len(), 8);
+            assert_eq!(<f64 as Budget>::from_bytes(&bytes), Some(x));
+        }
+        assert_eq!(<f64 as Budget>::from_bytes(&[0u8; 7]), None);
+        for x in [0.0f64, 0.1, 2.75, 1e-9] {
+            let d = Dyadic::charge_from_f64(x);
+            let back = <Dyadic as Budget>::from_bytes(&Budget::to_bytes(&d));
+            assert_eq!(back, Some(d));
+        }
+        assert_eq!(<Dyadic as Budget>::from_bytes(&[2u8; 12]), None);
     }
 
     #[test]

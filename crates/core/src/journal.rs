@@ -1,0 +1,1333 @@
+//! Durable accounting: an append-only write-ahead charge journal with
+//! crash recovery.
+//!
+//! A [`BudgetRegistry`](crate::BudgetRegistry) that forgets spends on a
+//! crash is not a privacy accountant — restarting the process would reset
+//! every principal's ledger and let the whole budget be spent again.
+//! [`DurableRegistry`] closes the hole with the classic write-ahead
+//! discipline, specialised to the one invariant that matters for DP:
+//! **recovered spend is never less than real spend.**
+//!
+//! # The write-ahead ordering
+//!
+//! Every durable charge performs, under one journal lock:
+//!
+//! 1. **check** — the admission check against the principal's allowance
+//!    (refusals stop here; nothing is written);
+//! 2. **append + sync** — the charge record is appended to the journal
+//!    and fsynced (a failure here rejects the charge *without* applying
+//!    it: **degrade-to-reject**, never degrade-to-serve-uncharged);
+//! 3. **apply** — only now is the in-memory ledger updated and the caller
+//!    told to release the noised answer.
+//!
+//! A crash between 2 and 3 therefore replays a charge whose answer was
+//! never released — an over-report, which is the allowed direction. A
+//! crash during 2 leaves a **torn tail**; the rules below keep even that
+//! sound.
+//!
+//! # Record format
+//!
+//! The journal is a header record followed by charge and checkpoint
+//! records, each framed as
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes] [crc32(payload): u32 LE]
+//! ```
+//!
+//! with payloads (first byte is the record kind):
+//!
+//! ```text
+//! HEADER     = 0x00  "SCJL"  version: u16 LE  carrier_len: u8  carrier
+//! CHARGE     = 0x01  principal: u64 LE  charge: B::to_bytes
+//! CHECKPOINT = 0x02  count: u32 LE  (principal: u64 LE,
+//!                                    len: u32 LE, spent: B::to_bytes)*
+//! ```
+//!
+//! Charges are lossless ([`Budget::to_bytes`] round-trips bit-for-bit on
+//! both carriers), so replay on the [`Dyadic`](sampcert_arith::Dyadic)
+//! carrier reconstructs spend **exactly** — recovery is provable equality,
+//! not approximation. The header pins the carrier name; replaying a
+//! journal under a different carrier is refused
+//! ([`RecoveryError::CarrierMismatch`]) rather than silently re-rounded.
+//!
+//! # The torn-tail rule
+//!
+//! Recovery parses frames sequentially. At the first frame that is
+//! incomplete or fails its checksum, everything from that offset to EOF
+//! is the *tail fragment* and exactly one of three things happens:
+//!
+//! - the fragment contains a **complete, decodable `CHARGE` payload**
+//!   (only the checksum is missing or wrong): it replays **as charged** —
+//!   the conservative reading of an ambiguous record;
+//! - the fragment is **undecodable** (truncated mid-payload, or a torn
+//!   checkpoint): it is dropped. This cannot under-report: the sync for
+//!   that record never returned, so step 3 never ran and no answer was
+//!   released;
+//! - the fragment is followed by **further valid bytes** — i.e. the
+//!   damage is *not* at the tail: recovery refuses
+//!   ([`RecoveryError::Corrupt`]). Mid-log corruption is not a crash
+//!   artefact and must be surfaced, not repaired silently.
+//!
+//! Either accepted outcome is reported in [`RecoveryReport::torn_tail`].
+//!
+//! # Checkpoints
+//!
+//! Every [`checkpoint_every`](DurableRegistry::with_checkpoint_every)
+//! charges the registry appends a `CHECKPOINT` record: a consistent
+//! snapshot of every principal's composed spend (consistent because all
+//! durable mutations serialize on the journal lock). On replay a
+//! checkpoint is **authoritative** — state resets to the snapshot and
+//! subsequent charges compose on top — which both bounds the work a
+//! future log-compaction step needs and makes replay insensitive to
+//! anything before the last intact checkpoint.
+//!
+//! Recovery is **idempotent**: it is a pure function of the journal bytes
+//! (nothing is written during replay), so recovering twice — or recovering
+//! on two machines — yields identical ledgers.
+//!
+//! # Example
+//!
+//! ```
+//! use sampcert_core::{DurableRegistry, MemStorage, PureDp};
+//! use sampcert_arith::Dyadic;
+//!
+//! let storage = MemStorage::new();
+//! let reg: DurableRegistry<PureDp, Dyadic, _> =
+//!     DurableRegistry::create(1.0, 4, storage.clone()).unwrap();
+//! reg.charge(7, 0.625).unwrap();
+//! drop(reg); // crash
+//!
+//! let (back, report) =
+//!     DurableRegistry::<PureDp, Dyadic, _>::recover(1.0, 4, storage.reopen()).unwrap();
+//! assert_eq!(back.spent_exact(7), Dyadic::from_f64_ceil(0.625));
+//! assert!(!report.torn_tail);
+//! ```
+
+use crate::abstract_dp::AbstractDp;
+use crate::accountant::BudgetExceeded;
+use crate::budget::Budget;
+use crate::registry::BudgetRegistry;
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, Write};
+use std::sync::{Arc, Mutex};
+
+/// Record kinds (first payload byte).
+const KIND_HEADER: u8 = 0x00;
+const KIND_CHARGE: u8 = 0x01;
+const KIND_CHECKPOINT: u8 = 0x02;
+
+/// Journal file magic, inside the header payload.
+const MAGIC: &[u8; 4] = b"SCJL";
+/// On-disk format version.
+const VERSION: u16 = 1;
+/// Sanity cap on a single record payload: a corrupt length field must not
+/// drive a multi-gigabyte allocation during recovery.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE), table-driven, no dependencies.
+// ---------------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A journal I/O failure (append, sync, or read).
+///
+/// Stores the failing operation and a rendered detail string rather than
+/// the raw `io::Error` so the type stays `Clone + PartialEq` — the shape
+/// session errors need for testable equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    /// The journal operation that failed (`"append"`, `"sync"`, …).
+    pub op: &'static str,
+    /// Human-readable failure detail.
+    pub detail: String,
+}
+
+impl JournalError {
+    /// A failure of `op` with the given detail.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        JournalError {
+            op,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal {} failed: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Why a journal could not be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Reading the journal bytes failed.
+    Io(JournalError),
+    /// The journal is damaged somewhere other than its tail — a valid
+    /// frame follows the damage, so this is not a crash artefact.
+    Corrupt {
+        /// Byte offset of the damaged frame.
+        offset: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The header is missing or malformed (not a journal, or truncated at
+    /// birth).
+    BadHeader(String),
+    /// The journal was written under a different budget carrier; replaying
+    /// it here would re-round every charge.
+    CarrierMismatch {
+        /// The carrier this recovery was asked to produce.
+        expected: &'static str,
+        /// The carrier named in the journal header.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "journal recovery failed: {e}"),
+            RecoveryError::Corrupt { offset, detail } => {
+                write!(f, "journal corrupt at byte {offset}: {detail}")
+            }
+            RecoveryError::BadHeader(detail) => write!(f, "journal header invalid: {detail}"),
+            RecoveryError::CarrierMismatch { expected, found } => write!(
+                f,
+                "journal carrier mismatch: journal is {found}, accountant is {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A refusal from a durable charge: either the principal's allowance said
+/// no, or the journal could not durably record the spend — in which case
+/// the charge is rejected **without** being applied (degrade-to-reject).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurableChargeError<B = f64> {
+    /// The admission check refused the charge.
+    Budget(BudgetExceeded<B>),
+    /// The write-ahead append or fsync failed; the charge was not applied
+    /// and no answer may be released.
+    Journal(JournalError),
+}
+
+impl<B: std::fmt::Display> std::fmt::Display for DurableChargeError<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableChargeError::Budget(e) => e.fmt(f),
+            DurableChargeError::Journal(e) => write!(f, "charge rejected: {e}"),
+        }
+    }
+}
+
+impl<B: std::fmt::Display + std::fmt::Debug> std::error::Error for DurableChargeError<B> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableChargeError::Budget(_) => None,
+            DurableChargeError::Journal(e) => Some(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage
+// ---------------------------------------------------------------------------
+
+/// The byte-level backend a journal writes through.
+///
+/// Deliberately tiny — append, sync, read — so a fault-injecting
+/// implementation ([`MemStorage`]) can stand in for a file and exercise
+/// every failure the durability argument depends on. An `append` is
+/// allowed to write a *prefix* of its bytes and then fail (a torn write);
+/// the recovery rules are designed around exactly that.
+pub trait JournalStorage: Send {
+    /// Appends bytes at the end of the log. May fail after writing only a
+    /// prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] on I/O failure.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalError>;
+
+    /// Durably flushes everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] when durability cannot be confirmed —
+    /// the caller must then treat the preceding appends as *not*
+    /// committed.
+    fn sync(&mut self) -> Result<(), JournalError>;
+
+    /// Reads the entire log from the beginning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] on I/O failure.
+    fn read_all(&mut self) -> Result<Vec<u8>, JournalError>;
+
+    /// Number of bytes currently in the log (committed or not).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] on I/O failure.
+    fn len(&mut self) -> Result<u64, JournalError> {
+        Ok(self.read_all()?.len() as u64)
+    }
+
+    /// Whether the log is empty ([`len`](Self::len) == 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] on I/O failure.
+    fn is_empty(&mut self) -> Result<bool, JournalError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// File-backed [`JournalStorage`]: append-mode writes, `sync_data` on
+/// commit.
+#[derive(Debug)]
+pub struct FileStorage {
+    file: std::fs::File,
+}
+
+impl FileStorage {
+    /// Opens (creating if absent) the journal file at `path` for
+    /// appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the file cannot be opened.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, JournalError> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path.as_ref())
+            .map_err(|e| JournalError::new("open", e.to_string()))?;
+        Ok(FileStorage { file })
+    }
+}
+
+impl JournalStorage for FileStorage {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| JournalError::new("append", e.to_string()))
+    }
+
+    fn sync(&mut self) -> Result<(), JournalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| JournalError::new("sync", e.to_string()))
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, JournalError> {
+        let mut buf = Vec::new();
+        self.file
+            .seek(std::io::SeekFrom::Start(0))
+            .and_then(|_| self.file.read_to_end(&mut buf))
+            .map_err(|e| JournalError::new("read", e.to_string()))?;
+        Ok(buf)
+    }
+
+    fn len(&mut self) -> Result<u64, JournalError> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| JournalError::new("len", e.to_string()))
+    }
+}
+
+/// What a [`MemStorage`] should break, and when — the fault-injection
+/// half of the crash-consistency harness.
+///
+/// Counters are per-storage-instance (a [`reopen`](MemStorage::reopen)
+/// starts a fresh, fault-free handle over the same bytes, like a process
+/// restart over the same file).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail every append once this many appends have succeeded.
+    pub fail_append_after: Option<u64>,
+    /// At append number `.0` (0-based), write only the first `.1` bytes,
+    /// then fail — a torn write.
+    pub torn_append: Option<(u64, usize)>,
+    /// Fail every sync once this many syncs have succeeded.
+    pub fail_sync_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails every append after `n` successful ones.
+    pub fn fail_append_after(n: u64) -> Self {
+        FaultPlan {
+            fail_append_after: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Tears append number `n` (0-based) to its first `keep` bytes.
+    pub fn torn_append(n: u64, keep: usize) -> Self {
+        FaultPlan {
+            torn_append: Some((n, keep)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Fails every sync after `n` successful ones.
+    pub fn fail_sync_after(n: u64) -> Self {
+        FaultPlan {
+            fail_sync_after: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// In-memory [`JournalStorage`] with injectable faults.
+///
+/// The byte buffer is shared (`Arc`) between clones, so a test can hand a
+/// faulty handle to the system under test, "crash" it by dropping, and
+/// [`reopen`](Self::reopen) a clean handle over the surviving bytes —
+/// exactly a process restart over the same file.
+#[derive(Debug, Clone)]
+pub struct MemStorage {
+    buf: Arc<Mutex<Vec<u8>>>,
+    plan: FaultPlan,
+    appends: u64,
+    syncs: u64,
+}
+
+impl MemStorage {
+    /// Empty, fault-free storage.
+    pub fn new() -> Self {
+        MemStorage {
+            buf: Arc::new(Mutex::new(Vec::new())),
+            plan: FaultPlan::none(),
+            appends: 0,
+            syncs: 0,
+        }
+    }
+
+    /// Replaces this handle's fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// A fresh fault-free handle over the same bytes (a restart).
+    pub fn reopen(&self) -> Self {
+        MemStorage {
+            buf: Arc::clone(&self.buf),
+            plan: FaultPlan::none(),
+            appends: 0,
+            syncs: 0,
+        }
+    }
+
+    /// The current log contents.
+    pub fn contents(&self) -> Vec<u8> {
+        self.buf.lock().expect("mem journal poisoned").clone()
+    }
+
+    /// Truncates the log to `len` bytes — for tests that damage the log
+    /// directly.
+    pub fn truncate(&self, len: usize) {
+        self.buf.lock().expect("mem journal poisoned").truncate(len);
+    }
+
+    /// Overwrites the byte at `offset` — for tests that corrupt the log
+    /// directly.
+    pub fn corrupt_byte(&self, offset: usize) {
+        let mut buf = self.buf.lock().expect("mem journal poisoned");
+        buf[offset] ^= 0xFF;
+    }
+}
+
+impl Default for MemStorage {
+    fn default() -> Self {
+        MemStorage::new()
+    }
+}
+
+impl JournalStorage for MemStorage {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        let n = self.appends;
+        self.appends += 1;
+        if let Some((at, keep)) = self.plan.torn_append {
+            if n == at {
+                let keep = keep.min(bytes.len());
+                self.buf
+                    .lock()
+                    .expect("mem journal poisoned")
+                    .extend_from_slice(&bytes[..keep]);
+                return Err(JournalError::new(
+                    "append",
+                    format!("injected torn write ({keep}/{} bytes)", bytes.len()),
+                ));
+            }
+        }
+        if let Some(limit) = self.plan.fail_append_after {
+            if n >= limit {
+                return Err(JournalError::new("append", "injected append failure"));
+            }
+        }
+        self.buf
+            .lock()
+            .expect("mem journal poisoned")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), JournalError> {
+        let n = self.syncs;
+        self.syncs += 1;
+        if let Some(limit) = self.plan.fail_sync_after {
+            if n >= limit {
+                return Err(JournalError::new("sync", "injected fsync failure"));
+            }
+        }
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, JournalError> {
+        Ok(self.contents())
+    }
+
+    fn len(&mut self) -> Result<u64, JournalError> {
+        Ok(self.buf.lock().expect("mem journal poisoned").len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+fn header_payload<B: Budget>() -> Vec<u8> {
+    let name = B::NAME.as_bytes();
+    let mut p = Vec::with_capacity(8 + name.len());
+    p.push(KIND_HEADER);
+    p.extend_from_slice(MAGIC);
+    p.extend_from_slice(&VERSION.to_le_bytes());
+    p.push(name.len() as u8);
+    p.extend_from_slice(name);
+    p
+}
+
+fn charge_payload<B: Budget>(principal: u64, charge: &B) -> Vec<u8> {
+    let bytes = charge.to_bytes();
+    let mut p = Vec::with_capacity(9 + bytes.len());
+    p.push(KIND_CHARGE);
+    p.extend_from_slice(&principal.to_le_bytes());
+    p.extend_from_slice(&bytes);
+    p
+}
+
+fn checkpoint_payload<B: Budget>(entries: &[(u64, B)]) -> Vec<u8> {
+    let mut p = vec![KIND_CHECKPOINT];
+    p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (principal, spent) in entries {
+        let bytes = spent.to_bytes();
+        p.extend_from_slice(&principal.to_le_bytes());
+        p.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        p.extend_from_slice(&bytes);
+    }
+    p
+}
+
+fn decode_charge<B: Budget>(payload: &[u8]) -> Option<(u64, B)> {
+    if payload.len() < 10 || payload[0] != KIND_CHARGE {
+        return None;
+    }
+    let principal = u64::from_le_bytes(payload[1..9].try_into().expect("8 principal bytes"));
+    let charge = B::from_bytes(&payload[9..])?;
+    if !charge.is_valid() {
+        return None;
+    }
+    Some((principal, charge))
+}
+
+fn decode_checkpoint<B: Budget>(payload: &[u8]) -> Option<Vec<(u64, B)>> {
+    if payload.len() < 5 || payload[0] != KIND_CHECKPOINT {
+        return None;
+    }
+    let count = u32::from_le_bytes(payload[1..5].try_into().expect("4 count bytes"));
+    let mut at = 5usize;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        if payload.len() < at + 12 {
+            return None;
+        }
+        let principal = u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+        let len =
+            u32::from_le_bytes(payload[at + 8..at + 12].try_into().expect("4 bytes")) as usize;
+        at += 12;
+        if payload.len() < at + len {
+            return None;
+        }
+        let spent = B::from_bytes(&payload[at..at + len])?;
+        if !spent.is_valid() {
+            return None;
+        }
+        at += len;
+        entries.push((principal, spent));
+    }
+    if at != payload.len() {
+        return None;
+    }
+    Some(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// What [`replay`] reconstructed from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery<B> {
+    /// Each principal's composed spend, sorted by principal id.
+    pub spent: Vec<(u64, B)>,
+    /// How the replay went — for logging and tests.
+    pub report: RecoveryReport,
+}
+
+/// Summary statistics of a recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Intact records replayed (header and checkpoints included).
+    pub records: usize,
+    /// Whether the journal ended in a torn tail (either variant of the
+    /// torn-tail rule).
+    pub torn_tail: bool,
+    /// Whether a torn tail was conservatively replayed as a charge.
+    pub torn_tail_charged: bool,
+}
+
+/// One parsed frame, or the reason parsing stopped.
+enum Frame<'a> {
+    Complete(&'a [u8]),
+    /// Complete bytes, checksum mismatch.
+    BadCrc,
+    /// Ran off the end of the log.
+    Truncated,
+}
+
+/// Parses the frame at `bytes[at..]`; returns the frame and the offset of
+/// the next one (unchanged for `Truncated`).
+fn parse_frame(bytes: &[u8], at: usize) -> (Frame<'_>, usize) {
+    let rest = &bytes[at..];
+    if rest.len() < 4 {
+        return (Frame::Truncated, at);
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().expect("4 length bytes"));
+    if len > MAX_PAYLOAD {
+        // An absurd length field is indistinguishable from a torn one.
+        return (Frame::Truncated, at);
+    }
+    let need = 4 + len as usize + 4;
+    if rest.len() < need {
+        return (Frame::Truncated, at);
+    }
+    let payload = &rest[4..4 + len as usize];
+    let crc = u32::from_le_bytes(
+        rest[4 + len as usize..need]
+            .try_into()
+            .expect("4 crc bytes"),
+    );
+    if crc32(payload) != crc {
+        return (Frame::BadCrc, at + need);
+    }
+    (Frame::Complete(payload), at + need)
+}
+
+/// Decodes a tail fragment as a charge if its payload is complete and
+/// decodable — the "replay as charged" half of the torn-tail rule. The
+/// fragment may be missing any suffix of the checksum (or carry a wrong
+/// one); what it must have intact is the length field and `len` payload
+/// bytes.
+fn torn_tail_charge<B: Budget>(fragment: &[u8]) -> Option<(u64, B)> {
+    if fragment.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(fragment[..4].try_into().expect("4 length bytes"));
+    if len > MAX_PAYLOAD || fragment.len() < 4 + len as usize {
+        return None;
+    }
+    decode_charge(&fragment[4..4 + len as usize])
+}
+
+/// Replays journal bytes into per-principal spend, applying the torn-tail
+/// rule (see the module docs).
+///
+/// Pure: reads only its argument, writes nothing — recovery is therefore
+/// idempotent by construction.
+///
+/// # Errors
+///
+/// Returns a [`RecoveryError`] for a missing/malformed header, a carrier
+/// mismatch, or damage that is not at the tail.
+pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, RecoveryError> {
+    // Header first.
+    let (first, mut at) = parse_frame(bytes, 0);
+    let header = match first {
+        Frame::Complete(payload) => payload,
+        Frame::BadCrc | Frame::Truncated => {
+            return Err(RecoveryError::BadHeader(
+                "missing or damaged header record".into(),
+            ));
+        }
+    };
+    if header.len() < 8 || header[0] != KIND_HEADER || &header[1..5] != MAGIC {
+        return Err(RecoveryError::BadHeader("bad magic".into()));
+    }
+    let version = u16::from_le_bytes(header[5..7].try_into().expect("2 version bytes"));
+    if version != VERSION {
+        return Err(RecoveryError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let name_len = header[7] as usize;
+    if header.len() != 8 + name_len {
+        return Err(RecoveryError::BadHeader("carrier name truncated".into()));
+    }
+    let found = String::from_utf8_lossy(&header[8..]).into_owned();
+    if found != B::NAME {
+        return Err(RecoveryError::CarrierMismatch {
+            expected: B::NAME,
+            found,
+        });
+    }
+
+    let mut spent: BTreeMap<u64, B> = BTreeMap::new();
+    let mut report = RecoveryReport {
+        records: 1,
+        ..RecoveryReport::default()
+    };
+    while at < bytes.len() {
+        let offset = at;
+        let (frame, next) = parse_frame(bytes, at);
+        match frame {
+            Frame::Complete(payload) => {
+                match payload.first() {
+                    Some(&KIND_CHARGE) => {
+                        let (principal, charge) =
+                            decode_charge::<B>(payload).ok_or_else(|| RecoveryError::Corrupt {
+                                offset,
+                                detail: "undecodable charge record".into(),
+                            })?;
+                        let entry = spent.entry(principal).or_insert_with(B::zero);
+                        *entry = B::compose::<D>(entry, &charge);
+                    }
+                    Some(&KIND_CHECKPOINT) => {
+                        let entries = decode_checkpoint::<B>(payload).ok_or_else(|| {
+                            RecoveryError::Corrupt {
+                                offset,
+                                detail: "undecodable checkpoint record".into(),
+                            }
+                        })?;
+                        // Authoritative: replay state resets to the snapshot.
+                        spent = entries.into_iter().collect();
+                    }
+                    kind => {
+                        return Err(RecoveryError::Corrupt {
+                            offset,
+                            detail: format!("unknown record kind {kind:?}"),
+                        });
+                    }
+                }
+                report.records += 1;
+                at = next;
+            }
+            Frame::BadCrc | Frame::Truncated => {
+                // Damage. Only acceptable at the very tail: for a BadCrc
+                // frame that means nothing after it; a Truncated frame
+                // extends to EOF by construction.
+                if let Frame::BadCrc = frame {
+                    if next < bytes.len() {
+                        return Err(RecoveryError::Corrupt {
+                            offset,
+                            detail: "checksum mismatch followed by further records".into(),
+                        });
+                    }
+                }
+                report.torn_tail = true;
+                if let Some((principal, charge)) = torn_tail_charge::<B>(&bytes[offset..]) {
+                    let entry = spent.entry(principal).or_insert_with(B::zero);
+                    *entry = B::compose::<D>(entry, &charge);
+                    report.torn_tail_charged = true;
+                }
+                break;
+            }
+        }
+    }
+    Ok(Recovery {
+        spent: spent.into_iter().collect(),
+        report,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DurableRegistry
+// ---------------------------------------------------------------------------
+
+struct JournalInner<S> {
+    storage: S,
+    /// Charges appended since the last checkpoint record.
+    since_checkpoint: u64,
+}
+
+/// A [`BudgetRegistry`] whose every accepted charge is durably journaled
+/// before it is applied.
+///
+/// See the module docs for the write-ahead ordering, record format,
+/// torn-tail rule and checkpoint semantics. All durable mutations
+/// serialize on one journal lock (fsync is the bottleneck regardless);
+/// reads ([`spent_exact`](Self::spent_exact), …) go straight to the
+/// sharded registry.
+pub struct DurableRegistry<D: AbstractDp, B: Budget, S: JournalStorage> {
+    registry: BudgetRegistry<D, B>,
+    journal: Mutex<JournalInner<S>>,
+    checkpoint_every: u64,
+}
+
+impl<D: AbstractDp, B: Budget, S: JournalStorage> std::fmt::Debug for DurableRegistry<D, B, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableRegistry")
+            .field("registry", &self.registry)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .finish()
+    }
+}
+
+/// Default charge count between checkpoint snapshots.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
+
+impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
+    /// Creates a fresh durable registry over empty storage, writing and
+    /// syncing the journal header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the header cannot be durably
+    /// written, or if the storage is not empty (use
+    /// [`recover`](Self::recover) or [`open`](Self::open) for existing
+    /// journals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_principal` is negative or not finite, or `shards`
+    /// is zero.
+    pub fn create(per_principal: f64, shards: usize, storage: S) -> Result<Self, JournalError> {
+        Self::create_with_budget(B::budget_from_f64(per_principal), shards, storage)
+    }
+
+    /// [`create`](Self::create) with the per-principal budget already in
+    /// the carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the header cannot be durably written
+    /// or the storage is not empty.
+    pub fn create_with_budget(
+        per_principal: B,
+        shards: usize,
+        mut storage: S,
+    ) -> Result<Self, JournalError> {
+        if !storage.is_empty()? {
+            return Err(JournalError::new(
+                "create",
+                "storage not empty; recover it instead",
+            ));
+        }
+        storage.append(&frame(&header_payload::<B>()))?;
+        storage.sync()?;
+        Ok(DurableRegistry {
+            registry: BudgetRegistry::with_budget(per_principal, shards),
+            journal: Mutex::new(JournalInner {
+                storage,
+                since_checkpoint: 0,
+            }),
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        })
+    }
+
+    /// Recovers a durable registry by replaying existing storage; returns
+    /// the registry and how the replay went.
+    ///
+    /// Recovered spend is applied **without** admission checks — a
+    /// principal whose replayed (possibly conservatively over-reported)
+    /// spend exceeds the allowance simply has nothing left.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] if the journal cannot be read or
+    /// replayed (see [`replay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_principal` is negative or not finite, or `shards`
+    /// is zero.
+    pub fn recover(
+        per_principal: f64,
+        shards: usize,
+        storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        Self::recover_with_budget(B::budget_from_f64(per_principal), shards, storage)
+    }
+
+    /// [`recover`](Self::recover) with the budget already in the carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] if the journal cannot be read or
+    /// replayed.
+    pub fn recover_with_budget(
+        per_principal: B,
+        shards: usize,
+        mut storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        let bytes = storage.read_all().map_err(RecoveryError::Io)?;
+        let recovery = replay::<D, B>(&bytes)?;
+        let registry = BudgetRegistry::with_budget(per_principal, shards);
+        for (principal, spent) in &recovery.spent {
+            registry.apply_unchecked(*principal, spent);
+        }
+        Ok((
+            DurableRegistry {
+                registry,
+                journal: Mutex::new(JournalInner {
+                    storage,
+                    since_checkpoint: 0,
+                }),
+                checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            },
+            recovery.report,
+        ))
+    }
+
+    /// Creates over empty storage, recovers otherwise — the restartable
+    /// entry point [`Session`](crate::Session)'s `.durable(path)` uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] on I/O failure or unreplayable
+    /// contents.
+    pub fn open(
+        per_principal: f64,
+        shards: usize,
+        storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        Self::open_with_budget(B::budget_from_f64(per_principal), shards, storage)
+    }
+
+    /// [`open`](Self::open) with the budget already in the carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] on I/O failure or unreplayable
+    /// contents.
+    pub fn open_with_budget(
+        per_principal: B,
+        shards: usize,
+        mut storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        if storage.is_empty().map_err(RecoveryError::Io)? {
+            let created = Self::create_with_budget(per_principal, shards, storage)
+                .map_err(RecoveryError::Io)?;
+            Ok((created, RecoveryReport::default()))
+        } else {
+            Self::recover_with_budget(per_principal, shards, storage)
+        }
+    }
+
+    /// Returns this registry with a different checkpoint cadence (a
+    /// snapshot record every `every` charges; `u64::MAX` effectively
+    /// disables them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// The underlying in-memory registry (reads are lock-free of the
+    /// journal).
+    pub fn registry(&self) -> &BudgetRegistry<D, B> {
+        &self.registry
+    }
+
+    /// Total spent by `principal`, in the carrier.
+    pub fn spent_exact(&self, principal: u64) -> B {
+        self.registry.spent_exact(principal)
+    }
+
+    /// Remaining allowance of `principal`, in the carrier.
+    pub fn remaining_exact(&self, principal: u64) -> B {
+        self.registry.remaining_exact(principal)
+    }
+
+    /// Durably records a release by `principal` costing `gamma`
+    /// (converted **upward** into the carrier): check, append + fsync,
+    /// then apply.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableChargeError::Budget`] if the allowance refuses;
+    /// [`DurableChargeError::Journal`] if the write-ahead record cannot
+    /// be durably written — the charge is then **not** applied and no
+    /// answer may be released (degrade-to-reject).
+    pub fn charge(&self, principal: u64, gamma: f64) -> Result<(), DurableChargeError<B>> {
+        assert!(gamma.is_finite() && gamma >= 0.0, "invalid charge");
+        self.charge_exact(principal, B::charge_from_f64(gamma))
+    }
+
+    /// Durably records a batch of `count` releases of `gamma_each` as a
+    /// single composed journal record; all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`charge`](Self::charge).
+    pub fn charge_batch(
+        &self,
+        principal: u64,
+        gamma_each: f64,
+        count: u64,
+    ) -> Result<(), DurableChargeError<B>> {
+        assert!(
+            gamma_each.is_finite() && gamma_each >= 0.0,
+            "invalid charge"
+        );
+        let total = B::compose_n::<D>(&B::charge_from_f64(gamma_each), count);
+        if !total.is_valid() {
+            let remaining = self.registry.remaining_exact(principal);
+            return Err(DurableChargeError::Budget(
+                BudgetExceeded::new(total, remaining).for_principal(principal),
+            ));
+        }
+        self.charge_exact(principal, total)
+    }
+
+    /// Durably records a charge already in the carrier.
+    ///
+    /// # Errors
+    ///
+    /// As for [`charge`](Self::charge).
+    pub fn charge_exact(&self, principal: u64, gamma: B) -> Result<(), DurableChargeError<B>> {
+        assert!(gamma.is_valid(), "invalid charge");
+        let mut inner = self.journal.lock().expect("journal poisoned");
+        // 1. Check: refusals write nothing.
+        self.registry
+            .check_exact(principal, &gamma)
+            .map_err(DurableChargeError::Budget)?;
+        // 2. Append + sync: failure rejects without applying.
+        let record = frame(&charge_payload(principal, &gamma));
+        inner
+            .storage
+            .append(&record)
+            .and_then(|()| inner.storage.sync())
+            .map_err(DurableChargeError::Journal)?;
+        // 3. Apply: the charge is durable; release the answer.
+        self.registry.apply_unchecked(principal, &gamma);
+        inner.since_checkpoint += 1;
+        if inner.since_checkpoint >= self.checkpoint_every {
+            // Best-effort: a failed checkpoint write loses nothing (the
+            // charges it summarizes are already journaled); the next
+            // charge will try again.
+            if Self::write_checkpoint(&self.registry, &mut inner.storage).is_ok() {
+                inner.since_checkpoint = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a checkpoint snapshot immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the snapshot cannot be durably
+    /// written (the journal remains valid — checkpoints only summarize).
+    pub fn checkpoint_now(&self) -> Result<(), JournalError> {
+        let mut inner = self.journal.lock().expect("journal poisoned");
+        Self::write_checkpoint(&self.registry, &mut inner.storage)?;
+        inner.since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn write_checkpoint(
+        registry: &BudgetRegistry<D, B>,
+        storage: &mut S,
+    ) -> Result<(), JournalError> {
+        let snapshot = registry.snapshot();
+        storage.append(&frame(&checkpoint_payload(&snapshot)))?;
+        storage.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_dp::PureDp;
+    use sampcert_arith::Dyadic;
+
+    type Exact = DurableRegistry<PureDp, Dyadic, MemStorage>;
+
+    #[test]
+    fn create_charge_recover_is_exact() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 4, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        reg.charge(2, 0.5).unwrap();
+        reg.charge(1, 0.125).unwrap();
+        drop(reg);
+        let (back, report) = Exact::recover(1.0, 4, storage.reopen()).unwrap();
+        assert_eq!(back.spent_exact(1), Dyadic::from_f64_ceil(0.375));
+        assert_eq!(back.spent_exact(2), Dyadic::from_f64_ceil(0.5));
+        assert_eq!(report.records, 4, "header + 3 charges");
+        assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage.clone()).unwrap();
+        for p in 0..10 {
+            reg.charge(p, 0.0625).unwrap();
+        }
+        let bytes = storage.contents();
+        let once = replay::<PureDp, Dyadic>(&bytes).unwrap();
+        let twice = replay::<PureDp, Dyadic>(&bytes).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fsync_failure_rejects_without_applying() {
+        let storage = MemStorage::new();
+        // Header sync (1) succeeds; the first charge's sync fails.
+        let faulty = storage.clone().with_plan(FaultPlan::fail_sync_after(1));
+        let reg = Exact::create(1.0, 2, faulty).unwrap();
+        let err = reg.charge(7, 0.25).unwrap_err();
+        assert!(matches!(err, DurableChargeError::Journal(_)));
+        // Degrade-to-reject: the in-memory ledger did not move.
+        assert_eq!(reg.spent_exact(7), Dyadic::zero());
+        // And whatever bytes were buffered, recovery only over-reports:
+        let (back, _) = Exact::recover(1.0, 2, storage.reopen()).unwrap();
+        assert!(back.spent_exact(7) >= Dyadic::zero());
+    }
+
+    #[test]
+    fn torn_tail_with_decodable_charge_replays_as_charged() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        reg.charge(2, 0.5).unwrap();
+        drop(reg);
+        // Chop the last record's checksum off: payload intact, crc gone.
+        let bytes = storage.contents();
+        storage.truncate(bytes.len() - 4);
+        let (back, report) = Exact::recover(1.0, 2, storage.reopen()).unwrap();
+        assert!(report.torn_tail);
+        assert!(report.torn_tail_charged);
+        assert_eq!(back.spent_exact(2), Dyadic::from_f64_ceil(0.5));
+    }
+
+    #[test]
+    fn torn_tail_fragment_is_dropped_soundly() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        let full = storage.contents().len();
+        reg.charge(2, 0.5).unwrap();
+        drop(reg);
+        // Keep only 3 bytes of the second charge record: undecodable.
+        storage.truncate(full + 3);
+        let (back, report) = Exact::recover(1.0, 2, storage.reopen()).unwrap();
+        assert!(report.torn_tail);
+        assert!(!report.torn_tail_charged);
+        assert_eq!(back.spent_exact(1), Dyadic::from_f64_ceil(0.25));
+        assert_eq!(back.spent_exact(2), Dyadic::zero());
+    }
+
+    #[test]
+    fn mid_log_corruption_is_refused() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        let first_end = storage.contents().len();
+        reg.charge(2, 0.5).unwrap();
+        drop(reg);
+        // Flip a payload byte of the FIRST charge: its crc now fails while
+        // a valid record follows — not a crash artefact.
+        storage.corrupt_byte(first_end - 6);
+        let err = Exact::recover(1.0, 2, storage.reopen()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn carrier_mismatch_is_refused() {
+        let storage = MemStorage::new();
+        let reg: DurableRegistry<PureDp, f64, _> =
+            DurableRegistry::create(1.0, 2, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        drop(reg);
+        let err = Exact::recover(1.0, 2, storage.reopen()).unwrap_err();
+        assert_eq!(
+            err,
+            RecoveryError::CarrierMismatch {
+                expected: "dyadic",
+                found: "f64".into()
+            }
+        );
+    }
+
+    #[test]
+    fn checkpoints_are_authoritative_and_replay_equal() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(10.0, 4, storage.clone())
+            .unwrap()
+            .with_checkpoint_every(3);
+        for i in 0..10u64 {
+            reg.charge(i % 4, 0.25).unwrap();
+        }
+        let live: Vec<_> = (0..4u64).map(|p| reg.spent_exact(p)).collect();
+        drop(reg);
+        let (back, report) = Exact::recover(10.0, 4, storage.reopen()).unwrap();
+        for p in 0..4u64 {
+            assert_eq!(back.spent_exact(p), live[p as usize], "principal {p}");
+        }
+        // 1 header + 10 charges + 3 checkpoints (after charges 3, 6, 9).
+        assert_eq!(report.records, 14);
+    }
+
+    #[test]
+    fn open_creates_then_recovers() {
+        let storage = MemStorage::new();
+        let (reg, report) = Exact::open(1.0, 2, storage.clone()).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        reg.charge(5, 0.5).unwrap();
+        drop(reg);
+        let (back, report) = Exact::open(1.0, 2, storage.reopen()).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(back.spent_exact(5), Dyadic::from_f64_ceil(0.5));
+        // A third generation keeps appending to the same log.
+        back.charge(5, 0.25).unwrap();
+        drop(back);
+        let (last, _) = Exact::open(1.0, 2, storage.reopen()).unwrap();
+        assert_eq!(last.spent_exact(5), Dyadic::from_f64_ceil(0.75));
+    }
+
+    #[test]
+    fn create_refuses_nonempty_storage() {
+        let storage = MemStorage::new();
+        let _ = Exact::create(1.0, 2, storage.clone()).unwrap();
+        let err = Exact::create(1.0, 2, storage.reopen()).unwrap_err();
+        assert_eq!(err.op, "create");
+    }
+
+    #[test]
+    fn refusals_and_journal_failures_render_distinctly() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage).unwrap();
+        reg.charge(3, 1.0).unwrap();
+        let err = reg.charge(3, 0.5).unwrap_err();
+        assert!(err.to_string().contains("principal: 3"), "{err}");
+        let io = DurableChargeError::<Dyadic>::Journal(JournalError::new("sync", "disk gone"));
+        assert_eq!(
+            io.to_string(),
+            "charge rejected: journal sync failed: disk gone"
+        );
+        use std::error::Error;
+        assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn empty_and_headerless_logs_are_bad_headers() {
+        assert!(matches!(
+            replay::<PureDp, Dyadic>(&[]),
+            Err(RecoveryError::BadHeader(_))
+        ));
+        assert!(matches!(
+            replay::<PureDp, Dyadic>(b"not a journal at all"),
+            Err(RecoveryError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn file_storage_roundtrips() {
+        let dir =
+            std::env::temp_dir().join(format!("sampcert-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("charges.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let storage = FileStorage::open(&path).unwrap();
+            let reg: DurableRegistry<PureDp, Dyadic, _> =
+                DurableRegistry::create(1.0, 2, storage).unwrap();
+            reg.charge(11, 0.375).unwrap();
+        }
+        let storage = FileStorage::open(&path).unwrap();
+        let (back, report) =
+            DurableRegistry::<PureDp, Dyadic, _>::recover(1.0, 2, storage).unwrap();
+        assert_eq!(back.spent_exact(11), Dyadic::from_f64_ceil(0.375));
+        assert!(!report.torn_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -44,11 +44,13 @@ mod approx;
 mod batch;
 mod budget;
 mod convert;
+mod journal;
 mod mechanism;
 mod neighbour;
 mod noise;
 mod private;
 mod query;
+mod registry;
 mod session;
 mod sharded;
 
@@ -58,16 +60,21 @@ pub use approx::{ApproxBudget, ApproxPrivate};
 pub use batch::NoiseBatch;
 pub use budget::Budget;
 pub use convert::{approx_dp_of, pure_to_renyi, pure_to_zcdp, zcdp_to_renyi};
+pub use journal::{
+    replay, DurableChargeError, DurableRegistry, FaultPlan, FileStorage, JournalError,
+    JournalStorage, MemStorage, Recovery, RecoveryError, RecoveryReport,
+};
 pub use mechanism::Mechanism;
 pub use neighbour::{insertions, is_neighbour, neighbours, removals};
 pub use noise::DpNoise;
 pub use private::{CheckOptions, PrivacyViolation, Private};
 pub use query::{bounded_sum_query, count_query, Query, SensitivityViolation};
+pub use registry::{BudgetRegistry, ExactBudgetRegistry};
 pub use session::{
-    lane_partition, Accountant, AccountantPlan, Entropy, Executor, ExecutorFailure, Inline,
-    LedgerPlan, NoAccountant, NoExecutor, Planned, RdpCurve, RdpMeter, RdpPlan, Request, Session,
-    SessionBuilder, SessionError, ShardedExecutor, ShardedLedgerPlan, ShardedRdpMeter,
-    ShardedRdpPlan, SpawnExecutor,
+    lane_partition, Accountant, AccountantPlan, DurablePlan, Entropy, Executor, ExecutorFailure,
+    Inline, LedgerPlan, NoAccountant, NoExecutor, Planned, PrincipalAccountant, RdpCurve, RdpMeter,
+    RdpPlan, RegistryPlan, Request, Session, SessionBuilder, SessionError, ShardedExecutor,
+    ShardedLedgerPlan, ShardedRdpMeter, ShardedRdpPlan, SpawnExecutor,
 };
 pub use sharded::{
     ExactShardedLedger, ShardHandle, ShardSpend, ShardedLedger, ShardedRdpAccountant,

@@ -62,6 +62,54 @@
 //!     .build();
 //! ```
 //!
+//! # Per-principal and durable sessions
+//!
+//! A fourth accountant choice, [`SessionBuilder::registry`], gives every
+//! *principal* (user id) its own allowance in a
+//! [`BudgetRegistry`](crate::BudgetRegistry); chaining
+//! [`SessionBuilder::durable`] puts a write-ahead charge journal
+//! (`crate::DurableRegistry`) underneath it, with crash recovery
+//! replayed at the builder step. Per-principal sessions build with
+//! [`SessionBuilder::build_per_principal`] and serve through
+//! [`Session::answer_for`] / [`Session::answer_many_for`] /
+//! [`Session::stream_into_for`]; the principal-less [`Session::answer`]
+//! does not type-check on them — who pays is part of the request, not a
+//! convention:
+//!
+//! ```compile_fail
+//! use sampcert_core::{PureDp, Request, Session};
+//! let mut s = Session::<PureDp>::builder()
+//!     .registry(1.0)
+//!     .inline()
+//!     .build_per_principal();
+//! let req: Request<PureDp, (), i64> = Request::noise(2, 1);
+//! // No principal named, no charge attributable: rejected at compile
+//! // time (a registry session has no global `answer`).
+//! let _ = s.answer(&req, &[]);
+//! ```
+//!
+//! ```
+//! use sampcert_core::{PureDp, Request, Session};
+//!
+//! let mut s = Session::<PureDp>::builder()
+//!     .exact()
+//!     .registry(1.0)
+//!     .inline()
+//!     .seeded(5)
+//!     .build_per_principal();
+//! let req: Request<PureDp, (), i64> = Request::noise(2, 1); // ε = 1/2 per draw
+//!
+//! s.answer_for(1, &req, &[]).unwrap();
+//! s.answer_for(1, &req, &[]).unwrap();
+//! assert!(s.answer_for(1, &req, &[]).is_err()); // principal 1 is dry...
+//! s.answer_for(2, &req, &[]).unwrap(); // ...principal 2 is unaffected
+//! ```
+//!
+//! On durable sessions every admitted charge is journaled and fsynced
+//! **before** the answer is drawn; a journal that cannot be written
+//! refuses the request ([`SessionError::Journal`], degrade-to-reject —
+//! never degrade-to-serve-uncharged).
+//!
 //! # Example
 //!
 //! ```
@@ -91,10 +139,14 @@
 use crate::abstract_dp::{AbstractDp, PureDp, Zcdp};
 use crate::accountant::{BudgetExceeded, Ledger, RdpAccountant};
 use crate::budget::Budget;
+use crate::journal::{
+    DurableChargeError, DurableRegistry, FileStorage, JournalError, JournalStorage, RecoveryError,
+};
 use crate::mechanism::Mechanism;
 use crate::noise::DpNoise;
 use crate::private::Private;
 use crate::query::Query;
+use crate::registry::BudgetRegistry;
 use crate::sharded::ShardedLedger;
 use sampcert_slang::{ByteSource, OsByteSource, SplitSeed, Value};
 use std::marker::PhantomData;
@@ -176,6 +228,12 @@ pub enum SessionError<B: Budget = f64> {
     /// The execution backend failed; any budget charged for the refused
     /// answers stays spent (the conservative direction).
     Executor(ExecutorFailure),
+    /// A durable session's write-ahead journal could not durably record
+    /// the charge. The policy is **degrade-to-reject**: the charge was
+    /// not applied and nothing was released — a session never degrades to
+    /// serving uncharged. In-memory accounting is untouched, so the
+    /// session keeps serving the moment the journal recovers.
+    Journal(JournalError),
 }
 
 impl<B: Budget> SessionError<B> {
@@ -183,7 +241,15 @@ impl<B: Budget> SessionError<B> {
     pub fn as_budget(&self) -> Option<&BudgetExceeded<B>> {
         match self {
             SessionError::Budget(e) => Some(e),
-            SessionError::Executor(_) => None,
+            SessionError::Executor(_) | SessionError::Journal(_) => None,
+        }
+    }
+
+    /// The journal failure, if that is what this error is.
+    pub fn as_journal(&self) -> Option<&JournalError> {
+        match self {
+            SessionError::Journal(e) => Some(e),
+            SessionError::Budget(_) | SessionError::Executor(_) => None,
         }
     }
 }
@@ -193,6 +259,12 @@ impl<B: Budget> std::fmt::Display for SessionError<B> {
         match self {
             SessionError::Budget(_) => write!(f, "session refused: privacy budget exceeded"),
             SessionError::Executor(_) => write!(f, "session refused: executor failure"),
+            SessionError::Journal(_) => {
+                write!(
+                    f,
+                    "session refused: journal failure (nothing charged, nothing released)"
+                )
+            }
         }
     }
 }
@@ -202,6 +274,7 @@ impl<B: Budget> std::error::Error for SessionError<B> {
         match self {
             SessionError::Budget(e) => Some(e),
             SessionError::Executor(e) => Some(e),
+            SessionError::Journal(e) => Some(e),
         }
     }
 }
@@ -215,6 +288,21 @@ impl<B: Budget> From<BudgetExceeded<B>> for SessionError<B> {
 impl<B: Budget> From<ExecutorFailure> for SessionError<B> {
     fn from(e: ExecutorFailure) -> Self {
         SessionError::Executor(e)
+    }
+}
+
+impl<B: Budget> From<JournalError> for SessionError<B> {
+    fn from(e: JournalError) -> Self {
+        SessionError::Journal(e)
+    }
+}
+
+impl<B: Budget> From<DurableChargeError<B>> for SessionError<B> {
+    fn from(e: DurableChargeError<B>) -> Self {
+        match e {
+            DurableChargeError::Budget(e) => SessionError::Budget(e),
+            DurableChargeError::Journal(e) => SessionError::Journal(e),
+        }
     }
 }
 
@@ -843,6 +931,71 @@ impl<D: RdpCurve, B: Budget, E: ShardedExecutor> Accountant<D, B, E> for Sharded
     }
 }
 
+/// The per-principal twin of [`Accountant`]: charge-then-serve where the
+/// charge lands on one principal's allowance inside a
+/// [`BudgetRegistry`] (in-memory) or [`DurableRegistry`] (write-ahead
+/// journaled). The typestate guard works the same way: per-principal
+/// sessions are built with [`SessionBuilder::build_per_principal`] and
+/// serve through [`Session::answer_for`] — the principal-less
+/// [`Session::answer`] does not exist on them (no [`Accountant`] impl),
+/// and vice versa.
+pub trait PrincipalAccountant<D: AbstractDp, B: Budget, E: Executor> {
+    /// Charges `n` answers of `req` to `principal` and, only if the whole
+    /// batch fits (and, for durable registries, only once the charge is
+    /// durably journaled), serves them through `exec` into `out`. A
+    /// refusal releases nothing and consumes no entropy.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Budget`] when the batch does not fit the
+    /// principal's allowance, [`SessionError::Journal`] when a durable
+    /// registry cannot journal the charge (degrade-to-reject),
+    /// [`SessionError::Executor`] when the backend cannot serve.
+    fn serve_for_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        principal: u64,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>>;
+}
+
+impl<D: AbstractDp, B: Budget, E: Executor> PrincipalAccountant<D, B, E> for BudgetRegistry<D, B> {
+    fn serve_for_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        principal: u64,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        self.charge_batch(principal, req.gamma_unit(), n as u64 * req.units())?;
+        exec.run_into(req.mechanism(), db, n, out)?;
+        Ok(())
+    }
+}
+
+impl<D: AbstractDp, B: Budget, E: Executor, S: JournalStorage> PrincipalAccountant<D, B, E>
+    for DurableRegistry<D, B, S>
+{
+    fn serve_for_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        exec: &mut E,
+        principal: u64,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        self.charge_batch(principal, req.gamma_unit(), n as u64 * req.units())?;
+        exec.run_into(req.mechanism(), db, n, out)?;
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Builder typestate
 // ---------------------------------------------------------------------------
@@ -930,6 +1083,52 @@ impl<D: AbstractDp, B: Budget> AccountantPlan<D, B> for ShardedRdpPlan {
     type Built = ShardedRdpMeter<B>;
     fn build_accountant(self, lanes: usize) -> ShardedRdpMeter<B> {
         ShardedRdpMeter::new(self.delta, self.budget_eps, lanes)
+    }
+}
+
+/// Plan for an in-memory per-principal [`BudgetRegistry`] with one lock
+/// shard per executor lane (see [`SessionBuilder::registry`]).
+#[derive(Debug, Clone)]
+pub struct RegistryPlan<B: Budget> {
+    per_principal: B,
+}
+
+impl<D: AbstractDp, B: Budget> AccountantPlan<D, B> for RegistryPlan<B> {
+    type Built = BudgetRegistry<D, B>;
+    fn build_accountant(self, lanes: usize) -> BudgetRegistry<D, B> {
+        BudgetRegistry::with_budget(self.per_principal, lanes)
+    }
+}
+
+/// How many lock shards a [`SessionBuilder::durable`] registry spreads
+/// its principals over. Purely a contention knob — durable charges
+/// serialize on the journal lock anyway, so the shard count only affects
+/// journal-free reads; callers who care use
+/// [`DurableRegistry::open`] directly.
+const DURABLE_LOCK_SHARDS: usize = 8;
+
+/// Plan holding an already-opened [`DurableRegistry`]. Opening — and
+/// therefore crash recovery — happens at the [`SessionBuilder::durable`]
+/// / [`SessionBuilder::durable_with`] step, where the I/O error has a
+/// `Result` to surface through;
+/// [`build_per_principal`](SessionBuilder::build_per_principal) itself
+/// stays infallible.
+pub struct DurablePlan<D: AbstractDp, B: Budget, S: JournalStorage> {
+    registry: DurableRegistry<D, B, S>,
+}
+
+impl<D: AbstractDp, B: Budget, S: JournalStorage> std::fmt::Debug for DurablePlan<D, B, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurablePlan")
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+impl<D: AbstractDp, B: Budget, S: JournalStorage> AccountantPlan<D, B> for DurablePlan<D, B, S> {
+    type Built = DurableRegistry<D, B, S>;
+    fn build_accountant(self, _lanes: usize) -> DurableRegistry<D, B, S> {
+        self.registry
     }
 }
 
@@ -1049,6 +1248,82 @@ impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, NoAccountant, X> {
     ) -> SessionBuilder<D, B, ShardedRdpPlan, X> {
         self.with_accountant(ShardedRdpPlan { delta, budget_eps })
     }
+
+    /// A per-principal [`BudgetRegistry`]: every principal (user id)
+    /// carries its own allowance of `per_principal` (converted into the
+    /// carrier rounding **down**). Builds with
+    /// [`build_per_principal`](Self::build_per_principal) and serves
+    /// through [`Session::answer_for`]; upgrade to a crash-safe journaled
+    /// registry with [`durable`](Self::durable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_principal` is negative or not finite.
+    pub fn registry(self, per_principal: f64) -> SessionBuilder<D, B, RegistryPlan<B>, X> {
+        assert!(
+            per_principal.is_finite() && per_principal >= 0.0,
+            "invalid budget"
+        );
+        self.registry_exact(B::budget_from_f64(per_principal))
+    }
+
+    /// [`registry`](Self::registry) with the allowance already in the
+    /// carrier — the lossless entry point for exact budgets.
+    pub fn registry_exact(self, per_principal: B) -> SessionBuilder<D, B, RegistryPlan<B>, X> {
+        assert!(per_principal.is_valid(), "invalid budget");
+        self.with_accountant(RegistryPlan { per_principal })
+    }
+}
+
+impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, RegistryPlan<B>, X> {
+    /// Upgrades the in-memory registry to a [`DurableRegistry`] backed by
+    /// a write-ahead charge journal at `path`: created (with a synced
+    /// header) if absent, **replayed** if present — so crash recovery
+    /// happens here, at the builder step, and I/O or corruption failures
+    /// surface as [`RecoveryError`]s before any serving starts. Once
+    /// built, a journal failure on a charge refuses the request without
+    /// applying it ([`SessionError::Journal`], degrade-to-reject).
+    ///
+    /// The recovery report is discarded; callers that need the torn-tail
+    /// details use [`DurableRegistry::open`] directly and keep the
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] if the journal cannot be opened, read, or
+    /// replayed.
+    pub fn durable(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SessionBuilder<D, B, DurablePlan<D, B, FileStorage>, X>, RecoveryError> {
+        let storage = FileStorage::open(path).map_err(RecoveryError::Io)?;
+        self.durable_with(storage)
+    }
+
+    /// [`durable`](Self::durable) over any [`JournalStorage`] backend —
+    /// the fault-injection seam ([`MemStorage`](crate::MemStorage) with a
+    /// [`FaultPlan`](crate::FaultPlan)).
+    ///
+    /// # Errors
+    ///
+    /// As [`durable`](Self::durable).
+    pub fn durable_with<S: JournalStorage>(
+        self,
+        storage: S,
+    ) -> Result<SessionBuilder<D, B, DurablePlan<D, B, S>, X>, RecoveryError> {
+        let (registry, _report) = DurableRegistry::open_with_budget(
+            self.accountant.per_principal,
+            DURABLE_LOCK_SHARDS,
+            storage,
+        )?;
+        Ok(SessionBuilder {
+            accountant: DurablePlan { registry },
+            executor: self.executor,
+            entropy: self.entropy,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        })
+    }
 }
 
 impl<D: AbstractDp, B: Budget, A> SessionBuilder<D, B, A, NoExecutor> {
@@ -1085,6 +1360,31 @@ where
     /// count, and returns the ready session. Only defined for legal
     /// accountant × executor pairs — illegal pairs fail to compile.
     pub fn build(self) -> Session<D, B, P::Built, E> {
+        let executor = E::spawn(self.entropy, self.executor.lanes);
+        let lanes = executor.lanes();
+        Session {
+            accountant: self.accountant.build_accountant(lanes),
+            executor,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        }
+    }
+}
+
+impl<D: AbstractDp, B: Budget, P, E> SessionBuilder<D, B, P, Planned<E>>
+where
+    P: AccountantPlan<D, B>,
+    E: SpawnExecutor,
+    P::Built: PrincipalAccountant<D, B, E>,
+{
+    /// [`build`](Self::build) for per-principal sessions
+    /// ([`SessionBuilder::registry`] / [`SessionBuilder::durable`]):
+    /// every serve names the principal it charges
+    /// ([`Session::answer_for`] and friends). The principal-less
+    /// [`Session::answer`] does not exist on the built session, and
+    /// `build_per_principal` does not exist on global-accountant builders
+    /// — the request surface always matches the accounting granularity.
+    pub fn build_per_principal(self) -> Session<D, B, P::Built, E> {
         let executor = E::spawn(self.entropy, self.executor.lanes);
         let lanes = executor.lanes();
         Session {
@@ -1211,11 +1511,81 @@ impl<D: AbstractDp, B: Budget, A, E: Executor> Session<D, B, A, E> {
         self.accountant
             .serve_into(&mut self.executor, req, db, n, out)
     }
+
+    /// Charges one answer of `req` to `principal` and serves it — the
+    /// per-principal twin of [`answer`](Self::answer), on sessions built
+    /// with [`SessionBuilder::build_per_principal`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PrincipalAccountant::serve_for_into`]; a refusal (budget or
+    /// journal) releases nothing and consumes no entropy.
+    pub fn answer_for<T: Sync + 'static, U: Value>(
+        &mut self,
+        principal: u64,
+        req: &Request<D, T, U>,
+        db: &[T],
+    ) -> Result<U, SessionError<B>>
+    where
+        A: PrincipalAccountant<D, B, E>,
+    {
+        let mut out = Vec::with_capacity(1);
+        self.accountant
+            .serve_for_into(&mut self.executor, principal, req, db, 1, &mut out)?;
+        out.pop().ok_or_else(|| {
+            SessionError::Executor(ExecutorFailure::new("executor returned no answer"))
+        })
+    }
+
+    /// Charges `n` answers of `req` to `principal` as one batched
+    /// (all-or-nothing) charge and serves them in lane order — the
+    /// per-principal twin of [`answer_many`](Self::answer_many).
+    ///
+    /// # Errors
+    ///
+    /// See [`PrincipalAccountant::serve_for_into`].
+    pub fn answer_many_for<T: Sync + 'static, U: Value>(
+        &mut self,
+        principal: u64,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+    ) -> Result<Vec<U>, SessionError<B>>
+    where
+        A: PrincipalAccountant<D, B, E>,
+    {
+        let mut out = Vec::with_capacity(n);
+        self.accountant
+            .serve_for_into(&mut self.executor, principal, req, db, n, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`answer_many_for`](Self::answer_many_for) into a caller-owned
+    /// buffer; `out` is untouched on refusal.
+    ///
+    /// # Errors
+    ///
+    /// See [`PrincipalAccountant::serve_for_into`].
+    pub fn stream_into_for<T: Sync + 'static, U: Value>(
+        &mut self,
+        principal: u64,
+        req: &Request<D, T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>>
+    where
+        A: PrincipalAccountant<D, B, E>,
+    {
+        self.accountant
+            .serve_for_into(&mut self.executor, principal, req, db, n, out)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::{FaultPlan, MemStorage};
     use crate::query::count_query;
     use sampcert_arith::Dyadic;
     use sampcert_slang::SeededByteSource;
@@ -1357,5 +1727,82 @@ mod tests {
     fn inline_spawn_clamps_lanes() {
         let e = Inline::spawn(Entropy::seeded(1), 64);
         assert_eq!(e.lanes(), 1);
+    }
+
+    #[test]
+    fn registry_session_isolates_principals() {
+        let mut s = Session::<PureDp>::builder()
+            .exact()
+            .registry(1.0)
+            .inline()
+            .seeded(11)
+            .build_per_principal();
+        let req = count_req(1, 4); // ε = 1/4 per answer
+        let db = [0u8; 5];
+        let got = s.answer_many_for(7, &req, &db, 4).unwrap();
+        assert_eq!(got.len(), 4);
+        let err = s.answer_for(7, &req, &db).unwrap_err();
+        let refusal = err.as_budget().expect("budget refusal");
+        assert_eq!(refusal.principal, Some(7));
+        assert_eq!(refusal.carrier, "dyadic");
+        // Another principal's allowance is untouched.
+        s.answer_for(8, &req, &db).unwrap();
+        assert_eq!(s.accountant().spent_exact(7), Dyadic::from(1u64));
+    }
+
+    #[test]
+    fn durable_session_degrades_to_reject_then_recovers_conservatively() {
+        // Sync 0 is the journal header; syncs 1–2 admit two charges; the
+        // third charge's sync fails.
+        let storage = MemStorage::new().with_plan(FaultPlan::fail_sync_after(3));
+        let handle = storage.clone();
+        let req = count_req(1, 4); // ε = 1/4 per answer
+        let mut s = Session::<PureDp>::builder()
+            .exact()
+            .registry(1.0)
+            .durable_with(storage)
+            .unwrap()
+            .inline()
+            .seeded(13)
+            .build_per_principal();
+        s.answer_for(1, &req, &[1u8]).unwrap();
+        s.answer_for(2, &req, &[1u8]).unwrap();
+        // Degrade-to-reject: the fsync failure refuses the request and
+        // leaves the in-memory spend unchanged.
+        let err = s.answer_for(1, &req, &[1u8]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "session refused: journal failure (nothing charged, nothing released)"
+        );
+        assert_eq!(
+            err.as_journal().unwrap().to_string(),
+            "journal sync failed: injected fsync failure"
+        );
+        use std::error::Error as _;
+        assert_eq!(
+            err.source().unwrap().to_string(),
+            err.as_journal().unwrap().to_string()
+        );
+        assert_eq!(s.accountant().registry().spent(1), 0.25);
+        drop(s);
+
+        // Restart over the surviving bytes. The third record was appended
+        // but its fsync failed — replay cannot tell whether it became
+        // durable, so it counts as charged (over-reporting, never under).
+        let mut s2 = Session::<PureDp>::builder()
+            .exact()
+            .registry(1.0)
+            .durable_with(handle.reopen())
+            .unwrap()
+            .inline()
+            .seeded(13)
+            .build_per_principal();
+        assert_eq!(s2.accountant().registry().spent(1), 0.5);
+        assert_eq!(s2.accountant().registry().spent(2), 0.25);
+        // Exactly two more quarters fit principal 1's allowance of 1.
+        s2.answer_for(1, &req, &[1u8]).unwrap();
+        s2.answer_for(1, &req, &[1u8]).unwrap();
+        let err = s2.answer_for(1, &req, &[1u8]).unwrap_err();
+        assert_eq!(err.as_budget().unwrap().principal, Some(1));
     }
 }

@@ -443,6 +443,44 @@ impl NoiseServer {
         Ok(values)
     }
 
+    /// [`run_many`](Self::run_many) charged to one principal's allowance
+    /// in a [`BudgetRegistry`](sampcert_core::BudgetRegistry) — the
+    /// per-principal metered path. The whole batch is admitted (or
+    /// refused, naming the principal) as a single all-or-nothing
+    /// composed charge **before** any worker draws a byte; a refusal
+    /// therefore consumes no entropy at all.
+    ///
+    /// Durable (write-ahead journaled) per-principal serving goes through
+    /// the [`Session`](sampcert_core::Session) front door instead
+    /// (`.registry(...).durable(path)` with
+    /// `.executor::<NoiseServer>(lanes)`), which layers the same
+    /// charge-before-serve rule over a
+    /// [`DurableRegistry`](sampcert_core::DurableRegistry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] (with
+    /// [`principal`](sampcert_core::BudgetExceeded::principal) set) when
+    /// the batch does not fit the principal's allowance; their ledger is
+    /// unchanged.
+    pub fn run_many_for<
+        D: sampcert_core::AbstractDp,
+        B: Budget,
+        T: Sync + 'static,
+        U: sampcert_slang::Value,
+    >(
+        &mut self,
+        principal: u64,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        gamma_each: f64,
+        registry: &sampcert_core::BudgetRegistry<D, B>,
+    ) -> Result<Vec<U>, BudgetExceeded<B>> {
+        registry.charge_batch(principal, gamma_each, n as u64)?;
+        Ok(self.run_many(mech, db, n))
+    }
+
     /// Serves one [`histogram_batch`](crate::histogram_batch) request per
     /// database across the pool — the fleet form of histogram serving
     /// (many tenants, one binning scheme). Each worker runs whole
@@ -706,6 +744,34 @@ mod tests {
             .unwrap_err();
         assert!(err.shard.is_some());
         assert_eq!(err.carrier, "dyadic");
+    }
+
+    #[test]
+    fn per_principal_metered_run_isolates_and_names_principals() {
+        use sampcert_core::{Dyadic, ExactBudgetRegistry};
+        let q = count_query::<u8>();
+        let mech = PureDp::noise(&q, 1, 4); // ε = 1/4 per answer
+        let gamma = PureDp::noise_priv(1, 4);
+        let db = vec![0u8; 10];
+        let mut server = det_server(2, 7);
+        let registry: ExactBudgetRegistry<PureDp> = ExactBudgetRegistry::new(1.0, 2);
+
+        let out = server
+            .run_many_for(1, &mech, &db, 4, gamma, &registry)
+            .expect("fits");
+        assert_eq!(out.len(), 4);
+        assert_eq!(registry.spent_exact(1), Dyadic::from(1u64));
+
+        // Principal 1 is dry; the refusal names them and serves nothing.
+        let err = server
+            .run_many_for(1, &mech, &db, 1, gamma, &registry)
+            .unwrap_err();
+        assert_eq!(err.principal, Some(1));
+        // Principal 2's allowance is untouched.
+        let out = server
+            .run_many_for(2, &mech, &db, 4, gamma, &registry)
+            .expect("fresh principal fits");
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

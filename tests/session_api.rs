@@ -301,7 +301,7 @@ fn pooled_exact_session_matches_legacy_sharded_metering() {
             assert!(b.shard.is_some());
             assert_eq!(b.carrier, "dyadic");
         }
-        SessionError::Executor(e) => panic!("expected budget refusal, got {e}"),
+        other => panic!("expected budget refusal, got {other}"),
     }
 }
 
