@@ -25,6 +25,22 @@
 //! crash during 2 leaves a **torn tail**; the rules below keep even that
 //! sound.
 //!
+//! # Failure latching
+//!
+//! A failed append may leave a torn fragment in the log (a partial
+//! `write(2)`, ENOSPC mid-frame), and a failed fsync leaves the
+//! durability of the tail unknown. In either case, appending *past* the
+//! damage would turn a recoverable torn tail into mid-log corruption
+//! that [`replay`] must refuse — losing every charge after it. The
+//! journal therefore **latches closed** on the first append or sync
+//! failure: the failing charge is rejected (degrade-to-reject, as
+//! always) and every later charge is refused with a `"latched"`
+//! [`JournalError`] without touching storage.
+//! [`journal_error`](DurableRegistry::journal_error) reports the
+//! original failure; recovery is a restart —
+//! [`open`](DurableRegistry::open) over the surviving bytes, whose tail
+//! the torn-tail rule handles.
+//!
 //! # Record format
 //!
 //! The journal is a header record followed by charge and checkpoint
@@ -53,20 +69,29 @@
 //! # The torn-tail rule
 //!
 //! Recovery parses frames sequentially. At the first frame that is
-//! incomplete or fails its checksum, everything from that offset to EOF
-//! is the *tail fragment* and exactly one of three things happens:
+//! incomplete or fails its checksum, exactly one of three things
+//! happens:
 //!
-//! - the fragment contains a **complete, decodable `CHARGE` payload**
-//!   (only the checksum is missing or wrong): it replays **as charged** —
+//! - the frame is **incomplete** (the log ends before its checksum does)
+//!   and the fragment is a plausible torn write — a complete, decodable
+//!   `CHARGE` payload whose surviving checksum bytes (0–3 of them) are a
+//!   prefix of the payload's real checksum: it replays **as charged** —
 //!   the conservative reading of an ambiguous record;
-//! - the fragment is **undecodable** (truncated mid-payload, or a torn
-//!   checkpoint): it is dropped. This cannot under-report: the sync for
-//!   that record never returned, so step 3 never ran and no answer was
-//!   released;
-//! - the fragment is followed by **further valid bytes** — i.e. the
-//!   damage is *not* at the tail: recovery refuses
-//!   ([`RecoveryError::Corrupt`]). Mid-log corruption is not a crash
-//!   artefact and must be surfaced, not repaired silently.
+//! - the frame is **incomplete** and the fragment is consistent with a
+//!   tear but not chargeable (truncated mid-payload, or a torn
+//!   checkpoint — which only summarizes records still in the log): it is
+//!   dropped. This cannot under-report: the sync for that record never
+//!   returned, so step 3 never ran and no answer was released;
+//! - the frame is **complete but its checksum mismatches**, its
+//!   incomplete tail carries checksum bytes that contradict its payload
+//!   (a tear persists a prefix of the true frame — a contradiction is
+//!   rot, not a tear), its length field exceeds the record size cap, or
+//!   the damage is *not* at the tail: recovery refuses
+//!   ([`RecoveryError::Corrupt`]). A write torn by a crash leaves a
+//!   *prefix* of a frame, never a full frame with a wrong checksum —
+//!   that is bit rot, and a rotted payload cannot be trusted to name
+//!   the right principal or amount (on the `f64` carrier nearly any
+//!   byte pattern decodes), so it is surfaced, not repaired silently.
 //!
 //! Either accepted outcome is reported in [`RecoveryReport::torn_tail`].
 //!
@@ -79,11 +104,23 @@
 //! checkpoint is **authoritative** — state resets to the snapshot and
 //! subsequent charges compose on top — which both bounds the work a
 //! future log-compaction step needs and makes replay insensitive to
-//! anything before the last intact checkpoint.
+//! anything before the last intact checkpoint. A snapshot too large to
+//! fit one record (past the payload size cap, ~50k principals) is
+//! skipped rather than written: checkpoints only summarize charges that
+//! are already individually journaled, so skipping costs replay time,
+//! never spend — and the cap is enforced at write time precisely so
+//! that replay may treat an oversized frame as corruption instead of
+//! guessing.
 //!
-//! Recovery is **idempotent**: it is a pure function of the journal bytes
-//! (nothing is written during replay), so recovering twice — or recovering
-//! on two machines — yields identical ledgers.
+//! Recovery is **idempotent**: [`replay`] is a pure function of the
+//! journal bytes (nothing is written during replay), so replaying twice —
+//! or on two machines — yields identical ledgers.
+//! [`DurableRegistry::recover`] additionally performs **tail repair**: a
+//! torn fragment is truncated away (one that replayed as charged is first
+//! re-journaled as a proper record, keeping the conservative charge
+//! durable), so the recovered registry's own appends never land after
+//! damage. Repair preserves spend exactly — re-recovering a repaired log
+//! yields the same ledgers the repairing recovery did.
 //!
 //! # Example
 //!
@@ -106,7 +143,7 @@
 use crate::abstract_dp::AbstractDp;
 use crate::accountant::BudgetExceeded;
 use crate::budget::Budget;
-use crate::registry::BudgetRegistry;
+use crate::registry::{BudgetRegistry, RegistryView};
 use std::collections::BTreeMap;
 use std::io::{Read, Seek, Write};
 use std::sync::{Arc, Mutex};
@@ -120,8 +157,10 @@ const KIND_CHECKPOINT: u8 = 0x02;
 const MAGIC: &[u8; 4] = b"SCJL";
 /// On-disk format version.
 const VERSION: u16 = 1;
-/// Sanity cap on a single record payload: a corrupt length field must not
-/// drive a multi-gigabyte allocation during recovery.
+/// Cap on a single record payload, enforced at **write time** (charges
+/// are refused, checkpoints skipped) so that replay may treat a complete
+/// frame claiming a larger length as corruption — and so a corrupt
+/// length field can never drive a multi-gigabyte scan during recovery.
 const MAX_PAYLOAD: u32 = 1 << 20;
 
 // ---------------------------------------------------------------------------
@@ -310,6 +349,15 @@ pub trait JournalStorage: Send {
     /// Returns a [`JournalError`] on I/O failure.
     fn read_all(&mut self) -> Result<Vec<u8>, JournalError>;
 
+    /// Discards everything after the first `len` bytes — the tail-repair
+    /// primitive: recovery truncates a torn fragment before the next
+    /// generation appends, so new records never land after damage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] on I/O failure.
+    fn truncate(&mut self, len: u64) -> Result<(), JournalError>;
+
     /// Number of bytes currently in the log (committed or not).
     ///
     /// # Errors
@@ -338,18 +386,29 @@ pub struct FileStorage {
 
 impl FileStorage {
     /// Opens (creating if absent) the journal file at `path` for
-    /// appending.
+    /// appending, then fsyncs the parent directory — without that, a
+    /// crash shortly after creation can drop the directory entry and
+    /// with it the whole journal, header and synced charges included.
     ///
     /// # Errors
     ///
-    /// Returns a [`JournalError`] if the file cannot be opened.
+    /// Returns a [`JournalError`] if the file cannot be opened or the
+    /// parent directory cannot be durably synced.
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, JournalError> {
+        let path = path.as_ref();
         let file = std::fs::OpenOptions::new()
             .read(true)
             .append(true)
             .create(true)
-            .open(path.as_ref())
+            .open(path)
             .map_err(|e| JournalError::new("open", e.to_string()))?;
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => std::path::Path::new("."),
+        };
+        std::fs::File::open(parent)
+            .and_then(|dir| dir.sync_all())
+            .map_err(|e| JournalError::new("open", format!("fsync parent directory: {e}")))?;
         Ok(FileStorage { file })
     }
 }
@@ -374,6 +433,12 @@ impl JournalStorage for FileStorage {
             .and_then(|_| self.file.read_to_end(&mut buf))
             .map_err(|e| JournalError::new("read", e.to_string()))?;
         Ok(buf)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), JournalError> {
+        self.file
+            .set_len(len)
+            .map_err(|e| JournalError::new("truncate", e.to_string()))
     }
 
     fn len(&mut self) -> Result<u64, JournalError> {
@@ -542,6 +607,11 @@ impl JournalStorage for MemStorage {
         Ok(self.contents())
     }
 
+    fn truncate(&mut self, len: u64) -> Result<(), JournalError> {
+        MemStorage::truncate(self, len as usize);
+        Ok(())
+    }
+
     fn len(&mut self) -> Result<u64, JournalError> {
         Ok(self.buf.lock().expect("mem journal poisoned").len() as u64)
     }
@@ -643,6 +713,11 @@ fn decode_checkpoint<B: Budget>(payload: &[u8]) -> Option<Vec<(u64, B)>> {
 pub struct Recovery<B> {
     /// Each principal's composed spend, sorted by principal id.
     pub spent: Vec<(u64, B)>,
+    /// The tail fragment's conservative decoding, when the torn-tail
+    /// rule replayed it as charged (already folded into
+    /// [`spent`](Self::spent)) — what tail repair re-journals as a
+    /// proper record.
+    pub torn_charge: Option<(u64, B)>,
     /// How the replay went — for logging and tests.
     pub report: RecoveryReport,
 }
@@ -652,6 +727,10 @@ pub struct Recovery<B> {
 pub struct RecoveryReport {
     /// Intact records replayed (header and checkpoints included).
     pub records: usize,
+    /// Bytes of the log covered by intact frames — everything before the
+    /// torn tail, or the whole log when there is none. Tail repair
+    /// truncates to this offset.
+    pub valid_len: usize,
     /// Whether the journal ended in a torn tail (either variant of the
     /// torn-tail rule).
     pub torn_tail: bool,
@@ -664,6 +743,9 @@ enum Frame<'a> {
     Complete(&'a [u8]),
     /// Complete bytes, checksum mismatch.
     BadCrc,
+    /// A complete frame whose length field exceeds [`MAX_PAYLOAD`] — the
+    /// writer never emits one, so this is not a crash artefact.
+    Oversized,
     /// Ran off the end of the log.
     Truncated,
 }
@@ -676,11 +758,18 @@ fn parse_frame(bytes: &[u8], at: usize) -> (Frame<'_>, usize) {
         return (Frame::Truncated, at);
     }
     let len = u32::from_le_bytes(rest[..4].try_into().expect("4 length bytes"));
-    if len > MAX_PAYLOAD {
-        // An absurd length field is indistinguishable from a torn one.
-        return (Frame::Truncated, at);
-    }
     let need = 4 + len as usize + 4;
+    if len > MAX_PAYLOAD {
+        // A length past the write-time cap: if the claimed frame runs off
+        // the end of the log it is indistinguishable from a torn length
+        // field (tail rule applies); if the log actually contains that
+        // many more bytes, something other than this writer produced the
+        // frame and replay must refuse rather than silently skip to EOF.
+        if rest.len() < need {
+            return (Frame::Truncated, at);
+        }
+        return (Frame::Oversized, at + need);
+    }
     if rest.len() < need {
         return (Frame::Truncated, at);
     }
@@ -696,20 +785,44 @@ fn parse_frame(bytes: &[u8], at: usize) -> (Frame<'_>, usize) {
     (Frame::Complete(payload), at + need)
 }
 
-/// Decodes a tail fragment as a charge if its payload is complete and
-/// decodable — the "replay as charged" half of the torn-tail rule. The
-/// fragment may be missing any suffix of the checksum (or carry a wrong
-/// one); what it must have intact is the length field and `len` payload
-/// bytes.
-fn torn_tail_charge<B: Budget>(fragment: &[u8]) -> Option<(u64, B)> {
+/// How the torn-tail rule reads a tail fragment.
+enum TailFragment<B> {
+    /// A plausible torn write carrying a complete, decodable `CHARGE`
+    /// payload: replay it as charged (the conservative reading).
+    Charged(u64, B),
+    /// Torn mid-payload, or a complete non-charge payload (e.g. a torn
+    /// checkpoint, which only summarizes records still in the log):
+    /// drop it — the sync never returned, so nothing was released.
+    Dropped,
+    /// Provably *not* a torn write: the surviving checksum bytes
+    /// contradict the payload. A tear persists a prefix of the true
+    /// frame, so an inconsistent prefix is bit rot — refuse rather than
+    /// charge whatever principal/amount the rotted bytes decode as.
+    Rotted,
+}
+
+/// Classifies a tail fragment (an incomplete frame extending to EOF) for
+/// the torn-tail rule: the fragment carries the length field, possibly
+/// all `len` payload bytes, and fewer than four checksum bytes (four
+/// present-and-wrong ones are [`Frame::BadCrc`], refused upstream).
+fn classify_tail<B: Budget>(fragment: &[u8]) -> TailFragment<B> {
     if fragment.len() < 4 {
-        return None;
+        return TailFragment::Dropped;
     }
     let len = u32::from_le_bytes(fragment[..4].try_into().expect("4 length bytes"));
     if len > MAX_PAYLOAD || fragment.len() < 4 + len as usize {
-        return None;
+        return TailFragment::Dropped;
     }
-    decode_charge(&fragment[4..4 + len as usize])
+    let payload = &fragment[4..4 + len as usize];
+    let crc = crc32(payload).to_le_bytes();
+    let survived = &fragment[4 + len as usize..];
+    if survived.len() >= 4 || survived != &crc[..survived.len()] {
+        return TailFragment::Rotted;
+    }
+    match decode_charge(payload) {
+        Some((principal, charge)) => TailFragment::Charged(principal, charge),
+        None => TailFragment::Dropped,
+    }
 }
 
 /// Replays journal bytes into per-principal spend, applying the torn-tail
@@ -727,7 +840,7 @@ pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, Rec
     let (first, mut at) = parse_frame(bytes, 0);
     let header = match first {
         Frame::Complete(payload) => payload,
-        Frame::BadCrc | Frame::Truncated => {
+        Frame::BadCrc | Frame::Oversized | Frame::Truncated => {
             return Err(RecoveryError::BadHeader(
                 "missing or damaged header record".into(),
             ));
@@ -755,6 +868,7 @@ pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, Rec
     }
 
     let mut spent: BTreeMap<u64, B> = BTreeMap::new();
+    let mut torn_charge = None;
     let mut report = RecoveryReport {
         records: 1,
         ..RecoveryReport::default()
@@ -794,30 +908,56 @@ pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, Rec
                 report.records += 1;
                 at = next;
             }
-            Frame::BadCrc | Frame::Truncated => {
-                // Damage. Only acceptable at the very tail: for a BadCrc
-                // frame that means nothing after it; a Truncated frame
-                // extends to EOF by construction.
-                if let Frame::BadCrc = frame {
-                    if next < bytes.len() {
+            Frame::Oversized => {
+                // The writer refuses charges and skips checkpoints past
+                // MAX_PAYLOAD, so a complete frame claiming more is not
+                // this writer's crash artefact — refuse rather than
+                // silently skipping to EOF and dropping what follows.
+                return Err(RecoveryError::Corrupt {
+                    offset,
+                    detail: "record length exceeds the maximum payload size".into(),
+                });
+            }
+            Frame::BadCrc => {
+                // All four checksum bytes are present and wrong, at the
+                // tail or not. A write torn by a crash persists a prefix
+                // of the frame, never a complete frame with a mismatched
+                // checksum — this is bit rot, and a rotted payload cannot
+                // be trusted to name the right principal or amount.
+                return Err(RecoveryError::Corrupt {
+                    offset,
+                    detail: "checksum mismatch".into(),
+                });
+            }
+            Frame::Truncated => {
+                // The log ends mid-frame: a torn tail by construction.
+                match classify_tail::<B>(&bytes[offset..]) {
+                    TailFragment::Charged(principal, charge) => {
+                        report.torn_tail = true;
+                        let entry = spent.entry(principal).or_insert_with(B::zero);
+                        *entry = B::compose::<D>(entry, &charge);
+                        report.torn_tail_charged = true;
+                        torn_charge = Some((principal, charge));
+                    }
+                    TailFragment::Dropped => report.torn_tail = true,
+                    TailFragment::Rotted => {
                         return Err(RecoveryError::Corrupt {
                             offset,
-                            detail: "checksum mismatch followed by further records".into(),
+                            detail: "tail fragment checksum inconsistent with its payload".into(),
                         });
                     }
-                }
-                report.torn_tail = true;
-                if let Some((principal, charge)) = torn_tail_charge::<B>(&bytes[offset..]) {
-                    let entry = spent.entry(principal).or_insert_with(B::zero);
-                    *entry = B::compose::<D>(entry, &charge);
-                    report.torn_tail_charged = true;
                 }
                 break;
             }
         }
     }
+    // The loop leaves `at` at the end of the last intact frame: the
+    // clean-log exit has consumed every byte, the torn-tail break left
+    // `at` at the fragment's first byte.
+    report.valid_len = at;
     Ok(Recovery {
         spent: spent.into_iter().collect(),
+        torn_charge,
         report,
     })
 }
@@ -830,6 +970,20 @@ struct JournalInner<S> {
     storage: S,
     /// Charges appended since the last checkpoint record.
     since_checkpoint: u64,
+    /// Set on the first append/sync failure; while set, every charge is
+    /// refused without touching storage (see "Failure latching" in the
+    /// module docs). Cleared only by a restart.
+    failed: Option<JournalError>,
+}
+
+impl<S> JournalInner<S> {
+    /// The refusal every charge gets while the journal is latched.
+    fn latched_error(err: &JournalError) -> JournalError {
+        JournalError::new(
+            "latched",
+            format!("journal disabled by earlier failure ({err}); reopen to recover"),
+        )
+    }
 }
 
 /// A [`BudgetRegistry`] whose every accepted charge is durably journaled
@@ -902,6 +1056,7 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
             journal: Mutex::new(JournalInner {
                 storage,
                 since_checkpoint: 0,
+                failed: None,
             }),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         })
@@ -944,6 +1099,24 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
     ) -> Result<(Self, RecoveryReport), RecoveryError> {
         let bytes = storage.read_all().map_err(RecoveryError::Io)?;
         let recovery = replay::<D, B>(&bytes)?;
+        // Tail repair: a torn fragment must not survive into this
+        // generation, or its first append would land after damage and
+        // make the whole log unrecoverable at the *next* restart. The
+        // fragment is truncated away; one the torn-tail rule replayed as
+        // charged is re-journaled as a proper record first, so the
+        // conservative charge stays durable. Spend is unchanged either
+        // way — repair makes re-recovery agree with this one.
+        if recovery.report.torn_tail {
+            storage
+                .truncate(recovery.report.valid_len as u64)
+                .map_err(RecoveryError::Io)?;
+            if let Some((principal, charge)) = &recovery.torn_charge {
+                storage
+                    .append(&frame(&charge_payload(*principal, charge)))
+                    .and_then(|()| storage.sync())
+                    .map_err(RecoveryError::Io)?;
+            }
+        }
         let registry = BudgetRegistry::with_budget(per_principal, shards);
         for (principal, spent) in &recovery.spent {
             registry.apply_unchecked(*principal, spent);
@@ -954,6 +1127,7 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
                 journal: Mutex::new(JournalInner {
                     storage,
                     since_checkpoint: 0,
+                    failed: None,
                 }),
                 checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             },
@@ -1009,10 +1183,25 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
         self
     }
 
-    /// The underlying in-memory registry (reads are lock-free of the
-    /// journal).
-    pub fn registry(&self) -> &BudgetRegistry<D, B> {
-        &self.registry
+    /// A read-only view of the underlying in-memory registry (reads are
+    /// lock-free of the journal). The view exposes no mutation: every
+    /// durable charge must go through [`charge`](Self::charge) and
+    /// friends so that it hits the write-ahead journal — spend recorded
+    /// behind the journal's back would vanish on recovery.
+    pub fn registry(&self) -> RegistryView<'_, D, B> {
+        RegistryView::new(&self.registry)
+    }
+
+    /// The failure that latched the journal closed, if any. While this is
+    /// `Some`, every charge is refused without touching storage (see
+    /// "Failure latching" in the module docs); recovery is a restart over
+    /// the surviving bytes ([`open`](Self::open)).
+    pub fn journal_error(&self) -> Option<JournalError> {
+        self.journal
+            .lock()
+            .expect("journal poisoned")
+            .failed
+            .clone()
     }
 
     /// Total spent by `principal`, in the carrier.
@@ -1074,26 +1263,52 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
     pub fn charge_exact(&self, principal: u64, gamma: B) -> Result<(), DurableChargeError<B>> {
         assert!(gamma.is_valid(), "invalid charge");
         let mut inner = self.journal.lock().expect("journal poisoned");
+        // 0. Latched journals refuse everything without touching storage:
+        //    appending past a torn fragment would make the log
+        //    unrecoverable.
+        if let Some(err) = &inner.failed {
+            return Err(DurableChargeError::Journal(
+                JournalInner::<S>::latched_error(err),
+            ));
+        }
         // 1. Check: refusals write nothing.
         self.registry
             .check_exact(principal, &gamma)
             .map_err(DurableChargeError::Budget)?;
-        // 2. Append + sync: failure rejects without applying.
-        let record = frame(&charge_payload(principal, &gamma));
-        inner
+        let payload = charge_payload(principal, &gamma);
+        if payload.len() > MAX_PAYLOAD as usize {
+            // Nothing was written, so no latch — but the record cannot be
+            // framed within the cap replay enforces.
+            return Err(DurableChargeError::Journal(JournalError::new(
+                "append",
+                "charge record exceeds the maximum payload size",
+            )));
+        }
+        // 2. Append + sync: failure rejects without applying AND latches
+        //    the journal (the append may have left a torn fragment; the
+        //    sync leaves the tail's durability unknown).
+        let record = frame(&payload);
+        if let Err(e) = inner
             .storage
             .append(&record)
             .and_then(|()| inner.storage.sync())
-            .map_err(DurableChargeError::Journal)?;
+        {
+            inner.failed = Some(e.clone());
+            return Err(DurableChargeError::Journal(e));
+        }
         // 3. Apply: the charge is durable; release the answer.
         self.registry.apply_unchecked(principal, &gamma);
         inner.since_checkpoint += 1;
         if inner.since_checkpoint >= self.checkpoint_every {
-            // Best-effort: a failed checkpoint write loses nothing (the
-            // charges it summarizes are already journaled); the next
-            // charge will try again.
-            if Self::write_checkpoint(&self.registry, &mut inner.storage).is_ok() {
-                inner.since_checkpoint = 0;
+            match Self::write_checkpoint(&self.registry, &mut inner.storage) {
+                // Written, or skipped as oversized (the charges a
+                // checkpoint summarizes are already journaled, so a skip
+                // loses nothing); either way the cadence restarts.
+                Ok(_) => inner.since_checkpoint = 0,
+                // A failed checkpoint append can tear the log just like a
+                // failed charge append — latch. The charge itself is
+                // already durable, so it still succeeds.
+                Err(e) => inner.failed = Some(e),
             }
         }
         Ok(())
@@ -1103,22 +1318,47 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
     ///
     /// # Errors
     ///
-    /// Returns a [`JournalError`] if the snapshot cannot be durably
-    /// written (the journal remains valid — checkpoints only summarize).
+    /// Returns a [`JournalError`] if the journal is latched, if the
+    /// snapshot is too large to fit one record (nothing is written; the
+    /// charges it would summarize are already individually journaled), or
+    /// if the write fails — the last case latches the journal, since the
+    /// failed append may have torn the log.
     pub fn checkpoint_now(&self) -> Result<(), JournalError> {
         let mut inner = self.journal.lock().expect("journal poisoned");
-        Self::write_checkpoint(&self.registry, &mut inner.storage)?;
-        inner.since_checkpoint = 0;
-        Ok(())
+        if let Some(err) = &inner.failed {
+            return Err(JournalInner::<S>::latched_error(err));
+        }
+        match Self::write_checkpoint(&self.registry, &mut inner.storage) {
+            Ok(true) => {
+                inner.since_checkpoint = 0;
+                Ok(())
+            }
+            Ok(false) => Err(JournalError::new(
+                "checkpoint",
+                "snapshot exceeds the maximum record size; skipped \
+                 (charges remain individually journaled)",
+            )),
+            Err(e) => {
+                inner.failed = Some(e.clone());
+                Err(e)
+            }
+        }
     }
 
+    /// Appends a checkpoint if it fits the record size cap; `Ok(false)`
+    /// means the snapshot was too large and nothing was written.
     fn write_checkpoint(
         registry: &BudgetRegistry<D, B>,
         storage: &mut S,
-    ) -> Result<(), JournalError> {
+    ) -> Result<bool, JournalError> {
         let snapshot = registry.snapshot();
-        storage.append(&frame(&checkpoint_payload(&snapshot)))?;
-        storage.sync()
+        let payload = checkpoint_payload(&snapshot);
+        if payload.len() > MAX_PAYLOAD as usize {
+            return Ok(false);
+        }
+        storage.append(&frame(&payload))?;
+        storage.sync()?;
+        Ok(true)
     }
 }
 
@@ -1187,6 +1427,13 @@ mod tests {
         assert!(report.torn_tail);
         assert!(report.torn_tail_charged);
         assert_eq!(back.spent_exact(2), Dyadic::from_f64_ceil(0.5));
+        // Tail repair re-journaled the fragment as a proper record: a
+        // second recovery sees a clean log with the same spend.
+        drop(back);
+        let (again, report) = Exact::recover(1.0, 2, storage.reopen()).unwrap();
+        assert!(!report.torn_tail, "repair left a torn tail");
+        assert_eq!(again.spent_exact(1), Dyadic::from_f64_ceil(0.25));
+        assert_eq!(again.spent_exact(2), Dyadic::from_f64_ceil(0.5));
     }
 
     #[test]
@@ -1204,6 +1451,146 @@ mod tests {
         assert!(!report.torn_tail_charged);
         assert_eq!(back.spent_exact(1), Dyadic::from_f64_ceil(0.25));
         assert_eq!(back.spent_exact(2), Dyadic::zero());
+        // Tail repair truncated the fragment, so the recovered registry's
+        // own appends do not land after damage: charge, crash, recover.
+        back.charge(2, 0.125).unwrap();
+        drop(back);
+        let (again, report) = Exact::recover(1.0, 2, storage.reopen()).unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(again.spent_exact(1), Dyadic::from_f64_ceil(0.25));
+        assert_eq!(again.spent_exact(2), Dyadic::from_f64_ceil(0.125));
+    }
+
+    #[test]
+    fn tail_checksum_mismatch_is_bit_rot_and_refused() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        reg.charge(2, 0.5).unwrap();
+        drop(reg);
+        // Flip a payload byte of the LAST record: all four checksum bytes
+        // are present and now wrong. A torn write cannot produce that —
+        // refusing beats charging whatever the rotted bytes decode to.
+        let len = storage.contents().len();
+        storage.corrupt_byte(len - 6);
+        let err = Exact::recover(1.0, 2, storage.reopen()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_with_inconsistent_crc_prefix_is_refused() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        reg.charge(2, 0.5).unwrap();
+        drop(reg);
+        // Keep two checksum bytes of the last record but flip one: a tear
+        // persists a prefix of the true frame, so the fragment is
+        // provably rot — refused, like a full checksum mismatch, rather
+        // than charged off untrusted bytes.
+        let bytes = storage.contents();
+        storage.truncate(bytes.len() - 2);
+        storage.corrupt_byte(bytes.len() - 3);
+        let err = Exact::recover(1.0, 2, storage.reopen()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn append_failure_latches_the_journal() {
+        let storage = MemStorage::new();
+        // Appends: 0 = header, 1 = first charge, torn after 3 bytes.
+        let faulty = storage.clone().with_plan(FaultPlan::torn_append(1, 3));
+        let reg = Exact::create(1.0, 2, faulty).unwrap();
+        let err = reg.charge(1, 0.25).unwrap_err();
+        assert!(matches!(err, DurableChargeError::Journal(_)));
+        // The tear latches the journal: the next charge is refused
+        // without touching storage, even though storage would accept it.
+        let before = storage.contents().len();
+        match reg.charge(2, 0.25).unwrap_err() {
+            DurableChargeError::Journal(e) => {
+                assert_eq!(e.op, "latched");
+                assert!(e.detail.contains("torn write"), "{e}");
+            }
+            other => panic!("expected a latched journal error, got {other:?}"),
+        }
+        assert_eq!(
+            storage.contents().len(),
+            before,
+            "a latched journal wrote bytes"
+        );
+        assert_eq!(reg.spent_exact(1), Dyadic::zero());
+        assert_eq!(reg.spent_exact(2), Dyadic::zero());
+        assert_eq!(reg.journal_error().map(|e| e.op), Some("append"));
+        assert!(reg.checkpoint_now().is_err(), "latched checkpoint allowed");
+        drop(reg);
+        // Nothing was written past the fragment, so the log is exactly
+        // header + a 3-byte tail fragment: recoverable, fragment dropped.
+        let (back, report) = Exact::recover(1.0, 2, storage.reopen()).unwrap();
+        assert!(report.torn_tail);
+        assert!(!report.torn_tail_charged);
+        assert!(back.journal_error().is_none(), "restart clears the latch");
+        back.charge(1, 0.25).unwrap();
+        drop(back);
+        let (again, report) = Exact::recover(1.0, 2, storage.reopen()).unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(again.spent_exact(1), Dyadic::from_f64_ceil(0.25));
+    }
+
+    #[test]
+    fn complete_oversized_frame_is_refused_truncated_one_is_a_tail() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 2, storage.clone()).unwrap();
+        reg.charge(1, 0.25).unwrap();
+        drop(reg);
+        // A complete frame claiming more than MAX_PAYLOAD: the writer
+        // never emits one, so replay must refuse rather than silently
+        // treating it (and everything after it) as a torn tail.
+        let big = vec![KIND_CHARGE; (MAX_PAYLOAD + 1) as usize];
+        let mut raw = storage.reopen();
+        raw.append(&frame(&big)).unwrap();
+        let err = replay::<PureDp, Dyadic>(&storage.contents()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+        // The same frame cut short runs off the end of the log — that is
+        // indistinguishable from a torn length field, so the tail rule
+        // applies and the intact prefix still replays.
+        let full = storage.contents().len();
+        storage.truncate(full - 1000);
+        let recovery = replay::<PureDp, Dyadic>(&storage.contents()).unwrap();
+        assert!(recovery.report.torn_tail);
+        assert!(!recovery.report.torn_tail_charged);
+        assert_eq!(
+            recovery.spent,
+            vec![(1, Dyadic::from_f64_ceil(0.25))],
+            "intact prefix lost"
+        );
+    }
+
+    #[test]
+    fn oversized_checkpoint_is_skipped_never_written() {
+        // ~53k f64 entries push the checkpoint payload past MAX_PAYLOAD
+        // (1 + 4 + n * 20 bytes). The snapshot must be skipped, not
+        // written: an oversized frame would refuse recovery outright.
+        let storage = MemStorage::new();
+        let reg: DurableRegistry<PureDp, f64, _> = DurableRegistry::create(1.0, 8, storage.clone())
+            .unwrap()
+            .with_checkpoint_every(u64::MAX);
+        let n = (MAX_PAYLOAD as u64 / 20) + 2;
+        for p in 0..n {
+            reg.charge(p, 0.5).unwrap();
+        }
+        let err = reg.checkpoint_now().unwrap_err();
+        assert_eq!(err.op, "checkpoint");
+        // Skipping is not a storage failure: the journal is not latched
+        // and keeps accepting charges.
+        assert!(reg.journal_error().is_none());
+        reg.charge(0, 0.25).unwrap();
+        drop(reg);
+        let (back, report) =
+            DurableRegistry::<PureDp, f64, _>::recover(1.0, 8, storage.reopen()).unwrap();
+        assert!(!report.torn_tail, "skipped checkpoint damaged the log");
+        assert_eq!(report.records as u64, 1 + n + 1);
+        assert_eq!(back.spent_exact(0), 0.75);
+        assert_eq!(back.spent_exact(n - 1), 0.5);
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use neighbour::{insertions, is_neighbour, neighbours, removals};
 pub use noise::DpNoise;
 pub use private::{CheckOptions, PrivacyViolation, Private};
 pub use query::{bounded_sum_query, count_query, Query, SensitivityViolation};
-pub use registry::{BudgetRegistry, ExactBudgetRegistry};
+pub use registry::{BudgetRegistry, ExactBudgetRegistry, RegistryView};
 pub use session::{
     lane_partition, Accountant, AccountantPlan, DurablePlan, Entropy, Executor, ExecutorFailure,
     Inline, LedgerPlan, NoAccountant, NoExecutor, Planned, PrincipalAccountant, RdpCurve, RdpMeter,

@@ -313,6 +313,77 @@ impl<D: AbstractDp, B: Budget> BudgetRegistry<D, B> {
     }
 }
 
+/// A read-only view of a [`BudgetRegistry`].
+///
+/// [`DurableRegistry::registry`](crate::DurableRegistry::registry) hands
+/// out this view instead of the registry itself: the registry's mutators
+/// (`charge*`, `apply_unchecked`) take `&self`, so exposing it would let
+/// callers record spend behind the write-ahead journal's back — spend
+/// that vanishes on recovery. The view exposes every report and nothing
+/// that mutates.
+#[derive(Clone, Copy)]
+pub struct RegistryView<'a, D: AbstractDp, B: Budget> {
+    inner: &'a BudgetRegistry<D, B>,
+}
+
+impl<D: AbstractDp, B: Budget> std::fmt::Debug for RegistryView<'_, D, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RegistryView").field(self.inner).finish()
+    }
+}
+
+impl<'a, D: AbstractDp, B: Budget> RegistryView<'a, D, B> {
+    pub(crate) fn new(inner: &'a BudgetRegistry<D, B>) -> Self {
+        RegistryView { inner }
+    }
+
+    /// The budget every principal is granted, in the carrier.
+    pub fn per_principal_budget(&self) -> &'a B {
+        self.inner.per_principal_budget()
+    }
+
+    /// Number of lock shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards()
+    }
+
+    /// Number of principals with recorded spend.
+    pub fn principals(&self) -> usize {
+        self.inner.principals()
+    }
+
+    /// Total spent by `principal`, in the carrier (zero if never seen).
+    pub fn spent_exact(&self, principal: u64) -> B {
+        self.inner.spent_exact(principal)
+    }
+
+    /// Total spent by `principal`, as `f64` for reporting.
+    pub fn spent(&self, principal: u64) -> f64 {
+        self.inner.spent(principal)
+    }
+
+    /// Remaining allowance of `principal`: `max(budget − spent, 0)`.
+    pub fn remaining_exact(&self, principal: u64) -> B {
+        self.inner.remaining_exact(principal)
+    }
+
+    /// Remaining allowance of `principal`, as `f64` for reporting.
+    pub fn remaining(&self, principal: u64) -> f64 {
+        self.inner.remaining(principal)
+    }
+
+    /// Sum of all principals' spend — exact on exact carriers.
+    pub fn total_spent_exact(&self) -> B {
+        self.inner.total_spent_exact()
+    }
+
+    /// A consistent-per-shard snapshot of `(principal, spent)` pairs,
+    /// sorted by principal id.
+    pub fn snapshot(&self) -> Vec<(u64, B)> {
+        self.inner.snapshot()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -231,8 +231,12 @@ pub enum SessionError<B: Budget = f64> {
     /// A durable session's write-ahead journal could not durably record
     /// the charge. The policy is **degrade-to-reject**: the charge was
     /// not applied and nothing was released — a session never degrades to
-    /// serving uncharged. In-memory accounting is untouched, so the
-    /// session keeps serving the moment the journal recovers.
+    /// serving uncharged. The journal also latches closed on the first
+    /// write failure (a failed append can leave a torn fragment, and
+    /// writing past it would make the whole log unrecoverable), so every
+    /// later charge is refused too; recovery is a restart — rebuild the
+    /// session over the surviving journal, whose tail the torn-tail rule
+    /// handles.
     Journal(JournalError),
 }
 

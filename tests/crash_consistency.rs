@@ -202,10 +202,11 @@ fn check_no_under_report(outcome: &Outcome, plan_name: &str) {
     }
 }
 
-/// A torn write is a kill: nothing appends after it. (A lone
-/// `torn_append` would let later appends land after the fragment, which
-/// models a process that kept writing through an I/O error — exactly
-/// what degrade-to-reject forbids.)
+/// A torn write with every later append failing too — the strictest kill
+/// model, where the storage itself goes away at the tear. (A lone
+/// `torn_append` leaves storage willing to accept later appends; the
+/// registry's failure latch must refuse them itself — that scenario gets
+/// its own test and fault kind below.)
 fn torn_kill(at: u64, keep: usize) -> FaultPlan {
     FaultPlan {
         torn_append: Some((at, keep)),
@@ -255,6 +256,24 @@ fn torn_write_at_every_offset_never_under_reports() {
 }
 
 #[test]
+fn bare_torn_write_latches_and_stays_recoverable() {
+    // A lone torn append, with storage happy to accept appends after the
+    // fragment. Without the failure latch, threads that had not yet seen
+    // an error would keep journaling past the tear and the log would be
+    // unrecoverable (mid-log damage) at restart — silently dropping every
+    // charge after the fragment. The latch refuses them instead, so the
+    // surviving log replays and the inequality holds.
+    for keep in [0usize, 3, 9, 17, 40] {
+        let outcome = kill_mid_charge(FaultPlan::torn_append(12, keep), 4, 60, keep as u64);
+        assert!(
+            outcome.journal_faults > 0,
+            "tear at keep {keep} never fired"
+        );
+        check_no_under_report(&outcome, &format!("bare_torn_append(12, {keep})"));
+    }
+}
+
+#[test]
 fn fsync_failure_only_over_reports() {
     // Syncs keep failing from point `at` on: every later charge is
     // refused (degrade-to-reject) but its record may survive in the log,
@@ -278,7 +297,7 @@ proptest! {
     /// the generalization of the swept tests above.
     #[test]
     fn recovery_never_under_reports(
-        kind in 0u8..4,
+        kind in 0u8..5,
         at in 0u64..50,
         keep in 0usize..80,
         seed in any::<u64>(),
@@ -287,6 +306,7 @@ proptest! {
             0 => FaultPlan::none(),
             1 => FaultPlan::fail_append_after(at),
             2 => torn_kill(at, keep),
+            3 => FaultPlan::torn_append(at, keep),
             _ => FaultPlan::fail_sync_after(at),
         };
         let outcome = kill_mid_charge(plan, 3, 40, seed);
