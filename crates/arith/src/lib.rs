@@ -55,9 +55,6 @@
 //! assert!(p > Rat::zero());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod dyadic;
 mod int;
 mod nat;

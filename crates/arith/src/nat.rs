@@ -290,7 +290,7 @@ fn note_gcd_call() {
 pub fn gcd_call_count() -> u64 {
     #[cfg(debug_assertions)]
     {
-        GCD_CALLS.with(|c| c.get())
+        GCD_CALLS.with(std::cell::Cell::get)
     }
     #[cfg(not(debug_assertions))]
     {

@@ -563,7 +563,7 @@ mod tests {
         // Ratio of two huge coprime numbers.
         let a = Nat::from(2u64).pow(200);
         let b = &Nat::from(3u64).pow(120) + &Nat::one();
-        let q = Rat::new(Int::from_nat(a.clone()), b.clone());
+        let q = Rat::new(Int::from_nat(a), b);
         let approx = q.to_f64();
         let expect = 2f64.powi(200) / 3f64.powi(120);
         assert!((approx - expect).abs() / expect < 1e-9);

@@ -180,7 +180,7 @@ proptest! {
     fn nat_bytes_roundtrip(lo in any::<u64>(), hi in any::<u64>()) {
         let n = &(&Nat::from(hi) << 64u32) + &Nat::from(lo);
         let bytes = n.to_le_bytes();
-        prop_assert_eq!(Nat::from_le_bytes(&bytes), n.clone());
+        prop_assert_eq!(&Nat::from_le_bytes(&bytes), &n);
         prop_assert!(bytes.last() != Some(&0u8), "padded encoding");
         prop_assert_eq!(Nat::from_limbs(n.limbs().to_vec()), n);
     }

@@ -258,7 +258,7 @@ proptest! {
             }
             if x >= y {
                 let d = &a - &b;
-                prop_assert_eq!(d.clone(), Nat::from(x - y));
+                prop_assert_eq!(&d, &Nat::from(x - y));
                 // Results that shrink below one limb must re-inline.
                 prop_assert_eq!(d.is_inline(), x - y <= u64::MAX as u128);
             }

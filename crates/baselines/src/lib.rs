@@ -11,9 +11,6 @@
 //! - [`mironov`]: the broken floating-point Laplace of Mironov's attack,
 //!   the workspace's positive control (the DP falsifier must flag it).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod canonne;
 pub mod diffprivlib;
 pub mod mironov;

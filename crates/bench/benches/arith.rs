@@ -37,10 +37,10 @@ fn bench_nat_large(c: &mut Criterion) {
         let a = (Nat::one() << (64 * limbs)) - Nat::one();
         let b = (Nat::one() << (64 * limbs - 13)) - Nat::from(12_345u64);
         group.bench_with_input(BenchmarkId::new("mul", limbs), &limbs, |bch, _| {
-            bch.iter(|| &a * &b)
+            bch.iter(|| &a * &b);
         });
         group.bench_with_input(BenchmarkId::new("div_rem", limbs), &limbs, |bch, _| {
-            bch.iter(|| a.div_rem(&b))
+            bch.iter(|| a.div_rem(&b));
         });
     }
     group.finish();
@@ -66,7 +66,7 @@ fn bench_sampler_loops(c: &mut Criterion) {
             &Nat::from(2u64),
         );
         let mut src = SeededByteSource::new(7);
-        bch.iter(|| prog.run(&mut src))
+        bch.iter(|| prog.run(&mut src));
     });
     for &sigma in &[4u64, 16, 64] {
         group.bench_with_input(
@@ -79,7 +79,7 @@ fn bench_sampler_loops(c: &mut Criterion) {
                     sampcert_samplers::LaplaceAlg::Switched,
                 );
                 let mut src = SeededByteSource::new(11 ^ sigma);
-                bch.iter(|| prog.run(&mut src))
+                bch.iter(|| prog.run(&mut src));
             },
         );
     }
@@ -94,7 +94,7 @@ fn bench_json_set(c: &mut Criterion) {
     for spec in arith_bench::MICRO_BENCHES {
         group.bench_function(spec.name, |bch| {
             let mut op = (spec.build)();
-            bch.iter(&mut op)
+            bch.iter(&mut op);
         });
     }
     group.finish();

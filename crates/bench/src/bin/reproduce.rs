@@ -2,7 +2,7 @@
 //! tables.
 //!
 //! ```text
-//! reproduce [fig2|fig4|fig5|fig6|claims|arith|batch|serve|all] [--samples N] [--full]
+//! reproduce [fig2|fig4|fig5|fig6|claims|arith|batch|serve|analyze|all] [--samples N] [--full]
 //! ```
 //!
 //! - `fig2`: two discrete Laplace densities (the ε intuition picture);
@@ -94,7 +94,7 @@ fn claims(samples: usize) {
             .map(|r| (r * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     };
-    let min_fused = fused_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_fused = fused_ratios.iter().copied().fold(f64::INFINITY, f64::min);
     println!(
         "sample_dgauss / Compiled(Optimized) speedup over sigma {probe:?}: {:?} (min {:.2}x)",
         round2(&fused_ratios),
@@ -138,8 +138,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str, default: &'a str) -> &'a str {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-        .unwrap_or(default)
+        .map_or(default, std::string::String::as_str)
 }
 
 /// Merges `rows` into the labeled-runs document at `out` and writes it
@@ -263,6 +262,64 @@ fn serve(args: &[String]) {
     write_merged("sampcert-bench/serve-v1", out, label, &rows);
 }
 
+/// Runs the static timing-leak & entropy analysis over every registered
+/// extracted program, prints the verdict table, writes the
+/// `sampcert-extract/analyze-v1` JSON report, and (with `--deny-findings`)
+/// exits 1 on any gate error — verdict/bound drift from the committed
+/// registry expectations, or a static verdict the dynamic cross-checks
+/// contradict. This is the CI gate for the static analysis layer.
+fn analyze_cmd(args: &[String]) {
+    use sampcert_extract::{analysis_report, report_to_json, Bound};
+
+    let out = flag_value(args, "--out", "BENCH_analyze.json");
+    let deny = args.iter().any(|a| a == "--deny-findings");
+
+    println!("\n## Static timing-leak & entropy analysis (IR taint + interval bounds)");
+    let rows = analysis_report();
+    println!(
+        "{:<24} {:<46} {:>7} {:>11} {:>13}",
+        "program", "verdict", "bytes", "worst-case", "cross-checks"
+    );
+    let mut gate_errors = 0usize;
+    for row in &rows {
+        let worst = match row.bounds.worst_case {
+            Bound::Finite(w) => w.to_string(),
+            Bound::Unbounded => "unbounded".to_string(),
+        };
+        let checks = if row.errors.is_empty() { "ok" } else { "FAIL" };
+        println!(
+            "{:<24} {:<46} {:>7} {:>11} {:>13}",
+            row.name,
+            row.verdict.signature(),
+            format!("{}..{}", row.sweep.min_bytes, row.sweep.max_bytes),
+            worst,
+            checks
+        );
+        for f in row.verdict.findings() {
+            println!("    [{:>10}] {}", f.kind.token(), f.witness());
+        }
+        for e in &row.errors {
+            gate_errors += 1;
+            eprintln!("    GATE ERROR: {e}");
+        }
+    }
+    let json = report_to_json(&rows);
+    match std::fs::write(out, &json) {
+        Ok(()) => println!(
+            "\nwrote {out} ({} programs, {gate_errors} gate errors)",
+            rows.len()
+        ),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if deny && gate_errors > 0 {
+        eprintln!("--deny-findings: {gate_errors} gate error(s)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -277,8 +334,7 @@ fn main() {
         .iter()
         .enumerate()
         .find(|(i, a)| !a.starts_with("--") && Some(*i) != samples_value_idx)
-        .map(|(_, a)| a.as_str())
-        .unwrap_or("all");
+        .map_or("all", |(_, a)| a.as_str());
 
     println!(
         "# SampCert reproduction — evaluation tables (deterministic seeds, {samples} samples/point)"
@@ -292,6 +348,7 @@ fn main() {
         "arith" => arith(&args),
         "batch" => batch(&args),
         "serve" => serve(&args),
+        "analyze" => analyze_cmd(&args),
         "all" => {
             fig2();
             fig4(samples, full);
@@ -301,7 +358,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|batch|serve|all"
+                "unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|batch|serve|analyze|all"
             );
             std::process::exit(2);
         }

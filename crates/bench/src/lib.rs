@@ -10,9 +10,6 @@
 //! `benches/` provide statistically disciplined timings of the same
 //! configurations.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use sampcert_arith::{Nat, Rat};
 use sampcert_baselines::{sample_dgauss, DiffprivlibGaussian};
 use sampcert_samplers::{discrete_gaussian, FusedGaussian, LaplaceAlg};

@@ -35,9 +35,6 @@
 //! conc.check_pair(&db, &db[1..].to_vec(), CheckOptions::default()).unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod abstract_dp;
 mod accountant;
 mod approx;

@@ -447,7 +447,7 @@ mod tests {
     #[test]
     fn weaken_monotone() {
         let p: Private<PureDp, u8, i64> = Private::noised_query(&count_query(), 1, 2);
-        assert_eq!(p.clone().weaken(0.9).gamma(), 0.9);
+        assert_eq!(p.weaken(0.9).gamma(), 0.9);
     }
 
     #[test]

@@ -397,7 +397,7 @@ mod tests {
         assert_send_sync::<ExactBudgetRegistry<PureDp>>();
         let reg: BudgetRegistry<PureDp> = BudgetRegistry::new(1.0, 4);
         reg.charge(1, 0.5).unwrap();
-        let view = reg.clone();
+        let view = reg;
         assert_eq!(view.spent(1), 0.5, "clone shares state");
     }
 

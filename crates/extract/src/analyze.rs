@@ -30,15 +30,55 @@ struct Config {
 }
 
 /// Result of a bytecode distribution analysis.
+///
+/// Unresolved mass is reported in **two separate buckets** so a caller
+/// can never mistake pruned-away mass for an exhaustive analysis:
+/// [`residual_mass`](Analysis::residual_mass) is what the step budget
+/// left *live* (more fuel would resolve it), while
+/// [`pruned_mass`](Analysis::pruned_mass) is what the `prune` threshold
+/// *discarded* (no amount of fuel brings it back — rerun with a smaller
+/// threshold). An analysis is exhaustive, up to f64 rounding, iff **both**
+/// are zero; [`Analysis::unresolved_mass`] is their sum, the quantity the
+/// old `residual_mass` field used to conflate.
 #[derive(Debug, Clone)]
 pub struct Analysis {
     /// Mass function over program results (halted configurations).
     pub dist: SubPmf<i128, f64>,
     /// Mass still in non-halted configurations when the step budget ran
-    /// out (zero means the analysis is exhaustive up to f64 rounding).
+    /// out. Zero means every surviving configuration halted; it says
+    /// nothing about mass dropped by pruning — check
+    /// [`pruned_mass`](Analysis::pruned_mass) too.
     pub residual_mass: f64,
+    /// Mass dropped because a configuration's weight fell below the
+    /// `prune` threshold. Always zero when `prune == 0`. This mass is
+    /// *gone* from the analysis — unlike residual mass, it cannot be
+    /// recovered by a larger step budget.
+    pub pruned_mass: f64,
+    /// Expected number of `Byte` instructions executed, accumulated over
+    /// the explored mass: each configuration crossing a `Byte` contributes
+    /// its current weight. A lower bound on the true expected entropy
+    /// consumption, exact when the analysis is exhaustive; the
+    /// static-analysis gate cross-checks it against
+    /// [`byte_bounds`](crate::byte_bounds).
+    pub expected_bytes: f64,
     /// Number of distinct configurations explored.
     pub configs_explored: usize,
+}
+
+impl Analysis {
+    /// Total unresolved mass: live-at-budget plus pruned. This is the
+    /// honest gap between [`dist`](Analysis::dist) and a full
+    /// distribution.
+    pub fn unresolved_mass(&self) -> f64 {
+        self.residual_mass + self.pruned_mass
+    }
+
+    /// Whether the analysis resolved every configuration (no live mass at
+    /// the budget, nothing pruned) — the distribution is exact up to f64
+    /// rounding.
+    pub fn is_exhaustive(&self) -> bool {
+        self.residual_mass == 0.0 && self.pruned_mass == 0.0
+    }
 }
 
 /// Computes the exact output distribution of `code` by breadth-first
@@ -65,6 +105,7 @@ pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
     let mut out: SubPmf<i128, f64> = SubPmf::zero();
     let mut explored = 0usize;
     let mut pruned_mass = 0.0f64;
+    let mut expected_bytes = 0.0f64;
 
     for _ in 0..max_steps {
         if live.is_empty() {
@@ -124,6 +165,7 @@ pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
                 }
                 Op::Byte => {
                     // The probabilistic fan-out: 256 successors.
+                    expected_bytes += w;
                     let share = w / 256.0;
                     for b in 0..256i128 {
                         let mut c2 = cfg.clone();
@@ -150,12 +192,11 @@ pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
         }
         live = next;
     }
-    // Honesty: mass dropped by pruning is unresolved, exactly like mass
-    // still live at the step budget — both count as residual.
-    let residual: f64 = live.values().sum::<f64>() + pruned_mass;
     Analysis {
         dist: out,
-        residual_mass: residual,
+        residual_mass: live.values().sum::<f64>(),
+        pruned_mass,
+        expected_bytes,
         configs_explored: explored,
     }
 }
@@ -181,6 +222,9 @@ mod tests {
         let a = analyze(&compile(&p), 100, 0.0);
         assert_eq!(a.dist.mass(&15), 1.0);
         assert_eq!(a.residual_mass, 0.0);
+        assert_eq!(a.pruned_mass, 0.0);
+        assert!(a.is_exhaustive());
+        assert_eq!(a.expected_bytes, 0.0);
     }
 
     #[test]
@@ -196,6 +240,8 @@ mod tests {
             assert!((a.dist.mass(&r) - 0.25).abs() < 1e-15, "r={r}");
         }
         assert!((a.dist.total_mass() - 1.0).abs() < 1e-12);
+        assert!(a.is_exhaustive());
+        assert!((a.expected_bytes - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -211,10 +257,55 @@ mod tests {
             E::Local(0),
         );
         let a = analyze(&compile(&p), 400, 1e-16);
-        assert!(a.residual_mass < 1e-9, "residual {}", a.residual_mass);
+        assert!(
+            a.unresolved_mass() < 1e-9,
+            "unresolved {} (residual {}, pruned {})",
+            a.unresolved_mass(),
+            a.residual_mass,
+            a.pruned_mass
+        );
         for r in 0..128i128 {
             assert!((a.dist.mass(&r) - 1.0 / 128.0).abs() < 1e-9, "r={r}");
         }
+        // Expected draws of the rejection loop: geometric with p = 1/2
+        // after a guaranteed first draw → 2 bytes.
+        assert!(
+            (a.expected_bytes - 2.0).abs() < 1e-6,
+            "expected_bytes {}",
+            a.expected_bytes
+        );
+    }
+
+    #[test]
+    fn pruned_mass_is_reported_separately_from_residual() {
+        // The byte-parity geometric loop with a coarse prune threshold:
+        // pruning (not fuel) is what truncates the tail, and the report
+        // must say so — pruned > 0, residual ≈ 0, and the analysis is not
+        // "exhaustive" even though nothing is live.
+        let p = Program::new(
+            "geo_pruned",
+            names(2),
+            Stmt::Assign(1, E::Const(1)).then(Stmt::While(
+                E::Local(1),
+                Box::new(
+                    Stmt::Byte(1)
+                        .then(Stmt::Assign(
+                            1,
+                            E::bin(BinOp::Mod, E::Local(1), E::Const(2)),
+                        ))
+                        .then(Stmt::Assign(0, E::add(E::Local(0), E::Const(1)))),
+                ),
+            )),
+            E::Local(0),
+        );
+        let a = analyze(&compile(&p), 10_000, 1e-4);
+        assert!(a.pruned_mass > 0.0, "pruning never triggered");
+        assert_eq!(a.residual_mass, 0.0, "fuel should not be the limit");
+        assert!(!a.is_exhaustive());
+        assert!(
+            (a.unresolved_mass() - a.pruned_mass).abs() < 1e-15,
+            "unresolved must equal pruned when nothing is live"
+        );
     }
 
     #[test]
@@ -239,7 +330,7 @@ mod tests {
             E::Local(0),
         );
         let a = analyze(&compile(&p), 3000, 1e-14);
-        assert!(a.residual_mass < 1e-9);
+        assert!(a.unresolved_mass() < 1e-9);
         for n in 1i128..8 {
             let expect = 0.5f64.powi(n as i32);
             assert!(

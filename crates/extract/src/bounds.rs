@@ -1,0 +1,616 @@
+//! Entropy and termination bounds by abstract interpretation.
+//!
+//! Where [`crate::timing_verdict`] decides the *shape* question (does
+//! timing depend on entropy at all?), this pass quantifies the *cost*
+//! question: how many `UniformByte` draws can one execution consume?
+//! The domain is intervals over `i128` locals; loops are unrolled
+//! concretely (guards over constant state evaluate definitively, so e.g.
+//! the bit-length loop of `uniform_below` resolves exactly), and a loop
+//! that fails to bound itself within the unroll budget is **divergent**:
+//! its trip count could not be bounded statically. A divergent loop whose
+//! body draws bytes makes the worst case [`Bound::Unbounded`] — the
+//! signature of rejection sampling, where only the *expected* consumption
+//! is finite (reported by [`crate::analyze`]'s Markov-chain exploration
+//! as `expected_bytes`, and cross-checked against these bounds by the
+//! `reproduce analyze` gate).
+//!
+//! Everything here is conservative in the safe direction: interval
+//! evaluation over-approximates reachable values (division by an interval
+//! containing zero goes to ⊤ rather than guessing), byte maxima are upper
+//! bounds, byte minima are lower bounds, and an unresolvable loop widens
+//! every local it assigns to ⊤ before analysis continues.
+
+use crate::ir::{BinOp, Expr, Program, Stmt};
+
+/// A (possibly unbounded) count of entropy bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// At most this many bytes on any execution path.
+    Finite(u64),
+    /// No static bound — some entropy-dependent loop (rejection sampling)
+    /// draws bytes.
+    Unbounded,
+}
+
+impl Bound {
+    /// Whether the bound is finite.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Bound::Finite(_))
+    }
+
+    /// The finite value, if any.
+    pub fn finite(&self) -> Option<u64> {
+        match self {
+            Bound::Finite(n) => Some(*n),
+            Bound::Unbounded => None,
+        }
+    }
+
+    fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.max(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+}
+
+/// The result of the entropy-bound analysis of one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteBounds {
+    /// Worst-case `UniformByte` consumption over all executions.
+    pub worst_case: Bound,
+    /// Guaranteed consumption: every execution draws at least this many
+    /// bytes.
+    pub guaranteed: u64,
+    /// Number of loops whose trip count the unroller could not bound —
+    /// for the shipped samplers these are exactly the rejection loops.
+    pub divergent_loops: usize,
+}
+
+/// Interval over `i128` with saturating endpoints (`MIN`/`MAX` act as
+/// ∓∞; saturation keeps arithmetic total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Iv {
+    lo: i128,
+    hi: i128,
+}
+
+const TOP: Iv = Iv {
+    lo: i128::MIN,
+    hi: i128::MAX,
+};
+
+impl Iv {
+    fn exact(v: i128) -> Iv {
+        Iv { lo: v, hi: v }
+    }
+
+    fn join(self, other: Iv) -> Iv {
+        Iv {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Definitely zero (the guard interval is exactly {0}).
+    fn is_false(self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+
+    /// Definitely nonzero (0 ∉ [lo, hi]).
+    fn is_true(self) -> bool {
+        self.lo > 0 || self.hi < 0
+    }
+
+    fn bool_of(b: bool) -> Iv {
+        Iv::exact(i128::from(b))
+    }
+
+    const BOOL: Iv = Iv { lo: 0, hi: 1 };
+}
+
+fn sat_add(a: i128, b: i128) -> i128 {
+    a.saturating_add(b)
+}
+
+fn sat_mul(a: i128, b: i128) -> i128 {
+    a.saturating_mul(b)
+}
+
+fn eval(e: &Expr, state: &[Iv]) -> Iv {
+    match e {
+        Expr::Const(v) => Iv::exact(*v),
+        Expr::Local(l) => state[*l],
+        Expr::Bin(op, a, b) => {
+            let a = eval(a, state);
+            let b = eval(b, state);
+            apply(*op, a, b)
+        }
+        Expr::Abs(a) => {
+            let v = eval(a, state);
+            if v.lo >= 0 {
+                v
+            } else if v.hi <= 0 {
+                Iv {
+                    lo: v.hi.saturating_neg(),
+                    hi: v.lo.saturating_neg(),
+                }
+            } else {
+                Iv {
+                    lo: 0,
+                    hi: v.hi.max(v.lo.saturating_neg()),
+                }
+            }
+        }
+        Expr::Neg(a) => {
+            let v = eval(a, state);
+            Iv {
+                lo: v.hi.saturating_neg(),
+                hi: v.lo.saturating_neg(),
+            }
+        }
+        Expr::Not(a) => {
+            let v = eval(a, state);
+            if v.is_false() {
+                Iv::exact(1)
+            } else if v.is_true() {
+                Iv::exact(0)
+            } else {
+                Iv::BOOL
+            }
+        }
+    }
+}
+
+fn apply(op: BinOp, a: Iv, b: Iv) -> Iv {
+    match op {
+        BinOp::Add => Iv {
+            lo: sat_add(a.lo, b.lo),
+            hi: sat_add(a.hi, b.hi),
+        },
+        BinOp::Sub => Iv {
+            lo: sat_add(a.lo, b.hi.saturating_neg()),
+            hi: sat_add(a.hi, b.lo.saturating_neg()),
+        },
+        BinOp::Mul => {
+            let c = [
+                sat_mul(a.lo, b.lo),
+                sat_mul(a.lo, b.hi),
+                sat_mul(a.hi, b.lo),
+                sat_mul(a.hi, b.hi),
+            ];
+            Iv {
+                lo: *c.iter().min().expect("nonempty"),
+                hi: *c.iter().max().expect("nonempty"),
+            }
+        }
+        BinOp::Div => {
+            // Sound only when the divisor's sign is fixed; a divisor
+            // interval containing zero means the abstract execution may
+            // divide by zero — go to ⊤ (the concrete run would panic,
+            // which the bound need not model).
+            if b.lo > 0 || b.hi < 0 {
+                let c = [
+                    a.lo.div_euclid(b.lo),
+                    a.lo.div_euclid(b.hi),
+                    a.hi.div_euclid(b.lo),
+                    a.hi.div_euclid(b.hi),
+                ];
+                Iv {
+                    lo: *c.iter().min().expect("nonempty"),
+                    hi: *c.iter().max().expect("nonempty"),
+                }
+            } else {
+                TOP
+            }
+        }
+        BinOp::Mod => {
+            // Euclidean remainder is in [0, |d| − 1] for any divisor of
+            // fixed sign; refine to the dividend when it already fits.
+            if b.lo > 0 || b.hi < 0 {
+                let dmax = b.lo.unsigned_abs().max(b.hi.unsigned_abs()) as i128 - 1;
+                if a.lo >= 0 && a.hi <= dmax && b.lo > 0 && a.hi < b.lo {
+                    a
+                } else {
+                    Iv { lo: 0, hi: dmax }
+                }
+            } else {
+                TOP
+            }
+        }
+        BinOp::Min => Iv {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.min(b.hi),
+        },
+        BinOp::Max => Iv {
+            lo: a.lo.max(b.lo),
+            hi: a.hi.max(b.hi),
+        },
+        BinOp::Lt => {
+            if a.hi < b.lo {
+                Iv::bool_of(true)
+            } else if a.lo >= b.hi {
+                Iv::bool_of(false)
+            } else {
+                Iv::BOOL
+            }
+        }
+        BinOp::Le => {
+            if a.hi <= b.lo {
+                Iv::bool_of(true)
+            } else if a.lo > b.hi {
+                Iv::bool_of(false)
+            } else {
+                Iv::BOOL
+            }
+        }
+        BinOp::Eq => {
+            if a.lo == a.hi && b.lo == b.hi && a.lo == b.lo {
+                Iv::bool_of(true)
+            } else if a.hi < b.lo || b.hi < a.lo {
+                Iv::bool_of(false)
+            } else {
+                Iv::BOOL
+            }
+        }
+        BinOp::And => {
+            if a.is_true() && b.is_true() {
+                Iv::bool_of(true)
+            } else if a.is_false() || b.is_false() {
+                Iv::bool_of(false)
+            } else {
+                Iv::BOOL
+            }
+        }
+        BinOp::Or => {
+            if a.is_true() || b.is_true() {
+                Iv::bool_of(true)
+            } else if a.is_false() && b.is_false() {
+                Iv::bool_of(false)
+            } else {
+                Iv::BOOL
+            }
+        }
+    }
+}
+
+/// Locals assigned (directly or via `Byte`) anywhere inside `s`.
+fn assigned_locals(s: &Stmt, out: &mut Vec<usize>) {
+    match s {
+        Stmt::Skip => {}
+        Stmt::Assign(l, _) | Stmt::Byte(l) => out.push(*l),
+        Stmt::Seq(ss) => ss.iter().for_each(|s| assigned_locals(s, out)),
+        Stmt::If(_, t, e) => {
+            assigned_locals(t, out);
+            assigned_locals(e, out);
+        }
+        Stmt::While(_, b) => assigned_locals(b, out),
+    }
+}
+
+/// Whether any `Byte` statement occurs inside `s`.
+fn draws_bytes(s: &Stmt) -> bool {
+    match s {
+        Stmt::Skip | Stmt::Assign(..) => false,
+        Stmt::Byte(_) => true,
+        Stmt::Seq(ss) => ss.iter().any(draws_bytes),
+        Stmt::If(_, t, e) => draws_bytes(t) || draws_bytes(e),
+        Stmt::While(_, b) => draws_bytes(b),
+    }
+}
+
+struct Acc {
+    guaranteed: u64,
+    worst: Bound,
+    divergent: usize,
+}
+
+fn exec(s: &Stmt, state: &mut Vec<Iv>, acc: &mut Acc, max_unroll: usize) {
+    match s {
+        Stmt::Skip => {}
+        Stmt::Assign(l, e) => state[*l] = eval(e, state),
+        Stmt::Byte(l) => {
+            state[*l] = Iv { lo: 0, hi: 255 };
+            acc.guaranteed = acc.guaranteed.saturating_add(1);
+            acc.worst = acc.worst.add(Bound::Finite(1));
+        }
+        Stmt::Seq(ss) => ss.iter().for_each(|s| exec(s, state, acc, max_unroll)),
+        Stmt::If(c, t, e) => {
+            let cv = eval(c, state);
+            if cv.is_true() {
+                exec(t, state, acc, max_unroll);
+            } else if cv.is_false() {
+                exec(e, state, acc, max_unroll);
+            } else {
+                let mut t_state = state.clone();
+                let mut t_acc = Acc {
+                    guaranteed: 0,
+                    worst: Bound::Finite(0),
+                    divergent: 0,
+                };
+                exec(t, &mut t_state, &mut t_acc, max_unroll);
+                let mut e_acc = Acc {
+                    guaranteed: 0,
+                    worst: Bound::Finite(0),
+                    divergent: 0,
+                };
+                exec(e, state, &mut e_acc, max_unroll);
+                for (sl, tl) in state.iter_mut().zip(&t_state) {
+                    *sl = sl.join(*tl);
+                }
+                acc.guaranteed = acc
+                    .guaranteed
+                    .saturating_add(t_acc.guaranteed.min(e_acc.guaranteed));
+                acc.worst = acc.worst.add(t_acc.worst.max(e_acc.worst));
+                acc.divergent += t_acc.divergent + e_acc.divergent;
+            }
+        }
+        Stmt::While(c, b) => {
+            // Concrete unrolling: run iterations while the guard stays
+            // definitely true; join possibly-exiting states; give up after
+            // the unroll budget.
+            let mut exit_state: Option<Vec<Iv>> = None;
+            let mut may_have_exited = false;
+            let mut widened = false;
+            let mut iters = 0usize;
+            loop {
+                let cv = eval(c, state);
+                if cv.is_false() {
+                    break;
+                }
+                if !cv.is_true() {
+                    may_have_exited = true;
+                    exit_state = Some(match exit_state {
+                        None => state.clone(),
+                        Some(ex) => ex
+                            .iter()
+                            .zip(state.iter())
+                            .map(|(a, b)| a.join(*b))
+                            .collect(),
+                    });
+                }
+                if may_have_exited && iters >= WIDEN_AFTER && !widened {
+                    // The guard has been uncertain for a while and the
+                    // state is still drifting (e.g. a trial counter whose
+                    // interval grows by one per pass): widen everything
+                    // the body writes to ⊤ so the iteration reaches its
+                    // fixpoint in a handful of passes instead of
+                    // unrolling the full budget at every nesting level.
+                    widened = true;
+                    let mut assigned = Vec::new();
+                    assigned_locals(b, &mut assigned);
+                    for l in assigned {
+                        state[l] = TOP;
+                    }
+                }
+                if iters >= max_unroll {
+                    // Trip count not statically bounded: a divergent
+                    // loop. Bytes in the body make worst-case unbounded;
+                    // either way, everything the body writes is unknown
+                    // from here on.
+                    acc.divergent += 1;
+                    if draws_bytes(b) {
+                        acc.worst = Bound::Unbounded;
+                    }
+                    let mut assigned = Vec::new();
+                    assigned_locals(b, &mut assigned);
+                    for l in assigned {
+                        state[l] = TOP;
+                    }
+                    exit_state = Some(match exit_state {
+                        None => state.clone(),
+                        Some(ex) => ex
+                            .iter()
+                            .zip(state.iter())
+                            .map(|(a, b)| a.join(*b))
+                            .collect(),
+                    });
+                    break;
+                }
+                iters += 1;
+                let before = state.clone();
+                let mut body_acc = Acc {
+                    guaranteed: 0,
+                    worst: Bound::Finite(0),
+                    divergent: 0,
+                };
+                exec(b, state, &mut body_acc, max_unroll);
+                // Iterations after a possible exit are optional: they
+                // count toward the worst case only.
+                if !may_have_exited {
+                    acc.guaranteed = acc.guaranteed.saturating_add(body_acc.guaranteed);
+                }
+                acc.worst = acc.worst.add(body_acc.worst);
+                acc.divergent += body_acc.divergent;
+                if widened {
+                    // Post-widening, ⊤ is absorbing: anything the body
+                    // rewrites to a narrower interval is pushed back to ⊤
+                    // so the no-progress check below fires on the next
+                    // comparison instead of oscillating.
+                    for (sl, bef) in state.iter_mut().zip(&before) {
+                        if sl != bef {
+                            *sl = TOP;
+                        }
+                    }
+                }
+                if *state == before {
+                    // Abstract fixpoint with the guard still live: the
+                    // guard's value can never change again, so the trip
+                    // count is unbounded from here (a rejection loop, or
+                    // a genuinely non-terminating one). Declaring it now
+                    // instead of burning the unroll budget keeps nested
+                    // rejection loops (Gaussian inside Laplace inside
+                    // Bernoulli) linear instead of budget^depth.
+                    acc.divergent += 1;
+                    if draws_bytes(b) {
+                        acc.worst = Bound::Unbounded;
+                    }
+                    break;
+                }
+            }
+            if let Some(ex) = exit_state {
+                for (sl, el) in state.iter_mut().zip(&ex) {
+                    *sl = sl.join(*el);
+                }
+            }
+        }
+    }
+}
+
+/// Computes entropy-consumption bounds for a program by interval abstract
+/// interpretation with concrete loop unrolling (see the
+/// module docs above). `max_unroll` is the per-loop iteration budget
+/// before a loop is declared divergent; the registered samplers' counted
+/// loops (bit-length scans, fixed byte fills) all resolve well under
+/// [`DEFAULT_UNROLL`].
+pub fn byte_bounds(p: &Program, max_unroll: usize) -> ByteBounds {
+    let mut state = vec![Iv::exact(0); p.n_locals];
+    let mut acc = Acc {
+        guaranteed: 0,
+        worst: Bound::Finite(0),
+        divergent: 0,
+    };
+    exec(&p.body, &mut state, &mut acc, max_unroll);
+    // The result expression draws no bytes; evaluating it can only panic
+    // on malformed programs, so it is not interpreted here.
+    ByteBounds {
+        worst_case: acc.worst,
+        guaranteed: acc.guaranteed,
+        divergent_loops: acc.divergent,
+    }
+}
+
+/// Default per-loop unroll budget for [`byte_bounds`]: generous enough
+/// for every counted loop in the registered samplers (the longest is a
+/// bit-length scan of a 32-bit constant) while keeping the analysis
+/// instantaneous.
+pub const DEFAULT_UNROLL: usize = 512;
+
+/// Iterations of uncertain-guard unrolling tolerated before the state is
+/// widened to ⊤ (see [`byte_bounds`]'s loop rule). Loops whose guard is
+/// still *definitely* true — counted loops mid-run — are never widened,
+/// so this only caps the cost of loops that are already known to be
+/// exit-uncertain.
+const WIDEN_AFTER: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr as E;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn straight_line_bytes_are_exact() {
+        let p = Program::new(
+            "two",
+            names(2),
+            Stmt::Byte(0).then(Stmt::Byte(1)),
+            E::add(E::Local(0), E::Local(1)),
+        );
+        let b = byte_bounds(&p, DEFAULT_UNROLL);
+        assert_eq!(b.worst_case, Bound::Finite(2));
+        assert_eq!(b.guaranteed, 2);
+        assert_eq!(b.divergent_loops, 0);
+    }
+
+    #[test]
+    fn counted_loop_resolves_exactly() {
+        // i := 3; while (0 < i) { byte; i := i − 1 }
+        let p = Program::new(
+            "count",
+            names(2),
+            Stmt::Assign(0, E::Const(3)).then(Stmt::While(
+                E::lt(E::Const(0), E::Local(0)),
+                Box::new(Stmt::Byte(1).then(Stmt::Assign(0, E::sub(E::Local(0), E::Const(1))))),
+            )),
+            E::Local(1),
+        );
+        let b = byte_bounds(&p, DEFAULT_UNROLL);
+        assert_eq!(b.worst_case, Bound::Finite(3));
+        assert_eq!(b.guaranteed, 3);
+        assert_eq!(b.divergent_loops, 0);
+    }
+
+    #[test]
+    fn rejection_loop_is_unbounded() {
+        // while (!(b < 10)) { b := byte } starting from b = 255.
+        let p = Program::new(
+            "rej",
+            names(1),
+            Stmt::Assign(0, E::Const(255)).then(Stmt::While(
+                E::Not(Box::new(E::lt(E::Local(0), E::Const(10)))),
+                Box::new(Stmt::Byte(0)),
+            )),
+            E::Local(0),
+        );
+        let b = byte_bounds(&p, 64);
+        assert_eq!(b.worst_case, Bound::Unbounded);
+        assert_eq!(b.divergent_loops, 1);
+        // The guard is initially definitely-true, so one byte is
+        // guaranteed.
+        assert!(b.guaranteed >= 1, "guaranteed {}", b.guaranteed);
+    }
+
+    #[test]
+    fn branch_takes_max_and_min() {
+        // if (byte < 128) { byte; byte } else { byte }
+        let p = Program::new(
+            "br",
+            names(2),
+            Stmt::Byte(0).then(Stmt::If(
+                E::lt(E::Local(0), E::Const(128)),
+                Box::new(Stmt::Byte(1).then(Stmt::Byte(1))),
+                Box::new(Stmt::Byte(1)),
+            )),
+            E::Local(1),
+        );
+        let b = byte_bounds(&p, DEFAULT_UNROLL);
+        assert_eq!(b.worst_case, Bound::Finite(3));
+        assert_eq!(b.guaranteed, 2);
+    }
+
+    #[test]
+    fn byteless_divergent_loop_keeps_finite_bytes() {
+        // An unbounded-trip loop that draws nothing: bytes stay finite,
+        // but the loop is reported divergent and its state widens.
+        let p = Program::new(
+            "spin",
+            names(2),
+            Stmt::Byte(0)
+                .then(Stmt::While(
+                    E::lt(E::Const(0), E::Local(0)),
+                    Box::new(Stmt::Assign(1, E::add(E::Local(1), E::Const(1)))),
+                ))
+                .then(Stmt::Byte(1)),
+            E::Local(1),
+        );
+        let b = byte_bounds(&p, 16);
+        assert_eq!(b.worst_case, Bound::Finite(2));
+        assert_eq!(b.divergent_loops, 1);
+    }
+
+    #[test]
+    fn interval_division_by_possibly_zero_is_top() {
+        let a = Iv { lo: 1, hi: 10 };
+        let b = Iv { lo: -1, hi: 1 };
+        assert_eq!(apply(BinOp::Div, a, b), TOP);
+    }
+
+    #[test]
+    fn euclidean_mod_bounds() {
+        let a = Iv { lo: -100, hi: 100 };
+        let b = Iv::exact(7);
+        let m = apply(BinOp::Mod, a, b);
+        assert_eq!(m, Iv { lo: 0, hi: 6 });
+    }
+}

@@ -18,7 +18,14 @@
 //! - a **bytecode-level distribution analyzer** ([`analyze`]): the exact
 //!   output mass function of the *compiled* artifact, computed by
 //!   Markov-chain exploration of VM configurations — removing even the
-//!   compiler from the trusted base.
+//!   compiler from the trusted base, and
+//! - a **static analysis layer** over the IR: [`timing_verdict`] classifies
+//!   every program as constant-time-shaped or timing-leaky (with
+//!   source-located witnesses), [`byte_bounds`] bounds worst-case entropy
+//!   consumption by abstract interpretation, and [`analysis_report`] walks
+//!   the committed registry ([`registered_programs`]) cross-checking the
+//!   static verdicts against the dynamic analyzer — the `reproduce analyze`
+//!   CI gate.
 //!
 //! The paper's extraction is trusted-but-small; here the analogous trust
 //! is discharged by differential testing: the AST interpreter, the VM,
@@ -37,17 +44,23 @@
 //! let _noise: i128 = vm.run(&mut entropy);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod analyze;
+mod bounds;
 mod ir;
 mod pretty;
 mod programs;
+mod report;
+mod taint;
 mod vm;
 
 pub use analyze::{analyze, Analysis};
+pub use bounds::{byte_bounds, Bound, ByteBounds, DEFAULT_UNROLL};
 pub use ir::{BinOp, Expr, Local, Program, Stmt};
-pub use pretty::render;
-pub use programs::{gaussian_program, geometric_program, laplace_program, LoopKind};
-pub use vm::{compile, interpret, Bytecode, Op, Vm};
+pub use pretty::{render, render_expr};
+pub use programs::{
+    gaussian_program, geometric_program, laplace_program, registered_programs,
+    uniform_below_program, uniform_pow2_program, LoopKind, RegisteredProgram,
+};
+pub use report::{analysis_report, report_to_json, ReportRow};
+pub use taint::{timing_verdict, Finding, LeakKind, Verdict};
+pub use vm::{compile, interpret, Bytecode, Op, RunTrace, Vm};

@@ -17,8 +17,8 @@ pub fn render(p: &Program) -> String {
     for (i, n) in p.local_names.iter().enumerate() {
         let _ = writeln!(out, "  var {n}: int := 0; // local {i}");
     }
-    render_stmt(&p.body, p, 1, &mut out);
-    let _ = writeln!(out, "  return {};", render_expr(&p.result, p));
+    render_stmt(&p.body, &p.local_names, 1, &mut out);
+    let _ = writeln!(out, "  return {};", render_expr(&p.result, &p.local_names));
     let _ = writeln!(out, "}}");
     out
 }
@@ -29,54 +29,60 @@ fn indent(depth: usize, out: &mut String) {
     }
 }
 
-fn local_name(p: &Program, l: usize) -> &str {
-    &p.local_names[l]
-}
-
-fn render_expr(e: &Expr, p: &Program) -> String {
+/// Renders a single expression in the same source syntax as [`render`],
+/// resolving locals against `names`. The static-analysis layer
+/// ([`crate::timing_verdict`]) uses this to print witnesses — a flagged
+/// loop guard or branch condition — in the exact notation of the rendered
+/// program, so a finding can be matched against the audited source by
+/// eye.
+///
+/// # Panics
+///
+/// Panics if the expression reads a local outside `names`.
+pub fn render_expr(e: &Expr, names: &[String]) -> String {
     match e {
         Expr::Const(v) => v.to_string(),
-        Expr::Local(l) => local_name(p, *l).to_string(),
+        Expr::Local(l) => names[*l].clone(),
         Expr::Bin(op, a, b) => match op.token() {
             t @ ("min" | "max") => {
-                format!("{t}({}, {})", render_expr(a, p), render_expr(b, p))
+                format!("{t}({}, {})", render_expr(a, names), render_expr(b, names))
             }
-            t => format!("({} {t} {})", render_expr(a, p), render_expr(b, p)),
+            t => format!("({} {t} {})", render_expr(a, names), render_expr(b, names)),
         },
-        Expr::Abs(a) => format!("abs({})", render_expr(a, p)),
-        Expr::Neg(a) => format!("(-{})", render_expr(a, p)),
-        Expr::Not(a) => format!("(!{})", render_expr(a, p)),
+        Expr::Abs(a) => format!("abs({})", render_expr(a, names)),
+        Expr::Neg(a) => format!("(-{})", render_expr(a, names)),
+        Expr::Not(a) => format!("(!{})", render_expr(a, names)),
     }
 }
 
-fn render_stmt(s: &Stmt, p: &Program, depth: usize, out: &mut String) {
+fn render_stmt(s: &Stmt, names: &[String], depth: usize, out: &mut String) {
     match s {
         Stmt::Skip => {}
         Stmt::Assign(l, e) => {
             indent(depth, out);
-            let _ = writeln!(out, "{} := {};", local_name(p, *l), render_expr(e, p));
+            let _ = writeln!(out, "{} := {};", names[*l], render_expr(e, names));
         }
         Stmt::Byte(l) => {
             indent(depth, out);
-            let _ = writeln!(out, "{} := probUniformByte();", local_name(p, *l));
+            let _ = writeln!(out, "{} := probUniformByte();", names[*l]);
         }
-        Stmt::Seq(ss) => ss.iter().for_each(|s| render_stmt(s, p, depth, out)),
+        Stmt::Seq(ss) => ss.iter().for_each(|s| render_stmt(s, names, depth, out)),
         Stmt::If(c, t, e) => {
             indent(depth, out);
-            let _ = writeln!(out, "if {} {{", render_expr(c, p));
-            render_stmt(t, p, depth + 1, out);
+            let _ = writeln!(out, "if {} {{", render_expr(c, names));
+            render_stmt(t, names, depth + 1, out);
             if !matches!(**e, Stmt::Skip) {
                 indent(depth, out);
                 let _ = writeln!(out, "}} else {{");
-                render_stmt(e, p, depth + 1, out);
+                render_stmt(e, names, depth + 1, out);
             }
             indent(depth, out);
             let _ = writeln!(out, "}}");
         }
         Stmt::While(c, b) => {
             indent(depth, out);
-            let _ = writeln!(out, "while {} {{", render_expr(c, p));
-            render_stmt(b, p, depth + 1, out);
+            let _ = writeln!(out, "while {} {{", render_expr(c, names));
+            render_stmt(b, names, depth + 1, out);
             indent(depth, out);
             let _ = writeln!(out, "}}");
         }

@@ -90,7 +90,7 @@ fn emit_uniform_below(b: &mut Builder, m: Expr, out: Local) -> Stmt {
             ),
         ))
         .then(Stmt::Assign(out, Expr::bin(BinOp::Mod, l(out), l(pow2))))
-        .then(Stmt::Assign(accept, Expr::lt(l(out), m.clone())));
+        .then(Stmt::Assign(accept, Expr::lt(l(out), m)));
     bit_len
         .then(n_bytes)
         .then(Stmt::Assign(accept, c(0)))
@@ -109,10 +109,10 @@ fn emit_exp_neg_unit(b: &mut Builder, num: Expr, den: Expr, out: Local) -> Stmt 
     let k = b.fresh("k");
     let trial = b.fresh("trial");
     let den_k = b.fresh("denk");
-    let body = Stmt::Assign(den_k, Expr::mul(den.clone(), l(k)))
+    let body = Stmt::Assign(den_k, Expr::mul(den, l(k)))
         .then(emit_bernoulli(
             b,
-            Expr::bin(BinOp::Min, num.clone(), l(den_k)),
+            Expr::bin(BinOp::Min, num, l(den_k)),
             l(den_k),
             trial,
         ))
@@ -177,8 +177,7 @@ fn emit_exp_neg(b: &mut Builder, num: Expr, den: Expr, out: Local) -> Stmt {
 /// including the first failure.
 fn emit_geometric_exp_neg(b: &mut Builder, num: Expr, den: Expr, out: Local) -> Stmt {
     let t = b.fresh("geo_trial");
-    let body = emit_exp_neg(b, num.clone(), den.clone(), t)
-        .then(Stmt::Assign(out, Expr::add(l(out), c(1))));
+    let body = emit_exp_neg(b, num, den, t).then(Stmt::Assign(out, Expr::add(l(out), c(1))));
     // do { n += 1; t = trial } while t  — expressed with a priming flag.
     Stmt::Assign(out, c(0))
         .then(Stmt::Assign(t, c(1)))
@@ -229,6 +228,62 @@ fn emit_laplace_loop(
                 .then(emit_bernoulli(b, c(1), c(2), sign))
         }
     }
+}
+
+/// Extracts a **constant-time-shaped** uniform sampler over `[0, 2^bits)`
+/// to the IR: it always draws exactly `⌈bits/8⌉` whole bytes and reduces
+/// modulo `2^bits` — no rejection, no entropy-dependent guard, so its
+/// execution shape is a fixed function (the analyzer verdict is
+/// `constant-time-shaped`, and the timing falsifier's negative control
+/// runs against it). This is the IR analogue of
+/// `sampcert_samplers::uniform_pow2`'s byte path.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 100 (the result must fit the IR's
+/// `i128` intermediates comfortably).
+pub fn uniform_pow2_program(bits: u32) -> Program {
+    assert!(
+        bits > 0 && bits <= 100,
+        "uniform_pow2_program: bits out of range"
+    );
+    let nbytes = bits.div_ceil(8) as i128;
+    let pow2 = 1i128 << bits;
+    let mut b = Builder::default();
+    let out = b.fresh("out");
+    let i = b.fresh("i");
+    let byte = b.fresh("byte");
+    let body = Stmt::Assign(out, c(0))
+        .then(Stmt::Assign(i, c(0)))
+        .then(Stmt::While(
+            Expr::lt(l(i), c(nbytes)),
+            Box::new(
+                Stmt::Byte(byte)
+                    .then(Stmt::Assign(
+                        out,
+                        Expr::add(Expr::mul(l(out), c(256)), l(byte)),
+                    ))
+                    .then(Stmt::Assign(i, Expr::add(l(i), c(1)))),
+            ),
+        ))
+        .then(Stmt::Assign(out, Expr::bin(BinOp::Mod, l(out), c(pow2))));
+    Program::new(format!("uniform_pow2_{bits}"), b.names, body, l(out))
+}
+
+/// Extracts the whole-byte rejection sampler `uniform below m` to the IR
+/// (byte-compatible with `sampcert_samplers::uniform_below`) as a
+/// standalone program — the smallest registered program carrying the
+/// rejection-sampling timing channel.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn uniform_below_program(m: u64) -> Program {
+    assert!(m > 0, "uniform_below_program: zero bound");
+    let mut b = Builder::default();
+    let out = b.fresh("out");
+    let body = emit_uniform_below(&mut b, c(m as i128), out);
+    Program::new(format!("uniform_below_{m}"), b.names, body, l(out))
 }
 
 /// Extracts the geometric sampler to the IR: trials
@@ -356,11 +411,106 @@ pub fn gaussian_program(num: u64, den: u64, kind: LoopKind) -> Program {
     )
 }
 
+/// One program shipped by the extraction pipeline, together with its
+/// **committed** static-analysis expectations. The expectations are the
+/// contract the `reproduce analyze` CI gate enforces: if an edit to the
+/// builders changes a program's timing-leak signature or its entropy
+/// bounds, the gate fails until the change is reviewed and the committed
+/// expectation updated here.
+#[derive(Debug, Clone)]
+pub struct RegisteredProgram {
+    /// Stable registry key (also the JSON row key in `BENCH_analyze.json`).
+    pub name: &'static str,
+    /// The extracted program.
+    pub program: Program,
+    /// Expected [`crate::Verdict::signature`] string.
+    pub expected_verdict: &'static str,
+    /// Expected worst-case entropy bytes (`None` = unbounded, the
+    /// rejection-sampler signature) from [`crate::byte_bounds`].
+    pub expected_worst_case_bytes: Option<u64>,
+}
+
+/// Every program the extraction pipeline ships, with committed analyzer
+/// expectations — the registry the static-analysis CI gate walks.
+///
+/// Parameters are chosen small so the whole registry analyzes in
+/// milliseconds, while covering every builder and both Laplace loops:
+/// the constant-time-shaped power-of-two uniform (the negative control),
+/// the whole-byte rejection uniform, the geometric, both Laplace loops,
+/// and the Gaussian rejection scheme.
+pub fn registered_programs() -> Vec<RegisteredProgram> {
+    vec![
+        RegisteredProgram {
+            name: "uniform_pow2_12",
+            program: uniform_pow2_program(12),
+            expected_verdict: "constant-time-shaped",
+            expected_worst_case_bytes: Some(2),
+        },
+        RegisteredProgram {
+            name: "uniform_below_10",
+            program: uniform_below_program(10),
+            expected_verdict: EXPECT_UNIFORM_BELOW,
+            expected_worst_case_bytes: None,
+        },
+        RegisteredProgram {
+            name: "geometric_1_2",
+            program: geometric_program(1, 2),
+            expected_verdict: EXPECT_GEOMETRIC,
+            expected_worst_case_bytes: None,
+        },
+        RegisteredProgram {
+            name: "laplace_5_2_geometric",
+            program: laplace_program(5, 2, LoopKind::Geometric),
+            expected_verdict: EXPECT_LAPLACE_GEOMETRIC,
+            expected_worst_case_bytes: None,
+        },
+        RegisteredProgram {
+            name: "laplace_5_2_uniform",
+            program: laplace_program(5, 2, LoopKind::Uniform),
+            expected_verdict: EXPECT_LAPLACE_UNIFORM,
+            expected_worst_case_bytes: None,
+        },
+        RegisteredProgram {
+            name: "gaussian_4_1_geometric",
+            program: gaussian_program(4, 1, LoopKind::Geometric),
+            expected_verdict: EXPECT_GAUSSIAN_GEOMETRIC,
+            expected_worst_case_bytes: None,
+        },
+    ]
+}
+
+// The committed timing-leak signatures, one constant per registered leaky
+// program (the counts are structural facts about the builders above; any
+// drift is a reviewed change). See `crate::Verdict::signature` for the
+// format.
+const EXPECT_UNIFORM_BELOW: &str = "leaks{loop-bound:2, op-latency:1}";
+const EXPECT_GEOMETRIC: &str = "leaks{branch:5, loop-bound:14, op-latency:3}";
+const EXPECT_LAPLACE_GEOMETRIC: &str = "leaks{branch:7, loop-bound:18, op-latency:4}";
+const EXPECT_LAPLACE_UNIFORM: &str = "leaks{branch:8, loop-bound:26, op-latency:6}";
+const EXPECT_GAUSSIAN_GEOMETRIC: &str = "leaks{branch:14, loop-bound:32, op-latency:9}";
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::vm::{compile, interpret, Vm};
     use sampcert_slang::SeededByteSource;
+
+    #[test]
+    fn registry_signatures_match_analyzer() {
+        // Aggregate every drift into one failure message so a builder
+        // change shows the full new signature set in a single run.
+        let mut drift = Vec::new();
+        for r in registered_programs() {
+            let got = crate::timing_verdict(&r.program).signature();
+            if got != r.expected_verdict {
+                drift.push(format!(
+                    "{}: analyzer `{got}`, registry `{}`",
+                    r.name, r.expected_verdict
+                ));
+            }
+        }
+        assert!(drift.is_empty(), "signature drift:\n{}", drift.join("\n"));
+    }
 
     #[test]
     fn laplace_programs_build_and_run() {

@@ -125,6 +125,26 @@ fn compile_stmt(s: &Stmt, ops: &mut Vec<Op>) {
     }
 }
 
+/// The observable cost of one VM execution: the result plus the two
+/// quantities a timing adversary can measure — how many instructions
+/// retired and how many entropy bytes were consumed.
+///
+/// [`Vm::run_traced`] produces this; the timing-leakage falsifier
+/// (`tests/timing_leakage.rs`) and the static-analysis soundness proptests
+/// use it as a deterministic, noise-free stand-in for wall-clock latency:
+/// a program whose instruction count is identical across entropy streams
+/// cannot leak through execution *shape* (variable-latency operands are
+/// flagged separately by [`crate::timing_verdict`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunTrace {
+    /// The program result (same as [`Vm::run`] on the same stream).
+    pub result: i128,
+    /// Instructions executed, including the final `Halt`.
+    pub instructions: u64,
+    /// Entropy bytes consumed (`Byte` instructions executed).
+    pub bytes: u64,
+}
+
 /// The stack virtual machine.
 #[derive(Debug)]
 pub struct Vm {
@@ -181,6 +201,70 @@ impl Vm {
                     }
                 }
                 Op::Halt => return stack.pop().expect("empty stack at halt"),
+            }
+            pc += 1;
+        }
+    }
+
+    /// Runs the program like [`Vm::run`] while counting instructions and
+    /// entropy bytes — the timing observables. The byte stream consumed is
+    /// identical to [`Vm::run`]'s, so traced and untraced executions on
+    /// the same source produce the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed bytecode (impossible for [`compile`] output)
+    /// or IR arithmetic overflow.
+    pub fn run_traced(&self, src: &mut dyn ByteSource) -> RunTrace {
+        let mut locals = vec![0i128; self.code.n_locals];
+        let mut stack: Vec<i128> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+        let mut instructions = 0u64;
+        let mut bytes = 0u64;
+        loop {
+            instructions += 1;
+            match self.code.ops[pc] {
+                Op::Push(v) => stack.push(v),
+                Op::Load(l) => stack.push(locals[l]),
+                Op::Store(l) => locals[l] = stack.pop().expect("stack underflow"),
+                Op::Bin(op) => {
+                    let b = stack.pop().expect("stack underflow");
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(op.apply(a, b));
+                }
+                Op::Abs => {
+                    let v = stack.pop().expect("stack underflow");
+                    stack.push(v.abs());
+                }
+                Op::Neg => {
+                    let v = stack.pop().expect("stack underflow");
+                    stack.push(-v);
+                }
+                Op::Not => {
+                    let v = stack.pop().expect("stack underflow");
+                    stack.push(i128::from(v == 0));
+                }
+                Op::Byte => {
+                    bytes += 1;
+                    stack.push(src.next_byte() as i128);
+                }
+                Op::Jmp(t) => {
+                    pc = t;
+                    continue;
+                }
+                Op::JmpIfZero(t) => {
+                    if stack.pop().expect("stack underflow") == 0 {
+                        pc = t;
+                        continue;
+                    }
+                }
+                Op::Halt => {
+                    return RunTrace {
+                        result: stack.pop().expect("empty stack at halt"),
+                        instructions,
+                        bytes,
+                    }
+                }
             }
             pc += 1;
         }

@@ -1,0 +1,246 @@
+//! Soundness of the static analysis layer on *random* IR programs.
+//!
+//! Two properties, checked on generated programs that terminate by
+//! construction:
+//!
+//! 1. **Taint soundness**: if [`timing_verdict`] says
+//!    `constant-time-shaped`, then the traced VM retires the *identical*
+//!    instruction count and consumes the *identical* number of entropy
+//!    bytes on every entropy stream. (The analysis over-approximates, so
+//!    leaky verdicts on shape-constant programs are allowed; the reverse
+//!    would be a soundness bug.)
+//! 2. **Bounds soundness**: every observed execution consumes at least
+//!    `guaranteed` bytes and, when the worst case is finite, at most
+//!    `worst_case` bytes.
+//!
+//! The generator is a seed-driven deterministic builder (its own LCG over
+//! the proptest-supplied seed): loops are counted with a forbidden-to-
+//! reassign counter — either a constant trip count (clean) or one clamped
+//! through `min(byte-derived, 3)` (tainted, exercising the `LoopBound`
+//! channel) — divisors are nonzero constants, and every assignment is
+//! clamped to keep arithmetic far from `i128` overflow.
+
+use proptest::prelude::*;
+use sampcert_extract::{
+    byte_bounds, compile, timing_verdict, BinOp, Bound, Expr, Program, Stmt, Vm, DEFAULT_UNROLL,
+};
+use sampcert_slang::SeededByteSource;
+
+const N_LOCALS: usize = 6;
+const CLAMP: i128 = 1 << 40;
+
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // SplitMix64: full-period, seed-insensitive.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn local(&mut self) -> usize {
+        self.below(N_LOCALS as u64) as usize
+    }
+}
+
+fn gen_expr(g: &mut Gen, depth: usize) -> Expr {
+    if depth == 0 {
+        return if g.below(2) == 0 {
+            Expr::Const(g.below(11) as i128 - 5)
+        } else {
+            Expr::Local(g.local())
+        };
+    }
+    match g.below(12) {
+        0 => Expr::Const(g.below(11) as i128 - 5),
+        1 => Expr::Local(g.local()),
+        2 => Expr::add(gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        3 => Expr::sub(gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        4 => Expr::mul(gen_expr(g, depth - 1), Expr::Const(g.below(7) as i128 + 1)),
+        5 => Expr::bin(BinOp::Min, gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        6 => Expr::bin(BinOp::Max, gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        7 => Expr::lt(gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        // Nonzero constant divisors only: the generated programs never
+        // divide by zero, and non-pow2 divisors exercise the op-latency
+        // channel.
+        8 => Expr::bin(
+            BinOp::Div,
+            gen_expr(g, depth - 1),
+            Expr::Const(g.below(8) as i128 + 2),
+        ),
+        9 => Expr::bin(
+            BinOp::Mod,
+            gen_expr(g, depth - 1),
+            Expr::Const(g.below(8) as i128 + 2),
+        ),
+        10 => Expr::Abs(Box::new(gen_expr(g, depth - 1))),
+        _ => Expr::Neg(Box::new(gen_expr(g, depth - 1))),
+    }
+}
+
+/// Clamp to keep every stored value inside `±CLAMP` — statement nesting
+/// is bounded, so intermediate expression values stay far from overflow.
+fn clamped(e: Expr) -> Expr {
+    Expr::bin(
+        BinOp::Max,
+        Expr::bin(BinOp::Min, e, Expr::Const(CLAMP)),
+        Expr::Const(-CLAMP),
+    )
+}
+
+/// `forbidden`: the enclosing loop counters (and bound sources), which
+/// the body must not reassign so termination stays structural.
+fn gen_stmt(g: &mut Gen, depth: usize, forbidden: &mut Vec<usize>) -> Stmt {
+    let pick_assignable = |g: &mut Gen, forbidden: &[usize]| -> usize {
+        loop {
+            let l = g.local();
+            if !forbidden.contains(&l) {
+                return l;
+            }
+        }
+    };
+    match g.below(if depth == 0 { 3 } else { 6 }) {
+        0 => Stmt::Assign(pick_assignable(g, forbidden), clamped(gen_expr(g, 2))),
+        1 => Stmt::Byte(pick_assignable(g, forbidden)),
+        2 => Stmt::Skip,
+        3 => {
+            let n = g.below(3) + 2;
+            let mut ss = Vec::new();
+            for _ in 0..n {
+                ss.push(gen_stmt(g, depth - 1, forbidden));
+            }
+            Stmt::Seq(ss)
+        }
+        4 => Stmt::If(
+            gen_expr(g, 2),
+            Box::new(gen_stmt(g, depth - 1, forbidden)),
+            Box::new(gen_stmt(g, depth - 1, forbidden)),
+        ),
+        _ => {
+            // Counted loop: ctr := 0; while (ctr < bound) { body; ctr += 1 }
+            // where `bound` is either a small constant (clean trip count)
+            // or min(local, 3) over a possibly-tainted local (the
+            // LoopBound channel). Neither ctr nor the bound source may be
+            // reassigned inside, so the loop terminates structurally.
+            let ctr = pick_assignable(g, forbidden);
+            let scope = forbidden.len();
+            forbidden.push(ctr);
+            let bound = if g.below(2) == 0 {
+                Expr::Const(g.below(4) as i128)
+            } else {
+                let src = g.local();
+                if !forbidden.contains(&src) {
+                    forbidden.push(src);
+                }
+                Expr::bin(BinOp::Min, Expr::Local(src), Expr::Const(3))
+            };
+            let body = gen_stmt(g, depth - 1, forbidden).then(Stmt::Assign(
+                ctr,
+                Expr::add(Expr::Local(ctr), Expr::Const(1)),
+            ));
+            forbidden.truncate(scope); // this loop's ctr/bound leave scope
+            Stmt::Assign(ctr, Expr::Const(0)).then(Stmt::While(
+                Expr::lt(Expr::Local(ctr), bound),
+                Box::new(body),
+            ))
+        }
+    }
+}
+
+fn gen_program(seed: u64) -> Program {
+    let mut g = Gen::new(seed);
+    let names: Vec<String> = (0..N_LOCALS).map(|i| format!("x{i}")).collect();
+    let mut forbidden = Vec::new();
+    let n = g.below(4) + 2;
+    let mut ss = Vec::new();
+    for _ in 0..n {
+        ss.push(gen_stmt(&mut g, 3, &mut forbidden));
+    }
+    let result = gen_expr(&mut g, 2);
+    Program::new(format!("random_{seed}"), names, Stmt::Seq(ss), result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ct_shaped_programs_have_identical_traces(seed in any::<u64>()) {
+        let p = gen_program(seed);
+        let verdict = timing_verdict(&p);
+        let bounds = byte_bounds(&p, DEFAULT_UNROLL);
+        let vm = Vm::new(compile(&p));
+
+        let mut traces = Vec::new();
+        for stream in 0..8u64 {
+            let mut src = SeededByteSource::new(stream.wrapping_mul(0x1234_5678).wrapping_add(1));
+            traces.push(vm.run_traced(&mut src));
+        }
+
+        // 1. Taint soundness: CT-shaped ⇒ shape-identical executions.
+        if verdict.is_constant_time_shaped() {
+            for t in &traces[1..] {
+                prop_assert_eq!(
+                    (t.instructions, t.bytes),
+                    (traces[0].instructions, traces[0].bytes),
+                    "constant-time-shaped program varied across streams:\n{}",
+                    sampcert_extract::render(&p)
+                );
+            }
+        }
+
+        // 2. Bounds soundness on every program, leaky or not.
+        for t in &traces {
+            prop_assert!(
+                t.bytes >= bounds.guaranteed,
+                "run used {} bytes, below the guaranteed floor {}:\n{}",
+                t.bytes, bounds.guaranteed, sampcert_extract::render(&p)
+            );
+            if let Bound::Finite(w) = bounds.worst_case {
+                prop_assert!(
+                    t.bytes <= w,
+                    "run used {} bytes, above the static worst case {}:\n{}",
+                    t.bytes, w, sampcert_extract::render(&p)
+                );
+            }
+        }
+    }
+}
+
+/// The generator must produce a healthy mix — all-leaky output would make
+/// property 1 vacuous. Pinned counts over a fixed seed range keep the
+/// generator honest as it evolves.
+#[test]
+fn generator_produces_both_verdict_classes() {
+    let mut ct = 0usize;
+    let mut leaky = 0usize;
+    for seed in 0..400u64 {
+        if timing_verdict(&gen_program(seed)).is_constant_time_shaped() {
+            ct += 1;
+        } else {
+            leaky += 1;
+        }
+    }
+    assert!(
+        ct >= 20,
+        "only {ct}/400 constant-time-shaped — property 1 is near-vacuous"
+    );
+    assert!(
+        leaky >= 20,
+        "only {leaky}/400 leaky — generator lost its Byte statements"
+    );
+}

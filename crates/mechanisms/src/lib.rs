@@ -30,9 +30,6 @@
 //! let _ = (pure.run(&ages, &mut src), conc.run(&ages, &mut src));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod accuracy;
 mod adaptive;
 mod batch;

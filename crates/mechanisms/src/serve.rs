@@ -99,7 +99,7 @@ impl Default for ServeConfig {
     /// OS entropy across `available_parallelism` workers.
     fn default() -> Self {
         ServeConfig {
-            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             seed: SeedBackend::OsEntropy,
         }
     }

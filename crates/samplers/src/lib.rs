@@ -33,9 +33,6 @@
 //! let _ = noise;
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod batch;
 mod bernoulli;
 mod direct;

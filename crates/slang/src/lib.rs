@@ -41,9 +41,6 @@
 //! assert!((d.mass(&0) - 1.0 / 3.0).abs() < 1e-9);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod interp;
 mod mass;
 mod sampling;

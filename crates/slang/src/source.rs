@@ -57,7 +57,7 @@ impl<S: ByteSource + ?Sized> ByteSource for &mut S {
     }
 
     fn fill(&mut self, out: &mut [u8]) {
-        (**self).fill(out)
+        (**self).fill(out);
     }
 }
 
@@ -67,7 +67,7 @@ impl<S: ByteSource + ?Sized> ByteSource for Box<S> {
     }
 
     fn fill(&mut self, out: &mut [u8]) {
-        (**self).fill(out)
+        (**self).fill(out);
     }
 }
 

@@ -342,7 +342,7 @@ mod tests {
         // Left identity and associativity with exact rational weights.
         type P = SubPmf<u8, Rat>;
         let h = Rat::from_ratio(1, 2);
-        let p: P = SubPmf::from_entries(vec![(0u8, h.clone()), (1u8, h.clone())]);
+        let p: P = SubPmf::from_entries(vec![(0u8, h.clone()), (1u8, h)]);
         let f = |x: &u8| -> P { SubPmf::dirac(x.wrapping_add(1)) };
         let g = |x: &u8| -> P {
             SubPmf::from_entries(vec![

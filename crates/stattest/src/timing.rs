@@ -1,0 +1,184 @@
+//! Timing-channel statistics: correlation and mutual information between
+//! a secret-derived value (e.g. `|sample|`) and a timing observable (wall
+//! clock, or the deterministic instruction-trace length from
+//! `sampcert-extract`'s traced VM).
+//!
+//! These are the *empirical* half of the timing-leak story: the static
+//! analyzer's `leaks{loop-bound: …}` verdicts predict a correlation here,
+//! and its `constant-time-shaped` verdicts predict exactly none (the
+//! traced observable is deterministic, so the negative control is exact,
+//! not merely underpowered). `tests/timing_leakage.rs` pins both
+//! directions against a mis-specified-reference power control.
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `0.0` when either sample has zero variance (a constant
+/// observable carries no information, which is precisely the
+/// constant-time case) or fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// A correlation estimate with its Fisher-z significance.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelationReport {
+    /// Pearson `r`.
+    pub r: f64,
+    /// Sample size.
+    pub n: usize,
+    /// Two-sided p-value for `H0: r = 0` via the Fisher z-transform
+    /// (`atanh(r)·√(n−3)` is approximately standard normal under `H0`).
+    pub p_value: f64,
+}
+
+impl CorrelationReport {
+    /// True when the correlation is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Pearson correlation with Fisher-z two-sided significance.
+///
+/// With `n ≤ 3` or a degenerate sample the p-value is `1.0` (never
+/// significant): too little data to reject anything.
+pub fn correlation_report(xs: &[f64], ys: &[f64]) -> CorrelationReport {
+    let r = pearson(xs, ys);
+    let n = xs.len();
+    if n <= 3 || r == 0.0 {
+        return CorrelationReport { r, n, p_value: 1.0 };
+    }
+    // Clamp: |r| = 1 exactly has infinite z; report the smallest
+    // representable tail rather than NaN.
+    let rc = r.clamp(-0.999_999, 0.999_999);
+    let z = rc.atanh() * ((n - 3) as f64).sqrt();
+    let tail = 1.0 - crate::std_normal_cdf(z.abs());
+    CorrelationReport {
+        r,
+        n,
+        p_value: (2.0 * tail).min(1.0),
+    }
+}
+
+/// Plug-in estimate of the mutual information `I(X;Y)` in **bits**, with
+/// each variable discretized into `bins` equal-width bins over its
+/// observed range.
+///
+/// Captures non-monotone dependence Pearson misses (e.g. trip count
+/// depending on `|sample|` rather than the signed sample). Degenerate
+/// inputs (constant variable, `n = 0`) give `0.0` bits. The plug-in
+/// estimator biases *upward* on small samples, so use it to *detect*
+/// leaks, not to certify their absence — absence is the static analyzer's
+/// job.
+pub fn mutual_information_bits(xs: &[f64], ys: &[f64], bins: usize) -> f64 {
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "mutual_information_bits: length mismatch"
+    );
+    assert!(bins >= 2, "mutual_information_bits: need at least 2 bins");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let bin_of = |v: f64, lo: f64, hi: f64| -> usize {
+        if hi <= lo {
+            return 0; // constant variable: everything in bin 0
+        }
+        let t = ((v - lo) / (hi - lo) * bins as f64) as usize;
+        t.min(bins - 1)
+    };
+    let (xlo, xhi) = bounds(xs);
+    let (ylo, yhi) = bounds(ys);
+    let mut joint = vec![0u64; bins * bins];
+    let mut px = vec![0u64; bins];
+    let mut py = vec![0u64; bins];
+    for (x, y) in xs.iter().zip(ys) {
+        let i = bin_of(*x, xlo, xhi);
+        let j = bin_of(*y, ylo, yhi);
+        joint[i * bins + j] += 1;
+        px[i] += 1;
+        py[j] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for i in 0..bins {
+        for j in 0..bins {
+            let c = joint[i * bins + j];
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / nf;
+            let pi = px[i] as f64 / nf;
+            let pj = py[j] as f64 / nf;
+            mi += pxy * (pxy / (pi * pj)).log2();
+        }
+    }
+    mi.max(0.0)
+}
+
+fn bounds(vs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in vs {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_none() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let flat = vec![3.0; 100];
+        assert_eq!(pearson(&xs, &flat), 0.0);
+    }
+
+    #[test]
+    fn fisher_z_flags_strong_correlation_only() {
+        let xs: Vec<f64> = (0..200).map(f64::from).collect();
+        // Deterministic "noise" decorrelates ys from xs.
+        let noise: Vec<f64> = (0..200u64)
+            .map(|i| f64::from((i.wrapping_mul(2654435761) >> 24) as u32 % 997))
+            .collect();
+        let leaky: Vec<f64> = xs.iter().zip(&noise).map(|(x, e)| x + 0.1 * e).collect();
+        assert!(correlation_report(&xs, &leaky).significant_at(1e-6));
+        assert!(!correlation_report(&xs, &noise).significant_at(1e-3));
+    }
+
+    #[test]
+    fn mi_sees_nonmonotone_dependence() {
+        // y = |x| over a symmetric range: Pearson ≈ 0, MI strongly > 0.
+        let xs: Vec<f64> = (-100..=100).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.abs()).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.05);
+        assert!(mutual_information_bits(&xs, &ys, 8) > 0.5);
+        let flat = vec![1.0; xs.len()];
+        assert_eq!(mutual_information_bits(&xs, &flat, 8), 0.0);
+    }
+}

@@ -6,29 +6,35 @@
 //! Laplace loop runs for a number of iterations equal to the drawn
 //! magnitude, so *observing the latency leaks information about the
 //! noise* — and noise plus released value determines the secret query
-//! answer. This example quantifies the channel: the correlation between
-//! |sample| and per-draw wall time for the two verified Laplace loops.
+//! answer. This example shows both halves of the repo's timing-leak
+//! story side by side: the **static analyzer's verdict** with its
+//! source-located witnesses (`sampcert::extract::timing_verdict`), and
+//! the **measured wall-clock channel** the verdict predicts. The enforced
+//! (deterministic, trace-based) version of this measurement lives in
+//! `tests/timing_leakage.rs`; the machine-readable gate is
+//! `reproduce analyze`.
 //!
 //! Run with: `cargo run --release --example timing_channels`
 
+use sampcert::extract::{laplace_program, timing_verdict, LeakKind, LoopKind};
 use sampcert::samplers::{FusedLaplace, LaplaceAlg};
 use sampcert::slang::OsByteSource;
+use sampcert::stattest::pearson;
 use std::time::Instant;
 
-/// Pearson correlation between two equal-length series.
-fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
-    let n = xs.len() as f64;
-    let mx = xs.iter().sum::<f64>() / n;
-    let my = ys.iter().sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut vx = 0.0;
-    let mut vy = 0.0;
-    for (x, y) in xs.iter().zip(ys) {
-        cov += (x - mx) * (y - my);
-        vx += (x - mx) * (x - mx);
-        vy += (y - my) * (y - my);
+fn print_verdict(kind: LoopKind, scale: u64) {
+    let v = timing_verdict(&laplace_program(scale, 1, kind));
+    println!("static verdict for the {kind:?} loop: {}", v.signature());
+    // The loop-bound witnesses are the rejection channel itself; print
+    // the outermost few rather than all of them.
+    for f in v
+        .findings()
+        .iter()
+        .filter(|f| f.kind == LeakKind::LoopBound)
+        .take(3)
+    {
+        println!("    {}", f.witness());
     }
-    cov / (vx.sqrt() * vy.sqrt())
 }
 
 fn measure(alg: LaplaceAlg, scale: u64, n: usize) -> (f64, f64) {
@@ -48,13 +54,16 @@ fn measure(alg: LaplaceAlg, scale: u64, n: usize) -> (f64, f64) {
         times.push(dt);
     }
     let mean_time = times.iter().sum::<f64>() / n as f64;
-    (correlation(&mags, &times), mean_time)
+    (pearson(&mags, &times), mean_time)
 }
 
 fn main() {
     let n = 40_000;
     let scale = 64; // large scale: the geometric loop's iterations ≈ |sample|
     println!("Laplace scale {scale}, {n} timed draws per algorithm\n");
+    print_verdict(LoopKind::Geometric, scale);
+    print_verdict(LoopKind::Uniform, scale);
+    println!();
     println!(
         "{:<22} {:>22} {:>16}",
         "algorithm", "corr(|sample|, time)", "mean ns/draw"

@@ -63,9 +63,6 @@
 //! primitives underneath and stay available; the metered convenience
 //! wrappers they spawned are deprecated in favour of the session.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use sampcert_arith as arith;
 pub use sampcert_baselines as baselines;
 pub use sampcert_core as core;

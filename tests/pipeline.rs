@@ -17,7 +17,7 @@ use sampcert::arith::{Nat, Rat};
 use sampcert::core::{count_query, CheckOptions, Private, PureDp};
 use sampcert::samplers::pmf::{laplace_cdf, laplace_pmf};
 use sampcert::samplers::{bernoulli_exp_neg, discrete_laplace, FusedLaplace, LaplaceAlg};
-use sampcert::slang::{Mass, MassCtx, Sampling, SeededByteSource};
+use sampcert::slang::{Mass, MassCtx, Sampling, SeededByteSource, SubPmf};
 use sampcert::stattest::ks_test;
 
 const SCALE_NUM: u64 = 3;
@@ -118,7 +118,7 @@ fn cut_monotonicity_holds_for_the_full_sampler() {
     );
     let cuts = sampcert::slang::cut_curve(&prog, [5, 10, 20, 40]);
     assert!(sampcert::slang::cuts_are_monotone(&cuts));
-    let masses: Vec<f64> = cuts.iter().map(|d| d.total_mass()).collect();
+    let masses: Vec<f64> = cuts.iter().map(SubPmf::total_mass).collect();
     assert!(
         masses.windows(2).all(|w| w[0] <= w[1] + 1e-15),
         "{masses:?}"

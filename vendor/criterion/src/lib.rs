@@ -222,12 +222,14 @@ fn fmt_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        /// Criterion bench group entry point (generated).
         pub fn $name() {
             let mut criterion: $crate::Criterion = $cfg;
             $( $target(&mut criterion); )+
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion bench group entry point (generated).
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
@@ -262,7 +264,7 @@ mod tests {
             b.iter(|| {
                 acc = acc.wrapping_add(x);
                 acc
-            })
+            });
         });
         group.finish();
     }
@@ -276,7 +278,7 @@ mod tests {
     #[test]
     fn stats_ordering() {
         let stats = run_bench(5, Duration::from_micros(10), &mut |b| {
-            b.iter(|| black_box(2u64).wrapping_mul(3))
+            b.iter(|| black_box(2u64).wrapping_mul(3));
         });
         assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
         assert!(stats.min_ns > 0.0);

@@ -88,8 +88,7 @@ fn fallback_entropy() -> u64 {
     use std::time::{SystemTime, UNIX_EPOCH};
     let t = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0xDEAD_BEEF);
+        .map_or(0xDEAD_BEEF, |d| d.as_nanos() as u64);
     let marker = &t as *const u64 as usize as u64;
     t ^ marker.rotate_left(32)
 }
