@@ -8,7 +8,10 @@
 //! the same specs with per-batch statistics.
 
 use sampcert_arith::{Dyadic, Int, Nat, Rat};
-use sampcert_samplers::{bernoulli_exp_neg, discrete_gaussian, uniform_below, LaplaceAlg};
+use sampcert_samplers::{
+    bernoulli_exp_neg, discrete_gaussian, discrete_laplace, discrete_laplace_many_into,
+    uniform_below, uniform_below_many_into, LaplaceAlg,
+};
 use sampcert_slang::{Sampling, SeededByteSource};
 use std::time::{Duration, Instant};
 
@@ -177,6 +180,73 @@ fn build_uniform_below_multilimb() -> Box<dyn FnMut() -> i64> {
     Box::new(move || nat_sink(&prog.run(&mut src)))
 }
 
+/// Interpreted tier at `limbs`-limb bounds: the monadic tree-walk the
+/// batch dispatch falls back to, timed per draw.
+fn build_uniform_limbs_interp(limbs: u32) -> Box<dyn FnMut() -> i64> {
+    let bound = big_nat(limbs, 11);
+    let prog = uniform_below::<Sampling>(&bound);
+    let mut src = SeededByteSource::new(0x1D1D ^ u64::from(limbs));
+    Box::new(move || nat_sink(&prog.run(&mut src)))
+}
+
+/// Compiled tier at `limbs`-limb bounds: the production dispatch path
+/// (`uniform_below_many_into`, n = 1 per op), which runs the cached
+/// bytecode on the stack VM — cache lookup included, exactly what a
+/// serving draw pays.
+fn build_uniform_limbs_compiled(limbs: u32) -> Box<dyn FnMut() -> i64> {
+    let bound = big_nat(limbs, 11);
+    let mut src = SeededByteSource::new(0x1D1D ^ u64::from(limbs));
+    let mut out: Vec<Nat> = Vec::with_capacity(1);
+    Box::new(move || {
+        out.clear();
+        uniform_below_many_into(&bound, 1, &mut src, &mut out);
+        nat_sink(&out[0])
+    })
+}
+
+fn build_uniform_8limb_compiled() -> Box<dyn FnMut() -> i64> {
+    build_uniform_limbs_compiled(8)
+}
+
+fn build_uniform_32limb_interp() -> Box<dyn FnMut() -> i64> {
+    build_uniform_limbs_interp(32)
+}
+
+fn build_uniform_32limb_compiled() -> Box<dyn FnMut() -> i64> {
+    build_uniform_limbs_compiled(32)
+}
+
+fn build_uniform_128limb_interp() -> Box<dyn FnMut() -> i64> {
+    build_uniform_limbs_interp(128)
+}
+
+fn build_uniform_128limb_compiled() -> Box<dyn FnMut() -> i64> {
+    build_uniform_limbs_compiled(128)
+}
+
+/// 8-limb Laplace scale 1/2 (Geometric regime): multi-limb parameters
+/// with word-sized outputs, interpreted tier.
+fn build_laplace_multilimb_interp() -> Box<dyn FnMut() -> i64> {
+    let num = big_nat(8, 13);
+    let den = &num * &Nat::from(2u64);
+    let prog = discrete_laplace::<Sampling>(&num, &den, LaplaceAlg::Switched);
+    let mut src = SeededByteSource::new(0x2E2E);
+    Box::new(move || prog.run(&mut src))
+}
+
+/// The same parameter box through the compiled dispatch.
+fn build_laplace_multilimb_compiled() -> Box<dyn FnMut() -> i64> {
+    let num = big_nat(8, 13);
+    let den = &num * &Nat::from(2u64);
+    let mut src = SeededByteSource::new(0x2E2E);
+    let mut out: Vec<i64> = Vec::with_capacity(1);
+    Box::new(move || {
+        out.clear();
+        discrete_laplace_many_into(&num, &den, LaplaceAlg::Switched, 1, &mut src, &mut out);
+        out[0]
+    })
+}
+
 fn build_gaussian_sigma(sigma: u64, seed: u64) -> Box<dyn FnMut() -> i64> {
     let prog = discrete_gaussian::<Sampling>(&Nat::from(sigma), &Nat::one(), LaplaceAlg::Switched);
     let mut src = SeededByteSource::new(seed);
@@ -260,6 +330,34 @@ pub const MICRO_BENCHES: &[MicroBench] = &[
     MicroBench {
         name: "uniform_below_8limb",
         build: build_uniform_below_multilimb,
+    },
+    MicroBench {
+        name: "uniform_below_8limb_compiled",
+        build: build_uniform_8limb_compiled,
+    },
+    MicroBench {
+        name: "uniform_below_32limb_interp",
+        build: build_uniform_32limb_interp,
+    },
+    MicroBench {
+        name: "uniform_below_32limb_compiled",
+        build: build_uniform_32limb_compiled,
+    },
+    MicroBench {
+        name: "uniform_below_128limb_interp",
+        build: build_uniform_128limb_interp,
+    },
+    MicroBench {
+        name: "uniform_below_128limb_compiled",
+        build: build_uniform_128limb_compiled,
+    },
+    MicroBench {
+        name: "laplace_8limb_interp",
+        build: build_laplace_multilimb_interp,
+    },
+    MicroBench {
+        name: "laplace_8limb_compiled",
+        build: build_laplace_multilimb_compiled,
     },
     MicroBench {
         name: "gaussian_sigma4_draw",

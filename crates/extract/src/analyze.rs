@@ -127,6 +127,20 @@ pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
                     cfg.pc += 1;
                     add(cfg, w, &mut next);
                 }
+                Op::PushBig(i) => {
+                    // The exhaustive analysis tracks i128 configurations;
+                    // registry programs with genuinely multi-limb
+                    // constants are outside its scope (and are filtered
+                    // out by the finite-bound precondition upstream).
+                    let v = code.big_consts[i]
+                        .to_u128()
+                        .filter(|u| *u <= i128::MAX as u128)
+                        .map(|u| u as i128)
+                        .expect("distribution analysis requires word-sized constants");
+                    cfg.stack.push(v);
+                    cfg.pc += 1;
+                    add(cfg, w, &mut next);
+                }
                 Op::Load(l) => {
                     cfg.stack.push(cfg.locals[l]);
                     cfg.pc += 1;
@@ -163,6 +177,13 @@ pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
                     cfg.pc += 1;
                     add(cfg, w, &mut next);
                 }
+                Op::BitLen => {
+                    let v = cfg.stack.pop().expect("stack underflow");
+                    cfg.stack
+                        .push(i128::from(128 - v.unsigned_abs().leading_zeros()));
+                    cfg.pc += 1;
+                    add(cfg, w, &mut next);
+                }
                 Op::Byte => {
                     // The probabilistic fan-out: 256 successors.
                     expected_bytes += w;
@@ -170,6 +191,28 @@ pub fn analyze(code: &Bytecode, max_steps: usize, prune: f64) -> Analysis {
                     for b in 0..256i128 {
                         let mut c2 = cfg.clone();
                         c2.stack.push(b);
+                        c2.pc += 1;
+                        add(c2, share, &mut next);
+                    }
+                }
+                Op::UniformPow2 => {
+                    // The masked big-endian byte fold is exactly uniform
+                    // on [0, 2^bits): fan out all successors at equal
+                    // mass. Width is capped — the fan is 2^bits wide, so
+                    // this is only tractable for narrow draws (the
+                    // registry keeps well under the cap).
+                    let bits = cfg.stack.pop().expect("stack underflow");
+                    assert!(
+                        (0..=16).contains(&bits),
+                        "distribution analysis caps UniformPow2 at 16 bits (got {bits})"
+                    );
+                    let n_bytes = (bits as u32).div_ceil(8);
+                    expected_bytes += w * f64::from(n_bytes);
+                    let fan = 1u32 << bits;
+                    let share = w / f64::from(fan);
+                    for v in 0..fan {
+                        let mut c2 = cfg.clone();
+                        c2.stack.push(i128::from(v));
                         c2.pc += 1;
                         add(c2, share, &mut next);
                     }

@@ -124,9 +124,23 @@ fn sat_mul(a: i128, b: i128) -> i128 {
     a.saturating_mul(b)
 }
 
+/// Bit length of a nonnegative `i128` (`0` for `0`), matching
+/// `Nat::bit_length`.
+fn bit_len(v: i128) -> i128 {
+    i128::from(128 - v.unsigned_abs().leading_zeros())
+}
+
 fn eval(e: &Expr, state: &[Iv]) -> Iv {
     match e {
         Expr::Const(v) => Iv::exact(*v),
+        // Big literals exceed i128 by construction; all the interval
+        // domain can say is "nonnegative" (`MAX` is the saturating
+        // stand-in for +∞, so an exact endpoint there would let `Eq`
+        // conflate distinct big constants).
+        Expr::BigConst(_) => Iv {
+            lo: 0,
+            hi: i128::MAX,
+        },
         Expr::Local(l) => state[*l],
         Expr::Bin(op, a, b) => {
             let a = eval(a, state);
@@ -164,6 +178,28 @@ fn eval(e: &Expr, state: &[Iv]) -> Iv {
                 Iv::exact(0)
             } else {
                 Iv::BOOL
+            }
+        }
+        Expr::BitLen(a) => {
+            let v = eval(a, state);
+            // Bit length is monotone on nonnegative values. A saturated
+            // upper endpoint stands for a possibly multi-limb value whose
+            // bit length is unbounded, so only the lower end survives.
+            if v.lo >= 0 && v.hi < i128::MAX {
+                Iv {
+                    lo: bit_len(v.lo),
+                    hi: bit_len(v.hi),
+                }
+            } else if v.lo >= 0 {
+                Iv {
+                    lo: bit_len(v.lo),
+                    hi: i128::MAX,
+                }
+            } else {
+                Iv {
+                    lo: 0,
+                    hi: i128::MAX,
+                }
             }
         }
     }
@@ -285,7 +321,7 @@ fn apply(op: BinOp, a: Iv, b: Iv) -> Iv {
 fn assigned_locals(s: &Stmt, out: &mut Vec<usize>) {
     match s {
         Stmt::Skip => {}
-        Stmt::Assign(l, _) | Stmt::Byte(l) => out.push(*l),
+        Stmt::Assign(l, _) | Stmt::Byte(l) | Stmt::UniformPow2(l, _) => out.push(*l),
         Stmt::Seq(ss) => ss.iter().for_each(|s| assigned_locals(s, out)),
         Stmt::If(_, t, e) => {
             assigned_locals(t, out);
@@ -299,7 +335,7 @@ fn assigned_locals(s: &Stmt, out: &mut Vec<usize>) {
 fn draws_bytes(s: &Stmt) -> bool {
     match s {
         Stmt::Skip | Stmt::Assign(..) => false,
-        Stmt::Byte(_) => true,
+        Stmt::Byte(_) | Stmt::UniformPow2(..) => true,
         Stmt::Seq(ss) => ss.iter().any(draws_bytes),
         Stmt::If(_, t, e) => draws_bytes(t) || draws_bytes(e),
         Stmt::While(_, b) => draws_bytes(b),
@@ -320,6 +356,31 @@ fn exec(s: &Stmt, state: &mut Vec<Iv>, acc: &mut Acc, max_unroll: usize) {
             state[*l] = Iv { lo: 0, hi: 255 };
             acc.guaranteed = acc.guaranteed.saturating_add(1);
             acc.worst = acc.worst.add(Bound::Finite(1));
+        }
+        Stmt::UniformPow2(l, e) => {
+            let bits = eval(e, state);
+            // ceil(bits / 8) bytes are drawn; a nonpositive width draws
+            // none, an unbounded width draws unboundedly many.
+            let lo_bytes = (bits.lo.clamp(0, 1 << 32) as u64).div_ceil(8);
+            acc.guaranteed = acc.guaranteed.saturating_add(lo_bytes);
+            if bits.hi < i128::MAX {
+                let hi_bytes = (bits.hi.clamp(0, 1 << 32) as u64).div_ceil(8);
+                acc.worst = acc.worst.add(Bound::Finite(hi_bytes));
+            } else {
+                acc.worst = Bound::Unbounded;
+            }
+            // The draw lies in [0, 2^bits − 1]; saturate past 126 bits.
+            state[*l] = if bits.hi >= 127 {
+                Iv {
+                    lo: 0,
+                    hi: i128::MAX,
+                }
+            } else {
+                Iv {
+                    lo: 0,
+                    hi: (1i128 << bits.hi.max(0)) - 1,
+                }
+            };
         }
         Stmt::Seq(ss) => ss.iter().for_each(|s| exec(s, state, acc, max_unroll)),
         Stmt::If(c, t, e) => {

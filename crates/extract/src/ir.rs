@@ -15,6 +15,7 @@
 //! Values are `i128` integers (booleans are 0/1), wide enough for the
 //! discrete Gaussian's exact intermediates at any `u64` σ.
 
+use sampcert_arith::Nat;
 use std::fmt;
 
 /// Binary arithmetic and comparison operators.
@@ -98,6 +99,10 @@ pub type Local = usize;
 pub enum Expr {
     /// Integer literal.
     Const(i128),
+    /// Nonnegative big-integer literal. Only emitted for values that do
+    /// not fit `i128` — small literals always use [`Expr::Const`] so the
+    /// VM's unboxed fast path stays hot.
+    BigConst(Nat),
     /// Read a local.
     Local(Local),
     /// Binary operation.
@@ -108,6 +113,9 @@ pub enum Expr {
     Neg(Box<Expr>),
     /// Logical not over 0/1.
     Not(Box<Expr>),
+    /// Bit length of the magnitude (`0` for `0`) — the image of
+    /// `Nat::bit_length`, O(1) at any operand width.
+    BitLen(Box<Expr>),
 }
 
 impl Expr {
@@ -144,13 +152,13 @@ impl Expr {
     /// Free variables (locals) read by the expression.
     pub fn reads(&self, out: &mut Vec<Local>) {
         match self {
-            Expr::Const(_) => {}
+            Expr::Const(_) | Expr::BigConst(_) => {}
             Expr::Local(l) => out.push(*l),
             Expr::Bin(_, a, b) => {
                 a.reads(out);
                 b.reads(out);
             }
-            Expr::Abs(a) | Expr::Neg(a) | Expr::Not(a) => a.reads(out),
+            Expr::Abs(a) | Expr::Neg(a) | Expr::Not(a) | Expr::BitLen(a) => a.reads(out),
         }
     }
 }
@@ -164,6 +172,12 @@ pub enum Stmt {
     Assign(Local, Expr),
     /// `local := probUniformByte()` — the sole probabilistic primitive.
     Byte(Local),
+    /// `local := probUniformPow2(bits)` — a bulk uniform draw of
+    /// `ceil(bits / 8)` whole bytes folded big-endian and masked to the
+    /// low `bits` bits. Byte-stream-identical to the per-byte fold the
+    /// monadic `uniform_pow2` performs, but executed as one opcode so the
+    /// compiled tier does not pay a `Nat` multiply-add per byte.
+    UniformPow2(Local, Expr),
     /// Sequential composition.
     Seq(Vec<Stmt>),
     /// `if cond ≠ 0 { then } else { else }`.
@@ -251,6 +265,10 @@ impl Program {
                     check_expr(e, n);
                 }
                 Stmt::Byte(l) => assert!(*l < n, "byte draw into out-of-range local {l}"),
+                Stmt::UniformPow2(l, e) => {
+                    assert!(*l < n, "uniform draw into out-of-range local {l}");
+                    check_expr(e, n);
+                }
                 Stmt::Seq(ss) => ss.iter().for_each(|s| check_stmt(s, n)),
                 Stmt::If(c, t, e) => {
                     check_expr(c, n);

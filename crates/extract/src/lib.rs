@@ -58,9 +58,11 @@ pub use bounds::{byte_bounds, Bound, ByteBounds, DEFAULT_UNROLL};
 pub use ir::{BinOp, Expr, Local, Program, Stmt};
 pub use pretty::{render, render_expr};
 pub use programs::{
-    gaussian_program, geometric_program, laplace_program, registered_programs,
-    uniform_below_program, uniform_pow2_program, LoopKind, RegisteredProgram,
+    bernoulli_exp_neg_program_nat, bernoulli_program_nat, gaussian_program, gaussian_program_nat,
+    geometric_program, laplace_program, laplace_program_nat, registered_programs,
+    uniform_below_program, uniform_below_program_nat, uniform_pow2_program, LoopKind,
+    RegisteredProgram,
 };
 pub use report::{analysis_report, report_to_json, ReportRow};
 pub use taint::{timing_verdict, Finding, LeakKind, Verdict};
-pub use vm::{compile, interpret, Bytecode, Op, RunTrace, Vm};
+pub use vm::{compile, interpret, Bytecode, Op, RunTrace, Value, Vm, VmError};

@@ -42,6 +42,7 @@ fn indent(depth: usize, out: &mut String) {
 pub fn render_expr(e: &Expr, names: &[String]) -> String {
     match e {
         Expr::Const(v) => v.to_string(),
+        Expr::BigConst(v) => v.to_string(),
         Expr::Local(l) => names[*l].clone(),
         Expr::Bin(op, a, b) => match op.token() {
             t @ ("min" | "max") => {
@@ -52,6 +53,7 @@ pub fn render_expr(e: &Expr, names: &[String]) -> String {
         Expr::Abs(a) => format!("abs({})", render_expr(a, names)),
         Expr::Neg(a) => format!("(-{})", render_expr(a, names)),
         Expr::Not(a) => format!("(!{})", render_expr(a, names)),
+        Expr::BitLen(a) => format!("bitlen({})", render_expr(a, names)),
     }
 }
 
@@ -65,6 +67,15 @@ fn render_stmt(s: &Stmt, names: &[String], depth: usize, out: &mut String) {
         Stmt::Byte(l) => {
             indent(depth, out);
             let _ = writeln!(out, "{} := probUniformByte();", names[*l]);
+        }
+        Stmt::UniformPow2(l, e) => {
+            indent(depth, out);
+            let _ = writeln!(
+                out,
+                "{} := probUniformPow2({});",
+                names[*l],
+                render_expr(e, names)
+            );
         }
         Stmt::Seq(ss) => ss.iter().for_each(|s| render_stmt(s, names, depth, out)),
         Stmt::If(c, t, e) => {

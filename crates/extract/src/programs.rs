@@ -10,6 +10,7 @@
 //! ships is a different syntax for the same byte-indexed function.
 
 use crate::ir::{BinOp, Expr, Local, Program, Stmt};
+use sampcert_arith::Nat;
 
 /// Which Laplace sampling loop to extract (mirrors
 /// `sampcert_samplers::LaplaceAlg`, minus the runtime switch, which is a
@@ -27,9 +28,22 @@ pub enum LoopKind {
 #[derive(Debug, Default)]
 struct Builder {
     names: Vec<String>,
+    /// Lower uniform draws to the bulk `UniformPow2` primitive instead of
+    /// the per-byte fold. Byte-stream-identical; the `*_program_nat`
+    /// builders use it so the compiled tier does not pay a multiply-add
+    /// per entropy byte at multi-limb widths. Legacy builders keep the
+    /// per-byte shape so their committed analyzer signatures stay put.
+    pow2_draws: bool,
 }
 
 impl Builder {
+    fn pow2() -> Self {
+        Builder {
+            names: Vec::new(),
+            pow2_draws: true,
+        }
+    }
+
     fn fresh(&mut self, name: &str) -> Local {
         self.names.push(format!("{name}{}", self.names.len()));
         self.names.len() - 1
@@ -44,10 +58,33 @@ fn l(x: Local) -> Expr {
     Expr::Local(x)
 }
 
+/// Lowers a `Nat` parameter to the narrowest literal: word-sized values
+/// stay on `Expr::Const` (the VM's unboxed fast path), multi-limb values
+/// become `Expr::BigConst`.
+fn cn(n: &Nat) -> Expr {
+    match n.to_u128() {
+        Some(v) if v <= i128::MAX as u128 => Expr::Const(v as i128),
+        _ => Expr::BigConst(n.clone()),
+    }
+}
+
+/// Short stable tag for a `Nat` parameter in program names: decimal when
+/// word-sized, bit length otherwise (a 128-limb decimal would be ~2500
+/// digits long).
+fn nat_tag(n: &Nat) -> String {
+    match n.to_u128() {
+        Some(v) => v.to_string(),
+        None => format!("{}b", n.bit_length()),
+    }
+}
+
 /// Emits `out := uniform below m` (runtime bound `m > 0`), by bit-length
 /// rejection over whole bytes — byte-compatible with
 /// `sampcert_samplers::uniform_below`.
 fn emit_uniform_below(b: &mut Builder, m: Expr, out: Local) -> Stmt {
+    if b.pow2_draws {
+        return emit_uniform_below_pow2(b, m, out);
+    }
     let bits = b.fresh("bits");
     let tmp = b.fresh("tmp");
     let pow2 = b.fresh("pow2");
@@ -95,6 +132,38 @@ fn emit_uniform_below(b: &mut Builder, m: Expr, out: Local) -> Stmt {
         .then(n_bytes)
         .then(Stmt::Assign(accept, c(0)))
         .then(Stmt::While(Expr::Not(Box::new(l(accept))), Box::new(draw)))
+}
+
+/// The `pow2_draws` lowering of `out := uniform below m`: one bulk
+/// `probUniformPow2(bitlen(m))` draw per rejection attempt. Consumes
+/// exactly the bytes of the per-byte shape above (big-endian fold of
+/// `ceil(bits/8)` bytes, masked to `bits`), matching the monadic
+/// `uniform_below`. A constant bound folds its bit length at build time;
+/// a runtime bound (the growing `den·k` of the von Neumann race) hoists
+/// one O(1) `bitlen` before the loop.
+fn emit_uniform_below_pow2(b: &mut Builder, m: Expr, out: Local) -> Stmt {
+    let accept = b.fresh("accept");
+    let (setup, bits_expr) = match &m {
+        Expr::Const(v) => {
+            assert!(*v > 0, "uniform bound must be positive");
+            (None, c(i128::from(128 - (*v as u128).leading_zeros())))
+        }
+        Expr::BigConst(n) => (None, c(n.bit_length() as i128)),
+        _ => {
+            let bits = b.fresh("bits");
+            (
+                Some(Stmt::Assign(bits, Expr::BitLen(Box::new(m.clone())))),
+                l(bits),
+            )
+        }
+    };
+    let draw = Stmt::UniformPow2(out, bits_expr).then(Stmt::Assign(accept, Expr::lt(l(out), m)));
+    let reject = Stmt::Assign(accept, c(0))
+        .then(Stmt::While(Expr::Not(Box::new(l(accept))), Box::new(draw)));
+    match setup {
+        Some(s) => s.then(reject),
+        None => reject,
+    }
 }
 
 /// Emits `out := Bernoulli(num/den)` as 0/1 (runtime parameters).
@@ -188,8 +257,8 @@ fn emit_geometric_exp_neg(b: &mut Builder, num: Expr, den: Expr, out: Local) -> 
 /// algorithm; scale `num/den` baked in as constants.
 fn emit_laplace_loop(
     b: &mut Builder,
-    num: u64,
-    den: u64,
+    num: &Nat,
+    den: &Nat,
     kind: LoopKind,
     sign: Local,
     mag: Local,
@@ -197,7 +266,7 @@ fn emit_laplace_loop(
     match kind {
         LoopKind::Geometric => {
             let v = b.fresh("v");
-            emit_geometric_exp_neg(b, c(den as i128), c(num as i128), v)
+            emit_geometric_exp_neg(b, cn(den), cn(num), v)
                 .then(emit_bernoulli(b, c(1), c(2), sign))
                 .then(Stmt::Assign(mag, Expr::sub(l(v), c(1))))
         }
@@ -207,24 +276,17 @@ fn emit_laplace_loop(
             let v = b.fresh("v");
             let x = b.fresh("x");
             // rejection: u ~ U[0,num) accepted with prob e^{-u/num}
-            let attempt = emit_uniform_below(b, c(num as i128), u).then(emit_exp_neg_unit(
-                b,
-                l(u),
-                c(num as i128),
-                d,
-            ));
+            let attempt =
+                emit_uniform_below(b, cn(num), u).then(emit_exp_neg_unit(b, l(u), cn(num), d));
             let accept_u = Stmt::Assign(d, c(0))
                 .then(Stmt::While(Expr::Not(Box::new(l(d))), Box::new(attempt)));
             accept_u
                 .then(emit_geometric_exp_neg(b, c(1), c(1), v))
                 .then(Stmt::Assign(
                     x,
-                    Expr::add(l(u), Expr::mul(c(num as i128), Expr::sub(l(v), c(1)))),
+                    Expr::add(l(u), Expr::mul(cn(num), Expr::sub(l(v), c(1)))),
                 ))
-                .then(Stmt::Assign(
-                    mag,
-                    Expr::bin(BinOp::Div, l(x), c(den as i128)),
-                ))
+                .then(Stmt::Assign(mag, Expr::bin(BinOp::Div, l(x), cn(den))))
                 .then(emit_bernoulli(b, c(1), c(2), sign))
         }
     }
@@ -318,7 +380,7 @@ pub fn laplace_program(num: u64, den: u64, kind: LoopKind) -> Program {
     let mag = b.fresh("mag");
     let done = b.fresh("done");
     let result = b.fresh("result");
-    let loop_block = emit_laplace_loop(&mut b, num, den, kind, sign, mag);
+    let loop_block = emit_laplace_loop(&mut b, &Nat::from(num), &Nat::from(den), kind, sign, mag);
     let body = Stmt::Assign(done, c(0)).then(Stmt::While(
         Expr::Not(Box::new(l(done))),
         Box::new(loop_block.then(Stmt::If(
@@ -366,7 +428,7 @@ pub fn gaussian_program(num: u64, den: u64, kind: LoopKind) -> Program {
     let sign = b.fresh("lsign");
     let mag = b.fresh("lmag");
     let ldone = b.fresh("ldone");
-    let lap_loop = emit_laplace_loop(&mut b, t as u64, 1, kind, sign, mag);
+    let lap_loop = emit_laplace_loop(&mut b, &Nat::from(t as u64), &Nat::one(), kind, sign, mag);
     let laplace_block = Stmt::Assign(ldone, c(0)).then(Stmt::While(
         Expr::Not(Box::new(l(ldone))),
         Box::new(lap_loop.then(Stmt::If(
@@ -405,6 +467,190 @@ pub fn gaussian_program(num: u64, den: u64, kind: LoopKind) -> Program {
     ));
     Program::new(
         format!("discrete_gaussian_{num}_{den}_{kind:?}"),
+        b.names,
+        body,
+        l(y),
+    )
+}
+
+/// Extracts `uniform below m` for an arbitrary-precision bound, using the
+/// bulk `UniformPow2` lowering — the compiled-tier counterpart of
+/// `sampcert_samplers::uniform_below` at any limb count, byte-compatible
+/// with the monadic interpreter.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn uniform_below_program_nat(m: &Nat) -> Program {
+    assert!(!m.is_zero(), "uniform_below_program: zero bound");
+    let mut b = Builder::pow2();
+    let out = b.fresh("out");
+    let body = emit_uniform_below(&mut b, cn(m), out);
+    Program::new(
+        format!("uniform_below_nat_{}", nat_tag(m)),
+        b.names,
+        body,
+        l(out),
+    )
+}
+
+/// Extracts `Bernoulli(num/den)` for arbitrary-precision parameters
+/// (compiled-tier counterpart of `sampcert_samplers::bernoulli`).
+///
+/// # Panics
+///
+/// Panics if `den` is zero or `num > den`.
+pub fn bernoulli_program_nat(num: &Nat, den: &Nat) -> Program {
+    assert!(!den.is_zero(), "bernoulli_program: zero denominator");
+    assert!(num <= den, "bernoulli_program: bias above one");
+    let mut b = Builder::pow2();
+    let out = b.fresh("out");
+    let body = emit_bernoulli(&mut b, cn(num), cn(den), out);
+    Program::new(
+        format!("bernoulli_nat_{}_{}", nat_tag(num), nat_tag(den)),
+        b.names,
+        body,
+        l(out),
+    )
+}
+
+/// Extracts `Bernoulli(e^{−num/den})` for arbitrary-precision parameters
+/// (compiled-tier counterpart of `sampcert_samplers::bernoulli_exp_neg`).
+///
+/// # Panics
+///
+/// Panics if `den` is zero.
+pub fn bernoulli_exp_neg_program_nat(num: &Nat, den: &Nat) -> Program {
+    assert!(
+        !den.is_zero(),
+        "bernoulli_exp_neg_program: zero denominator"
+    );
+    let mut b = Builder::pow2();
+    let out = b.fresh("out");
+    let body = emit_exp_neg(&mut b, cn(num), cn(den), out);
+    Program::new(
+        format!("bernoulli_exp_neg_nat_{}_{}", nat_tag(num), nat_tag(den)),
+        b.names,
+        body,
+        l(out),
+    )
+}
+
+/// Extracts the discrete Laplace sampler with arbitrary-precision scale
+/// `num/den` — the compiled execution tier's program for parameters
+/// outside the fused u128 box. Same structure as [`laplace_program`], but
+/// uniform draws lower to the bulk `UniformPow2` primitive and multi-limb
+/// parameters become `BigConst` literals.
+///
+/// # Panics
+///
+/// Panics if `num` or `den` is zero.
+pub fn laplace_program_nat(num: &Nat, den: &Nat, kind: LoopKind) -> Program {
+    assert!(
+        !num.is_zero() && !den.is_zero(),
+        "laplace_program: zero scale parameter"
+    );
+    let mut b = Builder::pow2();
+    let sign = b.fresh("sign");
+    let mag = b.fresh("mag");
+    let done = b.fresh("done");
+    let result = b.fresh("result");
+    let loop_block = emit_laplace_loop(&mut b, num, den, kind, sign, mag);
+    let body = Stmt::Assign(done, c(0)).then(Stmt::While(
+        Expr::Not(Box::new(l(done))),
+        Box::new(loop_block.then(Stmt::If(
+            Expr::bin(BinOp::And, l(sign), Expr::eq(l(mag), c(0))),
+            Box::new(Stmt::Skip), // (+,0): resample
+            Box::new(Stmt::Assign(done, c(1)).then(Stmt::If(
+                l(sign),
+                Box::new(Stmt::Assign(result, Expr::Neg(Box::new(l(mag))))),
+                Box::new(Stmt::Assign(result, l(mag))),
+            ))),
+        ))),
+    ));
+    Program::new(
+        format!(
+            "discrete_laplace_nat_{}_{}_{kind:?}",
+            nat_tag(num),
+            nat_tag(den)
+        ),
+        b.names,
+        body,
+        l(result),
+    )
+}
+
+/// Extracts the discrete Gaussian sampler for arbitrary-precision
+/// `σ = num/den` — no 2³² ceiling: the tagged-value VM promotes the
+/// squared intermediates to big integers as needed.
+///
+/// # Panics
+///
+/// Panics if `num` or `den` is zero.
+pub fn gaussian_program_nat(num: &Nat, den: &Nat, kind: LoopKind) -> Program {
+    assert!(
+        !num.is_zero() && !den.is_zero(),
+        "gaussian_program: zero sigma parameter"
+    );
+    let (q, _) = num.div_rem(den);
+    let t = &q + &Nat::one();
+    let num_sq = num.pow(2);
+    let den_sq = den.pow(2);
+    let bound = &(&Nat::from(2u64) * &num_sq) * &(&(&t * &t) * &den_sq);
+
+    let mut b = Builder::pow2();
+    let y = b.fresh("y");
+    let diff = b.fresh("diff");
+    let acc = b.fresh("accept");
+    let done = b.fresh("done");
+
+    // Inline Laplace(t, 1) — exactly what the fused sampler does.
+    let sign = b.fresh("lsign");
+    let mag = b.fresh("lmag");
+    let ldone = b.fresh("ldone");
+    let lap_loop = emit_laplace_loop(&mut b, &t, &Nat::one(), kind, sign, mag);
+    let laplace_block = Stmt::Assign(ldone, c(0)).then(Stmt::While(
+        Expr::Not(Box::new(l(ldone))),
+        Box::new(lap_loop.then(Stmt::If(
+            Expr::bin(BinOp::And, l(sign), Expr::eq(l(mag), c(0))),
+            Box::new(Stmt::Skip),
+            Box::new(Stmt::Assign(ldone, c(1)).then(Stmt::If(
+                l(sign),
+                Box::new(Stmt::Assign(y, Expr::Neg(Box::new(l(mag))))),
+                Box::new(Stmt::Assign(y, l(mag))),
+            ))),
+        ))),
+    ));
+
+    // diff = | |y|·t·den² − num² |; accept ~ Bernoulli(e^{−diff²/bound}).
+    let accept_block = Stmt::Assign(
+        diff,
+        Expr::Abs(Box::new(Expr::sub(
+            Expr::mul(Expr::Abs(Box::new(l(y))), Expr::mul(cn(&t), cn(&den_sq))),
+            cn(&num_sq),
+        ))),
+    )
+    .then(emit_exp_neg(
+        &mut b,
+        Expr::mul(l(diff), l(diff)),
+        cn(&bound),
+        acc,
+    ));
+
+    let body = Stmt::Assign(done, c(0)).then(Stmt::While(
+        Expr::Not(Box::new(l(done))),
+        Box::new(laplace_block.then(accept_block).then(Stmt::If(
+            l(acc),
+            Box::new(Stmt::Assign(done, c(1))),
+            Box::new(Stmt::Skip),
+        ))),
+    ));
+    Program::new(
+        format!(
+            "discrete_gaussian_nat_{}_{}_{kind:?}",
+            nat_tag(num),
+            nat_tag(den)
+        ),
         b.names,
         body,
         l(y),
@@ -453,6 +699,12 @@ pub fn registered_programs() -> Vec<RegisteredProgram> {
             expected_worst_case_bytes: None,
         },
         RegisteredProgram {
+            name: "uniform_below_nat_10",
+            program: uniform_below_program_nat(&Nat::from(10u64)),
+            expected_verdict: EXPECT_UNIFORM_BELOW_NAT,
+            expected_worst_case_bytes: None,
+        },
+        RegisteredProgram {
             name: "geometric_1_2",
             program: geometric_program(1, 2),
             expected_verdict: EXPECT_GEOMETRIC,
@@ -484,6 +736,9 @@ pub fn registered_programs() -> Vec<RegisteredProgram> {
 // drift is a reviewed change). See `crate::Verdict::signature` for the
 // format.
 const EXPECT_UNIFORM_BELOW: &str = "leaks{loop-bound:2, op-latency:1}";
+// The pow2-draw lowering has no mod, no per-byte loop and a build-time
+// constant bit width: the rejection loop itself is the only channel.
+const EXPECT_UNIFORM_BELOW_NAT: &str = "leaks{loop-bound:1}";
 const EXPECT_GEOMETRIC: &str = "leaks{branch:5, loop-bound:14, op-latency:3}";
 const EXPECT_LAPLACE_GEOMETRIC: &str = "leaks{branch:7, loop-bound:18, op-latency:4}";
 const EXPECT_LAPLACE_UNIFORM: &str = "leaks{branch:8, loop-bound:26, op-latency:6}";
@@ -493,7 +748,7 @@ const EXPECT_GAUSSIAN_GEOMETRIC: &str = "leaks{branch:14, loop-bound:32, op-late
 mod tests {
     use super::*;
     use crate::vm::{compile, interpret, Vm};
-    use sampcert_slang::SeededByteSource;
+    use sampcert_slang::{ByteSource, SeededByteSource};
 
     #[test]
     fn registry_signatures_match_analyzer() {
@@ -567,5 +822,40 @@ mod tests {
     #[should_panic(expected = "zero scale parameter")]
     fn zero_scale_rejected() {
         let _ = laplace_program(0, 1, LoopKind::Geometric);
+    }
+
+    #[test]
+    fn nat_lowering_matches_legacy_bytewise() {
+        // The pow2-draw lowering consumes the identical byte stream as the
+        // per-byte legacy shape: same values, same entropy positions.
+        for kind in [LoopKind::Geometric, LoopKind::Uniform] {
+            let legacy = Vm::new(compile(&laplace_program(5, 2, kind)));
+            let nat = Vm::new(compile(&laplace_program_nat(
+                &Nat::from(5u64),
+                &Nat::from(2u64),
+                kind,
+            )));
+            for seed in 0..8u64 {
+                let mut s1 = SeededByteSource::new(seed);
+                let mut s2 = SeededByteSource::new(seed);
+                for _ in 0..40 {
+                    assert_eq!(legacy.run(&mut s1), nat.run(&mut s2), "{kind:?} {seed}");
+                }
+                assert_eq!(s1.next_byte(), s2.next_byte(), "streams diverged");
+            }
+        }
+        let legacy = Vm::new(compile(&gaussian_program(4, 1, LoopKind::Geometric)));
+        let nat = Vm::new(compile(&gaussian_program_nat(
+            &Nat::from(4u64),
+            &Nat::from(1u64),
+            LoopKind::Geometric,
+        )));
+        for seed in 0..8u64 {
+            let mut s1 = SeededByteSource::new(seed);
+            let mut s2 = SeededByteSource::new(seed);
+            for _ in 0..20 {
+                assert_eq!(legacy.run(&mut s1), nat.run(&mut s2), "gauss {seed}");
+            }
+        }
     }
 }

@@ -222,10 +222,10 @@ impl Ctx<'_> {
 
 fn expr_tainted(e: &Expr, taint: &[bool]) -> bool {
     match e {
-        Expr::Const(_) => false,
+        Expr::Const(_) | Expr::BigConst(_) => false,
         Expr::Local(l) => taint[*l],
         Expr::Bin(_, a, b) => expr_tainted(a, taint) || expr_tainted(b, taint),
-        Expr::Abs(a) | Expr::Neg(a) | Expr::Not(a) => expr_tainted(a, taint),
+        Expr::Abs(a) | Expr::Neg(a) | Expr::Not(a) | Expr::BitLen(a) => expr_tainted(a, taint),
     }
 }
 
@@ -241,7 +241,7 @@ fn const_pow2(e: &Expr) -> bool {
 /// tainted operand (see [`const_pow2`] for the divisor exemption).
 fn scan_op_latency(e: &Expr, taint: &[bool], ctx: &mut Ctx<'_>) {
     match e {
-        Expr::Const(_) | Expr::Local(_) => {}
+        Expr::Const(_) | Expr::BigConst(_) | Expr::Local(_) => {}
         Expr::Bin(op, a, b) => {
             if matches!(op, BinOp::Div | BinOp::Mod)
                 && (expr_tainted(a, taint) || expr_tainted(b, taint))
@@ -252,7 +252,11 @@ fn scan_op_latency(e: &Expr, taint: &[bool], ctx: &mut Ctx<'_>) {
             scan_op_latency(a, taint, ctx);
             scan_op_latency(b, taint, ctx);
         }
-        Expr::Abs(a) | Expr::Neg(a) | Expr::Not(a) => scan_op_latency(a, taint, ctx),
+        // Bit length is O(1) at any width (limb count + a leading-zeros
+        // count on the top limb), so it is not a latency channel itself.
+        Expr::Abs(a) | Expr::Neg(a) | Expr::Not(a) | Expr::BitLen(a) => {
+            scan_op_latency(a, taint, ctx);
+        }
     }
 }
 
@@ -281,6 +285,23 @@ fn exec(s: &Stmt, taint: &mut Vec<bool>, pc: bool, ctx: &mut Ctx<'_>, report: bo
             taint[*l] = pc || expr_tainted(e, taint);
         }
         Stmt::Byte(l) => taint[*l] = true,
+        Stmt::UniformPow2(l, e) => {
+            if report {
+                scan_op_latency(e, taint, ctx);
+                if expr_tainted(e, taint) {
+                    // The number of bytes drawn — an adversary-visible
+                    // quantity — depends on an entropy-derived width.
+                    let tainted = ctx.tainted_reads(e, taint);
+                    ctx.findings.push(Finding {
+                        kind: LeakKind::LoopBound,
+                        path: ctx.path.clone(),
+                        snippet: format!("probUniformPow2({})", render_expr(e, ctx.names)),
+                        tainted,
+                    });
+                }
+            }
+            taint[*l] = true;
+        }
         Stmt::Seq(ss) => ss.iter().for_each(|s| exec(s, taint, pc, ctx, report)),
         Stmt::If(c, t, e) => {
             let cond_tainted = expr_tainted(c, taint);

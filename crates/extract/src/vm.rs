@@ -8,15 +8,277 @@
 //! the trusted step the paper's extraction worries about. Its faithfulness
 //! is established by differential testing: AST interpreter = VM = fused
 //! reference samplers, byte-for-byte on shared entropy.
+//!
+//! Values are tagged word-or-big integers ([`Value`]): programs whose
+//! intermediates fit `i128` run entirely on the unboxed fast path, and
+//! only multi-limb parameters (σ beyond the fused box) touch [`Int`]
+//! arithmetic. Overflowing `i128` arithmetic promotes to the big
+//! representation instead of panicking, so a single bytecode program is
+//! correct at every parameter width.
 
 use crate::ir::{BinOp, Expr, Program, Stmt};
+use sampcert_arith::{Int, Nat};
 use sampcert_slang::ByteSource;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A VM value: unboxed `i128` word, or a heap big integer for values
+/// outside the word range.
+///
+/// Invariant: `Big` is only ever constructed for values that do **not**
+/// fit `i128` (enforced by [`Value::from_int`]). Comparisons and zero
+/// tests exploit this — a `Big` value is never zero and its sign alone
+/// orders it against any `Small`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A word-sized value (the hot representation).
+    Small(i128),
+    /// A value outside `i128` range.
+    Big(Int),
+}
+
+impl Value {
+    /// Zero, in the canonical (small) representation.
+    pub const ZERO: Value = Value::Small(0);
+
+    /// Normalizes an [`Int`] into the canonical representation.
+    pub fn from_int(v: Int) -> Value {
+        match int_to_i128(&v) {
+            Some(s) => Value::Small(s),
+            None => Value::Big(v),
+        }
+    }
+
+    /// Normalizes a [`Nat`] into the canonical representation.
+    pub fn from_nat(v: &Nat) -> Value {
+        match v.to_u128() {
+            Some(u) if u <= i128::MAX as u128 => Value::Small(u as i128),
+            _ => Value::Big(Int::from_nat(v.clone())),
+        }
+    }
+
+    /// The value as an `i128`, or `None` when it is out of word range.
+    pub fn to_i128(&self) -> Option<i128> {
+        match self {
+            Value::Small(v) => Some(*v),
+            Value::Big(_) => None, // by invariant: out of i128 range
+        }
+    }
+
+    /// The value as an [`Int`] (always succeeds).
+    pub fn to_int(&self) -> Int {
+        match self {
+            Value::Small(v) => Int::from(*v),
+            Value::Big(v) => v.clone(),
+        }
+    }
+
+    /// The value as a [`Nat`], or `None` when negative.
+    pub fn to_nat(&self) -> Option<Nat> {
+        match self {
+            Value::Small(v) if *v >= 0 => Some(Nat::from(*v as u128)),
+            Value::Small(_) => None,
+            Value::Big(v) if !v.is_negative() => Some(v.magnitude().clone()),
+            Value::Big(_) => None,
+        }
+    }
+
+    /// Truthiness over the IR's 0/1 booleans (any nonzero is true).
+    fn is_true(&self) -> bool {
+        // A Big value is never zero by the normalization invariant.
+        !matches!(self, Value::Small(0))
+    }
+
+    /// Bit length of the magnitude (`0` for `0`).
+    fn bit_len(&self) -> u64 {
+        match self {
+            Value::Small(v) => u64::from(128 - v.unsigned_abs().leading_zeros()),
+            Value::Big(v) => v.magnitude().bit_length(),
+        }
+    }
+}
+
+fn int_to_i128(v: &Int) -> Option<i128> {
+    let mag = v.magnitude().to_u128()?;
+    if v.is_negative() {
+        // −2^127 (i128::MIN) is representable; wrapping_neg maps the
+        // magnitude 2^127 onto it exactly.
+        (mag <= 1u128 << 127).then(|| (mag as i128).wrapping_neg())
+    } else {
+        (mag <= i128::MAX as u128).then_some(mag as i128)
+    }
+}
+
+/// Total order across both representations without allocating: a `Big`
+/// value lies outside `i128` range, so its sign decides against `Small`.
+fn cmp_values(a: &Value, b: &Value) -> Ordering {
+    match (a, b) {
+        (Value::Small(x), Value::Small(y)) => x.cmp(y),
+        (Value::Small(_), Value::Big(y)) => {
+            if y.is_negative() {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }
+        }
+        (Value::Big(x), Value::Small(_)) => {
+            if x.is_negative() {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (Value::Big(x), Value::Big(y)) => x.cmp(y),
+    }
+}
+
+/// A recoverable execution error. Structurally valid bytecode can still
+/// divide by zero or compute a nonsensical draw width at runtime; the
+/// production dispatch tier must not crash on those, so [`Vm::try_run`]
+/// surfaces them as values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// `Div` or `Mod` with a zero divisor.
+    DivisionByZero,
+    /// `UniformPow2` with a negative or absurdly large bit width.
+    BadUniformWidth,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::DivisionByZero => write!(f, "division by zero"),
+            VmError::BadUniformWidth => write!(f, "uniform draw width out of range"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Applies a binary operator over [`Value`]s. Word-sized operands stay on
+/// checked `i128` arithmetic and promote to [`Int`] only on overflow.
+fn bin_values(op: BinOp, a: Value, b: Value) -> Result<Value, VmError> {
+    if let (Value::Small(x), Value::Small(y)) = (&a, &b) {
+        let (x, y) = (*x, *y);
+        let small = match op {
+            BinOp::Add => x.checked_add(y),
+            BinOp::Sub => x.checked_sub(y),
+            BinOp::Mul => x.checked_mul(y),
+            // i128::MIN / −1 overflows; fall through to the big path.
+            BinOp::Div if y != 0 => x.checked_div_euclid(y),
+            BinOp::Mod if y != 0 => x.checked_rem_euclid(y),
+            BinOp::Div | BinOp::Mod => return Err(VmError::DivisionByZero),
+            BinOp::Min => Some(x.min(y)),
+            BinOp::Max => Some(x.max(y)),
+            BinOp::Lt => Some(i128::from(x < y)),
+            BinOp::Le => Some(i128::from(x <= y)),
+            BinOp::Eq => Some(i128::from(x == y)),
+            BinOp::And => Some(i128::from(x != 0 && y != 0)),
+            BinOp::Or => Some(i128::from(x != 0 || y != 0)),
+        };
+        if let Some(v) = small {
+            return Ok(Value::Small(v));
+        }
+    }
+    match op {
+        BinOp::Add => Ok(Value::from_int(&a.to_int() + &b.to_int())),
+        BinOp::Sub => Ok(Value::from_int(&a.to_int() - &b.to_int())),
+        BinOp::Mul => Ok(Value::from_int(&a.to_int() * &b.to_int())),
+        BinOp::Div | BinOp::Mod => {
+            let d = b.to_int();
+            if d.is_zero() {
+                return Err(VmError::DivisionByZero);
+            }
+            let (q, r) = a.to_int().div_rem_euclid(&d);
+            Ok(Value::from_int(if op == BinOp::Div { q } else { r }))
+        }
+        BinOp::Min => Ok(if cmp_values(&a, &b) == Ordering::Greater {
+            b
+        } else {
+            a
+        }),
+        BinOp::Max => Ok(if cmp_values(&a, &b) == Ordering::Less {
+            b
+        } else {
+            a
+        }),
+        BinOp::Lt => Ok(Value::Small(i128::from(
+            cmp_values(&a, &b) == Ordering::Less,
+        ))),
+        BinOp::Le => Ok(Value::Small(i128::from(
+            cmp_values(&a, &b) != Ordering::Greater,
+        ))),
+        BinOp::Eq => Ok(Value::Small(i128::from(a == b))),
+        BinOp::And => Ok(Value::Small(i128::from(a.is_true() && b.is_true()))),
+        BinOp::Or => Ok(Value::Small(i128::from(a.is_true() || b.is_true()))),
+    }
+}
+
+fn abs_value(v: Value) -> Value {
+    match v {
+        Value::Small(s) => match s.checked_abs() {
+            Some(a) => Value::Small(a),
+            // |i128::MIN| = 2^127, one past i128::MAX.
+            None => Value::Big(Int::from_nat(Nat::from(s.unsigned_abs()))),
+        },
+        // |Big| keeps its magnitude ≥ 2^127 > i128::MAX: still Big.
+        Value::Big(b) => Value::Big(b.abs()),
+    }
+}
+
+fn neg_value(v: Value) -> Value {
+    match v {
+        Value::Small(s) => match s.checked_neg() {
+            Some(n) => Value::Small(n),
+            None => Value::Big(Int::from_nat(Nat::from(s.unsigned_abs()))),
+        },
+        // −Big(2^127) lands exactly on i128::MIN: renormalize.
+        Value::Big(b) => Value::from_int(-b),
+    }
+}
+
+fn not_value(v: &Value) -> Value {
+    Value::Small(i128::from(!v.is_true()))
+}
+
+/// Uniform draw semantics shared by the VM opcode, the AST interpreter
+/// and the monadic `uniform_pow2`: fold `ceil(bits/8)` whole bytes
+/// big-endian, then mask to the low `bits` bits.
+fn draw_uniform_pow2(bits: u32, src: &mut dyn ByteSource) -> Value {
+    let n_bytes = bits.div_ceil(8);
+    if bits <= 120 {
+        let mut v: u128 = 0;
+        for _ in 0..n_bytes {
+            v = (v << 8) | src.next_byte() as u128;
+        }
+        let mask = if bits == 0 { 0 } else { (1u128 << bits) - 1 };
+        Value::Small((v & mask) as i128)
+    } else {
+        // Bulk-draw through the source's block API: `ByteSource::fill` is
+        // contractually byte-identical to per-byte `next_byte` calls, so
+        // the stream (and every equality test against the monadic
+        // sampler) is unchanged — only the per-byte virtual dispatch goes.
+        let mut buf = vec![0u8; n_bytes as usize];
+        src.fill(&mut buf);
+        Value::from_nat(&Nat::from_be_bytes(&buf).low_bits(u64::from(bits)))
+    }
+}
+
+fn uniform_width(bits: &Value) -> Result<u32, VmError> {
+    match bits.to_i128() {
+        Some(b) if (0..=i128::from(u32::MAX)).contains(&b) => Ok(b as u32),
+        _ => Err(VmError::BadUniformWidth),
+    }
+}
 
 /// One bytecode instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Push a constant.
     Push(i128),
+    /// Push a big constant from the [`Bytecode::big_consts`] side table.
+    PushBig(usize),
     /// Push the value of a local.
     Load(usize),
     /// Pop into a local.
@@ -29,8 +291,13 @@ pub enum Op {
     Neg,
     /// Pop one, push 1−min(v,1) normalized over 0/1.
     Not,
+    /// Pop one, push the bit length of its magnitude.
+    BitLen,
     /// Push one uniform random byte.
     Byte,
+    /// Pop a bit width, draw `ceil(bits/8)` bytes folded big-endian,
+    /// push the fold masked to the low `bits` bits.
+    UniformPow2,
     /// Unconditional jump to an absolute instruction index.
     Jmp(usize),
     /// Pop; jump when zero.
@@ -44,6 +311,8 @@ pub enum Op {
 pub struct Bytecode {
     /// Instruction stream.
     pub ops: Vec<Op>,
+    /// Big literals referenced by [`Op::PushBig`] (deduplicated).
+    pub big_consts: Vec<Nat>,
     /// Number of locals.
     pub n_locals: usize,
     /// Program name (diagnostics).
@@ -53,71 +322,93 @@ pub struct Bytecode {
 /// Compiles an IR program to bytecode.
 pub fn compile(p: &Program) -> Bytecode {
     let mut ops = Vec::new();
-    compile_stmt(&p.body, &mut ops);
-    compile_expr(&p.result, &mut ops);
+    let mut big_consts = Vec::new();
+    compile_stmt(&p.body, &mut ops, &mut big_consts);
+    compile_expr(&p.result, &mut ops, &mut big_consts);
     ops.push(Op::Halt);
     Bytecode {
         ops,
+        big_consts,
         n_locals: p.n_locals,
         name: p.name.clone(),
     }
 }
 
-fn compile_expr(e: &Expr, ops: &mut Vec<Op>) {
+fn intern_big(v: &Nat, big_consts: &mut Vec<Nat>) -> usize {
+    big_consts.iter().position(|c| c == v).unwrap_or_else(|| {
+        big_consts.push(v.clone());
+        big_consts.len() - 1
+    })
+}
+
+fn compile_expr(e: &Expr, ops: &mut Vec<Op>, big_consts: &mut Vec<Nat>) {
     match e {
         Expr::Const(v) => ops.push(Op::Push(*v)),
+        Expr::BigConst(v) => {
+            let idx = intern_big(v, big_consts);
+            ops.push(Op::PushBig(idx));
+        }
         Expr::Local(l) => ops.push(Op::Load(*l)),
         Expr::Bin(op, a, b) => {
-            compile_expr(a, ops);
-            compile_expr(b, ops);
+            compile_expr(a, ops, big_consts);
+            compile_expr(b, ops, big_consts);
             ops.push(Op::Bin(*op));
         }
         Expr::Abs(a) => {
-            compile_expr(a, ops);
+            compile_expr(a, ops, big_consts);
             ops.push(Op::Abs);
         }
         Expr::Neg(a) => {
-            compile_expr(a, ops);
+            compile_expr(a, ops, big_consts);
             ops.push(Op::Neg);
         }
         Expr::Not(a) => {
-            compile_expr(a, ops);
+            compile_expr(a, ops, big_consts);
             ops.push(Op::Not);
+        }
+        Expr::BitLen(a) => {
+            compile_expr(a, ops, big_consts);
+            ops.push(Op::BitLen);
         }
     }
 }
 
-fn compile_stmt(s: &Stmt, ops: &mut Vec<Op>) {
+fn compile_stmt(s: &Stmt, ops: &mut Vec<Op>, big_consts: &mut Vec<Nat>) {
     match s {
         Stmt::Skip => {}
         Stmt::Assign(l, e) => {
-            compile_expr(e, ops);
+            compile_expr(e, ops, big_consts);
             ops.push(Op::Store(*l));
         }
         Stmt::Byte(l) => {
             ops.push(Op::Byte);
             ops.push(Op::Store(*l));
         }
-        Stmt::Seq(ss) => ss.iter().for_each(|s| compile_stmt(s, ops)),
+        Stmt::UniformPow2(l, e) => {
+            compile_expr(e, ops, big_consts);
+            ops.push(Op::UniformPow2);
+            ops.push(Op::Store(*l));
+        }
+        Stmt::Seq(ss) => ss.iter().for_each(|s| compile_stmt(s, ops, big_consts)),
         Stmt::If(c, t, e) => {
-            compile_expr(c, ops);
+            compile_expr(c, ops, big_consts);
             let jz_at = ops.len();
             ops.push(Op::JmpIfZero(usize::MAX)); // patched below
-            compile_stmt(t, ops);
+            compile_stmt(t, ops, big_consts);
             let jend_at = ops.len();
             ops.push(Op::Jmp(usize::MAX)); // patched below
             let else_start = ops.len();
-            compile_stmt(e, ops);
+            compile_stmt(e, ops, big_consts);
             let end = ops.len();
             ops[jz_at] = Op::JmpIfZero(else_start);
             ops[jend_at] = Op::Jmp(end);
         }
         Stmt::While(c, b) => {
             let head = ops.len();
-            compile_expr(c, ops);
+            compile_expr(c, ops, big_consts);
             let jz_at = ops.len();
             ops.push(Op::JmpIfZero(usize::MAX));
-            compile_stmt(b, ops);
+            compile_stmt(b, ops, big_consts);
             ops.push(Op::Jmp(head));
             let end = ops.len();
             ops[jz_at] = Op::JmpIfZero(end);
@@ -145,64 +436,131 @@ pub struct RunTrace {
     pub bytes: u64,
 }
 
+/// Instrumentation hook for the single interpreter loop. `NoTrace`
+/// monomorphizes to nothing; `Counting` tallies the timing observables.
+/// One loop serves [`Vm::run`], [`Vm::run_traced`] and [`Vm::try_run`],
+/// so new opcodes cannot drift between traced and untraced execution.
+trait Tracer {
+    fn instr(&mut self);
+    fn bytes(&mut self, n: u64);
+}
+
+struct NoTrace;
+
+impl Tracer for NoTrace {
+    #[inline(always)]
+    fn instr(&mut self) {}
+    #[inline(always)]
+    fn bytes(&mut self, _n: u64) {}
+}
+
+#[derive(Default)]
+struct Counting {
+    instructions: u64,
+    bytes: u64,
+}
+
+impl Tracer for Counting {
+    #[inline(always)]
+    fn instr(&mut self) {
+        self.instructions += 1;
+    }
+    #[inline(always)]
+    fn bytes(&mut self, n: u64) {
+        self.bytes += n;
+    }
+}
+
 /// The stack virtual machine.
 #[derive(Debug)]
 pub struct Vm {
-    code: Bytecode,
+    code: Arc<Bytecode>,
 }
 
 impl Vm {
     /// Loads a compiled program.
     pub fn new(code: Bytecode) -> Self {
+        Vm {
+            code: Arc::new(code),
+        }
+    }
+
+    /// Loads a shared compiled program (the parameter-keyed program cache
+    /// hands out `Arc<Bytecode>`; this avoids cloning the instruction
+    /// stream per sampler instantiation).
+    pub fn shared(code: Arc<Bytecode>) -> Self {
         Vm { code }
+    }
+
+    /// The single interpreter loop, monomorphized over the tracer.
+    fn run_inner<T: Tracer>(&self, src: &mut dyn ByteSource, t: &mut T) -> Result<Value, VmError> {
+        let mut locals = vec![Value::ZERO; self.code.n_locals];
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+        loop {
+            t.instr();
+            match self.code.ops[pc] {
+                Op::Push(v) => stack.push(Value::Small(v)),
+                Op::PushBig(i) => stack.push(Value::from_nat(&self.code.big_consts[i])),
+                Op::Load(l) => stack.push(locals[l].clone()),
+                Op::Store(l) => locals[l] = stack.pop().expect("stack underflow"),
+                Op::Bin(op) => {
+                    let b = stack.pop().expect("stack underflow");
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(bin_values(op, a, b)?);
+                }
+                Op::Abs => {
+                    let v = stack.pop().expect("stack underflow");
+                    stack.push(abs_value(v));
+                }
+                Op::Neg => {
+                    let v = stack.pop().expect("stack underflow");
+                    stack.push(neg_value(v));
+                }
+                Op::Not => {
+                    let v = stack.pop().expect("stack underflow");
+                    stack.push(not_value(&v));
+                }
+                Op::BitLen => {
+                    let v = stack.pop().expect("stack underflow");
+                    stack.push(Value::Small(v.bit_len() as i128));
+                }
+                Op::Byte => {
+                    t.bytes(1);
+                    stack.push(Value::Small(src.next_byte() as i128));
+                }
+                Op::UniformPow2 => {
+                    let bits = uniform_width(&stack.pop().expect("stack underflow"))?;
+                    t.bytes(u64::from(bits.div_ceil(8)));
+                    stack.push(draw_uniform_pow2(bits, src));
+                }
+                Op::Jmp(target) => {
+                    pc = target;
+                    continue;
+                }
+                Op::JmpIfZero(target) => {
+                    if !stack.pop().expect("stack underflow").is_true() {
+                        pc = target;
+                        continue;
+                    }
+                }
+                Op::Halt => return Ok(stack.pop().expect("empty stack at halt")),
+            }
+            pc += 1;
+        }
     }
 
     /// Runs the program against a byte source, returning the result.
     ///
     /// # Panics
     ///
-    /// Panics on malformed bytecode (impossible for [`compile`] output)
-    /// or IR arithmetic overflow.
+    /// Panics on malformed bytecode (impossible for [`compile`] output),
+    /// division by zero, or a result outside `i128` — the analyzer's
+    /// registry programs are trusted not to do any of these.
     pub fn run(&self, src: &mut dyn ByteSource) -> i128 {
-        let mut locals = vec![0i128; self.code.n_locals];
-        let mut stack: Vec<i128> = Vec::with_capacity(16);
-        let mut pc = 0usize;
-        loop {
-            match self.code.ops[pc] {
-                Op::Push(v) => stack.push(v),
-                Op::Load(l) => stack.push(locals[l]),
-                Op::Store(l) => locals[l] = stack.pop().expect("stack underflow"),
-                Op::Bin(op) => {
-                    let b = stack.pop().expect("stack underflow");
-                    let a = stack.pop().expect("stack underflow");
-                    stack.push(op.apply(a, b));
-                }
-                Op::Abs => {
-                    let v = stack.pop().expect("stack underflow");
-                    stack.push(v.abs());
-                }
-                Op::Neg => {
-                    let v = stack.pop().expect("stack underflow");
-                    stack.push(-v);
-                }
-                Op::Not => {
-                    let v = stack.pop().expect("stack underflow");
-                    stack.push(i128::from(v == 0));
-                }
-                Op::Byte => stack.push(src.next_byte() as i128),
-                Op::Jmp(t) => {
-                    pc = t;
-                    continue;
-                }
-                Op::JmpIfZero(t) => {
-                    if stack.pop().expect("stack underflow") == 0 {
-                        pc = t;
-                        continue;
-                    }
-                }
-                Op::Halt => return stack.pop().expect("empty stack at halt"),
-            }
-            pc += 1;
+        match self.run_inner(src, &mut NoTrace) {
+            Ok(v) => v.to_i128().expect("result exceeds i128"),
+            Err(e) => panic!("vm error in {}: {e}", self.code.name),
         }
     }
 
@@ -213,97 +571,77 @@ impl Vm {
     ///
     /// # Panics
     ///
-    /// Panics on malformed bytecode (impossible for [`compile`] output)
-    /// or IR arithmetic overflow.
+    /// Panics under the same conditions as [`Vm::run`].
     pub fn run_traced(&self, src: &mut dyn ByteSource) -> RunTrace {
-        let mut locals = vec![0i128; self.code.n_locals];
-        let mut stack: Vec<i128> = Vec::with_capacity(16);
-        let mut pc = 0usize;
-        let mut instructions = 0u64;
-        let mut bytes = 0u64;
-        loop {
-            instructions += 1;
-            match self.code.ops[pc] {
-                Op::Push(v) => stack.push(v),
-                Op::Load(l) => stack.push(locals[l]),
-                Op::Store(l) => locals[l] = stack.pop().expect("stack underflow"),
-                Op::Bin(op) => {
-                    let b = stack.pop().expect("stack underflow");
-                    let a = stack.pop().expect("stack underflow");
-                    stack.push(op.apply(a, b));
-                }
-                Op::Abs => {
-                    let v = stack.pop().expect("stack underflow");
-                    stack.push(v.abs());
-                }
-                Op::Neg => {
-                    let v = stack.pop().expect("stack underflow");
-                    stack.push(-v);
-                }
-                Op::Not => {
-                    let v = stack.pop().expect("stack underflow");
-                    stack.push(i128::from(v == 0));
-                }
-                Op::Byte => {
-                    bytes += 1;
-                    stack.push(src.next_byte() as i128);
-                }
-                Op::Jmp(t) => {
-                    pc = t;
-                    continue;
-                }
-                Op::JmpIfZero(t) => {
-                    if stack.pop().expect("stack underflow") == 0 {
-                        pc = t;
-                        continue;
-                    }
-                }
-                Op::Halt => {
-                    return RunTrace {
-                        result: stack.pop().expect("empty stack at halt"),
-                        instructions,
-                        bytes,
-                    }
-                }
-            }
-            pc += 1;
+        let mut t = Counting::default();
+        match self.run_inner(src, &mut t) {
+            Ok(v) => RunTrace {
+                result: v.to_i128().expect("result exceeds i128"),
+                instructions: t.instructions,
+                bytes: t.bytes,
+            },
+            Err(e) => panic!("vm error in {}: {e}", self.code.name),
         }
+    }
+
+    /// Checked execution for the production dispatch tier: runtime faults
+    /// (division by zero, bad draw widths) come back as [`VmError`]
+    /// instead of panicking, and results keep their full width as
+    /// [`Value`]. The samplers fall back to the monadic interpreter when
+    /// this errs.
+    pub fn try_run(&self, src: &mut dyn ByteSource) -> Result<Value, VmError> {
+        self.run_inner(src, &mut NoTrace)
     }
 }
 
 /// Directly interprets the IR AST (the semantic reference for the VM).
+///
+/// # Panics
+///
+/// Panics on division by zero or a result outside `i128` (it is the
+/// semantic reference, not a production path).
 pub fn interpret(p: &Program, src: &mut dyn ByteSource) -> i128 {
-    let mut locals = vec![0i128; p.n_locals];
+    let mut locals = vec![Value::ZERO; p.n_locals];
     exec(&p.body, &mut locals, src);
     eval(&p.result, &locals)
+        .to_i128()
+        .expect("result exceeds i128")
 }
 
-fn eval(e: &Expr, locals: &[i128]) -> i128 {
+fn eval(e: &Expr, locals: &[Value]) -> Value {
     match e {
-        Expr::Const(v) => *v,
-        Expr::Local(l) => locals[*l],
-        Expr::Bin(op, a, b) => op.apply(eval(a, locals), eval(b, locals)),
-        Expr::Abs(a) => eval(a, locals).abs(),
-        Expr::Neg(a) => -eval(a, locals),
-        Expr::Not(a) => i128::from(eval(a, locals) == 0),
+        Expr::Const(v) => Value::Small(*v),
+        Expr::BigConst(v) => Value::from_nat(v),
+        Expr::Local(l) => locals[*l].clone(),
+        Expr::Bin(op, a, b) => {
+            bin_values(*op, eval(a, locals), eval(b, locals)).expect("IR arithmetic fault")
+        }
+        Expr::Abs(a) => abs_value(eval(a, locals)),
+        Expr::Neg(a) => neg_value(eval(a, locals)),
+        Expr::Not(a) => not_value(&eval(a, locals)),
+        Expr::BitLen(a) => Value::Small(eval(a, locals).bit_len() as i128),
     }
 }
 
-fn exec(s: &Stmt, locals: &mut [i128], src: &mut dyn ByteSource) {
+fn exec(s: &Stmt, locals: &mut [Value], src: &mut dyn ByteSource) {
     match s {
         Stmt::Skip => {}
         Stmt::Assign(l, e) => locals[*l] = eval(e, locals),
-        Stmt::Byte(l) => locals[*l] = src.next_byte() as i128,
+        Stmt::Byte(l) => locals[*l] = Value::Small(src.next_byte() as i128),
+        Stmt::UniformPow2(l, e) => {
+            let bits = uniform_width(&eval(e, locals)).expect("IR uniform width fault");
+            locals[*l] = draw_uniform_pow2(bits, src);
+        }
         Stmt::Seq(ss) => ss.iter().for_each(|s| exec(s, locals, src)),
         Stmt::If(c, t, e) => {
-            if eval(c, locals) != 0 {
+            if eval(c, locals).is_true() {
                 exec(t, locals, src);
             } else {
                 exec(e, locals, src);
             }
         }
         Stmt::While(c, b) => {
-            while eval(c, locals) != 0 {
+            while eval(c, locals).is_true() {
                 exec(b, locals, src);
             }
         }
@@ -433,5 +771,179 @@ mod tests {
         );
         let mut src = CyclicByteSource::new(vec![0]);
         assert_eq!(Vm::new(compile(&p)).run(&mut src), 42);
+    }
+
+    #[test]
+    fn value_normalizes_at_the_i128_boundary() {
+        let two127 = Nat::from(1u128) << 127;
+        // 2^127 − 1 = i128::MAX stays small; 2^127 goes big.
+        assert_eq!(
+            Value::from_nat(&(&two127 - &Nat::one())),
+            Value::Small(i128::MAX)
+        );
+        assert!(matches!(Value::from_nat(&two127), Value::Big(_)));
+        // −2^127 = i128::MIN is still small.
+        assert_eq!(
+            Value::from_int(Int::from_sign_mag(true, two127.clone())),
+            Value::Small(i128::MIN)
+        );
+        // Negating Big(2^127) renormalizes onto i128::MIN.
+        assert_eq!(neg_value(Value::from_nat(&two127)), Value::Small(i128::MIN));
+        // |i128::MIN| promotes to Big(2^127).
+        assert_eq!(
+            abs_value(Value::Small(i128::MIN)),
+            Value::Big(Int::from_nat(two127))
+        );
+    }
+
+    #[test]
+    fn small_arithmetic_promotes_on_overflow() {
+        let prod = bin_values(BinOp::Mul, Value::Small(i128::MAX), Value::Small(2)).unwrap();
+        assert_eq!(
+            prod.to_nat().unwrap(),
+            &Nat::from(i128::MAX as u128) * &Nat::from(2u64)
+        );
+        // i128::MIN / −1 = 2^127 must promote rather than trap.
+        let q = bin_values(BinOp::Div, Value::Small(i128::MIN), Value::Small(-1)).unwrap();
+        assert_eq!(q, Value::Big(Int::from_nat(Nat::from(1u128) << 127)));
+        // ... and dropping back into range renormalizes to Small.
+        let back = bin_values(BinOp::Sub, q, Value::Small(1)).unwrap();
+        assert_eq!(back, Value::Small(i128::MAX));
+    }
+
+    #[test]
+    fn mixed_width_comparisons_use_the_invariant() {
+        let big = Value::from_nat(&(Nat::from(1u128) << 200));
+        let neg_big = neg_value(big.clone());
+        assert_eq!(
+            bin_values(BinOp::Lt, Value::Small(i128::MAX), big.clone()).unwrap(),
+            Value::Small(1)
+        );
+        assert_eq!(
+            bin_values(BinOp::Lt, neg_big.clone(), Value::Small(i128::MIN)).unwrap(),
+            Value::Small(1)
+        );
+        assert_eq!(bin_values(BinOp::Max, neg_big, big.clone()).unwrap(), big);
+    }
+
+    #[test]
+    fn big_consts_are_interned_once() {
+        let big = Nat::from(1u128) << 130;
+        let p = Program::new(
+            "intern",
+            names(2),
+            Stmt::Assign(0, E::BigConst(big.clone()))
+                .then(Stmt::Assign(1, E::BigConst(big.clone()))),
+            E::eq(E::Local(0), E::Local(1)),
+        );
+        let code = compile(&p);
+        assert_eq!(code.big_consts, vec![big]);
+        let mut src = CyclicByteSource::new(vec![0]);
+        assert_eq!(Vm::new(code).run(&mut src), 1);
+    }
+
+    #[test]
+    fn bitlen_matches_nat_bit_length() {
+        let p = |e: E| Program::new("bl", names(1), Stmt::Skip, E::BitLen(Box::new(e)));
+        let mut src = CyclicByteSource::new(vec![0]);
+        for (e, want) in [
+            (E::Const(0), 0),
+            (E::Const(1), 1),
+            (E::Const(10), 4),
+            (E::Const(-10), 4),
+            (E::Const(i128::MAX), 127),
+            (E::BigConst(Nat::from(1u128) << 200), 201),
+        ] {
+            let prog = p(e);
+            assert_eq!(interpret(&prog, &mut src), want);
+            assert_eq!(Vm::new(compile(&prog)).run(&mut src), want);
+        }
+    }
+
+    #[test]
+    fn uniform_pow2_matches_byte_fold_at_all_widths() {
+        // The bulk opcode must consume the same bytes and produce the
+        // same value as the explicit per-byte big-endian fold.
+        for bits in [0u32, 1, 7, 8, 12, 64, 120, 121, 128, 250] {
+            let p = Program::new(
+                "upow2",
+                names(1),
+                Stmt::UniformPow2(0, E::Const(i128::from(bits))),
+                E::Local(0),
+            );
+            let vm = Vm::new(compile(&p));
+            for seed in 0..5u64 {
+                let mut s1 = SeededByteSource::new(seed);
+                let mut s2 = SeededByteSource::new(seed);
+                let got = vm.try_run(&mut s1).unwrap();
+                let mut acc = Nat::zero();
+                for _ in 0..bits.div_ceil(8) {
+                    acc = acc.push_be_byte(s2.next_byte());
+                }
+                let want = acc.low_bits(u64::from(bits));
+                assert_eq!(got.to_nat().unwrap(), want, "bits {bits} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_and_untraced_agree_on_every_registered_program() {
+        for entry in crate::programs::registered_programs() {
+            let vm = Vm::new(compile(&entry.program));
+            for seed in 0..16u64 {
+                let mut s1 = SeededByteSource::new(seed);
+                let mut s2 = SeededByteSource::new(seed);
+                let plain = vm.run(&mut s1);
+                let traced = vm.run_traced(&mut s2);
+                assert_eq!(plain, traced.result, "{} seed {seed}", entry.name);
+                // Same bytes consumed: the next draw from both streams
+                // must coincide.
+                assert_eq!(
+                    s1.next_byte(),
+                    s2.next_byte(),
+                    "{} seed {seed} streams diverged",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_surfaces_division_by_zero() {
+        let p = Program::new(
+            "divz",
+            names(1),
+            Stmt::Assign(0, E::bin(BinOp::Div, E::Const(1), E::Const(0))),
+            E::Local(0),
+        );
+        let vm = Vm::new(compile(&p));
+        let mut src = CyclicByteSource::new(vec![0]);
+        assert_eq!(vm.try_run(&mut src), Err(VmError::DivisionByZero));
+    }
+
+    #[test]
+    fn try_run_surfaces_bad_uniform_width() {
+        let p = Program::new(
+            "badwidth",
+            names(1),
+            Stmt::UniformPow2(0, E::Const(-1)),
+            E::Local(0),
+        );
+        let vm = Vm::new(compile(&p));
+        let mut src = CyclicByteSource::new(vec![0]);
+        assert_eq!(vm.try_run(&mut src), Err(VmError::BadUniformWidth));
+    }
+
+    #[test]
+    #[should_panic(expected = "vm error in divz")]
+    fn trusted_run_still_panics_on_division_by_zero() {
+        let p = Program::new(
+            "divz",
+            names(1),
+            Stmt::Assign(0, E::bin(BinOp::Div, E::Const(1), E::Const(0))),
+            E::Local(0),
+        );
+        let mut src = CyclicByteSource::new(vec![0]);
+        let _ = Vm::new(compile(&p)).run(&mut src);
     }
 }

@@ -7,9 +7,15 @@
 //! from its (trusted) translation.
 
 use proptest::prelude::*;
-use sampcert_extract::{compile, gaussian_program, interpret, laplace_program, LoopKind, Vm};
-use sampcert_samplers::{FusedGaussian, FusedLaplace, LaplaceAlg};
-use sampcert_slang::SeededByteSource;
+use sampcert_arith::Nat;
+use sampcert_extract::{
+    compile, gaussian_program, gaussian_program_nat, interpret, laplace_program,
+    laplace_program_nat, uniform_below_program_nat, LoopKind, Vm,
+};
+use sampcert_samplers::{
+    discrete_gaussian, discrete_laplace, uniform_below, FusedGaussian, FusedLaplace, LaplaceAlg,
+};
+use sampcert_slang::{Sampling, SeededByteSource};
 
 fn alg_of(kind: LoopKind) -> LaplaceAlg {
     match kind {
@@ -90,6 +96,81 @@ fn compiled_bytecode_distribution_matches_closed_form() {
             (got - expect).abs() < 1e-3,
             "compiled Lap(1) at {z}: {got} vs {expect}"
         );
+    }
+}
+
+/// Deterministic k-limb parameter: top bit of limb k set, seed folded into
+/// the low limb (odd, so the bound is never a bare power of two).
+fn limb_nat(k: u32, seed: u64) -> Nat {
+    &(Nat::one() << (64 * k - 1)) + &Nat::from(seed * 2 + 1)
+}
+
+/// The compiled tier across the parameter-width ladder: the bytecode VM
+/// running the arbitrary-precision (`_nat`) lowerings must match the
+/// monadic `SLang` sampler draw-for-draw on a shared byte stream at 1-,
+/// 8-, 32- and 128-limb parameters — the regime the fused `u128` path
+/// cannot reach.
+#[test]
+fn uniform_nat_program_equals_monadic_across_limb_ladder() {
+    for (k, draws) in [(1u32, 200usize), (8, 40), (32, 16), (128, 6)] {
+        let bound = limb_nat(k, 5);
+        let vm = Vm::new(compile(&uniform_below_program_nat(&bound)));
+        let monadic = uniform_below::<Sampling>(&bound);
+        let mut s1 = SeededByteSource::new(u64::from(k));
+        let mut s2 = SeededByteSource::new(u64::from(k));
+        for i in 0..draws {
+            let a = vm.try_run(&mut s1).expect("vm fault");
+            let b = monadic.run(&mut s2);
+            assert_eq!(a.to_nat(), Some(b), "draw {i}: bound at {k} limbs");
+        }
+    }
+}
+
+#[test]
+fn laplace_nat_program_equals_monadic_across_limb_ladder() {
+    for (k, draws) in [(1u32, 100usize), (8, 24), (32, 10), (128, 4)] {
+        let p = limb_nat(k, 3);
+        // Scale 1/2 (Geometric regime) and scale 16 (Uniform regime) —
+        // both with k-limb numerator and denominator, word-sized outputs.
+        for (num, den, kind) in [
+            (p.clone(), &p * &Nat::from(2u64), LoopKind::Geometric),
+            (&p * &Nat::from(16u64), p.clone(), LoopKind::Uniform),
+        ] {
+            let program = laplace_program_nat(&num, &den, kind);
+            let vm = Vm::new(compile(&program));
+            let monadic = discrete_laplace::<Sampling>(&num, &den, alg_of(kind));
+            let mut s1 = SeededByteSource::new(u64::from(k) + 100);
+            let mut s2 = SeededByteSource::new(u64::from(k) + 100);
+            let mut s3 = SeededByteSource::new(u64::from(k) + 100);
+            for i in 0..draws {
+                let a = vm.run(&mut s1);
+                let b = i128::from(monadic.run(&mut s2));
+                assert_eq!(a, b, "draw {i}: {k}-limb scale {kind:?}");
+                // The AST interpreter is the third leg of the triangle.
+                assert_eq!(interpret(&program, &mut s3), a, "interp draw {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gaussian_nat_program_equals_monadic_across_limb_ladder() {
+    for (k, draws) in [(1u32, 60usize), (8, 10), (32, 4), (128, 2)] {
+        let p = limb_nat(k, 7);
+        // σ = 1/4: t = 1 keeps candidate magnitudes tiny while every
+        // acceptance-bound operand is a k-limb (or 2k-limb, squared) Nat.
+        let num = p.clone();
+        let den = &p * &Nat::from(4u64);
+        let program = gaussian_program_nat(&num, &den, LoopKind::Geometric);
+        let vm = Vm::new(compile(&program));
+        let monadic = discrete_gaussian::<Sampling>(&num, &den, LaplaceAlg::Geometric);
+        let mut s1 = SeededByteSource::new(u64::from(k) + 200);
+        let mut s2 = SeededByteSource::new(u64::from(k) + 200);
+        for i in 0..draws {
+            let a = vm.run(&mut s1);
+            let b = i128::from(monadic.run(&mut s2));
+            assert_eq!(a, b, "draw {i}: σ at {k} limbs");
+        }
     }
 }
 

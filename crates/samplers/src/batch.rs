@@ -14,9 +14,13 @@
 //!   [`FusedLaplace`](crate::FusedLaplace) / the `u128` uniform loop)
 //!   whenever the parameters sit safely inside its machine-word regime
 //!   (a conservative `2²⁶` box for the Gaussian — see
-//!   `FUSED_GAUSS_LIMIT`), falling back to the general `SLang` program —
-//!   drawn via [`run_into`](sampcert_slang::SLang::run_into) — for
-//!   anything else;
+//!   `FUSED_GAUSS_LIMIT`); parameters outside it run the **compiled
+//!   tier** — the extracted bytecode from `sampcert_extract`, compiled
+//!   once per parameter box (see [`compiled`](crate::compiled)) and
+//!   executed on the stack VM — and only when a parameter is implausibly
+//!   wide (see `COMPILED_BITS_LIMIT`) or the VM reports an arithmetic
+//!   fault does the batch fall back to the general `SLang` program,
+//!   drawn via [`run_into`](sampcert_slang::SLang::run_into);
 //! - **output allocation** is reused: every function has a `*_into`
 //!   variant appending to a caller-retained buffer.
 //!
@@ -27,11 +31,13 @@
 //! established in [`direct`](crate::FusedGaussian)'s tests, and re-checked
 //! here through the batch entry points).
 
+use crate::compiled::{self, value_to_i64, value_to_nat};
 use crate::direct::{uniform_below_u128, FusedGaussian, FusedLaplace};
 use crate::gaussian::discrete_gaussian;
 use crate::laplace::{discrete_laplace, LaplaceAlg};
 use crate::uniform::uniform_below;
 use sampcert_arith::Nat;
+use sampcert_extract::{Value, Vm};
 use sampcert_slang::{ByteSource, Sampling};
 
 /// Upper bound (exclusive) on `num` *and* `den` for dispatching to the
@@ -46,6 +52,39 @@ use sampcert_slang::{ByteSource, Sampling};
 /// program handles fine — which would break the batch-equals-sequential
 /// contract. Parameters outside the box take the general program.
 const FUSED_GAUSS_LIMIT: u64 = 1 << 26;
+
+/// Upper bound (inclusive) on a parameter's bit length for dispatching to
+/// the compiled-bytecode tier.
+///
+/// The compiled tier embeds the parameters (and, for the Gaussian, their
+/// squares and the acceptance bound `2·num²·t²·den²`) as constants in the
+/// cached bytecode, so cache memory and compile time grow with the
+/// parameter width. A megabit per parameter covers every plausible noise
+/// scale — the differential suite runs 128-limb (8192-bit) parameters
+/// through this tier — while keeping the cache bounded against
+/// adversarially wide inputs, which take the (allocation-free-to-build)
+/// general program instead.
+const COMPILED_BITS_LIMIT: u64 = 1 << 20;
+
+/// Runs `n` draws on the compiled VM, converting each result with
+/// `convert`; if the VM faults (it cannot on the registered sampler
+/// programs — this is defense in depth), the remaining draws are handed
+/// to `fallback`.
+fn compiled_draws_into<T>(
+    vm: &Vm,
+    n: usize,
+    src: &mut dyn ByteSource,
+    out: &mut Vec<T>,
+    convert: impl Fn(&Value) -> T,
+    fallback: impl FnOnce(usize, &mut dyn ByteSource, &mut Vec<T>),
+) {
+    for i in 0..n {
+        match vm.try_run(src) {
+            Ok(v) => out.push(convert(&v)),
+            Err(_) => return fallback(n - i, src, out),
+        }
+    }
+}
 
 /// Draws `n` i.i.d. discrete Gaussian samples `N_ℤ(0, (num/den)²)`,
 /// appending them to `out`.
@@ -76,6 +115,12 @@ pub fn discrete_gaussian_many_into(
             for _ in 0..n {
                 out.push(g.sample(src));
             }
+        }
+        _ if num.bit_length() <= COMPILED_BITS_LIMIT && den.bit_length() <= COMPILED_BITS_LIMIT => {
+            let vm = Vm::shared(compiled::gaussian_bytecode(num, den, alg));
+            compiled_draws_into(&vm, n, src, out, value_to_i64, |rest, src, out| {
+                discrete_gaussian::<Sampling>(num, den, alg).run_into(rest, src, out);
+            });
         }
         _ => discrete_gaussian::<Sampling>(num, den, alg).run_into(n, src, out),
     }
@@ -142,6 +187,12 @@ pub fn discrete_laplace_many_into(
                 out.push(l.sample(src));
             }
         }
+        _ if num.bit_length() <= COMPILED_BITS_LIMIT && den.bit_length() <= COMPILED_BITS_LIMIT => {
+            let vm = Vm::shared(compiled::laplace_bytecode(num, den, alg));
+            compiled_draws_into(&vm, n, src, out, value_to_i64, |rest, src, out| {
+                discrete_laplace::<Sampling>(num, den, alg).run_into(rest, src, out);
+            });
+        }
         _ => discrete_laplace::<Sampling>(num, den, alg).run_into(n, src, out),
     }
 }
@@ -202,6 +253,12 @@ pub fn uniform_below_many_into(
                 out.push(Nat::from(uniform_below_u128(b as u128, src) as u64));
             }
         }
+        None if bound.bit_length() <= COMPILED_BITS_LIMIT => {
+            let vm = Vm::shared(compiled::uniform_below_bytecode(bound));
+            compiled_draws_into(&vm, n, src, out, value_to_nat, |rest, src, out| {
+                uniform_below::<Sampling>(bound).run_into(rest, src, out);
+            });
+        }
         None => uniform_below::<Sampling>(bound).run_into(n, src, out),
     }
 }
@@ -243,6 +300,12 @@ mod tests {
         &(&Nat::from(u64::MAX) * &Nat::from(seed)) + &Nat::from(seed ^ 0xABCD)
     }
 
+    fn limbs(k: u32, seed: u64) -> Nat {
+        // Deterministic k-limb operand: top bit of limb k set, seed folded
+        // into the low limb (odd, so it never collapses to a power of two).
+        &(Nat::one() << (64 * k - 1)) + &Nat::from(seed * 2 + 1)
+    }
+
     /// The batch contract, checked per API: `*_many` must equal `n`
     /// sequential runs of the single-draw program — same values, same
     /// bytes — on both the fused and the fallback parameter regimes.
@@ -262,6 +325,21 @@ mod tests {
             (nat((1 << 32) - 1), nat(1), LaplaceAlg::Switched, 3),
             // Large denominator past the fused box (σ = 3): fallback.
             (nat(3 << 26), nat(1 << 26), LaplaceAlg::Switched, 50),
+            // Multi-limb parameters through the compiled tier (σ = 1/4
+            // keeps t = 1 and magnitudes tiny; widths ramp to 128 limbs).
+            (limbs(8, 9), &limbs(8, 9) * &nat(4), LaplaceAlg::Switched, 6),
+            (
+                limbs(32, 11),
+                &limbs(32, 11) * &nat(4),
+                LaplaceAlg::Switched,
+                3,
+            ),
+            (
+                limbs(128, 13),
+                &limbs(128, 13) * &nat(4),
+                LaplaceAlg::Switched,
+                2,
+            ),
         ] {
             let prog = discrete_gaussian::<Sampling>(&num, &den, alg);
             let mut seq_src = CountingByteSource::new(SeededByteSource::new(42));
@@ -288,12 +366,32 @@ mod tests {
             // direct.rs equality tests stop at scale 40/3.
             (nat(1_000_000), nat(1), LaplaceAlg::Switched, 100),
             // Multi-limb parameters (scale 1/2, so magnitudes stay small):
-            // exercises the general-program fallback.
+            // exercises the compiled-bytecode tier.
             (
                 multilimb(3),
                 &multilimb(3) * &nat(2),
                 LaplaceAlg::Switched,
                 50,
+            ),
+            // The compiled tier across the limb ladder (scale 1/2 keeps
+            // magnitudes word-sized; draw counts shrink with the width).
+            (
+                limbs(8, 3),
+                &limbs(8, 3) * &nat(2),
+                LaplaceAlg::Switched,
+                12,
+            ),
+            (
+                limbs(32, 5),
+                &limbs(32, 5) * &nat(2),
+                LaplaceAlg::Switched,
+                6,
+            ),
+            (
+                limbs(128, 7),
+                &limbs(128, 7) * &nat(2),
+                LaplaceAlg::Switched,
+                3,
             ),
         ] {
             let prog = discrete_laplace::<Sampling>(&num, &den, alg);
@@ -317,6 +415,10 @@ mod tests {
             (nat(256), 300),
             (nat(1_000_003), 300),
             (multilimb(9), 20),
+            // The compiled tier across the limb ladder.
+            (limbs(8, 1), 16),
+            (limbs(32, 1), 8),
+            (limbs(128, 1), 4),
         ] {
             let prog = uniform_below::<Sampling>(&bound);
             let mut seq_src = CountingByteSource::new(SeededByteSource::new(13));

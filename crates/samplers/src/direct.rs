@@ -23,7 +23,7 @@ use sampcert_slang::ByteSource;
 /// Uniform draw on `[0, 2^bits)` from whole bytes, matching
 /// [`uniform_pow2`](crate::uniform_pow2) byte-for-byte.
 fn uniform_pow2_u128(bits: u32, src: &mut dyn ByteSource) -> u128 {
-    debug_assert!(bits <= 127);
+    debug_assert!(bits <= 128);
     if bits == 0 {
         return 0;
     }
@@ -32,7 +32,16 @@ fn uniform_pow2_u128(bits: u32, src: &mut dyn ByteSource) -> u128 {
     for _ in 0..n_bytes {
         v = (v << 8) | src.next_byte() as u128;
     }
-    v & ((1u128 << bits) - 1)
+    // `1u128 << 128` is shift overflow (panic in debug, wrap to a zero mask
+    // in release — every draw would come out 0), so the full-width case
+    // keeps all bits explicitly. Reachable: `uniform_below_u128(n)` needs
+    // 128-bit draws whenever n > 2^127.
+    let mask = if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    };
+    v & mask
 }
 
 /// Uniform draw on `[0, n)` by bit-length rejection, matching
@@ -297,6 +306,30 @@ mod tests {
                 let a = fused.sample(&mut s1);
                 let b = monadic.run(&mut s2);
                 assert_eq!(a, b, "divergence at draw {i} (σ={num}/{den}, {alg:?})");
+            }
+        }
+    }
+
+    /// Regression: `uniform_below_u128(n)` with `n > 2^127` needs a full
+    /// 128-bit draw, and the old mask `(1u128 << bits) - 1` was shift
+    /// overflow at `bits = 128` — a panic in debug builds and a wrap to a
+    /// zero mask (every draw 0) in release builds. Must pass under both
+    /// profiles and agree with the monadic sampler byte-for-byte.
+    #[test]
+    fn uniform_below_at_the_u128_shift_boundary() {
+        for n in [
+            (1u128 << 127) - 1, // bit length 127: last safe mask width
+            1u128 << 127,       // bit length 128: first overflowing width
+            (1u128 << 127) + 1,
+            u128::MAX,
+        ] {
+            let prog = crate::uniform::uniform_below::<Sampling>(&Nat::from(n));
+            let mut s1 = SeededByteSource::new(77);
+            let mut s2 = SeededByteSource::new(77);
+            for i in 0..64 {
+                let a = uniform_below_u128(n, &mut s1);
+                let b: Nat = prog.run(&mut s2);
+                assert_eq!(Nat::from(a), b, "divergence at draw {i} (n = {n:#x})");
             }
         }
     }

@@ -103,7 +103,7 @@ pub fn laplace_loop_uniform<I: Interp>(num: &Nat, den: &Nat) -> I::Repr<(bool, N
 }
 
 /// Resolves [`LaplaceAlg::Switched`] for a given scale.
-fn resolve_alg(num: &Nat, den: &Nat, alg: LaplaceAlg) -> LaplaceAlg {
+pub(crate) fn resolve_alg(num: &Nat, den: &Nat, alg: LaplaceAlg) -> LaplaceAlg {
     match alg {
         LaplaceAlg::Switched => {
             if *num >= &Nat::from(SWITCH_SCALE) * den {

@@ -35,6 +35,7 @@
 
 mod batch;
 mod bernoulli;
+mod compiled;
 mod direct;
 mod gaussian;
 mod geometric;

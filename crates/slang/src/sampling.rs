@@ -49,9 +49,15 @@ impl<T> Clone for SLang<T> {
 impl<T: Value> SLang<T> {
     /// Wraps a raw sampling function.
     ///
-    /// This is the escape hatch used by the hand-fused "compiled" samplers
-    /// (the analogue of calling external C++ from Lean); library code should
-    /// prefer the four primitive operators.
+    /// This is the lowering hook for alternative execution backends (the
+    /// analogue of calling external C++ from Lean): the hand-fused `u128`
+    /// samplers and the bytecode-compiled tier in `sampcert-samplers` are
+    /// both functions of this shape, admitted on the strength of their
+    /// byte-stream equality with the operator-built program. A backend that
+    /// draws many bytes at once should consume them through
+    /// [`ByteSource::fill`], whose contract guarantees the stream is
+    /// identical to per-byte draws. Library code should prefer the four
+    /// primitive operators.
     pub fn from_fn(f: impl Fn(&mut dyn ByteSource) -> T + Send + Sync + 'static) -> Self {
         SLang(Arc::new(f))
     }
