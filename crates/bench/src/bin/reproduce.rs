@@ -259,6 +259,32 @@ fn serve(args: &[String]) {
             get("charge_durable_fsync_t1").unwrap_or(0.0)
         );
     }
+    if let (Some(serial), Some(group)) = (
+        get("charge_durable_fsync_t8"),
+        get("charge_durable_group_t8"),
+    ) {
+        println!(
+            "group commit serves {:.2}x the fsync-per-charge durable rate at 8 chargers",
+            serial / group
+        );
+    }
+    if let (Some(before), Some(after)) = (
+        get("journal_precompact_bytes"),
+        get("journal_compacted_bytes"),
+    ) {
+        println!(
+            "compaction shrinks the journal {before:.0} -> {after:.0} bytes \
+             (bounded by snapshot size, not history)"
+        );
+    }
+    if let Some(charge_1m) = get("charge_registry_1m") {
+        println!(
+            "million-principal book: {charge_1m:.0} ns per zipfian charge, \
+             {:.0} ns build and {:.0} bytes RSS per principal",
+            get("registry_1m_build_ns_per_principal").unwrap_or(0.0),
+            get("registry_1m_rss_bytes_per_principal").unwrap_or(0.0)
+        );
+    }
     write_merged("sampcert-bench/serve-v1", out, label, &rows);
 }
 

@@ -28,6 +28,20 @@
 //!   plus the single journal lock, no disk), and a `DurableRegistry`
 //!   over a real file with fsync-per-charge (the full durability price;
 //!   the absolute number is dominated by the host's fsync latency);
+//! - `charge_durable_fsync_t8` vs `charge_durable_group_t8`: the same
+//!   file-backed durable charge from 8 concurrent threads, serially
+//!   fsynced per charge vs group-committed (one leader fsync per batch,
+//!   followers acknowledged at their stable LSN) — the group-commit
+//!   speedup the durability tier ships with;
+//! - `charge_registry_1m` + `registry_1m_build_ns_per_principal` +
+//!   `registry_1m_rss_bytes_per_principal`: the million-principal
+//!   capacity tier — zipfian-skewed concurrent charges against a fully
+//!   populated 10⁶-principal book, with the book's build cost and
+//!   resident-memory footprint per principal;
+//! - `journal_precompact_bytes` vs `journal_compacted_bytes`: journal
+//!   file size before and after `compact_now` (byte rows, not timings)
+//!   — evidence that compaction bounds the log by snapshot size, not
+//!   total history;
 //! - `host_parallelism`: `std::thread::available_parallelism()` at
 //!   measurement time. **Read the scaling rows against this.** Thread
 //!   scaling is bounded by the cores the host actually grants: on a
@@ -46,7 +60,8 @@
 
 use sampcert_arith::Nat;
 use sampcert_core::{
-    BudgetRegistry, DurableRegistry, Dyadic, FileStorage, Ledger, MemStorage, PureDp, ShardedLedger,
+    Budget, BudgetRegistry, DurableRegistry, Dyadic, FileStorage, Ledger, MemStorage, PureDp,
+    ShardedLedger,
 };
 use sampcert_mechanisms::{NoiseServer, SeedBackend, ServeConfig};
 use sampcert_samplers::{discrete_gaussian_many_into, LaplaceAlg};
@@ -296,6 +311,146 @@ fn charge_durable_fsync_row(n: usize, reps: usize) -> f64 {
     ns
 }
 
+/// Durable charges from `workers` concurrent threads over a real file,
+/// group commit on or off. Serial mode pays one fsync **per charge**;
+/// group mode elects one enqueuing thread leader per batch, which
+/// appends every queued record and pays one fsync for the whole batch
+/// while the rest block for their stable LSN. The ratio of these two
+/// rows is the committed group-commit speedup — visible even on a
+/// 1-core host, because the fsync wait is time the other threads spend
+/// enqueuing rather than idling.
+fn charge_durable_file_row(workers: usize, group: bool, n: usize, reps: usize) -> f64 {
+    let dir = std::env::temp_dir().join(format!(
+        "sampcert-bench-group-{}-{group}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ns = ns_per_sample(n, reps, |k| {
+        let path = dir.join("bench.scjl");
+        let _ = std::fs::remove_file(&path);
+        let storage = FileStorage::open(&path).expect("open journal file");
+        let registry: DurableRegistry<PureDp, Dyadic, FileStorage> =
+            DurableRegistry::create(1e9, workers, storage)
+                .expect("create journal")
+                .with_group_commit(group);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for _ in 0..k / workers {
+                        registry
+                            .charge(w as u64, GAMMA_EACH)
+                            .expect("budget is ample");
+                    }
+                    std::hint::black_box(registry.registry().spent(w as u64));
+                });
+            }
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    ns
+}
+
+/// Resident-set size from `/proc/self/status`, in bytes; `None` off
+/// Linux or if the field is missing (the row then records 0.0).
+fn rss_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024.0)
+}
+
+/// The million-principal capacity tier: build a full book of registered
+/// principals (outside the timed region), record build cost and memory
+/// footprint per principal, then measure zipfian-skewed concurrent
+/// charges against it. `quick` shrinks the book for smoke runs; the
+/// committed `BENCH_serve.json` rows come from the full-size run.
+fn registry_1m_rows(quick: bool, n: usize, reps: usize) -> Vec<(&'static str, f64)> {
+    let principals: u64 = if quick { 1 << 17 } else { 1_000_000 };
+    let base = <Dyadic as Budget>::charge_from_f64(GAMMA_EACH);
+    let rss_before = rss_bytes();
+    let registry: BudgetRegistry<PureDp, Dyadic> = BudgetRegistry::new(1e9, 64);
+    let start = Instant::now();
+    for p in 0..principals {
+        registry.apply_unchecked(p, &base);
+    }
+    let build_ns = start.elapsed().as_nanos() as f64 / principals as f64;
+    let rss_per_principal = match (rss_before, rss_bytes()) {
+        (Some(before), Some(after)) if after > before => (after - before) / principals as f64,
+        _ => 0.0,
+    };
+
+    let workers = 4;
+    let charge_ns = ns_per_sample(n, reps, |k| {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let registry = &registry;
+                scope.spawn(move || {
+                    let mut state = (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    let mut rnd = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..k / workers {
+                        // Zipf-ish: geometric trailing-zero count halves
+                        // the candidate range, so the head is hot and the
+                        // whole book stays reachable.
+                        let z = rnd().trailing_zeros().min(19);
+                        let principal = rnd() % (principals >> z).max(1);
+                        registry
+                            .charge(principal, GAMMA_EACH)
+                            .expect("budget is ample");
+                    }
+                });
+            }
+        });
+    });
+    vec![
+        ("registry_1m_build_ns_per_principal", build_ns),
+        ("registry_1m_rss_bytes_per_principal", rss_per_principal),
+        ("charge_registry_1m", charge_ns),
+    ]
+}
+
+/// Journal size before and after `compact_now` on a real file — the
+/// committed evidence that compaction bounds the log by snapshot size
+/// rather than total history. Byte rows, not timings.
+fn journal_compaction_rows(quick: bool) -> Vec<(&'static str, f64)> {
+    let dir = std::env::temp_dir().join(format!("sampcert-bench-compact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.scjl");
+    let _ = std::fs::remove_file(&path);
+    let storage = FileStorage::open(&path).expect("open journal file");
+    let registry: DurableRegistry<PureDp, Dyadic, FileStorage> =
+        DurableRegistry::create(1e9, 8, storage)
+            .expect("create journal")
+            .with_checkpoint_every(u64::MAX)
+            .with_group_commit(true);
+    let charges = if quick { 2_048u64 } else { 16_384 };
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let registry = &registry;
+            scope.spawn(move || {
+                for i in 0..charges / 4 {
+                    registry
+                        .charge((w * 16 + i % 16) % 64, GAMMA_EACH)
+                        .expect("budget is ample");
+                }
+            });
+        }
+    });
+    let before = registry.journal_bytes() as f64;
+    registry.compact_now().expect("fault-free compaction");
+    let after = registry.journal_bytes() as f64;
+    let _ = std::fs::remove_dir_all(&dir);
+    vec![
+        ("journal_precompact_bytes", before),
+        ("journal_compacted_bytes", after),
+    ]
+}
+
 /// Runs the whole serving measurement set, returning `(name, ns_per_op)`
 /// rows (plus the `host_parallelism` and `degenerate_scaling` context
 /// rows). `quick` shrinks the per-call sample count for CI smoke runs.
@@ -364,7 +519,22 @@ pub fn measure_all(quick: bool) -> Vec<(&'static str, f64)> {
             "charge_durable_fsync_t1",
             charge_durable_fsync_row(n / 16, reps),
         ),
+        // Group-commit attribution: the same file-backed durable charges
+        // from 8 threads with one-fsync-per-charge vs one-fsync-per-batch.
+        // `fsync_t8 / group_t8` is the committed group-commit speedup.
+        (
+            "charge_durable_fsync_t8",
+            charge_durable_file_row(8, false, n / 16, reps),
+        ),
+        (
+            "charge_durable_group_t8",
+            charge_durable_file_row(8, true, n / 16, reps),
+        ),
     ]
+    .into_iter()
+    .chain(registry_1m_rows(quick, n * 8, reps))
+    .chain(journal_compaction_rows(quick))
+    .collect()
 }
 
 #[cfg(test)]
@@ -374,9 +544,16 @@ mod tests {
     #[test]
     fn rows_measure_and_are_positive() {
         let rows = measure_all(true);
-        assert_eq!(rows.len(), 18);
+        assert_eq!(rows.len(), 25);
         for (name, v) in &rows {
-            assert!(*v > 0.0 || *name == "degenerate_scaling", "{name} = {v}");
+            // Two rows may legitimately read zero: the degenerate-scaling
+            // flag on a multi-core host, and the RSS delta when the
+            // platform exposes no /proc (or the allocator reused pages).
+            let may_be_zero = matches!(
+                *name,
+                "degenerate_scaling" | "registry_1m_rss_bytes_per_principal"
+            );
+            assert!(*v > 0.0 || may_be_zero, "{name} = {v}");
         }
         assert!(rows.iter().any(|(n, _)| *n == "host_parallelism"));
         // The degenerate-scaling flag is always emitted and is consistent

@@ -41,6 +41,44 @@
 //! [`open`](DurableRegistry::open) over the surviving bytes, whose tail
 //! the torn-tail rule handles.
 //!
+//! # Group commit
+//!
+//! With [`DurableOptions::group_commit`] enabled, concurrent chargers do
+//! not each pay their own fsync. A charger runs its admission check
+//! against committed spend **plus** the spend of every record already
+//! enqueued but not yet durable (a *reservation* — without it, two
+//! concurrent chargers could both pass the check and together overshoot
+//! the allowance), enqueues its framed record with a log sequence number
+//! (LSN), and blocks. One charger becomes the **leader**: it takes the
+//! whole queue, appends every frame, pays a **single fsync**, and only
+//! then applies the batch to the ledger and advances the stable LSN.
+//! Followers are acknowledged exactly when the stable LSN reaches their
+//! record's LSN — *ack only at stable LSN*; no answer is released on the
+//! strength of an unsynced append. A failed batch append/fsync refuses
+//! **every** charge in that batch (their reservations are dropped, the
+//! ledger never moved — degrade-to-reject, batched) and latches the
+//! journal exactly as a serial failure would.
+//!
+//! # Compaction
+//!
+//! Checkpoints bound *replay time* but the log still grows without
+//! bound. [`compact_now`](DurableRegistry::compact_now) (and the
+//! size/record-count [`CompactionPolicy`]) rewrites the log as a fresh
+//! header plus a chunked registry snapshot, through the crash-safe
+//! [`JournalStorage::replace_with`] primitive: write a temp file, fsync
+//! it, atomically rename it over the log, fsync the parent directory.
+//! The swap invariant: **at every instant exactly one complete journal —
+//! old or new — is the log**, and both replay to ledgers that
+//! never under-report acknowledged spend (the snapshot is taken with the
+//! group queue drained, so it covers precisely the committed records it
+//! replaces). A compaction that fails mid-swap latches the journal — the
+//! handle can no longer tell which file survives — and either surviving
+//! file recovers soundly at restart. Snapshot records (`SNAPSHOT`) are
+//! written *only* inside atomically-replaced files and their count is
+//! declared in the header, so a torn or shortened snapshot prefix is
+//! [`RecoveryError::Corrupt`], never a silently-dropped tail: dropping a
+//! record that summarizes vanished history would under-report.
+//!
 //! # Record format
 //!
 //! The journal is a header record followed by charge and checkpoint
@@ -54,9 +92,13 @@
 //!
 //! ```text
 //! HEADER     = 0x00  "SCJL"  version: u16 LE  carrier_len: u8  carrier
+//!                    (snapshot_records: u32 LE — only in compacted logs)
 //! CHARGE     = 0x01  principal: u64 LE  charge: B::to_bytes
 //! CHECKPOINT = 0x02  count: u32 LE  (principal: u64 LE,
 //!                                    len: u32 LE, spent: B::to_bytes)*
+//! SNAPSHOT   = 0x03  same layout as CHECKPOINT; compaction-only — the
+//!                    header-declared chunks at the head of a compacted
+//!                    log (first resets state, the rest extend it)
 //! ```
 //!
 //! Charges are lossless ([`Budget::to_bytes`] round-trips bit-for-bit on
@@ -144,14 +186,16 @@ use crate::abstract_dp::AbstractDp;
 use crate::accountant::BudgetExceeded;
 use crate::budget::Budget;
 use crate::registry::{BudgetRegistry, RegistryView};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Seek, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Record kinds (first payload byte).
 const KIND_HEADER: u8 = 0x00;
 const KIND_CHARGE: u8 = 0x01;
 const KIND_CHECKPOINT: u8 = 0x02;
+const KIND_SNAPSHOT: u8 = 0x03;
 
 /// Journal file magic, inside the header payload.
 const MAGIC: &[u8; 4] = b"SCJL";
@@ -358,6 +402,22 @@ pub trait JournalStorage: Send {
     /// Returns a [`JournalError`] on I/O failure.
     fn truncate(&mut self, len: u64) -> Result<(), JournalError>;
 
+    /// Atomically replaces the entire log with `bytes` — the compaction
+    /// primitive. The contract is all-or-nothing *under crashes*: after a
+    /// kill at any point, a reader sees either the complete old log or
+    /// the complete new one, never a mixture or a prefix. File backends
+    /// get this from the classic sequence: write a temp file, fsync it,
+    /// `rename(2)` it over the log, fsync the parent directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] when the replacement cannot be
+    /// confirmed. The caller must then assume nothing about which of the
+    /// two logs survives (the error may have struck before or after the
+    /// rename) — [`DurableRegistry`] latches on any `replace_with`
+    /// failure and leaves both possible survivors replayable.
+    fn replace_with(&mut self, bytes: &[u8]) -> Result<(), JournalError>;
+
     /// Number of bytes currently in the log (committed or not).
     ///
     /// # Errors
@@ -382,6 +442,7 @@ pub trait JournalStorage: Send {
 #[derive(Debug)]
 pub struct FileStorage {
     file: std::fs::File,
+    path: std::path::PathBuf,
 }
 
 impl FileStorage {
@@ -402,14 +463,30 @@ impl FileStorage {
             .create(true)
             .open(path)
             .map_err(|e| JournalError::new("open", e.to_string()))?;
+        Self::sync_parent(path).map_err(|e| JournalError::new("open", e))?;
+        Ok(FileStorage {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Fsyncs the directory containing `path`, durably pinning its
+    /// directory entries (a freshly created file, or a rename).
+    fn sync_parent(path: &std::path::Path) -> Result<(), String> {
         let parent = match path.parent() {
             Some(p) if !p.as_os_str().is_empty() => p,
             _ => std::path::Path::new("."),
         };
         std::fs::File::open(parent)
             .and_then(|dir| dir.sync_all())
-            .map_err(|e| JournalError::new("open", format!("fsync parent directory: {e}")))?;
-        Ok(FileStorage { file })
+            .map_err(|e| format!("fsync parent directory: {e}"))
+    }
+
+    /// The sibling path compaction stages the replacement log at.
+    fn tmp_path(&self) -> std::path::PathBuf {
+        let mut os = self.path.clone().into_os_string();
+        os.push(".compact-tmp");
+        std::path::PathBuf::from(os)
     }
 }
 
@@ -447,6 +524,38 @@ impl JournalStorage for FileStorage {
             .map(|m| m.len())
             .map_err(|e| JournalError::new("len", e.to_string()))
     }
+
+    fn replace_with(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        // 1. Stage the new log beside the old one and make its *contents*
+        //    durable before it can possibly become the log.
+        let tmp = self.tmp_path();
+        let staged = std::fs::File::create(&tmp).and_then(|mut f| {
+            f.write_all(bytes)?;
+            f.sync_all()
+        });
+        if let Err(e) = staged {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(JournalError::new(
+                "replace",
+                format!("stage temp file: {e}"),
+            ));
+        }
+        // 2. The atomic point: after rename(2) the directory entry refers
+        //    to the new (already-synced) log; before it, to the old one.
+        //    No intermediate state is observable across a crash.
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| JournalError::new("replace", format!("rename into place: {e}")))?;
+        // 3. Durably pin the new directory entry.
+        Self::sync_parent(&self.path).map_err(|e| JournalError::new("replace", e))?;
+        // 4. The old fd still points at the unlinked inode — reopen so
+        //    subsequent appends land in the new log, not the orphan.
+        self.file = std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| JournalError::new("replace", format!("reopen after rename: {e}")))?;
+        Ok(())
+    }
 }
 
 /// What a [`MemStorage`] should break, and when — the fault-injection
@@ -464,6 +573,26 @@ pub struct FaultPlan {
     pub torn_append: Option<(u64, usize)>,
     /// Fail every sync once this many syncs have succeeded.
     pub fail_sync_after: Option<u64>,
+    /// At replace number `.0` (0-based), fail with the given surviving
+    /// state — a crash during compaction's atomic swap.
+    pub fail_replace: Option<(u64, ReplaceFault)>,
+}
+
+/// Which complete log survives an injected [`replace_with`] crash.
+///
+/// The rename-based swap is atomic, so a kill leaves exactly one of two
+/// observable states — there is deliberately no "mixed" variant.
+///
+/// [`replace_with`]: JournalStorage::replace_with
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaceFault {
+    /// The crash struck before the rename (temp-file write, temp fsync):
+    /// the staged bytes are invisible and the **old** log survives intact.
+    KeepOld,
+    /// The crash struck after the rename (during the parent-directory
+    /// fsync or the handle reopen): the **new** log is fully in place but
+    /// the caller never heard the confirmation.
+    KeepNew,
 }
 
 impl FaultPlan {
@@ -495,6 +624,14 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// Crashes replace number `n` (0-based), leaving `outcome` on disk.
+    pub fn fail_replace(n: u64, outcome: ReplaceFault) -> Self {
+        FaultPlan {
+            fail_replace: Some((n, outcome)),
+            ..FaultPlan::default()
+        }
+    }
 }
 
 /// In-memory [`JournalStorage`] with injectable faults.
@@ -509,6 +646,7 @@ pub struct MemStorage {
     plan: FaultPlan,
     appends: u64,
     syncs: u64,
+    replaces: u64,
 }
 
 impl MemStorage {
@@ -519,6 +657,7 @@ impl MemStorage {
             plan: FaultPlan::none(),
             appends: 0,
             syncs: 0,
+            replaces: 0,
         }
     }
 
@@ -535,6 +674,7 @@ impl MemStorage {
             plan: FaultPlan::none(),
             appends: 0,
             syncs: 0,
+            replaces: 0,
         }
     }
 
@@ -615,6 +755,30 @@ impl JournalStorage for MemStorage {
     fn len(&mut self) -> Result<u64, JournalError> {
         Ok(self.buf.lock().expect("mem journal poisoned").len() as u64)
     }
+
+    fn replace_with(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        let n = self.replaces;
+        self.replaces += 1;
+        if let Some((at, outcome)) = self.plan.fail_replace {
+            if n == at {
+                return match outcome {
+                    ReplaceFault::KeepOld => Err(JournalError::new(
+                        "replace",
+                        "injected crash before rename (old log survives)",
+                    )),
+                    ReplaceFault::KeepNew => {
+                        *self.buf.lock().expect("mem journal poisoned") = bytes.to_vec();
+                        Err(JournalError::new(
+                            "replace",
+                            "injected crash after rename (new log survives)",
+                        ))
+                    }
+                };
+            }
+        }
+        *self.buf.lock().expect("mem journal poisoned") = bytes.to_vec();
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -629,14 +793,22 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-fn header_payload<B: Budget>() -> Vec<u8> {
+/// The header payload. `snapshot_records > 0` appends the compacted-log
+/// extension: the number of `SNAPSHOT` records that MUST immediately
+/// follow, completely intact — declared up front so a shortened snapshot
+/// prefix is provable corruption instead of a droppable tail (dropping a
+/// record that summarizes vanished history would under-report).
+fn header_payload<B: Budget>(snapshot_records: u32) -> Vec<u8> {
     let name = B::NAME.as_bytes();
-    let mut p = Vec::with_capacity(8 + name.len());
+    let mut p = Vec::with_capacity(12 + name.len());
     p.push(KIND_HEADER);
     p.extend_from_slice(MAGIC);
     p.extend_from_slice(&VERSION.to_le_bytes());
     p.push(name.len() as u8);
     p.extend_from_slice(name);
+    if snapshot_records > 0 {
+        p.extend_from_slice(&snapshot_records.to_le_bytes());
+    }
     p
 }
 
@@ -649,8 +821,8 @@ fn charge_payload<B: Budget>(principal: u64, charge: &B) -> Vec<u8> {
     p
 }
 
-fn checkpoint_payload<B: Budget>(entries: &[(u64, B)]) -> Vec<u8> {
-    let mut p = vec![KIND_CHECKPOINT];
+fn entries_payload<B: Budget>(kind: u8, entries: &[(u64, B)]) -> Vec<u8> {
+    let mut p = vec![kind];
     p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (principal, spent) in entries {
         let bytes = spent.to_bytes();
@@ -659,6 +831,42 @@ fn checkpoint_payload<B: Budget>(entries: &[(u64, B)]) -> Vec<u8> {
         p.extend_from_slice(&bytes);
     }
     p
+}
+
+fn checkpoint_payload<B: Budget>(entries: &[(u64, B)]) -> Vec<u8> {
+    entries_payload(KIND_CHECKPOINT, entries)
+}
+
+/// Splits a registry snapshot into `SNAPSHOT` record payloads, each
+/// within [`MAX_PAYLOAD`] — a million-principal snapshot does not fit
+/// one record (the cap exists so replay can refuse huge length fields),
+/// so compacted logs carry it chunked. Always returns at least one chunk
+/// (an empty registry still writes one empty `SNAPSHOT`), so a compacted
+/// log's declared prefix count is never zero.
+fn snapshot_chunks<B: Budget>(entries: &[(u64, B)]) -> Result<Vec<Vec<u8>>, JournalError> {
+    // kind byte + u32 entry count.
+    const CHUNK_HEADER: usize = 5;
+    let mut chunks = Vec::new();
+    let mut current: Vec<(u64, B)> = Vec::new();
+    let mut current_size = CHUNK_HEADER;
+    for (principal, spent) in entries {
+        let entry_size = 12 + spent.to_bytes().len();
+        if CHUNK_HEADER + entry_size > MAX_PAYLOAD as usize {
+            return Err(JournalError::new(
+                "compact",
+                format!("snapshot entry for principal {principal} exceeds the maximum record size"),
+            ));
+        }
+        if current_size + entry_size > MAX_PAYLOAD as usize {
+            chunks.push(entries_payload(KIND_SNAPSHOT, &current));
+            current.clear();
+            current_size = CHUNK_HEADER;
+        }
+        current.push((*principal, spent.clone()));
+        current_size += entry_size;
+    }
+    chunks.push(entries_payload(KIND_SNAPSHOT, &current));
+    Ok(chunks)
 }
 
 fn decode_charge<B: Budget>(payload: &[u8]) -> Option<(u64, B)> {
@@ -673,8 +881,10 @@ fn decode_charge<B: Budget>(payload: &[u8]) -> Option<(u64, B)> {
     Some((principal, charge))
 }
 
-fn decode_checkpoint<B: Budget>(payload: &[u8]) -> Option<Vec<(u64, B)>> {
-    if payload.len() < 5 || payload[0] != KIND_CHECKPOINT {
+/// Decodes a `CHECKPOINT` or `SNAPSHOT` payload (same wire layout; the
+/// caller names which kind it expects).
+fn decode_entries<B: Budget>(payload: &[u8], kind: u8) -> Option<Vec<(u64, B)>> {
+    if payload.len() < 5 || payload[0] != kind {
         return None;
     }
     let count = u32::from_le_bytes(payload[1..5].try_into().expect("4 count bytes"));
@@ -794,11 +1004,13 @@ enum TailFragment<B> {
     /// checkpoint, which only summarizes records still in the log):
     /// drop it — the sync never returned, so nothing was released.
     Dropped,
-    /// Provably *not* a torn write: the surviving checksum bytes
-    /// contradict the payload. A tear persists a prefix of the true
-    /// frame, so an inconsistent prefix is bit rot — refuse rather than
-    /// charge whatever principal/amount the rotted bytes decode as.
-    Rotted,
+    /// Provably *not* a torn write (carries the refusal detail): the
+    /// surviving checksum bytes contradict the payload — a tear persists
+    /// a prefix of the true frame, so an inconsistent prefix is bit rot —
+    /// or the fragment claims a record kind the writer never appends
+    /// (`SNAPSHOT` lives only in atomically-replaced compacted prefixes).
+    /// Refuse rather than guess off untrusted bytes.
+    Rotted(&'static str),
 }
 
 /// Classifies a tail fragment (an incomplete frame extending to EOF) for
@@ -810,6 +1022,14 @@ fn classify_tail<B: Budget>(fragment: &[u8]) -> TailFragment<B> {
         return TailFragment::Dropped;
     }
     let len = u32::from_le_bytes(fragment[..4].try_into().expect("4 length bytes"));
+    // When the kind byte survived, a fragment claiming to be a SNAPSHOT
+    // record is provably not a torn append: the writer only ever appends
+    // charges and checkpoints (snapshots exist solely inside
+    // atomically-replaced compacted prefixes, which replay checks
+    // separately). Dropping it could forget compacted history — refuse.
+    if len >= 1 && fragment.len() >= 5 && fragment[4] == KIND_SNAPSHOT {
+        return TailFragment::Rotted("snapshot record fragment outside the compacted prefix");
+    }
     if len > MAX_PAYLOAD || fragment.len() < 4 + len as usize {
         return TailFragment::Dropped;
     }
@@ -817,7 +1037,7 @@ fn classify_tail<B: Budget>(fragment: &[u8]) -> TailFragment<B> {
     let crc = crc32(payload).to_le_bytes();
     let survived = &fragment[4 + len as usize..];
     if survived.len() >= 4 || survived != &crc[..survived.len()] {
-        return TailFragment::Rotted;
+        return TailFragment::Rotted("tail fragment checksum inconsistent with its payload");
     }
     match decode_charge(payload) {
         Some((principal, charge)) => TailFragment::Charged(principal, charge),
@@ -856,10 +1076,20 @@ pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, Rec
         )));
     }
     let name_len = header[7] as usize;
-    if header.len() != 8 + name_len {
+    // Two header shapes: the plain one, and the compacted-log one with a
+    // trailing u32 declaring how many SNAPSHOT records follow.
+    let expected_snapshots = if header.len() == 8 + name_len {
+        0u32
+    } else if header.len() == 12 + name_len {
+        u32::from_le_bytes(
+            header[8 + name_len..]
+                .try_into()
+                .expect("4 snapshot-count bytes"),
+        )
+    } else {
         return Err(RecoveryError::BadHeader("carrier name truncated".into()));
-    }
-    let found = String::from_utf8_lossy(&header[8..]).into_owned();
+    };
+    let found = String::from_utf8_lossy(&header[8..8 + name_len]).into_owned();
     if found != B::NAME {
         return Err(RecoveryError::CarrierMismatch {
             expected: B::NAME,
@@ -873,6 +1103,41 @@ pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, Rec
         records: 1,
         ..RecoveryReport::default()
     };
+    // The compacted snapshot prefix. It was written in one atomic
+    // replace, so every declared chunk must be complete and intact: any
+    // damage or shortfall here is refused outright — the torn-tail rule
+    // must NOT apply, because dropping a snapshot record would forget the
+    // compacted-away history it stands in for.
+    for part in 0..expected_snapshots {
+        let offset = at;
+        let (frame, next) = parse_frame(bytes, at);
+        let payload = match frame {
+            Frame::Complete(p) if p.first() == Some(&KIND_SNAPSHOT) => p,
+            _ => {
+                return Err(RecoveryError::Corrupt {
+                    offset,
+                    detail: format!(
+                        "compacted snapshot prefix damaged \
+                         (part {}/{expected_snapshots})",
+                        part + 1
+                    ),
+                });
+            }
+        };
+        let entries =
+            decode_entries::<B>(payload, KIND_SNAPSHOT).ok_or_else(|| RecoveryError::Corrupt {
+                offset,
+                detail: "undecodable snapshot record".into(),
+            })?;
+        // The first chunk starts from the (empty) reset state; later
+        // chunks extend it. Chunks carry disjoint principals, so this is
+        // a plain union.
+        for (principal, total) in entries {
+            spent.insert(principal, total);
+        }
+        report.records += 1;
+        at = next;
+    }
     while at < bytes.len() {
         let offset = at;
         let (frame, next) = parse_frame(bytes, at);
@@ -889,14 +1154,26 @@ pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, Rec
                         *entry = B::compose::<D>(entry, &charge);
                     }
                     Some(&KIND_CHECKPOINT) => {
-                        let entries = decode_checkpoint::<B>(payload).ok_or_else(|| {
-                            RecoveryError::Corrupt {
-                                offset,
-                                detail: "undecodable checkpoint record".into(),
-                            }
-                        })?;
+                        let entries =
+                            decode_entries::<B>(payload, KIND_CHECKPOINT).ok_or_else(|| {
+                                RecoveryError::Corrupt {
+                                    offset,
+                                    detail: "undecodable checkpoint record".into(),
+                                }
+                            })?;
                         // Authoritative: replay state resets to the snapshot.
                         spent = entries.into_iter().collect();
+                    }
+                    Some(&KIND_SNAPSHOT) => {
+                        // SNAPSHOT records exist only inside the
+                        // header-declared prefix of an atomically-replaced
+                        // log; the writer never *appends* one. Skipping it
+                        // could under-report, charging it could double —
+                        // refuse.
+                        return Err(RecoveryError::Corrupt {
+                            offset,
+                            detail: "snapshot record outside the compacted prefix".into(),
+                        });
                     }
                     kind => {
                         return Err(RecoveryError::Corrupt {
@@ -940,10 +1217,10 @@ pub fn replay<D: AbstractDp, B: Budget>(bytes: &[u8]) -> Result<Recovery<B>, Rec
                         torn_charge = Some((principal, charge));
                     }
                     TailFragment::Dropped => report.torn_tail = true,
-                    TailFragment::Rotted => {
+                    TailFragment::Rotted(detail) => {
                         return Err(RecoveryError::Corrupt {
                             offset,
-                            detail: "tail fragment checksum inconsistent with its payload".into(),
+                            detail: detail.into(),
                         });
                     }
                 }
@@ -970,19 +1247,198 @@ struct JournalInner<S> {
     storage: S,
     /// Charges appended since the last checkpoint record.
     since_checkpoint: u64,
-    /// Set on the first append/sync failure; while set, every charge is
-    /// refused without touching storage (see "Failure latching" in the
-    /// module docs). Cleared only by a restart.
-    failed: Option<JournalError>,
 }
 
-impl<S> JournalInner<S> {
+/// The failure latch, shared lock-free between the serial path, the
+/// group-commit path and compaction: set on the first append/sync/replace
+/// failure, after which every charge is refused without touching storage
+/// (see "Failure latching" in the module docs). Cleared only by a
+/// restart. Lives outside the storage mutex so group-commit enqueuers can
+/// check it without queueing behind the leader's fsync.
+struct Latch {
+    tripped: AtomicBool,
+    err: Mutex<Option<JournalError>>,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            tripped: AtomicBool::new(false),
+            err: Mutex::new(None),
+        }
+    }
+
+    /// The original failure, if latched.
+    fn get(&self) -> Option<JournalError> {
+        if !self.tripped.load(Ordering::Acquire) {
+            return None;
+        }
+        self.err.lock().expect("latch poisoned").clone()
+    }
+
+    /// Latches on `err`; the first failure wins.
+    fn set(&self, err: JournalError) {
+        let mut slot = self.err.lock().expect("latch poisoned");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.tripped.store(true, Ordering::Release);
+    }
+
     /// The refusal every charge gets while the journal is latched.
     fn latched_error(err: &JournalError) -> JournalError {
         JournalError::new(
             "latched",
             format!("journal disabled by earlier failure ({err}); reopen to recover"),
         )
+    }
+}
+
+/// Group-commit state: the queue of framed records awaiting a leader,
+/// the reservation set, and the LSN watermarks. Lock order is **group
+/// lock before journal (storage) lock**, never the reverse.
+struct GroupState<B> {
+    /// Framed records enqueued but not yet taken by a leader.
+    queue: Vec<Vec<u8>>,
+    /// `(lsn, principal, charge)` for every enqueued record not yet
+    /// applied to the ledger. The admission check counts these as spent
+    /// (a *reservation*): without it two concurrent chargers could both
+    /// pass against committed spend and jointly overshoot the allowance.
+    /// Applied (and removed) by the leader only after the batch's fsync
+    /// returns; dropped unapplied when a batch fails — so the ledger
+    /// never moves for a refused charge, exactly like the serial path.
+    reserved: VecDeque<(u64, u64, B)>,
+    /// LSN of the most recently enqueued record.
+    enqueued: u64,
+    /// Highest LSN taken by a leader (appended or failed).
+    taken: u64,
+    /// Stable LSN: every record at or below it is fsynced **and**
+    /// applied. A charger is acknowledged exactly when `durable` reaches
+    /// its LSN.
+    durable: u64,
+    /// Whether a leader currently owns the storage for a batch.
+    leader_active: bool,
+    /// Compaction gate: while set, new chargers wait before enqueueing
+    /// so the queue can drain and the snapshot be exact.
+    paused: bool,
+}
+
+impl<B> GroupState<B> {
+    fn new() -> Self {
+        GroupState {
+            queue: Vec::new(),
+            reserved: VecDeque::new(),
+            enqueued: 0,
+            taken: 0,
+            durable: 0,
+            leader_active: false,
+            paused: false,
+        }
+    }
+}
+
+/// When a [`DurableRegistry`] should compact its journal (rewrite it as
+/// header + snapshot via [`JournalStorage::replace_with`]).
+///
+/// The default policy is disabled — compaction runs only through
+/// [`compact_now`](DurableRegistry::compact_now). Thresholds are checked
+/// after each acknowledged charge; the first one crossed triggers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact once the log exceeds this many bytes.
+    pub max_bytes: Option<u64>,
+    /// Compact once this many charge records have been appended since
+    /// the last compaction (or recovery).
+    pub max_records: Option<u64>,
+}
+
+impl CompactionPolicy {
+    /// Never compact automatically (the default).
+    pub fn disabled() -> Self {
+        CompactionPolicy::default()
+    }
+
+    /// Compact once the log exceeds `n` bytes.
+    pub fn max_bytes(n: u64) -> Self {
+        CompactionPolicy {
+            max_bytes: Some(n),
+            max_records: None,
+        }
+    }
+
+    /// Compact once `n` records have been appended since the last
+    /// compaction.
+    pub fn max_records(n: u64) -> Self {
+        CompactionPolicy {
+            max_bytes: None,
+            max_records: Some(n),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.max_bytes.is_some() || self.max_records.is_some()
+    }
+
+    fn due(&self, bytes: u64, records: u64) -> bool {
+        self.max_bytes.is_some_and(|m| bytes >= m) || self.max_records.is_some_and(|m| records >= m)
+    }
+}
+
+/// Tunables for a [`DurableRegistry`], applied via
+/// [`with_options`](DurableRegistry::with_options) or the session
+/// builder's `.durable_with_policy(path, options)`.
+///
+/// The default is the recommended serving configuration: group commit
+/// **on**, the standard checkpoint cadence, compaction off (opt in with a
+/// [`CompactionPolicy`]). Note that `DurableRegistry::create`/`open`
+/// themselves default to the serial fsync-per-charge path for
+/// compatibility; options are how callers opt into batching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Batch concurrent charges into one fsync (see "Group commit" in
+    /// the module docs).
+    pub group_commit: bool,
+    /// Charges between periodic checkpoint records.
+    pub checkpoint_every: u64,
+    /// When to compact the journal automatically.
+    pub compaction: CompactionPolicy,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            group_commit: true,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            compaction: CompactionPolicy::disabled(),
+        }
+    }
+}
+
+impl DurableOptions {
+    /// The pre-group-commit behaviour: every charge pays its own fsync.
+    pub fn serial() -> Self {
+        DurableOptions {
+            group_commit: false,
+            ..DurableOptions::default()
+        }
+    }
+
+    /// Sets whether concurrent charges share fsyncs.
+    pub fn group_commit(mut self, enabled: bool) -> Self {
+        self.group_commit = enabled;
+        self
+    }
+
+    /// Sets the periodic checkpoint cadence.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets the automatic compaction policy.
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
+        self
     }
 }
 
@@ -997,7 +1453,20 @@ impl<S> JournalInner<S> {
 pub struct DurableRegistry<D: AbstractDp, B: Budget, S: JournalStorage> {
     registry: BudgetRegistry<D, B>,
     journal: Mutex<JournalInner<S>>,
+    /// Group-commit queue + watermarks; used only when `group_commit`.
+    group: Mutex<GroupState<B>>,
+    group_cv: Condvar,
+    latch: Latch,
     checkpoint_every: u64,
+    group_commit: bool,
+    compaction: CompactionPolicy,
+    /// Best-effort log size / appended-record counters feeding the
+    /// compaction policy (reset by compaction, approximate after
+    /// recovery).
+    log_bytes: AtomicU64,
+    log_records: AtomicU64,
+    /// Single-flight gate for policy-triggered compaction.
+    compacting: AtomicBool,
 }
 
 impl<D: AbstractDp, B: Budget, S: JournalStorage> std::fmt::Debug for DurableRegistry<D, B, S> {
@@ -1005,6 +1474,8 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> std::fmt::Debug for DurableReg
         f.debug_struct("DurableRegistry")
             .field("registry", &self.registry)
             .field("checkpoint_every", &self.checkpoint_every)
+            .field("group_commit", &self.group_commit)
+            .field("compaction", &self.compaction)
             .finish()
     }
 }
@@ -1049,17 +1520,41 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
                 "storage not empty; recover it instead",
             ));
         }
-        storage.append(&frame(&header_payload::<B>()))?;
+        let header = frame(&header_payload::<B>(0));
+        storage.append(&header)?;
         storage.sync()?;
-        Ok(DurableRegistry {
-            registry: BudgetRegistry::with_budget(per_principal, shards),
+        Ok(Self::assemble(
+            BudgetRegistry::with_budget(per_principal, shards),
+            storage,
+            header.len() as u64,
+            0,
+        ))
+    }
+
+    /// Wires a registry + storage into a `DurableRegistry` with the
+    /// default (serial, no-compaction) options.
+    fn assemble(
+        registry: BudgetRegistry<D, B>,
+        storage: S,
+        log_bytes: u64,
+        log_records: u64,
+    ) -> Self {
+        DurableRegistry {
+            registry,
             journal: Mutex::new(JournalInner {
                 storage,
                 since_checkpoint: 0,
-                failed: None,
             }),
+            group: Mutex::new(GroupState::new()),
+            group_cv: Condvar::new(),
+            latch: Latch::new(),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
-        })
+            group_commit: false,
+            compaction: CompactionPolicy::disabled(),
+            log_bytes: AtomicU64::new(log_bytes),
+            log_records: AtomicU64::new(log_records),
+            compacting: AtomicBool::new(false),
+        }
     }
 
     /// Recovers a durable registry by replaying existing storage; returns
@@ -1121,16 +1616,9 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
         for (principal, spent) in &recovery.spent {
             registry.apply_unchecked(*principal, spent);
         }
+        let log_bytes = storage.len().map_err(RecoveryError::Io)?;
         Ok((
-            DurableRegistry {
-                registry,
-                journal: Mutex::new(JournalInner {
-                    storage,
-                    since_checkpoint: 0,
-                    failed: None,
-                }),
-                checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
-            },
+            Self::assemble(registry, storage, log_bytes, recovery.report.records as u64),
             recovery.report,
         ))
     }
@@ -1183,6 +1671,46 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
         self
     }
 
+    /// Returns this registry with group commit enabled or disabled (see
+    /// "Group commit" in the module docs). Off by default in
+    /// [`create`](Self::create)/[`open`](Self::open).
+    pub fn with_group_commit(mut self, enabled: bool) -> Self {
+        self.group_commit = enabled;
+        self
+    }
+
+    /// Returns this registry with an automatic compaction policy (see
+    /// "Compaction" in the module docs). Disabled by default.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
+        self
+    }
+
+    /// Applies a whole [`DurableOptions`] at once.
+    pub fn with_options(self, options: DurableOptions) -> Self {
+        self.with_checkpoint_every(options.checkpoint_every)
+            .with_group_commit(options.group_commit)
+            .with_compaction(options.compaction)
+    }
+
+    /// [`open_with_budget`](Self::open_with_budget) plus
+    /// [`DurableOptions`] — the entry point behind the session builder's
+    /// `.durable_with_policy(path, options)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] on I/O failure or unreplayable
+    /// contents.
+    pub fn open_with_options(
+        per_principal: B,
+        shards: usize,
+        storage: S,
+        options: DurableOptions,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        let (registry, report) = Self::open_with_budget(per_principal, shards, storage)?;
+        Ok((registry.with_options(options), report))
+    }
+
     /// A read-only view of the underlying in-memory registry (reads are
     /// lock-free of the journal). The view exposes no mutation: every
     /// durable charge must go through [`charge`](Self::charge) and
@@ -1197,11 +1725,19 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
     /// "Failure latching" in the module docs); recovery is a restart over
     /// the surviving bytes ([`open`](Self::open)).
     pub fn journal_error(&self) -> Option<JournalError> {
-        self.journal
-            .lock()
-            .expect("journal poisoned")
-            .failed
-            .clone()
+        self.latch.get()
+    }
+
+    /// Current journal size in bytes (best-effort counter: exact for the
+    /// serial and group paths, reset by compaction, initialized from the
+    /// storage length at recovery).
+    pub fn journal_bytes(&self) -> u64 {
+        self.log_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Records appended since the last compaction (or recovery).
+    pub fn journal_records(&self) -> u64 {
+        self.log_records.load(Ordering::Relaxed)
     }
 
     /// Total spent by `principal`, in the carrier.
@@ -1262,19 +1798,6 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
     /// As for [`charge`](Self::charge).
     pub fn charge_exact(&self, principal: u64, gamma: B) -> Result<(), DurableChargeError<B>> {
         assert!(gamma.is_valid(), "invalid charge");
-        let mut inner = self.journal.lock().expect("journal poisoned");
-        // 0. Latched journals refuse everything without touching storage:
-        //    appending past a torn fragment would make the log
-        //    unrecoverable.
-        if let Some(err) = &inner.failed {
-            return Err(DurableChargeError::Journal(
-                JournalInner::<S>::latched_error(err),
-            ));
-        }
-        // 1. Check: refusals write nothing.
-        self.registry
-            .check_exact(principal, &gamma)
-            .map_err(DurableChargeError::Budget)?;
         let payload = charge_payload(principal, &gamma);
         if payload.len() > MAX_PAYLOAD as usize {
             // Nothing was written, so no latch — but the record cannot be
@@ -1284,23 +1807,56 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
                 "charge record exceeds the maximum payload size",
             )));
         }
+        let record = frame(&payload);
+        let result = if self.group_commit {
+            self.charge_grouped(principal, gamma, record)
+        } else {
+            self.charge_serial(principal, gamma, record)
+        };
+        if result.is_ok() {
+            self.maybe_compact();
+        }
+        result
+    }
+
+    /// The serial path: one journal lock across check → append + fsync →
+    /// apply; every charge pays its own fsync.
+    fn charge_serial(
+        &self,
+        principal: u64,
+        gamma: B,
+        record: Vec<u8>,
+    ) -> Result<(), DurableChargeError<B>> {
+        let mut inner = self.journal.lock().expect("journal poisoned");
+        // 0. Latched journals refuse everything without touching storage:
+        //    appending past a torn fragment would make the log
+        //    unrecoverable.
+        if let Some(err) = self.latch.get() {
+            return Err(DurableChargeError::Journal(Latch::latched_error(&err)));
+        }
+        // 1. Check: refusals write nothing.
+        self.registry
+            .check_exact(principal, &gamma)
+            .map_err(DurableChargeError::Budget)?;
         // 2. Append + sync: failure rejects without applying AND latches
         //    the journal (the append may have left a torn fragment; the
         //    sync leaves the tail's durability unknown).
-        let record = frame(&payload);
         if let Err(e) = inner
             .storage
             .append(&record)
             .and_then(|()| inner.storage.sync())
         {
-            inner.failed = Some(e.clone());
+            self.latch.set(e.clone());
             return Err(DurableChargeError::Journal(e));
         }
+        self.log_bytes
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
+        self.log_records.fetch_add(1, Ordering::Relaxed);
         // 3. Apply: the charge is durable; release the answer.
         self.registry.apply_unchecked(principal, &gamma);
         inner.since_checkpoint += 1;
         if inner.since_checkpoint >= self.checkpoint_every {
-            match Self::write_checkpoint(&self.registry, &mut inner.storage) {
+            match self.write_checkpoint(&mut inner.storage) {
                 // Written, or skipped as oversized (the charges a
                 // checkpoint summarizes are already journaled, so a skip
                 // loses nothing); either way the cadence restarts.
@@ -1308,10 +1864,155 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
                 // A failed checkpoint append can tear the log just like a
                 // failed charge append — latch. The charge itself is
                 // already durable, so it still succeeds.
-                Err(e) => inner.failed = Some(e),
+                Err(e) => self.latch.set(e),
             }
         }
         Ok(())
+    }
+
+    /// The group-commit path: check against committed **plus reserved**
+    /// spend, enqueue, and wait for the stable LSN to cover the record —
+    /// leading a batch (append all + one fsync, then apply) when no
+    /// leader is active. See "Group commit" in the module docs.
+    fn charge_grouped(
+        &self,
+        principal: u64,
+        gamma: B,
+        record: Vec<u8>,
+    ) -> Result<(), DurableChargeError<B>> {
+        let mut g = self.group.lock().expect("group state poisoned");
+        // Compaction drains the queue before snapshotting; wait it out.
+        while g.paused {
+            g = self.group_cv.wait(g).expect("group state poisoned");
+        }
+        if let Some(err) = self.latch.get() {
+            return Err(DurableChargeError::Journal(Latch::latched_error(&err)));
+        }
+        // Admission: committed spend ⊕ this principal's reservations ⊕
+        // gamma must fit the allowance. Consistent because both
+        // reservations and applies happen under this group lock.
+        let mut reserved_sum = B::zero();
+        for (_, p, pending) in g.reserved.iter() {
+            if *p == principal {
+                reserved_sum = B::compose::<D>(&reserved_sum, pending);
+            }
+        }
+        self.registry
+            .check_exact_reserved(principal, &reserved_sum, &gamma)
+            .map_err(DurableChargeError::Budget)?;
+        g.enqueued += 1;
+        let my_lsn = g.enqueued;
+        g.queue.push(record);
+        g.reserved.push_back((my_lsn, principal, gamma));
+        loop {
+            // Ack only at stable LSN: the record is fsynced and applied.
+            if g.durable >= my_lsn {
+                return Ok(());
+            }
+            if let Some(err) = self.latch.get() {
+                // Enqueued before the latch tripped, never became
+                // durable: this charge was in (or behind) the failing
+                // batch. Its reservation is already dropped and the
+                // ledger never moved — refuse with the original failure,
+                // as the serial path refuses the failing charge.
+                return Err(DurableChargeError::Journal(err));
+            }
+            if !g.leader_active && g.taken < g.enqueued {
+                g = self.lead_batch(g);
+            } else {
+                g = self.group_cv.wait(g).expect("group state poisoned");
+            }
+        }
+    }
+
+    /// Takes the queue as one batch, appends every frame under the
+    /// journal lock, pays a single fsync, then (back under the group
+    /// lock) applies the batch and advances the stable LSN — or, on
+    /// failure, latches and drops every outstanding reservation
+    /// unapplied.
+    fn lead_batch<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, GroupState<B>>,
+    ) -> MutexGuard<'a, GroupState<B>> {
+        g.leader_active = true;
+        // Gather window: leadership is claimed but the batch is not yet
+        // taken, so peers get scheduling slices to enqueue behind it —
+        // in particular the members of the *previous* batch, which were
+        // woken a moment ago and are about to charge again. Without
+        // this, the leader races ahead of its just-woken peers and the
+        // steady state degenerates into two half batches per cycle
+        // (each paying a full fsync). Yield until a slice passes with
+        // no new arrivals, capped so a steady stream of enqueuers
+        // cannot hold the batch open; the few-µs cost is noise against
+        // the ~100µs fsync it amortizes.
+        for _ in 0..4 {
+            let before = g.enqueued;
+            drop(g);
+            std::thread::yield_now();
+            g = self.group.lock().expect("group state poisoned");
+            if g.enqueued == before {
+                break;
+            }
+        }
+        let frames = std::mem::take(&mut g.queue);
+        let hi = g.enqueued;
+        g.taken = hi;
+        drop(g);
+        // Storage work without the group lock: enqueuers must be able to
+        // keep queueing behind this fsync — that concurrency is the whole
+        // win.
+        let outcome = {
+            let mut inner = self.journal.lock().expect("journal poisoned");
+            let mut appended = Ok(());
+            for frame_bytes in &frames {
+                if let Err(e) = inner.storage.append(frame_bytes) {
+                    appended = Err(e);
+                    break;
+                }
+            }
+            appended.and_then(|()| inner.storage.sync())
+        };
+        let mut g = self.group.lock().expect("group state poisoned");
+        match outcome {
+            Ok(()) => {
+                let batch_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+                self.log_bytes.fetch_add(batch_bytes, Ordering::Relaxed);
+                self.log_records
+                    .fetch_add(frames.len() as u64, Ordering::Relaxed);
+                // Apply the whole batch before anyone is acknowledged —
+                // and before any checkpoint, whose snapshot must already
+                // include these records (a checkpoint resets replay
+                // state, so snapshotting *before* applying would lose
+                // the batch on recovery).
+                while g.reserved.front().is_some_and(|(lsn, _, _)| *lsn <= hi) {
+                    let (_, principal, pending) =
+                        g.reserved.pop_front().expect("front checked above");
+                    self.registry.apply_unchecked(principal, &pending);
+                }
+                g.durable = hi;
+                let mut inner = self.journal.lock().expect("journal poisoned");
+                inner.since_checkpoint += frames.len() as u64;
+                if inner.since_checkpoint >= self.checkpoint_every {
+                    match self.write_checkpoint(&mut inner.storage) {
+                        Ok(_) => inner.since_checkpoint = 0,
+                        Err(e) => self.latch.set(e),
+                    }
+                }
+            }
+            Err(e) => {
+                // A failed batch refuses every charge in it: latch, and
+                // drop all outstanding reservations without applying —
+                // the ledger never moved for any of them, so there is no
+                // rollback arithmetic. Waiters see the latch and error
+                // out; post-latch arrivals are refused at the gate.
+                self.latch.set(e);
+                g.queue.clear();
+                g.reserved.clear();
+            }
+        }
+        g.leader_active = false;
+        self.group_cv.notify_all();
+        g
     }
 
     /// Appends a checkpoint snapshot immediately.
@@ -1324,11 +2025,34 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
     /// if the write fails — the last case latches the journal, since the
     /// failed append may have torn the log.
     pub fn checkpoint_now(&self) -> Result<(), JournalError> {
-        let mut inner = self.journal.lock().expect("journal poisoned");
-        if let Some(err) = &inner.failed {
-            return Err(JournalInner::<S>::latched_error(err));
+        if self.group_commit {
+            // Wait for in-flight batches so the snapshot covers exactly
+            // the records already in the log (queued-but-unappended
+            // charges follow it and compose on top — still sound). The
+            // group lock is held across the journal work, excluding new
+            // leaders.
+            let mut g = self.group.lock().expect("group state poisoned");
+            // Bail on latch: a latched journal never drains (refused
+            // records can sit in the queue with no leader coming).
+            while self.latch.get().is_none() && (g.leader_active || !g.queue.is_empty()) {
+                g = self.group_cv.wait(g).expect("group state poisoned");
+            }
+            if let Some(err) = self.latch.get() {
+                return Err(Latch::latched_error(&err));
+            }
+            let mut inner = self.journal.lock().expect("journal poisoned");
+            self.checkpoint_locked(&mut inner)
+        } else {
+            let mut inner = self.journal.lock().expect("journal poisoned");
+            if let Some(err) = self.latch.get() {
+                return Err(Latch::latched_error(&err));
+            }
+            self.checkpoint_locked(&mut inner)
         }
-        match Self::write_checkpoint(&self.registry, &mut inner.storage) {
+    }
+
+    fn checkpoint_locked(&self, inner: &mut JournalInner<S>) -> Result<(), JournalError> {
+        match self.write_checkpoint(&mut inner.storage) {
             Ok(true) => {
                 inner.since_checkpoint = 0;
                 Ok(())
@@ -1339,7 +2063,7 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
                  (charges remain individually journaled)",
             )),
             Err(e) => {
-                inner.failed = Some(e.clone());
+                self.latch.set(e.clone());
                 Err(e)
             }
         }
@@ -1347,18 +2071,114 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
 
     /// Appends a checkpoint if it fits the record size cap; `Ok(false)`
     /// means the snapshot was too large and nothing was written.
-    fn write_checkpoint(
-        registry: &BudgetRegistry<D, B>,
-        storage: &mut S,
-    ) -> Result<bool, JournalError> {
-        let snapshot = registry.snapshot();
+    fn write_checkpoint(&self, storage: &mut S) -> Result<bool, JournalError> {
+        let snapshot = self.registry.snapshot();
         let payload = checkpoint_payload(&snapshot);
         if payload.len() > MAX_PAYLOAD as usize {
             return Ok(false);
         }
-        storage.append(&frame(&payload))?;
+        let record = frame(&payload);
+        storage.append(&record)?;
         storage.sync()?;
+        self.log_bytes
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
         Ok(true)
+    }
+
+    /// Compacts the journal now: rewrites it as a fresh header plus a
+    /// chunked snapshot of every principal's spend, through the
+    /// crash-safe [`JournalStorage::replace_with`] swap. Bounds the log
+    /// at (snapshot size + subsequently appended tail) while preserving
+    /// exactly the ledgers a replay of the full history would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the journal is latched, if a single
+    /// snapshot entry cannot fit a record (nothing written, no latch), or
+    /// if the swap fails — which **latches** the journal: mid-swap, the
+    /// handle can no longer tell which complete log survives (both
+    /// recover soundly at restart).
+    pub fn compact_now(&self) -> Result<(), JournalError> {
+        if self.group_commit {
+            let mut g = self.group.lock().expect("group state poisoned");
+            // One compaction at a time; also lets racing auto-triggers
+            // collapse into the explicit call.
+            while g.paused {
+                g = self.group_cv.wait(g).expect("group state poisoned");
+            }
+            g.paused = true;
+            // Drain: chargers already enqueued keep leading batches (the
+            // pause gate only stops *new* enqueues), so this terminates;
+            // once the queue is empty and no leader is active, every
+            // appended record is applied and the snapshot is exact. Bail
+            // on latch — a latched journal never drains (refused records
+            // can sit in the queue with no leader coming).
+            while self.latch.get().is_none() && (g.leader_active || !g.queue.is_empty()) {
+                g = self.group_cv.wait(g).expect("group state poisoned");
+            }
+            let result = if let Some(err) = self.latch.get() {
+                Err(Latch::latched_error(&err))
+            } else {
+                let mut inner = self.journal.lock().expect("journal poisoned");
+                self.compact_locked(&mut inner)
+            };
+            g.paused = false;
+            self.group_cv.notify_all();
+            result
+        } else {
+            let mut inner = self.journal.lock().expect("journal poisoned");
+            if let Some(err) = self.latch.get() {
+                return Err(Latch::latched_error(&err));
+            }
+            self.compact_locked(&mut inner)
+        }
+    }
+
+    fn compact_locked(&self, inner: &mut JournalInner<S>) -> Result<(), JournalError> {
+        let snapshot = self.registry.snapshot();
+        // Refusal before any write (oversized single entry): no latch.
+        let chunks = snapshot_chunks(&snapshot)?;
+        let mut bytes = frame(&header_payload::<B>(chunks.len() as u32));
+        for chunk in &chunks {
+            bytes.extend_from_slice(&frame(chunk));
+        }
+        match inner.storage.replace_with(&bytes) {
+            Ok(()) => {
+                inner.since_checkpoint = 0;
+                self.log_bytes.store(bytes.len() as u64, Ordering::Relaxed);
+                self.log_records.store(0, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                // Mid-swap failure: old log? new log? valid handle? All
+                // unknown — latch. Either complete survivor replays to
+                // the same ledgers after a restart.
+                self.latch.set(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Policy check after an acknowledged charge; single-flight so
+    /// concurrent acks do not pile up compactions. Failures latch (swap
+    /// errors) or are dropped (already latched / pathological snapshot) —
+    /// auto mode has no caller to hand them to; `journal_error` reports
+    /// latched states.
+    fn maybe_compact(&self) {
+        if !self.compaction.enabled() {
+            return;
+        }
+        if !self.compaction.due(
+            self.log_bytes.load(Ordering::Relaxed),
+            self.log_records.load(Ordering::Relaxed),
+        ) {
+            return;
+        }
+        if self.compacting.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = self.compact_now();
+        self.compacting.store(false, Ordering::Release);
     }
 }
 
@@ -1695,6 +2515,378 @@ mod tests {
             replay::<PureDp, Dyadic>(b"not a journal at all"),
             Err(RecoveryError::BadHeader(_))
         ));
+    }
+
+    // -----------------------------------------------------------------
+    // Group commit
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn single_threaded_group_commit_writes_the_serial_byte_stream() {
+        // With one charger every batch holds one record, so the grouped
+        // log must be byte-identical to the serial one — same frames,
+        // same checkpoint cadence — and recovery cannot tell them apart.
+        let serial_storage = MemStorage::new();
+        let serial = Exact::create(10.0, 4, serial_storage.clone())
+            .unwrap()
+            .with_checkpoint_every(3);
+        let group_storage = MemStorage::new();
+        let grouped = Exact::create(10.0, 4, group_storage.clone())
+            .unwrap()
+            .with_checkpoint_every(3)
+            .with_group_commit(true);
+        for i in 0..10u64 {
+            serial.charge(i % 4, 0.25).unwrap();
+            grouped.charge(i % 4, 0.25).unwrap();
+        }
+        assert_eq!(serial_storage.contents(), group_storage.contents());
+    }
+
+    #[test]
+    fn concurrent_group_charges_recover_exactly() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(8.0, 4, storage.clone())
+            .unwrap()
+            .with_group_commit(true);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        reg.charge(t, 0.25).unwrap();
+                    }
+                });
+            }
+        });
+        let expected = Dyadic::from_f64_ceil(6.25);
+        for t in 0..8u64 {
+            assert_eq!(reg.spent_exact(t), expected, "principal {t}");
+        }
+        drop(reg);
+        let (back, _) = Exact::recover(8.0, 4, storage.reopen()).unwrap();
+        for t in 0..8u64 {
+            assert_eq!(back.spent_exact(t), expected, "recovered principal {t}");
+        }
+    }
+
+    #[test]
+    fn group_commit_reservations_never_jointly_overshoot() {
+        // 8 threads hammer ONE principal whose budget admits only 4 of
+        // their 80 quarter-charges. Reservation-counting admission must
+        // keep the final spend at exactly the budget, never past it —
+        // and recovery must agree.
+        let storage = MemStorage::new();
+        let reg = Exact::create(1.0, 4, storage.clone())
+            .unwrap()
+            .with_group_commit(true);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let _ = reg.charge(3, 0.25);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.spent_exact(3), Dyadic::from(1u64));
+        let (back, _) = Exact::recover(1.0, 4, storage.reopen()).unwrap();
+        assert_eq!(back.spent_exact(3), Dyadic::from(1u64));
+    }
+
+    #[test]
+    fn failed_batch_fsync_refuses_every_enqueued_charge_and_latches() {
+        let storage = MemStorage::new();
+        // Header sync succeeds; every later sync fails, so the first
+        // batch — whatever subset of the 8 charges it gathered — fails,
+        // and everything behind it is refused off the latch.
+        let faulty = storage.clone().with_plan(FaultPlan::fail_sync_after(1));
+        let reg = Exact::create(4.0, 4, faulty)
+            .unwrap()
+            .with_group_commit(true);
+        let refusals = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let reg = &reg;
+                    s.spawn(move || reg.charge(t, 0.25).is_err())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("charger panicked"))
+                .filter(|refused| *refused)
+                .count()
+        });
+        assert_eq!(refusals, 8, "every charge in or behind the failed batch");
+        for t in 0..8u64 {
+            assert_eq!(reg.spent_exact(t), Dyadic::zero(), "ledger moved for {t}");
+        }
+        assert_eq!(reg.journal_error().map(|e| e.op), Some("sync"));
+        // Later charges are refused at the gate without touching storage.
+        let before = storage.contents().len();
+        assert!(matches!(
+            reg.charge(9, 0.25).unwrap_err(),
+            DurableChargeError::Journal(e) if e.op == "latched"
+        ));
+        assert_eq!(storage.contents().len(), before);
+        // A latched journal still answers checkpoint/compact with the
+        // latch instead of deadlocking on a queue that will never drain.
+        assert_eq!(reg.checkpoint_now().unwrap_err().op, "latched");
+        assert_eq!(reg.compact_now().unwrap_err().op, "latched");
+        drop(reg);
+        // Restart: the appended-but-unsynced bytes may replay — pure
+        // over-report, which is the allowed direction.
+        let (back, _) = Exact::recover(4.0, 4, storage.reopen()).unwrap();
+        assert!(back.journal_error().is_none());
+    }
+
+    // -----------------------------------------------------------------
+    // replace_with (storage-level, independent of compaction)
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn file_storage_replace_with_swaps_atomically_and_appends_land_in_new_log() {
+        let dir =
+            std::env::temp_dir().join(format!("sampcert-replace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("swap.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut storage = FileStorage::open(&path).unwrap();
+        storage.append(b"old old old").unwrap();
+        storage.sync().unwrap();
+        storage.replace_with(b"new contents").unwrap();
+        // The temp staging file must not survive a successful swap.
+        assert!(!storage.tmp_path().exists(), "staging file left behind");
+        assert_eq!(storage.read_all().unwrap(), b"new contents");
+        // The handle was reopened onto the new inode: appends land in
+        // the renamed file, not the unlinked orphan.
+        storage.append(b" + tail").unwrap();
+        storage.sync().unwrap();
+        drop(storage);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"new contents + tail",
+            "append went to the orphaned inode"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mem_storage_replace_faults_leave_exactly_one_complete_log() {
+        for (outcome, expect) in [
+            (ReplaceFault::KeepOld, b"old".as_slice()),
+            (ReplaceFault::KeepNew, b"new".as_slice()),
+        ] {
+            let storage = MemStorage::new();
+            let mut handle = storage
+                .clone()
+                .with_plan(FaultPlan::fail_replace(0, outcome));
+            handle.append(b"old").unwrap();
+            let err = handle.replace_with(b"new").unwrap_err();
+            assert_eq!(err.op, "replace");
+            assert_eq!(storage.contents(), expect, "{outcome:?}");
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Compaction
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn compaction_bounds_the_log_and_preserves_spend_exactly() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(100.0, 4, storage.clone())
+            .unwrap()
+            .with_checkpoint_every(u64::MAX);
+        for _ in 0..50 {
+            for p in 0..5u64 {
+                reg.charge(p, 0.125).unwrap();
+            }
+        }
+        let live: Vec<_> = (0..5u64).map(|p| reg.spent_exact(p)).collect();
+        let before = storage.contents().len();
+        assert_eq!(reg.journal_bytes(), before as u64);
+        reg.compact_now().unwrap();
+        let after = storage.contents().len();
+        assert!(
+            after < before / 10,
+            "compaction barely shrank the log: {before} -> {after}"
+        );
+        assert_eq!(reg.journal_bytes(), after as u64);
+        assert_eq!(reg.journal_records(), 0);
+        // The live registry is untouched and keeps accepting charges
+        // that append after the compacted prefix.
+        reg.charge(2, 0.25).unwrap();
+        drop(reg);
+        let (back, report) = Exact::recover(100.0, 4, storage.reopen()).unwrap();
+        for p in 0..5u64 {
+            let expect = if p == 2 {
+                &live[p as usize] + &Dyadic::from_f64_ceil(0.25)
+            } else {
+                live[p as usize].clone()
+            };
+            assert_eq!(back.spent_exact(p), expect, "principal {p}");
+        }
+        assert!(!report.torn_tail);
+        // Idempotent: replaying the compacted log twice agrees.
+        let once = replay::<PureDp, Dyadic>(&storage.contents()).unwrap();
+        let twice = replay::<PureDp, Dyadic>(&storage.contents()).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn compaction_chunks_snapshots_past_the_record_cap() {
+        // Enough f64 principals that one snapshot record cannot hold
+        // them: the compacted log must carry several SNAPSHOT chunks and
+        // still replay exactly.
+        let storage = MemStorage::new();
+        let reg: DurableRegistry<PureDp, f64, _> = DurableRegistry::create(1.0, 8, storage.clone())
+            .unwrap()
+            .with_checkpoint_every(u64::MAX);
+        let n = (MAX_PAYLOAD as u64 / 20) + 2;
+        for p in 0..n {
+            reg.charge(p, 0.5).unwrap();
+        }
+        reg.compact_now().unwrap();
+        drop(reg);
+        let recovery = replay::<PureDp, f64>(&storage.contents()).unwrap();
+        // header + at least 2 snapshot chunks, nothing else.
+        assert!(recovery.report.records >= 3, "{}", recovery.report.records);
+        assert_eq!(recovery.spent.len(), n as usize);
+        assert!(recovery.spent.iter().all(|(_, s)| *s == 0.5));
+        let (back, _) =
+            DurableRegistry::<PureDp, f64, _>::recover(1.0, 8, storage.reopen()).unwrap();
+        assert_eq!(back.spent_exact(0), 0.5);
+        assert_eq!(back.spent_exact(n - 1), 0.5);
+    }
+
+    #[test]
+    fn snapshot_prefix_damage_is_refused_not_dropped() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(10.0, 4, storage.clone()).unwrap();
+        for p in 0..6u64 {
+            reg.charge(p, 0.5).unwrap();
+        }
+        reg.compact_now().unwrap();
+        drop(reg);
+        let compacted = storage.contents();
+        // Truncating into the snapshot record is NOT a droppable torn
+        // tail — the snapshot stands in for vanished history.
+        storage.truncate(compacted.len() - 4);
+        let err = Exact::recover(10.0, 4, storage.reopen()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn snapshot_record_appended_outside_prefix_is_refused() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(10.0, 4, storage.clone()).unwrap();
+        reg.charge(1, 0.5).unwrap();
+        drop(reg);
+        // Forge an appended SNAPSHOT record on a non-compacted log: the
+        // writer never does this, and replaying it would let a forged
+        // snapshot rewrite history.
+        let forged = entries_payload(KIND_SNAPSHOT, &[(1u64, Dyadic::from_f64_ceil(0.125))]);
+        let mut raw = storage.reopen();
+        raw.append(&frame(&forged)).unwrap();
+        let err = replay::<PureDp, Dyadic>(&storage.contents()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+        // And a torn fragment of one is refused too, not dropped.
+        let full = storage.contents().len();
+        storage.truncate(full - 6);
+        let err = replay::<PureDp, Dyadic>(&storage.contents()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn failed_swap_latches_and_both_survivors_recover() {
+        for outcome in [ReplaceFault::KeepOld, ReplaceFault::KeepNew] {
+            let storage = MemStorage::new();
+            let faulty = storage
+                .clone()
+                .with_plan(FaultPlan::fail_replace(0, outcome));
+            let reg = Exact::create(10.0, 4, faulty).unwrap();
+            for p in 0..4u64 {
+                reg.charge(p, 0.5).unwrap();
+            }
+            let err = reg.compact_now().unwrap_err();
+            assert_eq!(err.op, "replace");
+            // Mid-swap failure latches: which log survives is unknown.
+            assert_eq!(reg.journal_error().map(|e| e.op), Some("replace"));
+            assert!(matches!(
+                reg.charge(9, 0.25).unwrap_err(),
+                DurableChargeError::Journal(e) if e.op == "latched"
+            ));
+            drop(reg);
+            // Both possible survivors replay to the same ledgers.
+            let (back, report) = Exact::recover(10.0, 4, storage.reopen()).unwrap();
+            assert!(!report.torn_tail, "{outcome:?}");
+            for p in 0..4u64 {
+                assert_eq!(
+                    back.spent_exact(p),
+                    Dyadic::from_f64_ceil(0.5),
+                    "{outcome:?} principal {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_policy_triggers_automatically() {
+        let storage = MemStorage::new();
+        let reg = Exact::create(100.0, 4, storage.clone())
+            .unwrap()
+            .with_options(
+                DurableOptions::default()
+                    .group_commit(false)
+                    .checkpoint_every(u64::MAX)
+                    .compaction(CompactionPolicy::max_records(10)),
+            );
+        for i in 0..10u64 {
+            reg.charge(i % 3, 0.125).unwrap();
+        }
+        // The 10th acknowledged charge crossed the record threshold and
+        // compacted: the counter reset and the log is header + snapshot.
+        assert_eq!(reg.journal_records(), 0);
+        let recovery = replay::<PureDp, Dyadic>(&storage.contents()).unwrap();
+        assert_eq!(recovery.report.records, 2, "header + one snapshot chunk");
+        let (back, _) = Exact::recover(100.0, 4, storage.reopen()).unwrap();
+        for p in 0..3u64 {
+            assert_eq!(back.spent_exact(p), reg.spent_exact(p), "principal {p}");
+        }
+    }
+
+    #[test]
+    fn grouped_compaction_runs_against_concurrent_chargers() {
+        // Chargers and an auto-compacting policy race: every acknowledged
+        // charge must survive every compaction, exactly.
+        let storage = MemStorage::new();
+        let reg = Exact::create(100.0, 4, storage.clone())
+            .unwrap()
+            .with_options(
+                DurableOptions::default()
+                    .checkpoint_every(u64::MAX)
+                    .compaction(CompactionPolicy::max_records(16)),
+            );
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        reg.charge(t, 0.0625).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(reg.journal_error().is_none());
+        let live: Vec<_> = (0..4u64).map(|p| reg.spent_exact(p)).collect();
+        let expected = Dyadic::from_f64_ceil(0.0625).mul_u64(50);
+        drop(reg);
+        let (back, _) = Exact::recover(100.0, 4, storage.reopen()).unwrap();
+        for p in 0..4u64 {
+            assert_eq!(back.spent_exact(p), live[p as usize], "principal {p}");
+            assert_eq!(back.spent_exact(p), expected, "principal {p} count");
+        }
     }
 
     #[test]

@@ -237,6 +237,41 @@ impl<D: AbstractDp, B: Budget> BudgetRegistry<D, B> {
         Ok(())
     }
 
+    /// [`check_exact`](Self::check_exact) against committed spend
+    /// **plus** `reserved` — spend admitted but not yet applied. The
+    /// group-commit journal checks admission at enqueue time but applies
+    /// only after the batch fsync; counting the in-flight reservations
+    /// here keeps two concurrent chargers from both passing against
+    /// committed spend and jointly overshooting the allowance. The
+    /// refusal's `remaining` treats reservations as already spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when committed ⊕ reserved ⊕ gamma
+    /// exceeds the allowance.
+    pub fn check_exact_reserved(
+        &self,
+        principal: u64,
+        reserved: &B,
+        gamma: &B,
+    ) -> Result<(), BudgetExceeded<B>> {
+        assert!(gamma.is_valid(), "invalid charge");
+        assert!(reserved.is_valid(), "invalid reservation");
+        let shard = self
+            .shard_of(principal)
+            .lock()
+            .expect("registry shard poisoned");
+        let zero = B::zero();
+        let spent = shard.get(&principal).unwrap_or(&zero);
+        let committed = B::compose::<D>(spent, reserved);
+        let new_spent = B::compose::<D>(&committed, gamma);
+        if B::exceeds(&new_spent, &self.per_principal) {
+            let remaining = self.per_principal.saturating_sub(&committed);
+            return Err(BudgetExceeded::new(gamma.clone(), remaining).for_principal(principal));
+        }
+        Ok(())
+    }
+
     /// Records spend **without** the admission check — the replay
     /// primitive. Recovery must reconstruct what was actually (or
     /// conservatively assumed to be) spent even past the stated allowance;

@@ -140,7 +140,8 @@ use crate::abstract_dp::{AbstractDp, PureDp, Zcdp};
 use crate::accountant::{BudgetExceeded, Ledger, RdpAccountant};
 use crate::budget::Budget;
 use crate::journal::{
-    DurableChargeError, DurableRegistry, FileStorage, JournalError, JournalStorage, RecoveryError,
+    DurableChargeError, DurableOptions, DurableRegistry, FileStorage, JournalError, JournalStorage,
+    RecoveryError,
 };
 use crate::mechanism::Mechanism;
 use crate::noise::DpNoise;
@@ -1328,6 +1329,50 @@ impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, RegistryPlan<B>, X> {
             _carrier: PhantomData,
         })
     }
+
+    /// [`durable`](Self::durable) with explicit [`DurableOptions`]: group
+    /// commit on/off, checkpoint cadence, and an automatic
+    /// [`CompactionPolicy`](crate::CompactionPolicy). The serving-tier
+    /// configuration is `DurableOptions::default()` — group commit on,
+    /// compaction off until a policy is supplied.
+    ///
+    /// # Errors
+    ///
+    /// As [`durable`](Self::durable).
+    pub fn durable_with_policy(
+        self,
+        path: impl AsRef<std::path::Path>,
+        options: DurableOptions,
+    ) -> Result<SessionBuilder<D, B, DurablePlan<D, B, FileStorage>, X>, RecoveryError> {
+        let storage = FileStorage::open(path).map_err(RecoveryError::Io)?;
+        self.durable_with_options(storage, options)
+    }
+
+    /// [`durable_with_policy`](Self::durable_with_policy) over any
+    /// [`JournalStorage`] backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`durable`](Self::durable).
+    pub fn durable_with_options<S: JournalStorage>(
+        self,
+        storage: S,
+        options: DurableOptions,
+    ) -> Result<SessionBuilder<D, B, DurablePlan<D, B, S>, X>, RecoveryError> {
+        let (registry, _report) = DurableRegistry::open_with_options(
+            self.accountant.per_principal,
+            DURABLE_LOCK_SHARDS,
+            storage,
+            options,
+        )?;
+        Ok(SessionBuilder {
+            accountant: DurablePlan { registry },
+            executor: self.executor,
+            entropy: self.entropy,
+            _notion: PhantomData,
+            _carrier: PhantomData,
+        })
+    }
 }
 
 impl<D: AbstractDp, B: Budget, A> SessionBuilder<D, B, A, NoExecutor> {
@@ -1808,5 +1853,49 @@ mod tests {
         s2.answer_for(1, &req, &[1u8]).unwrap();
         let err = s2.answer_for(1, &req, &[1u8]).unwrap_err();
         assert_eq!(err.as_budget().unwrap().principal, Some(1));
+    }
+
+    #[test]
+    fn durable_options_session_group_commits_and_compacts() {
+        use crate::journal::{replay, CompactionPolicy};
+
+        let storage = MemStorage::new();
+        let handle = storage.clone();
+        let req = count_req(1, 4); // ε = 1/4 per answer
+        let mut s = Session::<PureDp>::builder()
+            .exact()
+            .registry(2.0)
+            .durable_with_options(
+                storage,
+                crate::journal::DurableOptions::default()
+                    .checkpoint_every(u64::MAX)
+                    .compaction(CompactionPolicy::max_records(4)),
+            )
+            .unwrap()
+            .inline()
+            .seeded(13)
+            .build_per_principal();
+        for p in 1..=4u64 {
+            s.answer_for(p, &req, &[1u8]).unwrap();
+        }
+        // The 4th acknowledged charge crossed the record policy and the
+        // journal auto-compacted down to header + snapshot.
+        let recovery = replay::<PureDp, Dyadic>(&handle.contents()).unwrap();
+        assert_eq!(recovery.report.records, 2, "header + one snapshot chunk");
+        drop(s);
+
+        // A plain (serial, no-policy) restart over the compacted log
+        // agrees with what was acknowledged.
+        let s2 = Session::<PureDp>::builder()
+            .exact()
+            .registry(2.0)
+            .durable_with(handle.reopen())
+            .unwrap()
+            .inline()
+            .seeded(13)
+            .build_per_principal();
+        for p in 1..=4u64 {
+            assert_eq!(s2.accountant().registry().spent(p), 0.25, "principal {p}");
+        }
     }
 }

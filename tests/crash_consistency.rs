@@ -68,11 +68,24 @@ struct Outcome {
 /// faulty storage until every thread has either exhausted its schedule
 /// or hit the injected fault, then kills the registry.
 fn kill_mid_charge(plan: FaultPlan, threads: usize, ops_per_thread: usize, seed: u64) -> Outcome {
+    kill_mid_charge_mode(plan, threads, ops_per_thread, seed, false)
+}
+
+/// [`kill_mid_charge`] with the commit mode explicit: `group` batches
+/// concurrent charges behind one leader fsync, so the same fault plans
+/// land on batch boundaries instead of per-charge ones.
+fn kill_mid_charge_mode(
+    plan: FaultPlan,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    group: bool,
+) -> Outcome {
     let storage = MemStorage::new().with_plan(plan);
     let handle = storage.clone();
     let registry =
         match DurableRegistry::<PureDp, Dyadic, _>::create(PER_PRINCIPAL, SHARDS, storage) {
-            Ok(r) => r.with_checkpoint_every(7),
+            Ok(r) => r.with_checkpoint_every(7).with_group_commit(group),
             Err(_) => {
                 // The fault fired on the header write: the process died at
                 // boot having acknowledged nothing.
@@ -285,6 +298,129 @@ fn fsync_failure_only_over_reports() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Group commit: the same kills land on batch boundaries
+// ---------------------------------------------------------------------------
+
+#[test]
+fn group_commit_fault_free_runs_recover_exactly() {
+    for seed in 0..4 {
+        let outcome = kill_mid_charge_mode(FaultPlan::none(), 4, 100, seed, true);
+        assert_eq!(outcome.journal_faults, 0);
+        let bytes = outcome.handle.contents();
+        let recovery = replay::<PureDp, Dyadic>(&bytes).expect("clean log");
+        let recovered: BTreeMap<u64, Dyadic> = recovery.spent.into_iter().collect();
+        assert_eq!(recovered, outcome.acknowledged, "seed {seed}");
+        check_no_under_report(&outcome, "group/none");
+    }
+}
+
+#[test]
+fn group_leader_append_failure_at_every_early_point_never_under_reports() {
+    // The leader's batch append fails partway through the batch: every
+    // record already written in this batch is unsynced, every charge in
+    // the batch must be refused, and the latch stops the rest.
+    for at in 0..40 {
+        let outcome = kill_mid_charge_mode(FaultPlan::fail_append_after(at), 4, 60, at, true);
+        assert!(
+            outcome.journal_faults > 0,
+            "fault at append {at} never fired"
+        );
+        check_no_under_report(&outcome, &format!("group/fail_append_after({at})"));
+    }
+}
+
+#[test]
+fn group_batch_fsync_failure_mid_queue_never_under_reports() {
+    // The single batch fsync fails with followers still queued behind the
+    // leader: the whole batch (and everything enqueued behind it) must be
+    // refused, and any surviving appended-but-unsynced records may only
+    // push recovery upward.
+    for at in [1, 2, 3, 5, 10, 25] {
+        let outcome = kill_mid_charge_mode(FaultPlan::fail_sync_after(at), 4, 60, at, true);
+        assert!(outcome.journal_faults > 0, "fault at sync {at} never fired");
+        check_no_under_report(&outcome, &format!("group/fail_sync_after({at})"));
+    }
+}
+
+#[test]
+fn group_torn_leader_write_at_every_offset_never_under_reports() {
+    for keep in 0..64 {
+        let outcome = kill_mid_charge_mode(torn_kill(12, keep), 4, 60, keep as u64, true);
+        check_no_under_report(&outcome, &format!("group/torn_append(12, {keep})"));
+    }
+}
+
+#[test]
+fn failed_batch_latches_the_journal_for_every_enqueued_charger() {
+    // Header sync succeeds, the first batch fsync fails. Whatever subset
+    // of the 8 chargers the leader gathered — and everyone who arrives
+    // after — must see a journal refusal: zero acknowledgements, zero
+    // in-memory spend, one latched journal.
+    let outcome = kill_mid_charge_mode(FaultPlan::fail_sync_after(1), 8, 5, 99, true);
+    assert!(
+        outcome.acknowledged.is_empty(),
+        "charges acknowledged past a failed batch fsync: {:?}",
+        outcome.acknowledged
+    );
+    assert_eq!(
+        outcome.journal_faults, 8,
+        "every charger must stop on the latch"
+    );
+    check_no_under_report(&outcome, "group/latch-whole-batch");
+}
+
+/// IEEE CRC-32, bit-serial — must match the journal's framing checksum.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c ^= b as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[test]
+fn kill_between_append_and_follower_wakeup_only_over_reports() {
+    // The sharpest group-commit window: the leader has appended and
+    // fsynced a follower's record (it IS durable) but the process dies
+    // before the follower wakes to see its acknowledgement. We forge that
+    // state by appending one well-formed, never-acknowledged charge frame
+    // to a cleanly killed log. Recovery must count it — the one-sided
+    // inequality's over-report direction, exactly.
+    let outcome = kill_mid_charge_mode(FaultPlan::none(), 4, 50, 7, true);
+    let gamma = <Dyadic as Budget>::charge_from_f64(0.125);
+    let mut payload = vec![0x01u8]; // KIND_CHARGE
+    payload.extend_from_slice(&3u64.to_le_bytes());
+    payload.extend_from_slice(&gamma.to_bytes());
+    let mut raw = outcome.handle.reopen();
+    use sampcert_core::JournalStorage;
+    let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+    raw.append(&framed).expect("fault-free append");
+
+    check_no_under_report(&outcome, "group/append-then-die");
+    let recovery = replay::<PureDp, Dyadic>(&outcome.handle.contents()).expect("forged log");
+    let recovered: BTreeMap<u64, Dyadic> = recovery.spent.into_iter().collect();
+    let acked3 = outcome
+        .acknowledged
+        .get(&3)
+        .cloned()
+        .unwrap_or_else(Dyadic::zero);
+    assert_eq!(
+        recovered.get(&3).cloned().unwrap_or_else(Dyadic::zero),
+        &acked3 + &gamma,
+        "the durable-but-unacknowledged record must replay as charged"
+    );
+}
+
 /// Zipf-ish hot/cold principal pick: principal `p` with probability
 /// `2^-(p+1)` (principal 0 draws half the traffic), the tail clamped
 /// into range.
@@ -293,13 +429,15 @@ fn skewed_principal(rnd: &mut impl FnMut(u64) -> u64) -> u64 {
 }
 
 proptest! {
-    /// Randomized fault kind × fault point × tear length × schedule:
-    /// the generalization of the swept tests above.
+    /// Randomized fault kind × fault point × tear length × commit mode ×
+    /// schedule: the generalization of the swept tests above, over both
+    /// the serial (fsync-per-charge) and group-commit write paths.
     #[test]
     fn recovery_never_under_reports(
         kind in 0u8..5,
         at in 0u64..50,
         keep in 0usize..80,
+        group in any::<bool>(),
         seed in any::<u64>(),
     ) {
         let plan = match kind {
@@ -309,8 +447,11 @@ proptest! {
             3 => FaultPlan::torn_append(at, keep),
             _ => FaultPlan::fail_sync_after(at),
         };
-        let outcome = kill_mid_charge(plan, 3, 40, seed);
-        check_no_under_report(&outcome, &format!("kind {kind} at {at} keep {keep}"));
+        let outcome = kill_mid_charge_mode(plan, 3, 40, seed, group);
+        check_no_under_report(
+            &outcome,
+            &format!("kind {kind} at {at} keep {keep} group {group}"),
+        );
     }
 
     /// Concurrent charges under zipfian hot/cold skew never exceed any

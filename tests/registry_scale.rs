@@ -1,0 +1,143 @@
+//! Registry capacity tier: exactness does not erode with scale.
+//!
+//! The ROADMAP's north star is a million registered principals behind
+//! one serving session. The sharded [`BudgetRegistry`] is a plain
+//! hash-sharded map, so nothing *should* change at 10⁶ keys — but
+//! "should" is exactly what this suite pins: populate a million
+//! principals, hammer a zipfian-skewed subset from concurrent chargers,
+//! and check that sampled `spent_exact` values equal a sequential
+//! replay of the acknowledged charges, exactly on the dyadic lattice.
+//!
+//! Debug builds run a scaled-down tier (2·10⁵ principals) so plain
+//! `cargo test -q` stays fast; `--release` (what CI's crash job and the
+//! bench tier run) exercises the full million.
+
+use sampcert_core::{Budget, BudgetRegistry, Dyadic, PureDp};
+use std::collections::BTreeMap;
+
+#[cfg(debug_assertions)]
+const PRINCIPALS: u64 = 200_000;
+#[cfg(not(debug_assertions))]
+const PRINCIPALS: u64 = 1_000_000;
+
+const SHARDS: usize = 64;
+const THREADS: u64 = 4;
+
+#[cfg(debug_assertions)]
+const CHARGES_PER_THREAD: usize = 10_000;
+#[cfg(not(debug_assertions))]
+const CHARGES_PER_THREAD: usize = 50_000;
+
+/// The crash suite's xorshift schedule.
+fn schedule(seed: u64) -> impl FnMut(u64) -> u64 {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    move |bound| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % bound.max(1)
+    }
+}
+
+/// Zipf-ish principal over the full range: a geometric number of
+/// trailing zeros halves the candidate range, so principal 0's
+/// neighbourhood draws exponentially more traffic than the tail while
+/// every principal stays reachable.
+fn zipfian_principal(rnd: &mut impl FnMut(u64) -> u64) -> u64 {
+    let z = rnd(u64::MAX).trailing_zeros().min(19);
+    rnd((PRINCIPALS >> z).max(1))
+}
+
+#[test]
+fn million_principal_registry_stays_exact_under_zipfian_skew() {
+    let per_principal = <Dyadic as Budget>::budget_from_f64(1.0);
+    let base = <Dyadic as Budget>::charge_from_f64(0.00390625); // 2^-8
+    let registry: BudgetRegistry<PureDp, Dyadic> =
+        BudgetRegistry::with_budget(per_principal.clone(), SHARDS);
+
+    // Register every principal with a base spend — the "million users
+    // already on the books" state the serving tier starts from.
+    for p in 0..PRINCIPALS {
+        registry.apply_unchecked(p, &base);
+    }
+
+    // Concurrent zipfian chargers over the admission path.
+    let per_thread: Vec<Vec<(u64, Dyadic)>> = std::thread::scope(|scope| {
+        let registry = &registry;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rnd = schedule(t.wrapping_mul(0xD129_9CB4_AC5B_F2DD) | 1);
+                    let mut acks = Vec::new();
+                    for _ in 0..CHARGES_PER_THREAD {
+                        let principal = zipfian_principal(&mut rnd);
+                        let k = 3 + rnd(6);
+                        let gamma = <Dyadic as Budget>::charge_from_f64((0.5f64).powi(k as i32));
+                        if registry.charge_exact(principal, gamma.clone()).is_ok() {
+                            acks.push((principal, gamma));
+                        }
+                    }
+                    acks
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("charger thread panicked"))
+            .collect()
+    });
+
+    // Sequential replay: base spend plus every acknowledged charge, in
+    // any order (dyadic addition is associative and exact).
+    let mut replayed: BTreeMap<u64, Dyadic> = BTreeMap::new();
+    let mut acked_count = 0usize;
+    for (principal, gamma) in per_thread.into_iter().flatten() {
+        acked_count += 1;
+        let entry = replayed.entry(principal).or_insert_with(Dyadic::zero);
+        *entry = &*entry + &gamma;
+    }
+    assert!(
+        acked_count > CHARGES_PER_THREAD,
+        "skew admitted too few charges to mean anything: {acked_count}"
+    );
+    // The skew must have reached both the hot head and the cold tail.
+    assert!(replayed.contains_key(&0), "hot principal never charged");
+    assert!(
+        replayed.keys().any(|p| *p > PRINCIPALS / 2),
+        "cold tail never charged"
+    );
+
+    // Every charged principal's live spend equals the replay, exactly.
+    for (principal, extra) in &replayed {
+        let expect = &base + extra;
+        assert_eq!(
+            registry.spent_exact(*principal),
+            expect,
+            "principal {principal}"
+        );
+    }
+    // Sampled untouched principals still hold exactly the base spend —
+    // scale did not smear spend across shard-map neighbours.
+    let mut rnd = schedule(0xC0FFEE);
+    let mut sampled = 0;
+    while sampled < 1_000 {
+        let p = rnd(PRINCIPALS);
+        if replayed.contains_key(&p) {
+            continue;
+        }
+        assert_eq!(registry.spent_exact(p), base, "untouched principal {p}");
+        sampled += 1;
+    }
+    // No principal overspent its allowance.
+    for (principal, _) in replayed {
+        assert!(
+            registry.spent_exact(principal) <= per_principal,
+            "principal {principal} overspent"
+        );
+    }
+
+    // The sorted snapshot covers the full book, once per principal.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.len(), PRINCIPALS as usize);
+    assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));
+}
