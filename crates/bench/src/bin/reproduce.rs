@@ -2,7 +2,7 @@
 //! tables.
 //!
 //! ```text
-//! reproduce [fig2|fig4|fig5|fig6|claims|arith|batch|serve|analyze|all] [--samples N] [--full]
+//! reproduce [fig2|fig4|fig5|fig6|claims|arith|batch|serve|load|analyze|all] [--samples N] [--full]
 //! ```
 //!
 //! - `fig2`: two discrete Laplace densities (the ε intuition picture);
@@ -17,7 +17,7 @@
 //! subsample for quick runs. Results are deterministic (seeded PRG bytes).
 
 use sampcert_bench::{
-    arith_bench, batch_bench, entropy_sweep, ms_per_sample, print_table, runtime_sweep,
+    arith_bench, batch_bench, entropy_sweep, load_bench, ms_per_sample, print_table, runtime_sweep,
     serve_bench, GaussianImpl, Row,
 };
 use sampcert_samplers::pmf::laplace_pmf;
@@ -288,6 +288,50 @@ fn serve(args: &[String]) {
     write_merged("sampcert-bench/serve-v1", out, label, &rows);
 }
 
+/// Runs the open-loop load harness against the async serving runtime
+/// and merges its rows into `BENCH_serve.json` under the `load` label
+/// (its own labeled run, so the `serve` rows under `current` are
+/// preserved) — arrival-rate sweeps at 0.25× and 4× the measured
+/// saturation throughput with p50/p99/p999 latency and shed rates, plus
+/// the deterministic budget-keyed shed fraction. `--quick` shrinks the
+/// arrival counts for CI smoke runs.
+fn load(args: &[String]) {
+    let label = flag_value(args, "--label", "load");
+    let out = flag_value(args, "--out", "BENCH_serve.json");
+    let quick = args.iter().any(|a| a == "--quick");
+    println!("\n## Open-loop load harness (arrival-rate sweep over answer_async)");
+    let rows = load_bench::measure_all(quick);
+    for (name, v) in &rows {
+        println!("{name:>24}  {v:>14.2}");
+    }
+    let get = |n: &str| rows.iter().find(|(name, _)| *name == n).map(|(_, v)| *v);
+    if let (Some(sat), Some(lo), Some(hi)) = (
+        get("load_saturation_kops"),
+        get("load_lo_shed_rate"),
+        get("load_hi_shed_rate"),
+    ) {
+        println!(
+            "saturation {sat:.1} kops/s; shed rate {:.1}% at 0.25x arrival vs {:.1}% at 4x \
+             (sheds cost nothing: refused before any charge)",
+            lo * 100.0,
+            hi * 100.0
+        );
+    }
+    if let (Some(p50), Some(p999)) = (get("load_hi_p50_us"), get("load_hi_p999_us")) {
+        println!(
+            "overloaded tail: p50 {p50:.0} us -> p999 {p999:.0} us \
+             (queue-depth-bounded, not unbounded, thanks to door shedding)"
+        );
+    }
+    if let Some(b) = get("load_budget_shed_rate") {
+        println!(
+            "budget-keyed shedding: {:.0}% of over-budget requests refused pre-charge",
+            b * 100.0
+        );
+    }
+    write_merged("sampcert-bench/serve-v1", out, label, &rows);
+}
+
 /// Runs the static timing-leak & entropy analysis over every registered
 /// extracted program, prints the verdict table, writes the
 /// `sampcert-extract/analyze-v1` JSON report, and (with `--deny-findings`)
@@ -374,6 +418,7 @@ fn main() {
         "arith" => arith(&args),
         "batch" => batch(&args),
         "serve" => serve(&args),
+        "load" => load(&args),
         "analyze" => analyze_cmd(&args),
         "all" => {
             fig2();
@@ -384,7 +429,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|batch|serve|analyze|all"
+                "unknown target `{other}`; expected fig2|fig4|fig5|fig6|claims|arith|batch|serve|load|analyze|all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,335 @@
+//! Open-loop load harness for the async serving runtime, with a JSON
+//! emitter.
+//!
+//! Closed-loop benches (everything else in this crate) measure *service
+//! time*: the next request starts when the previous one finishes, so the
+//! system is never overloaded and latency equals service. An **open-loop**
+//! harness instead fixes an *arrival* process — requests arrive on a
+//! schedule that does not care whether the server kept up — which is the
+//! only way to observe queueing delay, tail latency and shedding, the
+//! three things the serving runtime exists to manage.
+//!
+//! The measurement set behind the `load` run of `BENCH_serve.json`
+//! (written under its own `load` label so it merges alongside the
+//! `serve` rows rather than replacing them):
+//!
+//! - `load_saturation_kops`: closed-loop saturation throughput of one
+//!   consumer task driving [`Session::answer_async`] on the runtime —
+//!   the capacity estimate the arrival rates are set against;
+//! - `load_arrival_lo_kops` + `load_lo_{p50,p99,p999}_us` +
+//!   `load_lo_shed_rate`: a **fixed-interval** arrival sweep at 0.25×
+//!   saturation — the underloaded regime, where latency ≈ service time
+//!   and the shed rate should be ~0;
+//! - `load_arrival_hi_kops` + `load_hi_{p50,p99,p999}_us` +
+//!   `load_hi_shed_rate`: a **Poisson** arrival sweep at 4× saturation —
+//!   the overloaded regime, where the bounded ingress queue fills,
+//!   latency saturates at queue-depth × service, and admission control
+//!   sheds the excess at the door;
+//! - `load_budget_shed_rate`: the deterministic budget-keyed shed
+//!   fraction — 32 unit-ε requests against an ε = 8 ledger with
+//!   `shed_unservable()` admission: exactly 8 served, 24 shed, rate 0.75
+//!   on every host.
+//!
+//! Latency is measured arrival-to-answer (queue wait included), in µs.
+//! Shed requests are refused by [`Ingress::try_push`] before anything is
+//! charged, journaled, or drawn — the shed-before-charge invariant the
+//! runtime pins — so sheds appear only in the shed-rate rows, never in
+//! the accountant.
+//!
+//! Absolute numbers are host- and profile-dependent (the harness paces
+//! against the wall clock); the committed rows document the *shape* —
+//! lo-rate sheds ≈ 0, hi-rate sheds ≫ 0, p999 ≫ p50 under overload —
+//! not portable throughput.
+
+use sampcert_core::{count_query, AdmissionPolicy, Private, PureDp, Request, Session};
+use sampcert_rt::{block_on, Ingress, Runtime};
+use std::time::{Duration, Instant};
+
+/// Seed for every deterministic piece: session entropy and the Poisson
+/// arrival process. (The wall-clock pacing itself is inherently
+/// nondeterministic.)
+const SEED: u64 = 0x10AD_CAFE;
+
+/// Ingress queue bound: the door sheds beyond this backlog.
+const QUEUE_CAP: usize = 256;
+
+/// Rows in the served database (each answer counts them once).
+const DB_ROWS: u32 = 256;
+
+/// The unit-ε counting request every phase serves.
+fn load_request() -> Request<PureDp, u32, i64> {
+    let q: Private<PureDp, u32, i64> = Private::noised_query(&count_query(), 1, 1);
+    Request::from_private(&q, "load")
+}
+
+/// One queued request, stamped at arrival so the consumer can measure
+/// arrival-to-answer latency (queue wait included).
+struct Job {
+    req: Request<PureDp, u32, i64>,
+    arrived: Instant,
+}
+
+/// The arrival process of an open-loop sweep.
+enum ArrivalModel {
+    /// Deterministic arrivals every `1/rate` seconds.
+    Fixed,
+    /// Poisson arrivals: exponential gaps `-ln(u)/rate` from a seeded
+    /// LCG, so the schedule is reproducible per seed.
+    Poisson { seed: u64 },
+}
+
+/// Precomputes the `n` arrival offsets (from harness start) for `rate`
+/// requests per second under `model`.
+fn arrival_offsets(model: &ArrivalModel, rate_ops: f64, n: usize) -> Vec<Duration> {
+    match model {
+        ArrivalModel::Fixed => (1..=n)
+            .map(|i| Duration::from_secs_f64(i as f64 / rate_ops))
+            .collect(),
+        ArrivalModel::Poisson { seed } => {
+            let mut state = *seed | 1;
+            let mut t = 0.0f64;
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    // u ∈ (0, 1]: never 0, so -ln(u) is finite.
+                    let u = ((state >> 11) + 1) as f64 / (1u64 << 53) as f64;
+                    t += -u.ln() / rate_ops;
+                    Duration::from_secs_f64(t)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// One open-loop sweep's outcome: served latencies (µs, ascending) and
+/// the fraction of arrivals shed at the ingress door.
+struct SweepOutcome {
+    latencies_us: Vec<f64>,
+    shed_rate: f64,
+}
+
+/// Runs one open-loop sweep: a consumer task on the runtime drains the
+/// bounded ingress queue through `answer_async`, while this thread plays
+/// producer, pushing on the precomputed arrival schedule regardless of
+/// whether the consumer kept up. Arrivals that find the queue at
+/// capacity are shed by `try_push` — before any charge — and counted.
+fn run_open_loop(rate_ops: f64, n: usize, model: &ArrivalModel) -> SweepOutcome {
+    let runtime = Runtime::new(2);
+    let queue: Ingress<Job> = Ingress::bounded(QUEUE_CAP);
+
+    // Ledger far above n·ε and the depth bound equal to the queue
+    // capacity: the door is the only thing that sheds in this sweep.
+    let mut session = Session::<PureDp>::builder()
+        .ledger(1e9)
+        .seeded(SEED)
+        .admission(
+            AdmissionPolicy::open()
+                .max_queue_depth(QUEUE_CAP)
+                .shed_unservable(),
+        )
+        .ingress(queue.gauge())
+        .inline()
+        .build();
+
+    let consumer = {
+        let queue = queue.clone();
+        runtime.spawn(async move {
+            let db: Vec<u32> = (0..DB_ROWS).collect();
+            let mut latencies = Vec::new();
+            while let Some(job) = queue.pop() {
+                if session.answer_async(&job.req, &db).await.is_ok() {
+                    latencies.push(job.arrived.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            latencies
+        })
+    };
+
+    let req = load_request();
+    let offsets = arrival_offsets(model, rate_ops, n);
+    let start = Instant::now();
+    let mut shed = 0usize;
+    let mut i = 0;
+    while i < offsets.len() {
+        let now = start.elapsed();
+        if offsets[i] <= now {
+            // Push every arrival that is due — open loop means the
+            // schedule, not the server, decides when requests exist.
+            let job = Job {
+                req: req.clone(),
+                arrived: Instant::now(),
+            };
+            if queue.try_push(job).is_err() {
+                shed += 1;
+            }
+            i += 1;
+        } else {
+            let wait = offsets[i] - now;
+            if wait > Duration::from_micros(300) {
+                // Sleep most of the gap; the tail is re-checked above.
+                std::thread::sleep(wait - Duration::from_micros(150));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+    queue.close();
+
+    let mut latencies_us = block_on(consumer);
+    latencies_us.sort_by(f64::total_cmp);
+    SweepOutcome {
+        latencies_us,
+        shed_rate: shed as f64 / n as f64,
+    }
+}
+
+/// Closed-loop saturation throughput (requests per second) of one
+/// consumer driving `answer_async` back-to-back on the runtime — the
+/// capacity estimate the open-loop arrival rates are scaled against.
+fn saturation_ops(n: usize) -> f64 {
+    let runtime = Runtime::new(1);
+    let mut session = Session::<PureDp>::builder()
+        .ledger(1e9)
+        .seeded(SEED)
+        .inline()
+        .build();
+    let req = load_request();
+    let handle = runtime.spawn(async move {
+        let db: Vec<u32> = (0..DB_ROWS).collect();
+        // Warm-up outside the timed region.
+        for _ in 0..n / 10 {
+            let _ = session.answer_async(&req, &db).await;
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            let _ = session.answer_async(&req, &db).await;
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    });
+    block_on(handle)
+}
+
+/// The deterministic budget-keyed shed fraction: 32 unit-ε requests
+/// against an ε = 8 ledger with `shed_unservable()` — exactly 8 served
+/// and 24 shed (rate 0.75) on every host, with the accountant's spend
+/// equal to the served count.
+fn budget_shed_rate() -> f64 {
+    let total = 32u32;
+    let mut session = Session::<PureDp>::builder()
+        .ledger(8.0)
+        .seeded(SEED)
+        .admission(AdmissionPolicy::open().shed_unservable())
+        .inline()
+        .build();
+    let req = load_request();
+    let db: Vec<u32> = (0..DB_ROWS).collect();
+    let mut sheds = 0u32;
+    for _ in 0..total {
+        match block_on(session.answer_async(&req, &db)) {
+            Ok(_) => {}
+            Err(e) => {
+                assert!(e.is_admission(), "only admission sheds expected: {e}");
+                sheds += 1;
+            }
+        }
+    }
+    assert_eq!(
+        session.accountant().spent(),
+        f64::from(total - sheds),
+        "sheds must not move the accountant"
+    );
+    f64::from(sheds) / f64::from(total)
+}
+
+/// Runs the whole open-loop measurement set, returning `(name, value)`
+/// rows. `quick` shrinks the arrival counts for CI smoke runs.
+pub fn measure_all(quick: bool) -> Vec<(&'static str, f64)> {
+    let cal = if quick { 2_000 } else { 20_000 };
+    let n = if quick { 2_000 } else { 16_000 };
+    let sat = saturation_ops(cal);
+    // 0.25× capacity: comfortably underloaded even with pacing jitter.
+    // 4× capacity: unambiguously overloaded even with measurement noise.
+    let lo_rate = sat * 0.25;
+    let hi_rate = sat * 4.0;
+    let lo = run_open_loop(lo_rate, n, &ArrivalModel::Fixed);
+    let hi = run_open_loop(hi_rate, n, &ArrivalModel::Poisson { seed: SEED });
+    vec![
+        ("load_saturation_kops", sat / 1e3),
+        ("load_arrival_lo_kops", lo_rate / 1e3),
+        ("load_lo_p50_us", percentile(&lo.latencies_us, 50.0)),
+        ("load_lo_p99_us", percentile(&lo.latencies_us, 99.0)),
+        ("load_lo_p999_us", percentile(&lo.latencies_us, 99.9)),
+        ("load_lo_shed_rate", lo.shed_rate),
+        ("load_arrival_hi_kops", hi_rate / 1e3),
+        ("load_hi_p50_us", percentile(&hi.latencies_us, 50.0)),
+        ("load_hi_p99_us", percentile(&hi.latencies_us, 99.0)),
+        ("load_hi_p999_us", percentile(&hi.latencies_us, 99.9)),
+        ("load_hi_shed_rate", hi.shed_rate),
+        ("load_budget_shed_rate", budget_shed_rate()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 51.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 99.9), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_offsets_are_monotone_and_seeded() {
+        let a = arrival_offsets(&ArrivalModel::Poisson { seed: 7 }, 1e5, 64);
+        let b = arrival_offsets(&ArrivalModel::Poisson { seed: 7 }, 1e5, 64);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let fixed = arrival_offsets(&ArrivalModel::Fixed, 1e5, 4);
+        assert_eq!(fixed[3], Duration::from_secs_f64(4.0 / 1e5));
+    }
+
+    #[test]
+    fn rows_are_complete_and_sane() {
+        let rows = measure_all(true);
+        assert_eq!(rows.len(), 12);
+        let get = |n: &str| rows.iter().find(|(name, _)| *name == n).unwrap().1;
+        assert!(get("load_saturation_kops") > 0.0);
+        assert!(get("load_arrival_hi_kops") > get("load_arrival_lo_kops"));
+        for name in [
+            "load_lo_shed_rate",
+            "load_hi_shed_rate",
+            "load_budget_shed_rate",
+        ] {
+            let v = get(name);
+            assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+        }
+        // The budget-keyed row is exact on every host: 8 of 32 served.
+        assert_eq!(get("load_budget_shed_rate"), 0.75);
+        // Percentiles are monotone within each sweep.
+        for prefix in ["load_lo", "load_hi"] {
+            let (p50, p99, p999) = (
+                get(&format!("{prefix}_p50_us")),
+                get(&format!("{prefix}_p99_us")),
+                get(&format!("{prefix}_p999_us")),
+            );
+            assert!(p50 <= p99 && p99 <= p999, "{prefix}: {p50} {p99} {p999}");
+        }
+        // 4× overload against a bounded queue must shed.
+        assert!(get("load_hi_shed_rate") > 0.0);
+    }
+}

@@ -33,6 +33,10 @@
 //!   fsynced per charge vs group-committed (one leader fsync per batch,
 //!   followers acknowledged at their stable LSN) — the group-commit
 //!   speedup the durability tier ships with;
+//! - `charge_durable_group_time_t8`: the same group commit with the
+//!   time-based adaptive gather window (`GatherWindow::Adaptive`,
+//!   200 µs ceiling) instead of the yield-counted default — the two
+//!   gather strategies measured side by side at t = 8;
 //! - `charge_registry_1m` + `registry_1m_build_ns_per_principal` +
 //!   `registry_1m_rss_bytes_per_principal`: the million-principal
 //!   capacity tier — zipfian-skewed concurrent charges against a fully
@@ -60,8 +64,8 @@
 
 use sampcert_arith::Nat;
 use sampcert_core::{
-    Budget, BudgetRegistry, DurableRegistry, Dyadic, FileStorage, Ledger, MemStorage, PureDp,
-    ShardedLedger,
+    Budget, BudgetRegistry, DurableRegistry, Dyadic, FileStorage, GatherWindow, Ledger, MemStorage,
+    PureDp, ShardedLedger,
 };
 use sampcert_mechanisms::{NoiseServer, SeedBackend, ServeConfig};
 use sampcert_samplers::{discrete_gaussian_many_into, LaplaceAlg};
@@ -319,20 +323,30 @@ fn charge_durable_fsync_row(n: usize, reps: usize) -> f64 {
 /// rows is the committed group-commit speedup — visible even on a
 /// 1-core host, because the fsync wait is time the other threads spend
 /// enqueuing rather than idling.
-fn charge_durable_file_row(workers: usize, group: bool, n: usize, reps: usize) -> f64 {
+fn charge_durable_file_row(
+    workers: usize,
+    group: bool,
+    gather: Option<GatherWindow>,
+    n: usize,
+    reps: usize,
+) -> f64 {
     let dir = std::env::temp_dir().join(format!(
-        "sampcert-bench-group-{}-{group}",
-        std::process::id()
+        "sampcert-bench-group-{}-{group}-{}",
+        std::process::id(),
+        gather.is_some(),
     ));
     std::fs::create_dir_all(&dir).expect("temp dir");
     let ns = ns_per_sample(n, reps, |k| {
         let path = dir.join("bench.scjl");
         let _ = std::fs::remove_file(&path);
         let storage = FileStorage::open(&path).expect("open journal file");
-        let registry: DurableRegistry<PureDp, Dyadic, FileStorage> =
+        let mut registry: DurableRegistry<PureDp, Dyadic, FileStorage> =
             DurableRegistry::create(1e9, workers, storage)
                 .expect("create journal")
                 .with_group_commit(group);
+        if let Some(window) = gather {
+            registry = registry.with_gather_window(window);
+        }
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let registry = &registry;
@@ -524,11 +538,25 @@ pub fn measure_all(quick: bool) -> Vec<(&'static str, f64)> {
         // `fsync_t8 / group_t8` is the committed group-commit speedup.
         (
             "charge_durable_fsync_t8",
-            charge_durable_file_row(8, false, n / 16, reps),
+            charge_durable_file_row(8, false, None, n / 16, reps),
         ),
         (
             "charge_durable_group_t8",
-            charge_durable_file_row(8, true, n / 16, reps),
+            charge_durable_file_row(8, true, None, n / 16, reps),
+        ),
+        // The same group commit with the time-based adaptive gather
+        // window instead of the yield-counted one: the leader keeps
+        // gathering followers against a wall-clock deadline, trading a
+        // bounded latency slice for fuller batches.
+        (
+            "charge_durable_group_time_t8",
+            charge_durable_file_row(
+                8,
+                true,
+                Some(GatherWindow::Adaptive { max_micros: 200 }),
+                n / 16,
+                reps,
+            ),
         ),
     ]
     .into_iter()
@@ -544,7 +572,7 @@ mod tests {
     #[test]
     fn rows_measure_and_are_positive() {
         let rows = measure_all(true);
-        assert_eq!(rows.len(), 25);
+        assert_eq!(rows.len(), 26);
         for (name, v) in &rows {
             // Two rows may legitimately read zero: the degenerate-scaling
             // flag on a multi-core host, and the RSS delta when the

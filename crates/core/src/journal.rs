@@ -190,6 +190,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Seek, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Record kinds (first payload byte).
 const KIND_HEADER: u8 = 0x00;
@@ -368,7 +369,11 @@ impl<B: std::fmt::Display + std::fmt::Debug> std::error::Error for DurableCharge
 /// every failure the durability argument depends on. An `append` is
 /// allowed to write a *prefix* of its bytes and then fail (a torn write);
 /// the recovery rules are designed around exactly that.
-pub trait JournalStorage: Send {
+///
+/// `'static` because a [`DurableRegistry`] with an automatic
+/// [`CompactionPolicy`] hands the storage (inside its shared core) to a
+/// background compactor thread.
+pub trait JournalStorage: Send + 'static {
     /// Appends bytes at the end of the log. May fail after writing only a
     /// prefix.
     ///
@@ -1342,7 +1347,9 @@ impl<B> GroupState<B> {
 ///
 /// The default policy is disabled — compaction runs only through
 /// [`compact_now`](DurableRegistry::compact_now). Thresholds are checked
-/// after each acknowledged charge; the first one crossed triggers.
+/// after each acknowledged charge; the first one crossed wakes a
+/// background compactor thread, so the acknowledging charger never pays
+/// for the rewrite itself.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompactionPolicy {
     /// Compact once the log exceeds this many bytes.
@@ -1384,20 +1391,55 @@ impl CompactionPolicy {
     }
 }
 
+/// How long a group-commit leader holds its batch open for peers to
+/// enqueue behind it (see "Group commit" in the module docs).
+///
+/// The window trades a few µs of added latency for wider batches — each
+/// extra member is one fewer fsync. [`Yields`](Self::Yields) spends
+/// scheduler slices and is tuned for oversubscribed hosts (chargers share
+/// cores with the leader, so a yield is exactly what lets them run);
+/// [`Adaptive`](Self::Adaptive) waits wall-clock slices against a hard
+/// deadline and closes as soon as a slice passes with no new arrivals —
+/// the better fit when chargers run on their own cores and a yield is a
+/// no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherWindow {
+    /// Yield the leader's scheduler slice up to this many times, closing
+    /// early when a slice passes with no new enqueues. The default is
+    /// `Yields(4)`.
+    Yields(u32),
+    /// Time-based adaptive window: wait in short slices (an eighth of the
+    /// cap each) against a deadline of `max_micros`, closing as soon as a
+    /// slice sees no new enqueues.
+    Adaptive {
+        /// Hard cap on how long the batch is held open, in microseconds.
+        max_micros: u64,
+    },
+}
+
+impl Default for GatherWindow {
+    fn default() -> Self {
+        GatherWindow::Yields(4)
+    }
+}
+
 /// Tunables for a [`DurableRegistry`], applied via
 /// [`with_options`](DurableRegistry::with_options) or the session
 /// builder's `.durable_with_policy(path, options)`.
 ///
 /// The default is the recommended serving configuration: group commit
-/// **on**, the standard checkpoint cadence, compaction off (opt in with a
-/// [`CompactionPolicy`]). Note that `DurableRegistry::create`/`open`
-/// themselves default to the serial fsync-per-charge path for
-/// compatibility; options are how callers opt into batching.
+/// **on** with the yield-based gather window, the standard checkpoint
+/// cadence, compaction off (opt in with a [`CompactionPolicy`]). Note
+/// that `DurableRegistry::create`/`open` themselves default to the serial
+/// fsync-per-charge path for compatibility; options are how callers opt
+/// into batching.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DurableOptions {
     /// Batch concurrent charges into one fsync (see "Group commit" in
     /// the module docs).
     pub group_commit: bool,
+    /// How long a batch leader holds the batch open for peers.
+    pub gather: GatherWindow,
     /// Charges between periodic checkpoint records.
     pub checkpoint_every: u64,
     /// When to compact the journal automatically.
@@ -1408,6 +1450,7 @@ impl Default for DurableOptions {
     fn default() -> Self {
         DurableOptions {
             group_commit: true,
+            gather: GatherWindow::default(),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             compaction: CompactionPolicy::disabled(),
         }
@@ -1429,6 +1472,12 @@ impl DurableOptions {
         self
     }
 
+    /// Sets the gather window a batch leader holds open for peers.
+    pub fn gather_window(mut self, window: GatherWindow) -> Self {
+        self.gather = window;
+        self
+    }
+
     /// Sets the periodic checkpoint cadence.
     pub fn checkpoint_every(mut self, every: u64) -> Self {
         self.checkpoint_every = every;
@@ -1442,15 +1491,14 @@ impl DurableOptions {
     }
 }
 
-/// A [`BudgetRegistry`] whose every accepted charge is durably journaled
-/// before it is applied.
+/// The shared innards of a [`DurableRegistry`]: everything except the
+/// background compactor, which holds an `Arc` of this so policy-triggered
+/// compaction can run off the charge path.
 ///
-/// See the module docs for the write-ahead ordering, record format,
-/// torn-tail rule and checkpoint semantics. All durable mutations
-/// serialize on one journal lock (fsync is the bottleneck regardless);
-/// reads ([`spent_exact`](Self::spent_exact), …) go straight to the
+/// All durable mutations serialize on one journal lock (fsync is the
+/// bottleneck regardless); reads (`spent_exact`, …) go straight to the
 /// sharded registry.
-pub struct DurableRegistry<D: AbstractDp, B: Budget, S: JournalStorage> {
+struct DurableCore<D: AbstractDp, B: Budget, S: JournalStorage> {
     registry: BudgetRegistry<D, B>,
     journal: Mutex<JournalInner<S>>,
     /// Group-commit queue + watermarks; used only when `group_commit`.
@@ -1459,31 +1507,19 @@ pub struct DurableRegistry<D: AbstractDp, B: Budget, S: JournalStorage> {
     latch: Latch,
     checkpoint_every: u64,
     group_commit: bool,
+    gather: GatherWindow,
     compaction: CompactionPolicy,
     /// Best-effort log size / appended-record counters feeding the
     /// compaction policy (reset by compaction, approximate after
     /// recovery).
     log_bytes: AtomicU64,
     log_records: AtomicU64,
-    /// Single-flight gate for policy-triggered compaction.
-    compacting: AtomicBool,
-}
-
-impl<D: AbstractDp, B: Budget, S: JournalStorage> std::fmt::Debug for DurableRegistry<D, B, S> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DurableRegistry")
-            .field("registry", &self.registry)
-            .field("checkpoint_every", &self.checkpoint_every)
-            .field("group_commit", &self.group_commit)
-            .field("compaction", &self.compaction)
-            .finish()
-    }
 }
 
 /// Default charge count between checkpoint snapshots.
 const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
 
-impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
+impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableCore<D, B, S> {
     /// Creates a fresh durable registry over empty storage, writing and
     /// syncing the journal header.
     ///
@@ -1531,7 +1567,7 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
         ))
     }
 
-    /// Wires a registry + storage into a `DurableRegistry` with the
+    /// Wires a registry + storage into a `DurableCore` with the
     /// default (serial, no-compaction) options.
     fn assemble(
         registry: BudgetRegistry<D, B>,
@@ -1539,7 +1575,7 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
         log_bytes: u64,
         log_records: u64,
     ) -> Self {
-        DurableRegistry {
+        DurableCore {
             registry,
             journal: Mutex::new(JournalInner {
                 storage,
@@ -1550,10 +1586,10 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
             latch: Latch::new(),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             group_commit: false,
+            gather: GatherWindow::default(),
             compaction: CompactionPolicy::disabled(),
             log_bytes: AtomicU64::new(log_bytes),
             log_records: AtomicU64::new(log_records),
-            compacting: AtomicBool::new(false),
         }
     }
 
@@ -1686,29 +1722,18 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
         self
     }
 
+    /// Returns this registry with a different group-commit gather window.
+    pub fn with_gather_window(mut self, window: GatherWindow) -> Self {
+        self.gather = window;
+        self
+    }
+
     /// Applies a whole [`DurableOptions`] at once.
     pub fn with_options(self, options: DurableOptions) -> Self {
         self.with_checkpoint_every(options.checkpoint_every)
             .with_group_commit(options.group_commit)
+            .with_gather_window(options.gather)
             .with_compaction(options.compaction)
-    }
-
-    /// [`open_with_budget`](Self::open_with_budget) plus
-    /// [`DurableOptions`] — the entry point behind the session builder's
-    /// `.durable_with_policy(path, options)`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`RecoveryError`] on I/O failure or unreplayable
-    /// contents.
-    pub fn open_with_options(
-        per_principal: B,
-        shards: usize,
-        storage: S,
-        options: DurableOptions,
-    ) -> Result<(Self, RecoveryReport), RecoveryError> {
-        let (registry, report) = Self::open_with_budget(per_principal, shards, storage)?;
-        Ok((registry.with_options(options), report))
     }
 
     /// A read-only view of the underlying in-memory registry (reads are
@@ -1808,15 +1833,11 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
             )));
         }
         let record = frame(&payload);
-        let result = if self.group_commit {
+        if self.group_commit {
             self.charge_grouped(principal, gamma, record)
         } else {
             self.charge_serial(principal, gamma, record)
-        };
-        if result.is_ok() {
-            self.maybe_compact();
         }
-        result
     }
 
     /// The serial path: one journal lock across check → append + fsync →
@@ -1936,22 +1957,48 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
     ) -> MutexGuard<'a, GroupState<B>> {
         g.leader_active = true;
         // Gather window: leadership is claimed but the batch is not yet
-        // taken, so peers get scheduling slices to enqueue behind it —
-        // in particular the members of the *previous* batch, which were
+        // taken, so peers get a window to enqueue behind it — in
+        // particular the members of the *previous* batch, which were
         // woken a moment ago and are about to charge again. Without
         // this, the leader races ahead of its just-woken peers and the
         // steady state degenerates into two half batches per cycle
-        // (each paying a full fsync). Yield until a slice passes with
-        // no new arrivals, capped so a steady stream of enqueuers
-        // cannot hold the batch open; the few-µs cost is noise against
-        // the ~100µs fsync it amortizes.
-        for _ in 0..4 {
-            let before = g.enqueued;
-            drop(g);
-            std::thread::yield_now();
-            g = self.group.lock().expect("group state poisoned");
-            if g.enqueued == before {
-                break;
+        // (each paying a full fsync). Either shape closes as soon as a
+        // slice passes with no new arrivals, capped so a steady stream
+        // of enqueuers cannot hold the batch open; the few-µs cost is
+        // noise against the ~100µs fsync it amortizes.
+        match self.gather {
+            GatherWindow::Yields(cap) => {
+                for _ in 0..cap {
+                    let before = g.enqueued;
+                    drop(g);
+                    std::thread::yield_now();
+                    g = self.group.lock().expect("group state poisoned");
+                    if g.enqueued == before {
+                        break;
+                    }
+                }
+            }
+            GatherWindow::Adaptive { max_micros } => {
+                // Wall-clock slices against a hard deadline; the timed cv
+                // wait releases the group lock, so peers enqueue freely
+                // while the leader holds the batch open.
+                let deadline = Instant::now() + Duration::from_micros(max_micros);
+                let slice = Duration::from_micros((max_micros / 8).max(1));
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let before = g.enqueued;
+                    g = self
+                        .group_cv
+                        .wait_timeout(g, slice.min(deadline - now))
+                        .expect("group state poisoned")
+                        .0;
+                    if g.enqueued == before {
+                        break;
+                    }
+                }
             }
         }
         let frames = std::mem::take(&mut g.queue);
@@ -2159,26 +2206,436 @@ impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
         }
     }
 
-    /// Policy check after an acknowledged charge; single-flight so
-    /// concurrent acks do not pile up compactions. Failures latch (swap
-    /// errors) or are dropped (already latched / pathological snapshot) —
-    /// auto mode has no caller to hand them to; `journal_error` reports
-    /// latched states.
-    fn maybe_compact(&self) {
-        if !self.compaction.enabled() {
-            return;
+    /// Whether the compaction policy's thresholds are crossed.
+    fn compaction_due(&self) -> bool {
+        self.compaction.enabled()
+            && self.compaction.due(
+                self.log_bytes.load(Ordering::Relaxed),
+                self.log_records.load(Ordering::Relaxed),
+            )
+    }
+}
+
+/// What the compactor thread is waiting on: a charge crossed the policy
+/// threshold ([`requested`](CompactorFlags::requested)) or the owning
+/// registry is going away (`shutdown`).
+struct CompactorFlags {
+    requested: bool,
+    shutdown: bool,
+}
+
+/// The wrapper ↔ compactor-thread rendezvous.
+struct CompactorSignal {
+    flags: Mutex<CompactorFlags>,
+    cv: Condvar,
+}
+
+/// Owns the background compaction thread of a [`DurableRegistry`] whose
+/// [`CompactionPolicy`] is enabled. Dropping the handle shuts the thread
+/// down and joins it (finishing any in-flight compaction first).
+struct CompactorHandle {
+    signal: Arc<CompactorSignal>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Spawns the compactor loop over a shared core: park until kicked,
+    /// then run one compaction. Errors latch (swap failures) or were
+    /// already latched — auto mode has no caller to hand them to;
+    /// `journal_error` reports latched states.
+    fn spawn<D: AbstractDp, B: Budget, S: JournalStorage>(core: Arc<DurableCore<D, B, S>>) -> Self {
+        let signal = Arc::new(CompactorSignal {
+            flags: Mutex::new(CompactorFlags {
+                requested: false,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let parked = Arc::clone(&signal);
+        let thread = std::thread::Builder::new()
+            .name("sampcert-compactor".into())
+            .spawn(move || loop {
+                let mut flags = parked.flags.lock().expect("compactor signal poisoned");
+                while !flags.requested && !flags.shutdown {
+                    flags = parked.cv.wait(flags).expect("compactor signal poisoned");
+                }
+                if flags.shutdown {
+                    break;
+                }
+                flags.requested = false;
+                drop(flags);
+                let _ = core.compact_now();
+            })
+            .expect("spawn compactor thread");
+        CompactorHandle {
+            signal,
+            thread: Some(thread),
         }
-        if !self.compaction.due(
-            self.log_bytes.load(Ordering::Relaxed),
-            self.log_records.load(Ordering::Relaxed),
-        ) {
-            return;
+    }
+
+    /// Non-blocking wake-up; coalesces with any request already pending.
+    fn request(&self) {
+        let mut flags = self.signal.flags.lock().expect("compactor signal poisoned");
+        flags.requested = true;
+        drop(flags);
+        self.signal.cv.notify_one();
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        {
+            let mut flags = self.signal.flags.lock().expect("compactor signal poisoned");
+            flags.shutdown = true;
         }
-        if self.compacting.swap(true, Ordering::AcqRel) {
-            return;
+        self.signal.cv.notify_one();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
         }
-        let _ = self.compact_now();
-        self.compacting.store(false, Ordering::Release);
+    }
+}
+
+/// A [`BudgetRegistry`] whose every accepted charge is durably journaled
+/// before it is applied.
+///
+/// See the module docs for the write-ahead ordering, record format,
+/// torn-tail rule and checkpoint semantics. All durable mutations
+/// serialize on one journal lock (fsync is the bottleneck regardless);
+/// reads ([`spent_exact`](Self::spent_exact), …) go straight to the
+/// sharded registry.
+///
+/// When an automatic [`CompactionPolicy`] is set, policy-triggered
+/// compaction runs on a dedicated background thread: the acknowledging
+/// charge only *kicks* the compactor (a mutex-protected flag flip) and
+/// returns, so no charge ever pays for a log rewrite. Dropping the
+/// registry joins the compactor.
+pub struct DurableRegistry<D: AbstractDp, B: Budget, S: JournalStorage> {
+    core: Arc<DurableCore<D, B, S>>,
+    /// Present exactly when the compaction policy is enabled.
+    compactor: Option<CompactorHandle>,
+}
+
+impl<D: AbstractDp, B: Budget, S: JournalStorage> std::fmt::Debug for DurableRegistry<D, B, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableRegistry")
+            .field("registry", &self.core.registry)
+            .field("checkpoint_every", &self.core.checkpoint_every)
+            .field("group_commit", &self.core.group_commit)
+            .field("gather", &self.core.gather)
+            .field("compaction", &self.core.compaction)
+            .finish()
+    }
+}
+
+impl<D: AbstractDp, B: Budget, S: JournalStorage> DurableRegistry<D, B, S> {
+    /// Shares the core and spawns the compactor iff the policy asks for
+    /// one.
+    fn wrap(core: DurableCore<D, B, S>) -> Self {
+        let core = Arc::new(core);
+        let compactor = core
+            .compaction
+            .enabled()
+            .then(|| CompactorHandle::spawn(Arc::clone(&core)));
+        DurableRegistry { core, compactor }
+    }
+
+    /// Reclaims sole ownership of the core for a `with_*` rebuild: joins
+    /// the compactor (releasing its `Arc`), then unwraps.
+    fn into_core(self) -> DurableCore<D, B, S> {
+        let DurableRegistry { core, compactor } = self;
+        drop(compactor);
+        Arc::try_unwrap(core)
+            .ok()
+            .expect("compactor joined; no other handle on the core exists")
+    }
+
+    /// Creates a fresh durable registry over empty storage, writing and
+    /// syncing the journal header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the header cannot be durably
+    /// written, or if the storage is not empty (use
+    /// [`recover`](Self::recover) or [`open`](Self::open) for existing
+    /// journals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_principal` is negative or not finite, or `shards`
+    /// is zero.
+    pub fn create(per_principal: f64, shards: usize, storage: S) -> Result<Self, JournalError> {
+        DurableCore::create(per_principal, shards, storage).map(Self::wrap)
+    }
+
+    /// [`create`](Self::create) with the per-principal budget already in
+    /// the carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the header cannot be durably written
+    /// or the storage is not empty.
+    pub fn create_with_budget(
+        per_principal: B,
+        shards: usize,
+        storage: S,
+    ) -> Result<Self, JournalError> {
+        DurableCore::create_with_budget(per_principal, shards, storage).map(Self::wrap)
+    }
+
+    /// Recovers a durable registry by replaying existing storage; returns
+    /// the registry and how the replay went.
+    ///
+    /// Recovered spend is applied **without** admission checks — a
+    /// principal whose replayed (possibly conservatively over-reported)
+    /// spend exceeds the allowance simply has nothing left.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] if the journal cannot be read or
+    /// replayed (see [`replay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_principal` is negative or not finite, or `shards`
+    /// is zero.
+    pub fn recover(
+        per_principal: f64,
+        shards: usize,
+        storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        DurableCore::recover(per_principal, shards, storage)
+            .map(|(core, report)| (Self::wrap(core), report))
+    }
+
+    /// [`recover`](Self::recover) with the budget already in the carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] if the journal cannot be read or
+    /// replayed.
+    pub fn recover_with_budget(
+        per_principal: B,
+        shards: usize,
+        storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        DurableCore::recover_with_budget(per_principal, shards, storage)
+            .map(|(core, report)| (Self::wrap(core), report))
+    }
+
+    /// Creates over empty storage, recovers otherwise — the restartable
+    /// entry point [`Session`](crate::Session)'s `.durable(path)` uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] on I/O failure or unreplayable
+    /// contents.
+    pub fn open(
+        per_principal: f64,
+        shards: usize,
+        storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        DurableCore::open(per_principal, shards, storage)
+            .map(|(core, report)| (Self::wrap(core), report))
+    }
+
+    /// [`open`](Self::open) with the budget already in the carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] on I/O failure or unreplayable
+    /// contents.
+    pub fn open_with_budget(
+        per_principal: B,
+        shards: usize,
+        storage: S,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        DurableCore::open_with_budget(per_principal, shards, storage)
+            .map(|(core, report)| (Self::wrap(core), report))
+    }
+
+    /// [`open_with_budget`](Self::open_with_budget) plus
+    /// [`DurableOptions`] — the entry point behind the session builder's
+    /// `.durable_with_policy(path, options)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] on I/O failure or unreplayable
+    /// contents.
+    pub fn open_with_options(
+        per_principal: B,
+        shards: usize,
+        storage: S,
+        options: DurableOptions,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        let (registry, report) = Self::open_with_budget(per_principal, shards, storage)?;
+        Ok((registry.with_options(options), report))
+    }
+
+    /// Returns this registry with a different checkpoint cadence (a
+    /// snapshot record every `every` charges; `u64::MAX` effectively
+    /// disables them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_checkpoint_every(self, every: u64) -> Self {
+        Self::wrap(self.into_core().with_checkpoint_every(every))
+    }
+
+    /// Returns this registry with group commit enabled or disabled (see
+    /// "Group commit" in the module docs). Off by default in
+    /// [`create`](Self::create)/[`open`](Self::open).
+    pub fn with_group_commit(self, enabled: bool) -> Self {
+        Self::wrap(self.into_core().with_group_commit(enabled))
+    }
+
+    /// Returns this registry with a different group-commit
+    /// [`GatherWindow`]. [`GatherWindow::Yields`]`(4)` by default.
+    pub fn with_gather_window(self, window: GatherWindow) -> Self {
+        Self::wrap(self.into_core().with_gather_window(window))
+    }
+
+    /// Returns this registry with an automatic compaction policy (see
+    /// "Compaction" in the module docs), (re)spawning or retiring the
+    /// background compactor as needed. Disabled by default.
+    pub fn with_compaction(self, policy: CompactionPolicy) -> Self {
+        Self::wrap(self.into_core().with_compaction(policy))
+    }
+
+    /// Applies a whole [`DurableOptions`] at once.
+    pub fn with_options(self, options: DurableOptions) -> Self {
+        Self::wrap(self.into_core().with_options(options))
+    }
+
+    /// A read-only view of the underlying in-memory registry (reads are
+    /// lock-free of the journal). The view exposes no mutation: every
+    /// durable charge must go through [`charge`](Self::charge) and
+    /// friends so that it hits the write-ahead journal — spend recorded
+    /// behind the journal's back would vanish on recovery.
+    pub fn registry(&self) -> RegistryView<'_, D, B> {
+        self.core.registry()
+    }
+
+    /// The failure that latched the journal closed, if any. While this is
+    /// `Some`, every charge is refused without touching storage (see
+    /// "Failure latching" in the module docs); recovery is a restart over
+    /// the surviving bytes ([`open`](Self::open)).
+    pub fn journal_error(&self) -> Option<JournalError> {
+        self.core.journal_error()
+    }
+
+    /// Current journal size in bytes (best-effort counter: exact for the
+    /// serial and group paths, reset by compaction, initialized from the
+    /// storage length at recovery).
+    pub fn journal_bytes(&self) -> u64 {
+        self.core.journal_bytes()
+    }
+
+    /// Records appended since the last compaction (or recovery).
+    pub fn journal_records(&self) -> u64 {
+        self.core.journal_records()
+    }
+
+    /// Total spent by `principal`, in the carrier.
+    pub fn spent_exact(&self, principal: u64) -> B {
+        self.core.spent_exact(principal)
+    }
+
+    /// Remaining allowance of `principal`, in the carrier.
+    pub fn remaining_exact(&self, principal: u64) -> B {
+        self.core.remaining_exact(principal)
+    }
+
+    /// Durably records a release by `principal` costing `gamma`
+    /// (converted **upward** into the carrier): check, append + fsync,
+    /// then apply.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableChargeError::Budget`] if the allowance refuses;
+    /// [`DurableChargeError::Journal`] if the write-ahead record cannot
+    /// be durably written — the charge is then **not** applied and no
+    /// answer may be released (degrade-to-reject).
+    pub fn charge(&self, principal: u64, gamma: f64) -> Result<(), DurableChargeError<B>> {
+        let result = self.core.charge(principal, gamma);
+        if result.is_ok() {
+            self.kick_compactor();
+        }
+        result
+    }
+
+    /// Durably records a batch of `count` releases of `gamma_each` as a
+    /// single composed journal record; all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`charge`](Self::charge).
+    pub fn charge_batch(
+        &self,
+        principal: u64,
+        gamma_each: f64,
+        count: u64,
+    ) -> Result<(), DurableChargeError<B>> {
+        let result = self.core.charge_batch(principal, gamma_each, count);
+        if result.is_ok() {
+            self.kick_compactor();
+        }
+        result
+    }
+
+    /// Durably records a charge already in the carrier.
+    ///
+    /// # Errors
+    ///
+    /// As for [`charge`](Self::charge).
+    pub fn charge_exact(&self, principal: u64, gamma: B) -> Result<(), DurableChargeError<B>> {
+        let result = self.core.charge_exact(principal, gamma);
+        if result.is_ok() {
+            self.kick_compactor();
+        }
+        result
+    }
+
+    /// Appends a checkpoint snapshot immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the journal is latched, if the
+    /// snapshot is too large to fit one record (nothing is written; the
+    /// charges it would summarize are already individually journaled), or
+    /// if the write fails — the last case latches the journal, since the
+    /// failed append may have torn the log.
+    pub fn checkpoint_now(&self) -> Result<(), JournalError> {
+        self.core.checkpoint_now()
+    }
+
+    /// Compacts the journal now, on the calling thread: rewrites it as a
+    /// fresh header plus a chunked snapshot of every principal's spend,
+    /// through the crash-safe [`JournalStorage::replace_with`] swap.
+    /// Bounds the log at (snapshot size + subsequently appended tail)
+    /// while preserving exactly the ledgers a replay of the full history
+    /// would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalError`] if the journal is latched, if a single
+    /// snapshot entry cannot fit a record (nothing written, no latch), or
+    /// if the swap fails — which **latches** the journal: mid-swap, the
+    /// handle can no longer tell which complete log survives (both
+    /// recover soundly at restart).
+    pub fn compact_now(&self) -> Result<(), JournalError> {
+        self.core.compact_now()
+    }
+
+    /// After an acknowledged charge: wake the background compactor if the
+    /// policy's thresholds are crossed. Never blocks on journal work —
+    /// that is the point of the background thread.
+    fn kick_compactor(&self) {
+        if let Some(handle) = &self.compactor {
+            if self.core.compaction_due() {
+                handle.request();
+            }
+        }
     }
 }
 
@@ -2846,13 +3303,172 @@ mod tests {
             reg.charge(i % 3, 0.125).unwrap();
         }
         // The 10th acknowledged charge crossed the record threshold and
-        // compacted: the counter reset and the log is header + snapshot.
-        assert_eq!(reg.journal_records(), 0);
+        // kicked the background compactor; wait for it to rewrite the
+        // log as header + snapshot (the counter resets when it does).
+        wait_for(|| reg.journal_records() == 0, "compaction never ran");
+        assert!(reg.journal_error().is_none());
         let recovery = replay::<PureDp, Dyadic>(&storage.contents()).unwrap();
         assert_eq!(recovery.report.records, 2, "header + one snapshot chunk");
         let (back, _) = Exact::recover(100.0, 4, storage.reopen()).unwrap();
         for p in 0..3u64 {
             assert_eq!(back.spent_exact(p), reg.spent_exact(p), "principal {p}");
+        }
+    }
+
+    /// Spins (with yields) until `done` holds, panicking after 30s — for
+    /// asserting on work the background compactor performs.
+    fn wait_for(done: impl Fn() -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !done() {
+            assert!(Instant::now() < deadline, "{what}");
+            std::thread::yield_now();
+        }
+    }
+
+    /// [`MemStorage`] whose `replace_with` parks on a test-held gate,
+    /// reporting when the compactor reaches it.
+    #[derive(Clone)]
+    struct GatedStorage {
+        inner: MemStorage,
+        gate: Arc<(Mutex<GateState>, Condvar)>,
+    }
+
+    struct GateState {
+        open: bool,
+        entered: u32,
+    }
+
+    impl GatedStorage {
+        fn new(inner: MemStorage) -> Self {
+            GatedStorage {
+                inner,
+                gate: Arc::new((
+                    Mutex::new(GateState {
+                        open: false,
+                        entered: 0,
+                    }),
+                    Condvar::new(),
+                )),
+            }
+        }
+    }
+
+    impl JournalStorage for GatedStorage {
+        fn append(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+            self.inner.append(bytes)
+        }
+        fn sync(&mut self) -> Result<(), JournalError> {
+            self.inner.sync()
+        }
+        fn read_all(&mut self) -> Result<Vec<u8>, JournalError> {
+            self.inner.read_all()
+        }
+        fn truncate(&mut self, len: u64) -> Result<(), JournalError> {
+            JournalStorage::truncate(&mut self.inner, len)
+        }
+        fn replace_with(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+            let (lock, cv) = &*self.gate;
+            let mut state = lock.lock().unwrap();
+            state.entered += 1;
+            cv.notify_all();
+            while !state.open {
+                state = cv.wait(state).unwrap();
+            }
+            drop(state);
+            self.inner.replace_with(bytes)
+        }
+    }
+
+    #[test]
+    fn charges_are_never_blocked_behind_a_compaction() {
+        // Pin the satellite invariant: policy-triggered compaction runs
+        // on the background thread, never on the acknowledging charger's.
+        // The gate keeps `replace_with` stuck indefinitely; under the old
+        // inline scheme the threshold-crossing charge would wedge inside
+        // the swap and this test would hang.
+        let storage = MemStorage::new();
+        let gated = GatedStorage::new(storage.clone());
+        let gate = Arc::clone(&gated.gate);
+        let reg: DurableRegistry<PureDp, Dyadic, GatedStorage> =
+            DurableRegistry::create(100.0, 4, gated)
+                .unwrap()
+                .with_options(
+                    DurableOptions::default()
+                        .group_commit(false)
+                        .checkpoint_every(u64::MAX)
+                        .compaction(CompactionPolicy::max_records(4)),
+                );
+        // All four charges — including the one that crosses the record
+        // threshold — acknowledge while the gate is still closed.
+        for i in 0..4u64 {
+            reg.charge(i, 0.125).unwrap();
+        }
+        assert_eq!(reg.journal_records(), 4, "no compaction completed yet");
+        // The compactor reaches the gated swap on its own thread…
+        {
+            let (lock, cv) = &*gate;
+            let mut state = lock.lock().unwrap();
+            while state.entered == 0 {
+                let (next, timeout) = cv.wait_timeout(state, Duration::from_secs(30)).unwrap();
+                state = next;
+                assert!(!timeout.timed_out(), "compactor never reached replace_with");
+            }
+            // …and only once released does the rewrite land.
+            state.open = true;
+            cv.notify_all();
+        }
+        wait_for(
+            || reg.journal_records() == 0,
+            "gated compaction never completed",
+        );
+        assert!(reg.journal_error().is_none());
+        // The compacted log carries the exact acknowledged spend.
+        reg.charge(0, 0.125).unwrap();
+        assert_eq!(reg.spent_exact(0), Dyadic::from_f64_ceil(0.125).mul_u64(2));
+        drop(reg);
+        let (back, _) = Exact::recover(100.0, 4, storage.reopen()).unwrap();
+        assert_eq!(back.spent_exact(0), Dyadic::from_f64_ceil(0.125).mul_u64(2));
+        for p in 1..4u64 {
+            assert_eq!(
+                back.spent_exact(p),
+                Dyadic::from_f64_ceil(0.125),
+                "principal {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_gather_window_commits_exactly() {
+        // The time-based window must preserve everything the yield-based
+        // one guarantees: exact spend under concurrent chargers, and a
+        // log whose recovery agrees with what was acknowledged.
+        let storage = MemStorage::new();
+        let reg = Exact::create(100.0, 4, storage.clone())
+            .unwrap()
+            .with_options(
+                DurableOptions::default()
+                    .checkpoint_every(u64::MAX)
+                    .gather_window(GatherWindow::Adaptive { max_micros: 200 }),
+            );
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        reg.charge(t, 0.0625).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(reg.journal_error().is_none());
+        let expected = Dyadic::from_f64_ceil(0.0625).mul_u64(25);
+        for p in 0..4u64 {
+            assert_eq!(reg.spent_exact(p), expected, "principal {p}");
+        }
+        drop(reg);
+        let (back, _) = Exact::recover(100.0, 4, storage.reopen()).unwrap();
+        for p in 0..4u64 {
+            assert_eq!(back.spent_exact(p), expected, "recovered principal {p}");
         }
     }
 

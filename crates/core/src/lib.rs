@@ -59,8 +59,8 @@ pub use budget::Budget;
 pub use convert::{approx_dp_of, pure_to_renyi, pure_to_zcdp, zcdp_to_renyi};
 pub use journal::{
     replay, CompactionPolicy, DurableChargeError, DurableOptions, DurableRegistry, FaultPlan,
-    FileStorage, JournalError, JournalStorage, MemStorage, Recovery, RecoveryError, RecoveryReport,
-    ReplaceFault,
+    FileStorage, GatherWindow, JournalError, JournalStorage, MemStorage, Recovery, RecoveryError,
+    RecoveryReport, ReplaceFault,
 };
 pub use mechanism::Mechanism;
 pub use neighbour::{insertions, is_neighbour, neighbours, removals};
@@ -69,10 +69,12 @@ pub use private::{CheckOptions, PrivacyViolation, Private};
 pub use query::{bounded_sum_query, count_query, Query, SensitivityViolation};
 pub use registry::{BudgetRegistry, ExactBudgetRegistry, RegistryView};
 pub use session::{
-    lane_partition, Accountant, AccountantPlan, DurablePlan, Entropy, Executor, ExecutorFailure,
-    Inline, LedgerPlan, NoAccountant, NoExecutor, Planned, PrincipalAccountant, RdpCurve, RdpMeter,
-    RdpPlan, RegistryPlan, Request, Session, SessionBuilder, SessionError, ShardedExecutor,
-    ShardedLedgerPlan, ShardedRdpMeter, ShardedRdpPlan, SpawnExecutor,
+    lane_partition, Accountant, AccountantPlan, Admission, AdmissionPolicy, AdmissionShed,
+    AnswerForFuture, AnswerFuture, DurablePlan, Entropy, Executor, ExecutorFailure, IngressGauge,
+    Inline, LedgerPlan, NoAccountant, NoExecutor, Planned, PrincipalAccountant, PrincipalAdmission,
+    QueueFull, RdpCurve, RdpMeter, RdpPlan, RegistryPlan, Request, Session, SessionBuilder,
+    SessionError, ShardedExecutor, ShardedLedgerPlan, ShardedRdpMeter, ShardedRdpPlan,
+    SpawnExecutor,
 };
 pub use sharded::{
     ExactShardedLedger, ShardHandle, ShardSpend, ShardedLedger, ShardedRdpAccountant,

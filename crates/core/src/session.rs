@@ -110,6 +110,32 @@
 //! refuses the request ([`SessionError::Journal`], degrade-to-reject —
 //! never degrade-to-serve-uncharged).
 //!
+//! # Async serving and admission control
+//!
+//! [`Session::answer_async`] / [`Session::answer_for_async`] return
+//! futures servable on any executor (the in-tree runtime is
+//! `sampcert-rt`). The serve itself is unchanged — the first poll runs
+//! the exact charge-then-serve path [`Session::answer`] runs, so the
+//! released bytes and the recorded charges are identical — but
+//! **admission control** runs at future construction, *before* any
+//! charge is attempted. An [`AdmissionPolicy`] (installed with
+//! [`SessionBuilder::admission`]) can reject a request in two ways, each
+//! with its own [`SessionError`] variant:
+//!
+//! - [`SessionError::QueueFull`]: the session's ingress queue (tracked
+//!   by a shared [`IngressGauge`]) is over the policy's depth bound —
+//!   backpressure under overload;
+//! - [`SessionError::Shed`]: the accountant's remaining budget (global
+//!   ledgers, per-principal registries) or
+//!   [`granted_upper_bound`](ShardedLedger::granted_upper_bound)
+//!   (sharded ledgers) says the request cannot be served — load shedding
+//!   keyed on the accounting state itself.
+//!
+//! The **shed-before-charge invariant**: a shed or queue-full refusal
+//! spends nothing, journals nothing, releases nothing, and consumes no
+//! entropy — the accountant is exactly as if the request never arrived
+//! (pinned by `tests/admission.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -150,7 +176,12 @@ use crate::query::Query;
 use crate::registry::BudgetRegistry;
 use crate::sharded::ShardedLedger;
 use sampcert_slang::{ByteSource, OsByteSource, SplitSeed, Value};
+use std::future::Future;
 use std::marker::PhantomData;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
 
 // ---------------------------------------------------------------------------
 // Entropy
@@ -211,13 +242,87 @@ impl std::fmt::Display for ExecutorFailure {
 
 impl std::error::Error for ExecutorFailure {}
 
+/// The admission-control refusal behind [`SessionError::Shed`]: the
+/// accountant's accounting state proves (conservatively — see
+/// [`Admission`]) that the request cannot be served, so it is rejected
+/// **before** any charge is attempted. Nothing is spent, journaled, or
+/// released, and no entropy is consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionShed {
+    reason: String,
+}
+
+impl AdmissionShed {
+    /// A shed with a human-readable reason naming the refusing headroom
+    /// check.
+    pub fn new(reason: impl Into<String>) -> Self {
+        AdmissionShed {
+            reason: reason.into(),
+        }
+    }
+
+    /// Why the request was shed.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl std::fmt::Display for AdmissionShed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request shed before charging: {}", self.reason)
+    }
+}
+
+impl std::error::Error for AdmissionShed {}
+
+/// The backpressure refusal behind [`SessionError::QueueFull`]: the
+/// session's ingress queue depth (read from the shared [`IngressGauge`])
+/// exceeded the [`AdmissionPolicy`]'s configured bound. Nothing was
+/// charged or released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    depth: usize,
+    bound: usize,
+}
+
+impl QueueFull {
+    /// A queue-full refusal observed at `depth` against `bound`.
+    pub fn new(depth: usize, bound: usize) -> Self {
+        QueueFull { depth, bound }
+    }
+
+    /// The queue depth observed at admission time.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The policy's configured depth bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingress queue full: depth {} exceeds bound {}",
+            self.depth, self.bound
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
 /// Everything [`Session::answer`] and friends can refuse with: the budget
-/// ran dry, or the execution backend failed.
+/// ran dry, the execution backend failed, or (on the async surface)
+/// admission control rejected the request before charging.
 ///
-/// Both variants chain their cause through
+/// Every variant chains its cause through
 /// [`std::error::Error::source`], so `anyhow`-style error walks see the
-/// underlying [`BudgetExceeded`] (with its carrier and shard attribution)
-/// or [`ExecutorFailure`].
+/// underlying [`BudgetExceeded`] (with its carrier and shard attribution),
+/// [`ExecutorFailure`], [`JournalError`], [`AdmissionShed`] or
+/// [`QueueFull`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SessionError<B: Budget = f64> {
     /// The accountant refused the charge; nothing was released. Global
@@ -239,6 +344,18 @@ pub enum SessionError<B: Budget = f64> {
     /// session over the surviving journal, whose tail the torn-tail rule
     /// handles.
     Journal(JournalError),
+    /// Admission control shed the request **before any charge was
+    /// attempted**: the accountant's remaining budget (or, sharded,
+    /// [`granted_upper_bound`](ShardedLedger::granted_upper_bound))
+    /// proves the request cannot be served. Nothing was spent, journaled,
+    /// or released — the shed-before-charge invariant. Only the async
+    /// surface ([`Session::answer_async`]) sheds; the synchronous paths
+    /// run the authoritative charge check directly.
+    Shed(AdmissionShed),
+    /// The session's ingress queue is over the [`AdmissionPolicy`]'s
+    /// depth bound — backpressure under overload. Nothing was charged or
+    /// released; the caller should retry later or route elsewhere.
+    QueueFull(QueueFull),
 }
 
 impl<B: Budget> SessionError<B> {
@@ -246,7 +363,10 @@ impl<B: Budget> SessionError<B> {
     pub fn as_budget(&self) -> Option<&BudgetExceeded<B>> {
         match self {
             SessionError::Budget(e) => Some(e),
-            SessionError::Executor(_) | SessionError::Journal(_) => None,
+            SessionError::Executor(_)
+            | SessionError::Journal(_)
+            | SessionError::Shed(_)
+            | SessionError::QueueFull(_) => None,
         }
     }
 
@@ -254,8 +374,37 @@ impl<B: Budget> SessionError<B> {
     pub fn as_journal(&self) -> Option<&JournalError> {
         match self {
             SessionError::Journal(e) => Some(e),
-            SessionError::Budget(_) | SessionError::Executor(_) => None,
+            SessionError::Budget(_)
+            | SessionError::Executor(_)
+            | SessionError::Shed(_)
+            | SessionError::QueueFull(_) => None,
         }
+    }
+
+    /// The admission shed, if that is what this error is.
+    pub fn as_shed(&self) -> Option<&AdmissionShed> {
+        match self {
+            SessionError::Shed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The queue-full backpressure refusal, if that is what this error
+    /// is.
+    pub fn as_queue_full(&self) -> Option<&QueueFull> {
+        match self {
+            SessionError::QueueFull(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether this refusal came from admission control
+    /// ([`Shed`](SessionError::Shed) or
+    /// [`QueueFull`](SessionError::QueueFull)) — i.e. whether the
+    /// shed-before-charge invariant guarantees this request spent
+    /// nothing at all.
+    pub fn is_admission(&self) -> bool {
+        matches!(self, SessionError::Shed(_) | SessionError::QueueFull(_))
     }
 }
 
@@ -270,6 +419,15 @@ impl<B: Budget> std::fmt::Display for SessionError<B> {
                     "session refused: journal failure (nothing charged, nothing released)"
                 )
             }
+            SessionError::Shed(_) => {
+                write!(
+                    f,
+                    "session refused: shed before charging (admission control)"
+                )
+            }
+            SessionError::QueueFull(_) => {
+                write!(f, "session refused: ingress queue full (backpressure)")
+            }
         }
     }
 }
@@ -280,6 +438,8 @@ impl<B: Budget> std::error::Error for SessionError<B> {
             SessionError::Budget(e) => Some(e),
             SessionError::Executor(e) => Some(e),
             SessionError::Journal(e) => Some(e),
+            SessionError::Shed(e) => Some(e),
+            SessionError::QueueFull(e) => Some(e),
         }
     }
 }
@@ -299,6 +459,18 @@ impl<B: Budget> From<ExecutorFailure> for SessionError<B> {
 impl<B: Budget> From<JournalError> for SessionError<B> {
     fn from(e: JournalError) -> Self {
         SessionError::Journal(e)
+    }
+}
+
+impl<B: Budget> From<AdmissionShed> for SessionError<B> {
+    fn from(e: AdmissionShed) -> Self {
+        SessionError::Shed(e)
+    }
+}
+
+impl<B: Budget> From<QueueFull> for SessionError<B> {
+    fn from(e: QueueFull) -> Self {
+        SessionError::QueueFull(e)
     }
 }
 
@@ -838,6 +1010,216 @@ pub fn lane_partition(n: usize, lanes: usize) -> Vec<usize> {
 }
 
 // ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// A cheaply clonable depth gauge for a session's ingress queue — the
+/// link between a queue living outside the session (the `sampcert-rt`
+/// bounded ingress, or any hand-rolled arrival buffer) and the
+/// [`AdmissionPolicy`]'s depth bound.
+///
+/// The producer side calls [`enter`](Self::enter) when a request is
+/// enqueued and the consumer side calls [`leave`](Self::leave) when it is
+/// dequeued for service; [`Session::answer_async`] reads
+/// [`depth`](Self::depth) at admission time. Clones share one counter.
+#[derive(Debug, Clone, Default)]
+pub struct IngressGauge {
+    depth: Arc<AtomicUsize>,
+}
+
+impl IngressGauge {
+    /// A fresh gauge at depth zero.
+    pub fn new() -> Self {
+        IngressGauge::default()
+    }
+
+    /// Records one request entering the queue; returns the depth
+    /// including it.
+    pub fn enter(&self) -> usize {
+        self.depth.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Records one request leaving the queue. Saturates at zero (an
+    /// unpaired `leave` is a caller bug, but must not wrap the gauge to
+    /// `usize::MAX` and wedge admission shut).
+    pub fn leave(&self) {
+        let _ = self
+            .depth
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// The current queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+}
+
+/// What [`Session::answer_async`] / [`Session::answer_for_async`] check
+/// **before** attempting any charge. Installed with
+/// [`SessionBuilder::admission`]; the default ([`open`](Self::open))
+/// admits everything, which keeps `answer_async` behaviourally identical
+/// to [`Session::answer`].
+///
+/// Two independent gates:
+///
+/// - a **queue depth bound** ([`max_queue_depth`](Self::max_queue_depth)):
+///   requests arriving while the shared [`IngressGauge`] reads *more
+///   than* `bound` waiting requests are refused with
+///   [`SessionError::QueueFull`];
+/// - **budget-keyed shedding** ([`shed_unservable`](Self::shed_unservable)):
+///   requests the accountant's [`Admission`] probe proves unservable are
+///   refused with [`SessionError::Shed`] without touching the
+///   accountant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    max_queue_depth: Option<usize>,
+    shed_unservable: bool,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy::open()
+    }
+}
+
+impl AdmissionPolicy {
+    /// The admit-everything policy: no depth bound, no budget shedding.
+    pub fn open() -> Self {
+        AdmissionPolicy {
+            max_queue_depth: None,
+            shed_unservable: false,
+        }
+    }
+
+    /// Refuse requests arriving while the ingress queue holds more than
+    /// `bound` waiting requests ([`SessionError::QueueFull`]).
+    pub fn max_queue_depth(mut self, bound: usize) -> Self {
+        self.max_queue_depth = Some(bound);
+        self
+    }
+
+    /// Enable budget-keyed load shedding: refuse requests the
+    /// accountant's [`Admission`] probe proves cannot be served
+    /// ([`SessionError::Shed`]), before any charge is attempted.
+    pub fn shed_unservable(mut self) -> Self {
+        self.shed_unservable = true;
+        self
+    }
+
+    /// The configured queue depth bound, if any.
+    pub fn queue_bound(&self) -> Option<usize> {
+        self.max_queue_depth
+    }
+
+    /// Whether budget-keyed shedding is enabled.
+    pub fn sheds_unservable(&self) -> bool {
+        self.shed_unservable
+    }
+}
+
+/// The non-mutating admission probe behind budget-keyed load shedding:
+/// can a batch totalling `units` releases of `gamma_unit` possibly be
+/// admitted right now?
+///
+/// The contract is conservative in the *shedding* direction each
+/// accountant documents: `false` means the accounting state already
+/// proves the charge would be refused (global accountants) or that the
+/// granted upper bound leaves no headroom (sharded accountants, where
+/// outstanding grants may make the probe shed a request a lucky charge
+/// would have served — the right trade under overload). `true` is
+/// advisory only — the authoritative charge check still runs at serve
+/// time, so a probe race never over-spends.
+pub trait Admission<D: AbstractDp, B: Budget> {
+    /// Whether a batch of `units` releases of `gamma_unit` could be
+    /// admitted against the current accounting state.
+    fn can_admit(&self, gamma_unit: f64, units: u64) -> bool;
+}
+
+impl<D: AbstractDp, B: Budget> Admission<D, B> for Ledger<D, B> {
+    /// Sheds exactly when the composed batch exceeds the remaining
+    /// budget — the same comparison [`Ledger::charge_batch`] makes, on
+    /// the same carrier, without mutating the ledger.
+    fn can_admit(&self, gamma_unit: f64, units: u64) -> bool {
+        let total = B::compose_n::<D>(&B::charge_from_f64(gamma_unit), units);
+        total.is_valid() && !B::exceeds(&total, &self.remaining_exact())
+    }
+}
+
+impl<D: RdpCurve, B: Budget> Admission<D, B> for RdpMeter<B> {
+    /// Sheds when a trial composition of the batch converts to an ε over
+    /// the policy budget — the same check [`RdpMeter`]'s charge path
+    /// runs, against a clone.
+    fn can_admit(&self, gamma_unit: f64, units: u64) -> bool {
+        let mut trial = self.acct.clone();
+        trial.add_curve_n(|a| D::rdp_curve(gamma_unit, a), units);
+        let (eps, _) = trial.epsilon(self.delta);
+        eps <= self.budget_eps + 1e-12
+    }
+}
+
+impl<D: AbstractDp, B: Budget> Admission<D, B> for ShardedLedger<D, B> {
+    /// Sheds when
+    /// [`granted_upper_bound`](ShardedLedger::granted_upper_bound) plus
+    /// the batch total exceeds the budget. The upper bound counts
+    /// granted-but-unspent headroom as spent, so under load this sheds
+    /// *earlier* than the per-shard charges would refuse — conservative
+    /// in the shedding direction, never in the spending direction.
+    fn can_admit(&self, gamma_unit: f64, units: u64) -> bool {
+        let total = D::compose_n(gamma_unit, units);
+        self.granted_upper_bound() + total <= self.budget().to_f64() + 1e-12
+    }
+}
+
+impl<D: RdpCurve, B: Budget> Admission<D, B> for ShardedRdpMeter<B> {
+    /// Sheds when a trial composition of the batch onto the maintained
+    /// session total converts to an ε over the policy budget.
+    fn can_admit(&self, gamma_unit: f64, units: u64) -> bool {
+        let mut trial = self.total.clone();
+        trial.add_curve_n(|a| D::rdp_curve(gamma_unit, a), units);
+        let (eps, _) = trial.epsilon(self.delta);
+        eps <= self.budget_eps + 1e-12
+    }
+}
+
+/// The per-principal twin of [`Admission`]: the probe behind
+/// [`Session::answer_for_async`]'s budget-keyed shedding.
+pub trait PrincipalAdmission<D: AbstractDp, B: Budget> {
+    /// Whether a batch of `units` releases of `gamma_unit` could be
+    /// admitted against `principal`'s current allowance.
+    fn can_admit_for(&self, principal: u64, gamma_unit: f64, units: u64) -> bool;
+}
+
+impl<D: AbstractDp, B: Budget> PrincipalAdmission<D, B> for BudgetRegistry<D, B> {
+    /// Sheds exactly when [`BudgetRegistry::check_exact`] would refuse
+    /// the composed batch — the authoritative admission check, run
+    /// without applying.
+    fn can_admit_for(&self, principal: u64, gamma_unit: f64, units: u64) -> bool {
+        let total = B::compose_n::<D>(&B::charge_from_f64(gamma_unit), units);
+        total.is_valid() && self.check_exact(principal, &total).is_ok()
+    }
+}
+
+impl<D: AbstractDp, B: Budget, S: JournalStorage> PrincipalAdmission<D, B>
+    for DurableRegistry<D, B, S>
+{
+    /// Sheds when the journal has latched closed (every charge would be
+    /// refused anyway) or the composed batch exceeds the principal's
+    /// committed remaining allowance. Group-commit reservations are not
+    /// counted — the probe may admit a request the reserved-aware charge
+    /// check then refuses, which only costs a budget refusal, never an
+    /// over-spend.
+    fn can_admit_for(&self, principal: u64, gamma_unit: f64, units: u64) -> bool {
+        if self.journal_error().is_some() {
+            return false;
+        }
+        let total = B::compose_n::<D>(&B::charge_from_f64(gamma_unit), units);
+        total.is_valid() && !B::exceeds(&total, &self.remaining_exact(principal))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The accountant ↔ executor link
 // ---------------------------------------------------------------------------
 
@@ -1149,6 +1531,8 @@ pub struct SessionBuilder<D: AbstractDp, B: Budget = f64, A = NoAccountant, X = 
     accountant: A,
     executor: X,
     entropy: Entropy,
+    admission: AdmissionPolicy,
+    ingress: IngressGauge,
     _notion: PhantomData<D>,
     _carrier: PhantomData<B>,
 }
@@ -1165,6 +1549,25 @@ impl<D: AbstractDp, B: Budget, A, X> SessionBuilder<D, B, A, X> {
     pub fn seeded(self, root: u64) -> Self {
         self.entropy(Entropy::seeded(root))
     }
+
+    /// Installs the [`AdmissionPolicy`] the async surface
+    /// ([`Session::answer_async`] / [`Session::answer_for_async`])
+    /// checks before charging (default: [`AdmissionPolicy::open`] —
+    /// admit everything). May be called at any point in the chain.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Shares an externally owned [`IngressGauge`] with the session, so
+    /// the queue feeding it (e.g. the `sampcert-rt` bounded ingress) and
+    /// the admission depth bound read the same counter. The default is a
+    /// private gauge nothing increments — retrieve it with
+    /// [`Session::ingress_gauge`] instead if the session is built first.
+    pub fn ingress(mut self, gauge: IngressGauge) -> Self {
+        self.ingress = gauge;
+        self
+    }
 }
 
 impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, NoAccountant, X> {
@@ -1173,6 +1576,8 @@ impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, NoAccountant, X> {
             accountant,
             executor: self.executor,
             entropy: self.entropy,
+            admission: self.admission,
+            ingress: self.ingress,
             _notion: PhantomData,
             _carrier: PhantomData,
         }
@@ -1194,6 +1599,8 @@ impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, NoAccountant, X> {
             accountant: NoAccountant,
             executor: self.executor,
             entropy: self.entropy,
+            admission: self.admission,
+            ingress: self.ingress,
             _notion: PhantomData,
             _carrier: PhantomData,
         }
@@ -1325,6 +1732,8 @@ impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, RegistryPlan<B>, X> {
             accountant: DurablePlan { registry },
             executor: self.executor,
             entropy: self.entropy,
+            admission: self.admission,
+            ingress: self.ingress,
             _notion: PhantomData,
             _carrier: PhantomData,
         })
@@ -1369,6 +1778,8 @@ impl<D: AbstractDp, B: Budget, X> SessionBuilder<D, B, RegistryPlan<B>, X> {
             accountant: DurablePlan { registry },
             executor: self.executor,
             entropy: self.entropy,
+            admission: self.admission,
+            ingress: self.ingress,
             _notion: PhantomData,
             _carrier: PhantomData,
         })
@@ -1393,6 +1804,8 @@ impl<D: AbstractDp, B: Budget, A> SessionBuilder<D, B, A, NoExecutor> {
                 _exec: PhantomData,
             },
             entropy: self.entropy,
+            admission: self.admission,
+            ingress: self.ingress,
             _notion: PhantomData,
             _carrier: PhantomData,
         }
@@ -1414,6 +1827,8 @@ where
         Session {
             accountant: self.accountant.build_accountant(lanes),
             executor,
+            admission: self.admission,
+            ingress: self.ingress,
             _notion: PhantomData,
             _carrier: PhantomData,
         }
@@ -1439,6 +1854,8 @@ where
         Session {
             accountant: self.accountant.build_accountant(lanes),
             executor,
+            admission: self.admission,
+            ingress: self.ingress,
             _notion: PhantomData,
             _carrier: PhantomData,
         }
@@ -1457,18 +1874,22 @@ where
 pub struct Session<D: AbstractDp, B: Budget = f64, A = NoAccountant, E = NoExecutor> {
     accountant: A,
     executor: E,
+    admission: AdmissionPolicy,
+    ingress: IngressGauge,
     _notion: PhantomData<D>,
     _carrier: PhantomData<B>,
 }
 
 impl<D: AbstractDp> Session<D> {
     /// Starts a builder with the default axes: `f64` carrier, OS entropy,
-    /// no accountant or executor chosen yet.
+    /// open admission, no accountant or executor chosen yet.
     pub fn builder() -> SessionBuilder<D> {
         SessionBuilder {
             accountant: NoAccountant,
             executor: NoExecutor,
             entropy: Entropy::Os,
+            admission: AdmissionPolicy::open(),
+            ingress: IngressGauge::new(),
             _notion: PhantomData,
             _carrier: PhantomData,
         }
@@ -1486,6 +1907,37 @@ impl<D: AbstractDp, B: Budget, A, E: Executor> Session<D, B, A, E> {
     /// The session's executor.
     pub fn executor(&self) -> &E {
         &self.executor
+    }
+
+    /// The session's [`AdmissionPolicy`] (checked only by the async
+    /// surface).
+    pub fn admission(&self) -> &AdmissionPolicy {
+        &self.admission
+    }
+
+    /// A clone of the session's [`IngressGauge`] — hand it to the queue
+    /// feeding the session so the admission depth bound reads real
+    /// arrivals.
+    pub fn ingress_gauge(&self) -> IngressGauge {
+        self.ingress.clone()
+    }
+
+    /// The shared admission gate: queue depth first (cheapest, and
+    /// independent of the request), then budget-keyed shedding via the
+    /// caller-evaluated probe verdict.
+    fn admission_gate(&self, servable: bool, label: &str) -> Result<(), SessionError<B>> {
+        if let Some(bound) = self.admission.queue_bound() {
+            let depth = self.ingress.depth();
+            if depth > bound {
+                return Err(SessionError::QueueFull(QueueFull::new(depth, bound)));
+            }
+        }
+        if self.admission.sheds_unservable() && !servable {
+            return Err(SessionError::Shed(AdmissionShed::new(format!(
+                "accountant headroom cannot serve request {label:?}"
+            ))));
+        }
+        Ok(())
     }
 
     /// Dismantles the session into its accountant and executor (e.g. to
@@ -1629,6 +2081,161 @@ impl<D: AbstractDp, B: Budget, A, E: Executor> Session<D, B, A, E> {
         self.accountant
             .serve_for_into(&mut self.executor, principal, req, db, n, out)
     }
+
+    /// The future-returning twin of [`answer`](Self::answer), with
+    /// admission control. The [`AdmissionPolicy`] is evaluated here, at
+    /// construction — **before any charge** — and a rejected request
+    /// resolves to [`SessionError::QueueFull`] / [`SessionError::Shed`]
+    /// having spent nothing and consumed no entropy. An admitted
+    /// request's first poll runs the exact synchronous
+    /// [`answer`](Self::answer) path (charge-before-serve preserved), so
+    /// the released bytes and recorded charges are identical to the
+    /// synchronous surface (pinned by `tests/admission.rs`).
+    ///
+    /// The returned future is `Unpin`, completes on its first poll, and
+    /// never returns `Poll::Pending` — all the work is synchronous CPU
+    /// work; the future form exists so requests can be queued, shed, and
+    /// scheduled by a runtime (`sampcert-rt`) between admission and
+    /// service.
+    pub fn answer_async<'a, T: Sync + 'static, U: Value>(
+        &'a mut self,
+        req: &'a Request<D, T, U>,
+        db: &'a [T],
+    ) -> AnswerFuture<'a, D, B, A, E, T, U>
+    where
+        A: Accountant<D, B, E> + Admission<D, B>,
+    {
+        let servable = !self.admission.sheds_unservable()
+            || self.accountant.can_admit(req.gamma_unit(), req.units());
+        let state = match self.admission_gate(servable, req.label()) {
+            Err(e) => AnswerState::Rejected(e),
+            Ok(()) => AnswerState::Serve {
+                session: self,
+                req,
+                db,
+            },
+        };
+        AnswerFuture { state }
+    }
+
+    /// The future-returning twin of [`answer_for`](Self::answer_for) —
+    /// [`answer_async`](Self::answer_async) for per-principal sessions,
+    /// with the budget-keyed shed probing `principal`'s own allowance
+    /// (and, on durable registries, shedding outright once the journal
+    /// has latched closed).
+    pub fn answer_for_async<'a, T: Sync + 'static, U: Value>(
+        &'a mut self,
+        principal: u64,
+        req: &'a Request<D, T, U>,
+        db: &'a [T],
+    ) -> AnswerForFuture<'a, D, B, A, E, T, U>
+    where
+        A: PrincipalAccountant<D, B, E> + PrincipalAdmission<D, B>,
+    {
+        let servable = !self.admission.sheds_unservable()
+            || self
+                .accountant
+                .can_admit_for(principal, req.gamma_unit(), req.units());
+        let state = match self.admission_gate(servable, req.label()) {
+            Err(e) => AnswerForState::Rejected(e),
+            Ok(()) => AnswerForState::Serve {
+                session: self,
+                principal,
+                req,
+                db,
+            },
+        };
+        AnswerForFuture { state }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Answer futures
+// ---------------------------------------------------------------------------
+
+enum AnswerState<'a, D: AbstractDp, B: Budget, A, E, T, U: Value> {
+    Rejected(SessionError<B>),
+    Serve {
+        session: &'a mut Session<D, B, A, E>,
+        req: &'a Request<D, T, U>,
+        db: &'a [T],
+    },
+    Done,
+}
+
+/// The future returned by [`Session::answer_async`]. Admission already
+/// ran at construction; the first poll runs charge-then-serve and
+/// resolves — see [`Session::answer_async`] for the contract.
+pub struct AnswerFuture<'a, D: AbstractDp, B: Budget, A, E, T, U: Value> {
+    state: AnswerState<'a, D, B, A, E, T, U>,
+}
+
+// The future holds only references and an error value and is never
+// self-referential, so it is trivially Unpin regardless of whether the
+// carrier/accountant types are.
+impl<D: AbstractDp, B: Budget, A, E, T, U: Value> Unpin for AnswerFuture<'_, D, B, A, E, T, U> {}
+
+impl<D: AbstractDp, B: Budget, A, E, T, U> Future for AnswerFuture<'_, D, B, A, E, T, U>
+where
+    E: Executor,
+    A: Accountant<D, B, E>,
+    T: Sync + 'static,
+    U: Value,
+{
+    type Output = Result<U, SessionError<B>>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match std::mem::replace(&mut this.state, AnswerState::Done) {
+            AnswerState::Rejected(e) => Poll::Ready(Err(e)),
+            AnswerState::Serve { session, req, db } => Poll::Ready(session.answer(req, db)),
+            AnswerState::Done => panic!("AnswerFuture polled after completion"),
+        }
+    }
+}
+
+enum AnswerForState<'a, D: AbstractDp, B: Budget, A, E, T, U: Value> {
+    Rejected(SessionError<B>),
+    Serve {
+        session: &'a mut Session<D, B, A, E>,
+        principal: u64,
+        req: &'a Request<D, T, U>,
+        db: &'a [T],
+    },
+    Done,
+}
+
+/// The future returned by [`Session::answer_for_async`] — the
+/// per-principal twin of [`AnswerFuture`], with the same
+/// admission-at-construction / serve-on-first-poll contract.
+pub struct AnswerForFuture<'a, D: AbstractDp, B: Budget, A, E, T, U: Value> {
+    state: AnswerForState<'a, D, B, A, E, T, U>,
+}
+
+impl<D: AbstractDp, B: Budget, A, E, T, U: Value> Unpin for AnswerForFuture<'_, D, B, A, E, T, U> {}
+
+impl<D: AbstractDp, B: Budget, A, E, T, U> Future for AnswerForFuture<'_, D, B, A, E, T, U>
+where
+    E: Executor,
+    A: PrincipalAccountant<D, B, E>,
+    T: Sync + 'static,
+    U: Value,
+{
+    type Output = Result<U, SessionError<B>>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match std::mem::replace(&mut this.state, AnswerForState::Done) {
+            AnswerForState::Rejected(e) => Poll::Ready(Err(e)),
+            AnswerForState::Serve {
+                session,
+                principal,
+                req,
+                db,
+            } => Poll::Ready(session.answer_for(principal, req, db)),
+            AnswerForState::Done => panic!("AnswerForFuture polled after completion"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1666,6 +2273,8 @@ mod tests {
         let mut s = Session {
             accountant: Ledger::<PureDp>::new(0.1),
             executor: Inline::from_source(Box::new(src)),
+            admission: AdmissionPolicy::open(),
+            ingress: IngressGauge::new(),
             _notion: PhantomData::<PureDp>,
             _carrier: PhantomData::<f64>,
         };
@@ -1751,6 +2360,147 @@ mod tests {
             "executor failure: pool died"
         );
         assert_eq!(exec.to_string(), "session refused: executor failure");
+        let shed: SessionError = SessionError::Shed(AdmissionShed::new("budget dry"));
+        assert_eq!(
+            shed.to_string(),
+            "session refused: shed before charging (admission control)"
+        );
+        assert_eq!(
+            shed.source().unwrap().to_string(),
+            "request shed before charging: budget dry"
+        );
+        assert!(shed.is_admission() && budget.as_shed().is_none());
+        let full: SessionError = SessionError::QueueFull(QueueFull::new(9, 4));
+        assert_eq!(
+            full.to_string(),
+            "session refused: ingress queue full (backpressure)"
+        );
+        assert_eq!(
+            full.source().unwrap().to_string(),
+            "ingress queue full: depth 9 exceeds bound 4"
+        );
+        assert_eq!(full.as_queue_full().unwrap().bound(), 4);
+        assert!(full.is_admission() && !budget.is_admission());
+    }
+
+    /// Drives a ready-on-first-poll future to completion without a
+    /// runtime (the core crate cannot depend on `sampcert-rt`).
+    fn poll_once<F: Future + Unpin>(mut fut: F) -> F::Output {
+        struct NoopWake;
+        impl std::task::Wake for NoopWake {
+            fn wake(self: Arc<Self>) {}
+        }
+        let waker = std::task::Waker::from(Arc::new(NoopWake));
+        let mut cx = Context::from_waker(&waker);
+        match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Ready(out) => out,
+            Poll::Pending => unreachable!("answer futures resolve on first poll"),
+        }
+    }
+
+    #[test]
+    fn answer_async_equals_answer() {
+        let req = count_req(1, 8);
+        let db = [0u8; 6];
+        let mut sync = Session::<PureDp>::builder()
+            .ledger(1.0)
+            .inline()
+            .seeded(17)
+            .build();
+        let mut async_ = Session::<PureDp>::builder()
+            .ledger(1.0)
+            .inline()
+            .seeded(17)
+            .build();
+        for _ in 0..4 {
+            let want = sync.answer(&req, &db).unwrap();
+            let got = poll_once(async_.answer_async(&req, &db)).unwrap();
+            assert_eq!(got, want);
+        }
+        assert_eq!(sync.accountant().spent(), async_.accountant().spent());
+    }
+
+    #[test]
+    fn shed_refusal_spends_nothing() {
+        let mut s = Session::<PureDp>::builder()
+            .exact()
+            .ledger(1.0)
+            .admission(AdmissionPolicy::open().shed_unservable())
+            .inline()
+            .seeded(23)
+            .build();
+        // Affordable request: admitted and served.
+        let ok_req = count_req(1, 4);
+        poll_once(s.answer_async(&ok_req, &[1u8])).unwrap();
+        // Unservable request (ε = 2 against remaining 3/4): shed before
+        // charging, with the counting invariant — spend unchanged.
+        let big_req = count_req(2, 1);
+        let spent_before = s.accountant().spent_exact().clone();
+        let err = poll_once(s.answer_async(&big_req, &[1u8])).unwrap_err();
+        assert!(matches!(err, SessionError::Shed(_)), "{err:?}");
+        assert_eq!(s.accountant().spent_exact(), &spent_before);
+        // The synchronous path still runs the authoritative check and
+        // refuses with a Budget error, not a shed.
+        let err = s.answer(&big_req, &[1u8]).unwrap_err();
+        assert!(matches!(err, SessionError::Budget(_)));
+    }
+
+    #[test]
+    fn queue_bound_rejects_above_depth() {
+        let mut s = Session::<PureDp>::builder()
+            .ledger(10.0)
+            .admission(AdmissionPolicy::open().max_queue_depth(2))
+            .inline()
+            .seeded(29)
+            .build();
+        let gauge = s.ingress_gauge();
+        let req = count_req(1, 8);
+        // Depth 2 == bound: still admitted.
+        gauge.enter();
+        gauge.enter();
+        poll_once(s.answer_async(&req, &[1u8])).unwrap();
+        // Depth 3 > bound: backpressure.
+        gauge.enter();
+        let err = poll_once(s.answer_async(&req, &[1u8])).unwrap_err();
+        let full = err.as_queue_full().expect("queue-full refusal");
+        assert_eq!((full.depth(), full.bound()), (3, 2));
+        // Draining the queue re-opens admission; leave() saturates at 0.
+        gauge.leave();
+        poll_once(s.answer_async(&req, &[1u8])).unwrap();
+        for _ in 0..5 {
+            gauge.leave();
+        }
+        assert_eq!(gauge.depth(), 0);
+    }
+
+    #[test]
+    fn answer_for_async_sheds_per_principal() {
+        let mut s = Session::<PureDp>::builder()
+            .exact()
+            .registry(1.0)
+            .admission(AdmissionPolicy::open().shed_unservable())
+            .inline()
+            .seeded(31)
+            .build_per_principal();
+        let req = count_req(1, 2); // ε = 1/2 per answer
+        poll_once(s.answer_for_async(1, &req, &[1u8])).unwrap();
+        poll_once(s.answer_for_async(1, &req, &[1u8])).unwrap();
+        // Principal 1 is dry: shed, spend unchanged.
+        let err = poll_once(s.answer_for_async(1, &req, &[1u8])).unwrap_err();
+        assert!(matches!(err, SessionError::Shed(_)), "{err:?}");
+        assert_eq!(s.accountant().spent_exact(1), Dyadic::from(1u64));
+        // Principal 2's allowance is independent.
+        poll_once(s.answer_for_async(2, &req, &[1u8])).unwrap();
+    }
+
+    #[test]
+    fn sharded_admission_keys_on_granted_upper_bound() {
+        let ledger = ShardedLedger::<PureDp>::new(1.0, 4);
+        // A fresh sharded ledger has granted headroom but no spend; a
+        // batch that fits the budget is admissible, one that cannot fit
+        // is not.
+        assert!(Admission::<PureDp, f64>::can_admit(&ledger, 0.25, 2));
+        assert!(!Admission::<PureDp, f64>::can_admit(&ledger, 0.3, 4));
     }
 
     #[test]
@@ -1878,8 +2628,17 @@ mod tests {
         for p in 1..=4u64 {
             s.answer_for(p, &req, &[1u8]).unwrap();
         }
-        // The 4th acknowledged charge crossed the record policy and the
-        // journal auto-compacted down to header + snapshot.
+        // The 4th acknowledged charge crossed the record policy and woke
+        // the background compactor; wait for it to rewrite the journal
+        // down to header + snapshot.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while s.accountant().journal_records() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "auto-compaction never ran"
+            );
+            std::thread::yield_now();
+        }
         let recovery = replay::<PureDp, Dyadic>(&handle.contents()).unwrap();
         assert_eq!(recovery.report.records, 2, "header + one snapshot chunk");
         drop(s);

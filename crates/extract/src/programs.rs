@@ -728,6 +728,43 @@ pub fn registered_programs() -> Vec<RegisteredProgram> {
             expected_verdict: EXPECT_GAUSSIAN_GEOMETRIC,
             expected_worst_case_bytes: None,
         },
+        // Big-parameter compiled-tier lowerings: the same samplers at
+        // multi-limb scales (5·2^130 / 2·2^130 keeps the Laplace ratio of
+        // the word-sized rows; σ = 4 with both parameters pushed past
+        // u128). These pin that the `BigConst`/`UniformPow2` lowering
+        // carries the *same class* of timing channels as the word-sized
+        // shape — growing the parameters must never silently change the
+        // leak signature.
+        RegisteredProgram {
+            name: "laplace_nat_big_geometric",
+            program: laplace_program_nat(
+                &(&Nat::from(5u64) << 130),
+                &(&Nat::from(2u64) << 130),
+                LoopKind::Geometric,
+            ),
+            expected_verdict: EXPECT_LAPLACE_NAT_GEOMETRIC,
+            expected_worst_case_bytes: None,
+        },
+        RegisteredProgram {
+            name: "laplace_nat_big_uniform",
+            program: laplace_program_nat(
+                &(&Nat::from(5u64) << 130),
+                &(&Nat::from(2u64) << 130),
+                LoopKind::Uniform,
+            ),
+            expected_verdict: EXPECT_LAPLACE_NAT_UNIFORM,
+            expected_worst_case_bytes: None,
+        },
+        RegisteredProgram {
+            name: "gaussian_nat_big_geometric",
+            program: gaussian_program_nat(
+                &(&Nat::from(4u64) << 130),
+                &(&Nat::one() << 130),
+                LoopKind::Geometric,
+            ),
+            expected_verdict: EXPECT_GAUSSIAN_NAT_GEOMETRIC,
+            expected_worst_case_bytes: None,
+        },
     ]
 }
 
@@ -743,6 +780,12 @@ const EXPECT_GEOMETRIC: &str = "leaks{branch:5, loop-bound:14, op-latency:3}";
 const EXPECT_LAPLACE_GEOMETRIC: &str = "leaks{branch:7, loop-bound:18, op-latency:4}";
 const EXPECT_LAPLACE_UNIFORM: &str = "leaks{branch:8, loop-bound:26, op-latency:6}";
 const EXPECT_GAUSSIAN_GEOMETRIC: &str = "leaks{branch:14, loop-bound:32, op-latency:9}";
+// The big-parameter lowerings: leaner op-latency/loop-bound counts than
+// the legacy shapes because `pow2_draws` collapses the per-byte uniform
+// fold into one bulk draw; the branch structure is unchanged.
+const EXPECT_LAPLACE_NAT_GEOMETRIC: &str = "leaks{branch:7, loop-bound:13}";
+const EXPECT_LAPLACE_NAT_UNIFORM: &str = "leaks{branch:8, loop-bound:18, op-latency:1}";
+const EXPECT_GAUSSIAN_NAT_GEOMETRIC: &str = "leaks{branch:14, loop-bound:24, op-latency:2}";
 
 #[cfg(test)]
 mod tests {

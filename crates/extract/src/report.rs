@@ -310,7 +310,7 @@ mod tests {
     #[test]
     fn registry_rows_all_pass_the_gate() {
         let rows = analysis_report();
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 10);
         for row in &rows {
             assert!(
                 row.errors.is_empty(),

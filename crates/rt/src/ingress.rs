@@ -1,0 +1,225 @@
+//! Bounded multi-producer/multi-consumer ingress queue with
+//! shed-at-the-door admission.
+//!
+//! The queue is the serving runtime's front door: producers
+//! [`try_push`](Ingress::try_push) requests and are **refused
+//! immediately** when the queue is at capacity — the request is handed
+//! back together with a [`QueueFull`] record, before any budget charge,
+//! journal write or entropy draw could happen. Consumers
+//! [`pop`](Ingress::pop) blocking-style; [`close`](Ingress::close)
+//! drains the queue and then yields `None` to every consumer.
+//!
+//! Depth is mirrored into a [`IngressGauge`] shared with the
+//! [`Session`](sampcert_core::Session) (via
+//! `SessionBuilder::ingress`), so the session's
+//! [`AdmissionPolicy`](sampcert_core::AdmissionPolicy) depth bound and
+//! the queue's own capacity read the *same* counter: what the gauge
+//! says is exactly what is queued here.
+
+use sampcert_core::{IngressGauge, QueueFull};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A request refused at the door: the item is handed back untouched,
+/// alongside the [`QueueFull`] describing the refusal. Convertible into
+/// [`SessionError::QueueFull`](sampcert_core::SessionError::QueueFull)
+/// via the error's existing `From<QueueFull>` impl.
+#[derive(Debug)]
+pub struct ShedItem<T> {
+    /// The request that was not enqueued.
+    pub item: T,
+    /// Observed depth (including this request) and the capacity bound.
+    pub error: QueueFull,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+    gauge: IngressGauge,
+}
+
+/// The bounded MPMC ingress queue. Clones share one queue; see the
+/// [module docs](self) for the admission contract.
+pub struct Ingress<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Ingress<T> {
+    fn clone(&self) -> Self {
+        Ingress {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Ingress<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ingress")
+            .field("capacity", &self.inner.capacity)
+            .field("depth", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Ingress<T> {
+    /// A queue holding at most `capacity` requests (clamped to ≥ 1),
+    /// with a fresh depth gauge.
+    pub fn bounded(capacity: usize) -> Self {
+        Ingress {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                available: Condvar::new(),
+                capacity: capacity.max(1),
+                gauge: IngressGauge::new(),
+            }),
+        }
+    }
+
+    /// The depth gauge mirroring this queue — hand a clone to
+    /// `SessionBuilder::ingress` so the session's admission depth bound
+    /// reads real backlog.
+    pub fn gauge(&self) -> IngressGauge {
+        self.inner.gauge.clone()
+    }
+
+    /// Maximum number of queued requests.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Current number of queued requests.
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("ingress poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, or sheds it immediately if the queue is full or
+    /// closed. A shed hands the item back with the observed depth —
+    /// nothing was charged, journalled, or drawn for it.
+    pub fn try_push(&self, item: T) -> Result<(), ShedItem<T>> {
+        let mut state = self.inner.state.lock().expect("ingress poisoned");
+        if state.closed || state.queue.len() >= self.inner.capacity {
+            let depth = state.queue.len() + 1;
+            drop(state);
+            return Err(ShedItem {
+                item,
+                error: QueueFull::new(depth, self.inner.capacity),
+            });
+        }
+        state.queue.push_back(item);
+        self.inner.gauge.enter();
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest request, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("ingress poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                self.inner.gauge.leave();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.inner.available.wait(state).expect("ingress poisoned");
+        }
+    }
+
+    /// Dequeues without blocking; `None` means empty right now (the
+    /// queue may still be open).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("ingress poisoned");
+        let item = state.queue.pop_front();
+        if item.is_some() {
+            self.inner.gauge.leave();
+        }
+        item
+    }
+
+    /// Closes the queue: later pushes shed, and consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.inner.state.lock().expect("ingress poisoned").closed = true;
+        self.inner.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_at_capacity_and_hands_the_item_back() {
+        let q = Ingress::bounded(2);
+        q.try_push(1u32).unwrap();
+        q.try_push(2).unwrap();
+        let shed = q.try_push(3).unwrap_err();
+        assert_eq!(shed.item, 3);
+        assert_eq!(shed.error.depth(), 3);
+        assert_eq!(q.gauge().depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.gauge().depth(), 1);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Ingress::bounded(4);
+        q.try_push('a').unwrap();
+        q.try_push('b').unwrap();
+        q.close();
+        assert!(q.try_push('c').is_err());
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.gauge().depth(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Ingress::bounded(8);
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        let mut accepted = 0u64;
+        for i in 0..10_000u64 {
+            if q.try_push(i).is_ok() {
+                accepted += 1;
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len() as u64, accepted);
+        assert!(accepted > 0);
+        assert_eq!(q.gauge().depth(), 0);
+    }
+}

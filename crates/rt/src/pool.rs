@@ -1,0 +1,189 @@
+//! [`RtExecutor`]: the runtime crate's draw-plane execution backend.
+//!
+//! The serving stack has two planes with deliberately different
+//! scheduling:
+//!
+//! - the **request plane** (the [`Runtime`](crate::Runtime)) steals
+//!   work freely — which worker polls a request's future is
+//!   unobservable, so migration is pure load balancing;
+//! - the **draw plane** (this executor) keeps the *static contiguous
+//!   partition* ([`sampcert_core::lane_partition`]): lane `i` always
+//!   serves chunk `i` from its own persistent byte stream
+//!   (`root.stream(i)` under [`Entropy::Seeded`]).
+//!
+//! Stealing on the draw plane would be wrong twice over: it would break
+//! the byte-stream determinism contract (which stream an answer came
+//! from must be a function of the request, not the scheduler), and it
+//! would falsify per-lane accounting — [`Executor::partition`] is the
+//! basis on which a sharded accountant attributes charges to lanes, so
+//! the lanes must actually serve those chunks. `RtExecutor` is
+//! therefore stream-for-stream identical to `NoiseServer` with the same
+//! seed and lane count (pinned by this crate's integration tests), and
+//! all elasticity lives one level up, in the runtime's task scheduler.
+
+use sampcert_core::{
+    AbstractDp, Budget, Entropy, Executor, ExecutorFailure, Mechanism, SessionError,
+    ShardedExecutor, ShardedLedger, SpawnExecutor,
+};
+use sampcert_slang::{ByteSource, OsByteSource, Value};
+
+/// One draw lane: a persistent byte stream owned by this executor and
+/// handed exclusively to one scoped thread per batch.
+struct Lane {
+    src: Box<dyn ByteSource + Send>,
+}
+
+/// A fixed-lane draw executor for the async serving runtime. See the
+/// [module docs](self) for why the draw plane does not steal.
+pub struct RtExecutor {
+    lanes: Vec<Lane>,
+}
+
+impl std::fmt::Debug for RtExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtExecutor")
+            .field("lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+impl RtExecutor {
+    /// Builds `lanes` persistent draw lanes (clamped to ≥ 1).
+    /// [`Entropy::Seeded`] gives lane `i` the stream `root.stream(i)` —
+    /// the same streams `NoiseServer` and lane 0 of
+    /// [`sampcert_core::Inline`] derive, which is what makes the
+    /// byte-equality suite possible.
+    pub fn new(entropy: Entropy, lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let build = |i: usize| -> Box<dyn ByteSource + Send> {
+            match &entropy {
+                Entropy::Os => Box::new(OsByteSource::new()),
+                Entropy::Seeded(root) => Box::new(root.stream(i as u64)),
+            }
+        };
+        RtExecutor {
+            lanes: (0..lanes).map(|i| Lane { src: build(i) }).collect(),
+        }
+    }
+
+    /// Scoped-thread fan-out over the lanes, results in lane order. A
+    /// single lane serves inline on the calling thread, so one-lane
+    /// executors are a true sequential baseline.
+    fn fan_out<R, F>(&mut self, serve: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut Lane) -> R + Sync,
+    {
+        if self.lanes.len() == 1 {
+            return vec![serve(0, &mut self.lanes[0])];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .lanes
+                .iter_mut()
+                .enumerate()
+                .map(|(i, lane)| {
+                    let serve = &serve;
+                    scope.spawn(move || serve(i, lane))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("draw lane panicked"))
+                .collect()
+        })
+    }
+}
+
+impl Executor for RtExecutor {
+    fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn run_into<T: Sync + 'static, U: Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        out: &mut Vec<U>,
+    ) -> Result<(), ExecutorFailure> {
+        let chunks = sampcert_core::lane_partition(n, self.lanes.len());
+        let parts = self.fan_out(|i, lane| {
+            let mut part = Vec::new();
+            mech.run_many_into(db, chunks[i], &mut *lane.src, &mut part);
+            part
+        });
+        for part in parts {
+            out.extend(part);
+        }
+        Ok(())
+    }
+}
+
+/// Charge-before-serve per lane: lane `i` batch-charges shard `i`
+/// (`chunkᵢ · units` releases of `gamma_unit`) before drawing a byte,
+/// and every verdict is collected before anything is released — the same
+/// discipline `NoiseServer` pins.
+impl ShardedExecutor for RtExecutor {
+    fn run_sharded_into<D: AbstractDp, B: Budget, T: Sync + 'static, U: Value>(
+        &mut self,
+        mech: &Mechanism<T, U>,
+        db: &[T],
+        n: usize,
+        gamma_unit: f64,
+        units: u64,
+        ledger: &ShardedLedger<D, B>,
+        out: &mut Vec<U>,
+    ) -> Result<(), SessionError<B>> {
+        if ledger.shards() < self.lanes.len() {
+            return Err(SessionError::Executor(ExecutorFailure::new(format!(
+                "ledger has {} shards but the executor has {} lanes",
+                ledger.shards(),
+                self.lanes.len()
+            ))));
+        }
+        let chunks = sampcert_core::lane_partition(n, self.lanes.len());
+        let parts = self.fan_out(|i, lane| {
+            let mut handle = ledger.handle(i);
+            handle.charge_batch(gamma_unit, chunks[i] as u64 * units)?;
+            let mut part = Vec::new();
+            mech.run_many_into(db, chunks[i], &mut *lane.src, &mut part);
+            Ok(part)
+        });
+        // Collect every shard's verdict before touching `out`: a refusing
+        // shard discards the other chunks unreleased (their charges stay
+        // spent — the conservative direction) and leaves the caller's
+        // buffer untouched.
+        let served: Vec<Vec<U>> = parts
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .map_err(SessionError::Budget)?;
+        for part in served {
+            out.extend(part);
+        }
+        Ok(())
+    }
+}
+
+/// Lets `SessionBuilder::executor::<RtExecutor>(lanes)` spawn the draw
+/// pool straight from the session's entropy choice.
+impl SpawnExecutor for RtExecutor {
+    fn spawn(entropy: Entropy, lanes: usize) -> Self {
+        RtExecutor::new(entropy, lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampcert_slang::SplitSeed;
+
+    #[test]
+    fn lane_count_is_clamped_and_reported() {
+        let ex = RtExecutor::new(Entropy::Os, 0);
+        assert_eq!(ex.lanes(), 1);
+        let ex = RtExecutor::new(Entropy::Seeded(SplitSeed::new(7)), 4);
+        assert_eq!(ex.lanes(), 4);
+        assert_eq!(ex.partition(10), vec![3, 3, 2, 2]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration suite for the serving runtime: draw-plane byte equality
+//! against the established backends, the full session-on-runtime path,
+//! and the shed-before-charge invariant at the runtime level.
+
+use sampcert_core::{
+    count_query, AdmissionPolicy, Entropy, Executor, Inline, Private, PureDp, Request, Session,
+};
+use sampcert_mechanisms::{NoiseServer, SeedBackend, ServeConfig};
+use sampcert_rt::{block_on, Ingress, RtExecutor, Runtime};
+
+const ROOT: u64 = 0xC0FF_EE00;
+
+fn count_request() -> Request<PureDp, u32, i64> {
+    let q: Private<PureDp, u32, i64> = Private::noised_query(&count_query(), 1, 1);
+    Request::from_private(&q, "count")
+}
+
+/// The draw plane is stream-for-stream identical to `NoiseServer`: the
+/// same seed root and lane count produce the same bytes, hence the same
+/// answers, for every batch size around the partition boundaries.
+#[test]
+fn rt_executor_matches_noise_server_byte_for_byte() {
+    let req = count_request();
+    let db: Vec<u32> = (0..500).collect();
+    for lanes in [1usize, 2, 3, 4] {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 16, 33] {
+            let mut rt_ex = RtExecutor::new(Entropy::seeded(ROOT), lanes);
+            let mut ns = NoiseServer::new(ServeConfig {
+                workers: lanes,
+                seed: SeedBackend::Deterministic(ROOT),
+            });
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            rt_ex.run_into(req.mechanism(), &db, n, &mut a).unwrap();
+            ns.run_into(req.mechanism(), &db, n, &mut b).unwrap();
+            assert_eq!(a, b, "lanes {lanes}, n {n}");
+        }
+    }
+}
+
+/// One lane of the runtime executor is the sequential baseline: it is
+/// the `Inline` executor, byte for byte.
+#[test]
+fn single_lane_rt_executor_is_inline() {
+    let req = count_request();
+    let db: Vec<u32> = (0..100).collect();
+    let mut rt_ex = RtExecutor::new(Entropy::seeded(ROOT), 1);
+    let mut inline = Inline::new(Entropy::seeded(ROOT));
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    rt_ex.run_into(req.mechanism(), &db, 12, &mut a).unwrap();
+    inline.run_into(req.mechanism(), &db, 12, &mut b).unwrap();
+    assert_eq!(a, b);
+}
+
+/// A session built over `RtExecutor` answers exactly what the same
+/// session over `NoiseServer` answers — the executor slots into the
+/// typestate builder like any other backend.
+#[test]
+fn sessions_over_rt_executor_and_noise_server_agree() {
+    let req = count_request();
+    let db: Vec<u32> = (0..250).collect();
+    let mut over_rt = Session::<PureDp>::builder()
+        .ledger(16.0)
+        .seeded(ROOT)
+        .executor::<RtExecutor>(3)
+        .build();
+    let mut over_ns = Session::<PureDp>::builder()
+        .ledger(16.0)
+        .seeded(ROOT)
+        .executor::<NoiseServer>(3)
+        .build();
+    let a = over_rt.answer_many(&req, &db, 9).unwrap();
+    let b = over_ns.answer_many(&req, &db, 9).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(over_rt.accountant().spent(), over_ns.accountant().spent());
+}
+
+/// The full stack: a `NoiseServer`-backed session owned by a runtime
+/// task, fed through the bounded ingress queue, serving `answer_async`.
+/// Answers equal the synchronous session with the same seed, and the
+/// spend equals the accepted count.
+#[test]
+fn noise_server_session_serves_on_the_runtime() {
+    let req = count_request();
+    let runtime = Runtime::new(3);
+    let queue: Ingress<Request<PureDp, u32, i64>> = Ingress::bounded(32);
+
+    let mut async_session = Session::<PureDp>::builder()
+        .ledger(16.0)
+        .seeded(ROOT)
+        .admission(
+            AdmissionPolicy::open()
+                .max_queue_depth(32)
+                .shed_unservable(),
+        )
+        .ingress(queue.gauge())
+        .executor::<NoiseServer>(2)
+        .build();
+    let mut sync_session = Session::<PureDp>::builder()
+        .ledger(16.0)
+        .seeded(ROOT)
+        .executor::<NoiseServer>(2)
+        .build();
+
+    for _ in 0..8 {
+        queue.try_push(req.clone()).unwrap();
+    }
+    queue.close();
+
+    let server = {
+        let queue = queue.clone();
+        runtime.spawn(async move {
+            let db: Vec<u32> = (0..300).collect();
+            let mut answers = Vec::new();
+            while let Some(req) = queue.pop() {
+                answers.push(async_session.answer_async(&req, &db).await);
+            }
+            (answers, async_session.accountant().spent())
+        })
+    };
+    let (answers, spent) = block_on(server);
+
+    let db: Vec<u32> = (0..300).collect();
+    assert_eq!(answers.len(), 8);
+    for got in answers {
+        let want = sync_session.answer(&req, &db).unwrap();
+        assert_eq!(got.unwrap(), want);
+    }
+    assert_eq!(spent, 8.0);
+    assert_eq!(queue.gauge().depth(), 0);
+}
+
+/// Shed-before-charge at the runtime level: requests refused at the
+/// ingress door or by budget-keyed admission leave the accountant's
+/// spend exactly equal to the accepted count — sheds cost nothing.
+#[test]
+fn sheds_at_the_door_cost_nothing() {
+    let req = count_request();
+    let queue: Ingress<Request<PureDp, u32, i64>> = Ingress::bounded(3);
+
+    // ε = 5 admits exactly five ε = 1 requests; the rest must shed.
+    let mut session = Session::<PureDp>::builder()
+        .ledger(5.0)
+        .seeded(ROOT)
+        .admission(AdmissionPolicy::open().max_queue_depth(3).shed_unservable())
+        .ingress(queue.gauge())
+        .inline()
+        .build();
+    let db: Vec<u32> = (0..50).collect();
+
+    let mut accepted = 0u32;
+    let mut door_sheds = 0u32;
+    let mut budget_sheds = 0u32;
+    // Two bursts of 10 arrivals against a 3-deep queue: each burst sheds
+    // 7 at the door, then the queue drains through the session. The
+    // second burst's tail overruns the ε = 5 ledger and sheds on budget.
+    for _burst in 0..2 {
+        for _ in 0..10 {
+            if let Err(shed) = queue.try_push(req.clone()) {
+                door_sheds += 1;
+                assert!(shed.error.depth() > 3);
+            }
+        }
+        while let Some(popped) = queue.try_pop() {
+            match block_on(session.answer_async(&popped, &db)) {
+                Ok(_) => accepted += 1,
+                Err(e) => {
+                    assert!(e.is_admission(), "expected an admission refusal: {e}");
+                    budget_sheds += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(door_sheds, 14);
+    assert_eq!(accepted, 5);
+    assert_eq!(budget_sheds, 1);
+    assert_eq!(
+        session.accountant().spent(),
+        f64::from(accepted),
+        "sheds must not move the accountant"
+    );
+}

@@ -68,6 +68,7 @@ pub use sampcert_baselines as baselines;
 pub use sampcert_core as core;
 pub use sampcert_extract as extract;
 pub use sampcert_mechanisms as mechanisms;
+pub use sampcert_rt as rt;
 pub use sampcert_samplers as samplers;
 pub use sampcert_slang as slang;
 pub use sampcert_stattest as stattest;

@@ -186,19 +186,28 @@ fn file_backed_compaction_survives_a_real_restart() {
         .with_group_commit(true)
         .with_compaction(CompactionPolicy::max_bytes(1));
     let mut acked: BTreeMap<u64, Dyadic> = BTreeMap::new();
-    // max_bytes(1) compacts after every acknowledged charge — the
-    // harshest policy — so the log stays at snapshot size throughout.
+    // max_bytes(1) kicks the background compactor after every
+    // acknowledged charge — the harshest policy — so the log keeps being
+    // rewritten down to snapshot size while charges continue.
     for i in 0..30u64 {
         let gamma = <Dyadic as Budget>::charge_from_f64(0.0625);
         registry.charge_exact(i % 5, gamma.clone()).unwrap();
         let entry = acked.entry(i % 5).or_insert_with(Dyadic::zero);
         *entry = &*entry + &gamma;
     }
+    // Compaction is asynchronous now: wait for the compactor to absorb
+    // the final kick (records reset, log back to snapshot size).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while registry.journal_records() != 0 || registry.journal_bytes() >= 1024 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compaction never caught up: {} bytes, {} records",
+            registry.journal_bytes(),
+            registry.journal_records()
+        );
+        std::thread::yield_now();
+    }
     let compacted = registry.journal_bytes();
-    assert!(
-        compacted < 1024,
-        "30 charges × aggressive compaction left {compacted} bytes"
-    );
     drop(registry);
     assert_eq!(std::fs::metadata(&path).unwrap().len(), compacted);
 
